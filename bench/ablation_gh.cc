@@ -1,0 +1,52 @@
+// E4 — GH ablation (the Figure 4 motivation): Basic GH (Section 3.2.1,
+// integer counts per cell) against Revised GH (Section 3.2.2, fractional
+// per-cell statistics) across gridding levels. Quantifies how much the
+// within-cell uniform-distribution adjustment buys.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/gh_histogram.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sjsel;
+  const double scale = gen::ExperimentScaleFromEnv(0.1);
+  bench::PrintHeader("Ablation: Basic GH vs Revised GH", scale);
+  bench::DatasetCache cache(scale);
+
+  for (const auto& pair : gen::Figure7Pairs()) {
+    const Dataset& a = cache.Get(pair.first);
+    const Dataset& b = cache.Get(pair.second);
+    const bench::PairBaseline baseline = bench::ComputeBaseline(a, b);
+    const double actual = static_cast<double>(baseline.actual_pairs);
+    std::printf("--- %s (actual %.0f pairs) ---\n", pair.Label().c_str(),
+                actual);
+
+    TextTable table;
+    table.SetHeader(
+        {"level", "basic est", "basic error", "revised est", "revised error"});
+    for (int level = 0; level <= 8; ++level) {
+      const auto ba =
+          GhHistogram::Build(a, baseline.extent, level, GhVariant::kBasic);
+      const auto bb =
+          GhHistogram::Build(b, baseline.extent, level, GhVariant::kBasic);
+      const auto ra = GhHistogram::Build(a, baseline.extent, level);
+      const auto rb = GhHistogram::Build(b, baseline.extent, level);
+      if (!ba.ok() || !bb.ok() || !ra.ok() || !rb.ok()) return 1;
+      const double basic = EstimateGhJoinPairs(*ba, *bb).value_or(0);
+      const double revised = EstimateGhJoinPairs(*ra, *rb).value_or(0);
+      table.AddRow({std::to_string(level), FormatDouble(basic, 0),
+                    FormatPercent(RelativeError(basic, actual)),
+                    FormatDouble(revised, 0),
+                    FormatPercent(RelativeError(revised, actual))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Shape check: Basic GH needs very fine grids before its false /\n"
+      "multiple counting fades (Figure 4); Revised GH reaches low error\n"
+      "several levels earlier, i.e. with 1/16th - 1/64th of the cells.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E5 — PH ablation of its two design choices (Section 3.1.2): the
+// contained/crossing split with clipping (vs naive full-MBR-per-cell
+// gridding) and the AvgSpan multiple-counting correction of Equation 3.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/ph_histogram.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sjsel;
+  const double scale = gen::ExperimentScaleFromEnv(0.1);
+  bench::PrintHeader(
+      "Ablation: PH design choices (split+clip, AvgSpan correction)", scale);
+  bench::DatasetCache cache(scale);
+
+  for (const auto& pair : gen::Figure7Pairs()) {
+    const Dataset& a = cache.Get(pair.first);
+    const Dataset& b = cache.Get(pair.second);
+    const bench::PairBaseline baseline = bench::ComputeBaseline(a, b);
+    const double actual = static_cast<double>(baseline.actual_pairs);
+    std::printf("--- %s (actual %.0f pairs) ---\n", pair.Label().c_str(),
+                actual);
+
+    TextTable table;
+    table.SetHeader({"level", "naive grid err", "PH no-span err",
+                     "PH full err"});
+    for (int level = 0; level <= 8; ++level) {
+      const auto na =
+          PhHistogram::Build(a, baseline.extent, level, PhVariant::kNaive);
+      const auto nb =
+          PhHistogram::Build(b, baseline.extent, level, PhVariant::kNaive);
+      const auto pa = PhHistogram::Build(a, baseline.extent, level);
+      const auto pb = PhHistogram::Build(b, baseline.extent, level);
+      if (!na.ok() || !nb.ok() || !pa.ok() || !pb.ok()) return 1;
+
+      const double naive = EstimatePhJoinPairs(*na, *nb).value_or(0);
+      PhEstimateOptions no_span;
+      no_span.apply_span_correction = false;
+      const double ph_no_span =
+          EstimatePhJoinPairs(*pa, *pb, no_span).value_or(0);
+      const double ph_full = EstimatePhJoinPairs(*pa, *pb).value_or(0);
+      table.AddRow({std::to_string(level),
+                    FormatPercent(RelativeError(naive, actual)),
+                    FormatPercent(RelativeError(ph_no_span, actual)),
+                    FormatPercent(RelativeError(ph_full, actual))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Shape check: naive gridding over-counts increasingly with level;\n"
+      "the contained/crossing split with clipping removes most of it, and\n"
+      "the AvgSpan division damps the remaining crossing-crossing multiple\n"
+      "counting at fine levels.\n");
+  return 0;
+}

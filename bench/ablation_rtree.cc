@@ -1,0 +1,110 @@
+// Substrate ablation: how the R-tree construction method (Guttman
+// quadratic insertion, R*-split insertion, STR packing, Hilbert packing)
+// affects build time, index size, range-query and spatial-join cost — the
+// cost denominators of the paper's evaluation.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "join/rtree_join.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using sjsel::Dataset;
+using sjsel::Rect;
+using sjsel::RTree;
+using sjsel::RTreeOptions;
+using sjsel::SplitStrategy;
+
+enum class Build { kQuadratic, kRStar, kStr, kHilbert };
+
+const char* BuildName(Build b) {
+  switch (b) {
+    case Build::kQuadratic:
+      return "insert/quadratic";
+    case Build::kRStar:
+      return "insert/R*-split";
+    case Build::kStr:
+      return "bulk/STR";
+    case Build::kHilbert:
+      return "bulk/Hilbert";
+  }
+  return "?";
+}
+
+RTree Construct(Build how, const Dataset& ds) {
+  switch (how) {
+    case Build::kQuadratic:
+      return RTree::BuildByInsertion(ds);
+    case Build::kRStar: {
+      RTreeOptions options;
+      options.split = SplitStrategy::kRStar;
+      return RTree::BuildByInsertion(ds, options);
+    }
+    case Build::kStr:
+      return RTree::BulkLoadStr(RTree::DatasetEntries(ds));
+    case Build::kHilbert:
+      return RTree::BulkLoadHilbert(RTree::DatasetEntries(ds));
+  }
+  return RTree();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sjsel;
+  const double scale = gen::ExperimentScaleFromEnv(0.1);
+  bench::PrintHeader(
+      "Ablation: R-tree construction (build/query/join cost)", scale);
+  bench::DatasetCache cache(scale);
+
+  const Dataset& a = cache.Get(gen::PaperDataset::kTS);
+  const Dataset& b = cache.Get(gen::PaperDataset::kTCB);
+  std::printf("join workload: %s (%zu) with %s (%zu)\n\n", a.name().c_str(),
+              a.size(), b.name().c_str(), b.size());
+
+  TextTable table;
+  table.SetHeader({"construction", "build s (both)", "nodes", "MiB",
+                   "1k range queries s", "R-tree join s"});
+  for (const Build how :
+       {Build::kQuadratic, Build::kRStar, Build::kStr, Build::kHilbert}) {
+    Timer build_timer;
+    const RTree ta = Construct(how, a);
+    const RTree tb = Construct(how, b);
+    const double build_seconds = build_timer.ElapsedSeconds();
+
+    Rng rng(3);
+    Timer query_timer;
+    uint64_t touched = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const double x = rng.NextDouble() * 0.95;
+      const double y = rng.NextDouble() * 0.95;
+      touched += tb.CountRange(Rect(x, y, x + 0.05, y + 0.05));
+    }
+    const double query_seconds = query_timer.ElapsedSeconds();
+
+    Timer join_timer;
+    const uint64_t pairs = RTreeJoinCount(ta, tb);
+    const double join_seconds = join_timer.ElapsedSeconds();
+    (void)pairs;
+    (void)touched;
+
+    table.AddRow({BuildName(how), FormatDouble(build_seconds, 3),
+                  std::to_string(ta.num_nodes() + tb.num_nodes()),
+                  FormatDouble((ta.NominalBytes() + tb.NominalBytes()) /
+                                   (1024.0 * 1024.0),
+                               2),
+                  FormatDouble(query_seconds, 3),
+                  FormatDouble(join_seconds, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Shape check: bulk loading builds far faster and yields fewer nodes;\n"
+      "the R*-split beats the quadratic split on both build time (O(n log n)\n"
+      "distributions vs O(n^2) seeds) and query/join cost. This motivates\n"
+      "the harness choice: insertion-built trees for the paper's cost\n"
+      "denominators (as in 2001), packed trees inside the engine.\n");
+  return 0;
+}

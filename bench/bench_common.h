@@ -1,0 +1,91 @@
+#ifndef SJSEL_BENCH_BENCH_COMMON_H_
+#define SJSEL_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the figure/table reproduction harnesses: dataset
+// caching (several pairs share a layer), joint-extent computation and the
+// paper's cost-metric denominators (actual join time, R-tree build time,
+// R-tree size).
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "datagen/workloads.h"
+#include "geom/dataset.h"
+#include "join/rtree_join.h"
+#include "rtree/rtree.h"
+#include "util/timer.h"
+
+namespace sjsel {
+namespace bench {
+
+/// Generates paper datasets once per (dataset, scale) and reuses them.
+class DatasetCache {
+ public:
+  explicit DatasetCache(double scale, uint64_t seed = 2001)
+      : scale_(scale), seed_(seed) {}
+
+  const Dataset& Get(gen::PaperDataset which) {
+    const std::string key = gen::PaperDatasetName(which);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_.emplace(key, gen::MakePaperDataset(which, scale_, seed_))
+               .first;
+    }
+    return it->second;
+  }
+
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  uint64_t seed_;
+  std::map<std::string, Dataset> cache_;
+};
+
+/// The per-pair ground truth and cost denominators of Section 4.2.
+struct PairBaseline {
+  Rect extent;
+  uint64_t actual_pairs = 0;
+  double rtree_build_seconds = 0.0;  ///< building both R-trees (insertion)
+  double rtree_join_seconds = 0.0;   ///< R-tree join given the trees
+  uint64_t rtree_bytes = 0;          ///< nominal size of both R-trees
+  /// "Actual join" total when indexes must be built first (Est. Time 1
+  /// denominator); rtree_join_seconds alone is the Est. Time 2 denominator.
+  double JoinWithBuildSeconds() const {
+    return rtree_build_seconds + rtree_join_seconds;
+  }
+};
+
+/// Builds both R-trees by insertion (as the paper's baseline does), joins
+/// them, and records the timing/size denominators.
+inline PairBaseline ComputeBaseline(const Dataset& a, const Dataset& b) {
+  PairBaseline baseline;
+  baseline.extent = a.ComputeExtent();
+  baseline.extent.Extend(b.ComputeExtent());
+
+  Timer build_timer;
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree tb = RTree::BuildByInsertion(b);
+  baseline.rtree_build_seconds = build_timer.ElapsedSeconds();
+  baseline.rtree_bytes = ta.NominalBytes() + tb.NominalBytes();
+
+  Timer join_timer;
+  baseline.actual_pairs = RTreeJoinCount(ta, tb);
+  baseline.rtree_join_seconds = join_timer.ElapsedSeconds();
+  return baseline;
+}
+
+inline void PrintHeader(const std::string& title, double scale) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("dataset scale: %.0f%% of paper cardinality "
+              "(set SJSEL_FULL=1 or SJSEL_SCALE=<f> to change)\n",
+              scale * 100);
+  std::printf("=====================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace sjsel
+
+#endif  // SJSEL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Extension experiment: the analytic R-tree join cost model (the Huang
+// [12] / Theodoridis [25] line of work the paper's introduction contrasts
+// with) validated against the instrumented synchronized-traversal join.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/cost_model.h"
+#include "join/rtree_join.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sjsel;
+  const double scale = gen::ExperimentScaleFromEnv(0.1);
+  bench::PrintHeader(
+      "Extension: analytic join cost model vs measured traversal work",
+      scale);
+  bench::DatasetCache cache(scale);
+
+  TextTable table;
+  table.SetHeader({"join", "leaf pairs (pred)", "leaf pairs (actual)",
+                   "internal pairs (pred)", "internal pairs (actual)",
+                   "node accesses (pred/actual)"});
+  for (const auto& pair : gen::Figure6Pairs()) {
+    const Dataset& a = cache.Get(pair.first);
+    const Dataset& b = cache.Get(pair.second);
+    const RTree ta = RTree::BuildByInsertion(a);
+    const RTree tb = RTree::BuildByInsertion(b);
+
+    const JoinCostPrediction predicted = PredictRTreeJoinCost(ta, tb);
+    const RTreeJoinStats actual = RTreeJoinCountWithStats(ta, tb);
+    const double actual_accesses =
+        2.0 * static_cast<double>(actual.leaf_pairs_visited +
+                                  actual.node_pairs_visited);
+    table.AddRow(
+        {pair.Label(), FormatDouble(predicted.leaf_pairs, 0),
+         std::to_string(actual.leaf_pairs_visited),
+         FormatDouble(predicted.internal_pairs, 0),
+         std::to_string(actual.node_pairs_visited),
+         FormatDouble(actual_accesses > 0
+                          ? predicted.node_accesses / actual_accesses
+                          : 0.0,
+                      2) +
+             "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: the model inherits Equation 1's uniformity assumption, so\n"
+      "it is close on mildly skewed pairs and drifts on heavily clustered\n"
+      "ones — the same failure mode that motivates histogram-based\n"
+      "selectivity estimation in the first place.\n");
+  return 0;
+}

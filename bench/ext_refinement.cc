@@ -1,0 +1,89 @@
+// Extension experiment: the two-step join of Section 1 made concrete. For
+// geometry-bearing workloads (polylines, polygons, points), measures the
+// filter-step candidate count, the refined result, the false-hit ratio,
+// and where the GH estimate sits — demonstrating that selectivity
+// estimation (like the paper) targets the *filter* step.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/gh_histogram.h"
+#include "datagen/geo_generators.h"
+#include "join/refinement.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sjsel;
+  const double scale = gen::ExperimentScaleFromEnv(0.1);
+  bench::PrintHeader(
+      "Extension: filter vs refinement step (false-hit anatomy)", scale);
+  const Rect unit(0, 0, 1, 1);
+  const size_t n = static_cast<size_t>(60000 * scale) + 1000;
+
+  const std::vector<gen::Cluster> metros = {
+      {{0.3, 0.35}, 0.07, 0.07, 1.2},
+      {{0.62, 0.6}, 0.05, 0.06, 1.0},
+      {{0.8, 0.25}, 0.05, 0.05, 0.8},
+  };
+
+  gen::PolylineSpec stream_spec;
+  stream_spec.steps = 16;
+  stream_spec.step_len = 0.004;
+  stream_spec.start_clusters = metros;
+  stream_spec.background_frac = 0.4;
+
+  const GeoDataset streams =
+      gen::GenerateStreamPolylines("streams", n, unit, stream_spec, 3);
+  const GeoDataset blocks = gen::GenerateBlockPolygons(
+      "blocks", n, unit, metros, 0.35, 0.004, 4);
+  const GeoDataset sites =
+      gen::GeneratePointSites("sites", n, unit, metros, 0.3, 5);
+  const GeoDataset roads =
+      gen::GenerateStreamPolylines("roads", n, unit, stream_spec, 6);
+
+  struct Workload {
+    const char* label;
+    const GeoDataset* a;
+    const GeoDataset* b;
+  };
+  TextTable table;
+  table.SetHeader({"join", "candidates (filter)", "results (refined)",
+                   "false hits", "GH est / candidates", "filter s",
+                   "refine s"});
+  for (const Workload w :
+       {Workload{"streams x blocks", &streams, &blocks},
+        Workload{"streams x roads", &streams, &roads},
+        Workload{"sites x blocks", &sites, &blocks}}) {
+    const RefinementJoinResult two_step = RefinementJoin(*w.a, *w.b);
+
+    const Dataset mbr_a = w.a->ToMbrDataset();
+    const Dataset mbr_b = w.b->ToMbrDataset();
+    Rect extent = mbr_a.ComputeExtent();
+    extent.Extend(mbr_b.ComputeExtent());
+    const auto ha = GhHistogram::Build(mbr_a, extent, 7);
+    const auto hb = GhHistogram::Build(mbr_b, extent, 7);
+    if (!ha.ok() || !hb.ok()) return 1;
+    const double est = EstimateGhJoinPairs(*ha, *hb).value_or(0);
+    const double ratio =
+        two_step.candidates > 0
+            ? est / static_cast<double>(two_step.candidates)
+            : 0.0;
+
+    table.AddRow({w.label, std::to_string(two_step.candidates),
+                  std::to_string(two_step.results),
+                  FormatPercent(two_step.FalseHitRatio()),
+                  FormatDouble(ratio, 3),
+                  FormatDouble(two_step.filter_seconds, 3),
+                  FormatDouble(two_step.refine_seconds, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: GH tracks the filter-step output (ratio ~1.0); the refined\n"
+      "result is smaller by the false-hit ratio, which depends on how badly\n"
+      "MBRs over-approximate the geometry (thin diagonal polylines are the\n"
+      "worst). Estimating post-refinement cardinality would need shape\n"
+      "statistics beyond any MBR histogram — the paper scopes this out, and\n"
+      "so do we.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E1 — Figure 6 (a-d): sampling techniques on the four evaluation pairs.
+// For every sample-size combination and sampling scheme, reports the
+// estimation error, Est. Time 1 (relative to build-R-trees-then-join) and
+// Est. Time 2 (relative to the join alone, R-trees available) — the same
+// rows the paper's bar charts plot.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/sampling.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+
+namespace {
+
+struct Combo {
+  double frac_a;
+  double frac_b;
+  const char* label;
+};
+
+// The x-axis of Figure 6 ("100" = the whole dataset is used).
+constexpr Combo kCombos[] = {
+    {0.001, 0.001, "0.1/0.1"}, {0.01, 0.01, "1/1"},   {0.1, 0.1, "10/10"},
+    {0.001, 1.0, "0.1/100"},   {1.0, 0.001, "100/0.1"},
+    {0.01, 1.0, "1/100"},      {1.0, 0.01, "100/1"},
+    {0.1, 1.0, "10/100"},      {1.0, 0.1, "100/10"},
+};
+
+constexpr sjsel::SamplingMethod kMethods[] = {
+    sjsel::SamplingMethod::kRandomWithReplacement,
+    sjsel::SamplingMethod::kRegular,
+    sjsel::SamplingMethod::kSorted,
+};
+
+}  // namespace
+
+int main() {
+  using namespace sjsel;
+  const double scale = gen::ExperimentScaleFromEnv(0.1);
+  bench::PrintHeader(
+      "Figure 6: sampling techniques (error / Est. Time 1 / Est. Time 2)",
+      scale);
+  bench::DatasetCache cache(scale);
+
+  int figure_index = 0;
+  const char* panel = "abcd";
+  for (const auto& pair : gen::Figure6Pairs()) {
+    const Dataset& a = cache.Get(pair.first);
+    const Dataset& b = cache.Get(pair.second);
+    const bench::PairBaseline baseline = bench::ComputeBaseline(a, b);
+    std::printf("--- Figure 6(%c): %s ---\n", panel[figure_index++],
+                pair.Label().c_str());
+    std::printf(
+        "actual join: %llu pairs; R-tree build %.3f s, R-tree join %.3f s\n",
+        static_cast<unsigned long long>(baseline.actual_pairs),
+        baseline.rtree_build_seconds, baseline.rtree_join_seconds);
+
+    // Est.Time 3 realizes the tech-report variant the paper cites in
+    // §4.3: samples AND their R-trees are prepared beforehand, so only the
+    // sample join is charged (relative to the full R-tree join).
+    TextTable table;
+    table.SetHeader(
+        {"combo", "method", "error", "Est.Time 1", "Est.Time 2",
+         "Est.Time 3"});
+    for (const Combo& combo : kCombos) {
+      for (const SamplingMethod method : kMethods) {
+        SamplingOptions options;
+        options.method = method;
+        options.frac_a = combo.frac_a;
+        options.frac_b = combo.frac_b;
+        options.seed = 11;
+        const auto est = EstimateBySampling(a, b, options);
+        if (!est.ok()) {
+          table.AddRow({combo.label, SamplingMethodName(method),
+                        est.status().ToString(), "-", "-"});
+          continue;
+        }
+        const double err =
+            RelativeError(est->estimated_pairs,
+                          static_cast<double>(baseline.actual_pairs));
+        table.AddRow(
+            {combo.label, SamplingMethodName(method), FormatPercent(err),
+             FormatPercent(est->TotalSeconds() /
+                           baseline.JoinWithBuildSeconds()),
+             FormatPercent(est->TotalSeconds() /
+                           baseline.rtree_join_seconds),
+             FormatPercent(est->join_seconds /
+                           baseline.rtree_join_seconds)});
+      }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Paper shape check: 10/10 sampling lands near/below ~10%% error with\n"
+      "Est. Time 1 around 10%%; one-sided 100/x combos cost far more under\n"
+      "Est. Time 1 without beating 10/10 accuracy; SS pays a sort for no\n"
+      "accuracy gain; Est. Time 2 makes sampling unattractive when R-trees\n"
+      "already exist — unless sample trees are also prebuilt (Est. Time 3\n"
+      "back under ~10%% for RSWR, the tech-report observation).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E2 — Figure 7 (a-d): histogram-based techniques on the four evaluation
+// pairs. For gridding levels 0..9 and both schemes (PH, GH), reports the
+// estimation error, estimation time (relative to the actual R-tree join),
+// histogram build time (relative to R-tree build) and space cost (relative
+// to the R-trees). PH at level 0 is the prior parametric model [2].
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/gh_histogram.h"
+#include "core/ph_histogram.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace sjsel;
+  const double scale = gen::ExperimentScaleFromEnv(0.1);
+  const int max_level = 9;
+  bench::PrintHeader(
+      "Figure 7: histogram techniques (error / est time / build time / "
+      "space)",
+      scale);
+  bench::DatasetCache cache(scale);
+
+  int figure_index = 0;
+  const char* panel = "abcd";
+  for (const auto& pair : gen::Figure7Pairs()) {
+    const Dataset& a = cache.Get(pair.first);
+    const Dataset& b = cache.Get(pair.second);
+    const bench::PairBaseline baseline = bench::ComputeBaseline(a, b);
+    const double actual = static_cast<double>(baseline.actual_pairs);
+    std::printf("--- Figure 7(%c): %s ---\n", panel[figure_index++],
+                pair.Label().c_str());
+    std::printf(
+        "actual join: %.0f pairs; R-tree build %.3f s, join %.3f s, "
+        "R-trees %.2f MiB\n",
+        actual, baseline.rtree_build_seconds, baseline.rtree_join_seconds,
+        baseline.rtree_bytes / (1024.0 * 1024.0));
+
+    TextTable table;
+    table.SetHeader({"level", "PH error", "GH error", "PH est t", "GH est t",
+                     "PH bld t", "GH bld t", "PH space", "GH space"});
+    for (int level = 0; level <= max_level; ++level) {
+      Timer ph_build_timer;
+      const auto pa = PhHistogram::Build(a, baseline.extent, level);
+      const auto pb = PhHistogram::Build(b, baseline.extent, level);
+      const double ph_build = ph_build_timer.ElapsedSeconds();
+      Timer gh_build_timer;
+      const auto ga = GhHistogram::Build(a, baseline.extent, level);
+      const auto gb = GhHistogram::Build(b, baseline.extent, level);
+      const double gh_build = gh_build_timer.ElapsedSeconds();
+      if (!pa.ok() || !pb.ok() || !ga.ok() || !gb.ok()) return 1;
+
+      Timer ph_est_timer;
+      const double ph_est = EstimatePhJoinPairs(*pa, *pb).value_or(0);
+      const double ph_est_seconds = ph_est_timer.ElapsedSeconds();
+      Timer gh_est_timer;
+      const double gh_est = EstimateGhJoinPairs(*ga, *gb).value_or(0);
+      const double gh_est_seconds = gh_est_timer.ElapsedSeconds();
+
+      const uint64_t ph_bytes = pa->NominalBytes() + pb->NominalBytes();
+      const uint64_t gh_bytes = ga->NominalBytes() + gb->NominalBytes();
+      table.AddRow(
+          {std::to_string(level), FormatPercent(RelativeError(ph_est, actual)),
+           FormatPercent(RelativeError(gh_est, actual)),
+           FormatPercent(ph_est_seconds / baseline.rtree_join_seconds),
+           FormatPercent(gh_est_seconds / baseline.rtree_join_seconds),
+           FormatPercent(ph_build / baseline.rtree_build_seconds),
+           FormatPercent(gh_build / baseline.rtree_build_seconds),
+           FormatPercent(static_cast<double>(ph_bytes) /
+                         static_cast<double>(baseline.rtree_bytes)),
+           FormatPercent(static_cast<double>(gh_bytes) /
+                         static_cast<double>(baseline.rtree_bytes))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf(
+      "Paper shape check: GH error decreases with level and is <5%% by\n"
+      "level ~7; PH error is U-shaped on clustered pairs (sweet spot near\n"
+      "level 5) because multiple counting grows with finer grids; level-0\n"
+      "PH (the prior parametric model) is poor on skewed pairs; both\n"
+      "schemes estimate in a tiny fraction of the join time; GH uses half\n"
+      "of PH's space at every level.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E3 — dataset & actual-join statistics (the table the paper delegates to
+// its technical report [1]): per dataset N, coverage, average extents; per
+// evaluation pair the exact join cardinality, selectivity, and the R-tree
+// build/join cost denominators used by Figures 6 and 7.
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "stats/dataset_stats.h"
+#include "stats/spatial_skew.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sjsel;
+  const double scale = gen::ExperimentScaleFromEnv(0.1);
+  bench::PrintHeader("Dataset and actual-join statistics (tech-report table)",
+                     scale);
+  bench::DatasetCache cache(scale);
+
+  const Rect unit(0, 0, 1, 1);
+  TextTable datasets;
+  datasets.SetHeader({"dataset", "N (scaled)", "N (paper)", "coverage",
+                      "avg width", "avg height", "skew (gini)"});
+  for (auto which :
+       {gen::PaperDataset::kTS, gen::PaperDataset::kTCB,
+        gen::PaperDataset::kCAS, gen::PaperDataset::kCAR,
+        gen::PaperDataset::kSP, gen::PaperDataset::kSPG,
+        gen::PaperDataset::kSCRC, gen::PaperDataset::kSURA}) {
+    const Dataset& ds = cache.Get(which);
+    const DatasetStats stats = DatasetStats::Compute(ds, unit);
+    const SkewStats skew = ComputeSkew(ds, 5);
+    datasets.AddRow({ds.name(), std::to_string(ds.size()),
+                     std::to_string(gen::PaperCardinality(which)),
+                     FormatPercent(stats.coverage),
+                     FormatDouble(stats.avg_width, 5),
+                     FormatDouble(stats.avg_height, 5),
+                     FormatDouble(skew.gini, 3)});
+  }
+  std::printf("%s\n", datasets.ToString().c_str());
+
+  TextTable joins;
+  joins.SetHeader({"join", "result pairs", "selectivity", "R-tree build s",
+                   "R-tree join s", "R-tree MiB"});
+  for (const auto& pair : gen::Figure6Pairs()) {
+    const Dataset& a = cache.Get(pair.first);
+    const Dataset& b = cache.Get(pair.second);
+    const bench::PairBaseline baseline = bench::ComputeBaseline(a, b);
+    const double selectivity =
+        static_cast<double>(baseline.actual_pairs) /
+        (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+    joins.AddRow({pair.Label(), std::to_string(baseline.actual_pairs),
+                  FormatDouble(selectivity, 4),
+                  FormatDouble(baseline.rtree_build_seconds, 3),
+                  FormatDouble(baseline.rtree_join_seconds, 3),
+                  FormatDouble(baseline.rtree_bytes / (1024.0 * 1024.0), 2)});
+  }
+  std::printf("%s\n", joins.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Dynamic maintenance: a live SDBMS keeps its histogram files in sync as
+// data churns, instead of rebuilding them nightly. GH statistics are plain
+// sums, so inserts and deletes are O(cells touched) updates — this demo
+// churns a dataset and shows the incrementally maintained estimate tracking
+// the exact join the whole way.
+
+#include <cstdio>
+
+#include "core/gh_histogram.h"
+#include "datagen/generators.h"
+#include "join/plane_sweep.h"
+#include "stats/dataset_stats.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sjsel;
+
+  const Rect extent(0, 0, 1, 1);
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.006, 0.006, 0.5};
+
+  // A static reference layer and a mutable working layer.
+  const Dataset reference = gen::GaussianClusterRects(
+      "reference", 20000, extent, {{0.45, 0.55}, 0.12, 0.12, 1.0}, size, 1);
+  Dataset working = gen::UniformRects("working", 20000, extent, size, 2);
+
+  const auto h_ref = GhHistogram::Build(reference, extent, 7);
+  auto h_work = GhHistogram::Build(working, extent, 7);
+  if (!h_ref.ok() || !h_work.ok()) return 1;
+
+  // Pre-generate a stream of new rectangles drifting toward the reference
+  // cluster, so the selectivity actually moves over time.
+  const Dataset incoming = gen::GaussianClusterRects(
+      "incoming", 40000, extent, {{0.45, 0.55}, 0.10, 0.10, 1.0}, size, 3);
+
+  std::printf("Churning the working layer: each round replaces 4000 uniform\n"
+              "rectangles with cluster-seeking ones, updating the histogram\n"
+              "incrementally (no rebuild).\n\n");
+
+  TextTable table;
+  table.SetHeader({"round", "estimated pairs", "exact pairs", "error"});
+  Rng rng(7);
+  size_t incoming_pos = 0;
+  for (int round = 0; round <= 8; ++round) {
+    if (round > 0) {
+      for (int i = 0; i < 4000; ++i) {
+        // Delete a random current rectangle...
+        const size_t victim = rng.NextU64(working.size());
+        h_work->RemoveRect(working[victim]);
+        working.mutable_rects()[victim] = incoming[incoming_pos];
+        // ...and insert the replacement.
+        h_work->AddRect(incoming[incoming_pos]);
+        ++incoming_pos;
+      }
+    }
+    const auto est = EstimateGhJoinPairs(*h_ref, *h_work);
+    if (!est.ok()) return 1;
+    const double exact =
+        static_cast<double>(PlaneSweepJoinCount(reference, working));
+    table.AddRow({std::to_string(round), FormatDouble(est.value(), 0),
+                  FormatDouble(exact, 0),
+                  FormatPercent(RelativeError(est.value(), exact))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The estimate follows the drifting join size without ever rebuilding\n"
+      "the histogram — the error stays at build-from-scratch levels.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Query-optimizer demo: the paper's motivating use-case. A three-way chain
+// spatial join is planned with GH-based selectivity estimates; the chosen
+// order is executed and compared against the naive registration order.
+
+#include <cstdio>
+
+#include "datagen/generators.h"
+#include "engine/catalog.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sjsel;
+
+  const Rect extent(0, 0, 1, 1);
+  Catalog catalog(extent, /*gh_level=*/7);
+
+  // Three layers of one metro area: parcels and roads overlap heavily;
+  // wetlands sit mostly outside the urban core, so any plan that joins
+  // wetlands early keeps intermediates small.
+  gen::SizeDist parcel_size{gen::SizeDist::Kind::kUniform, 0.004, 0.004, 0.5};
+  gen::SizeDist road_size{gen::SizeDist::Kind::kExponential, 0.006, 0.002, 0};
+  gen::SizeDist wetland_size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+
+  (void)catalog.AddDataset(gen::GaussianClusterRects(
+      "parcels", 30000, extent, {{0.35, 0.4}, 0.08, 0.08, 1.0}, parcel_size,
+      11));
+  (void)catalog.AddDataset(gen::GaussianClusterRects(
+      "roads", 30000, extent, {{0.37, 0.42}, 0.09, 0.09, 1.0}, road_size,
+      12));
+  (void)catalog.AddDataset(gen::GaussianClusterRects(
+      "wetlands", 20000, extent, {{0.62, 0.66}, 0.07, 0.07, 1.0},
+      wetland_size, 13));
+
+  std::printf("Query: parcels JOIN roads JOIN wetlands (chain intersects)\n\n");
+
+  const auto plan = PlanChainJoin(&catalog, {"parcels", "roads", "wetlands"});
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  const auto naive = CostChainOrder(&catalog,
+                                    {"parcels", "roads", "wetlands"});
+  if (!naive.ok()) return 1;
+
+  auto describe = [](const JoinPlan& p) {
+    std::string order;
+    for (size_t i = 0; i < p.order.size(); ++i) {
+      if (i > 0) order += " -> ";
+      order += p.order[i];
+    }
+    return order;
+  };
+
+  std::printf("optimizer plan : %s (est. cost %.0f rows)\n",
+              describe(*plan).c_str(), plan->estimated_cost);
+  std::printf("naive plan     : %s (est. cost %.0f rows)\n\n",
+              describe(*naive).c_str(), naive->estimated_cost);
+
+  TextTable table;
+  table.SetHeader({"plan", "est. step rows", "actual step rows",
+                   "tuples examined", "seconds"});
+  for (const auto* candidate : {&*plan, &*naive}) {
+    const auto result = ExecuteChainJoin(&catalog, candidate->order);
+    if (!result.ok()) {
+      std::fprintf(stderr, "execution failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::string est_steps;
+    std::string act_steps;
+    for (size_t i = 0; i < result->step_cardinalities.size(); ++i) {
+      if (i > 0) {
+        est_steps += ", ";
+        act_steps += ", ";
+      }
+      est_steps += FormatDouble(candidate->step_cardinalities[i], 0);
+      act_steps += std::to_string(result->step_cardinalities[i]);
+    }
+    table.AddRow({describe(*candidate), est_steps, act_steps,
+                  std::to_string(result->work),
+                  FormatDouble(result->seconds, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The optimizer order joins the sparse pair first, so the executor\n"
+      "touches far fewer intermediate tuples than the naive order.\n\n");
+
+  // --- Predicate-annotated chain: a within-distance edge. ----------------
+  std::printf(
+      "Query 2: parcels within 0.01 of a road, that road crossing a "
+      "wetland\n");
+  const std::vector<ChainStep> steps = {
+      {"parcels", ChainPredicate::kIntersects, 0.0},
+      {"roads", ChainPredicate::kWithinDistance, 0.01},
+      {"wetlands", ChainPredicate::kIntersects, 0.0}};
+  const auto step_plan = CostChainSteps(&catalog, steps);
+  const auto step_result = ExecuteChainSteps(&catalog, steps);
+  if (!step_plan.ok() || !step_result.ok()) {
+    std::fprintf(stderr, "chain-step query failed\n");
+    return 1;
+  }
+  std::printf("  estimated result : %.0f tuples\n",
+              step_plan->step_cardinalities.back());
+  std::printf("  actual result    : %llu tuples (%.3f s)\n",
+              static_cast<unsigned long long>(step_result->result_tuples),
+              step_result->seconds);
+  std::printf(
+      "  (The gap is the classic independence assumption: the planner\n"
+      "  multiplies per-edge selectivities, but the roads matched by\n"
+      "  parcels are exactly the ones far from the wetlands. Pairwise\n"
+      "  estimates are accurate; multi-way composition is future work —\n"
+      "  in 2001 and here.)\n");
+  return 0;
+}

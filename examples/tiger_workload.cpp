@@ -1,0 +1,89 @@
+// TIGER-style workload: the paper's motivating query — "find all the major
+// highways that cross a major river" — as a filter-step join between a
+// stream layer and a census-block layer, with every estimation technique in
+// the library compared side by side.
+//
+// Usage: tiger_workload [scale]   (default scale 0.05 of paper cardinality;
+//                                  also honours SJSEL_SCALE / SJSEL_FULL)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+#include "datagen/workloads.h"
+#include "join/plane_sweep.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace sjsel;
+
+  double scale = gen::ExperimentScaleFromEnv(0.05);
+  if (argc > 1) scale = std::atof(argv[1]);
+
+  std::printf("Generating TIGER-like layers at %.0f%% of paper size...\n",
+              scale * 100);
+  const Dataset streams =
+      gen::MakePaperDataset(gen::PaperDataset::kTS, scale, /*seed=*/7);
+  const Dataset blocks =
+      gen::MakePaperDataset(gen::PaperDataset::kTCB, scale, 7);
+  std::printf("  %s: %zu stream MBRs, %s: %zu census-block MBRs\n\n",
+              streams.name().c_str(), streams.size(), blocks.name().c_str(),
+              blocks.size());
+
+  Timer join_timer;
+  const uint64_t actual = PlaneSweepJoinCount(streams, blocks);
+  const double join_seconds = join_timer.ElapsedSeconds();
+  std::printf("Exact filter-step join: %llu pairs in %.3f s\n\n",
+              static_cast<unsigned long long>(actual), join_seconds);
+
+  SamplingOptions rswr;
+  rswr.method = SamplingMethod::kRandomWithReplacement;
+  rswr.frac_a = 0.1;
+  rswr.frac_b = 0.1;
+  SamplingOptions rs = rswr;
+  rs.method = SamplingMethod::kRegular;
+  SamplingOptions ss = rswr;
+  ss.method = SamplingMethod::kSorted;
+
+  std::vector<std::unique_ptr<SelectivityEstimator>> estimators;
+  estimators.push_back(MakeParametricEstimator());
+  estimators.push_back(MakePhEstimator(5));
+  estimators.push_back(MakeGhEstimator(7));
+  estimators.push_back(MakeMinSkewEstimator(1024));
+  estimators.push_back(MakeSamplingEstimator(rs));
+  estimators.push_back(MakeSamplingEstimator(rswr));
+  estimators.push_back(MakeSamplingEstimator(ss));
+
+  TextTable table;
+  // "est. time" follows the paper's Estimation Time metric: the cost of
+  // consulting prebuilt structures, relative to the actual join. For the
+  // sampling schemes the sample join IS the consult step; histogram/sample
+  // construction is the separate "prepare" column.
+  table.SetHeader({"technique", "est. pairs", "error", "prepare s",
+                   "estimate s", "est. time vs join"});
+  for (auto& estimator : estimators) {
+    const auto outcome = estimator->Estimate(streams, blocks);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", estimator->Name().c_str(),
+                   outcome.status().ToString().c_str());
+      continue;
+    }
+    const double err =
+        RelativeError(outcome->estimated_pairs, static_cast<double>(actual));
+    table.AddRow({estimator->Name(), FormatDouble(outcome->estimated_pairs, 0),
+                  FormatPercent(err), FormatDouble(outcome->prepare_seconds, 4),
+                  FormatDouble(outcome->estimate_seconds, 5),
+                  FormatPercent(outcome->estimate_seconds / join_seconds)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading the table: GH at level 7 should sit within a few percent of\n"
+      "the exact count at a tiny fraction of the join cost; the parametric\n"
+      "model mis-estimates because these layers are clustered, and sampling\n"
+      "pays its cost in sample-join time.\n");
+  return 0;
+}

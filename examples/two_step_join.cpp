@@ -1,0 +1,72 @@
+// The two-step spatial join of the paper's introduction, end to end: exact
+// geometry (stream polylines, census-block polygons) is abstracted by
+// MBRs, the filter step runs on the MBRs, the refinement step checks the
+// real shapes — and the GH estimate predicts the filter-step output before
+// any join runs.
+
+#include <cstdio>
+
+#include "core/gh_histogram.h"
+#include "datagen/geo_generators.h"
+#include "join/refinement.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sjsel;
+
+  const Rect extent(0, 0, 1, 1);
+  const std::vector<gen::Cluster> metros = {
+      {{0.3, 0.35}, 0.07, 0.07, 1.0},
+      {{0.65, 0.6}, 0.06, 0.06, 0.8},
+  };
+
+  gen::PolylineSpec streams_spec;
+  streams_spec.steps = 16;
+  streams_spec.step_len = 0.004;
+  streams_spec.start_clusters = metros;
+  streams_spec.background_frac = 0.4;
+
+  const GeoDataset streams =
+      gen::GenerateStreamPolylines("streams", 20000, extent, streams_spec, 1);
+  const GeoDataset blocks = gen::GenerateBlockPolygons(
+      "blocks", 20000, extent, metros, 0.35, 0.004, 2);
+  std::printf("query: which streams cross a census block?\n");
+  std::printf("  %zu stream polylines x %zu block polygons\n\n",
+              streams.size(), blocks.size());
+
+  // --- Step 0: predict the filter-step output from histograms alone. ----
+  const Dataset mbr_streams = streams.ToMbrDataset();
+  const Dataset mbr_blocks = blocks.ToMbrDataset();
+  Rect joint = mbr_streams.ComputeExtent();
+  joint.Extend(mbr_blocks.ComputeExtent());
+  const auto h1 = GhHistogram::Build(mbr_streams, joint, 7);
+  const auto h2 = GhHistogram::Build(mbr_blocks, joint, 7);
+  if (!h1.ok() || !h2.ok()) return 1;
+  const double predicted = EstimateGhJoinPairs(*h1, *h2).value_or(0);
+  std::printf("step 0  GH estimate of filter output : ~%.0f candidate pairs\n",
+              predicted);
+
+  // --- Steps 1+2: run the join. -----------------------------------------
+  const RefinementJoinResult result = RefinementJoin(streams, blocks);
+  std::printf("step 1  filter (MBR plane sweep)     : %llu candidates "
+              "(%.3f s)\n",
+              static_cast<unsigned long long>(result.candidates),
+              result.filter_seconds);
+  std::printf("step 2  refinement (exact geometry)  : %llu real "
+              "intersections (%.3f s)\n\n",
+              static_cast<unsigned long long>(result.results),
+              result.refine_seconds);
+
+  std::printf("estimate vs filter output : %.2f%% error\n",
+              100.0 * RelativeError(predicted,
+                                    static_cast<double>(result.candidates)));
+  std::printf("false-hit ratio           : %.1f%% of candidates were MBR-"
+              "only\n",
+              100.0 * result.FalseHitRatio());
+  std::printf(
+      "\nTakeaway: the estimator prices the filter step (what the optimizer\n"
+      "schedules); the refinement step then pays per candidate — which is\n"
+      "why an accurate filter-step estimate is what query planning needs.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of EXPERIMENTS.md into results/.
+#
+# Usage:
+#   scripts/run_experiments.sh [build_dir] [results_dir]
+# Environment:
+#   SJSEL_SCALE=<0..1> | SJSEL_FULL=1   dataset scale (default 0.1)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+
+for bench in "$BUILD_DIR"/bench/*; do
+  [[ -f "$bench" && -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  "$bench" | tee "$RESULTS_DIR/$name.txt"
+done
+
+echo
+echo "results written to $RESULTS_DIR/"

@@ -1,0 +1,581 @@
+#include "cli/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "core/gh_histogram.h"
+#include "core/minskew.h"
+#include "core/ph_histogram.h"
+#include "core/sampling.h"
+#include "datagen/generators.h"
+#include "datagen/geo_generators.h"
+#include "datagen/workloads.h"
+#include "geom/dataset.h"
+#include "join/nested_loop.h"
+#include "join/pbsm.h"
+#include "join/plane_sweep.h"
+#include "join/refinement.h"
+#include "join/rtree_join.h"
+#include "quadtree/quadtree.h"
+#include "rtree/rtree.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+
+namespace sjsel {
+namespace cli {
+namespace {
+
+// Positional arguments plus --key=value flags.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string Flag(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double FlagDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int FlagInt(const std::string& key, int fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+ParsedArgs Parse(const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        parsed.flags[arg.substr(2)] = "1";
+      } else {
+        parsed.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      parsed.positional.push_back(arg);
+    }
+  }
+  return parsed;
+}
+
+int Usage(std::FILE* err) {
+  std::fprintf(err,
+               "usage: sjsel <command> [args]\n"
+               "\n"
+               "commands:\n"
+               "  gen <spec> <out.ds> [--scale=0.1] [--seed=1]\n"
+               "      spec: TS|TCB|CAS|CAR|SP|SPG|SCRC|SURA or uniform:N or"
+               " clustered:N\n"
+               "  stats <in.ds>\n"
+               "  hist-build <in.ds> <out.hist> [--scheme=gh|ph|minskew]"
+               " [--level=7] [--extent=x0,y0,x1,y1] [--basic|--naive]\n"
+               "  hist-info <in.hist>\n"
+               "  estimate <a.hist> <b.hist>\n"
+               "  range <a.hist> <x0,y0,x1,y1>\n"
+               "  join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]\n"
+               "  sample <a.ds> <b.ds> [--method=rs|rswr|ss] [--fa=0.1]"
+               " [--fb=0.1] [--seed=1]\n"
+               "  gen-geo <streams|blocks|sites> <out.geo> [--n=10000]"
+               " [--seed=1]\n"
+               "  refine-join <a.geo> <b.geo>\n"
+               "  knn <in.ds> <x,y> [--k=5]\n");
+  return 2;
+}
+
+std::optional<Rect> ParseRect(const std::string& spec) {
+  Rect r;
+  if (std::sscanf(spec.c_str(), "%lf,%lf,%lf,%lf", &r.min_x, &r.min_y,
+                  &r.max_x, &r.max_y) != 4) {
+    return std::nullopt;
+  }
+  if (r.IsEmpty()) return std::nullopt;
+  return r;
+}
+
+std::optional<gen::PaperDataset> PaperDatasetByName(const std::string& name) {
+  for (auto which :
+       {gen::PaperDataset::kTS, gen::PaperDataset::kTCB,
+        gen::PaperDataset::kCAS, gen::PaperDataset::kCAR,
+        gen::PaperDataset::kSP, gen::PaperDataset::kSPG,
+        gen::PaperDataset::kSCRC, gen::PaperDataset::kSURA}) {
+    if (gen::PaperDatasetName(which) == name) return which;
+  }
+  return std::nullopt;
+}
+
+int CmdGen(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const std::string& spec = args.positional[1];
+  const std::string& path = args.positional[2];
+  const uint64_t seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
+  const Rect unit(0, 0, 1, 1);
+
+  Dataset ds;
+  if (const auto paper = PaperDatasetByName(spec); paper.has_value()) {
+    ds = gen::MakePaperDataset(*paper, args.FlagDouble("scale", 0.1), seed);
+  } else if (spec.rfind("uniform:", 0) == 0) {
+    const size_t n = std::strtoull(spec.c_str() + 8, nullptr, 10);
+    gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.005, 0.005, 0.5};
+    ds = gen::UniformRects("uniform", n, unit, size, seed);
+  } else if (spec.rfind("clustered:", 0) == 0) {
+    const size_t n = std::strtoull(spec.c_str() + 10, nullptr, 10);
+    gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.005, 0.005, 0.5};
+    ds = gen::GaussianClusterRects("clustered", n, unit,
+                                   {{0.4, 0.7}, 0.1, 0.1, 1.0}, size, seed);
+  } else {
+    std::fprintf(err, "unknown dataset spec: %s\n", spec.c_str());
+    return 2;
+  }
+  const Status status = ds.Save(path);
+  if (!status.ok()) {
+    std::fprintf(err, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "wrote %zu rectangles (%s) to %s\n", ds.size(),
+               ds.name().c_str(), path.c_str());
+  return 0;
+}
+
+int CmdGenGeo(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const std::string& kind = args.positional[1];
+  const std::string& path = args.positional[2];
+  const size_t n = static_cast<size_t>(args.FlagInt("n", 10000));
+  const uint64_t seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
+  const Rect unit(0, 0, 1, 1);
+  const std::vector<gen::Cluster> metros = {
+      {{0.3, 0.35}, 0.07, 0.07, 1.0}, {{0.65, 0.6}, 0.06, 0.06, 0.8}};
+
+  GeoDataset ds;
+  if (kind == "streams") {
+    gen::PolylineSpec spec;
+    spec.steps = 16;
+    spec.step_len = 0.004;
+    spec.start_clusters = metros;
+    spec.background_frac = 0.4;
+    ds = gen::GenerateStreamPolylines("streams", n, unit, spec, seed);
+  } else if (kind == "blocks") {
+    ds = gen::GenerateBlockPolygons("blocks", n, unit, metros, 0.35, 0.004,
+                                    seed);
+  } else if (kind == "sites") {
+    ds = gen::GeneratePointSites("sites", n, unit, metros, 0.3, seed);
+  } else {
+    std::fprintf(err, "unknown geometry kind: %s (want streams|blocks|sites)\n",
+                 kind.c_str());
+    return 2;
+  }
+  const Status status = ds.Save(path);
+  if (!status.ok()) {
+    std::fprintf(err, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "wrote %zu %s geometries to %s\n", ds.size(),
+               kind.c_str(), path.c_str());
+  return 0;
+}
+
+int CmdRefineJoin(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const auto a = GeoDataset::Load(args.positional[1]);
+  const auto b = GeoDataset::Load(args.positional[2]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(err, "%s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 1;
+  }
+  const RefinementJoinResult result = RefinementJoin(*a, *b);
+  std::fprintf(out, "candidates (filter) : %llu (%.3f s)\n",
+               static_cast<unsigned long long>(result.candidates),
+               result.filter_seconds);
+  std::fprintf(out, "results (refined)   : %llu (%.3f s)\n",
+               static_cast<unsigned long long>(result.results),
+               result.refine_seconds);
+  std::fprintf(out, "false-hit ratio     : %s\n",
+               FormatPercent(result.FalseHitRatio()).c_str());
+  return 0;
+}
+
+int CmdKnn(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const auto ds = Dataset::Load(args.positional[1]);
+  if (!ds.ok()) {
+    std::fprintf(err, "load failed: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  Point query;
+  if (std::sscanf(args.positional[2].c_str(), "%lf,%lf", &query.x,
+                  &query.y) != 2) {
+    std::fprintf(err, "bad query point (want x,y)\n");
+    return 2;
+  }
+  const int k = args.FlagInt("k", 5);
+  const RTree tree = RTree::BulkLoadStr(RTree::DatasetEntries(*ds));
+  const auto neighbors = tree.NearestNeighbors(query, k);
+  std::fprintf(out, "%zu nearest of %zu rectangles to (%g, %g):\n",
+               neighbors.size(), ds->size(), query.x, query.y);
+  for (const auto& n : neighbors) {
+    std::fprintf(out, "  id %lld  dist %s  %s\n",
+                 static_cast<long long>(n.id),
+                 FormatDouble(n.distance, 5).c_str(),
+                 n.rect.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdStats(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 2) return Usage(err);
+  const auto ds = Dataset::Load(args.positional[1]);
+  if (!ds.ok()) {
+    std::fprintf(err, "load failed: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const Rect extent = ds->ComputeExtent();
+  const DatasetStats stats = DatasetStats::Compute(*ds, extent);
+  std::fprintf(out, "name        : %s\n", ds->name().c_str());
+  std::fprintf(out, "rectangles  : %zu\n", ds->size());
+  std::fprintf(out, "extent      : %s\n", extent.ToString().c_str());
+  std::fprintf(out, "coverage    : %s\n",
+               FormatPercent(stats.coverage).c_str());
+  std::fprintf(out, "avg width   : %s\n",
+               FormatDouble(stats.avg_width, 6).c_str());
+  std::fprintf(out, "avg height  : %s\n",
+               FormatDouble(stats.avg_height, 6).c_str());
+  std::fprintf(out, "max width   : %s\n",
+               FormatDouble(stats.max_width, 6).c_str());
+  std::fprintf(out, "max height  : %s\n",
+               FormatDouble(stats.max_height, 6).c_str());
+  return 0;
+}
+
+int CmdHistBuild(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const auto ds = Dataset::Load(args.positional[1]);
+  if (!ds.ok()) {
+    std::fprintf(err, "load failed: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const int level = args.FlagInt("level", 7);
+  Rect extent = ds->ComputeExtent();
+  if (args.Has("extent")) {
+    const auto parsed = ParseRect(args.Flag("extent", ""));
+    if (!parsed.has_value()) {
+      std::fprintf(err, "bad --extent (want x0,y0,x1,y1)\n");
+      return 2;
+    }
+    extent = *parsed;
+  }
+  const std::string scheme = args.Flag("scheme", "gh");
+  Status status;
+  if (scheme == "gh") {
+    const GhVariant variant =
+        args.Has("basic") ? GhVariant::kBasic : GhVariant::kRevised;
+    const auto hist = GhHistogram::Build(*ds, extent, level, variant);
+    if (!hist.ok()) {
+      std::fprintf(err, "build failed: %s\n",
+                   hist.status().ToString().c_str());
+      return 1;
+    }
+    const auto format = args.Has("sparse") ? GhHistogram::FileFormat::kSparse
+                                           : GhHistogram::FileFormat::kDense;
+    status = hist->Save(args.positional[2], format);
+  } else if (scheme == "ph") {
+    const PhVariant variant =
+        args.Has("naive") ? PhVariant::kNaive : PhVariant::kSplitCrossing;
+    const auto hist = PhHistogram::Build(*ds, extent, level, variant);
+    if (!hist.ok()) {
+      std::fprintf(err, "build failed: %s\n",
+                   hist.status().ToString().c_str());
+      return 1;
+    }
+    status = hist->Save(args.positional[2]);
+  } else if (scheme == "minskew") {
+    const int buckets = args.FlagInt("buckets", 256);
+    const auto hist = MinSkewHistogram::Build(*ds, extent, buckets);
+    if (!hist.ok()) {
+      std::fprintf(err, "build failed: %s\n",
+                   hist.status().ToString().c_str());
+      return 1;
+    }
+    status = hist->Save(args.positional[2]);
+  } else {
+    std::fprintf(err, "unknown --scheme: %s\n", scheme.c_str());
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(err, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "built %s histogram (level %d) for %zu rects -> %s\n",
+               scheme.c_str(), level, ds->size(),
+               args.positional[2].c_str());
+  return 0;
+}
+
+// Loads a histogram file of any scheme, reporting which one matched.
+struct AnyHistogram {
+  std::optional<GhHistogram> gh;
+  std::optional<PhHistogram> ph;
+  std::optional<MinSkewHistogram> minskew;
+};
+
+Result<AnyHistogram> LoadAnyHistogram(const std::string& path) {
+  AnyHistogram any;
+  auto gh = GhHistogram::Load(path);
+  if (gh.ok()) {
+    any.gh = std::move(gh).value();
+    return any;
+  }
+  auto ph = PhHistogram::Load(path);
+  if (ph.ok()) {
+    any.ph = std::move(ph).value();
+    return any;
+  }
+  auto minskew = MinSkewHistogram::Load(path);
+  if (minskew.ok()) {
+    any.minskew = std::move(minskew).value();
+    return any;
+  }
+  return Status::Corruption(path + " is not a GH, PH or MinSkew histogram (" +
+                            gh.status().message() + ")");
+}
+
+int CmdHistInfo(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 2) return Usage(err);
+  const auto any = LoadAnyHistogram(args.positional[1]);
+  if (!any.ok()) {
+    std::fprintf(err, "%s\n", any.status().ToString().c_str());
+    return 1;
+  }
+  if (any->gh.has_value()) {
+    const GhHistogram& hist = *any->gh;
+    std::fprintf(out, "scheme   : GH (%s)\n",
+                 hist.variant() == GhVariant::kBasic ? "basic" : "revised");
+    std::fprintf(out, "dataset  : %s (%llu rects)\n",
+                 hist.dataset_name().c_str(),
+                 static_cast<unsigned long long>(hist.dataset_size()));
+    std::fprintf(out, "level    : %d (%lld cells)\n", hist.grid().level(),
+                 static_cast<long long>(hist.grid().num_cells()));
+    std::fprintf(out, "extent   : %s\n",
+                 hist.grid().extent().ToString().c_str());
+    std::fprintf(out, "size     : %llu bytes\n",
+                 static_cast<unsigned long long>(hist.NominalBytes()));
+  } else if (any->minskew.has_value()) {
+    const MinSkewHistogram& hist = *any->minskew;
+    std::fprintf(out, "scheme   : MinSkew\n");
+    std::fprintf(out, "dataset  : %s (%llu rects)\n",
+                 hist.dataset_name().c_str(),
+                 static_cast<unsigned long long>(hist.dataset_size()));
+    std::fprintf(out, "buckets  : %zu\n", hist.buckets().size());
+    std::fprintf(out, "extent   : %s\n", hist.extent().ToString().c_str());
+    std::fprintf(out, "size     : %llu bytes\n",
+                 static_cast<unsigned long long>(hist.NominalBytes()));
+  } else {
+    const PhHistogram& hist = *any->ph;
+    std::fprintf(out, "scheme   : PH (%s)\n",
+                 hist.variant() == PhVariant::kNaive ? "naive" : "split");
+    std::fprintf(out, "dataset  : %s (%llu rects)\n",
+                 hist.dataset_name().c_str(),
+                 static_cast<unsigned long long>(hist.dataset_size()));
+    std::fprintf(out, "level    : %d (%lld cells)\n", hist.grid().level(),
+                 static_cast<long long>(hist.grid().num_cells()));
+    std::fprintf(out, "extent   : %s\n",
+                 hist.grid().extent().ToString().c_str());
+    std::fprintf(out, "avg span : %s\n",
+                 FormatDouble(hist.avg_span(), 3).c_str());
+    std::fprintf(out, "size     : %llu bytes\n",
+                 static_cast<unsigned long long>(hist.NominalBytes()));
+  }
+  return 0;
+}
+
+int CmdEstimate(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const auto a = LoadAnyHistogram(args.positional[1]);
+  const auto b = LoadAnyHistogram(args.positional[2]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(err, "%s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 1;
+  }
+  Result<double> pairs = Status::InvalidArgument(
+      "histogram files use different schemes");
+  uint64_t n1 = 0;
+  uint64_t n2 = 0;
+  if (a->gh.has_value() && b->gh.has_value()) {
+    pairs = EstimateGhJoinPairs(*a->gh, *b->gh);
+    n1 = a->gh->dataset_size();
+    n2 = b->gh->dataset_size();
+  } else if (a->ph.has_value() && b->ph.has_value()) {
+    pairs = EstimatePhJoinPairs(*a->ph, *b->ph);
+    n1 = a->ph->dataset_size();
+    n2 = b->ph->dataset_size();
+  } else if (a->minskew.has_value() && b->minskew.has_value()) {
+    pairs = EstimateMinSkewJoinPairs(*a->minskew, *b->minskew);
+    n1 = a->minskew->dataset_size();
+    n2 = b->minskew->dataset_size();
+  }
+  if (!pairs.ok()) {
+    std::fprintf(err, "%s\n", pairs.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "estimated pairs      : %s\n",
+               FormatDouble(pairs.value(), 1).c_str());
+  if (n1 > 0 && n2 > 0) {
+    std::fprintf(out, "estimated selectivity: %s\n",
+                 FormatDouble(pairs.value() / (static_cast<double>(n1) *
+                                               static_cast<double>(n2)),
+                              6)
+                     .c_str());
+  }
+  return 0;
+}
+
+int CmdRange(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const auto any = LoadAnyHistogram(args.positional[1]);
+  if (!any.ok()) {
+    std::fprintf(err, "%s\n", any.status().ToString().c_str());
+    return 1;
+  }
+  if (!any->gh.has_value()) {
+    std::fprintf(err, "range estimation needs a GH histogram\n");
+    return 2;
+  }
+  const auto query = ParseRect(args.positional[2]);
+  if (!query.has_value()) {
+    std::fprintf(err, "bad query rect (want x0,y0,x1,y1)\n");
+    return 2;
+  }
+  std::fprintf(out, "estimated matches: %s\n",
+               FormatDouble(EstimateGhRangeCount(*any->gh, *query), 1)
+                   .c_str());
+  return 0;
+}
+
+int CmdJoin(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const auto a = Dataset::Load(args.positional[1]);
+  const auto b = Dataset::Load(args.positional[2]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(err, "%s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 1;
+  }
+  const std::string algo = args.Flag("algo", "sweep");
+  uint64_t count = 0;
+  if (algo == "sweep") {
+    count = PlaneSweepJoinCount(*a, *b);
+  } else if (algo == "pbsm") {
+    count = PbsmJoinCount(*a, *b);
+  } else if (algo == "rtree") {
+    const RTree ta = RTree::BulkLoadStr(RTree::DatasetEntries(*a));
+    const RTree tb = RTree::BulkLoadStr(RTree::DatasetEntries(*b));
+    count = RTreeJoinCount(ta, tb);
+  } else if (algo == "quadtree") {
+    Rect extent = a->ComputeExtent();
+    extent.Extend(b->ComputeExtent());
+    Quadtree ta(extent);
+    Quadtree tb(extent);
+    for (size_t i = 0; i < a->size(); ++i) {
+      ta.Insert((*a)[i], static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < b->size(); ++i) {
+      tb.Insert((*b)[i], static_cast<int64_t>(i));
+    }
+    const auto result = QuadtreeJoinCount(ta, tb);
+    if (!result.ok()) {
+      std::fprintf(err, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    count = result.value();
+  } else if (algo == "nested") {
+    count = NestedLoopJoinCount(*a, *b);
+  } else {
+    std::fprintf(err, "unknown --algo: %s\n", algo.c_str());
+    return 2;
+  }
+  const double selectivity =
+      a->empty() || b->empty()
+          ? 0.0
+          : static_cast<double>(count) / (static_cast<double>(a->size()) *
+                                          static_cast<double>(b->size()));
+  std::fprintf(out, "pairs      : %llu\n",
+               static_cast<unsigned long long>(count));
+  std::fprintf(out, "selectivity: %s\n",
+               FormatDouble(selectivity, 6).c_str());
+  return 0;
+}
+
+int CmdSample(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const auto a = Dataset::Load(args.positional[1]);
+  const auto b = Dataset::Load(args.positional[2]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(err, "%s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 1;
+  }
+  SamplingOptions options;
+  const std::string method = args.Flag("method", "rswr");
+  if (method == "rs") {
+    options.method = SamplingMethod::kRegular;
+  } else if (method == "rswr") {
+    options.method = SamplingMethod::kRandomWithReplacement;
+  } else if (method == "ss") {
+    options.method = SamplingMethod::kSorted;
+  } else {
+    std::fprintf(err, "unknown --method: %s\n", method.c_str());
+    return 2;
+  }
+  options.frac_a = args.FlagDouble("fa", 0.1);
+  options.frac_b = args.FlagDouble("fb", 0.1);
+  options.seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
+  const auto est = EstimateBySampling(*a, *b, options);
+  if (!est.ok()) {
+    std::fprintf(err, "%s\n", est.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "samples              : %zu x %zu\n", est->sample_a_size,
+               est->sample_b_size);
+  std::fprintf(out, "sample join pairs    : %llu\n",
+               static_cast<unsigned long long>(est->sample_pairs));
+  std::fprintf(out, "estimated pairs      : %s\n",
+               FormatDouble(est->estimated_pairs, 1).c_str());
+  std::fprintf(out, "estimated selectivity: %s\n",
+               FormatDouble(est->selectivity, 6).c_str());
+  std::fprintf(out, "time (select/build/join): %.4f / %.4f / %.4f s\n",
+               est->select_seconds, est->build_seconds, est->join_seconds);
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::FILE* out,
+           std::FILE* err) {
+  if (args.empty()) return Usage(err);
+  const ParsedArgs parsed = Parse(args);
+  if (parsed.positional.empty()) return Usage(err);
+  const std::string& command = parsed.positional[0];
+  if (command == "gen") return CmdGen(parsed, out, err);
+  if (command == "gen-geo") return CmdGenGeo(parsed, out, err);
+  if (command == "refine-join") return CmdRefineJoin(parsed, out, err);
+  if (command == "knn") return CmdKnn(parsed, out, err);
+  if (command == "stats") return CmdStats(parsed, out, err);
+  if (command == "hist-build") return CmdHistBuild(parsed, out, err);
+  if (command == "hist-info") return CmdHistInfo(parsed, out, err);
+  if (command == "estimate") return CmdEstimate(parsed, out, err);
+  if (command == "range") return CmdRange(parsed, out, err);
+  if (command == "join") return CmdJoin(parsed, out, err);
+  if (command == "sample") return CmdSample(parsed, out, err);
+  std::fprintf(err, "unknown command: %s\n", command.c_str());
+  return Usage(err);
+}
+
+}  // namespace cli
+}  // namespace sjsel

@@ -1,0 +1,37 @@
+#ifndef SJSEL_CLI_CLI_H_
+#define SJSEL_CLI_CLI_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sjsel {
+namespace cli {
+
+/// Entry point of the `sjsel` command-line tool, factored out of main() so
+/// tests can drive it in-process. `args` excludes the program name.
+/// Returns a process exit code (0 on success).
+///
+/// Subcommands:
+///   gen <spec> <out.ds>        generate a dataset (paper name or
+///                              uniform:N / clustered:N)
+///   stats <in.ds>              dataset statistics
+///   hist-build <in.ds> <out.hist> [--scheme=gh|ph|minskew] [--level=7] [--sparse]
+///                              [--extent=x0,y0,x1,y1] [--basic] [--naive]
+///   hist-info <in.hist>        histogram file metadata
+///   estimate <a.hist> <b.hist> join selectivity estimate from two
+///                              histogram files (GH or PH, auto-detected)
+///   range <a.hist> <x0,y0,x1,y1>
+///                              estimated range-query result count (GH)
+///   join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]
+///                              exact filter-step join count
+///   sample <a.ds> <b.ds> [--method=rs|rswr|ss] [--fa=0.1] [--fb=0.1]
+///                              [--seed=1]
+///                              sampling-based selectivity estimate
+int RunCli(const std::vector<std::string>& args, std::FILE* out,
+           std::FILE* err);
+
+}  // namespace cli
+}  // namespace sjsel
+
+#endif  // SJSEL_CLI_CLI_H_

@@ -1,0 +1,12 @@
+// The `sjsel` command-line tool: dataset generation, statistics, histogram
+// files, selectivity estimation, exact joins and sampling from the shell.
+
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return sjsel::cli::RunCli(args, stdout, stderr);
+}

@@ -1,0 +1,92 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/parametric.h"
+#include "stats/dataset_stats.h"
+
+namespace sjsel {
+namespace {
+
+// Aggregate MBR statistics of one tree level (counted from leaves = 0).
+struct LevelStats {
+  size_t n = 0;
+  double sum_w = 0.0;
+  double sum_h = 0.0;
+  double sum_area = 0.0;
+};
+
+void CollectLevelStats(const RTree::Node& node,
+                       std::vector<LevelStats>* levels) {
+  LevelStats& level = (*levels)[node.level];
+  const Rect mbr = node.ComputeMbr();
+  ++level.n;
+  if (!mbr.IsEmpty()) {
+    level.sum_w += mbr.width();
+    level.sum_h += mbr.height();
+    level.sum_area += mbr.area();
+  }
+  for (const auto& child : node.children) {
+    CollectLevelStats(*child, levels);
+  }
+}
+
+DatasetStats ToDatasetStats(const LevelStats& level, const Rect& extent) {
+  DatasetStats stats;
+  stats.n = level.n;
+  stats.extent = extent;
+  stats.extent_area = extent.area();
+  if (level.n > 0) {
+    stats.avg_width = level.sum_w / static_cast<double>(level.n);
+    stats.avg_height = level.sum_h / static_cast<double>(level.n);
+    stats.total_area = level.sum_area;
+    stats.coverage =
+        stats.extent_area > 0 ? level.sum_area / stats.extent_area : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace
+
+JoinCostPrediction PredictRTreeJoinCost(const RTree& a, const RTree& b) {
+  JoinCostPrediction prediction;
+  if (a.size() == 0 || b.size() == 0) return prediction;
+
+  const Rect mbr_a = a.root()->ComputeMbr();
+  const Rect mbr_b = b.root()->ComputeMbr();
+  if (!mbr_a.Intersects(mbr_b)) return prediction;
+  Rect extent = mbr_a;
+  extent.Extend(mbr_b);
+  if (extent.area() <= 0.0) return prediction;
+
+  std::vector<LevelStats> levels_a(a.height());
+  std::vector<LevelStats> levels_b(b.height());
+  CollectLevelStats(*a.root(), &levels_a);
+  CollectLevelStats(*b.root(), &levels_b);
+
+  // The synchronized traversal aligns the two trees at the leaves; above
+  // the shorter tree's root, its root population stands in.
+  const int max_height = std::max(a.height(), b.height());
+  for (int level = 0; level < max_height; ++level) {
+    const LevelStats& la =
+        levels_a[std::min(level, a.height() - 1)];
+    const LevelStats& lb =
+        levels_b[std::min(level, b.height() - 1)];
+    const double expected_pairs = ParametricJoinPairs(
+        ToDatasetStats(la, extent), ToDatasetStats(lb, extent));
+    // The pair count cannot exceed the cross product of the populations.
+    const double capped = std::min(
+        expected_pairs, static_cast<double>(la.n) * static_cast<double>(lb.n));
+    if (level == 0) {
+      prediction.leaf_pairs = capped;
+    } else {
+      prediction.internal_pairs += capped;
+    }
+  }
+  prediction.node_accesses =
+      2.0 * (prediction.leaf_pairs + prediction.internal_pairs);
+  return prediction;
+}
+
+}  // namespace sjsel

@@ -1,0 +1,35 @@
+#ifndef SJSEL_CORE_COST_MODEL_H_
+#define SJSEL_CORE_COST_MODEL_H_
+
+#include "rtree/rtree.h"
+
+namespace sjsel {
+
+/// Analytic prediction of the work a synchronized-traversal R-tree join
+/// will do — the I/O-cost line of work (Huang et al. [12], Theodoridis et
+/// al. [25]) the paper positions itself against. Complements selectivity
+/// estimation: selectivity predicts the *output*, this predicts the
+/// *effort*.
+///
+/// The model applies the Aref–Samet expected-intersections formula
+/// (Equation 1) to the node-MBR populations of each tree level: the
+/// expected number of level-ℓ node pairs with intersecting MBRs
+/// approximates the node-pair visits the traversal performs at that depth.
+/// Like its ancestors it assumes per-level uniformity, so it is accurate
+/// on uniform data and degrades gracefully with skew.
+struct JoinCostPrediction {
+  /// Expected leaf/leaf node pairs compared (the dominant CPU term).
+  double leaf_pairs = 0.0;
+  /// Expected internal node pairs expanded.
+  double internal_pairs = 0.0;
+  /// Expected node accesses: 2 reads per visited pair (both trees).
+  double node_accesses = 0.0;
+};
+
+/// Predicts the traversal work of RTreeJoinCount(a, b). Empty trees or
+/// disjoint root MBRs predict zero cost.
+JoinCostPrediction PredictRTreeJoinCost(const RTree& a, const RTree& b);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_CORE_COST_MODEL_H_

@@ -1,0 +1,26 @@
+#include "core/distance_estimate.h"
+
+#include "join/distance_join.h"
+
+namespace sjsel {
+
+Result<GhHistogram> BuildExpandedGhHistogram(const Dataset& ds,
+                                             const Rect& extent, int level,
+                                             double margin) {
+  return GhHistogram::Build(ExpandMbrs(ds, margin), extent, level);
+}
+
+Result<double> EstimateWithinDistancePairs(const Dataset& a, const Dataset& b,
+                                           double eps, int level) {
+  if (eps < 0.0) return 0.0;
+  const Dataset expanded = ExpandMbrs(a, eps);
+  Rect extent = expanded.ComputeExtent();
+  extent.Extend(b.ComputeExtent());
+  const auto ha = GhHistogram::Build(expanded, extent, level);
+  if (!ha.ok()) return ha.status();
+  const auto hb = GhHistogram::Build(b, extent, level);
+  if (!hb.ok()) return hb.status();
+  return EstimateGhJoinPairs(*ha, *hb);
+}
+
+}  // namespace sjsel

@@ -1,0 +1,31 @@
+#ifndef SJSEL_CORE_DISTANCE_ESTIMATE_H_
+#define SJSEL_CORE_DISTANCE_ESTIMATE_H_
+
+#include "core/gh_histogram.h"
+#include "geom/dataset.h"
+#include "util/result.h"
+
+namespace sjsel {
+
+/// Selectivity estimation for the within-distance (epsilon) join — the
+/// second most common spatial-join predicate after intersection. Uses the
+/// standard reduction: MBRs are within Chebyshev distance eps iff one side
+/// expanded by eps intersects the other, so the estimate is a plain GH
+/// estimate with the first input's histogram built over expanded MBRs.
+///
+/// Returns the estimated number of pairs (a, b) with
+/// DistanceLInf(a, b) <= eps.
+Result<double> EstimateWithinDistancePairs(const Dataset& a, const Dataset& b,
+                                           double eps, int level);
+
+/// Builds the reusable ingredient of the above: the GH histogram of `ds`
+/// with every MBR grown by `margin`, over `extent` (which must already
+/// account for the growth). A deployment keeps one such histogram per
+/// common epsilon.
+Result<GhHistogram> BuildExpandedGhHistogram(const Dataset& ds,
+                                             const Rect& extent, int level,
+                                             double margin);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_CORE_DISTANCE_ESTIMATE_H_

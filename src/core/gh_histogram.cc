@@ -1,0 +1,495 @@
+#include "core/gh_histogram.h"
+
+#include <algorithm>
+
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace {
+
+constexpr uint32_t kGhMagic = 0x53474847;  // "SGHG"
+constexpr uint32_t kGhVersion = 2;
+
+// Length of [lo, hi] ∩ [cell_lo, cell_hi], never negative.
+double OverlapLen(double lo, double hi, double cell_lo, double cell_hi) {
+  return std::max(0.0, std::min(hi, cell_hi) - std::max(lo, cell_lo));
+}
+
+}  // namespace
+
+namespace {
+
+// Folds one MBR's GH contributions into the four per-cell arrays with the
+// given weight (+1 to add, -1 to remove). Shared by Build, AddRect,
+// RemoveRect and the on-the-fly query-parameter path of
+// EstimateGhRangeCount.
+template <typename Sink>
+void ForEachGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
+                           Sink&& sink) {
+  const bool basic = variant == GhVariant::kBasic;
+  const double cell_w = grid.cell_width();
+  const double cell_h = grid.cell_height();
+  const double cell_area = grid.cell_area();
+
+  // Corner points — every MBR has 4 (coincident for degenerate MBRs),
+  // each owned by exactly one cell.
+  sink.Corner(grid.CellOf({r.min_x, r.min_y}), 1.0);
+  sink.Corner(grid.CellOf({r.max_x, r.min_y}), 1.0);
+  sink.Corner(grid.CellOf({r.min_x, r.max_y}), 1.0);
+  sink.Corner(grid.CellOf({r.max_x, r.max_y}), 1.0);
+
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  grid.CellRange(r, &x0, &y0, &x1, &y1);
+
+  // Area term (revised: clipped-area ratio; basic: intersects-cell count).
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      const int64_t idx = grid.Flat(cx, cy);
+      if (basic) {
+        sink.Area(idx, 1.0);
+      } else {
+        const Rect cell = grid.CellRect(cx, cy);
+        const double w = OverlapLen(r.min_x, r.max_x, cell.min_x, cell.max_x);
+        const double h = OverlapLen(r.min_y, r.max_y, cell.min_y, cell.max_y);
+        sink.Area(idx, (w * h) / cell_area);
+      }
+    }
+  }
+
+  // Horizontal edges (bottom and top; both contribute even when they
+  // coincide — see the degenerate-MBR note in the header).
+  for (const double y : {r.min_y, r.max_y}) {
+    const int cy = grid.CellY(y);
+    for (int cx = x0; cx <= x1; ++cx) {
+      const int64_t idx = grid.Flat(cx, cy);
+      if (basic) {
+        sink.Horizontal(idx, 1.0);
+      } else {
+        const Rect cell = grid.CellRect(cx, cy);
+        sink.Horizontal(idx, OverlapLen(r.min_x, r.max_x, cell.min_x,
+                                        cell.max_x) /
+                                 cell_w);
+      }
+    }
+  }
+
+  // Vertical edges (left and right).
+  for (const double x : {r.min_x, r.max_x}) {
+    const int cx = grid.CellX(x);
+    for (int cy = y0; cy <= y1; ++cy) {
+      const int64_t idx = grid.Flat(cx, cy);
+      if (basic) {
+        sink.Vertical(idx, 1.0);
+      } else {
+        const Rect cell = grid.CellRect(cx, cy);
+        sink.Vertical(idx, OverlapLen(r.min_y, r.max_y, cell.min_y,
+                                      cell.max_y) /
+                               cell_h);
+      }
+    }
+  }
+}
+
+// Sink that accumulates into a histogram's arrays with a +/-1 weight.
+struct ArraySink {
+  std::vector<double>* c;
+  std::vector<double>* o;
+  std::vector<double>* h;
+  std::vector<double>* v;
+  double weight;
+
+  void Corner(int64_t idx, double amount) { (*c)[idx] += weight * amount; }
+  void Area(int64_t idx, double amount) { (*o)[idx] += weight * amount; }
+  void Horizontal(int64_t idx, double amount) {
+    (*h)[idx] += weight * amount;
+  }
+  void Vertical(int64_t idx, double amount) { (*v)[idx] += weight * amount; }
+};
+
+}  // namespace
+
+Result<GhHistogram> GhHistogram::CreateEmpty(const Rect& extent, int level,
+                                             GhVariant variant) {
+  auto grid_result = Grid::Create(extent, level);
+  if (!grid_result.ok()) return grid_result.status();
+  GhHistogram hist(std::move(grid_result).value(), variant);
+  const int64_t cells = hist.grid_.num_cells();
+  hist.c_.assign(cells, 0.0);
+  hist.o_.assign(cells, 0.0);
+  hist.h_.assign(cells, 0.0);
+  hist.v_.assign(cells, 0.0);
+  return hist;
+}
+
+void GhHistogram::AddRect(const Rect& r) {
+  ArraySink sink{&c_, &o_, &h_, &v_, +1.0};
+  ForEachGhContribution(grid_, variant_, r, sink);
+  ++n_;
+}
+
+void GhHistogram::RemoveRect(const Rect& r) {
+  ArraySink sink{&c_, &o_, &h_, &v_, -1.0};
+  ForEachGhContribution(grid_, variant_, r, sink);
+  if (n_ > 0) --n_;
+}
+
+Status GhHistogram::Merge(const GhHistogram& other) {
+  if (!grid_.CompatibleWith(other.grid_)) {
+    return Status::InvalidArgument(
+        "cannot merge GH histograms built on different grids");
+  }
+  if (variant_ != other.variant_) {
+    return Status::InvalidArgument(
+        "cannot merge GH histograms of different variants");
+  }
+  for (size_t i = 0; i < c_.size(); ++i) {
+    c_[i] += other.c_[i];
+    o_[i] += other.o_[i];
+    h_[i] += other.h_[i];
+    v_[i] += other.v_[i];
+  }
+  n_ += other.n_;
+  return Status::OK();
+}
+
+Result<GhHistogram> GhHistogram::Build(const Dataset& ds, const Rect& extent,
+                                       int level, GhVariant variant) {
+  auto hist_result = CreateEmpty(extent, level, variant);
+  if (!hist_result.ok()) return hist_result.status();
+  GhHistogram hist = std::move(hist_result).value();
+  hist.name_ = ds.name();
+  for (const Rect& r : ds.rects()) hist.AddRect(r);
+  return hist;
+}
+
+Result<double> EstimateGhIntersectionPoints(const GhHistogram& a,
+                                            const GhHistogram& b) {
+  if (!a.grid().CompatibleWith(b.grid())) {
+    return Status::InvalidArgument(
+        "GH histograms built on different grids cannot be combined");
+  }
+  if (a.variant() != b.variant()) {
+    return Status::InvalidArgument(
+        "GH histograms of different variants cannot be combined");
+  }
+  const auto& ca = a.c();
+  const auto& oa = a.o();
+  const auto& ha = a.h();
+  const auto& va = a.v();
+  const auto& cb = b.c();
+  const auto& ob = b.o();
+  const auto& hb = b.h();
+  const auto& vb = b.v();
+  double ip = 0.0;
+  const size_t n = ca.size();
+  for (size_t i = 0; i < n; ++i) {
+    ip += ca[i] * ob[i] + oa[i] * cb[i] + ha[i] * vb[i] + va[i] * hb[i];
+  }
+  return ip;
+}
+
+Result<double> EstimateGhJoinPairs(const GhHistogram& a,
+                                   const GhHistogram& b) {
+  double ip = 0.0;
+  SJSEL_ASSIGN_OR_RETURN(ip, EstimateGhIntersectionPoints(a, b));
+  return ip / 4.0;
+}
+
+Result<double> EstimateGhJoinSelectivity(const GhHistogram& a,
+                                         const GhHistogram& b) {
+  if (a.dataset_size() == 0 || b.dataset_size() == 0) {
+    return Status::FailedPrecondition(
+        "selectivity undefined for empty datasets");
+  }
+  double pairs = 0.0;
+  SJSEL_ASSIGN_OR_RETURN(pairs, EstimateGhJoinPairs(a, b));
+  return pairs / (static_cast<double>(a.dataset_size()) *
+                  static_cast<double>(b.dataset_size()));
+}
+
+namespace {
+
+// Recovers the Equation 1 aggregates (coverage, average width/height) of a
+// dataset from its revised GH histogram alone: Σo cells sum to the
+// coverage ratio of the whole extent, and the edge-ratio sums give back
+// twice the total widths/heights.
+struct Eq1Aggregates {
+  double n = 0.0;
+  double coverage = 0.0;
+  double avg_w = 0.0;
+  double avg_h = 0.0;
+};
+
+Eq1Aggregates AggregatesFrom(const GhHistogram& hist) {
+  Eq1Aggregates agg;
+  agg.n = static_cast<double>(hist.dataset_size());
+  double sum_o = 0.0;
+  double sum_h = 0.0;
+  double sum_v = 0.0;
+  for (size_t i = 0; i < hist.o().size(); ++i) {
+    sum_o += hist.o()[i];
+    sum_h += hist.h()[i];
+    sum_v += hist.v()[i];
+  }
+  const Grid& grid = hist.grid();
+  const double cells = static_cast<double>(grid.num_cells());
+  agg.coverage = sum_o / cells;
+  if (agg.n > 0.0) {
+    agg.avg_w = sum_h * grid.cell_width() / (2.0 * agg.n);
+    agg.avg_h = sum_v * grid.cell_height() / (2.0 * agg.n);
+  }
+  return agg;
+}
+
+}  // namespace
+
+Result<double> EstimateGhSpatialCorrelation(const GhHistogram& a,
+                                            const GhHistogram& b) {
+  if (a.variant() != GhVariant::kRevised ||
+      b.variant() != GhVariant::kRevised) {
+    return Status::InvalidArgument(
+        "spatial correlation needs revised-variant GH histograms");
+  }
+  if (a.dataset_size() == 0 || b.dataset_size() == 0) {
+    return Status::FailedPrecondition(
+        "correlation undefined for empty datasets");
+  }
+  double observed_sel = 0.0;
+  SJSEL_ASSIGN_OR_RETURN(observed_sel, EstimateGhJoinSelectivity(a, b));
+
+  const Eq1Aggregates sa = AggregatesFrom(a);
+  const Eq1Aggregates sb = AggregatesFrom(b);
+  const double area = a.grid().extent().area();
+  if (area <= 0.0) return Status::Internal("degenerate extent");
+  const double independent_pairs =
+      sa.n * sb.coverage + sa.coverage * sb.n +
+      sa.n * sb.n * (sa.avg_w * sb.avg_h + sb.avg_w * sa.avg_h) / area;
+  const double independent_sel = independent_pairs / (sa.n * sb.n);
+  if (independent_sel <= 0.0) {
+    return Status::FailedPrecondition(
+        "independence baseline is zero (degenerate data)");
+  }
+  return observed_sel / independent_sel;
+}
+
+Result<double> EstimateGhSelfJoinPairs(const GhHistogram& hist) {
+  double ordered = 0.0;
+  SJSEL_ASSIGN_OR_RETURN(ordered, EstimateGhJoinPairs(hist, hist));
+  const double distinct =
+      (ordered - static_cast<double>(hist.dataset_size())) / 2.0;
+  return distinct < 0.0 ? 0.0 : distinct;
+}
+
+Result<double> EstimateGhJoinPairsInWindow(const GhHistogram& a,
+                                           const GhHistogram& b,
+                                           const Rect& window) {
+  if (!a.grid().CompatibleWith(b.grid())) {
+    return Status::InvalidArgument(
+        "GH histograms built on different grids cannot be combined");
+  }
+  if (a.variant() != b.variant()) {
+    return Status::InvalidArgument(
+        "GH histograms of different variants cannot be combined");
+  }
+  const Grid& grid = a.grid();
+  const Rect clipped = window.Intersection(grid.extent());
+  if (clipped.IsEmpty()) return 0.0;
+
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  grid.CellRange(clipped, &x0, &y0, &x1, &y1);
+  const double cell_area = grid.cell_area();
+  double ip = 0.0;
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      const Rect cell = grid.CellRect(cx, cy);
+      const Rect overlap = cell.Intersection(clipped);
+      if (overlap.IsEmpty()) continue;
+      // Boundary cells contribute in proportion to the overlapped area —
+      // the same within-cell uniformity assumption GH already makes.
+      const double weight = overlap.area() / cell_area;
+      if (weight <= 0.0) continue;
+      const int64_t i = grid.Flat(cx, cy);
+      ip += weight * (a.c()[i] * b.o()[i] + a.o()[i] * b.c()[i] +
+                      a.h()[i] * b.v()[i] + a.v()[i] * b.h()[i]);
+    }
+  }
+  return ip / 4.0;
+}
+
+namespace {
+
+// Sink that combines one query rectangle's on-the-fly GH parameters with a
+// prebuilt histogram's cell statistics — evaluating Equation 5 for the
+// join of `hist` with the singleton dataset {query} without materializing
+// a second histogram.
+struct QueryCombineSink {
+  const GhHistogram* hist;
+  double ip = 0.0;
+
+  void Corner(int64_t idx, double amount) {
+    ip += amount * hist->o()[idx];
+  }
+  void Area(int64_t idx, double amount) {
+    ip += amount * hist->c()[idx];
+  }
+  void Horizontal(int64_t idx, double amount) {
+    ip += amount * hist->v()[idx];
+  }
+  void Vertical(int64_t idx, double amount) {
+    ip += amount * hist->h()[idx];
+  }
+};
+
+}  // namespace
+
+double EstimateGhRangeCount(const GhHistogram& hist, const Rect& query) {
+  QueryCombineSink sink{&hist, 0.0};
+  ForEachGhContribution(hist.grid(), hist.variant(), query, sink);
+  return sink.ip / 4.0;
+}
+
+uint64_t GhHistogram::NonEmptyCells() const {
+  uint64_t count = 0;
+  for (size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] != 0.0 || o_[i] != 0.0 || h_[i] != 0.0 || v_[i] != 0.0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t GhHistogram::FileBytes(FileFormat format) const {
+  // Header: magic, version, variant, format, level, 4 extent doubles, n,
+  // name; trailer: CRC.
+  const uint64_t header = 4 + 4 + 1 + 1 + 4 + 32 + 8 + 4 + name_.size();
+  const uint64_t trailer = 4;
+  if (format == FileFormat::kDense) {
+    return header + 4 * (8 + c_.size() * 8) + trailer;
+  }
+  return header + 8 + NonEmptyCells() * (8 + 4 * 8) + trailer;
+}
+
+Status GhHistogram::Save(const std::string& path, FileFormat format) const {
+  BinaryWriter w;
+  w.PutU32(kGhMagic);
+  w.PutU32(kGhVersion);
+  w.PutU8(variant_ == GhVariant::kBasic ? 1 : 0);
+  w.PutU8(format == FileFormat::kSparse ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(grid_.level()));
+  w.PutDouble(grid_.extent().min_x);
+  w.PutDouble(grid_.extent().min_y);
+  w.PutDouble(grid_.extent().max_x);
+  w.PutDouble(grid_.extent().max_y);
+  w.PutU64(n_);
+  w.PutString(name_);
+  if (format == FileFormat::kDense) {
+    w.PutDoubleVector(c_);
+    w.PutDoubleVector(o_);
+    w.PutDoubleVector(h_);
+    w.PutDoubleVector(v_);
+  } else {
+    w.PutU64(NonEmptyCells());
+    for (size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] == 0.0 && o_[i] == 0.0 && h_[i] == 0.0 && v_[i] == 0.0) {
+        continue;
+      }
+      w.PutU64(i);
+      w.PutDouble(c_[i]);
+      w.PutDouble(o_[i]);
+      w.PutDouble(h_[i]);
+      w.PutDouble(v_[i]);
+    }
+  }
+  const uint32_t crc = w.Crc32();
+  BinaryWriter trailer;
+  trailer.PutU32(crc);
+  return WriteFile(path, w.buffer() + trailer.buffer());
+}
+
+Result<GhHistogram> GhHistogram::Load(const std::string& path) {
+  std::string data;
+  SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
+  if (data.size() < sizeof(uint32_t)) {
+    return Status::Corruption("GH file too short: " + path);
+  }
+  const size_t body_size = data.size() - sizeof(uint32_t);
+  BinaryReader r(std::move(data));
+  uint32_t body_crc = 0;
+  SJSEL_ASSIGN_OR_RETURN(body_crc, r.Crc32Prefix(body_size));
+
+  uint32_t magic = 0;
+  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
+  if (magic != kGhMagic) return Status::Corruption("bad GH magic in " + path);
+  uint32_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  if (version != kGhVersion) {
+    return Status::Corruption("unsupported GH version");
+  }
+  uint8_t variant_byte = 0;
+  SJSEL_ASSIGN_OR_RETURN(variant_byte, r.GetU8());
+  uint8_t format_byte = 0;
+  SJSEL_ASSIGN_OR_RETURN(format_byte, r.GetU8());
+  uint32_t level = 0;
+  SJSEL_ASSIGN_OR_RETURN(level, r.GetU32());
+  Rect extent;
+  SJSEL_ASSIGN_OR_RETURN(extent.min_x, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(extent.min_y, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(extent.max_x, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(extent.max_y, r.GetDouble());
+
+  auto grid_result = Grid::Create(extent, static_cast<int>(level));
+  if (!grid_result.ok()) return grid_result.status();
+  GhHistogram hist(std::move(grid_result).value(),
+                   variant_byte == 1 ? GhVariant::kBasic
+                                     : GhVariant::kRevised);
+
+  SJSEL_ASSIGN_OR_RETURN(hist.n_, r.GetU64());
+  SJSEL_ASSIGN_OR_RETURN(hist.name_, r.GetString());
+  const size_t cells = static_cast<size_t>(hist.grid_.num_cells());
+  if (format_byte == 0) {
+    SJSEL_ASSIGN_OR_RETURN(hist.c_, r.GetDoubleVector());
+    SJSEL_ASSIGN_OR_RETURN(hist.o_, r.GetDoubleVector());
+    SJSEL_ASSIGN_OR_RETURN(hist.h_, r.GetDoubleVector());
+    SJSEL_ASSIGN_OR_RETURN(hist.v_, r.GetDoubleVector());
+    if (hist.c_.size() != cells || hist.o_.size() != cells ||
+        hist.h_.size() != cells || hist.v_.size() != cells) {
+      return Status::Corruption("GH cell payload size mismatch in " + path);
+    }
+  } else {
+    hist.c_.assign(cells, 0.0);
+    hist.o_.assign(cells, 0.0);
+    hist.h_.assign(cells, 0.0);
+    hist.v_.assign(cells, 0.0);
+    uint64_t records = 0;
+    SJSEL_ASSIGN_OR_RETURN(records, r.GetU64());
+    for (uint64_t rec = 0; rec < records; ++rec) {
+      uint64_t idx = 0;
+      SJSEL_ASSIGN_OR_RETURN(idx, r.GetU64());
+      if (idx >= cells) {
+        return Status::Corruption("GH sparse record index out of range in " +
+                                  path);
+      }
+      SJSEL_ASSIGN_OR_RETURN(hist.c_[idx], r.GetDouble());
+      SJSEL_ASSIGN_OR_RETURN(hist.o_[idx], r.GetDouble());
+      SJSEL_ASSIGN_OR_RETURN(hist.h_[idx], r.GetDouble());
+      SJSEL_ASSIGN_OR_RETURN(hist.v_[idx], r.GetDouble());
+    }
+  }
+  if (r.position() != body_size) {
+    return Status::Corruption("trailing garbage in GH file " + path);
+  }
+  uint32_t stored_crc = 0;
+  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
+  if (stored_crc != body_crc) {
+    return Status::Corruption("GH CRC mismatch in " + path);
+  }
+  return hist;
+}
+
+}  // namespace sjsel

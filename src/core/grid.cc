@@ -1,0 +1,55 @@
+#include "core/grid.h"
+
+#include <cmath>
+
+namespace sjsel {
+
+Result<Grid> Grid::Create(const Rect& extent, int level) {
+  if (level < 0 || level > 15) {
+    return Status::InvalidArgument("grid level must be in [0, 15], got " +
+                                   std::to_string(level));
+  }
+  if (extent.IsEmpty() || extent.width() <= 0.0 || extent.height() <= 0.0) {
+    return Status::InvalidArgument("grid extent must have positive area");
+  }
+  return Grid(extent, level);
+}
+
+Grid::Grid(const Rect& extent, int level)
+    : extent_(extent), level_(level), per_axis_(1 << level) {
+  cell_w_ = extent_.width() / per_axis_;
+  cell_h_ = extent_.height() / per_axis_;
+}
+
+int Grid::CellX(double x) const {
+  int c = static_cast<int>(std::floor((x - extent_.min_x) / cell_w_));
+  if (c < 0) c = 0;
+  if (c >= per_axis_) c = per_axis_ - 1;
+  return c;
+}
+
+int Grid::CellY(double y) const {
+  int c = static_cast<int>(std::floor((y - extent_.min_y) / cell_h_));
+  if (c < 0) c = 0;
+  if (c >= per_axis_) c = per_axis_ - 1;
+  return c;
+}
+
+Rect Grid::CellRect(int cx, int cy) const {
+  return Rect(extent_.min_x + cx * cell_w_, extent_.min_y + cy * cell_h_,
+              extent_.min_x + (cx + 1) * cell_w_,
+              extent_.min_y + (cy + 1) * cell_h_);
+}
+
+void Grid::CellRange(const Rect& r, int* x0, int* y0, int* x1, int* y1) const {
+  *x0 = CellX(r.min_x);
+  *y0 = CellY(r.min_y);
+  *x1 = CellX(r.max_x);
+  *y1 = CellY(r.max_y);
+}
+
+bool Grid::CompatibleWith(const Grid& other) const {
+  return level_ == other.level_ && extent_ == other.extent_;
+}
+
+}  // namespace sjsel

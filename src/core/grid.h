@@ -1,0 +1,75 @@
+#ifndef SJSEL_CORE_GRID_H_
+#define SJSEL_CORE_GRID_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+#include "util/result.h"
+
+namespace sjsel {
+
+/// The regular grid both histogram schemes are built on: the spatial extent
+/// divided by 2^level vertical and 2^level horizontal lines into 4^level
+/// equi-sized cells (paper, Section 3).
+///
+/// Cell ownership follows the half-open convention — cell (i, j) owns
+/// [x_i, x_{i+1}) x [y_j, y_{j+1}) — with the last row/column closed so
+/// every point of the extent has exactly one owning cell. This is what
+/// makes per-cell corner counts partition the corner population (a GH
+/// invariant tests rely on).
+class Grid {
+ public:
+  /// `level` must be in [0, 15] (4^15 cells is far beyond practical use;
+  /// the paper evaluates levels 0..9).
+  static Result<Grid> Create(const Rect& extent, int level);
+
+  int level() const { return level_; }
+  /// Cells per axis (2^level).
+  int per_axis() const { return per_axis_; }
+  /// Total cell count (4^level).
+  int64_t num_cells() const {
+    return static_cast<int64_t>(per_axis_) * per_axis_;
+  }
+  const Rect& extent() const { return extent_; }
+  double cell_width() const { return cell_w_; }
+  double cell_height() const { return cell_h_; }
+  double cell_area() const { return cell_w_ * cell_h_; }
+
+  /// Column owning coordinate x (clamped into the extent).
+  int CellX(double x) const;
+  /// Row owning coordinate y (clamped into the extent).
+  int CellY(double y) const;
+  /// Flat index of the cell owning point `p`.
+  int64_t CellOf(const Point& p) const {
+    return Flat(CellX(p.x), CellY(p.y));
+  }
+
+  int64_t Flat(int cx, int cy) const {
+    return static_cast<int64_t>(cy) * per_axis_ + cx;
+  }
+
+  /// Geometry of cell (cx, cy).
+  Rect CellRect(int cx, int cy) const;
+
+  /// Column/row span [x0, x1] x [y0, y1] of cells a rectangle overlaps
+  /// (by half-open ownership of its min corner through the cell owning its
+  /// max corner).
+  void CellRange(const Rect& r, int* x0, int* y0, int* x1, int* y1) const;
+
+  /// True iff both grids have identical extent and level, i.e. their
+  /// per-cell statistics are directly combinable in a join estimate.
+  bool CompatibleWith(const Grid& other) const;
+
+ private:
+  Grid(const Rect& extent, int level);
+
+  Rect extent_;
+  int level_ = 0;
+  int per_axis_ = 1;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+};
+
+}  // namespace sjsel
+
+#endif  // SJSEL_CORE_GRID_H_

@@ -1,0 +1,309 @@
+#include "core/ph_histogram.h"
+
+#include <algorithm>
+
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace {
+
+constexpr uint32_t kPhMagic = 0x53504847;  // "SPHG"
+constexpr uint32_t kPhVersion = 2;
+
+double OverlapLen(double lo, double hi, double cell_lo, double cell_hi) {
+  return std::max(0.0, std::min(hi, cell_hi) - std::max(lo, cell_lo));
+}
+
+}  // namespace
+
+Result<PhHistogram> PhHistogram::CreateEmpty(const Rect& extent, int level,
+                                             PhVariant variant) {
+  auto grid_result = Grid::Create(extent, level);
+  if (!grid_result.ok()) return grid_result.status();
+  PhHistogram hist(std::move(grid_result).value(), variant);
+  hist.cells_.assign(hist.grid_.num_cells(), Cell());
+  return hist;
+}
+
+// Folds one MBR into the per-cell sums with the given weight (+1 add,
+// -1 remove).
+void PhHistogram::Apply(const Rect& r, double weight) {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  grid_.CellRange(r, &x0, &y0, &x1, &y1);
+  const bool contained = x0 == x1 && y0 == y1;
+
+  if (contained || variant_ == PhVariant::kNaive) {
+    // Naive gridding books the full MBR into every overlapped cell; the
+    // real PH books contained MBRs into exactly one.
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        Cell& cell = cells_[grid_.Flat(cx, cy)];
+        cell.num += weight;
+        cell.area_sum += weight * r.area();
+        cell.w_sum += weight * r.width();
+        cell.h_sum += weight * r.height();
+      }
+    }
+    return;
+  }
+
+  crossing_count_ += weight;
+  span_sum_ += weight * static_cast<double>(x1 - x0 + 1) *
+               static_cast<double>(y1 - y0 + 1);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      const Rect cell_rect = grid_.CellRect(cx, cy);
+      const double w =
+          OverlapLen(r.min_x, r.max_x, cell_rect.min_x, cell_rect.max_x);
+      const double h =
+          OverlapLen(r.min_y, r.max_y, cell_rect.min_y, cell_rect.max_y);
+      Cell& cell = cells_[grid_.Flat(cx, cy)];
+      cell.num_x += weight;
+      cell.area_sum_x += weight * w * h;
+      cell.w_sum_x += weight * w;
+      cell.h_sum_x += weight * h;
+    }
+  }
+}
+
+void PhHistogram::AddRect(const Rect& r) {
+  Apply(r, +1.0);
+  ++n_;
+}
+
+void PhHistogram::RemoveRect(const Rect& r) {
+  Apply(r, -1.0);
+  if (n_ > 0) --n_;
+}
+
+Status PhHistogram::Merge(const PhHistogram& other) {
+  if (!grid_.CompatibleWith(other.grid_)) {
+    return Status::InvalidArgument(
+        "cannot merge PH histograms built on different grids");
+  }
+  if (variant_ != other.variant_) {
+    return Status::InvalidArgument(
+        "cannot merge PH histograms of different variants");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    Cell& dst = cells_[i];
+    const Cell& src = other.cells_[i];
+    dst.num += src.num;
+    dst.area_sum += src.area_sum;
+    dst.w_sum += src.w_sum;
+    dst.h_sum += src.h_sum;
+    dst.num_x += src.num_x;
+    dst.area_sum_x += src.area_sum_x;
+    dst.w_sum_x += src.w_sum_x;
+    dst.h_sum_x += src.h_sum_x;
+  }
+  span_sum_ += other.span_sum_;
+  crossing_count_ += other.crossing_count_;
+  n_ += other.n_;
+  return Status::OK();
+}
+
+Result<PhHistogram> PhHistogram::Build(const Dataset& ds, const Rect& extent,
+                                       int level, PhVariant variant) {
+  auto hist_result = CreateEmpty(extent, level, variant);
+  if (!hist_result.ok()) return hist_result.status();
+  PhHistogram hist = std::move(hist_result).value();
+  hist.name_ = ds.name();
+  for (const Rect& r : ds.rects()) hist.AddRect(r);
+  return hist;
+}
+
+namespace {
+
+// One Aref–Samet term (Equation 1 restricted to a cell): population 1 of
+// (n1, cov1, w1, h1) against population 2, where cov is an area *ratio* to
+// the cell area and w/h are per-item averages.
+double ArefSametTerm(double n1, double cov1, double w1, double h1, double n2,
+                     double cov2, double w2, double h2, double cell_area) {
+  return n1 * cov2 + cov1 * n2 + n1 * n2 * (w1 * h2 + h1 * w2) / cell_area;
+}
+
+struct CellAverages {
+  double n = 0.0;
+  double cov = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+};
+
+CellAverages ContAverages(const PhHistogram::Cell& c, double cell_area) {
+  CellAverages a;
+  a.n = c.num;
+  a.cov = c.area_sum / cell_area;
+  if (c.num > 0.0) {
+    a.w = c.w_sum / c.num;
+    a.h = c.h_sum / c.num;
+  }
+  return a;
+}
+
+CellAverages IsectAverages(const PhHistogram::Cell& c, double cell_area) {
+  CellAverages a;
+  a.n = c.num_x;
+  a.cov = c.area_sum_x / cell_area;
+  if (c.num_x > 0.0) {
+    a.w = c.w_sum_x / c.num_x;
+    a.h = c.h_sum_x / c.num_x;
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<double> EstimatePhJoinPairs(const PhHistogram& a, const PhHistogram& b,
+                                   PhEstimateOptions options) {
+  if (!a.grid().CompatibleWith(b.grid())) {
+    return Status::InvalidArgument(
+        "PH histograms built on different grids cannot be combined");
+  }
+  if (a.variant() != b.variant()) {
+    return Status::InvalidArgument(
+        "PH histograms of different variants cannot be combined");
+  }
+  const double cell_area = a.grid().cell_area();
+  const auto& cells_a = a.cells();
+  const auto& cells_b = b.cells();
+
+  double sum_abc = 0.0;  // Sa + Sb + Sc
+  double sum_d = 0.0;    // Sd, corrected for multiple counting below
+  for (size_t i = 0; i < cells_a.size(); ++i) {
+    const CellAverages cont1 = ContAverages(cells_a[i], cell_area);
+    const CellAverages isect1 = IsectAverages(cells_a[i], cell_area);
+    const CellAverages cont2 = ContAverages(cells_b[i], cell_area);
+    const CellAverages isect2 = IsectAverages(cells_b[i], cell_area);
+
+    sum_abc += ArefSametTerm(cont1.n, cont1.cov, cont1.w, cont1.h, cont2.n,
+                             cont2.cov, cont2.w, cont2.h, cell_area);
+    sum_abc += ArefSametTerm(cont1.n, cont1.cov, cont1.w, cont1.h, isect2.n,
+                             isect2.cov, isect2.w, isect2.h, cell_area);
+    sum_abc += ArefSametTerm(isect1.n, isect1.cov, isect1.w, isect1.h,
+                             cont2.n, cont2.cov, cont2.w, cont2.h, cell_area);
+    sum_d += ArefSametTerm(isect1.n, isect1.cov, isect1.w, isect1.h, isect2.n,
+                           isect2.cov, isect2.w, isect2.h, cell_area);
+  }
+
+  if (options.apply_span_correction) {
+    const double mean_span = (a.avg_span() + b.avg_span()) / 2.0;
+    if (mean_span > 0.0) sum_d /= mean_span;
+  }
+  return sum_abc + sum_d;
+}
+
+Result<double> EstimatePhJoinSelectivity(const PhHistogram& a,
+                                         const PhHistogram& b,
+                                         PhEstimateOptions options) {
+  if (a.dataset_size() == 0 || b.dataset_size() == 0) {
+    return Status::FailedPrecondition(
+        "selectivity undefined for empty datasets");
+  }
+  double pairs = 0.0;
+  SJSEL_ASSIGN_OR_RETURN(pairs, EstimatePhJoinPairs(a, b, options));
+  return pairs / (static_cast<double>(a.dataset_size()) *
+                  static_cast<double>(b.dataset_size()));
+}
+
+Status PhHistogram::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.PutU32(kPhMagic);
+  w.PutU32(kPhVersion);
+  w.PutU8(variant_ == PhVariant::kNaive ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(grid_.level()));
+  w.PutDouble(grid_.extent().min_x);
+  w.PutDouble(grid_.extent().min_y);
+  w.PutDouble(grid_.extent().max_x);
+  w.PutDouble(grid_.extent().max_y);
+  w.PutU64(n_);
+  w.PutDouble(span_sum_);
+  w.PutDouble(crossing_count_);
+  w.PutString(name_);
+  w.PutU64(cells_.size());
+  for (const Cell& c : cells_) {
+    w.PutDouble(c.num);
+    w.PutDouble(c.area_sum);
+    w.PutDouble(c.w_sum);
+    w.PutDouble(c.h_sum);
+    w.PutDouble(c.num_x);
+    w.PutDouble(c.area_sum_x);
+    w.PutDouble(c.w_sum_x);
+    w.PutDouble(c.h_sum_x);
+  }
+  const uint32_t crc = w.Crc32();
+  BinaryWriter trailer;
+  trailer.PutU32(crc);
+  return WriteFile(path, w.buffer() + trailer.buffer());
+}
+
+Result<PhHistogram> PhHistogram::Load(const std::string& path) {
+  std::string data;
+  SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
+  if (data.size() < sizeof(uint32_t)) {
+    return Status::Corruption("PH file too short: " + path);
+  }
+  const size_t body_size = data.size() - sizeof(uint32_t);
+  BinaryReader r(std::move(data));
+  uint32_t body_crc = 0;
+  SJSEL_ASSIGN_OR_RETURN(body_crc, r.Crc32Prefix(body_size));
+
+  uint32_t magic = 0;
+  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
+  if (magic != kPhMagic) return Status::Corruption("bad PH magic in " + path);
+  uint32_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  if (version != kPhVersion) {
+    return Status::Corruption("unsupported PH version");
+  }
+  uint8_t variant_byte = 0;
+  SJSEL_ASSIGN_OR_RETURN(variant_byte, r.GetU8());
+  uint32_t level = 0;
+  SJSEL_ASSIGN_OR_RETURN(level, r.GetU32());
+  Rect extent;
+  SJSEL_ASSIGN_OR_RETURN(extent.min_x, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(extent.min_y, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(extent.max_x, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(extent.max_y, r.GetDouble());
+
+  auto grid_result = Grid::Create(extent, static_cast<int>(level));
+  if (!grid_result.ok()) return grid_result.status();
+  PhHistogram hist(std::move(grid_result).value(),
+                   variant_byte == 1 ? PhVariant::kNaive
+                                     : PhVariant::kSplitCrossing);
+
+  SJSEL_ASSIGN_OR_RETURN(hist.n_, r.GetU64());
+  SJSEL_ASSIGN_OR_RETURN(hist.span_sum_, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(hist.crossing_count_, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(hist.name_, r.GetString());
+  uint64_t cell_count = 0;
+  SJSEL_ASSIGN_OR_RETURN(cell_count, r.GetU64());
+  if (cell_count != static_cast<uint64_t>(hist.grid_.num_cells())) {
+    return Status::Corruption("PH cell count mismatch in " + path);
+  }
+  hist.cells_.resize(cell_count);
+  for (Cell& c : hist.cells_) {
+    SJSEL_ASSIGN_OR_RETURN(c.num, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(c.area_sum, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(c.w_sum, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(c.h_sum, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(c.num_x, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(c.area_sum_x, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(c.w_sum_x, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(c.h_sum_x, r.GetDouble());
+  }
+  if (r.position() != body_size) {
+    return Status::Corruption("trailing garbage in PH file " + path);
+  }
+  uint32_t stored_crc = 0;
+  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
+  if (stored_crc != body_crc) {
+    return Status::Corruption("PH CRC mismatch in " + path);
+  }
+  return hist;
+}
+
+}  // namespace sjsel

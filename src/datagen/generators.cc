@@ -1,0 +1,224 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sjsel {
+namespace gen {
+namespace {
+
+// Clamps a rect of size (w, h) centered at (cx, cy) into `extent` by
+// shifting (never shrinking), so generated datasets stay inside the
+// advertised spatial extent.
+Rect PlaceRect(double cx, double cy, double w, double h, const Rect& extent) {
+  w = std::min(w, extent.width());
+  h = std::min(h, extent.height());
+  double min_x = cx - w / 2;
+  double min_y = cy - h / 2;
+  min_x = std::clamp(min_x, extent.min_x, extent.max_x - w);
+  min_y = std::clamp(min_y, extent.min_y, extent.max_y - h);
+  return Rect(min_x, min_y, min_x + w, min_y + h);
+}
+
+// Draws a center from a cluster mixture with a uniform background
+// component.
+Point DrawCenter(Rng* rng, const Rect& extent,
+                 const std::vector<Cluster>& clusters,
+                 double background_frac) {
+  if (clusters.empty() || rng->NextBernoulli(background_frac)) {
+    return Point{rng->NextDouble(extent.min_x, extent.max_x),
+                 rng->NextDouble(extent.min_y, extent.max_y)};
+  }
+  double total_weight = 0.0;
+  for (const Cluster& c : clusters) total_weight += c.weight;
+  double pick = rng->NextDouble() * total_weight;
+  const Cluster* chosen = &clusters.back();
+  for (const Cluster& c : clusters) {
+    pick -= c.weight;
+    if (pick <= 0.0) {
+      chosen = &c;
+      break;
+    }
+  }
+  // Rejection-sample until inside the extent (bounded retry to stay total).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Point p{chosen->center.x + rng->NextGaussian() * chosen->sigma_x,
+                  chosen->center.y + rng->NextGaussian() * chosen->sigma_y};
+    if (extent.Contains(p)) return p;
+  }
+  return Point{std::clamp(chosen->center.x, extent.min_x, extent.max_x),
+               std::clamp(chosen->center.y, extent.min_y, extent.max_y)};
+}
+
+}  // namespace
+
+void SizeDist::Sample(Rng* rng, double* w, double* h) const {
+  switch (kind) {
+    case Kind::kFixed:
+      *w = mean_w;
+      *h = mean_h;
+      return;
+    case Kind::kUniform:
+      *w = rng->NextDouble(mean_w * (1 - spread), mean_w * (1 + spread));
+      *h = rng->NextDouble(mean_h * (1 - spread), mean_h * (1 + spread));
+      return;
+    case Kind::kExponential:
+      *w = rng->NextExponential(1.0 / mean_w);
+      *h = rng->NextExponential(1.0 / mean_h);
+      return;
+  }
+  *w = mean_w;
+  *h = mean_h;
+}
+
+Dataset UniformRects(std::string name, size_t n, const Rect& extent,
+                     const SizeDist& size, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double w = 0;
+    double h = 0;
+    size.Sample(&rng, &w, &h);
+    const double cx = rng.NextDouble(extent.min_x, extent.max_x);
+    const double cy = rng.NextDouble(extent.min_y, extent.max_y);
+    ds.Add(PlaceRect(cx, cy, w, h, extent));
+  }
+  return ds;
+}
+
+Dataset GaussianClusterRects(std::string name, size_t n, const Rect& extent,
+                             const Cluster& cluster, const SizeDist& size,
+                             uint64_t seed) {
+  return MultiClusterRects(std::move(name), n, extent, {cluster},
+                           /*background_frac=*/0.0, size, seed);
+}
+
+Dataset MultiClusterRects(std::string name, size_t n, const Rect& extent,
+                          const std::vector<Cluster>& clusters,
+                          double background_frac, const SizeDist& size,
+                          uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double w = 0;
+    double h = 0;
+    size.Sample(&rng, &w, &h);
+    const Point c = DrawCenter(&rng, extent, clusters, background_frac);
+    ds.Add(PlaceRect(c.x, c.y, w, h, extent));
+  }
+  return ds;
+}
+
+Dataset ClusteredPoints(std::string name, size_t n, const Rect& extent,
+                        const std::vector<Cluster>& clusters,
+                        double background_frac, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point c = DrawCenter(&rng, extent, clusters, background_frac);
+    ds.Add(Rect::FromPoint(c));
+  }
+  return ds;
+}
+
+Dataset RandomWalkPolylines(std::string name, size_t n, const Rect& extent,
+                            const PolylineSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point pos = DrawCenter(&rng, extent, spec.start_clusters,
+                           spec.background_frac);
+    double heading = rng.NextDouble(0.0, 2.0 * M_PI);
+    Rect mbr = Rect::FromPoint(pos);
+    for (int s = 1; s < spec.steps; ++s) {
+      heading += rng.NextGaussian() * spec.turn_sigma;
+      const double len = rng.NextExponential(1.0 / spec.step_len);
+      pos.x = std::clamp(pos.x + std::cos(heading) * len, extent.min_x,
+                         extent.max_x);
+      pos.y = std::clamp(pos.y + std::sin(heading) * len, extent.min_y,
+                         extent.max_y);
+      mbr.Extend(Rect::FromPoint(pos));
+    }
+    ds.Add(mbr);
+  }
+  return ds;
+}
+
+Dataset LineNetworkSegments(std::string name, size_t n, const Rect& extent,
+                            const NetworkSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  // Lay out the backbone network as random-walk vertex chains.
+  std::vector<std::vector<Point>> trunks;
+  trunks.reserve(spec.num_trunks);
+  for (int t = 0; t < spec.num_trunks; ++t) {
+    std::vector<Point> chain;
+    chain.reserve(spec.trunk_steps);
+    Point pos{rng.NextDouble(extent.min_x, extent.max_x),
+              rng.NextDouble(extent.min_y, extent.max_y)};
+    double heading = rng.NextDouble(0.0, 2.0 * M_PI);
+    chain.push_back(pos);
+    for (int s = 1; s < spec.trunk_steps; ++s) {
+      heading += rng.NextGaussian() * 0.25;
+      pos.x = std::clamp(pos.x + std::cos(heading) * spec.trunk_step_len,
+                         extent.min_x, extent.max_x);
+      pos.y = std::clamp(pos.y + std::sin(heading) * spec.trunk_step_len,
+                         extent.min_y, extent.max_y);
+      chain.push_back(pos);
+    }
+    trunks.push_back(std::move(chain));
+  }
+
+  Dataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& chain = trunks[rng.NextU64(trunks.size())];
+    // Pick a spot along the trunk; branches scatter wider than trunk-side
+    // segments, giving the two-scale clustering of a road hierarchy.
+    const size_t v = rng.NextU64(chain.size() - 1);
+    const double t = rng.NextDouble();
+    Point p{chain[v].x + (chain[v + 1].x - chain[v].x) * t,
+            chain[v].y + (chain[v + 1].y - chain[v].y) * t};
+    const double scatter =
+        rng.NextBernoulli(spec.branch_frac) ? spec.jitter * 6 : spec.jitter;
+    p.x += rng.NextGaussian() * scatter;
+    p.y += rng.NextGaussian() * scatter;
+    const double len = rng.NextExponential(1.0 / spec.segment_len);
+    const double heading = rng.NextDouble(0.0, 2.0 * M_PI);
+    const double w = std::fabs(std::cos(heading)) * len;
+    const double h = std::fabs(std::sin(heading)) * len;
+    ds.Add(PlaceRect(std::clamp(p.x, extent.min_x, extent.max_x),
+                     std::clamp(p.y, extent.min_y, extent.max_y), w, h,
+                     extent));
+  }
+  return ds;
+}
+
+Dataset TiledBlocks(std::string name, size_t n, const Rect& extent,
+                    const std::vector<Cluster>& urban_clusters,
+                    double rural_frac, double block_size, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(std::move(name));
+  ds.Reserve(n);
+  SizeDist urban_size{SizeDist::Kind::kUniform, block_size, block_size, 0.6};
+  // Rural blocks are an order of magnitude larger and sparse, like real
+  // census geography.
+  SizeDist rural_size{SizeDist::Kind::kUniform, block_size * 8,
+                      block_size * 8, 0.6};
+  for (size_t i = 0; i < n; ++i) {
+    const bool rural = rng.NextBernoulli(rural_frac);
+    double w = 0;
+    double h = 0;
+    (rural ? rural_size : urban_size).Sample(&rng, &w, &h);
+    const Point c = rural ? DrawCenter(&rng, extent, {}, 1.0)
+                          : DrawCenter(&rng, extent, urban_clusters, 0.0);
+    ds.Add(PlaceRect(c.x, c.y, w, h, extent));
+  }
+  return ds;
+}
+
+}  // namespace gen
+}  // namespace sjsel

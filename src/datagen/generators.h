@@ -1,0 +1,105 @@
+#ifndef SJSEL_DATAGEN_GENERATORS_H_
+#define SJSEL_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/dataset.h"
+#include "geom/rect.h"
+#include "util/random.h"
+
+namespace sjsel {
+namespace gen {
+
+/// Distribution of rectangle widths/heights used by the generators.
+struct SizeDist {
+  enum class Kind {
+    kFixed,        ///< every rect is mean_w x mean_h
+    kUniform,      ///< uniform in [mean * (1-spread), mean * (1+spread)]
+    kExponential,  ///< exponential with the given mean (long thin tail)
+  };
+
+  Kind kind = Kind::kUniform;
+  double mean_w = 0.001;
+  double mean_h = 0.001;
+  /// Relative half-range for kUniform (in [0, 1]).
+  double spread = 0.5;
+
+  /// Draws one (width, height) pair.
+  void Sample(Rng* rng, double* w, double* h) const;
+};
+
+/// A Gaussian placement cluster.
+struct Cluster {
+  Point center;
+  double sigma_x = 0.05;
+  double sigma_y = 0.05;
+  double weight = 1.0;
+};
+
+/// N rectangles with centers uniform over `extent` (the paper's SURA).
+Dataset UniformRects(std::string name, size_t n, const Rect& extent,
+                     const SizeDist& size, uint64_t seed);
+
+/// N rectangles clustered around a single Gaussian center (the paper's
+/// SCRC, which clusters at (0.4, 0.7) in the unit square). Centers are
+/// re-drawn until they land inside `extent`.
+Dataset GaussianClusterRects(std::string name, size_t n, const Rect& extent,
+                             const Cluster& cluster, const SizeDist& size,
+                             uint64_t seed);
+
+/// N rectangles drawn from a mixture of clusters plus a `background_frac`
+/// uniform component. Models multi-city skew (Sequoia/TIGER-like).
+Dataset MultiClusterRects(std::string name, size_t n, const Rect& extent,
+                          const std::vector<Cluster>& clusters,
+                          double background_frac, const SizeDist& size,
+                          uint64_t seed);
+
+/// Zero-area MBRs (points) from the same mixture model — the paper's SP
+/// (Sequoia points) shape.
+Dataset ClusteredPoints(std::string name, size_t n, const Rect& extent,
+                        const std::vector<Cluster>& clusters,
+                        double background_frac, uint64_t seed);
+
+/// Parameters for random-walk polyline generation.
+struct PolylineSpec {
+  int steps = 24;             ///< vertices per polyline
+  double step_len = 0.004;    ///< mean step length
+  double turn_sigma = 0.6;    ///< heading change stddev (radians)
+  /// Start points come from this cluster mixture; empty means uniform.
+  std::vector<Cluster> start_clusters;
+  double background_frac = 0.3;
+};
+
+/// MBRs of random-walk polylines — elongated, spatially correlated boxes
+/// like the TIGER stream layers (TS, CAS).
+Dataset RandomWalkPolylines(std::string name, size_t n, const Rect& extent,
+                            const PolylineSpec& spec, uint64_t seed);
+
+/// Parameters for hierarchical line-network segment generation.
+struct NetworkSpec {
+  int num_trunks = 24;        ///< long backbone polylines
+  int trunk_steps = 160;      ///< vertices per backbone
+  double trunk_step_len = 0.01;
+  double branch_frac = 0.55;  ///< fraction of segments on branches
+  double jitter = 0.004;      ///< lateral scatter of segments off the line
+  double segment_len = 0.002; ///< mean segment MBR extent
+};
+
+/// Very many tiny segment MBRs strung along a hierarchical line network —
+/// the TIGER road layer (CAR) shape: extreme cardinality, tiny objects,
+/// heavy 1-D clustering along curves.
+Dataset LineNetworkSegments(std::string name, size_t n, const Rect& extent,
+                            const NetworkSpec& spec, uint64_t seed);
+
+/// Small near-square boxes tiling urban clusters over a sparse rural
+/// background — the census-block layer (TCB) shape.
+Dataset TiledBlocks(std::string name, size_t n, const Rect& extent,
+                    const std::vector<Cluster>& urban_clusters,
+                    double rural_frac, double block_size, uint64_t seed);
+
+}  // namespace gen
+}  // namespace sjsel
+
+#endif  // SJSEL_DATAGEN_GENERATORS_H_

@@ -1,0 +1,112 @@
+#include "datagen/geo_generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace sjsel {
+namespace gen {
+namespace {
+
+Point DrawMixtureCenter(Rng* rng, const Rect& extent,
+                        const std::vector<Cluster>& clusters,
+                        double background_frac) {
+  if (clusters.empty() || rng->NextBernoulli(background_frac)) {
+    return Point{rng->NextDouble(extent.min_x, extent.max_x),
+                 rng->NextDouble(extent.min_y, extent.max_y)};
+  }
+  double total = 0.0;
+  for (const Cluster& c : clusters) total += c.weight;
+  double pick = rng->NextDouble() * total;
+  const Cluster* chosen = &clusters.back();
+  for (const Cluster& c : clusters) {
+    pick -= c.weight;
+    if (pick <= 0.0) {
+      chosen = &c;
+      break;
+    }
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Point p{chosen->center.x + rng->NextGaussian() * chosen->sigma_x,
+                  chosen->center.y + rng->NextGaussian() * chosen->sigma_y};
+    if (extent.Contains(p)) return p;
+  }
+  return Point{std::clamp(chosen->center.x, extent.min_x, extent.max_x),
+               std::clamp(chosen->center.y, extent.min_y, extent.max_y)};
+}
+
+}  // namespace
+
+GeoDataset GenerateStreamPolylines(std::string name, size_t n,
+                                   const Rect& extent,
+                                   const PolylineSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  GeoDataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Polyline line;
+    line.pts.reserve(spec.steps);
+    Point pos = DrawMixtureCenter(&rng, extent, spec.start_clusters,
+                                  spec.background_frac);
+    double heading = rng.NextDouble(0.0, 2.0 * M_PI);
+    line.pts.push_back(pos);
+    for (int s = 1; s < spec.steps; ++s) {
+      heading += rng.NextGaussian() * spec.turn_sigma;
+      const double len = rng.NextExponential(1.0 / spec.step_len);
+      pos.x = std::clamp(pos.x + std::cos(heading) * len, extent.min_x,
+                         extent.max_x);
+      pos.y = std::clamp(pos.y + std::sin(heading) * len, extent.min_y,
+                         extent.max_y);
+      line.pts.push_back(pos);
+    }
+    ds.Add(std::move(line));
+  }
+  return ds;
+}
+
+GeoDataset GenerateBlockPolygons(std::string name, size_t n,
+                                 const Rect& extent,
+                                 const std::vector<Cluster>& clusters,
+                                 double background_frac, double mean_radius,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  GeoDataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point c =
+        DrawMixtureCenter(&rng, extent, clusters, background_frac);
+    const int vertices = 5 + static_cast<int>(rng.NextU64(5));
+    // Sorted angles with jitter make a star-shaped (hence simple) ring.
+    Polygon poly;
+    poly.pts.reserve(vertices);
+    for (int v = 0; v < vertices; ++v) {
+      const double angle =
+          2.0 * M_PI * (v + rng.NextDouble() * 0.6) / vertices;
+      const double radius =
+          mean_radius * rng.NextDouble(0.6, 1.4);
+      Point p{c.x + std::cos(angle) * radius,
+              c.y + std::sin(angle) * radius};
+      p.x = std::clamp(p.x, extent.min_x, extent.max_x);
+      p.y = std::clamp(p.y, extent.min_y, extent.max_y);
+      poly.pts.push_back(p);
+    }
+    ds.Add(std::move(poly));
+  }
+  return ds;
+}
+
+GeoDataset GeneratePointSites(std::string name, size_t n, const Rect& extent,
+                              const std::vector<Cluster>& clusters,
+                              double background_frac, uint64_t seed) {
+  Rng rng(seed);
+  GeoDataset ds(std::move(name));
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ds.Add(DrawMixtureCenter(&rng, extent, clusters, background_frac));
+  }
+  return ds;
+}
+
+}  // namespace gen
+}  // namespace sjsel

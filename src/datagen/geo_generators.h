@@ -1,0 +1,35 @@
+#ifndef SJSEL_DATAGEN_GEO_GENERATORS_H_
+#define SJSEL_DATAGEN_GEO_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datagen/generators.h"
+#include "geom/geometry.h"
+
+namespace sjsel {
+namespace gen {
+
+/// Stream-like polylines (random walks) with their exact vertex chains —
+/// the geometry whose MBRs RandomWalkPolylines() produces.
+GeoDataset GenerateStreamPolylines(std::string name, size_t n,
+                                   const Rect& extent,
+                                   const PolylineSpec& spec, uint64_t seed);
+
+/// Census-block-like simple polygons: star-shaped vertex rings (5-9
+/// vertices) around cluster-mixture centers.
+GeoDataset GenerateBlockPolygons(std::string name, size_t n,
+                                 const Rect& extent,
+                                 const std::vector<Cluster>& clusters,
+                                 double background_frac, double mean_radius,
+                                 uint64_t seed);
+
+/// Point sites from a cluster mixture (exact points, not boxes).
+GeoDataset GeneratePointSites(std::string name, size_t n, const Rect& extent,
+                              const std::vector<Cluster>& clusters,
+                              double background_frac, uint64_t seed);
+
+}  // namespace gen
+}  // namespace sjsel
+
+#endif  // SJSEL_DATAGEN_GEO_GENERATORS_H_

@@ -1,0 +1,185 @@
+#include "datagen/workloads.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "datagen/generators.h"
+
+namespace sjsel {
+namespace gen {
+namespace {
+
+const Rect kUnitExtent(0.0, 0.0, 1.0, 1.0);
+
+// Cluster layouts shared per geographic region so that same-region layers
+// are spatially correlated (streams and census blocks of the same states do
+// overlap heavily in reality).
+
+// Midwest (TS/TCB): a few metro areas over a broad, fairly even landscape.
+std::vector<Cluster> MidwestClusters() {
+  return {
+      {{0.22, 0.30}, 0.06, 0.05, 1.2}, {{0.58, 0.62}, 0.05, 0.06, 1.0},
+      {{0.80, 0.25}, 0.04, 0.04, 0.8}, {{0.38, 0.78}, 0.05, 0.05, 0.9},
+      {{0.70, 0.85}, 0.03, 0.03, 0.6}, {{0.12, 0.64}, 0.04, 0.05, 0.7},
+  };
+}
+
+// California (CAS/CAR): clusters along a diagonal band (the coast/valley),
+// strongly skewed.
+std::vector<Cluster> CaliforniaClusters() {
+  return {
+      {{0.15, 0.88}, 0.035, 0.05, 1.6},  // Bay Area-like
+      {{0.22, 0.74}, 0.03, 0.04, 0.9},   {{0.34, 0.58}, 0.04, 0.05, 1.1},
+      {{0.45, 0.44}, 0.03, 0.04, 0.8},   {{0.58, 0.30}, 0.04, 0.04, 1.3},
+      {{0.72, 0.18}, 0.045, 0.035, 1.8},  // LA-like
+      {{0.84, 0.10}, 0.03, 0.03, 1.0},   {{0.40, 0.80}, 0.05, 0.06, 0.5},
+  };
+}
+
+// Sequoia (SP/SPG): a handful of tight clusters over a sparse background.
+std::vector<Cluster> SequoiaClusters() {
+  return {
+      {{0.30, 0.35}, 0.05, 0.07, 1.4},
+      {{0.52, 0.60}, 0.04, 0.05, 1.0},
+      {{0.70, 0.30}, 0.06, 0.04, 0.9},
+      {{0.25, 0.75}, 0.03, 0.03, 0.6},
+      {{0.80, 0.78}, 0.05, 0.05, 0.7},
+  };
+}
+
+size_t Scaled(size_t n, double scale) {
+  const double s = std::clamp(scale, 0.0001, 1.0);
+  const size_t m = static_cast<size_t>(static_cast<double>(n) * s);
+  return std::max<size_t>(m, 100);
+}
+
+}  // namespace
+
+size_t PaperCardinality(PaperDataset which) {
+  switch (which) {
+    case PaperDataset::kTS:
+      return 194971;
+    case PaperDataset::kTCB:
+      return 556696;
+    case PaperDataset::kCAS:
+      return 98451;
+    case PaperDataset::kCAR:
+      return 2249727;
+    case PaperDataset::kSP:
+      return 62555;
+    case PaperDataset::kSPG:
+      return 79607;
+    case PaperDataset::kSCRC:
+      return 100000;
+    case PaperDataset::kSURA:
+      return 100000;
+  }
+  return 0;
+}
+
+std::string PaperDatasetName(PaperDataset which) {
+  switch (which) {
+    case PaperDataset::kTS:
+      return "TS";
+    case PaperDataset::kTCB:
+      return "TCB";
+    case PaperDataset::kCAS:
+      return "CAS";
+    case PaperDataset::kCAR:
+      return "CAR";
+    case PaperDataset::kSP:
+      return "SP";
+    case PaperDataset::kSPG:
+      return "SPG";
+    case PaperDataset::kSCRC:
+      return "SCRC";
+    case PaperDataset::kSURA:
+      return "SURA";
+  }
+  return "?";
+}
+
+Dataset MakePaperDataset(PaperDataset which, double scale, uint64_t seed) {
+  const size_t n = Scaled(PaperCardinality(which), scale);
+  const std::string name = PaperDatasetName(which);
+  switch (which) {
+    case PaperDataset::kTS: {
+      PolylineSpec spec;
+      spec.steps = 20;
+      spec.step_len = 0.0035;
+      spec.turn_sigma = 0.5;
+      spec.start_clusters = MidwestClusters();
+      spec.background_frac = 0.45;
+      return RandomWalkPolylines(name, n, kUnitExtent, spec, seed ^ 0x1);
+    }
+    case PaperDataset::kTCB:
+      return TiledBlocks(name, n, kUnitExtent, MidwestClusters(),
+                         /*rural_frac=*/0.35, /*block_size=*/0.0018,
+                         seed ^ 0x2);
+    case PaperDataset::kCAS: {
+      PolylineSpec spec;
+      spec.steps = 22;
+      spec.step_len = 0.004;
+      spec.turn_sigma = 0.55;
+      spec.start_clusters = CaliforniaClusters();
+      spec.background_frac = 0.2;
+      return RandomWalkPolylines(name, n, kUnitExtent, spec, seed ^ 0x3);
+    }
+    case PaperDataset::kCAR: {
+      NetworkSpec spec;
+      spec.num_trunks = 32;
+      spec.trunk_steps = 200;
+      spec.trunk_step_len = 0.008;
+      spec.branch_frac = 0.55;
+      spec.jitter = 0.003;
+      spec.segment_len = 0.0012;
+      return LineNetworkSegments(name, n, kUnitExtent, spec, seed ^ 0x4);
+    }
+    case PaperDataset::kSP:
+      return ClusteredPoints(name, n, kUnitExtent, SequoiaClusters(),
+                             /*background_frac=*/0.25, seed ^ 0x5);
+    case PaperDataset::kSPG: {
+      SizeDist size{SizeDist::Kind::kExponential, 0.003, 0.003, 0.0};
+      return MultiClusterRects(name, n, kUnitExtent, SequoiaClusters(),
+                               /*background_frac=*/0.25, size, seed ^ 0x6);
+    }
+    case PaperDataset::kSCRC: {
+      SizeDist size{SizeDist::Kind::kUniform, 0.002, 0.002, 0.5};
+      Cluster c{{0.4, 0.7}, 0.1, 0.1, 1.0};
+      return GaussianClusterRects(name, n, kUnitExtent, c, size, seed ^ 0x7);
+    }
+    case PaperDataset::kSURA: {
+      SizeDist size{SizeDist::Kind::kUniform, 0.002, 0.002, 0.5};
+      return UniformRects(name, n, kUnitExtent, size, seed ^ 0x8);
+    }
+  }
+  return Dataset("empty");
+}
+
+std::vector<JoinPair> Figure6Pairs() {
+  return {{PaperDataset::kTS, PaperDataset::kTCB},
+          {PaperDataset::kCAS, PaperDataset::kCAR},
+          {PaperDataset::kSP, PaperDataset::kSPG},
+          {PaperDataset::kSCRC, PaperDataset::kSURA}};
+}
+
+std::vector<JoinPair> Figure7Pairs() {
+  return {{PaperDataset::kTCB, PaperDataset::kTS},
+          {PaperDataset::kCAR, PaperDataset::kCAS},
+          {PaperDataset::kSPG, PaperDataset::kSP},
+          {PaperDataset::kSCRC, PaperDataset::kSURA}};
+}
+
+double ExperimentScaleFromEnv(double fallback) {
+  if (const char* s = std::getenv("SJSEL_SCALE"); s != nullptr) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  if (const char* f = std::getenv("SJSEL_FULL"); f != nullptr) {
+    if (f[0] == '1') return 1.0;
+  }
+  return fallback;
+}
+
+}  // namespace gen
+}  // namespace sjsel

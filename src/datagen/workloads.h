@@ -1,0 +1,64 @@
+#ifndef SJSEL_DATAGEN_WORKLOADS_H_
+#define SJSEL_DATAGEN_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/dataset.h"
+
+namespace sjsel {
+namespace gen {
+
+/// The eight datasets of the paper's evaluation (Section 4.1). The real
+/// TIGER/Line 1995 and Sequoia extracts are not redistributable, so each is
+/// replaced by a synthetic generator matching its cardinality, object type,
+/// size distribution and spatial skew (see DESIGN.md, "Dataset
+/// substitutions").
+enum class PaperDataset {
+  kTS,    ///< 194,971 stream polyline MBRs (IA/KS/MO/NE)
+  kTCB,   ///< 556,696 census-block polygons
+  kCAS,   ///< 98,451 California stream polylines
+  kCAR,   ///< 2,249,727 California road polylines
+  kSP,    ///< 62,555 Sequoia points
+  kSPG,   ///< 79,607 Sequoia polygons
+  kSCRC,  ///< 100,000 synthetic rects clustered at (0.4, 0.7)
+  kSURA,  ///< 100,000 synthetic uniform rects
+};
+
+/// Paper cardinality of `which`.
+size_t PaperCardinality(PaperDataset which);
+
+/// Canonical short name ("TS", "TCB", ...).
+std::string PaperDatasetName(PaperDataset which);
+
+/// Instantiates a paper dataset at `scale` (0 < scale <= 1) of its paper
+/// cardinality in the unit extent. Datasets of the same geographic region
+/// (TS/TCB, CAS/CAR, SP/SPG) share cluster layouts so joins between them
+/// are spatially correlated like the real layers.
+Dataset MakePaperDataset(PaperDataset which, double scale, uint64_t seed);
+
+/// One dataset pair used in the evaluation figures.
+struct JoinPair {
+  PaperDataset first;
+  PaperDataset second;
+  std::string Label() const {
+    return PaperDatasetName(first) + " with " + PaperDatasetName(second);
+  }
+};
+
+/// Figure 6's pair order: TS/TCB, CAS/CAR, SP/SPG, SCRC/SURA.
+std::vector<JoinPair> Figure6Pairs();
+
+/// Figure 7's pair order: TCB/TS, CAR/CAS, SPG/SP, SCRC/SURA.
+std::vector<JoinPair> Figure7Pairs();
+
+/// Reads the default experiment scale: SJSEL_FULL=1 selects scale 1.0
+/// (paper cardinalities), otherwise returns `fallback` (default 0.2, sized
+/// for a single-core CI box). SJSEL_SCALE=<float> overrides both.
+double ExperimentScaleFromEnv(double fallback = 0.2);
+
+}  // namespace gen
+}  // namespace sjsel
+
+#endif  // SJSEL_DATAGEN_WORKLOADS_H_

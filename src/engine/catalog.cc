@@ -1,0 +1,87 @@
+#include "engine/catalog.h"
+
+namespace sjsel {
+
+Status Catalog::AddDataset(Dataset dataset) {
+  if (dataset.name().empty()) {
+    return Status::InvalidArgument("dataset must be named");
+  }
+  if (entries_.count(dataset.name()) > 0) {
+    return Status::AlreadyExists("dataset already registered: " +
+                                 dataset.name());
+  }
+  Entry entry;
+  const std::string name = dataset.name();
+  entry.dataset = std::move(dataset);
+  entries_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::DatasetNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+Result<Catalog::Entry*> Catalog::Find(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no such dataset: " + name);
+  }
+  return &it->second;
+}
+
+Result<const Dataset*> Catalog::GetDataset(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no such dataset: " + name);
+  }
+  return &it->second.dataset;
+}
+
+Result<const GhHistogram*> Catalog::GetHistogram(const std::string& name) {
+  Entry* entry = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(entry, Find(name));
+  if (entry->histogram == nullptr) {
+    auto built = GhHistogram::Build(entry->dataset, extent_, gh_level_);
+    if (!built.ok()) return built.status();
+    entry->histogram =
+        std::make_unique<GhHistogram>(std::move(built).value());
+  }
+  return entry->histogram.get();
+}
+
+Result<const RTree*> Catalog::GetRTree(const std::string& name) {
+  Entry* entry = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(entry, Find(name));
+  if (entry->rtree == nullptr) {
+    entry->rtree = std::make_unique<RTree>(
+        RTree::BulkLoadStr(RTree::DatasetEntries(entry->dataset)));
+  }
+  return entry->rtree.get();
+}
+
+Result<double> Catalog::EstimateJoinPairs(const std::string& a,
+                                          const std::string& b) {
+  const GhHistogram* ha = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(ha, GetHistogram(a));
+  const GhHistogram* hb = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(hb, GetHistogram(b));
+  return EstimateGhJoinPairs(*ha, *hb);
+}
+
+Result<double> Catalog::EstimateJoinSelectivity(const std::string& a,
+                                                const std::string& b) {
+  const GhHistogram* ha = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(ha, GetHistogram(a));
+  const GhHistogram* hb = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(hb, GetHistogram(b));
+  return EstimateGhJoinSelectivity(*ha, *hb);
+}
+
+}  // namespace sjsel

@@ -1,0 +1,73 @@
+#ifndef SJSEL_ENGINE_CATALOG_H_
+#define SJSEL_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gh_histogram.h"
+#include "geom/dataset.h"
+#include "rtree/rtree.h"
+#include "util/result.h"
+
+namespace sjsel {
+
+/// A tiny SDBMS-style catalog: named datasets with lazily built, cached
+/// per-dataset structures — a GH histogram (for the optimizer) and an
+/// R-tree (for the executor). All histograms are built over one workspace
+/// extent at one gridding level so any pair is directly combinable.
+///
+/// This realizes the paper's motivating use-case (and its "future work"):
+/// a query optimizer that consults spatial-join selectivity estimates.
+class Catalog {
+ public:
+  /// `extent` is the workspace every registered dataset lives in;
+  /// `gh_level` is the gridding level of the optimizer histograms.
+  Catalog(const Rect& extent, int gh_level)
+      : extent_(extent), gh_level_(gh_level) {}
+
+  /// Registers a dataset under its name(). Fails on duplicates or empty
+  /// names.
+  Status AddDataset(Dataset dataset);
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> DatasetNames() const;
+
+  /// Borrowed pointer valid while the catalog lives.
+  Result<const Dataset*> GetDataset(const std::string& name) const;
+
+  /// The dataset's GH histogram, built on first use.
+  Result<const GhHistogram*> GetHistogram(const std::string& name);
+
+  /// The dataset's R-tree (STR bulk load), built on first use.
+  Result<const RTree*> GetRTree(const std::string& name);
+
+  /// GH-estimated join cardinality between two registered datasets.
+  Result<double> EstimateJoinPairs(const std::string& a,
+                                   const std::string& b);
+
+  /// GH-estimated join selectivity between two registered datasets.
+  Result<double> EstimateJoinSelectivity(const std::string& a,
+                                         const std::string& b);
+
+  const Rect& extent() const { return extent_; }
+  int gh_level() const { return gh_level_; }
+
+ private:
+  struct Entry {
+    Dataset dataset;
+    std::unique_ptr<GhHistogram> histogram;
+    std::unique_ptr<RTree> rtree;
+  };
+
+  Result<Entry*> Find(const std::string& name);
+
+  Rect extent_;
+  int gh_level_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sjsel
+
+#endif  // SJSEL_ENGINE_CATALOG_H_

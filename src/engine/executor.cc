@@ -1,0 +1,117 @@
+#include "engine/executor.h"
+
+#include "join/rtree_join.h"
+#include "util/timer.h"
+
+namespace sjsel {
+
+Result<ChainJoinResult> ExecuteChainJoin(
+    Catalog* catalog, const std::vector<std::string>& order) {
+  if (order.size() < 2) {
+    return Status::InvalidArgument("a join needs at least 2 datasets");
+  }
+
+  Timer timer;
+  ChainJoinResult result;
+
+  const RTree* first = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(first, catalog->GetRTree(order[0]));
+  const RTree* second = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(second, catalog->GetRTree(order[1]));
+  const Dataset* second_ds = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(second_ds, catalog->GetDataset(order[1]));
+
+  // counts[id] = number of partial tuples whose last element is `id` of the
+  // most recently joined dataset.
+  std::vector<uint64_t> counts(second_ds->size(), 0);
+  uint64_t rows = 0;
+  RTreeJoin(*first, *second, [&](int64_t, int64_t b) {
+    ++counts[static_cast<size_t>(b)];
+    ++rows;
+  });
+  result.step_cardinalities.push_back(rows);
+  result.work += rows;
+  const Dataset* last_ds = second_ds;
+
+  for (size_t step = 2; step < order.size(); ++step) {
+    const RTree* next_tree = nullptr;
+    SJSEL_ASSIGN_OR_RETURN(next_tree, catalog->GetRTree(order[step]));
+    const Dataset* next_ds = nullptr;
+    SJSEL_ASSIGN_OR_RETURN(next_ds, catalog->GetDataset(order[step]));
+
+    std::vector<uint64_t> next_counts(next_ds->size(), 0);
+    uint64_t next_rows = 0;
+    for (size_t id = 0; id < counts.size(); ++id) {
+      if (counts[id] == 0) continue;
+      const uint64_t multiplicity = counts[id];
+      next_tree->RangeQuery((*last_ds)[id],
+                            [&](int64_t match, const Rect&) {
+                              next_counts[static_cast<size_t>(match)] +=
+                                  multiplicity;
+                              next_rows += multiplicity;
+                            });
+      ++result.work;
+    }
+    counts = std::move(next_counts);
+    last_ds = next_ds;
+    result.step_cardinalities.push_back(next_rows);
+    result.work += next_rows;
+  }
+
+  result.result_tuples = result.step_cardinalities.back();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<ChainJoinResult> ExecuteChainSteps(
+    Catalog* catalog, const std::vector<ChainStep>& steps) {
+  if (steps.size() < 2) {
+    return Status::InvalidArgument("a join needs at least 2 datasets");
+  }
+
+  Timer timer;
+  ChainJoinResult result;
+
+  const Dataset* last_ds = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(last_ds, catalog->GetDataset(steps[0].dataset));
+
+  // Seed: every element of the first dataset is a partial tuple.
+  std::vector<uint64_t> counts(last_ds->size(), 1);
+
+  for (size_t step_index = 1; step_index < steps.size(); ++step_index) {
+    const ChainStep& step = steps[step_index];
+    const RTree* next_tree = nullptr;
+    SJSEL_ASSIGN_OR_RETURN(next_tree, catalog->GetRTree(step.dataset));
+    const Dataset* next_ds = nullptr;
+    SJSEL_ASSIGN_OR_RETURN(next_ds, catalog->GetDataset(step.dataset));
+    if (step.predicate == ChainPredicate::kWithinDistance &&
+        step.eps < 0.0) {
+      return Status::InvalidArgument("within-distance eps must be >= 0");
+    }
+    const double margin =
+        step.predicate == ChainPredicate::kWithinDistance ? step.eps : 0.0;
+
+    std::vector<uint64_t> next_counts(next_ds->size(), 0);
+    uint64_t next_rows = 0;
+    for (size_t id = 0; id < counts.size(); ++id) {
+      if (counts[id] == 0) continue;
+      const uint64_t multiplicity = counts[id];
+      const Rect probe = (*last_ds)[id].Expanded(margin);
+      next_tree->RangeQuery(probe, [&](int64_t match, const Rect&) {
+        next_counts[static_cast<size_t>(match)] += multiplicity;
+        next_rows += multiplicity;
+      });
+      ++result.work;
+    }
+    counts = std::move(next_counts);
+    last_ds = next_ds;
+    result.step_cardinalities.push_back(next_rows);
+    result.work += next_rows;
+  }
+
+  result.result_tuples = result.step_cardinalities.back();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sjsel

@@ -1,0 +1,41 @@
+#ifndef SJSEL_ENGINE_EXECUTOR_H_
+#define SJSEL_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/planner.h"
+#include "util/result.h"
+
+namespace sjsel {
+
+/// Result of executing a chain join order.
+struct ChainJoinResult {
+  uint64_t result_tuples = 0;
+  /// Actual cardinality after each join step (size k-1) — comparable
+  /// one-to-one with JoinPlan::step_cardinalities.
+  std::vector<uint64_t> step_cardinalities;
+  /// Total tuples examined across steps; the executor's work measure.
+  uint64_t work = 0;
+  double seconds = 0.0;
+};
+
+/// Executes the chain spatial join R1 ⋈ R2 ⋈ ... ⋈ Rk in the given order:
+/// the first step is an R-tree join of the first two datasets, and each
+/// later step extends tuples by probing the next dataset's R-tree with the
+/// tuple's last rectangle. Tuple counts are tracked per distinct last
+/// element, so memory stays O(max dataset size).
+Result<ChainJoinResult> ExecuteChainJoin(Catalog* catalog,
+                                         const std::vector<std::string>& order);
+
+/// Executes a predicate-annotated chain query in the given order. Each
+/// within-distance edge probes the next R-tree with the tuple's last
+/// rectangle expanded by eps (the exact reduction for Chebyshev distance).
+Result<ChainJoinResult> ExecuteChainSteps(Catalog* catalog,
+                                          const std::vector<ChainStep>& steps);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_ENGINE_EXECUTOR_H_

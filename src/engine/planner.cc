@@ -1,0 +1,173 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/distance_estimate.h"
+
+namespace sjsel {
+namespace {
+
+// Pairwise inputs the cost model needs, gathered once per planning call.
+struct PlanningInputs {
+  std::vector<std::string> names;
+  std::vector<double> sizes;
+  // sel[i][j]: GH-estimated selectivity between datasets i and j.
+  std::vector<std::vector<double>> sel;
+};
+
+Result<PlanningInputs> Gather(Catalog* catalog,
+                              const std::vector<std::string>& datasets) {
+  PlanningInputs in;
+  in.names = datasets;
+  const size_t k = datasets.size();
+  in.sizes.resize(k);
+  in.sel.assign(k, std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < k; ++i) {
+    const Dataset* ds = nullptr;
+    SJSEL_ASSIGN_OR_RETURN(ds, catalog->GetDataset(datasets[i]));
+    in.sizes[i] = static_cast<double>(ds->size());
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      double s = 0.0;
+      SJSEL_ASSIGN_OR_RETURN(
+          s, catalog->EstimateJoinSelectivity(datasets[i], datasets[j]));
+      s = std::max(s, 0.0);
+      in.sel[i][j] = s;
+      in.sel[j][i] = s;
+    }
+  }
+  return in;
+}
+
+JoinPlan CostPermutation(const PlanningInputs& in,
+                         const std::vector<size_t>& perm) {
+  JoinPlan plan;
+  for (size_t idx : perm) plan.order.push_back(in.names[idx]);
+  double rows = in.sizes[perm[0]];
+  for (size_t step = 1; step < perm.size(); ++step) {
+    const size_t prev = perm[step - 1];
+    const size_t next = perm[step];
+    rows = rows * in.sel[prev][next] * in.sizes[next];
+    plan.step_cardinalities.push_back(rows);
+    plan.estimated_cost += rows;
+  }
+  return plan;
+}
+
+JoinPlan GreedyPlan(const PlanningInputs& in) {
+  const size_t k = in.names.size();
+  // Start with the cheapest pair, then repeatedly append the dataset whose
+  // join with the current tail is cheapest.
+  size_t best_i = 0;
+  size_t best_j = 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      const double rows = in.sizes[i] * in.sizes[j] * in.sel[i][j];
+      if (rows < best) {
+        best = rows;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  std::vector<size_t> perm = {best_i, best_j};
+  std::vector<bool> used(k, false);
+  used[best_i] = used[best_j] = true;
+  while (perm.size() < k) {
+    const size_t tail = perm.back();
+    size_t pick = 0;
+    double pick_cost = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (used[c]) continue;
+      const double cost = in.sel[tail][c] * in.sizes[c];
+      if (cost < pick_cost) {
+        pick_cost = cost;
+        pick = c;
+      }
+    }
+    used[pick] = true;
+    perm.push_back(pick);
+  }
+  return CostPermutation(in, perm);
+}
+
+}  // namespace
+
+Result<JoinPlan> PlanChainJoin(Catalog* catalog,
+                               const std::vector<std::string>& datasets) {
+  if (datasets.size() < 2) {
+    return Status::InvalidArgument("a join needs at least 2 datasets");
+  }
+  PlanningInputs in;
+  SJSEL_ASSIGN_OR_RETURN(in, Gather(catalog, datasets));
+
+  const size_t k = datasets.size();
+  if (k > 7) return GreedyPlan(in);
+
+  std::vector<size_t> perm(k);
+  for (size_t i = 0; i < k; ++i) perm[i] = i;
+  JoinPlan best;
+  best.estimated_cost = std::numeric_limits<double>::infinity();
+  do {
+    JoinPlan candidate = CostPermutation(in, perm);
+    if (candidate.estimated_cost < best.estimated_cost) {
+      best = std::move(candidate);
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+Result<JoinPlan> CostChainOrder(Catalog* catalog,
+                                const std::vector<std::string>& order) {
+  if (order.size() < 2) {
+    return Status::InvalidArgument("a join needs at least 2 datasets");
+  }
+  PlanningInputs in;
+  SJSEL_ASSIGN_OR_RETURN(in, Gather(catalog, order));
+  std::vector<size_t> perm(order.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  return CostPermutation(in, perm);
+}
+
+Result<JoinPlan> CostChainSteps(Catalog* catalog,
+                                const std::vector<ChainStep>& steps) {
+  if (steps.size() < 2) {
+    return Status::InvalidArgument("a join needs at least 2 datasets");
+  }
+  JoinPlan plan;
+  const Dataset* prev = nullptr;
+  SJSEL_ASSIGN_OR_RETURN(prev, catalog->GetDataset(steps[0].dataset));
+  plan.order.push_back(steps[0].dataset);
+  double rows = static_cast<double>(prev->size());
+
+  for (size_t i = 1; i < steps.size(); ++i) {
+    const ChainStep& step = steps[i];
+    const Dataset* next = nullptr;
+    SJSEL_ASSIGN_OR_RETURN(next, catalog->GetDataset(step.dataset));
+    plan.order.push_back(step.dataset);
+
+    double pairwise = 0.0;
+    if (step.predicate == ChainPredicate::kIntersects) {
+      SJSEL_ASSIGN_OR_RETURN(pairwise, catalog->EstimateJoinPairs(
+                                           steps[i - 1].dataset,
+                                           step.dataset));
+    } else {
+      SJSEL_ASSIGN_OR_RETURN(
+          pairwise, EstimateWithinDistancePairs(*prev, *next, step.eps,
+                                                catalog->gh_level()));
+    }
+    const double selectivity =
+        pairwise / (static_cast<double>(prev->size()) *
+                    static_cast<double>(next->size()));
+    rows = rows * selectivity * static_cast<double>(next->size());
+    plan.step_cardinalities.push_back(rows);
+    plan.estimated_cost += rows;
+    prev = next;
+  }
+  return plan;
+}
+
+}  // namespace sjsel

@@ -1,0 +1,65 @@
+#ifndef SJSEL_ENGINE_PLANNER_H_
+#define SJSEL_ENGINE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "util/result.h"
+
+namespace sjsel {
+
+/// A left-deep execution order for a chain spatial join
+/// R1 ⋈ R2 ⋈ ... ⋈ Rk, where a result tuple (t1, ..., tk) requires
+/// t_i ∩ t_{i+1} ≠ ∅ for consecutive elements of the chosen order.
+struct JoinPlan {
+  std::vector<std::string> order;
+  /// Estimated cardinality after each join step (size k-1).
+  std::vector<double> step_cardinalities;
+  /// Optimizer cost: the sum of estimated intermediate cardinalities.
+  double estimated_cost = 0.0;
+};
+
+/// Cost-based planner: searches join orders for the given datasets and
+/// returns the order minimizing the sum of estimated intermediate
+/// cardinalities, with per-step cardinalities composed from pairwise GH
+/// selectivities:
+///
+///   |R1 ⋈ R2|       = sel(R1, R2) * N1 * N2
+///   |... ⋈ R_next|  = |prev| * sel(R_last, R_next) * N_next
+///
+/// Exhaustive over all orders for k <= 7 datasets, greedy beyond.
+Result<JoinPlan> PlanChainJoin(Catalog* catalog,
+                               const std::vector<std::string>& datasets);
+
+/// Costs one explicit order with the same model (used to compare the
+/// optimizer's pick against naive orders).
+Result<JoinPlan> CostChainOrder(Catalog* catalog,
+                                const std::vector<std::string>& order);
+
+/// Predicate on one edge of a chain query.
+enum class ChainPredicate {
+  kIntersects,
+  /// Chebyshev distance <= eps between consecutive elements.
+  kWithinDistance,
+};
+
+/// One element of a predicate-annotated chain query. The predicate applies
+/// between this dataset and the previous one (ignored on the first step).
+struct ChainStep {
+  std::string dataset;
+  ChainPredicate predicate = ChainPredicate::kIntersects;
+  double eps = 0.0;
+};
+
+/// Costs a fixed, predicate-annotated chain query: intersect edges use the
+/// catalog's GH histograms; within-distance edges estimate via the
+/// expand-and-intersect reduction at the catalog's gridding level. (No
+/// reordering — per-edge predicates pin the chain's semantics to its
+/// order.)
+Result<JoinPlan> CostChainSteps(Catalog* catalog,
+                                const std::vector<ChainStep>& steps);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_ENGINE_PLANNER_H_

@@ -1,0 +1,137 @@
+#include "geom/dataset.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace {
+
+constexpr uint32_t kDatasetMagic = 0x534a4453;  // "SJDS"
+constexpr uint32_t kDatasetVersion = 1;
+
+}  // namespace
+
+Rect Dataset::ComputeExtent() const {
+  Rect extent = Rect::Empty();
+  for (const Rect& r : rects_) extent.Extend(r);
+  return extent;
+}
+
+Status Dataset::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.PutU32(kDatasetMagic);
+  w.PutU32(kDatasetVersion);
+  w.PutString(name_);
+  w.PutU64(rects_.size());
+  for (const Rect& r : rects_) {
+    w.PutDouble(r.min_x);
+    w.PutDouble(r.min_y);
+    w.PutDouble(r.max_x);
+    w.PutDouble(r.max_y);
+  }
+  const uint32_t crc = w.Crc32();
+  BinaryWriter trailer;
+  trailer.PutU32(crc);
+  return WriteFile(path, w.buffer() + trailer.buffer());
+}
+
+Result<Dataset> Dataset::Load(const std::string& path) {
+  std::string data;
+  SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
+  if (data.size() < sizeof(uint32_t)) {
+    return Status::Corruption("dataset file too short: " + path);
+  }
+  const size_t body_size = data.size() - sizeof(uint32_t);
+  BinaryReader r(std::move(data));
+
+  uint32_t expected_crc_body = 0;
+  {
+    uint32_t actual = 0;
+    SJSEL_ASSIGN_OR_RETURN(actual, r.Crc32Prefix(body_size));
+    expected_crc_body = actual;
+  }
+
+  uint32_t magic = 0;
+  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
+  if (magic != kDatasetMagic) {
+    return Status::Corruption("bad dataset magic in " + path);
+  }
+  uint32_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  if (version != kDatasetVersion) {
+    return Status::Corruption("unsupported dataset version " +
+                              std::to_string(version));
+  }
+  Dataset ds;
+  std::string name;
+  SJSEL_ASSIGN_OR_RETURN(name, r.GetString());
+  ds.set_name(name);
+  uint64_t n = 0;
+  SJSEL_ASSIGN_OR_RETURN(n, r.GetU64());
+  // Each rect needs 32 bytes; a count beyond the remaining payload means a
+  // corrupt header (and would otherwise drive Reserve into bad_alloc).
+  if (n > (r.size() - r.position()) / 32) {
+    return Status::Corruption("dataset count exceeds payload in " + path);
+  }
+  ds.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Rect rect;
+    SJSEL_ASSIGN_OR_RETURN(rect.min_x, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(rect.min_y, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(rect.max_x, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(rect.max_y, r.GetDouble());
+    ds.Add(rect);
+  }
+  if (r.position() != body_size) {
+    return Status::Corruption("trailing garbage in dataset file " + path);
+  }
+  uint32_t stored_crc = 0;
+  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
+  if (stored_crc != expected_crc_body) {
+    return Status::Corruption("dataset CRC mismatch in " + path);
+  }
+  return ds;
+}
+
+Status Dataset::SaveCsv(const std::string& path) const {
+  std::string out = "min_x,min_y,max_x,max_y\n";
+  char line[160];
+  for (const Rect& r : rects_) {
+    std::snprintf(line, sizeof(line), "%.17g,%.17g,%.17g,%.17g\n", r.min_x,
+                  r.min_y, r.max_x, r.max_y);
+    out += line;
+  }
+  return WriteFile(path, out);
+}
+
+Result<Dataset> Dataset::LoadCsv(const std::string& path,
+                                 const std::string& name) {
+  std::string data;
+  SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
+  Dataset ds(name);
+  std::istringstream in(data);
+  std::string line;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      // Skip a header line if present.
+      if (line.find("min_x") != std::string::npos) continue;
+    }
+    Rect r;
+    if (std::sscanf(line.c_str(), "%lf,%lf,%lf,%lf", &r.min_x, &r.min_y,
+                    &r.max_x, &r.max_y) != 4) {
+      return Status::Corruption("bad CSV row at line " +
+                                std::to_string(line_no) + " of " + path);
+    }
+    ds.Add(r);
+  }
+  return ds;
+}
+
+}  // namespace sjsel

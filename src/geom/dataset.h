@@ -1,0 +1,63 @@
+#ifndef SJSEL_GEOM_DATASET_H_
+#define SJSEL_GEOM_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sjsel {
+
+/// A spatial dataset: a bag of MBRs over a common extent. This is the only
+/// data representation the paper's filter-step techniques consume — real
+/// point/polyline/polygon geometry is abstracted by its bounding box before
+/// any estimator or join sees it.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+  Dataset(std::string name, std::vector<Rect> rects)
+      : name_(std::move(name)), rects_(std::move(rects)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Rect>& rects() const { return rects_; }
+  std::vector<Rect>& mutable_rects() { return rects_; }
+
+  size_t size() const { return rects_.size(); }
+  bool empty() const { return rects_.empty(); }
+  const Rect& operator[](size_t i) const { return rects_[i]; }
+
+  void Add(const Rect& r) { rects_.push_back(r); }
+  void Reserve(size_t n) { rects_.reserve(n); }
+
+  /// The tight bounding box of all member rectangles (Rect::Empty() for an
+  /// empty dataset).
+  Rect ComputeExtent() const;
+
+  /// Serializes to the sjsel binary dataset format (magic, name, count,
+  /// rects, CRC trailer).
+  Status Save(const std::string& path) const;
+
+  /// Loads a dataset written by Save(), validating magic and CRC.
+  static Result<Dataset> Load(const std::string& path);
+
+  /// Writes "min_x,min_y,max_x,max_y" CSV rows (with a header line).
+  Status SaveCsv(const std::string& path) const;
+
+  /// Parses the CSV format written by SaveCsv().
+  static Result<Dataset> LoadCsv(const std::string& path,
+                                 const std::string& name);
+
+ private:
+  std::string name_;
+  std::vector<Rect> rects_;
+};
+
+}  // namespace sjsel
+
+#endif  // SJSEL_GEOM_DATASET_H_

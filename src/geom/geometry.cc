@@ -1,0 +1,294 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace {
+
+constexpr uint32_t kGeoMagic = 0x534a4745;  // "SJGE"
+constexpr uint32_t kGeoVersion = 1;
+constexpr uint8_t kTagPoint = 0;
+constexpr uint8_t kTagPolyline = 1;
+constexpr uint8_t kTagPolygon = 2;
+
+}  // namespace
+
+Rect Polyline::Mbr() const {
+  Rect mbr = Rect::Empty();
+  for (const Point& p : pts) mbr.Extend(Rect::FromPoint(p));
+  return mbr;
+}
+
+Rect Polygon::Mbr() const {
+  Rect mbr = Rect::Empty();
+  for (const Point& p : pts) mbr.Extend(Rect::FromPoint(p));
+  return mbr;
+}
+
+Rect GeometryMbr(const Geometry& g) {
+  return std::visit(
+      [](const auto& shape) -> Rect {
+        using T = std::decay_t<decltype(shape)>;
+        if constexpr (std::is_same_v<T, Point>) {
+          return Rect::FromPoint(shape);
+        } else {
+          return shape.Mbr();
+        }
+      },
+      g);
+}
+
+Dataset GeoDataset::ToMbrDataset() const {
+  Dataset ds(name_);
+  ds.Reserve(objects_.size());
+  for (const Geometry& g : objects_) ds.Add(GeometryMbr(g));
+  return ds;
+}
+
+namespace {
+
+// Sign of the cross product (q - p) x (r - p): orientation of the triple.
+int Orientation(const Point& p, const Point& q, const Point& r) {
+  const double cross =
+      (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x);
+  if (cross > 0) return 1;
+  if (cross < 0) return -1;
+  return 0;
+}
+
+// For collinear p, q, r: is q within the bounding box of [p, r]?
+bool OnSegment(const Point& p, const Point& q, const Point& r) {
+  return std::min(p.x, r.x) <= q.x && q.x <= std::max(p.x, r.x) &&
+         std::min(p.y, r.y) <= q.y && q.y <= std::max(p.y, r.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Point& p1, const Point& p2, const Point& q1,
+                       const Point& q2) {
+  const int o1 = Orientation(p1, p2, q1);
+  const int o2 = Orientation(p1, p2, q2);
+  const int o3 = Orientation(q1, q2, p1);
+  const int o4 = Orientation(q1, q2, p2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(p1, q1, p2)) return true;
+  if (o2 == 0 && OnSegment(p1, q2, p2)) return true;
+  if (o3 == 0 && OnSegment(q1, p1, q2)) return true;
+  if (o4 == 0 && OnSegment(q1, p2, q2)) return true;
+  return false;
+}
+
+bool PolygonContains(const Polygon& poly, const Point& p) {
+  const size_t n = poly.pts.size();
+  if (n < 3) return false;
+  // Boundary counts as inside.
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = poly.pts[i];
+    const Point& b = poly.pts[(i + 1) % n];
+    if (Orientation(a, b, p) == 0 && OnSegment(a, p, b)) return true;
+  }
+  // Ray casting toward +x.
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = poly.pts[i];
+    const Point& b = poly.pts[(i + 1) % n];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (!crosses) continue;
+    const double x_at_y = a.x + (b.x - a.x) * (p.y - a.y) / (b.y - a.y);
+    if (x_at_y > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+namespace {
+
+// Iterates the segments of a polyline (open chain) or polygon (closed
+// loop).
+template <typename Fn>
+bool AnySegment(const Polyline& line, Fn&& fn) {
+  for (size_t i = 0; i + 1 < line.pts.size(); ++i) {
+    if (fn(line.pts[i], line.pts[i + 1])) return true;
+  }
+  return false;
+}
+
+template <typename Fn>
+bool AnySegment(const Polygon& poly, Fn&& fn) {
+  const size_t n = poly.pts.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (fn(poly.pts[i], poly.pts[(i + 1) % n])) return true;
+  }
+  return false;
+}
+
+template <typename CurveA, typename CurveB>
+bool CurvesCross(const CurveA& a, const CurveB& b) {
+  return AnySegment(a, [&b](const Point& p1, const Point& p2) {
+    return AnySegment(b, [&p1, &p2](const Point& q1, const Point& q2) {
+      return SegmentsIntersect(p1, p2, q1, q2);
+    });
+  });
+}
+
+bool PointOnPolyline(const Polyline& line, const Point& p) {
+  return AnySegment(line, [&p](const Point& a, const Point& b) {
+    return Orientation(a, b, p) == 0 && OnSegment(a, p, b);
+  });
+}
+
+bool Intersects(const Point& a, const Point& b) { return a == b; }
+
+bool Intersects(const Point& a, const Polyline& b) {
+  return PointOnPolyline(b, a);
+}
+
+bool Intersects(const Point& a, const Polygon& b) {
+  return PolygonContains(b, a);
+}
+
+bool Intersects(const Polyline& a, const Polyline& b) {
+  return CurvesCross(a, b);
+}
+
+bool Intersects(const Polyline& a, const Polygon& b) {
+  // Either a boundary crossing, or the (non-empty) polyline lies fully
+  // inside the polygon.
+  if (CurvesCross(a, b)) return true;
+  return !a.pts.empty() && PolygonContains(b, a.pts.front());
+}
+
+bool Intersects(const Polygon& a, const Polygon& b) {
+  if (CurvesCross(a, b)) return true;
+  // One fully inside the other.
+  if (!a.pts.empty() && PolygonContains(b, a.pts.front())) return true;
+  if (!b.pts.empty() && PolygonContains(a, b.pts.front())) return true;
+  return false;
+}
+
+// Symmetric dispatch helpers.
+bool Intersects(const Polyline& a, const Point& b) { return Intersects(b, a); }
+bool Intersects(const Polygon& a, const Point& b) { return Intersects(b, a); }
+bool Intersects(const Polygon& a, const Polyline& b) {
+  return Intersects(b, a);
+}
+
+}  // namespace
+
+bool GeometriesIntersect(const Geometry& a, const Geometry& b) {
+  return std::visit(
+      [](const auto& ga, const auto& gb) { return Intersects(ga, gb); }, a,
+      b);
+}
+
+Status GeoDataset::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.PutU32(kGeoMagic);
+  w.PutU32(kGeoVersion);
+  w.PutString(name_);
+  w.PutU64(objects_.size());
+  auto put_points = [&w](const std::vector<Point>& pts) {
+    w.PutU32(static_cast<uint32_t>(pts.size()));
+    for (const Point& p : pts) {
+      w.PutDouble(p.x);
+      w.PutDouble(p.y);
+    }
+  };
+  for (const Geometry& g : objects_) {
+    if (const auto* p = std::get_if<Point>(&g)) {
+      w.PutU8(kTagPoint);
+      w.PutDouble(p->x);
+      w.PutDouble(p->y);
+    } else if (const auto* line = std::get_if<Polyline>(&g)) {
+      w.PutU8(kTagPolyline);
+      put_points(line->pts);
+    } else {
+      w.PutU8(kTagPolygon);
+      put_points(std::get<Polygon>(g).pts);
+    }
+  }
+  const uint32_t crc = w.Crc32();
+  BinaryWriter trailer;
+  trailer.PutU32(crc);
+  return WriteFile(path, w.buffer() + trailer.buffer());
+}
+
+Result<GeoDataset> GeoDataset::Load(const std::string& path) {
+  std::string data;
+  SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
+  if (data.size() < sizeof(uint32_t)) {
+    return Status::Corruption("geo file too short: " + path);
+  }
+  const size_t body_size = data.size() - sizeof(uint32_t);
+  BinaryReader r(std::move(data));
+  uint32_t body_crc = 0;
+  SJSEL_ASSIGN_OR_RETURN(body_crc, r.Crc32Prefix(body_size));
+
+  uint32_t magic = 0;
+  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
+  if (magic != kGeoMagic) {
+    return Status::Corruption("bad geo magic in " + path);
+  }
+  uint32_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  if (version != kGeoVersion) {
+    return Status::Corruption("unsupported geo version");
+  }
+  GeoDataset ds;
+  SJSEL_ASSIGN_OR_RETURN(ds.name_, r.GetString());
+  uint64_t count = 0;
+  SJSEL_ASSIGN_OR_RETURN(count, r.GetU64());
+  // Every object needs at least a tag byte.
+  if (count > r.size() - r.position()) {
+    return Status::Corruption("geo object count exceeds payload in " + path);
+  }
+  ds.Reserve(count);
+
+  auto get_points = [&r](std::vector<Point>* pts) -> Status {
+    uint32_t n = 0;
+    SJSEL_ASSIGN_OR_RETURN(n, r.GetU32());
+    if (n > (r.size() - r.position()) / 16) {
+      return Status::Corruption("geo vertex count exceeds payload");
+    }
+    pts->resize(n);
+    for (Point& p : *pts) {
+      SJSEL_ASSIGN_OR_RETURN(p.x, r.GetDouble());
+      SJSEL_ASSIGN_OR_RETURN(p.y, r.GetDouble());
+    }
+    return Status::OK();
+  };
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t tag = 0;
+    SJSEL_ASSIGN_OR_RETURN(tag, r.GetU8());
+    if (tag == kTagPoint) {
+      Point p;
+      SJSEL_ASSIGN_OR_RETURN(p.x, r.GetDouble());
+      SJSEL_ASSIGN_OR_RETURN(p.y, r.GetDouble());
+      ds.Add(p);
+    } else if (tag == kTagPolyline) {
+      Polyline line;
+      SJSEL_RETURN_IF_ERROR(get_points(&line.pts));
+      ds.Add(std::move(line));
+    } else if (tag == kTagPolygon) {
+      Polygon poly;
+      SJSEL_RETURN_IF_ERROR(get_points(&poly.pts));
+      ds.Add(std::move(poly));
+    } else {
+      return Status::Corruption("unknown geometry tag in " + path);
+    }
+  }
+  if (r.position() != body_size) {
+    return Status::Corruption("trailing garbage in geo file " + path);
+  }
+  uint32_t stored_crc = 0;
+  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
+  if (stored_crc != body_crc) {
+    return Status::Corruption("geo CRC mismatch in " + path);
+  }
+  return ds;
+}
+
+}  // namespace sjsel

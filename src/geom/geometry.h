@@ -1,0 +1,85 @@
+#ifndef SJSEL_GEOM_GEOMETRY_H_
+#define SJSEL_GEOM_GEOMETRY_H_
+
+#include <variant>
+#include <vector>
+
+#include "geom/dataset.h"
+#include "geom/rect.h"
+
+namespace sjsel {
+
+/// A polyline: two or more vertices joined by segments. The exact geometry
+/// behind a "streams"/"roads" MBR.
+struct Polyline {
+  std::vector<Point> pts;
+
+  Rect Mbr() const;
+};
+
+/// A simple polygon given as a closed vertex loop (last edge wraps to the
+/// first vertex; no self-intersections). The exact geometry behind a
+/// "census block" MBR.
+struct Polygon {
+  std::vector<Point> pts;
+
+  Rect Mbr() const;
+};
+
+/// One spatial object with exact geometry: point, polyline or polygon.
+using Geometry = std::variant<Point, Polyline, Polygon>;
+
+/// The MBR of any geometry.
+Rect GeometryMbr(const Geometry& g);
+
+/// A dataset that keeps exact geometry. `ToMbrDataset()` derives the MBR
+/// abstraction every filter-step structure in this library consumes; the
+/// refinement step goes back to the exact shapes.
+class GeoDataset {
+ public:
+  GeoDataset() = default;
+  explicit GeoDataset(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+  const Geometry& operator[](size_t i) const { return objects_[i]; }
+  const std::vector<Geometry>& objects() const { return objects_; }
+
+  void Add(Geometry g) { objects_.push_back(std::move(g)); }
+  void Reserve(size_t n) { objects_.reserve(n); }
+
+  /// The filter-step abstraction: one MBR per object, same order.
+  Dataset ToMbrDataset() const;
+
+  /// Serializes to the sjsel geo format (magic, per-object type tag +
+  /// vertices, CRC trailer).
+  Status Save(const std::string& path) const;
+
+  /// Loads a file written by Save(), validating magic and CRC.
+  static Result<GeoDataset> Load(const std::string& path);
+
+ private:
+  std::string name_;
+  std::vector<Geometry> objects_;
+};
+
+// --- Exact intersection predicates (the refinement step) ------------------
+
+/// True if segments [p1, p2] and [q1, q2] share at least one point
+/// (touching endpoints and collinear overlap count).
+bool SegmentsIntersect(const Point& p1, const Point& p2, const Point& q1,
+                       const Point& q2);
+
+/// Point-in-simple-polygon test (ray casting; boundary points count as
+/// inside).
+bool PolygonContains(const Polygon& poly, const Point& p);
+
+/// True if the exact geometries intersect. Dispatches over the variant:
+/// point/point uses equality, anything touching a polygon accounts for
+/// full containment, and curve pairs test segment crossings.
+bool GeometriesIntersect(const Geometry& a, const Geometry& b);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_GEOM_GEOMETRY_H_

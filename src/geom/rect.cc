@@ -1,0 +1,69 @@
+#include "geom/rect.h"
+
+#include <array>
+#include <cstdio>
+#include <limits>
+
+namespace sjsel {
+
+Rect Rect::Empty() {
+  const double inf = std::numeric_limits<double>::infinity();
+  return Rect(inf, inf, -inf, -inf);
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%g,%g]x[%g,%g]", min_x, max_x, min_y,
+                max_y);
+  return buf;
+}
+
+namespace {
+
+std::array<Point, 4> Corners(const Rect& r) {
+  return {Point{r.min_x, r.min_y}, Point{r.max_x, r.min_y},
+          Point{r.min_x, r.max_y}, Point{r.max_x, r.max_y}};
+}
+
+// Corners of `a` lying inside `b`.
+int CornersInside(const Rect& a, const Rect& b) {
+  int n = 0;
+  for (const Point& p : Corners(a)) {
+    if (b.Contains(p)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int CountCornerContainments(const Rect& a, const Rect& b) {
+  return CornersInside(a, b) + CornersInside(b, a);
+}
+
+int CountEdgeCrossings(const Rect& a, const Rect& b) {
+  // Horizontal edges of `h` against vertical edges of `v`.
+  auto crossings = [](const Rect& h, const Rect& v) {
+    int n = 0;
+    for (double y : {h.min_y, h.max_y}) {
+      for (double x : {v.min_x, v.max_x}) {
+        const bool x_on_h = h.min_x <= x && x <= h.max_x;
+        const bool y_on_v = v.min_y <= y && y <= v.max_y;
+        if (x_on_h && y_on_v) ++n;
+      }
+    }
+    return n;
+  };
+  return crossings(a, b) + crossings(b, a);
+}
+
+IntersectionKind ClassifyIntersection(const Rect& a, const Rect& b) {
+  if (!a.Intersects(b)) return IntersectionKind::kDisjoint;
+  if (a.Contains(b) || b.Contains(a)) return IntersectionKind::kContainment;
+  const int a_in_b = CornersInside(a, b);
+  const int b_in_a = CornersInside(b, a);
+  if (a_in_b == 0 && b_in_a == 0) return IntersectionKind::kEdgeThrough;
+  if (a_in_b > 0 && b_in_a > 0) return IntersectionKind::kCornerOverlap;
+  return IntersectionKind::kPartialContain;
+}
+
+}  // namespace sjsel

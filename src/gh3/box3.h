@@ -1,0 +1,60 @@
+#ifndef SJSEL_GH3_BOX3_H_
+#define SJSEL_GH3_BOX3_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sjsel {
+
+/// A point in 3-space.
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend bool operator==(const Point3&, const Point3&) = default;
+};
+
+/// An axis-parallel box (3-D MBR). The 3-D counterpart of Rect, supporting
+/// the GH generalization of the paper's "future work" direction: every
+/// intersection of two boxes is a box with exactly 8 corner points.
+struct Box3 {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double min_z = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+  double max_z = 0.0;
+
+  Box3() = default;
+  Box3(double x0, double y0, double z0, double x1, double y1, double z1)
+      : min_x(x0), min_y(y0), min_z(z0), max_x(x1), max_y(y1), max_z(z1) {}
+
+  double dx() const { return max_x - min_x; }
+  double dy() const { return max_y - min_y; }
+  double dz() const { return max_z - min_z; }
+  double volume() const { return dx() * dy() * dz(); }
+
+  bool Intersects(const Box3& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y && min_z <= o.max_z && o.min_z <= max_z;
+  }
+
+  bool Contains(const Point3& p) const {
+    return min_x <= p.x && p.x <= max_x && min_y <= p.y && p.y <= max_y &&
+           min_z <= p.z && p.z <= max_z;
+  }
+
+  friend bool operator==(const Box3&, const Box3&) = default;
+};
+
+/// A bag of boxes — the 3-D dataset the gh3 estimator consumes.
+using BoxDataset = std::vector<Box3>;
+
+/// O(N1*N2) intersection-count oracle for tests and ground truth.
+uint64_t NestedLoopJoinCount3(const BoxDataset& a, const BoxDataset& b);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_GH3_BOX3_H_

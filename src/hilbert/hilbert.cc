@@ -1,0 +1,77 @@
+#include "hilbert/hilbert.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sjsel {
+namespace {
+
+// Rotates/flips the quadrant-local coordinates; the standard iterative
+// Hilbert transform (see Hamilton, "Compact Hilbert Indices", or the classic
+// Warren formulation).
+void Rot(uint64_t n, uint32_t* x, uint32_t* y, uint64_t rx, uint64_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = static_cast<uint32_t>(n - 1 - *x);
+      *y = static_cast<uint32_t>(n - 1 - *y);
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+HilbertCurve::HilbertCurve(int order) : order_(order) {
+  assert(order >= 1 && order <= 31);
+  if (order_ < 1) order_ = 1;
+  if (order_ > 31) order_ = 31;
+}
+
+uint64_t HilbertCurve::XyToD(uint32_t x, uint32_t y) const {
+  const uint64_t n = resolution();
+  uint64_t d = 0;
+  for (uint64_t s = n / 2; s > 0; s /= 2) {
+    const uint64_t rx = (x & s) > 0 ? 1 : 0;
+    const uint64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    Rot(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertCurve::DToXy(uint64_t d, uint32_t* x, uint32_t* y) const {
+  const uint64_t n = resolution();
+  uint32_t rx = 0;
+  uint32_t ry = 0;
+  uint64_t t = d;
+  *x = 0;
+  *y = 0;
+  for (uint64_t s = 1; s < n; s *= 2) {
+    rx = static_cast<uint32_t>(1 & (t / 2));
+    ry = static_cast<uint32_t>(1 & (t ^ rx));
+    Rot(s, x, y, rx, ry);
+    *x += static_cast<uint32_t>(s * rx);
+    *y += static_cast<uint32_t>(s * ry);
+    t /= 4;
+  }
+}
+
+uint64_t HilbertCurve::ValueForPoint(const Point& p, const Rect& extent) const {
+  const uint64_t n = resolution();
+  auto quantize = [n](double v, double lo, double hi) -> uint32_t {
+    if (hi <= lo) return 0;
+    double t = (v - lo) / (hi - lo);
+    t = std::clamp(t, 0.0, 1.0);
+    uint64_t q = static_cast<uint64_t>(t * static_cast<double>(n));
+    if (q >= n) q = n - 1;
+    return static_cast<uint32_t>(q);
+  };
+  return XyToD(quantize(p.x, extent.min_x, extent.max_x),
+               quantize(p.y, extent.min_y, extent.max_y));
+}
+
+uint64_t HilbertCurve::ValueForRect(const Rect& r, const Rect& extent) const {
+  return ValueForPoint(r.center(), extent);
+}
+
+}  // namespace sjsel

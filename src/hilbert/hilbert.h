@@ -1,0 +1,48 @@
+#ifndef SJSEL_HILBERT_HILBERT_H_
+#define SJSEL_HILBERT_HILBERT_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+
+namespace sjsel {
+
+/// 2-D Hilbert space-filling-curve encoding.
+///
+/// Used in two places, mirroring the paper: Sorted Sampling (SS) orders data
+/// items by the Hilbert value of their MBR centers before systematic
+/// sampling, and the Hilbert-packed R-tree bulk loader (Kamel & Faloutsos,
+/// "On Packing R-trees") sorts leaf entries the same way.
+class HilbertCurve {
+ public:
+  /// A curve of the given order covers a 2^order x 2^order integer grid.
+  /// Order must be in [1, 31].
+  explicit HilbertCurve(int order);
+
+  int order() const { return order_; }
+  /// Grid resolution per axis (2^order).
+  uint64_t resolution() const { return uint64_t{1} << order_; }
+
+  /// Distance along the curve of integer cell (x, y); x and y must be less
+  /// than resolution(). The mapping is a bijection onto
+  /// [0, resolution()^2).
+  uint64_t XyToD(uint32_t x, uint32_t y) const;
+
+  /// Inverse of XyToD.
+  void DToXy(uint64_t d, uint32_t* x, uint32_t* y) const;
+
+  /// Hilbert value of a point in `extent`, quantized onto the curve grid.
+  /// Points outside the extent are clamped.
+  uint64_t ValueForPoint(const Point& p, const Rect& extent) const;
+
+  /// Hilbert value of the center of `r` within `extent` — the sort key the
+  /// paper's SS scheme and the packed R-tree use.
+  uint64_t ValueForRect(const Rect& r, const Rect& extent) const;
+
+ private:
+  int order_;
+};
+
+}  // namespace sjsel
+
+#endif  // SJSEL_HILBERT_HILBERT_H_

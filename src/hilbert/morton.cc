@@ -1,0 +1,66 @@
+#include "hilbert/morton.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sjsel {
+namespace {
+
+// Spreads the low 32 bits of `v` into the even bit positions.
+uint64_t Part1By1(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+// Compacts the even bit positions of `x` into the low 32 bits.
+uint32_t Compact1By1(uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+MortonCurve::MortonCurve(int order) : order_(order) {
+  assert(order >= 1 && order <= 31);
+  if (order_ < 1) order_ = 1;
+  if (order_ > 31) order_ = 31;
+}
+
+uint64_t MortonCurve::XyToD(uint32_t x, uint32_t y) const {
+  return Part1By1(x) | (Part1By1(y) << 1);
+}
+
+void MortonCurve::DToXy(uint64_t d, uint32_t* x, uint32_t* y) const {
+  *x = Compact1By1(d);
+  *y = Compact1By1(d >> 1);
+}
+
+uint64_t MortonCurve::ValueForPoint(const Point& p, const Rect& extent) const {
+  const uint64_t n = resolution();
+  auto quantize = [n](double v, double lo, double hi) -> uint32_t {
+    if (hi <= lo) return 0;
+    double t = (v - lo) / (hi - lo);
+    t = std::clamp(t, 0.0, 1.0);
+    uint64_t q = static_cast<uint64_t>(t * static_cast<double>(n));
+    if (q >= n) q = n - 1;
+    return static_cast<uint32_t>(q);
+  };
+  return XyToD(quantize(p.x, extent.min_x, extent.max_x),
+               quantize(p.y, extent.min_y, extent.max_y));
+}
+
+uint64_t MortonCurve::ValueForRect(const Rect& r, const Rect& extent) const {
+  return ValueForPoint(r.center(), extent);
+}
+
+}  // namespace sjsel

@@ -1,0 +1,42 @@
+#ifndef SJSEL_HILBERT_MORTON_H_
+#define SJSEL_HILBERT_MORTON_H_
+
+#include <cstdint>
+
+#include "geom/rect.h"
+
+namespace sjsel {
+
+/// 2-D Z-order (Morton) space-filling-curve encoding — the cheaper,
+/// lower-locality alternative to the Hilbert curve. Provided so the
+/// Sorted-Sampling / packing design choice (Hilbert vs Z-order) can be
+/// measured rather than assumed.
+class MortonCurve {
+ public:
+  /// A curve of the given order covers a 2^order x 2^order grid; order in
+  /// [1, 31].
+  explicit MortonCurve(int order);
+
+  int order() const { return order_; }
+  uint64_t resolution() const { return uint64_t{1} << order_; }
+
+  /// Bit-interleaved index of cell (x, y); a bijection onto
+  /// [0, resolution()^2).
+  uint64_t XyToD(uint32_t x, uint32_t y) const;
+
+  /// Inverse of XyToD.
+  void DToXy(uint64_t d, uint32_t* x, uint32_t* y) const;
+
+  /// Morton value of a point in `extent`, quantized onto the curve grid.
+  uint64_t ValueForPoint(const Point& p, const Rect& extent) const;
+
+  /// Morton value of the center of `r` within `extent`.
+  uint64_t ValueForRect(const Rect& r, const Rect& extent) const;
+
+ private:
+  int order_;
+};
+
+}  // namespace sjsel
+
+#endif  // SJSEL_HILBERT_MORTON_H_

@@ -1,0 +1,28 @@
+#include "join/distance_join.h"
+
+#include "join/plane_sweep.h"
+
+namespace sjsel {
+
+Dataset ExpandMbrs(const Dataset& ds, double margin) {
+  Dataset out(ds.name() + "_expanded");
+  out.Reserve(ds.size());
+  for (const Rect& r : ds.rects()) {
+    out.Add(r.Expanded(margin));
+  }
+  return out;
+}
+
+uint64_t WithinDistanceJoinCount(const Dataset& a, const Dataset& b,
+                                 double eps) {
+  if (eps < 0.0) return 0;
+  return PlaneSweepJoinCount(ExpandMbrs(a, eps), b);
+}
+
+void WithinDistanceJoin(const Dataset& a, const Dataset& b, double eps,
+                        const PairCallback& emit) {
+  if (eps < 0.0) return;
+  PlaneSweepJoin(ExpandMbrs(a, eps), b, emit);
+}
+
+}  // namespace sjsel

@@ -1,0 +1,31 @@
+#ifndef SJSEL_JOIN_DISTANCE_JOIN_H_
+#define SJSEL_JOIN_DISTANCE_JOIN_H_
+
+#include <cstdint>
+
+#include "geom/dataset.h"
+#include "join/join.h"
+
+namespace sjsel {
+
+/// A copy of `ds` with every MBR grown by `margin` on each side. The
+/// standard reduction for distance predicates: two MBRs are within
+/// Chebyshev distance eps iff one of them expanded by eps intersects the
+/// other.
+Dataset ExpandMbrs(const Dataset& ds, double margin);
+
+/// Exact within-distance join on MBRs: pairs with Chebyshev (L-infinity)
+/// distance <= eps. This is the filter step of an epsilon-distance spatial
+/// join; for Euclidean predicates it is the usual superset filter that the
+/// refinement step then prunes. Implemented by expanding the first input
+/// and running the plane-sweep intersection join.
+uint64_t WithinDistanceJoinCount(const Dataset& a, const Dataset& b,
+                                 double eps);
+
+/// Emitting variant of WithinDistanceJoinCount.
+void WithinDistanceJoin(const Dataset& a, const Dataset& b, double eps,
+                        const PairCallback& emit);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_JOIN_DISTANCE_JOIN_H_

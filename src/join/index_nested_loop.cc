@@ -1,0 +1,22 @@
+#include "join/index_nested_loop.h"
+
+namespace sjsel {
+
+uint64_t IndexNestedLoopJoinCount(const Dataset& outer, const RTree& inner) {
+  uint64_t count = 0;
+  for (const Rect& r : outer.rects()) {
+    count += inner.CountRange(r);
+  }
+  return count;
+}
+
+void IndexNestedLoopJoin(const Dataset& outer, const RTree& inner,
+                         const PairCallback& emit) {
+  for (size_t i = 0; i < outer.size(); ++i) {
+    inner.RangeQuery(outer[i], [&emit, i](int64_t id, const Rect&) {
+      emit(static_cast<int64_t>(i), id);
+    });
+  }
+}
+
+}  // namespace sjsel

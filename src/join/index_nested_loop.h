@@ -1,0 +1,24 @@
+#ifndef SJSEL_JOIN_INDEX_NESTED_LOOP_H_
+#define SJSEL_JOIN_INDEX_NESTED_LOOP_H_
+
+#include <cstdint>
+
+#include "geom/dataset.h"
+#include "join/join.h"
+#include "rtree/rtree.h"
+
+namespace sjsel {
+
+/// Index nested loop join: probes the R-tree of the second input once per
+/// rectangle of the first. The method of choice when only one side is
+/// indexed or the unindexed side is small — the regime where sampling one
+/// side and probing with it (the paper's 100/x combos) makes sense.
+uint64_t IndexNestedLoopJoinCount(const Dataset& outer, const RTree& inner);
+
+/// Emitting variant; emits (outer position, inner entry id).
+void IndexNestedLoopJoin(const Dataset& outer, const RTree& inner,
+                         const PairCallback& emit);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_JOIN_INDEX_NESTED_LOOP_H_

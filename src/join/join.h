@@ -1,0 +1,15 @@
+#ifndef SJSEL_JOIN_JOIN_H_
+#define SJSEL_JOIN_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace sjsel {
+
+/// Receives one result pair of a spatial join: the indices of the
+/// intersecting rectangles in the first and second input dataset.
+using PairCallback = std::function<void(int64_t, int64_t)>;
+
+}  // namespace sjsel
+
+#endif  // SJSEL_JOIN_JOIN_H_

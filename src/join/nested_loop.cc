@@ -1,0 +1,28 @@
+#include "join/nested_loop.h"
+
+namespace sjsel {
+
+uint64_t NestedLoopJoinCount(const Dataset& a, const Dataset& b) {
+  uint64_t count = 0;
+  for (const Rect& ra : a.rects()) {
+    for (const Rect& rb : b.rects()) {
+      if (ra.Intersects(rb)) ++count;
+    }
+  }
+  return count;
+}
+
+void NestedLoopJoin(const Dataset& a, const Dataset& b,
+                    const PairCallback& emit) {
+  const auto& ra = a.rects();
+  const auto& rb = b.rects();
+  for (size_t i = 0; i < ra.size(); ++i) {
+    for (size_t j = 0; j < rb.size(); ++j) {
+      if (ra[i].Intersects(rb[j])) {
+        emit(static_cast<int64_t>(i), static_cast<int64_t>(j));
+      }
+    }
+  }
+}
+
+}  // namespace sjsel

@@ -1,0 +1,22 @@
+#ifndef SJSEL_JOIN_NESTED_LOOP_H_
+#define SJSEL_JOIN_NESTED_LOOP_H_
+
+#include <cstdint>
+
+#include "geom/dataset.h"
+#include "join/join.h"
+
+namespace sjsel {
+
+/// O(N1*N2) reference join. Too slow for the benchmark datasets; it exists
+/// as the correctness oracle the other join algorithms and all estimators
+/// are tested against.
+uint64_t NestedLoopJoinCount(const Dataset& a, const Dataset& b);
+
+/// Emitting variant of NestedLoopJoinCount.
+void NestedLoopJoin(const Dataset& a, const Dataset& b,
+                    const PairCallback& emit);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_JOIN_NESTED_LOOP_H_

@@ -1,0 +1,142 @@
+#include "join/pbsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sjsel {
+namespace {
+
+struct PartitionGrid {
+  Rect extent;
+  int p = 1;  // partitions per axis
+  double cell_w = 0.0;
+  double cell_h = 0.0;
+
+  int CellX(double x) const { return Clamp((x - extent.min_x) / cell_w); }
+  int CellY(double y) const { return Clamp((y - extent.min_y) / cell_h); }
+
+  int Clamp(double t) const {
+    int c = static_cast<int>(std::floor(t));
+    if (c < 0) c = 0;
+    if (c >= p) c = p - 1;
+    return c;
+  }
+
+  // True if cell (cx, cy) owns point `pt` under the half-open convention
+  // (the last row/column is closed so boundary-max points have an owner).
+  bool Owns(int cx, int cy, const Point& pt) const {
+    return CellX(pt.x) == cx && CellY(pt.y) == cy;
+  }
+};
+
+struct IndexedRect {
+  Rect rect;
+  int64_t id = 0;
+};
+
+int PickPartitions(size_t n1, size_t n2, int requested) {
+  if (requested > 0) return std::min(requested, 256);
+  const double total = static_cast<double>(n1 + n2);
+  int p = static_cast<int>(std::ceil(std::sqrt(total / 1024.0)));
+  return std::clamp(p, 1, 256);
+}
+
+// Buckets every rectangle of `ds` into each partition it overlaps.
+std::vector<std::vector<IndexedRect>> Distribute(const Dataset& ds,
+                                                 const PartitionGrid& grid) {
+  std::vector<std::vector<IndexedRect>> cells(
+      static_cast<size_t>(grid.p) * grid.p);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const Rect& r = ds[i];
+    const int x0 = grid.CellX(r.min_x);
+    const int x1 = grid.CellX(r.max_x);
+    const int y0 = grid.CellY(r.min_y);
+    const int y1 = grid.CellY(r.max_y);
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        cells[static_cast<size_t>(cy) * grid.p + cx].push_back(
+            IndexedRect{r, static_cast<int64_t>(i)});
+      }
+    }
+  }
+  return cells;
+}
+
+template <typename Emit>
+void JoinPartition(std::vector<IndexedRect>& pa, std::vector<IndexedRect>& pb,
+                   const PartitionGrid& grid, int cx, int cy, Emit&& emit) {
+  auto by_min_x = [](const IndexedRect& a, const IndexedRect& b) {
+    return a.rect.min_x < b.rect.min_x;
+  };
+  std::sort(pa.begin(), pa.end(), by_min_x);
+  std::sort(pb.begin(), pb.end(), by_min_x);
+
+  // `r` is always from the first input's partition, `s` from the second's.
+  auto handle = [&](const IndexedRect& r, const IndexedRect& s) {
+    if (!r.rect.Intersects(s.rect)) return;
+    // Reference-point de-duplication: only the partition containing the
+    // lower-left corner of the intersection reports the pair.
+    const Point ref{std::max(r.rect.min_x, s.rect.min_x),
+                    std::max(r.rect.min_y, s.rect.min_y)};
+    if (!grid.Owns(cx, cy, ref)) return;
+    emit(r.id, s.id);
+  };
+
+  size_t i = 0;
+  size_t j = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i].rect.min_x <= pb[j].rect.min_x) {
+      for (size_t k = j; k < pb.size() && pb[k].rect.min_x <= pa[i].rect.max_x;
+           ++k) {
+        handle(pa[i], pb[k]);
+      }
+      ++i;
+    } else {
+      for (size_t k = i; k < pa.size() && pa[k].rect.min_x <= pb[j].rect.max_x;
+           ++k) {
+        handle(pa[k], pb[j]);
+      }
+      ++j;
+    }
+  }
+}
+
+template <typename Emit>
+void PbsmJoinImpl(const Dataset& a, const Dataset& b, PbsmOptions options,
+                  Emit&& emit) {
+  if (a.empty() || b.empty()) return;
+  PartitionGrid grid;
+  grid.extent = a.ComputeExtent();
+  grid.extent.Extend(b.ComputeExtent());
+  grid.p = PickPartitions(a.size(), b.size(), options.partitions_per_axis);
+  grid.cell_w = grid.extent.width() / grid.p;
+  grid.cell_h = grid.extent.height() / grid.p;
+  if (grid.cell_w <= 0.0 || grid.cell_h <= 0.0) grid.p = 1;
+
+  auto cells_a = Distribute(a, grid);
+  auto cells_b = Distribute(b, grid);
+  for (int cy = 0; cy < grid.p; ++cy) {
+    for (int cx = 0; cx < grid.p; ++cx) {
+      const size_t idx = static_cast<size_t>(cy) * grid.p + cx;
+      if (cells_a[idx].empty() || cells_b[idx].empty()) continue;
+      JoinPartition(cells_a[idx], cells_b[idx], grid, cx, cy, emit);
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t PbsmJoinCount(const Dataset& a, const Dataset& b,
+                       PbsmOptions options) {
+  uint64_t count = 0;
+  PbsmJoinImpl(a, b, options, [&count](int64_t, int64_t) { ++count; });
+  return count;
+}
+
+void PbsmJoin(const Dataset& a, const Dataset& b, const PairCallback& emit,
+              PbsmOptions options) {
+  PbsmJoinImpl(a, b, options, [&emit](int64_t x, int64_t y) { emit(x, y); });
+}
+
+}  // namespace sjsel

@@ -1,0 +1,34 @@
+#ifndef SJSEL_JOIN_PBSM_H_
+#define SJSEL_JOIN_PBSM_H_
+
+#include <cstdint>
+
+#include "geom/dataset.h"
+#include "join/join.h"
+
+namespace sjsel {
+
+/// Options for the partition-based join.
+struct PbsmOptions {
+  /// Grid partitions per axis; 0 picks sqrt((N1+N2)/1024) clamped to
+  /// [1, 256].
+  int partitions_per_axis = 0;
+};
+
+/// Partition Based Spatial Merge join (Patel & DeWitt, SIGMOD'96 — one of
+/// the filter-step algorithms the paper's related work builds on).
+///
+/// Replicates every rectangle into each grid partition it overlaps, joins
+/// each partition independently, and avoids duplicate results with the
+/// reference-point method: a pair is reported only by the partition that
+/// contains the lower-left corner of the pair's intersection rectangle.
+uint64_t PbsmJoinCount(const Dataset& a, const Dataset& b,
+                       PbsmOptions options = PbsmOptions());
+
+/// Emitting variant of PbsmJoinCount.
+void PbsmJoin(const Dataset& a, const Dataset& b, const PairCallback& emit,
+              PbsmOptions options = PbsmOptions());
+
+}  // namespace sjsel
+
+#endif  // SJSEL_JOIN_PBSM_H_

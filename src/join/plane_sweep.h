@@ -1,0 +1,27 @@
+#ifndef SJSEL_JOIN_PLANE_SWEEP_H_
+#define SJSEL_JOIN_PLANE_SWEEP_H_
+
+#include <cstdint>
+
+#include "geom/dataset.h"
+#include "join/join.h"
+
+namespace sjsel {
+
+/// Forward-scan plane-sweep rectangle-intersection join
+/// (Preparata & Shamos; the in-memory workhorse used inside PBSM and for
+/// the "actual join" ground truth of the evaluation).
+///
+/// Sorts both inputs by min_x and, advancing the sweep over the merged
+/// order, scans forward in the opposite set while x-intervals overlap,
+/// testing y-overlap per candidate. O((N1+N2) log(N1+N2) + candidates).
+uint64_t PlaneSweepJoinCount(const Dataset& a, const Dataset& b);
+
+/// Emitting variant of PlaneSweepJoinCount. Pair indices refer to the
+/// original (unsorted) dataset positions.
+void PlaneSweepJoin(const Dataset& a, const Dataset& b,
+                    const PairCallback& emit);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_JOIN_PLANE_SWEEP_H_

@@ -1,0 +1,42 @@
+#include "join/refinement.h"
+
+#include <utility>
+#include <vector>
+
+#include "join/plane_sweep.h"
+#include "util/timer.h"
+
+namespace sjsel {
+
+RefinementJoinResult RefinementJoin(const GeoDataset& a, const GeoDataset& b,
+                                    const PairCallback& emit) {
+  RefinementJoinResult result;
+
+  Timer filter_timer;
+  const Dataset mbr_a = a.ToMbrDataset();
+  const Dataset mbr_b = b.ToMbrDataset();
+  std::vector<std::pair<int64_t, int64_t>> candidates;
+  PlaneSweepJoin(mbr_a, mbr_b, [&candidates](int64_t x, int64_t y) {
+    candidates.emplace_back(x, y);
+  });
+  result.filter_seconds = filter_timer.ElapsedSeconds();
+  result.candidates = candidates.size();
+
+  Timer refine_timer;
+  for (const auto& [i, j] : candidates) {
+    if (GeometriesIntersect(a[static_cast<size_t>(i)],
+                            b[static_cast<size_t>(j)])) {
+      ++result.results;
+      if (emit) emit(i, j);
+    }
+  }
+  result.refine_seconds = refine_timer.ElapsedSeconds();
+  return result;
+}
+
+RefinementJoinResult RefinementJoin(const GeoDataset& a,
+                                    const GeoDataset& b) {
+  return RefinementJoin(a, b, PairCallback());
+}
+
+}  // namespace sjsel

@@ -1,0 +1,39 @@
+#ifndef SJSEL_JOIN_REFINEMENT_H_
+#define SJSEL_JOIN_REFINEMENT_H_
+
+#include <cstdint>
+
+#include "geom/geometry.h"
+#include "join/join.h"
+
+namespace sjsel {
+
+/// Outcome of a two-step spatial join (paper Section 1): the filter step
+/// finds MBR-intersecting candidate pairs; the refinement step tests the
+/// exact geometry and discards false hits.
+struct RefinementJoinResult {
+  uint64_t candidates = 0;  ///< filter-step output (MBR pairs)
+  uint64_t results = 0;     ///< refined output (exact intersections)
+  double filter_seconds = 0.0;
+  double refine_seconds = 0.0;
+
+  /// Fraction of filter-step candidates the refinement discards.
+  double FalseHitRatio() const {
+    return candidates == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(results) /
+                           static_cast<double>(candidates);
+  }
+};
+
+/// Runs the full two-step join: plane-sweep MBR filter, then exact
+/// geometry refinement per candidate pair.
+RefinementJoinResult RefinementJoin(const GeoDataset& a, const GeoDataset& b);
+
+/// Emitting variant: `emit` receives only pairs that survive refinement.
+RefinementJoinResult RefinementJoin(const GeoDataset& a, const GeoDataset& b,
+                                    const PairCallback& emit);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_JOIN_REFINEMENT_H_

@@ -1,0 +1,111 @@
+#include "join/rtree_join.h"
+
+#include <vector>
+
+namespace sjsel {
+namespace {
+
+using Node = RTree::Node;
+
+template <typename Emit>
+void JoinNodes(const Node& na, const Node& nb, const Rect& window,
+               Emit&& emit) {
+  // Leaf x leaf: test entry pairs inside the intersection window.
+  if (na.is_leaf && nb.is_leaf) {
+    for (size_t i = 0; i < na.rects.size(); ++i) {
+      const Rect& ra = na.rects[i];
+      if (!ra.Intersects(window)) continue;
+      for (size_t j = 0; j < nb.rects.size(); ++j) {
+        if (ra.Intersects(nb.rects[j])) emit(na.ids[i], nb.ids[j]);
+      }
+    }
+    return;
+  }
+  // Descend the deeper (or the only internal) side.
+  const bool descend_a =
+      !na.is_leaf && (nb.is_leaf || na.level >= nb.level);
+  if (descend_a) {
+    for (size_t i = 0; i < na.rects.size(); ++i) {
+      if (!na.rects[i].Intersects(window)) continue;
+      const Rect child_window = na.rects[i].Intersection(window);
+      JoinNodes(*na.children[i], nb, child_window, emit);
+    }
+  } else {
+    for (size_t j = 0; j < nb.rects.size(); ++j) {
+      if (!nb.rects[j].Intersects(window)) continue;
+      const Rect child_window = nb.rects[j].Intersection(window);
+      JoinNodes(na, *nb.children[j], child_window, emit);
+    }
+  }
+}
+
+template <typename Emit>
+void JoinImpl(const RTree& a, const RTree& b, Emit&& emit) {
+  if (a.size() == 0 || b.size() == 0) return;
+  const Node* ra = a.root();
+  const Node* rb = b.root();
+  const Rect window = ra->ComputeMbr().Intersection(rb->ComputeMbr());
+  if (window.IsEmpty()) return;
+  JoinNodes(*ra, *rb, window, emit);
+}
+
+}  // namespace
+
+uint64_t RTreeJoinCount(const RTree& a, const RTree& b) {
+  uint64_t count = 0;
+  JoinImpl(a, b, [&count](int64_t, int64_t) { ++count; });
+  return count;
+}
+
+namespace {
+
+void JoinNodesWithStats(const Node& na, const Node& nb, const Rect& window,
+                        RTreeJoinStats* stats) {
+  if (na.is_leaf && nb.is_leaf) {
+    ++stats->leaf_pairs_visited;
+    for (size_t i = 0; i < na.rects.size(); ++i) {
+      const Rect& ra = na.rects[i];
+      if (!ra.Intersects(window)) continue;
+      for (size_t j = 0; j < nb.rects.size(); ++j) {
+        ++stats->entry_comparisons;
+        if (ra.Intersects(nb.rects[j])) ++stats->pairs;
+      }
+    }
+    return;
+  }
+  ++stats->node_pairs_visited;
+  const bool descend_a = !na.is_leaf && (nb.is_leaf || na.level >= nb.level);
+  if (descend_a) {
+    for (size_t i = 0; i < na.rects.size(); ++i) {
+      ++stats->entry_comparisons;
+      if (!na.rects[i].Intersects(window)) continue;
+      JoinNodesWithStats(*na.children[i], nb, na.rects[i].Intersection(window),
+                         stats);
+    }
+  } else {
+    for (size_t j = 0; j < nb.rects.size(); ++j) {
+      ++stats->entry_comparisons;
+      if (!nb.rects[j].Intersects(window)) continue;
+      JoinNodesWithStats(na, *nb.children[j], nb.rects[j].Intersection(window),
+                         stats);
+    }
+  }
+}
+
+}  // namespace
+
+RTreeJoinStats RTreeJoinCountWithStats(const RTree& a, const RTree& b) {
+  RTreeJoinStats stats;
+  if (a.size() == 0 || b.size() == 0) return stats;
+  const Rect window =
+      a.root()->ComputeMbr().Intersection(b.root()->ComputeMbr());
+  if (window.IsEmpty()) return stats;
+  JoinNodesWithStats(*a.root(), *b.root(), window, &stats);
+  return stats;
+}
+
+void RTreeJoin(const RTree& a, const RTree& b, const PairCallback& emit) {
+  JoinImpl(a, b, [&emit](int64_t x, int64_t y) { emit(x, y); });
+}
+
+}  // namespace sjsel

@@ -1,0 +1,39 @@
+#ifndef SJSEL_JOIN_RTREE_JOIN_H_
+#define SJSEL_JOIN_RTREE_JOIN_H_
+
+#include <cstdint>
+
+#include "join/join.h"
+#include "rtree/rtree.h"
+
+namespace sjsel {
+
+/// Synchronized-traversal R-tree spatial join (Brinkhoff, Kriegel & Seeger,
+/// SIGMOD'93) — the join the paper performs both on the full datasets (the
+/// "actual join" baseline) and on the samples inside the sampling
+/// estimators.
+///
+/// Walks both trees in lock step, pruning node pairs whose MBRs are
+/// disjoint and restricting entry tests to the intersection window of the
+/// current node pair. Trees of different heights are handled by descending
+/// the taller tree against a fixed node of the shorter one.
+uint64_t RTreeJoinCount(const RTree& a, const RTree& b);
+
+/// Emitting variant; ids are the entry ids stored in the trees.
+void RTreeJoin(const RTree& a, const RTree& b, const PairCallback& emit);
+
+/// Work counters of one R-tree join execution — the quantities the join
+/// cost models of Huang et al. [12] and Theodoridis et al. [25] predict.
+struct RTreeJoinStats {
+  uint64_t pairs = 0;                 ///< result cardinality
+  uint64_t node_pairs_visited = 0;    ///< internal node pairs expanded
+  uint64_t leaf_pairs_visited = 0;    ///< leaf/leaf pairs compared
+  uint64_t entry_comparisons = 0;     ///< rect-rect tests performed
+};
+
+/// Instrumented join: same result as RTreeJoinCount plus work counters.
+RTreeJoinStats RTreeJoinCountWithStats(const RTree& a, const RTree& b);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_JOIN_RTREE_JOIN_H_

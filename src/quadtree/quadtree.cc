@@ -1,0 +1,214 @@
+#include "quadtree/quadtree.h"
+
+namespace sjsel {
+namespace {
+
+// Quadrant `q` (SW, SE, NW, NE) of a region.
+Rect QuadrantOf(const Rect& region, int q) {
+  const double mx = (region.min_x + region.max_x) / 2;
+  const double my = (region.min_y + region.max_y) / 2;
+  switch (q) {
+    case 0:
+      return Rect(region.min_x, region.min_y, mx, my);
+    case 1:
+      return Rect(mx, region.min_y, region.max_x, my);
+    case 2:
+      return Rect(region.min_x, my, mx, region.max_y);
+    default:
+      return Rect(mx, my, region.max_x, region.max_y);
+  }
+}
+
+}  // namespace
+
+Quadtree::Quadtree(const Rect& extent, QuadtreeOptions options)
+    : options_(options) {
+  if (options_.max_depth < 0) options_.max_depth = 0;
+  root_ = std::make_unique<Node>();
+  root_->region = extent;
+}
+
+Quadtree Quadtree::BuildFrom(const Dataset& dataset,
+                             QuadtreeOptions options) {
+  Rect extent = dataset.ComputeExtent();
+  if (extent.IsEmpty()) extent = Rect(0, 0, 1, 1);
+  Quadtree tree(extent, options);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    tree.Insert(dataset[i], static_cast<int64_t>(i));
+  }
+  return tree;
+}
+
+void Quadtree::Insert(const Rect& rect, int64_t id) {
+  Node* node = root_.get();
+  while (node->depth < options_.max_depth) {
+    int fitting = -1;
+    for (int q = 0; q < 4; ++q) {
+      if (QuadrantOf(node->region, q).Contains(rect)) {
+        fitting = q;
+        break;
+      }
+    }
+    if (fitting < 0) break;  // straddles the center lines: stays here
+    if (node->children[fitting] == nullptr) {
+      auto child = std::make_unique<Node>();
+      child->region = QuadrantOf(node->region, fitting);
+      child->depth = node->depth + 1;
+      node->children[fitting] = std::move(child);
+      ++num_nodes_;
+    }
+    node = node->children[fitting].get();
+  }
+  node->items.push_back(Entry{rect, id});
+  ++size_;
+}
+
+void Quadtree::RangeQuery(
+    const Rect& query,
+    const std::function<void(int64_t, const Rect&)>& fn) const {
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->items) {
+      if (e.rect.Intersects(query)) fn(e.id, e.rect);
+    }
+    for (const auto& child : node->children) {
+      if (child != nullptr && child->region.Intersects(query)) {
+        stack.push_back(child.get());
+      }
+    }
+  }
+}
+
+uint64_t Quadtree::CountRange(const Rect& query) const {
+  uint64_t count = 0;
+  RangeQuery(query, [&count](int64_t, const Rect&) { ++count; });
+  return count;
+}
+
+namespace {
+
+Status CheckNode(const Quadtree::Node& node, const QuadtreeOptions& options,
+                 bool is_root, uint64_t* entries, uint64_t* nodes) {
+  ++*nodes;
+  if (node.depth > options.max_depth) {
+    return Status::Internal("quadtree node beyond max depth");
+  }
+  for (const auto& e : node.items) {
+    if (!is_root && !node.region.Contains(e.rect)) {
+      return Status::Internal("entry escapes its quadrant");
+    }
+    // MX-CIF minimality: below max depth, no child quadrant may fully
+    // contain the entry.
+    if (node.depth < options.max_depth) {
+      for (int q = 0; q < 4; ++q) {
+        if (QuadrantOf(node.region, q).Contains(e.rect)) {
+          return Status::Internal("entry stored above its smallest quadrant");
+        }
+      }
+    }
+    ++*entries;
+  }
+  for (int q = 0; q < 4; ++q) {
+    if (node.children[q] == nullptr) continue;
+    const Quadtree::Node& child = *node.children[q];
+    if (child.depth != node.depth + 1) {
+      return Status::Internal("child depth mismatch");
+    }
+    if (!(child.region == QuadrantOf(node.region, q))) {
+      return Status::Internal("child region is not the parent quadrant");
+    }
+    SJSEL_RETURN_IF_ERROR(CheckNode(child, options, false, entries, nodes));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Quadtree::CheckInvariants() const {
+  uint64_t entries = 0;
+  uint64_t nodes = 0;
+  SJSEL_RETURN_IF_ERROR(
+      CheckNode(*root_, options_, /*is_root=*/true, &entries, &nodes));
+  if (entries != size_) {
+    return Status::Internal("entry count mismatch");
+  }
+  if (nodes != num_nodes_) {
+    return Status::Internal("node count mismatch");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+using QNode = Quadtree::Node;
+
+// Tests `rect` against every entry of `node`'s subtree.
+template <typename Emit>
+void ProbeSubtree(const QNode& node, const Rect& rect, bool a_first,
+                  int64_t rect_id, Emit&& emit) {
+  if (!node.region.Intersects(rect)) return;
+  for (const auto& e : node.items) {
+    if (e.rect.Intersects(rect)) {
+      if (a_first) {
+        emit(rect_id, e.id);
+      } else {
+        emit(e.id, rect_id);
+      }
+    }
+  }
+  for (const auto& child : node.children) {
+    if (child != nullptr) ProbeSubtree(*child, rect, a_first, rect_id, emit);
+  }
+}
+
+// Synchronized traversal of two identically decomposed trees: at each
+// aligned region, A's resident items are probed into B's subtree (covering
+// same-node and deeper partners), B's resident items into A's strict
+// descendants (same-node pairs were already covered), then aligned
+// children recurse.
+template <typename Emit>
+void AlignedJoin(const QNode& na, const QNode& nb, Emit&& emit) {
+  for (const auto& ea : na.items) {
+    ProbeSubtree(nb, ea.rect, /*a_first=*/true, ea.id, emit);
+  }
+  for (const auto& eb : nb.items) {
+    for (const auto& child : na.children) {
+      if (child != nullptr) {
+        ProbeSubtree(*child, eb.rect, /*a_first=*/false, eb.id, emit);
+      }
+    }
+  }
+  for (int q = 0; q < 4; ++q) {
+    if (na.children[q] != nullptr && nb.children[q] != nullptr) {
+      AlignedJoin(*na.children[q], *nb.children[q], emit);
+    }
+  }
+}
+
+}  // namespace
+
+Result<uint64_t> QuadtreeJoinCount(const Quadtree& a, const Quadtree& b) {
+  if (!(a.extent() == b.extent())) {
+    return Status::InvalidArgument(
+        "quadtree join requires identical extents (aligned decompositions)");
+  }
+  uint64_t count = 0;
+  AlignedJoin(*a.root(), *b.root(),
+              [&count](int64_t, int64_t) { ++count; });
+  return count;
+}
+
+Status QuadtreeJoin(const Quadtree& a, const Quadtree& b,
+                    const PairCallback& emit) {
+  if (!(a.extent() == b.extent())) {
+    return Status::InvalidArgument(
+        "quadtree join requires identical extents (aligned decompositions)");
+  }
+  AlignedJoin(*a.root(), *b.root(),
+              [&emit](int64_t x, int64_t y) { emit(x, y); });
+  return Status::OK();
+}
+
+}  // namespace sjsel

@@ -1,0 +1,98 @@
+#ifndef SJSEL_QUADTREE_QUADTREE_H_
+#define SJSEL_QUADTREE_QUADTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/dataset.h"
+#include "geom/rect.h"
+#include "join/join.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sjsel {
+
+/// Tuning knobs for Quadtree.
+struct QuadtreeOptions {
+  /// Maximum subdivision depth (the root is depth 0).
+  int max_depth = 12;
+};
+
+/// An MX-CIF quadtree: every rectangle is stored at the *smallest* quadrant
+/// that fully contains it. A second spatial index substrate next to the
+/// R-tree — space-driven rather than data-driven partitioning, the design
+/// point used by several systems the spatial-join literature compares
+/// against.
+class Quadtree {
+ public:
+  struct Entry {
+    Rect rect;
+    int64_t id = 0;
+  };
+
+  struct Node {
+    Rect region;
+    int depth = 0;
+    std::vector<Entry> items;
+    std::unique_ptr<Node> children[4];  ///< SW, SE, NW, NE; may be null
+
+    bool IsLeaf() const {
+      return !children[0] && !children[1] && !children[2] && !children[3];
+    }
+  };
+
+  /// The tree covers `extent`; rectangles outside it are stored at the
+  /// root.
+  explicit Quadtree(const Rect& extent,
+                    QuadtreeOptions options = QuadtreeOptions());
+
+  Quadtree(Quadtree&&) = default;
+  Quadtree& operator=(Quadtree&&) = default;
+  Quadtree(const Quadtree&) = delete;
+  Quadtree& operator=(const Quadtree&) = delete;
+
+  /// Builds a tree over the dataset's extent with ids = positions.
+  static Quadtree BuildFrom(const Dataset& dataset,
+                            QuadtreeOptions options = QuadtreeOptions());
+
+  void Insert(const Rect& rect, int64_t id);
+
+  /// Invokes `fn(id, rect)` for every entry intersecting `query`.
+  void RangeQuery(const Rect& query,
+                  const std::function<void(int64_t, const Rect&)>& fn) const;
+
+  /// Number of entries intersecting `query`.
+  uint64_t CountRange(const Rect& query) const;
+
+  uint64_t size() const { return size_; }
+  uint64_t num_nodes() const { return num_nodes_; }
+  const Rect& extent() const { return root_->region; }
+  const Node* root() const { return root_.get(); }
+  const QuadtreeOptions& options() const { return options_; }
+
+  /// Verifies MX-CIF invariants: every entry's rect is contained in its
+  /// node's region (root excepted) and no entry fits in a child quadrant
+  /// above max depth.
+  Status CheckInvariants() const;
+
+ private:
+  QuadtreeOptions options_;
+  std::unique_ptr<Node> root_;
+  uint64_t size_ = 0;
+  uint64_t num_nodes_ = 1;
+};
+
+/// Spatial join of two aligned MX-CIF quadtrees. Both trees must cover the
+/// same extent (so their quadrant decompositions coincide); returns
+/// InvalidArgument otherwise.
+Result<uint64_t> QuadtreeJoinCount(const Quadtree& a, const Quadtree& b);
+
+/// Emitting variant of QuadtreeJoinCount.
+Status QuadtreeJoin(const Quadtree& a, const Quadtree& b,
+                    const PairCallback& emit);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_QUADTREE_QUADTREE_H_

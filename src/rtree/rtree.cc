@@ -1,0 +1,692 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+#include "hilbert/hilbert.h"
+
+namespace sjsel {
+
+Rect RTree::Node::ComputeMbr() const {
+  Rect mbr = Rect::Empty();
+  for (const Rect& r : rects) mbr.Extend(r);
+  return mbr;
+}
+
+RTree::RTree(RTreeOptions options) : options_(options) {
+  if (options_.max_entries < 4) options_.max_entries = 4;
+  root_ = std::make_unique<Node>();
+}
+
+namespace {
+
+// Index of the child whose MBR needs the least enlargement to cover `rect`
+// (ties broken by smaller area) — Guttman's ChooseLeaf criterion.
+int ChooseSubtree(const RTree::Node& node, const Rect& rect) {
+  int best = 0;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.rects.size(); ++i) {
+    const double enlargement = node.rects[i].Enlargement(rect);
+    const double area = node.rects[i].area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = static_cast<int>(i);
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RTree::SplitNode(Node* node, std::unique_ptr<Node>* new_node_out) {
+  if (options_.split == SplitStrategy::kRStar) {
+    RStarSplit(node, new_node_out);
+  } else {
+    QuadraticSplit(node, new_node_out);
+  }
+}
+
+// The R* split: pick the axis whose sorted distributions have the smallest
+// total margin, then the distribution on that axis with the least overlap
+// between the two groups (ties by combined area).
+void RTree::RStarSplit(Node* node, std::unique_ptr<Node>* new_node_out) {
+  const int n = static_cast<int>(node->size());
+  const int min_fill = options_.EffectiveMin();
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  // Evaluates one axis: returns the margin sum over all legal
+  // distributions of both sorts and remembers the best (min-overlap)
+  // distribution seen.
+  struct BestSplit {
+    std::vector<int> order;
+    int split_at = 0;
+    double overlap = std::numeric_limits<double>::infinity();
+    double area = std::numeric_limits<double>::infinity();
+  };
+
+  auto evaluate_axis = [&](bool x_axis, BestSplit* best) {
+    double margin_sum = 0.0;
+    for (const bool by_max : {false, true}) {
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const Rect& ra = node->rects[a];
+        const Rect& rb = node->rects[b];
+        if (x_axis) {
+          return by_max ? ra.max_x < rb.max_x : ra.min_x < rb.min_x;
+        }
+        return by_max ? ra.max_y < rb.max_y : ra.min_y < rb.min_y;
+      });
+      // Prefix/suffix MBRs for O(n) distribution evaluation.
+      std::vector<Rect> prefix(n);
+      std::vector<Rect> suffix(n);
+      Rect acc = Rect::Empty();
+      for (int i = 0; i < n; ++i) {
+        acc.Extend(node->rects[order[i]]);
+        prefix[i] = acc;
+      }
+      acc = Rect::Empty();
+      for (int i = n - 1; i >= 0; --i) {
+        acc.Extend(node->rects[order[i]]);
+        suffix[i] = acc;
+      }
+      for (int k = min_fill; k <= n - min_fill; ++k) {
+        const Rect& g1 = prefix[k - 1];
+        const Rect& g2 = suffix[k];
+        margin_sum += g1.margin() + g2.margin();
+        const Rect inter = g1.Intersection(g2);
+        const double overlap = inter.IsEmpty() ? 0.0 : inter.area();
+        const double area = g1.area() + g2.area();
+        if (overlap < best->overlap ||
+            (overlap == best->overlap && area < best->area)) {
+          best->overlap = overlap;
+          best->area = area;
+          best->order = order;
+          best->split_at = k;
+        }
+      }
+    }
+    return margin_sum;
+  };
+
+  BestSplit best_x;
+  BestSplit best_y;
+  const double margin_x = evaluate_axis(true, &best_x);
+  const double margin_y = evaluate_axis(false, &best_y);
+  const BestSplit& best = margin_x <= margin_y ? best_x : best_y;
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  sibling->level = node->level;
+  Node kept;
+  kept.is_leaf = node->is_leaf;
+  kept.level = node->level;
+  for (int i = 0; i < n; ++i) {
+    const int entry = best.order[i];
+    Node* dst = i < best.split_at ? &kept : sibling.get();
+    dst->rects.push_back(node->rects[entry]);
+    if (node->is_leaf) {
+      dst->ids.push_back(node->ids[entry]);
+    } else {
+      dst->children.push_back(std::move(node->children[entry]));
+    }
+  }
+  *node = std::move(kept);
+  ++num_nodes_;
+  *new_node_out = std::move(sibling);
+}
+
+// Guttman's quadratic split: moves roughly half of `node`'s entries into a
+// fresh sibling, choosing seed entries that waste the most area when paired
+// and then assigning each remaining entry to the group it enlarges least.
+void RTree::QuadraticSplit(Node* node, std::unique_ptr<Node>* new_node_out) {
+  const int n = static_cast<int>(node->size());
+  const int min_fill = options_.EffectiveMin();
+
+  // Pick seeds: the pair with maximal dead area.
+  int seed_a = 0;
+  int seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      Rect u = node->rects[i];
+      u.Extend(node->rects[j]);
+      const double dead =
+          u.area() - node->rects[i].area() - node->rects[j].area();
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  sibling->level = node->level;
+
+  std::vector<char> assigned(n, 0);  // 0 = pending, 1 = group A, 2 = group B
+  assigned[seed_a] = 1;
+  assigned[seed_b] = 2;
+  Rect mbr_a = node->rects[seed_a];
+  Rect mbr_b = node->rects[seed_b];
+  int count_a = 1;
+  int count_b = 1;
+  int pending = n - 2;
+
+  while (pending > 0) {
+    // If one group must take all remaining entries to reach min fill, do so.
+    if (count_a + pending == min_fill) {
+      for (int i = 0; i < n; ++i) {
+        if (assigned[i] == 0) {
+          assigned[i] = 1;
+          mbr_a.Extend(node->rects[i]);
+          ++count_a;
+        }
+      }
+      pending = 0;
+      break;
+    }
+    if (count_b + pending == min_fill) {
+      for (int i = 0; i < n; ++i) {
+        if (assigned[i] == 0) {
+          assigned[i] = 2;
+          mbr_b.Extend(node->rects[i]);
+          ++count_b;
+        }
+      }
+      pending = 0;
+      break;
+    }
+
+    // PickNext: the pending entry with the largest preference difference.
+    int pick = -1;
+    double pick_diff = -1.0;
+    double pick_da = 0.0;
+    double pick_db = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (assigned[i] != 0) continue;
+      const double da = mbr_a.Enlargement(node->rects[i]);
+      const double db = mbr_b.Enlargement(node->rects[i]);
+      const double diff = std::fabs(da - db);
+      if (diff > pick_diff) {
+        pick_diff = diff;
+        pick = i;
+        pick_da = da;
+        pick_db = db;
+      }
+    }
+    assert(pick >= 0);
+
+    bool to_a;
+    if (pick_da != pick_db) {
+      to_a = pick_da < pick_db;
+    } else if (mbr_a.area() != mbr_b.area()) {
+      to_a = mbr_a.area() < mbr_b.area();
+    } else {
+      to_a = count_a <= count_b;
+    }
+    if (to_a) {
+      assigned[pick] = 1;
+      mbr_a.Extend(node->rects[pick]);
+      ++count_a;
+    } else {
+      assigned[pick] = 2;
+      mbr_b.Extend(node->rects[pick]);
+      ++count_b;
+    }
+    --pending;
+  }
+
+  // Materialize the two groups.
+  Node kept;
+  kept.is_leaf = node->is_leaf;
+  kept.level = node->level;
+  for (int i = 0; i < n; ++i) {
+    Node* dst = assigned[i] == 1 ? &kept : sibling.get();
+    dst->rects.push_back(node->rects[i]);
+    if (node->is_leaf) {
+      dst->ids.push_back(node->ids[i]);
+    } else {
+      dst->children.push_back(std::move(node->children[i]));
+    }
+  }
+  *node = std::move(kept);
+  ++num_nodes_;
+  *new_node_out = std::move(sibling);
+}
+
+namespace {
+
+// Recursive insertion helper lives outside the class to keep the header
+// small; it needs access to SplitNode, so we pass the tree.
+}  // namespace
+
+void RTree::Insert(const Rect& rect, int64_t id) {
+  // Iterative descent recording the path so splits can propagate up.
+  std::vector<Node*> path;
+  std::vector<int> slot;  // child slot taken at each internal node
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    const int best = ChooseSubtree(*node, rect);
+    node->rects[best].Extend(rect);
+    path.push_back(node);
+    slot.push_back(best);
+    node = node->children[best].get();
+  }
+  node->rects.push_back(rect);
+  node->ids.push_back(id);
+  ++size_;
+
+  // Split overflowing nodes bottom-up.
+  std::unique_ptr<Node> carried;  // new sibling produced at the level below
+  Node* current = node;
+  int depth = static_cast<int>(path.size()) - 1;
+  for (;;) {
+    if (carried != nullptr) {
+      current->rects.push_back(carried->ComputeMbr());
+      current->children.push_back(std::move(carried));
+    }
+    std::unique_ptr<Node> split;
+    if (static_cast<int>(current->size()) > options_.max_entries) {
+      SplitNode(current, &split);
+    }
+    if (depth < 0) {
+      // `current` is the root.
+      if (split != nullptr) {
+        auto new_root = std::make_unique<Node>();
+        new_root->is_leaf = false;
+        new_root->level = current->level + 1;
+        new_root->rects.push_back(root_->ComputeMbr());
+        new_root->rects.push_back(split->ComputeMbr());
+        new_root->children.push_back(std::move(root_));
+        new_root->children.push_back(std::move(split));
+        root_ = std::move(new_root);
+        ++num_nodes_;
+      }
+      break;
+    }
+    Node* parent = path[depth];
+    // Keep the parent's entry for `current` tight (it may have shrunk after
+    // a split or grown by the insertion; Extend above already handled
+    // growth, recompute only when a split rearranged entries).
+    if (split != nullptr) {
+      parent->rects[slot[depth]] = current->ComputeMbr();
+    }
+    carried = std::move(split);
+    current = parent;
+    --depth;
+  }
+}
+
+RTree RTree::BuildByInsertion(const Dataset& dataset, RTreeOptions options) {
+  RTree tree(options);
+  const auto& rects = dataset.rects();
+  for (size_t i = 0; i < rects.size(); ++i) {
+    tree.Insert(rects[i], static_cast<int64_t>(i));
+  }
+  return tree;
+}
+
+std::vector<RTree::Entry> RTree::DatasetEntries(const Dataset& dataset) {
+  std::vector<Entry> entries;
+  entries.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    entries.push_back(Entry{dataset[i], static_cast<int64_t>(i)});
+  }
+  return entries;
+}
+
+namespace {
+
+struct PackItem {
+  Rect rect;
+  int64_t id = 0;
+  std::unique_ptr<RTree::Node> node;  // null at leaf level
+};
+
+// Sort-Tile-Recursive grouping of one tree level: orders `items` so that
+// consecutive runs of `capacity` form spatially coherent groups.
+void StrOrder(std::vector<PackItem>* items, int capacity) {
+  const size_t n = items->size();
+  const size_t num_groups = (n + capacity - 1) / capacity;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_groups))));
+  const size_t slab_size = num_slabs == 0
+                               ? n
+                               : (num_groups + num_slabs - 1) / num_slabs *
+                                     static_cast<size_t>(capacity);
+  std::sort(items->begin(), items->end(),
+            [](const PackItem& a, const PackItem& b) {
+              return a.rect.center().x < b.rect.center().x;
+            });
+  for (size_t start = 0; start < n; start += slab_size) {
+    const size_t end = std::min(n, start + slab_size);
+    std::sort(items->begin() + start, items->begin() + end,
+              [](const PackItem& a, const PackItem& b) {
+                return a.rect.center().y < b.rect.center().y;
+              });
+  }
+}
+
+}  // namespace
+
+// Shared packing driver: `str_tiles` selects STR ordering per level;
+// otherwise items keep their incoming (Hilbert) order at every level.
+RTree RTree::PackSorted(std::vector<Entry> entries, RTreeOptions options,
+                        bool str_tiles) {
+  RTree tree(options);
+  if (entries.empty()) return tree;
+  const int cap = tree.options_.max_entries;
+
+  std::vector<PackItem> items;
+  items.reserve(entries.size());
+  for (Entry& e : entries) {
+    items.push_back(PackItem{e.rect, e.id, nullptr});
+  }
+
+  tree.size_ = entries.size();
+  tree.num_nodes_ = 0;
+
+  int level = 0;
+  bool leaf_level = true;
+  while (true) {
+    if (str_tiles) StrOrder(&items, cap);
+    std::vector<PackItem> parents;
+    parents.reserve(items.size() / cap + 1);
+    for (size_t start = 0; start < items.size();
+         start += static_cast<size_t>(cap)) {
+      const size_t end =
+          std::min(items.size(), start + static_cast<size_t>(cap));
+      auto node = std::make_unique<Node>();
+      node->is_leaf = leaf_level;
+      node->level = level;
+      for (size_t i = start; i < end; ++i) {
+        node->rects.push_back(items[i].rect);
+        if (leaf_level) {
+          node->ids.push_back(items[i].id);
+        } else {
+          node->children.push_back(std::move(items[i].node));
+        }
+      }
+      ++tree.num_nodes_;
+      PackItem parent;
+      parent.rect = node->ComputeMbr();
+      parent.node = std::move(node);
+      parents.push_back(std::move(parent));
+    }
+    if (parents.size() == 1) {
+      tree.root_ = std::move(parents[0].node);
+      break;
+    }
+    items = std::move(parents);
+    leaf_level = false;
+    ++level;
+  }
+  return tree;
+}
+
+RTree RTree::BulkLoadStr(std::vector<Entry> entries, RTreeOptions options) {
+  return PackSorted(std::move(entries), options, /*str_tiles=*/true);
+}
+
+RTree RTree::BulkLoadHilbert(std::vector<Entry> entries,
+                             RTreeOptions options) {
+  Rect extent = Rect::Empty();
+  for (const Entry& e : entries) extent.Extend(e.rect);
+  const HilbertCurve curve(16);
+  std::vector<std::pair<uint64_t, size_t>> keys;
+  keys.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    keys.emplace_back(curve.ValueForRect(entries[i].rect, extent), i);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<Entry> sorted;
+  sorted.reserve(entries.size());
+  for (const auto& [key, idx] : keys) {
+    (void)key;
+    sorted.push_back(entries[idx]);
+  }
+  return PackSorted(std::move(sorted), options, /*str_tiles=*/false);
+}
+
+namespace {
+
+// Collects every leaf entry of a subtree (used when CondenseTree orphans a
+// node: its entries are reinserted from the leaves up).
+void CollectLeafEntries(const RTree::Node& node,
+                        std::vector<RTree::Entry>* out) {
+  if (node.is_leaf) {
+    for (size_t i = 0; i < node.rects.size(); ++i) {
+      out->push_back(RTree::Entry{node.rects[i], node.ids[i]});
+    }
+    return;
+  }
+  for (const auto& child : node.children) {
+    CollectLeafEntries(*child, out);
+  }
+}
+
+uint64_t CountNodes(const RTree::Node& node) {
+  uint64_t n = 1;
+  for (const auto& child : node.children) n += CountNodes(*child);
+  return n;
+}
+
+}  // namespace
+
+Status RTree::Delete(const Rect& rect, int64_t id) {
+  std::vector<Entry> orphans;
+  uint64_t removed_nodes = 0;
+
+  // Recursive removal with condensation. Returns true if the entry was
+  // found and removed somewhere under `node`.
+  std::function<bool(Node*)> remove = [&](Node* node) -> bool {
+    if (node->is_leaf) {
+      for (size_t i = 0; i < node->rects.size(); ++i) {
+        if (node->ids[i] == id && node->rects[i] == rect) {
+          node->rects.erase(node->rects.begin() + i);
+          node->ids.erase(node->ids.begin() + i);
+          return true;
+        }
+      }
+      return false;
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (!node->rects[i].Contains(rect)) continue;
+      Node* child = node->children[i].get();
+      if (!remove(child)) continue;
+      if (static_cast<int>(child->size()) < options_.EffectiveMin()) {
+        // Orphan the under-full child; its entries are reinserted below.
+        removed_nodes += CountNodes(*child);
+        CollectLeafEntries(*child, &orphans);
+        node->rects.erase(node->rects.begin() + i);
+        node->children.erase(node->children.begin() + i);
+      } else {
+        node->rects[i] = child->ComputeMbr();
+      }
+      return true;
+    }
+    return false;
+  };
+
+  if (!remove(root_.get())) {
+    return Status::NotFound("no entry with the given rect and id");
+  }
+  --size_;
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+    --num_nodes_;
+  }
+  num_nodes_ -= removed_nodes;
+
+  // Reinsert orphaned entries (size_ bookkeeping: Insert re-adds them).
+  size_ -= orphans.size();
+  for (const Entry& e : orphans) {
+    Insert(e.rect, e.id);
+  }
+  return Status::OK();
+}
+
+std::vector<RTree::Neighbor> RTree::NearestNeighbors(const Point& query,
+                                                     int k) const {
+  std::vector<Neighbor> result;
+  if (k <= 0 || size_ == 0) return result;
+
+  // Best-first search over a min-heap of (MINDIST, node-or-entry).
+  struct HeapItem {
+    double dist_sq;
+    const Node* node;   // null for entry items
+    int64_t id;
+    Rect rect;
+    bool operator>(const HeapItem& o) const { return dist_sq > o.dist_sq; }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  heap.push(HeapItem{0.0, root_.get(), 0, Rect()});
+
+  while (!heap.empty() && static_cast<int>(result.size()) < k) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    if (item.node == nullptr) {
+      result.push_back(
+          Neighbor{item.id, item.rect, std::sqrt(item.dist_sq)});
+      continue;
+    }
+    const Node& node = *item.node;
+    for (size_t i = 0; i < node.rects.size(); ++i) {
+      const double d = node.rects[i].DistanceSqToPoint(query);
+      if (node.is_leaf) {
+        heap.push(HeapItem{d, nullptr, node.ids[i], node.rects[i]});
+      } else {
+        heap.push(HeapItem{d, node.children[i].get(), 0, Rect()});
+      }
+    }
+  }
+  return result;
+}
+
+void RTree::RangeQuery(
+    const Rect& query,
+    const std::function<void(int64_t, const Rect&)>& fn) const {
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (size_t i = 0; i < node->rects.size(); ++i) {
+      if (!node->rects[i].Intersects(query)) continue;
+      if (node->is_leaf) {
+        fn(node->ids[i], node->rects[i]);
+      } else {
+        stack.push_back(node->children[i].get());
+      }
+    }
+  }
+}
+
+uint64_t RTree::CountRange(const Rect& query) const {
+  uint64_t count = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (size_t i = 0; i < node->rects.size(); ++i) {
+      if (!node->rects[i].Intersects(query)) continue;
+      if (node->is_leaf) {
+        ++count;
+      } else {
+        stack.push_back(node->children[i].get());
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<int64_t> RTree::SearchRange(const Rect& query) const {
+  std::vector<int64_t> out;
+  RangeQuery(query, [&out](int64_t id, const Rect&) { out.push_back(id); });
+  return out;
+}
+
+int RTree::height() const { return root_->level + 1; }
+
+uint64_t RTree::NominalBytes() const {
+  const uint64_t page = 16 + static_cast<uint64_t>(options_.max_entries) * 40;
+  return num_nodes_ * page;
+}
+
+namespace {
+
+Status CheckNode(const RTree::Node& node, const RTreeOptions& options,
+                 bool is_root, bool enforce_min_fill, int expected_leaf_level,
+                 uint64_t* entry_count, uint64_t* node_count) {
+  ++*node_count;
+  const int n = static_cast<int>(node.size());
+  if (n > options.max_entries) {
+    return Status::Internal("node overflow: " + std::to_string(n));
+  }
+  if (enforce_min_fill && !is_root && n < options.EffectiveMin()) {
+    return Status::Internal("node underflow: " + std::to_string(n));
+  }
+  if (node.is_leaf) {
+    if (node.level != expected_leaf_level) {
+      return Status::Internal("leaf at wrong level");
+    }
+    if (node.ids.size() != node.rects.size()) {
+      return Status::Internal("leaf id/rect count mismatch");
+    }
+    *entry_count += node.rects.size();
+    return Status::OK();
+  }
+  if (node.children.size() != node.rects.size()) {
+    return Status::Internal("internal child/rect count mismatch");
+  }
+  if (is_root && n < 2) {
+    return Status::Internal("internal root with fewer than 2 children");
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const RTree::Node& child = *node.children[i];
+    if (child.level != node.level - 1) {
+      return Status::Internal("child level mismatch");
+    }
+    const Rect tight = child.ComputeMbr();
+    if (!node.rects[i].Contains(tight)) {
+      return Status::Internal("parent entry does not cover child MBR");
+    }
+    SJSEL_RETURN_IF_ERROR(CheckNode(child, options, false, enforce_min_fill,
+                                    expected_leaf_level, entry_count,
+                                    node_count));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RTree::CheckInvariants(bool enforce_min_fill) const {
+  uint64_t entry_count = 0;
+  uint64_t node_count = 0;
+  SJSEL_RETURN_IF_ERROR(CheckNode(*root_, options_, /*is_root=*/true,
+                                  enforce_min_fill,
+                                  /*expected_leaf_level=*/0, &entry_count,
+                                  &node_count));
+  if (entry_count != size_) {
+    return Status::Internal("size mismatch: counted " +
+                            std::to_string(entry_count) + " tracked " +
+                            std::to_string(size_));
+  }
+  if (node_count != num_nodes_) {
+    return Status::Internal("node count mismatch: counted " +
+                            std::to_string(node_count) + " tracked " +
+                            std::to_string(num_nodes_));
+  }
+  return Status::OK();
+}
+
+}  // namespace sjsel

@@ -1,0 +1,158 @@
+#ifndef SJSEL_RTREE_RTREE_H_
+#define SJSEL_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/dataset.h"
+#include "geom/rect.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sjsel {
+
+/// Node-splitting algorithm used on overflow.
+enum class SplitStrategy {
+  /// Guttman's quadratic split (the 1984 original).
+  kQuadratic,
+  /// The R*-tree split (Beckmann et al.): choose the split axis by minimum
+  /// margin sum, then the distribution by minimum overlap. (The R*'s
+  /// forced-reinsertion step is not implemented.)
+  kRStar,
+};
+
+/// Tuning knobs for RTree. The defaults model a 4 KiB disk page holding
+/// 50 entries, the classic configuration in the spatial-join literature.
+struct RTreeOptions {
+  /// Maximum entries per node (fanout). Must be >= 4.
+  int max_entries = 50;
+  /// Minimum fill after a split; 0 means max_entries * 40 %.
+  int min_entries = 0;
+  SplitStrategy split = SplitStrategy::kQuadratic;
+
+  int EffectiveMin() const {
+    if (min_entries > 0) return min_entries;
+    const int m = (max_entries * 2) / 5;
+    return m < 2 ? 2 : m;
+  }
+};
+
+/// A classic Guttman R-tree over 2-D rectangles with quadratic node
+/// splitting, plus STR and Hilbert bulk loading (Kamel & Faloutsos packing).
+///
+/// This is the index the paper assumes for (a) performing the actual join
+/// whose cost the estimators are compared against, (b) joining the samples
+/// drawn by the sampling estimators, and (c) the space/build-time baselines
+/// of the evaluation's cost metrics.
+class RTree {
+ public:
+  /// A leaf entry: the MBR of one data object plus its identifier.
+  struct Entry {
+    Rect rect;
+    int64_t id = 0;
+  };
+
+  /// An internal tree node. Exposed (read-only) so the synchronized-
+  /// traversal join can walk two trees in lock step.
+  struct Node {
+    bool is_leaf = true;
+    int level = 0;  ///< 0 for leaves, parent level = child level + 1.
+    std::vector<Rect> rects;
+    std::vector<int64_t> ids;                     ///< leaf payloads
+    std::vector<std::unique_ptr<Node>> children;  ///< internal children
+
+    size_t size() const { return rects.size(); }
+    Rect ComputeMbr() const;
+  };
+
+  explicit RTree(RTreeOptions options = RTreeOptions());
+
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// One-at-a-time Guttman insertion.
+  void Insert(const Rect& rect, int64_t id);
+
+  /// Removes one entry matching (rect, id) exactly, condensing under-full
+  /// nodes by reinsertion (Guttman's CondenseTree). Returns NotFound if no
+  /// such entry exists.
+  Status Delete(const Rect& rect, int64_t id);
+
+  /// One k-nearest-neighbor result.
+  struct Neighbor {
+    int64_t id = 0;
+    Rect rect;
+    double distance = 0.0;  ///< Euclidean distance from the query point
+  };
+
+  /// The k entries nearest to `query` (Euclidean MINDIST, best-first
+  /// search), ordered by ascending distance. Returns fewer than k when the
+  /// tree is smaller than k.
+  std::vector<Neighbor> NearestNeighbors(const Point& query, int k) const;
+
+  /// Builds a tree by repeated insertion over a whole dataset
+  /// (ids = positions).
+  static RTree BuildByInsertion(const Dataset& dataset,
+                                RTreeOptions options = RTreeOptions());
+
+  /// Sort-Tile-Recursive bulk load (Leutenegger et al.).
+  static RTree BulkLoadStr(std::vector<Entry> entries,
+                           RTreeOptions options = RTreeOptions());
+
+  /// Hilbert-sort packing (Kamel & Faloutsos, "On Packing R-trees").
+  static RTree BulkLoadHilbert(std::vector<Entry> entries,
+                               RTreeOptions options = RTreeOptions());
+
+  /// Convenience: dataset -> entries with ids = positions.
+  static std::vector<Entry> DatasetEntries(const Dataset& dataset);
+
+  /// Invokes `fn(id, rect)` for every entry whose MBR intersects `query`.
+  void RangeQuery(const Rect& query,
+                  const std::function<void(int64_t, const Rect&)>& fn) const;
+
+  /// Number of entries intersecting `query`.
+  uint64_t CountRange(const Rect& query) const;
+
+  /// Collects ids of entries intersecting `query`.
+  std::vector<int64_t> SearchRange(const Rect& query) const;
+
+  uint64_t size() const { return size_; }
+  int height() const;
+  uint64_t num_nodes() const { return num_nodes_; }
+  const Node* root() const { return root_.get(); }
+  const RTreeOptions& options() const { return options_; }
+
+  /// Nominal storage footprint assuming fixed-size pages (each node stored
+  /// as a page of max_entries slots of 40 bytes plus a 16-byte header).
+  /// This is the denominator-compatible "space cost" measure the paper's
+  /// evaluation uses.
+  uint64_t NominalBytes() const;
+
+  /// Verifies structural invariants (MBR containment, uniform leaf depth,
+  /// entry/node accounting). `enforce_min_fill` additionally checks the
+  /// Guttman minimum fill factor, which holds for insertion-built trees but
+  /// not for packed ones (their last node per level may be under-filled).
+  Status CheckInvariants(bool enforce_min_fill = false) const;
+
+ private:
+  Node* ChooseLeaf(const Rect& rect) const;
+  void SplitNode(Node* node, std::unique_ptr<Node>* new_node_out);
+  void QuadraticSplit(Node* node, std::unique_ptr<Node>* new_node_out);
+  void RStarSplit(Node* node, std::unique_ptr<Node>* new_node_out);
+  void AdjustPath(const std::vector<Node*>& path, const Rect& rect);
+  static RTree PackSorted(std::vector<Entry> entries, RTreeOptions options,
+                          bool str_tiles);
+
+  RTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  uint64_t size_ = 0;
+  uint64_t num_nodes_ = 1;
+};
+
+}  // namespace sjsel
+
+#endif  // SJSEL_RTREE_RTREE_H_

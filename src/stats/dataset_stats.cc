@@ -1,0 +1,37 @@
+#include "stats/dataset_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sjsel {
+
+DatasetStats DatasetStats::Compute(const Dataset& ds, const Rect& extent) {
+  DatasetStats s;
+  s.name = ds.name();
+  s.n = ds.size();
+  s.extent = extent;
+  s.extent_area = extent.IsEmpty() ? 0.0 : extent.area();
+  if (ds.empty()) return s;
+
+  double sum_w = 0.0;
+  double sum_h = 0.0;
+  for (const Rect& r : ds.rects()) {
+    sum_w += r.width();
+    sum_h += r.height();
+    s.total_area += r.area();
+    s.max_width = std::max(s.max_width, r.width());
+    s.max_height = std::max(s.max_height, r.height());
+  }
+  const double n = static_cast<double>(ds.size());
+  s.avg_width = sum_w / n;
+  s.avg_height = sum_h / n;
+  s.coverage = s.extent_area > 0.0 ? s.total_area / s.extent_area : 0.0;
+  return s;
+}
+
+double RelativeError(double estimate, double actual) {
+  if (actual == 0.0) return std::fabs(estimate);
+  return std::fabs(estimate - actual) / std::fabs(actual);
+}
+
+}  // namespace sjsel

@@ -1,0 +1,38 @@
+#ifndef SJSEL_STATS_DATASET_STATS_H_
+#define SJSEL_STATS_DATASET_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "geom/dataset.h"
+#include "geom/rect.h"
+
+namespace sjsel {
+
+/// Whole-dataset summary statistics — exactly the parameters the prior
+/// parametric model of Aref & Samet consumes (N, coverage C, average width
+/// W and height H over the extent of area A), plus descriptive extras.
+struct DatasetStats {
+  std::string name;
+  size_t n = 0;
+  Rect extent = Rect::Empty();  ///< the reference extent used for ratios
+  double extent_area = 0.0;     ///< A
+  double coverage = 0.0;        ///< C: sum of item areas / A
+  double avg_width = 0.0;       ///< W
+  double avg_height = 0.0;      ///< H
+  double total_area = 0.0;      ///< sum of item areas
+  double max_width = 0.0;
+  double max_height = 0.0;
+
+  /// Computes statistics of `ds` relative to `extent` (pass the joint
+  /// extent of a join's two inputs so both sides use the same A).
+  static DatasetStats Compute(const Dataset& ds, const Rect& extent);
+};
+
+/// Relative estimation error as a fraction: |est - actual| / actual.
+/// Returns |est| when actual == 0 (so a correct zero estimate scores 0).
+double RelativeError(double estimate, double actual);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_STATS_DATASET_STATS_H_

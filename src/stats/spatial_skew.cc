@@ -1,0 +1,54 @@
+#include "stats/spatial_skew.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/grid.h"
+
+namespace sjsel {
+
+SkewStats ComputeSkew(const Dataset& ds, int level) {
+  SkewStats stats;
+  if (ds.empty()) return stats;
+  const Rect extent = ds.ComputeExtent();
+  auto grid_result = Grid::Create(extent, level);
+  if (!grid_result.ok()) {
+    // Degenerate extent (all centers collinear/coincident): maximal skew.
+    stats.gini = 1.0;
+    return stats;
+  }
+  const Grid grid = std::move(grid_result).value();
+
+  std::vector<uint64_t> counts(grid.num_cells(), 0);
+  for (const Rect& r : ds.rects()) {
+    ++counts[grid.CellOf(r.center())];
+  }
+  const double n = static_cast<double>(ds.size());
+  const double cells = static_cast<double>(counts.size());
+
+  double entropy = 0.0;
+  uint64_t occupied = 0;
+  for (uint64_t count : counts) {
+    if (count == 0) continue;
+    ++occupied;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log(p);
+  }
+  const double max_entropy = std::log(cells);
+  stats.entropy_ratio = max_entropy > 0.0 ? entropy / max_entropy : 0.0;
+  stats.occupied_fraction = static_cast<double>(occupied) / cells;
+
+  // Gini over the per-cell counts (including empty cells).
+  std::vector<uint64_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  double weighted = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+  }
+  stats.gini = (2.0 * weighted) / (cells * n) - (cells + 1.0) / cells;
+  stats.gini = std::clamp(stats.gini, 0.0, 1.0);
+  return stats;
+}
+
+}  // namespace sjsel

@@ -1,0 +1,30 @@
+#ifndef SJSEL_STATS_SPATIAL_SKEW_H_
+#define SJSEL_STATS_SPATIAL_SKEW_H_
+
+#include "geom/dataset.h"
+
+namespace sjsel {
+
+/// How unevenly a dataset's mass is spread over a uniform grid — the
+/// property that decides whether the uniformity assumption of the
+/// parametric model (and of PH/GH within a cell) holds. Computed by
+/// bucketing MBR centers into a 2^level x 2^level grid.
+struct SkewStats {
+  /// Shannon entropy of the cell-occupancy distribution divided by the
+  /// maximum (log of the cell count): 1.0 = perfectly uniform,
+  /// 0.0 = everything in one cell.
+  double entropy_ratio = 0.0;
+  /// Gini coefficient of per-cell counts: 0.0 = uniform, -> 1.0 = extreme
+  /// concentration.
+  double gini = 0.0;
+  /// Fraction of cells containing at least one center.
+  double occupied_fraction = 0.0;
+};
+
+/// Computes skew statistics of `ds` over its own extent at the given grid
+/// level (default 6 = 64x64 cells). Returns zeros for an empty dataset.
+SkewStats ComputeSkew(const Dataset& ds, int level = 6);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_STATS_SPATIAL_SKEW_H_

@@ -1,0 +1,77 @@
+#ifndef SJSEL_UTIL_RESULT_H_
+#define SJSEL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace sjsel {
+
+/// Holds either a value of type `T` or an error `Status` (never both),
+/// mirroring absl::StatusOr / arrow::Result. Access the value only after
+/// checking `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ has a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs`.
+#define SJSEL_ASSIGN_OR_RETURN(lhs, expr)                 \
+  do {                                                    \
+    auto _sjsel_result = (expr);                          \
+    if (!_sjsel_result.ok()) return _sjsel_result.status(); \
+    lhs = std::move(_sjsel_result).value();               \
+  } while (0)
+
+}  // namespace sjsel
+
+#endif  // SJSEL_UTIL_RESULT_H_

@@ -1,0 +1,157 @@
+#include "util/serialize.h"
+
+#include <array>
+#include <cstdio>
+
+namespace sjsel {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  const auto& table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void BinaryWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.append(s);
+}
+
+void BinaryWriter::PutDoubleVector(const std::vector<double>& v) {
+  PutU64(v.size());
+  for (double d : v) PutDouble(d);
+}
+
+uint32_t BinaryWriter::Crc32() const {
+  return ::sjsel::Crc32(buffer_.data(), buffer_.size());
+}
+
+Status BinaryReader::GetRaw(void* out, size_t n) {
+  if (pos_ + n > data_.size()) {
+    return Status::Corruption("truncated input: need " + std::to_string(n) +
+                              " bytes at offset " + std::to_string(pos_));
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  uint8_t v = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  uint32_t v = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  uint64_t v = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> BinaryReader::GetI64() {
+  int64_t v = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<double> BinaryReader::GetDouble() {
+  double v = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  uint32_t n = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&n, sizeof(n)));
+  if (pos_ + n > data_.size()) {
+    return Status::Corruption("truncated string of length " +
+                              std::to_string(n));
+  }
+  std::string s = data_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+Result<std::vector<double>> BinaryReader::GetDoubleVector() {
+  uint64_t n = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&n, sizeof(n)));
+  if (n > (data_.size() - pos_) / sizeof(double)) {
+    return Status::Corruption("truncated double vector of length " +
+                              std::to_string(n));
+  }
+  std::vector<double> v(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SJSEL_RETURN_IF_ERROR(GetRaw(&v[i], sizeof(double)));
+  }
+  return v;
+}
+
+Result<uint32_t> BinaryReader::Crc32Prefix(size_t n) const {
+  if (n > data_.size()) {
+    return Status::Corruption("crc range exceeds data size");
+  }
+  return ::sjsel::Crc32(data_.data(), n);
+}
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::IoError("read error: " + path);
+  }
+  return data;
+}
+
+}  // namespace sjsel

@@ -1,0 +1,86 @@
+#ifndef SJSEL_UTIL_SERIALIZE_H_
+#define SJSEL_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sjsel {
+
+/// Appends fixed-width little-endian encodings of POD values to a byte
+/// buffer. Used by the histogram-file and dataset-file formats.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed (u32) byte string.
+  void PutString(const std::string& s);
+
+  /// Length-prefixed (u64) vector of doubles.
+  void PutDoubleVector(const std::vector<double>& v);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// CRC-32 (IEEE 802.3 polynomial) of everything written so far.
+  uint32_t Crc32() const;
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buffer_.append(c, n);
+  }
+
+  std::string buffer_;
+};
+
+/// Reads values written by BinaryWriter, with bounds checking; all getters
+/// return Corruption on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string data) : data_(std::move(data)) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<std::vector<double>> GetDoubleVector();
+
+  size_t position() const { return pos_; }
+  size_t size() const { return data_.size(); }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+
+  /// CRC-32 of the first `n` bytes of the underlying data.
+  Result<uint32_t> Crc32Prefix(size_t n) const;
+
+ private:
+  Status GetRaw(void* out, size_t n);
+
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE) of a byte range.
+uint32_t Crc32(const void* data, size_t n);
+
+/// Writes `data` to `path` atomically enough for our purposes (truncate +
+/// write + close). Returns IoError on failure.
+Status WriteFile(const std::string& path, const std::string& data);
+
+/// Reads the whole file at `path`.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_UTIL_SERIALIZE_H_

@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sjsel {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    std::string rule = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      rule += std::string(width[i] + 2, '-') + "|";
+    }
+    out += rule + "\n";
+  }
+  for (const auto& r : rows_) out += render_row(r);
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  const double mag = std::fabs(v);
+  if (v != 0.0 && (mag < 1e-4 || mag >= 1e7)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", digits - 1, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  }
+  return buf;
+}
+
+std::string FormatPercent(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace sjsel

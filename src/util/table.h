@@ -1,0 +1,38 @@
+#ifndef SJSEL_UTIL_TABLE_H_
+#define SJSEL_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sjsel {
+
+/// Builds fixed-width ASCII tables for the benchmark harnesses so their
+/// output reads like the paper's tables/figure series.
+class TextTable {
+ public:
+  /// Sets the column headers; must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column separators and a header rule.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` significant decimal digits (fixed notation for
+/// mid-range magnitudes, scientific otherwise).
+std::string FormatDouble(double v, int digits = 4);
+
+/// Formats a ratio as a percentage string, e.g. 0.0734 -> "7.34%".
+std::string FormatPercent(double ratio, int digits = 2);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+#ifndef SJSEL_UTIL_TIMER_H_
+#define SJSEL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sjsel {
+
+/// Monotonic wall-clock stopwatch used for the paper's relative-time metrics
+/// (Est. Time 1 / Est. Time 2, histogram build time).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sjsel
+
+#endif  // SJSEL_UTIL_TIMER_H_

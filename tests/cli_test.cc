@@ -1,0 +1,267 @@
+// In-process tests of the `sjsel` command-line tool.
+
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sjsel {
+namespace cli {
+namespace {
+
+// Runs the CLI with output captured into strings.
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunTool(const std::vector<std::string>& args) {
+  CliResult result;
+  const std::string out_path = ::testing::TempDir() + "/cli_out.txt";
+  const std::string err_path = ::testing::TempDir() + "/cli_err.txt";
+  std::FILE* out = std::fopen(out_path.c_str(), "w+");
+  std::FILE* err = std::fopen(err_path.c_str(), "w+");
+  result.code = RunCli(args, out, err);
+  auto slurp = [](std::FILE* f) {
+    std::string s;
+    std::rewind(f);
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) s.append(buf, n);
+    std::fclose(f);
+    return s;
+  };
+  result.out = slurp(out);
+  result.err = slurp(err);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  const CliResult r = RunTool({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandPrintsUsage) {
+  const CliResult r = RunTool({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, GenStatsRoundTrip) {
+  const std::string ds = TempPath("cli_uniform.ds");
+  CliResult r = RunTool({"gen", "uniform:500", ds, "--seed=7"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("500 rectangles"), std::string::npos);
+
+  r = RunTool({"stats", ds});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("rectangles  : 500"), std::string::npos);
+  EXPECT_NE(r.out.find("coverage"), std::string::npos);
+  std::remove(ds.c_str());
+}
+
+TEST(CliTest, GenPaperDataset) {
+  const std::string ds = TempPath("cli_scrc.ds");
+  const CliResult r = RunTool({"gen", "SCRC", ds, "--scale=0.01"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1000 rectangles"), std::string::npos);
+  std::remove(ds.c_str());
+}
+
+TEST(CliTest, GenRejectsBadSpec) {
+  const CliResult r = RunTool({"gen", "nonsense", TempPath("x.ds")});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown dataset spec"), std::string::npos);
+}
+
+TEST(CliTest, FullHistogramPipeline) {
+  const std::string ds_a = TempPath("cli_a.ds");
+  const std::string ds_b = TempPath("cli_b.ds");
+  const std::string gh_a = TempPath("cli_a.gh");
+  const std::string gh_b = TempPath("cli_b.gh");
+
+  ASSERT_EQ(RunTool({"gen", "uniform:2000", ds_a, "--seed=1"}).code, 0);
+  ASSERT_EQ(RunTool({"gen", "clustered:2000", ds_b, "--seed=2"}).code, 0);
+
+  // Use a shared extent so the two histogram files are combinable.
+  CliResult r = RunTool({"hist-build", ds_a, gh_a, "--level=6",
+                     "--extent=0,0,1,1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  r = RunTool({"hist-build", ds_b, gh_b, "--level=6", "--extent=0,0,1,1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  r = RunTool({"hist-info", gh_a});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("scheme   : GH (revised)"), std::string::npos);
+  EXPECT_NE(r.out.find("level    : 6"), std::string::npos);
+
+  r = RunTool({"estimate", gh_a, gh_b});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("estimated pairs"), std::string::npos);
+  EXPECT_NE(r.out.find("estimated selectivity"), std::string::npos);
+
+  r = RunTool({"range", gh_a, "0.2,0.2,0.8,0.8"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("estimated matches"), std::string::npos);
+
+  for (const std::string& p : {ds_a, ds_b, gh_a, gh_b}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, PhPipelineAndMixedSchemesRejected) {
+  const std::string ds = TempPath("cli_ph.ds");
+  const std::string ph = TempPath("cli_ph.hist");
+  const std::string gh = TempPath("cli_gh.hist");
+  ASSERT_EQ(RunTool({"gen", "uniform:1000", ds}).code, 0);
+  ASSERT_EQ(RunTool({"hist-build", ds, ph, "--scheme=ph", "--level=4",
+                 "--extent=0,0,1,1"})
+                .code,
+            0);
+  ASSERT_EQ(
+      RunTool({"hist-build", ds, gh, "--level=4", "--extent=0,0,1,1"}).code, 0);
+
+  CliResult r = RunTool({"hist-info", ph});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("scheme   : PH (split)"), std::string::npos);
+  EXPECT_NE(r.out.find("avg span"), std::string::npos);
+
+  r = RunTool({"estimate", ph, ph});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  r = RunTool({"estimate", ph, gh});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("different schemes"), std::string::npos);
+
+  r = RunTool({"range", ph, "0,0,1,1"});
+  EXPECT_EQ(r.code, 2);  // range needs GH
+
+  for (const std::string& p : {ds, ph, gh}) std::remove(p.c_str());
+}
+
+TEST(CliTest, MinSkewPipeline) {
+  const std::string ds = TempPath("cli_ms.ds");
+  const std::string ms = TempPath("cli_ms.hist");
+  ASSERT_EQ(RunTool({"gen", "clustered:1500", ds}).code, 0);
+  CliResult r = RunTool({"hist-build", ds, ms, "--scheme=minskew",
+                         "--buckets=64", "--extent=0,0,1,1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  r = RunTool({"hist-info", ms});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("scheme   : MinSkew"), std::string::npos);
+  EXPECT_NE(r.out.find("buckets"), std::string::npos);
+
+  r = RunTool({"estimate", ms, ms});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("estimated pairs"), std::string::npos);
+  std::remove(ds.c_str());
+  std::remove(ms.c_str());
+}
+
+TEST(CliTest, JoinAlgorithmsAgree) {
+  const std::string ds_a = TempPath("cli_ja.ds");
+  const std::string ds_b = TempPath("cli_jb.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:800", ds_a, "--seed=3"}).code, 0);
+  ASSERT_EQ(RunTool({"gen", "clustered:800", ds_b, "--seed=4"}).code, 0);
+
+  std::string first;
+  for (const std::string algo :
+       {"sweep", "pbsm", "rtree", "quadtree", "nested"}) {
+    const CliResult r = RunTool({"join", ds_a, ds_b, "--algo=" + algo});
+    EXPECT_EQ(r.code, 0) << algo << ": " << r.err;
+    const size_t pos = r.out.find("pairs      : ");
+    ASSERT_NE(pos, std::string::npos);
+    const std::string count =
+        r.out.substr(pos, r.out.find('\n', pos) - pos);
+    if (first.empty()) {
+      first = count;
+    } else {
+      EXPECT_EQ(count, first) << algo;
+    }
+  }
+  EXPECT_EQ(RunTool({"join", ds_a, ds_b, "--algo=bogus"}).code, 2);
+  std::remove(ds_a.c_str());
+  std::remove(ds_b.c_str());
+}
+
+TEST(CliTest, SampleCommand) {
+  const std::string ds_a = TempPath("cli_sa.ds");
+  const std::string ds_b = TempPath("cli_sb.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:2000", ds_a, "--seed=5"}).code, 0);
+  ASSERT_EQ(RunTool({"gen", "uniform:2000", ds_b, "--seed=6"}).code, 0);
+  for (const std::string method : {"rs", "rswr", "ss"}) {
+    const CliResult r = RunTool({"sample", ds_a, ds_b, "--method=" + method,
+                             "--fa=0.2", "--fb=0.2"});
+    EXPECT_EQ(r.code, 0) << method << ": " << r.err;
+    EXPECT_NE(r.out.find("samples              : 400 x 400"),
+              std::string::npos)
+        << method;
+    EXPECT_NE(r.out.find("estimated pairs"), std::string::npos);
+  }
+  EXPECT_EQ(RunTool({"sample", ds_a, ds_b, "--method=bogus"}).code, 2);
+  std::remove(ds_a.c_str());
+  std::remove(ds_b.c_str());
+}
+
+TEST(CliTest, GeoPipeline) {
+  const std::string streams = TempPath("cli_streams.geo");
+  const std::string blocks = TempPath("cli_blocks.geo");
+  CliResult r = RunTool({"gen-geo", "streams", streams, "--n=400"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("400 streams geometries"), std::string::npos);
+  r = RunTool({"gen-geo", "blocks", blocks, "--n=400"});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  r = RunTool({"refine-join", streams, blocks});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("candidates (filter)"), std::string::npos);
+  EXPECT_NE(r.out.find("false-hit ratio"), std::string::npos);
+
+  EXPECT_EQ(RunTool({"gen-geo", "nonsense", streams}).code, 2);
+  EXPECT_EQ(RunTool({"refine-join", "/nope.geo", blocks}).code, 1);
+  std::remove(streams.c_str());
+  std::remove(blocks.c_str());
+}
+
+TEST(CliTest, KnnCommand) {
+  const std::string ds = TempPath("cli_knn.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:500", ds, "--seed=9"}).code, 0);
+  CliResult r = RunTool({"knn", ds, "0.5,0.5", "--k=3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("3 nearest of 500"), std::string::npos);
+  EXPECT_NE(r.out.find("dist"), std::string::npos);
+  EXPECT_EQ(RunTool({"knn", ds, "zzz"}).code, 2);
+  std::remove(ds.c_str());
+}
+
+TEST(CliTest, MissingFilesAreReported) {
+  EXPECT_EQ(RunTool({"stats", "/nonexistent.ds"}).code, 1);
+  EXPECT_EQ(RunTool({"hist-info", "/nonexistent.hist"}).code, 1);
+  EXPECT_EQ(RunTool({"join", "/nope1.ds", "/nope2.ds"}).code, 1);
+}
+
+TEST(CliTest, BadExtentFlagRejected) {
+  const std::string ds = TempPath("cli_ext.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:100", ds}).code, 0);
+  const CliResult r =
+      RunTool({"hist-build", ds, TempPath("x.gh"), "--extent=zzz"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --extent"), std::string::npos);
+  std::remove(ds.c_str());
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace sjsel

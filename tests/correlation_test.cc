@@ -1,0 +1,79 @@
+// Tests for spatial-correlation estimation (the paper's Section 1 third
+// use-case of join selectivity).
+
+#include <gtest/gtest.h>
+
+#include "core/gh_histogram.h"
+#include "datagen/generators.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeCluster(double cx, double cy, size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  return gen::GaussianClusterRects("c", n, kUnit,
+                                   {{cx, cy}, 0.06, 0.06, 1.0}, size, seed);
+}
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+double Correlation(const Dataset& a, const Dataset& b) {
+  const auto ha = GhHistogram::Build(a, kUnit, 6);
+  const auto hb = GhHistogram::Build(b, kUnit, 6);
+  const auto corr = EstimateGhSpatialCorrelation(*ha, *hb);
+  EXPECT_TRUE(corr.ok()) << corr.status().ToString();
+  return corr.value_or(-1);
+}
+
+TEST(CorrelationTest, IndependentUniformDataIsNearOne) {
+  const double corr =
+      Correlation(MakeUniform(4000, 1), MakeUniform(4000, 2));
+  EXPECT_GT(corr, 0.8);
+  EXPECT_LT(corr, 1.25);
+}
+
+TEST(CorrelationTest, CoLocatedClustersScoreHigh) {
+  const double corr = Correlation(MakeCluster(0.4, 0.6, 3000, 3),
+                                  MakeCluster(0.42, 0.58, 3000, 4));
+  EXPECT_GT(corr, 5.0);
+}
+
+TEST(CorrelationTest, AvoidingClustersScoreLow) {
+  const double corr = Correlation(MakeCluster(0.2, 0.2, 3000, 5),
+                                  MakeCluster(0.8, 0.8, 3000, 6));
+  EXPECT_LT(corr, 0.1);
+}
+
+TEST(CorrelationTest, OrderingMatchesIntuition) {
+  const Dataset base = MakeCluster(0.5, 0.5, 2500, 7);
+  const double with_same = Correlation(base, MakeCluster(0.5, 0.5, 2500, 8));
+  const double with_uniform = Correlation(base, MakeUniform(2500, 9));
+  const double with_far = Correlation(base, MakeCluster(0.1, 0.9, 2500, 10));
+  EXPECT_GT(with_same, with_uniform);
+  EXPECT_GT(with_uniform, with_far);
+}
+
+TEST(CorrelationTest, SymmetricInArguments) {
+  const Dataset a = MakeCluster(0.4, 0.5, 1500, 11);
+  const Dataset b = MakeUniform(1500, 12);
+  const double ab = Correlation(a, b);
+  const double ba = Correlation(b, a);
+  EXPECT_NEAR(ab, ba, 1e-9 * ab);
+}
+
+TEST(CorrelationTest, RejectsBasicVariantAndEmptyData) {
+  const Dataset ds = MakeUniform(100, 13);
+  const auto revised = GhHistogram::Build(ds, kUnit, 4);
+  const auto basic = GhHistogram::Build(ds, kUnit, 4, GhVariant::kBasic);
+  EXPECT_FALSE(EstimateGhSpatialCorrelation(*basic, *basic).ok());
+  const auto empty = GhHistogram::CreateEmpty(kUnit, 4);
+  EXPECT_FALSE(EstimateGhSpatialCorrelation(*revised, *empty).ok());
+}
+
+}  // namespace
+}  // namespace sjsel

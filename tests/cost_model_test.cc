@@ -1,0 +1,126 @@
+// Tests for the R-tree join cost model against the instrumented join.
+
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "join/rtree_join.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.008, 0.008, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+Dataset MakeClustered(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.008, 0.008, 0.5};
+  return gen::GaussianClusterRects("c", n, kUnit,
+                                   {{0.45, 0.55}, 0.12, 0.12, 1.0}, size,
+                                   seed);
+}
+
+TEST(JoinStatsTest, CountsAreConsistentWithPlainJoin) {
+  const Dataset a = MakeUniform(3000, 3);
+  const Dataset b = MakeClustered(3000, 4);
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree tb = RTree::BuildByInsertion(b);
+  const RTreeJoinStats stats = RTreeJoinCountWithStats(ta, tb);
+  EXPECT_EQ(stats.pairs, RTreeJoinCount(ta, tb));
+  EXPECT_GT(stats.node_pairs_visited, 0u);
+  EXPECT_GT(stats.leaf_pairs_visited, 0u);
+  EXPECT_GE(stats.entry_comparisons, stats.pairs);
+}
+
+TEST(JoinStatsTest, EmptyAndDisjointInputs) {
+  const Dataset a = MakeUniform(100, 5);
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree empty;
+  const RTreeJoinStats stats = RTreeJoinCountWithStats(ta, empty);
+  EXPECT_EQ(stats.pairs, 0u);
+  EXPECT_EQ(stats.node_pairs_visited, 0u);
+
+  // Disjoint extents prune at the root.
+  Dataset left("l");
+  Dataset right("r");
+  for (int i = 0; i < 200; ++i) {
+    const double t = i / 200.0;
+    left.Add(Rect(t * 0.1, t * 0.4, t * 0.1 + 0.01, t * 0.4 + 0.01));
+    right.Add(Rect(0.8 + t * 0.1, t * 0.4, 0.8 + t * 0.1 + 0.01,
+                   t * 0.4 + 0.01));
+  }
+  const RTree tl = RTree::BuildByInsertion(left);
+  const RTree tr = RTree::BuildByInsertion(right);
+  const RTreeJoinStats disjoint = RTreeJoinCountWithStats(tl, tr);
+  EXPECT_EQ(disjoint.pairs, 0u);
+  EXPECT_EQ(disjoint.leaf_pairs_visited, 0u);
+}
+
+TEST(CostModelTest, ZeroForEmptyOrDisjoint) {
+  const Dataset a = MakeUniform(500, 7);
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree empty;
+  const JoinCostPrediction p = PredictRTreeJoinCost(ta, empty);
+  EXPECT_DOUBLE_EQ(p.node_accesses, 0.0);
+}
+
+TEST(CostModelTest, PredictsLeafPairsWithinFactorThreeOnUniformData) {
+  // The model inherits Equation 1's uniformity assumption, so on uniform
+  // data the leaf-pair prediction should be in the right ballpark.
+  const Dataset a = MakeUniform(20000, 11);
+  const Dataset b = MakeUniform(20000, 12);
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree tb = RTree::BuildByInsertion(b);
+  const RTreeJoinStats actual = RTreeJoinCountWithStats(ta, tb);
+  const JoinCostPrediction predicted = PredictRTreeJoinCost(ta, tb);
+  ASSERT_GT(actual.leaf_pairs_visited, 100u);
+  EXPECT_LT(predicted.leaf_pairs,
+            3.0 * static_cast<double>(actual.leaf_pairs_visited));
+  EXPECT_GT(predicted.leaf_pairs,
+            static_cast<double>(actual.leaf_pairs_visited) / 3.0);
+}
+
+TEST(CostModelTest, RanksCheapAndExpensiveJoins) {
+  // Whatever the absolute error, the model must order a dense join above
+  // a sparse one — that is what an optimizer consumes.
+  const Dataset a = MakeClustered(8000, 13);
+  const Dataset dense = MakeClustered(8000, 14);   // same cluster
+  Dataset sparse("sparse");                        // opposite corner
+  {
+    gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.008, 0.008, 0.5};
+    sparse = gen::GaussianClusterRects(
+        "sparse", 8000, kUnit, {{0.9, 0.1}, 0.04, 0.04, 1.0}, size, 15);
+  }
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree td = RTree::BuildByInsertion(dense);
+  const RTree ts = RTree::BuildByInsertion(sparse);
+  const JoinCostPrediction p_dense = PredictRTreeJoinCost(ta, td);
+  const JoinCostPrediction p_sparse = PredictRTreeJoinCost(ta, ts);
+  EXPECT_GT(p_dense.node_accesses, p_sparse.node_accesses * 2);
+
+  const RTreeJoinStats s_dense = RTreeJoinCountWithStats(ta, td);
+  const RTreeJoinStats s_sparse = RTreeJoinCountWithStats(ta, ts);
+  EXPECT_GT(s_dense.leaf_pairs_visited, s_sparse.leaf_pairs_visited);
+}
+
+TEST(CostModelTest, CapsAtCrossProduct) {
+  // Tiny trees of huge rects: the raw Equation 1 value can exceed the
+  // number of node pairs that exist; the prediction must cap.
+  Dataset a("a");
+  Dataset b("b");
+  for (int i = 0; i < 30; ++i) {
+    a.Add(Rect(0, 0, 1, 1));
+    b.Add(Rect(0, 0, 1, 1));
+  }
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree tb = RTree::BuildByInsertion(b);
+  const JoinCostPrediction p = PredictRTreeJoinCost(ta, tb);
+  EXPECT_LE(p.leaf_pairs, 1.0 + 1e-9);  // one leaf each at this size
+}
+
+}  // namespace
+}  // namespace sjsel

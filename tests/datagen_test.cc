@@ -1,0 +1,220 @@
+#include "datagen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/workloads.h"
+#include "stats/dataset_stats.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+bool AllInside(const Dataset& ds, const Rect& extent) {
+  for (const Rect& r : ds.rects()) {
+    if (!extent.Contains(r)) return false;
+  }
+  return true;
+}
+
+TEST(SizeDistTest, FixedKind) {
+  Rng rng(1);
+  gen::SizeDist dist{gen::SizeDist::Kind::kFixed, 0.01, 0.02, 0.0};
+  double w = 0;
+  double h = 0;
+  dist.Sample(&rng, &w, &h);
+  EXPECT_DOUBLE_EQ(w, 0.01);
+  EXPECT_DOUBLE_EQ(h, 0.02);
+}
+
+TEST(SizeDistTest, UniformKindStaysInBand) {
+  Rng rng(2);
+  gen::SizeDist dist{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  for (int i = 0; i < 1000; ++i) {
+    double w = 0;
+    double h = 0;
+    dist.Sample(&rng, &w, &h);
+    EXPECT_GE(w, 0.005);
+    EXPECT_LT(w, 0.015);
+    EXPECT_GE(h, 0.005);
+    EXPECT_LT(h, 0.015);
+  }
+}
+
+TEST(SizeDistTest, ExponentialKindMeanIsRight) {
+  Rng rng(3);
+  gen::SizeDist dist{gen::SizeDist::Kind::kExponential, 0.01, 0.02, 0.0};
+  double sum_w = 0;
+  double sum_h = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double w = 0;
+    double h = 0;
+    dist.Sample(&rng, &w, &h);
+    sum_w += w;
+    sum_h += h;
+  }
+  EXPECT_NEAR(sum_w / n, 0.01, 0.001);
+  EXPECT_NEAR(sum_h / n, 0.02, 0.002);
+}
+
+TEST(GeneratorsTest, UniformRectsBasics) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  const Dataset ds = gen::UniformRects("u", 5000, kUnit, size, 42);
+  EXPECT_EQ(ds.name(), "u");
+  EXPECT_EQ(ds.size(), 5000u);
+  EXPECT_TRUE(AllInside(ds, kUnit));
+  // Uniform placement: the four quadrants get roughly equal counts.
+  int q = 0;
+  for (const Rect& r : ds.rects()) {
+    if (r.center().x < 0.5 && r.center().y < 0.5) ++q;
+  }
+  EXPECT_NEAR(q / 5000.0, 0.25, 0.03);
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  const Dataset a = gen::UniformRects("a", 500, kUnit, size, 7);
+  const Dataset b = gen::UniformRects("b", 500, kUnit, size, 7);
+  EXPECT_EQ(a.rects(), b.rects());
+  const Dataset c = gen::UniformRects("c", 500, kUnit, size, 8);
+  EXPECT_NE(a.rects(), c.rects());
+}
+
+TEST(GeneratorsTest, GaussianClusterConcentratesMass) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.002, 0.002, 0.5};
+  gen::Cluster cluster{{0.4, 0.7}, 0.1, 0.1, 1.0};
+  const Dataset ds =
+      gen::GaussianClusterRects("scrc", 5000, kUnit, cluster, size, 11);
+  EXPECT_TRUE(AllInside(ds, kUnit));
+  // Most mass within 3 sigma of the center.
+  int close = 0;
+  for (const Rect& r : ds.rects()) {
+    const Point c = r.center();
+    if (std::abs(c.x - 0.4) < 0.3 && std::abs(c.y - 0.7) < 0.3) ++close;
+  }
+  EXPECT_GT(close / 5000.0, 0.95);
+}
+
+TEST(GeneratorsTest, MultiClusterBackgroundFraction) {
+  gen::SizeDist size{gen::SizeDist::Kind::kFixed, 0.001, 0.001, 0.0};
+  std::vector<gen::Cluster> clusters = {{{0.2, 0.2}, 0.02, 0.02, 1.0}};
+  const Dataset ds =
+      gen::MultiClusterRects("m", 4000, kUnit, clusters, 0.5, size, 13);
+  // Roughly half the mass should be outside the (tight) cluster.
+  int far = 0;
+  for (const Rect& r : ds.rects()) {
+    const Point c = r.center();
+    if (std::abs(c.x - 0.2) > 0.1 || std::abs(c.y - 0.2) > 0.1) ++far;
+  }
+  EXPECT_GT(far / 4000.0, 0.3);
+  EXPECT_LT(far / 4000.0, 0.7);
+}
+
+TEST(GeneratorsTest, ClusteredPointsAreDegenerate) {
+  const Dataset ds = gen::ClusteredPoints(
+      "pts", 1000, kUnit, {{{0.5, 0.5}, 0.1, 0.1, 1.0}}, 0.2, 17);
+  EXPECT_EQ(ds.size(), 1000u);
+  for (const Rect& r : ds.rects()) {
+    EXPECT_DOUBLE_EQ(r.width(), 0.0);
+    EXPECT_DOUBLE_EQ(r.height(), 0.0);
+  }
+  EXPECT_TRUE(AllInside(ds, kUnit));
+}
+
+TEST(GeneratorsTest, PolylinesAreElongatedAndInside) {
+  gen::PolylineSpec spec;
+  spec.steps = 20;
+  spec.step_len = 0.004;
+  const Dataset ds = gen::RandomWalkPolylines("ts", 2000, kUnit, spec, 19);
+  EXPECT_EQ(ds.size(), 2000u);
+  EXPECT_TRUE(AllInside(ds, kUnit));
+  const DatasetStats stats = DatasetStats::Compute(ds, kUnit);
+  // Random walks of ~20 steps of ~0.004 give MBRs well above point size
+  // but far below the whole extent.
+  EXPECT_GT(stats.avg_width, 0.002);
+  EXPECT_LT(stats.avg_width, 0.3);
+}
+
+TEST(GeneratorsTest, NetworkSegmentsAreTinyAndClustered) {
+  gen::NetworkSpec spec;
+  const Dataset ds = gen::LineNetworkSegments("car", 20000, kUnit, spec, 23);
+  EXPECT_EQ(ds.size(), 20000u);
+  EXPECT_TRUE(AllInside(ds, kUnit));
+  const DatasetStats stats = DatasetStats::Compute(ds, kUnit);
+  EXPECT_LT(stats.avg_width, 0.01);
+  EXPECT_LT(stats.avg_height, 0.01);
+  // Clustering: occupancy of a coarse grid should be far from uniform.
+  // Count occupied 32x32 cells; a uniform distribution of 20k points
+  // occupies essentially all 1024.
+  std::vector<int> occ(1024, 0);
+  for (const Rect& r : ds.rects()) {
+    const Point c = r.center();
+    const int cx = std::min(31, static_cast<int>(c.x * 32));
+    const int cy = std::min(31, static_cast<int>(c.y * 32));
+    occ[cy * 32 + cx] = 1;
+  }
+  int occupied = 0;
+  for (int o : occ) occupied += o;
+  EXPECT_LT(occupied, 1000);
+}
+
+TEST(GeneratorsTest, TiledBlocksMixesScales) {
+  const Dataset ds = gen::TiledBlocks(
+      "tcb", 5000, kUnit, {{{0.5, 0.5}, 0.05, 0.05, 1.0}}, 0.3, 0.002, 29);
+  EXPECT_EQ(ds.size(), 5000u);
+  EXPECT_TRUE(AllInside(ds, kUnit));
+}
+
+TEST(WorkloadsTest, NamesAndCardinalities) {
+  EXPECT_EQ(gen::PaperDatasetName(gen::PaperDataset::kTS), "TS");
+  EXPECT_EQ(gen::PaperDatasetName(gen::PaperDataset::kSURA), "SURA");
+  EXPECT_EQ(gen::PaperCardinality(gen::PaperDataset::kTCB), 556696u);
+  EXPECT_EQ(gen::PaperCardinality(gen::PaperDataset::kCAR), 2249727u);
+}
+
+TEST(WorkloadsTest, ScaleControlsCardinality) {
+  const Dataset full =
+      gen::MakePaperDataset(gen::PaperDataset::kSCRC, 0.01, 5);
+  EXPECT_EQ(full.size(), 1000u);
+  EXPECT_EQ(full.name(), "SCRC");
+  EXPECT_TRUE(AllInside(full, kUnit));
+}
+
+TEST(WorkloadsTest, AllPaperDatasetsGenerateAtTinyScale) {
+  for (auto which :
+       {gen::PaperDataset::kTS, gen::PaperDataset::kTCB,
+        gen::PaperDataset::kCAS, gen::PaperDataset::kCAR,
+        gen::PaperDataset::kSP, gen::PaperDataset::kSPG,
+        gen::PaperDataset::kSCRC, gen::PaperDataset::kSURA}) {
+    const Dataset ds = gen::MakePaperDataset(which, 0.002, 3);
+    EXPECT_GE(ds.size(), 100u) << gen::PaperDatasetName(which);
+    EXPECT_TRUE(AllInside(ds, kUnit)) << gen::PaperDatasetName(which);
+  }
+}
+
+TEST(WorkloadsTest, PairListsMatchThePaper) {
+  const auto fig6 = gen::Figure6Pairs();
+  ASSERT_EQ(fig6.size(), 4u);
+  EXPECT_EQ(fig6[0].Label(), "TS with TCB");
+  EXPECT_EQ(fig6[3].Label(), "SCRC with SURA");
+  const auto fig7 = gen::Figure7Pairs();
+  ASSERT_EQ(fig7.size(), 4u);
+  EXPECT_EQ(fig7[0].Label(), "TCB with TS");
+  EXPECT_EQ(fig7[1].Label(), "CAR with CAS");
+}
+
+TEST(WorkloadsTest, ScaleFromEnv) {
+  unsetenv("SJSEL_SCALE");
+  unsetenv("SJSEL_FULL");
+  EXPECT_DOUBLE_EQ(gen::ExperimentScaleFromEnv(0.2), 0.2);
+  setenv("SJSEL_FULL", "1", 1);
+  EXPECT_DOUBLE_EQ(gen::ExperimentScaleFromEnv(0.2), 1.0);
+  setenv("SJSEL_SCALE", "0.05", 1);
+  EXPECT_DOUBLE_EQ(gen::ExperimentScaleFromEnv(0.2), 0.05);
+  unsetenv("SJSEL_SCALE");
+  unsetenv("SJSEL_FULL");
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,112 @@
+#include "geom/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace {
+
+Dataset MakeSmall() {
+  Dataset ds("small");
+  ds.Add(Rect(0, 0, 1, 1));
+  ds.Add(Rect(0.5, 0.25, 2, 3));
+  ds.Add(Rect(-1, -2, -0.5, -1.5));
+  return ds;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset ds = MakeSmall();
+  EXPECT_EQ(ds.name(), "small");
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_FALSE(ds.empty());
+  EXPECT_EQ(ds[1], Rect(0.5, 0.25, 2, 3));
+}
+
+TEST(DatasetTest, ComputeExtent) {
+  const Dataset ds = MakeSmall();
+  EXPECT_EQ(ds.ComputeExtent(), Rect(-1, -2, 2, 3));
+  EXPECT_TRUE(Dataset("empty").ComputeExtent().IsEmpty());
+}
+
+TEST(DatasetTest, BinaryRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sjsel_dataset.bin";
+  const Dataset ds = MakeSmall();
+  ASSERT_TRUE(ds.Save(path).ok());
+  const auto loaded = Dataset::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "small");
+  EXPECT_EQ(loaded->rects(), ds.rects());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, BinaryLoadDetectsCorruption) {
+  const std::string path = ::testing::TempDir() + "/sjsel_dataset_bad.bin";
+  const Dataset ds = MakeSmall();
+  ASSERT_TRUE(ds.Save(path).ok());
+  auto data = ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = data.value();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a bit in the payload
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  const auto loaded = Dataset::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, BinaryLoadRejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/sjsel_dataset_magic.bin";
+  ASSERT_TRUE(WriteFile(path, std::string(64, 'x')).ok());
+  const auto loaded = Dataset::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, BinaryLoadRejectsTinyFile) {
+  const std::string path = ::testing::TempDir() + "/sjsel_dataset_tiny.bin";
+  ASSERT_TRUE(WriteFile(path, "xy").ok());
+  EXPECT_FALSE(Dataset::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sjsel_dataset.csv";
+  const Dataset ds = MakeSmall();
+  ASSERT_TRUE(ds.SaveCsv(path).ok());
+  const auto loaded = Dataset::LoadCsv(path, "renamed");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "renamed");
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], ds[i]) << "row " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, CsvRejectsMalformedRow) {
+  const std::string path = ::testing::TempDir() + "/sjsel_dataset_bad.csv";
+  ASSERT_TRUE(WriteFile(path, "min_x,min_y,max_x,max_y\n1,2,3\n").ok());
+  const auto loaded = Dataset::LoadCsv(path, "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, EmptyDatasetRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/sjsel_dataset_empty.bin";
+  Dataset ds("nothing");
+  ASSERT_TRUE(ds.Save(path).ok());
+  const auto loaded = Dataset::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  EXPECT_EQ(loaded->name(), "nothing");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sjsel

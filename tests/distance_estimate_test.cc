@@ -1,0 +1,85 @@
+// Tests for within-distance selectivity estimation.
+
+#include "core/distance_estimate.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "join/distance_join.h"
+#include "stats/dataset_stats.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+Dataset MakePoints(size_t n, uint64_t seed) {
+  return gen::ClusteredPoints("p", n, kUnit, {{{0.5, 0.5}, 0.15, 0.15, 1.0}},
+                              0.4, seed);
+}
+
+TEST(DistanceEstimateTest, NegativeEpsilonIsZero) {
+  const Dataset a = MakeUniform(100, 1);
+  const auto est = EstimateWithinDistancePairs(a, a, -0.5, 5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est.value(), 0.0);
+}
+
+class DistanceEstimateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistanceEstimateSweep, TracksExactWithinDistanceJoin) {
+  const double eps = GetParam();
+  const Dataset a = MakeUniform(2500, 3);
+  const Dataset b = MakePoints(2500, 4);
+  const double actual =
+      static_cast<double>(WithinDistanceJoinCount(a, b, eps));
+  ASSERT_GT(actual, 100.0) << "eps " << eps;
+  const auto est = EstimateWithinDistancePairs(a, b, eps, 6);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(RelativeError(est.value(), actual), 0.15)
+      << "eps " << eps << " est " << est.value() << " actual " << actual;
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, DistanceEstimateSweep,
+                         ::testing::Values(0.01, 0.03, 0.08),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "eps" + std::to_string(static_cast<int>(
+                                              info.param * 1000));
+                         });
+
+TEST(DistanceEstimateTest, MonotoneInEpsilon) {
+  const Dataset a = MakeUniform(1500, 5);
+  const Dataset b = MakePoints(1500, 6);
+  double prev = 0.0;
+  for (const double eps : {0.0, 0.02, 0.05, 0.1}) {
+    const auto est = EstimateWithinDistancePairs(a, b, eps, 6);
+    ASSERT_TRUE(est.ok());
+    EXPECT_GE(est.value(), prev * 0.99) << "eps " << eps;
+    prev = est.value();
+  }
+}
+
+TEST(DistanceEstimateTest, ExpandedHistogramIsReusable) {
+  const Dataset a = MakeUniform(1000, 7);
+  const Dataset b = MakePoints(1000, 8);
+  const double eps = 0.04;
+  const Dataset expanded = ExpandMbrs(a, eps);
+  Rect extent = expanded.ComputeExtent();
+  extent.Extend(b.ComputeExtent());
+  const auto ha = BuildExpandedGhHistogram(a, extent, 6, eps);
+  ASSERT_TRUE(ha.ok());
+  const auto hb = GhHistogram::Build(b, extent, 6);
+  const auto est = EstimateGhJoinPairs(*ha, *hb);
+  ASSERT_TRUE(est.ok());
+  const double actual =
+      static_cast<double>(WithinDistanceJoinCount(a, b, eps));
+  EXPECT_LT(RelativeError(est.value(), actual), 0.15);
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,155 @@
+// Tests for the within-distance join reduction, MBR expansion and the
+// index-nested-loop join.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/generators.h"
+#include "join/distance_join.h"
+#include "join/index_nested_loop.h"
+#include "join/nested_loop.h"
+#include "rtree/rtree.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+Dataset MakePoints(size_t n, uint64_t seed) {
+  return gen::ClusteredPoints("p", n, kUnit, {{{0.5, 0.5}, 0.2, 0.2, 1.0}},
+                              0.4, seed);
+}
+
+TEST(ExpandTest, RectExpandedGeometry) {
+  // Use binary-exact coordinates so equality is exact.
+  const Rect r(0.5, 0.5, 0.75, 0.75);
+  EXPECT_EQ(r.Expanded(0.25), Rect(0.25, 0.25, 1.0, 1.0));
+  EXPECT_EQ(r.Expanded(0.0), r);
+  EXPECT_EQ(r.Expanded(-0.0625), Rect(0.5625, 0.5625, 0.6875, 0.6875));
+}
+
+TEST(ExpandTest, DistanceLInf) {
+  const Rect a(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(a.DistanceLInf(Rect(0.5, 0.5, 0.7, 0.7)), 0.0);
+  EXPECT_DOUBLE_EQ(a.DistanceLInf(Rect(1.5, 0, 2, 1)), 0.5);
+  EXPECT_DOUBLE_EQ(a.DistanceLInf(Rect(0, 1.25, 1, 2)), 0.25);
+  EXPECT_DOUBLE_EQ(a.DistanceLInf(Rect(1.5, 1.75, 2, 2)), 0.75);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(Rect(1.5, 1.75, 2, 2).DistanceLInf(a), 0.75);
+}
+
+TEST(ExpandTest, ExpandMbrsAppliesToAll) {
+  const Dataset ds = MakeUniform(100, 1);
+  const Dataset expanded = ExpandMbrs(ds, 0.05);
+  ASSERT_EQ(expanded.size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(expanded[i], ds[i].Expanded(0.05));
+  }
+  EXPECT_EQ(expanded.name(), "u_expanded");
+}
+
+uint64_t BruteForceWithinDistance(const Dataset& a, const Dataset& b,
+                                  double eps) {
+  uint64_t count = 0;
+  for (const Rect& ra : a.rects()) {
+    for (const Rect& rb : b.rects()) {
+      if (ra.DistanceLInf(rb) <= eps) ++count;
+    }
+  }
+  return count;
+}
+
+class WithinDistanceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WithinDistanceTest, MatchesBruteForceDefinition) {
+  const double eps = GetParam();
+  const Dataset a = MakeUniform(600, 3);
+  const Dataset b = MakePoints(600, 4);
+  EXPECT_EQ(WithinDistanceJoinCount(a, b, eps),
+            BruteForceWithinDistance(a, b, eps));
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, WithinDistanceTest,
+                         ::testing::Values(0.0, 0.005, 0.02, 0.1),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           char buf[32];
+                           std::snprintf(buf, sizeof(buf), "eps%d",
+                                         static_cast<int>(info.param * 1000));
+                           return std::string(buf);
+                         });
+
+TEST(WithinDistanceTest, ZeroEpsilonIsPlainIntersection) {
+  const Dataset a = MakeUniform(500, 5);
+  const Dataset b = MakeUniform(500, 6);
+  EXPECT_EQ(WithinDistanceJoinCount(a, b, 0.0), NestedLoopJoinCount(a, b));
+}
+
+TEST(WithinDistanceTest, MonotoneInEpsilon) {
+  const Dataset a = MakeUniform(400, 7);
+  const Dataset b = MakePoints(400, 8);
+  uint64_t prev = 0;
+  for (double eps : {0.0, 0.01, 0.05, 0.2}) {
+    const uint64_t count = WithinDistanceJoinCount(a, b, eps);
+    EXPECT_GE(count, prev) << "eps " << eps;
+    prev = count;
+  }
+}
+
+TEST(WithinDistanceTest, NegativeEpsilonIsEmpty) {
+  const Dataset a = MakeUniform(50, 9);
+  EXPECT_EQ(WithinDistanceJoinCount(a, a, -0.1), 0u);
+}
+
+TEST(WithinDistanceTest, EmittingVariantAgrees) {
+  const Dataset a = MakeUniform(200, 10);
+  const Dataset b = MakePoints(200, 11);
+  const double eps = 0.03;
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  WithinDistanceJoin(a, b, eps, [&pairs](int64_t x, int64_t y) {
+    EXPECT_TRUE(pairs.emplace(x, y).second);
+  });
+  EXPECT_EQ(pairs.size(), WithinDistanceJoinCount(a, b, eps));
+  for (const auto& [i, j] : pairs) {
+    EXPECT_LE(a[i].DistanceLInf(b[j]), eps);
+  }
+}
+
+TEST(IndexNestedLoopTest, CountMatchesNestedLoop) {
+  const Dataset outer = MakeUniform(700, 13);
+  const Dataset inner = MakePoints(900, 14);
+  const RTree tree = RTree::BulkLoadStr(RTree::DatasetEntries(inner));
+  EXPECT_EQ(IndexNestedLoopJoinCount(outer, tree),
+            NestedLoopJoinCount(outer, inner));
+}
+
+TEST(IndexNestedLoopTest, EmitsCorrectPairs) {
+  const Dataset outer = MakeUniform(300, 15);
+  const Dataset inner = MakeUniform(300, 16);
+  const RTree tree = RTree::BuildByInsertion(inner);
+  std::set<std::pair<int64_t, int64_t>> expected;
+  NestedLoopJoin(outer, inner, [&expected](int64_t x, int64_t y) {
+    expected.emplace(x, y);
+  });
+  std::set<std::pair<int64_t, int64_t>> got;
+  IndexNestedLoopJoin(outer, tree, [&got](int64_t x, int64_t y) {
+    EXPECT_TRUE(got.emplace(x, y).second);
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(IndexNestedLoopTest, EmptyOuterOrInner) {
+  const Dataset some = MakeUniform(50, 17);
+  const RTree empty_tree;
+  EXPECT_EQ(IndexNestedLoopJoinCount(some, empty_tree), 0u);
+  const RTree tree = RTree::BuildByInsertion(some);
+  EXPECT_EQ(IndexNestedLoopJoinCount(Dataset("e"), tree), 0u);
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/generators.h"
+#include "engine/catalog.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "join/nested_loop.h"
+#include "stats/dataset_stats.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeNamed(const std::string& name, size_t n, double cx, double cy,
+                  uint64_t seed, double mean_size = 0.02) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, mean_size, mean_size,
+                     0.5};
+  Dataset ds = gen::GaussianClusterRects(name, n, kUnit,
+                                         {{cx, cy}, 0.1, 0.1, 1.0}, size,
+                                         seed);
+  return ds;
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog(kUnit, 5);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 200, 0.3, 0.3, 1)).ok());
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("b", 300, 0.7, 0.7, 2)).ok());
+  EXPECT_TRUE(catalog.Has("a"));
+  EXPECT_FALSE(catalog.Has("zzz"));
+  EXPECT_EQ(catalog.DatasetNames(),
+            (std::vector<std::string>{"a", "b"}));
+  const auto ds = catalog.GetDataset("b");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->size(), 300u);
+  EXPECT_FALSE(catalog.GetDataset("zzz").ok());
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndUnnamed) {
+  Catalog catalog(kUnit, 4);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 100, 0.5, 0.5, 1)).ok());
+  const Status dup = catalog.AddDataset(MakeNamed("a", 100, 0.5, 0.5, 2));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.AddDataset(Dataset()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, HistogramAndRTreeAreCachedAndReused) {
+  Catalog catalog(kUnit, 5);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 500, 0.4, 0.4, 3)).ok());
+  const auto h1 = catalog.GetHistogram("a");
+  const auto h2 = catalog.GetHistogram("a");
+  ASSERT_TRUE(h1.ok());
+  EXPECT_EQ(*h1, *h2);  // same cached pointer
+  const auto t1 = catalog.GetRTree("a");
+  const auto t2 = catalog.GetRTree("a");
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(*t1, *t2);
+  EXPECT_EQ((*t1)->size(), 500u);
+}
+
+TEST(CatalogTest, EstimateMatchesDirectGhUse) {
+  Catalog catalog(kUnit, 6);
+  const Dataset a = MakeNamed("a", 800, 0.4, 0.5, 5);
+  const Dataset b = MakeNamed("b", 800, 0.45, 0.55, 6);
+  ASSERT_TRUE(catalog.AddDataset(a).ok());
+  ASSERT_TRUE(catalog.AddDataset(b).ok());
+  const auto est = catalog.EstimateJoinPairs("a", "b");
+  ASSERT_TRUE(est.ok());
+  const auto ha = GhHistogram::Build(a, kUnit, 6);
+  const auto hb = GhHistogram::Build(b, kUnit, 6);
+  EXPECT_DOUBLE_EQ(est.value(), EstimateGhJoinPairs(*ha, *hb).value());
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  EXPECT_LT(RelativeError(est.value(), actual), 0.2);
+}
+
+TEST(PlannerTest, ValidatesInput) {
+  Catalog catalog(kUnit, 4);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 100, 0.5, 0.5, 1)).ok());
+  EXPECT_FALSE(PlanChainJoin(&catalog, {"a"}).ok());
+  EXPECT_FALSE(PlanChainJoin(&catalog, {"a", "missing"}).ok());
+}
+
+TEST(PlannerTest, PicksTheCheapOrder) {
+  // Three datasets: a and b overlap heavily; c is far away from both. Any
+  // good plan starts with a pair involving c (near-zero intermediate).
+  Catalog catalog(kUnit, 6);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 800, 0.3, 0.3, 11)).ok());
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("b", 800, 0.32, 0.32, 12)).ok());
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("c", 800, 0.85, 0.85, 13)).ok());
+  const auto plan = PlanChainJoin(&catalog, {"a", "b", "c"});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->order.size(), 3u);
+  // "c" must participate in the first join of the optimal order.
+  EXPECT_TRUE(plan->order[0] == "c" || plan->order[1] == "c")
+      << plan->order[0] << "," << plan->order[1] << "," << plan->order[2];
+  // And the optimizer's pick is no worse than the naive registration order.
+  const auto naive = CostChainOrder(&catalog, {"a", "b", "c"});
+  ASSERT_TRUE(naive.ok());
+  EXPECT_LE(plan->estimated_cost, naive->estimated_cost * (1 + 1e-9));
+}
+
+TEST(PlannerTest, StepCardinalitiesComposeMultiplicatively) {
+  Catalog catalog(kUnit, 5);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 400, 0.4, 0.4, 21)).ok());
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("b", 400, 0.42, 0.42, 22)).ok());
+  const auto plan = CostChainOrder(&catalog, {"a", "b"});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->step_cardinalities.size(), 1u);
+  const auto sel = catalog.EstimateJoinSelectivity("a", "b");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NEAR(plan->step_cardinalities[0], sel.value() * 400 * 400, 1e-6);
+  EXPECT_DOUBLE_EQ(plan->estimated_cost, plan->step_cardinalities[0]);
+}
+
+uint64_t BruteForceChainCount(const std::vector<const Dataset*>& chain) {
+  // Counts tuples (t1..tk) with consecutive intersections, via explicit
+  // dynamic programming over multiplicities.
+  std::vector<uint64_t> counts(chain[0]->size(), 1);
+  const Dataset* last = chain[0];
+  for (size_t step = 1; step < chain.size(); ++step) {
+    const Dataset* next = chain[step];
+    std::vector<uint64_t> next_counts(next->size(), 0);
+    for (size_t i = 0; i < last->size(); ++i) {
+      if (counts[i] == 0) continue;
+      for (size_t j = 0; j < next->size(); ++j) {
+        if ((*last)[i].Intersects((*next)[j])) {
+          next_counts[j] += counts[i];
+        }
+      }
+    }
+    counts = std::move(next_counts);
+    last = next;
+  }
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+TEST(ExecutorTest, TwoWayMatchesExactJoin) {
+  Catalog catalog(kUnit, 5);
+  const Dataset a = MakeNamed("a", 600, 0.5, 0.5, 31);
+  const Dataset b = MakeNamed("b", 600, 0.52, 0.48, 32);
+  ASSERT_TRUE(catalog.AddDataset(a).ok());
+  ASSERT_TRUE(catalog.AddDataset(b).ok());
+  const auto result = ExecuteChainJoin(&catalog, {"a", "b"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->result_tuples, NestedLoopJoinCount(a, b));
+}
+
+TEST(ExecutorTest, ThreeWayMatchesBruteForceChain) {
+  Catalog catalog(kUnit, 5);
+  const Dataset a = MakeNamed("a", 250, 0.5, 0.5, 41);
+  const Dataset b = MakeNamed("b", 250, 0.52, 0.5, 42);
+  const Dataset c = MakeNamed("c", 250, 0.5, 0.52, 43);
+  ASSERT_TRUE(catalog.AddDataset(a).ok());
+  ASSERT_TRUE(catalog.AddDataset(b).ok());
+  ASSERT_TRUE(catalog.AddDataset(c).ok());
+  const auto result = ExecuteChainJoin(&catalog, {"a", "b", "c"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result_tuples, BruteForceChainCount({&a, &b, &c}));
+  ASSERT_EQ(result->step_cardinalities.size(), 2u);
+  EXPECT_GT(result->seconds, 0.0);
+}
+
+TEST(ExecutorTest, DifferentOrdersSameFinalCountForCliqueOfEqualPredicates) {
+  // For a chain join the result count depends on the order; what must hold
+  // is that the executor agrees with brute force for *every* order.
+  Catalog catalog(kUnit, 5);
+  const Dataset a = MakeNamed("a", 150, 0.5, 0.5, 51);
+  const Dataset b = MakeNamed("b", 150, 0.55, 0.5, 52);
+  const Dataset c = MakeNamed("c", 150, 0.5, 0.55, 53);
+  ASSERT_TRUE(catalog.AddDataset(a).ok());
+  ASSERT_TRUE(catalog.AddDataset(b).ok());
+  ASSERT_TRUE(catalog.AddDataset(c).ok());
+  const std::vector<const Dataset*> ds = {&a, &b, &c};
+  const std::vector<std::string> names = {"a", "b", "c"};
+  std::vector<size_t> perm = {0, 1, 2};
+  do {
+    std::vector<std::string> order;
+    std::vector<const Dataset*> chain;
+    for (size_t i : perm) {
+      order.push_back(names[i]);
+      chain.push_back(ds[i]);
+    }
+    const auto result = ExecuteChainJoin(&catalog, order);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->result_tuples, BruteForceChainCount(chain))
+        << order[0] << order[1] << order[2];
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(ExecutorTest, PlannerEstimatesTrackActualCardinalities) {
+  // End-to-end optimizer sanity: estimated step cardinalities should be
+  // within a factor of 2 of the executed ones on well-behaved data.
+  Catalog catalog(kUnit, 6);
+  const Dataset a = MakeNamed("a", 700, 0.45, 0.5, 61);
+  const Dataset b = MakeNamed("b", 700, 0.5, 0.5, 62);
+  const Dataset c = MakeNamed("c", 700, 0.55, 0.5, 63);
+  ASSERT_TRUE(catalog.AddDataset(a).ok());
+  ASSERT_TRUE(catalog.AddDataset(b).ok());
+  ASSERT_TRUE(catalog.AddDataset(c).ok());
+  const auto plan = PlanChainJoin(&catalog, {"a", "b", "c"});
+  ASSERT_TRUE(plan.ok());
+  const auto result = ExecuteChainJoin(&catalog, plan->order);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(plan->step_cardinalities.size(),
+            result->step_cardinalities.size());
+  for (size_t i = 0; i < plan->step_cardinalities.size(); ++i) {
+    const double actual =
+        static_cast<double>(result->step_cardinalities[i]);
+    if (actual < 100) continue;  // skip statistically fragile tiny steps
+    EXPECT_LT(plan->step_cardinalities[i], actual * 2.0) << "step " << i;
+    EXPECT_GT(plan->step_cardinalities[i], actual / 2.0) << "step " << i;
+  }
+}
+
+uint64_t BruteForceStepChainCount(
+    const std::vector<const Dataset*>& chain,
+    const std::vector<double>& eps_between) {
+  // eps_between[i] is the Chebyshev threshold between chain[i] and
+  // chain[i+1]; 0 means plain intersection.
+  std::vector<uint64_t> counts(chain[0]->size(), 1);
+  const Dataset* last = chain[0];
+  for (size_t step = 1; step < chain.size(); ++step) {
+    const Dataset* next = chain[step];
+    const double eps = eps_between[step - 1];
+    std::vector<uint64_t> next_counts(next->size(), 0);
+    for (size_t i = 0; i < last->size(); ++i) {
+      if (counts[i] == 0) continue;
+      for (size_t j = 0; j < next->size(); ++j) {
+        if ((*last)[i].DistanceLInf((*next)[j]) <= eps) {
+          next_counts[j] += counts[i];
+        }
+      }
+    }
+    counts = std::move(next_counts);
+    last = next;
+  }
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+TEST(ChainStepsTest, IntersectEdgesMatchPlainChainJoin) {
+  Catalog catalog(kUnit, 5);
+  const Dataset a = MakeNamed("a", 400, 0.5, 0.5, 91);
+  const Dataset b = MakeNamed("b", 400, 0.52, 0.5, 92);
+  ASSERT_TRUE(catalog.AddDataset(a).ok());
+  ASSERT_TRUE(catalog.AddDataset(b).ok());
+  const std::vector<ChainStep> steps = {
+      {"a", ChainPredicate::kIntersects, 0.0},
+      {"b", ChainPredicate::kIntersects, 0.0}};
+  const auto stepped = ExecuteChainSteps(&catalog, steps);
+  const auto plain = ExecuteChainJoin(&catalog, {"a", "b"});
+  ASSERT_TRUE(stepped.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(stepped->result_tuples, plain->result_tuples);
+}
+
+TEST(ChainStepsTest, WithinDistanceEdgeMatchesBruteForce) {
+  Catalog catalog(kUnit, 5);
+  const Dataset a = MakeNamed("a", 300, 0.45, 0.5, 93);
+  const Dataset b = MakeNamed("b", 300, 0.55, 0.5, 94);
+  const Dataset c = MakeNamed("c", 300, 0.5, 0.55, 95);
+  ASSERT_TRUE(catalog.AddDataset(a).ok());
+  ASSERT_TRUE(catalog.AddDataset(b).ok());
+  ASSERT_TRUE(catalog.AddDataset(c).ok());
+  const double eps = 0.03;
+  const std::vector<ChainStep> steps = {
+      {"a", ChainPredicate::kIntersects, 0.0},
+      {"b", ChainPredicate::kWithinDistance, eps},
+      {"c", ChainPredicate::kIntersects, 0.0}};
+  const auto result = ExecuteChainSteps(&catalog, steps);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->result_tuples,
+            BruteForceStepChainCount({&a, &b, &c}, {eps, 0.0}));
+}
+
+TEST(ChainStepsTest, WiderEpsilonNeverShrinksTheResult) {
+  Catalog catalog(kUnit, 5);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 250, 0.4, 0.5, 96)).ok());
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("b", 250, 0.6, 0.5, 97)).ok());
+  uint64_t prev = 0;
+  for (const double eps : {0.0, 0.02, 0.1, 0.3}) {
+    const std::vector<ChainStep> steps = {
+        {"a", ChainPredicate::kIntersects, 0.0},
+        {"b", ChainPredicate::kWithinDistance, eps}};
+    const auto result = ExecuteChainSteps(&catalog, steps);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->result_tuples, prev) << "eps " << eps;
+    prev = result->result_tuples;
+  }
+}
+
+TEST(ChainStepsTest, PlannerEstimatesTrackSteppedExecution) {
+  Catalog catalog(kUnit, 6);
+  const Dataset a = MakeNamed("a", 600, 0.45, 0.5, 98);
+  const Dataset b = MakeNamed("b", 600, 0.55, 0.5, 99);
+  ASSERT_TRUE(catalog.AddDataset(a).ok());
+  ASSERT_TRUE(catalog.AddDataset(b).ok());
+  const std::vector<ChainStep> steps = {
+      {"a", ChainPredicate::kIntersects, 0.0},
+      {"b", ChainPredicate::kWithinDistance, 0.05}};
+  const auto plan = CostChainSteps(&catalog, steps);
+  const auto result = ExecuteChainSteps(&catalog, steps);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(result.ok());
+  const double actual = static_cast<double>(result->result_tuples);
+  ASSERT_GT(actual, 100.0);
+  EXPECT_LT(plan->estimated_cost, actual * 1.5);
+  EXPECT_GT(plan->estimated_cost, actual / 1.5);
+}
+
+TEST(ChainStepsTest, ValidatesInput) {
+  Catalog catalog(kUnit, 4);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 50, 0.5, 0.5, 100)).ok());
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("b", 50, 0.5, 0.5, 101)).ok());
+  EXPECT_FALSE(ExecuteChainSteps(&catalog, {{"a", {}, 0}}).ok());
+  const std::vector<ChainStep> negative = {
+      {"a", ChainPredicate::kIntersects, 0.0},
+      {"b", ChainPredicate::kWithinDistance, -1.0}};
+  EXPECT_FALSE(ExecuteChainSteps(&catalog, negative).ok());
+  EXPECT_FALSE(CostChainSteps(&catalog, {{"a", {}, 0}}).ok());
+}
+
+TEST(ExecutorTest, ValidatesInput) {
+  Catalog catalog(kUnit, 4);
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 50, 0.5, 0.5, 71)).ok());
+  EXPECT_FALSE(ExecuteChainJoin(&catalog, {"a"}).ok());
+  EXPECT_FALSE(ExecuteChainJoin(&catalog, {"a", "nope"}).ok());
+}
+
+}  // namespace
+}  // namespace sjsel

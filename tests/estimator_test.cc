@@ -1,0 +1,174 @@
+#include "core/estimator.h"
+#include "core/gh_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "stats/dataset_stats.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+Dataset MakeClustered(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::GaussianClusterRects("c", n, kUnit,
+                                   {{0.35, 0.6}, 0.08, 0.08, 1.0}, size,
+                                   seed);
+}
+
+TEST(EstimatorFacadeTest, NamesIdentifyTechniques) {
+  EXPECT_EQ(MakeGhEstimator(7)->Name(), "GH(level=7)");
+  EXPECT_EQ(MakePhEstimator(5)->Name(), "PH(level=5)");
+  EXPECT_EQ(MakeParametricEstimator()->Name(), "Parametric[AS94]");
+  SamplingOptions options;
+  options.method = SamplingMethod::kRandomWithReplacement;
+  options.frac_a = 0.1;
+  options.frac_b = 0.01;
+  EXPECT_EQ(MakeSamplingEstimator(options)->Name(), "RSWR(10%/1%)");
+}
+
+TEST(EstimatorFacadeTest, AllTechniquesProduceFiniteEstimates) {
+  const Dataset a = MakeUniform(1500, 31);
+  const Dataset b = MakeClustered(1500, 32);
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  ASSERT_GT(actual, 0.0);
+
+  SamplingOptions sampling;
+  sampling.frac_a = 0.2;
+  sampling.frac_b = 0.2;
+  std::vector<std::unique_ptr<SelectivityEstimator>> estimators;
+  estimators.push_back(MakeGhEstimator(6));
+  estimators.push_back(MakePhEstimator(4));
+  estimators.push_back(MakeParametricEstimator());
+  estimators.push_back(MakeSamplingEstimator(sampling));
+
+  for (auto& estimator : estimators) {
+    const auto outcome = estimator->Estimate(a, b);
+    ASSERT_TRUE(outcome.ok())
+        << estimator->Name() << ": " << outcome.status().ToString();
+    EXPECT_GE(outcome->estimated_pairs, 0.0) << estimator->Name();
+    EXPECT_TRUE(std::isfinite(outcome->estimated_pairs))
+        << estimator->Name();
+    EXPECT_NEAR(outcome->selectivity,
+                outcome->estimated_pairs / (1500.0 * 1500.0), 1e-12)
+        << estimator->Name();
+    // Every technique should be within an order of magnitude here; GH
+    // should be tight.
+    EXPECT_LT(RelativeError(outcome->estimated_pairs, actual), 3.0)
+        << estimator->Name();
+  }
+}
+
+TEST(EstimatorFacadeTest, GhIsTheMostAccurateOnSkewedData) {
+  const Dataset a = MakeClustered(2500, 41);
+  const Dataset b = MakeClustered(2500, 42);
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  ASSERT_GT(actual, 0.0);
+  const auto gh = MakeGhEstimator(7)->Estimate(a, b);
+  const auto parametric = MakeParametricEstimator()->Estimate(a, b);
+  ASSERT_TRUE(gh.ok());
+  ASSERT_TRUE(parametric.ok());
+  const double gh_err = RelativeError(gh->estimated_pairs, actual);
+  const double par_err = RelativeError(parametric->estimated_pairs, actual);
+  EXPECT_LT(gh_err, 0.10);
+  EXPECT_LT(gh_err, par_err);
+}
+
+TEST(EstimatorFacadeTest, EstimatorsRejectEmptyInputs) {
+  const Dataset a = MakeUniform(100, 51);
+  const Dataset empty("empty");
+  EXPECT_FALSE(MakeParametricEstimator()->Estimate(a, empty).ok());
+  SamplingOptions sampling;
+  EXPECT_FALSE(MakeSamplingEstimator(sampling)->Estimate(empty, a).ok());
+}
+
+TEST(EstimatorFacadeTest, MinSkewEstimatorWorks) {
+  const Dataset a = MakeClustered(1500, 71);
+  const Dataset b = MakeUniform(1500, 72);
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  auto estimator = MakeMinSkewEstimator(256);
+  EXPECT_EQ(estimator->Name(), "MinSkew(buckets=256)");
+  const auto outcome = estimator->Estimate(a, b);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_LT(RelativeError(outcome->estimated_pairs, actual), 0.30);
+}
+
+TEST(RecommendGhLevelTest, EdgeCases) {
+  const Rect unit(0, 0, 1, 1);
+  EXPECT_EQ(RecommendGhLevel(0, unit, 0.01, 0.01), 0);
+  EXPECT_EQ(RecommendGhLevel(100, Rect::Empty(), 0.01, 0.01), 0);
+}
+
+TEST(RecommendGhLevelTest, GrowsWithCardinality) {
+  const Rect unit(0, 0, 1, 1);
+  const int small = RecommendGhLevel(100, unit, 0.01, 0.01);
+  const int medium = RecommendGhLevel(100000, unit, 0.01, 0.01);
+  EXPECT_GE(medium, small);
+  EXPECT_GE(medium, 5);
+  EXPECT_LE(medium, 12);
+}
+
+TEST(RecommendGhLevelTest, SmallObjectsAllowFinerGrids) {
+  const Rect unit(0, 0, 1, 1);
+  const int coarse_objects = RecommendGhLevel(1000000, unit, 0.2, 0.2);
+  const int fine_objects = RecommendGhLevel(1000000, unit, 0.0005, 0.0005);
+  EXPECT_GT(fine_objects, coarse_objects);
+}
+
+TEST(RecommendGhLevelTest, BudgetCapsTheLevel) {
+  const Rect unit(0, 0, 1, 1);
+  const int unlimited = RecommendGhLevel(1000000, unit, 0.001, 0.001, 0);
+  const int capped =
+      RecommendGhLevel(1000000, unit, 0.001, 0.001, /*bytes=*/32 << 4);
+  EXPECT_LT(capped, unlimited);
+  // The capped level's histogram fits the budget.
+  EXPECT_LE(uint64_t{32} << (2 * capped), uint64_t{32} << 4);
+}
+
+TEST(RecommendGhLevelTest, RecommendationIsAccurateInPractice) {
+  // The advisor's pick should land within the flat part of the GH error
+  // curve: within 2x of the best error over levels 0..8.
+  const Dataset a = MakeClustered(3000, 81);
+  const Dataset b = MakeUniform(3000, 82);
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  const Rect extent = kUnit;
+  const DatasetStats stats = DatasetStats::Compute(a, extent);
+  const int pick =
+      RecommendGhLevel(a.size(), extent, stats.avg_width, stats.avg_height);
+
+  double best_err = 1e9;
+  double pick_err = 1e9;
+  for (int level = 0; level <= 8; ++level) {
+    const auto ha = GhHistogram::Build(a, extent, level);
+    const auto hb = GhHistogram::Build(b, extent, level);
+    const double err = RelativeError(
+        EstimateGhJoinPairs(*ha, *hb).value_or(0), actual);
+    best_err = std::min(best_err, err);
+    if (level == pick) pick_err = err;
+  }
+  EXPECT_LE(pick, 8);
+  EXPECT_LT(pick_err, std::max(2.0 * best_err, 0.05));
+}
+
+TEST(EstimatorFacadeTest, TimingFieldsArePopulated) {
+  const Dataset a = MakeUniform(2000, 61);
+  const Dataset b = MakeUniform(2000, 62);
+  const auto outcome = MakeGhEstimator(6)->Estimate(a, b);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->prepare_seconds, 0.0);
+  EXPECT_GE(outcome->estimate_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sjsel

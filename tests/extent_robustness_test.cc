@@ -1,0 +1,155 @@
+// Robustness sweep over non-unit spatial extents: shifted, negative and
+// anisotropic coordinate frames. The estimators must be frame-invariant —
+// an affine change of the workspace must not change selectivities.
+
+#include <gtest/gtest.h>
+
+#include "core/gh_histogram.h"
+#include "core/minskew.h"
+#include "core/parametric.h"
+#include "core/ph_histogram.h"
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "join/pbsm.h"
+#include "join/plane_sweep.h"
+#include "stats/dataset_stats.h"
+
+namespace sjsel {
+namespace {
+
+// The frames under test: shifted positive, negative-crossing, anisotropic
+// (x stretched 1000x), and tiny.
+struct Frame {
+  const char* label;
+  Rect extent;
+};
+
+const Frame kFrames[] = {
+    {"unit", Rect(0, 0, 1, 1)},
+    {"shifted", Rect(100, 200, 101, 201)},
+    {"negative", Rect(-50, -20, -49, -19)},
+    {"anisotropic", Rect(0, 0, 1000, 1)},
+    {"tiny", Rect(0.5, 0.5, 0.5001, 0.5001)},
+};
+
+// Maps a unit-frame rect into the target frame.
+Rect MapRect(const Rect& r, const Rect& frame) {
+  const double sx = frame.width();
+  const double sy = frame.height();
+  return Rect(frame.min_x + r.min_x * sx, frame.min_y + r.min_y * sy,
+              frame.min_x + r.max_x * sx, frame.min_y + r.max_y * sy);
+}
+
+Dataset MapDataset(const Dataset& ds, const Rect& frame) {
+  Dataset out(ds.name() + "_mapped");
+  out.Reserve(ds.size());
+  for (const Rect& r : ds.rects()) out.Add(MapRect(r, frame));
+  return out;
+}
+
+struct UnitWorkload {
+  Dataset a;
+  Dataset b;
+  uint64_t actual;
+};
+
+const UnitWorkload& SharedWorkload() {
+  static const UnitWorkload* workload = [] {
+    auto* w = new UnitWorkload();
+    gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+    w->a = gen::GaussianClusterRects("a", 1500, Rect(0, 0, 1, 1),
+                                     {{0.4, 0.7}, 0.1, 0.1, 1.0}, size, 3);
+    w->b = gen::UniformRects("b", 1500, Rect(0, 0, 1, 1), size, 4);
+    w->actual = NestedLoopJoinCount(w->a, w->b);
+    return w;
+  }();
+  return *workload;
+}
+
+class FrameTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameTest, ExactJoinsAreFrameInvariant) {
+  const Frame& frame = kFrames[GetParam()];
+  const UnitWorkload& w = SharedWorkload();
+  const Dataset a = MapDataset(w.a, frame.extent);
+  const Dataset b = MapDataset(w.b, frame.extent);
+  EXPECT_EQ(PlaneSweepJoinCount(a, b), w.actual) << frame.label;
+  EXPECT_EQ(PbsmJoinCount(a, b), w.actual) << frame.label;
+}
+
+TEST_P(FrameTest, GhEstimateIsFrameInvariant) {
+  const Frame& frame = kFrames[GetParam()];
+  const UnitWorkload& w = SharedWorkload();
+  const Dataset a = MapDataset(w.a, frame.extent);
+  const Dataset b = MapDataset(w.b, frame.extent);
+
+  const auto unit_a = GhHistogram::Build(w.a, Rect(0, 0, 1, 1), 5);
+  const auto unit_b = GhHistogram::Build(w.b, Rect(0, 0, 1, 1), 5);
+  const double unit_est = EstimateGhJoinPairs(*unit_a, *unit_b).value();
+
+  const auto ha = GhHistogram::Build(a, frame.extent, 5);
+  const auto hb = GhHistogram::Build(b, frame.extent, 5);
+  ASSERT_TRUE(ha.ok()) << frame.label;
+  const double est = EstimateGhJoinPairs(*ha, *hb).value();
+  // Identical up to floating-point scaling noise.
+  EXPECT_NEAR(est, unit_est, unit_est * 1e-6) << frame.label;
+  EXPECT_LT(RelativeError(est, static_cast<double>(w.actual)), 0.20)
+      << frame.label;
+}
+
+TEST_P(FrameTest, PhEstimateIsFrameInvariant) {
+  const Frame& frame = kFrames[GetParam()];
+  const UnitWorkload& w = SharedWorkload();
+  const Dataset a = MapDataset(w.a, frame.extent);
+  const Dataset b = MapDataset(w.b, frame.extent);
+
+  const auto unit_a = PhHistogram::Build(w.a, Rect(0, 0, 1, 1), 4);
+  const auto unit_b = PhHistogram::Build(w.b, Rect(0, 0, 1, 1), 4);
+  const double unit_est = EstimatePhJoinPairs(*unit_a, *unit_b).value();
+
+  const auto ha = PhHistogram::Build(a, frame.extent, 4);
+  const auto hb = PhHistogram::Build(b, frame.extent, 4);
+  ASSERT_TRUE(ha.ok()) << frame.label;
+  const double est = EstimatePhJoinPairs(*ha, *hb).value();
+  EXPECT_NEAR(est, unit_est, unit_est * 1e-6) << frame.label;
+}
+
+TEST_P(FrameTest, MinSkewEstimateIsFrameInvariant) {
+  const Frame& frame = kFrames[GetParam()];
+  const UnitWorkload& w = SharedWorkload();
+  const Dataset a = MapDataset(w.a, frame.extent);
+  const Dataset b = MapDataset(w.b, frame.extent);
+
+  const auto unit_a = MinSkewHistogram::Build(w.a, Rect(0, 0, 1, 1), 64);
+  const auto unit_b = MinSkewHistogram::Build(w.b, Rect(0, 0, 1, 1), 64);
+  const double unit_est =
+      EstimateMinSkewJoinPairs(*unit_a, *unit_b).value();
+
+  const auto ha = MinSkewHistogram::Build(a, frame.extent, 64);
+  const auto hb = MinSkewHistogram::Build(b, frame.extent, 64);
+  ASSERT_TRUE(ha.ok()) << frame.label;
+  const double est = EstimateMinSkewJoinPairs(*ha, *hb).value();
+  EXPECT_NEAR(est, unit_est, unit_est * 1e-6) << frame.label;
+}
+
+TEST_P(FrameTest, ParametricModelIsFrameInvariant) {
+  const Frame& frame = kFrames[GetParam()];
+  const UnitWorkload& w = SharedWorkload();
+  const Dataset a = MapDataset(w.a, frame.extent);
+  const Dataset b = MapDataset(w.b, frame.extent);
+  const DatasetStats sa = DatasetStats::Compute(a, frame.extent);
+  const DatasetStats sb = DatasetStats::Compute(b, frame.extent);
+  const DatasetStats ua = DatasetStats::Compute(w.a, Rect(0, 0, 1, 1));
+  const DatasetStats ub = DatasetStats::Compute(w.b, Rect(0, 0, 1, 1));
+  EXPECT_NEAR(ParametricJoinPairs(sa, sb), ParametricJoinPairs(ua, ub),
+              ParametricJoinPairs(ua, ub) * 1e-6)
+      << frame.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frames, FrameTest, ::testing::Values(0, 1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kFrames[info.param].label;
+                         });
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,142 @@
+// Robustness sweep over the on-disk formats: every single-byte corruption
+// of a valid file must either fail to load or (never) load silently wrong;
+// truncations at any length must fail cleanly. "Fuzz-lite" — deterministic
+// and exhaustive over positions, no sanitizer required.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/gh_histogram.h"
+#include "core/minskew.h"
+#include "core/ph_histogram.h"
+#include "geom/geometry.h"
+#include "datagen/generators.h"
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset SmallDataset() {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.05, 0.05, 0.5};
+  return gen::UniformRects("fuzz", 60, kUnit, size, 99);
+}
+
+// Returns the serialized bytes of a file written by `save`.
+template <typename SaveFn>
+std::string Serialize(const std::string& tag, SaveFn&& save) {
+  const std::string path = ::testing::TempDir() + "/fuzz_" + tag + ".bin";
+  EXPECT_TRUE(save(path).ok());
+  std::string bytes = ReadFile(path).value();
+  std::remove(path.c_str());
+  return bytes;
+}
+
+// Loads serialized bytes through `load` after writing them to disk.
+template <typename LoadFn>
+bool LoadsOk(const std::string& tag, const std::string& bytes,
+             LoadFn&& load) {
+  const std::string path = ::testing::TempDir() + "/fuzz_" + tag + "_m.bin";
+  EXPECT_TRUE(WriteFile(path, bytes).ok());
+  const bool ok = load(path);
+  std::remove(path.c_str());
+  return ok;
+}
+
+template <typename SaveFn, typename LoadFn>
+void RunBitflipSweep(const std::string& tag, SaveFn&& save, LoadFn&& load) {
+  const std::string bytes = Serialize(tag, save);
+  ASSERT_FALSE(bytes.empty());
+  ASSERT_TRUE(LoadsOk(tag, bytes, load)) << "pristine file must load";
+
+  // Flip one bit in every 7th byte (full sweep is slow; stride keeps the
+  // test fast while covering header, payload and trailer).
+  int corrupted_accepted = 0;
+  for (size_t pos = 0; pos < bytes.size(); pos += 7) {
+    std::string mutated = bytes;
+    mutated[pos] ^= 0x10;
+    if (LoadsOk(tag, mutated, load)) ++corrupted_accepted;
+  }
+  // CRC-32 catches every single-bit flip.
+  EXPECT_EQ(corrupted_accepted, 0) << tag;
+
+  // Truncations: every prefix must be rejected.
+  for (size_t len = 0; len < bytes.size(); len += 11) {
+    EXPECT_FALSE(LoadsOk(tag, bytes.substr(0, len), load))
+        << tag << " truncated to " << len;
+  }
+}
+
+TEST(FuzzFilesTest, DatasetFile) {
+  const Dataset ds = SmallDataset();
+  RunBitflipSweep(
+      "dataset", [&ds](const std::string& p) { return ds.Save(p); },
+      [](const std::string& p) { return Dataset::Load(p).ok(); });
+}
+
+TEST(FuzzFilesTest, GhDenseFile) {
+  const auto hist = GhHistogram::Build(SmallDataset(), kUnit, 3);
+  RunBitflipSweep(
+      "gh_dense",
+      [&hist](const std::string& p) { return hist->Save(p); },
+      [](const std::string& p) { return GhHistogram::Load(p).ok(); });
+}
+
+TEST(FuzzFilesTest, GhSparseFile) {
+  const auto hist = GhHistogram::Build(SmallDataset(), kUnit, 5);
+  RunBitflipSweep(
+      "gh_sparse",
+      [&hist](const std::string& p) {
+        return hist->Save(p, GhHistogram::FileFormat::kSparse);
+      },
+      [](const std::string& p) { return GhHistogram::Load(p).ok(); });
+}
+
+TEST(FuzzFilesTest, PhFile) {
+  const auto hist = PhHistogram::Build(SmallDataset(), kUnit, 3);
+  RunBitflipSweep(
+      "ph", [&hist](const std::string& p) { return hist->Save(p); },
+      [](const std::string& p) { return PhHistogram::Load(p).ok(); });
+}
+
+TEST(FuzzFilesTest, MinSkewFile) {
+  const auto hist = MinSkewHistogram::Build(SmallDataset(), kUnit, 16);
+  RunBitflipSweep(
+      "minskew", [&hist](const std::string& p) { return hist->Save(p); },
+      [](const std::string& p) { return MinSkewHistogram::Load(p).ok(); });
+}
+
+TEST(FuzzFilesTest, GeoFile) {
+  GeoDataset geo("g");
+  geo.Add(Point{0.5, 0.5});
+  geo.Add(Polyline{{{0.1, 0.1}, {0.3, 0.2}, {0.2, 0.4}}});
+  geo.Add(Polygon{{{0.6, 0.6}, {0.8, 0.6}, {0.7, 0.8}}});
+  RunBitflipSweep(
+      "geo", [&geo](const std::string& p) { return geo.Save(p); },
+      [](const std::string& p) { return GeoDataset::Load(p).ok(); });
+}
+
+TEST(FuzzFilesTest, CrossFormatLoadsRejected) {
+  // Loading a file through the wrong loader must fail via magic checks.
+  const Dataset ds = SmallDataset();
+  const auto gh = GhHistogram::Build(ds, kUnit, 3);
+  const auto ph = PhHistogram::Build(ds, kUnit, 3);
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(ds.Save(dir + "/x.ds").ok());
+  ASSERT_TRUE(gh->Save(dir + "/x.gh").ok());
+  ASSERT_TRUE(ph->Save(dir + "/x.ph").ok());
+  EXPECT_FALSE(GhHistogram::Load(dir + "/x.ds").ok());
+  EXPECT_FALSE(GhHistogram::Load(dir + "/x.ph").ok());
+  EXPECT_FALSE(PhHistogram::Load(dir + "/x.gh").ok());
+  EXPECT_FALSE(Dataset::Load(dir + "/x.gh").ok());
+  EXPECT_FALSE(MinSkewHistogram::Load(dir + "/x.gh").ok());
+  for (const char* name : {"/x.ds", "/x.gh", "/x.ph"}) {
+    std::remove((dir + name).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sjsel

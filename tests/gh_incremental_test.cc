@@ -1,0 +1,268 @@
+// Tests for GH incremental maintenance (AddRect/RemoveRect), histogram
+// merging, window-restricted join estimates and range-count estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gh_histogram.h"
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "rtree/rtree.h"
+#include "stats/dataset_stats.h"
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeClustered(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::GaussianClusterRects("c", n, kUnit,
+                                   {{0.4, 0.7}, 0.1, 0.1, 1.0}, size, seed);
+}
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+bool SameArrays(const GhHistogram& a, const GhHistogram& b, double tol) {
+  for (size_t i = 0; i < a.c().size(); ++i) {
+    if (std::fabs(a.c()[i] - b.c()[i]) > tol) return false;
+    if (std::fabs(a.o()[i] - b.o()[i]) > tol) return false;
+    if (std::fabs(a.h()[i] - b.h()[i]) > tol) return false;
+    if (std::fabs(a.v()[i] - b.v()[i]) > tol) return false;
+  }
+  return true;
+}
+
+TEST(GhIncrementalTest, AddRectMatchesBatchBuildExactly) {
+  const Dataset ds = MakeClustered(800, 3);
+  const auto batch = GhHistogram::Build(ds, kUnit, 5);
+  auto incremental = GhHistogram::CreateEmpty(kUnit, 5);
+  ASSERT_TRUE(incremental.ok());
+  for (const Rect& r : ds.rects()) incremental->AddRect(r);
+  EXPECT_EQ(incremental->dataset_size(), 800u);
+  // Same insertion order means bit-identical floating point sums.
+  EXPECT_EQ(incremental->c(), batch->c());
+  EXPECT_EQ(incremental->o(), batch->o());
+  EXPECT_EQ(incremental->h(), batch->h());
+  EXPECT_EQ(incremental->v(), batch->v());
+}
+
+TEST(GhIncrementalTest, RemoveUndoesAdd) {
+  const Dataset base = MakeClustered(500, 5);
+  const Dataset extra = MakeUniform(100, 6);
+  const auto reference = GhHistogram::Build(base, kUnit, 4);
+  auto hist = GhHistogram::Build(base, kUnit, 4);
+  ASSERT_TRUE(hist.ok());
+  for (const Rect& r : extra.rects()) hist->AddRect(r);
+  EXPECT_EQ(hist->dataset_size(), 600u);
+  for (const Rect& r : extra.rects()) hist->RemoveRect(r);
+  EXPECT_EQ(hist->dataset_size(), 500u);
+  EXPECT_TRUE(SameArrays(*hist, *reference, 1e-9));
+}
+
+TEST(GhIncrementalTest, IncrementalEstimateTracksDataChanges) {
+  const Dataset a = MakeClustered(1000, 7);
+  Dataset b = MakeUniform(1000, 8);
+  const auto ha = GhHistogram::Build(a, kUnit, 5);
+  auto hb = GhHistogram::Build(b, kUnit, 5);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+
+  // Grow b by 50% and keep the histogram in sync incrementally.
+  const Dataset more = MakeUniform(500, 9);
+  for (const Rect& r : more.rects()) {
+    b.Add(r);
+    hb->AddRect(r);
+  }
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  const auto est = EstimateGhJoinPairs(*ha, *hb);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(RelativeError(est.value(), actual), 0.15);
+}
+
+TEST(GhMergeTest, MergeEqualsBuildOfUnion) {
+  const Dataset part1 = MakeClustered(400, 11);
+  const Dataset part2 = MakeUniform(300, 12);
+  Dataset all("all");
+  for (const Rect& r : part1.rects()) all.Add(r);
+  for (const Rect& r : part2.rects()) all.Add(r);
+
+  auto h1 = GhHistogram::Build(part1, kUnit, 5);
+  const auto h2 = GhHistogram::Build(part2, kUnit, 5);
+  const auto h_all = GhHistogram::Build(all, kUnit, 5);
+  ASSERT_TRUE(h1->Merge(*h2).ok());
+  EXPECT_EQ(h1->dataset_size(), 700u);
+  EXPECT_TRUE(SameArrays(*h1, *h_all, 1e-9));
+}
+
+TEST(GhMergeTest, RejectsIncompatible) {
+  const Dataset ds = MakeUniform(50, 13);
+  auto h4 = GhHistogram::Build(ds, kUnit, 4);
+  const auto h5 = GhHistogram::Build(ds, kUnit, 5);
+  const auto basic = GhHistogram::Build(ds, kUnit, 4, GhVariant::kBasic);
+  EXPECT_FALSE(h4->Merge(*h5).ok());
+  EXPECT_FALSE(h4->Merge(*basic).ok());
+}
+
+TEST(GhWindowTest, FullWindowEqualsGlobalEstimate) {
+  const Dataset a = MakeClustered(1000, 15);
+  const Dataset b = MakeUniform(1000, 16);
+  const auto ha = GhHistogram::Build(a, kUnit, 6);
+  const auto hb = GhHistogram::Build(b, kUnit, 6);
+  const auto global = EstimateGhJoinPairs(*ha, *hb);
+  const auto windowed = EstimateGhJoinPairsInWindow(*ha, *hb, kUnit);
+  ASSERT_TRUE(global.ok());
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_NEAR(windowed.value(), global.value(),
+              1e-9 * std::max(1.0, global.value()));
+}
+
+TEST(GhWindowTest, DisjointQuadrantsSumToWhole) {
+  const Dataset a = MakeClustered(1500, 17);
+  const Dataset b = MakeUniform(1500, 18);
+  const auto ha = GhHistogram::Build(a, kUnit, 6);
+  const auto hb = GhHistogram::Build(b, kUnit, 6);
+  double sum = 0.0;
+  for (const Rect quadrant :
+       {Rect(0, 0, 0.5, 0.5), Rect(0.5, 0, 1, 0.5), Rect(0, 0.5, 0.5, 1),
+        Rect(0.5, 0.5, 1, 1)}) {
+    const auto part = EstimateGhJoinPairsInWindow(*ha, *hb, quadrant);
+    ASSERT_TRUE(part.ok());
+    sum += part.value();
+  }
+  const auto global = EstimateGhJoinPairs(*ha, *hb);
+  EXPECT_NEAR(sum, global.value(), 1e-7 * std::max(1.0, global.value()));
+}
+
+TEST(GhWindowTest, WindowAroundClusterCapturesMostPairs) {
+  // Both datasets clustered at (0.4, 0.7): a window around the cluster
+  // should hold nearly all pairs, a far-away window nearly none.
+  const Dataset a = MakeClustered(1500, 19);
+  const Dataset b = MakeClustered(1500, 20);
+  const auto ha = GhHistogram::Build(a, kUnit, 6);
+  const auto hb = GhHistogram::Build(b, kUnit, 6);
+  const auto global = EstimateGhJoinPairs(*ha, *hb);
+  const auto near_cluster =
+      EstimateGhJoinPairsInWindow(*ha, *hb, Rect(0.0, 0.3, 0.8, 1.0));
+  const auto far_away =
+      EstimateGhJoinPairsInWindow(*ha, *hb, Rect(0.8, 0.0, 1.0, 0.2));
+  ASSERT_TRUE(global.ok());
+  EXPECT_GT(near_cluster.value(), 0.9 * global.value());
+  EXPECT_LT(far_away.value(), 0.01 * global.value());
+}
+
+TEST(GhWindowTest, MatchesCornerWeightedGroundTruth) {
+  // Semantics check: the windowed estimate approximates the number of
+  // join pairs weighted by the fraction of each pair's 4 intersection-
+  // rectangle corners that fall inside the window. Verify against that
+  // ground truth directly on random windows.
+  const Dataset a = MakeClustered(1200, 33);
+  const Dataset b = MakeUniform(1200, 34);
+  const auto ha = GhHistogram::Build(a, kUnit, 7);
+  const auto hb = GhHistogram::Build(b, kUnit, 7);
+
+  Rng rng(5);
+  int informative = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const double x = rng.NextDouble() * 0.5;
+    const double y = rng.NextDouble() * 0.5;
+    const Rect window(x, y, x + 0.4, y + 0.4);
+
+    double truth = 0.0;
+    for (const Rect& ra : a.rects()) {
+      for (const Rect& rb : b.rects()) {
+        if (!ra.Intersects(rb)) continue;
+        const Rect inter = ra.Intersection(rb);
+        int corners_in = 0;
+        for (const Point p :
+             {Point{inter.min_x, inter.min_y}, Point{inter.max_x, inter.min_y},
+              Point{inter.min_x, inter.max_y},
+              Point{inter.max_x, inter.max_y}}) {
+          if (window.Contains(p)) ++corners_in;
+        }
+        truth += corners_in / 4.0;
+      }
+    }
+    if (truth < 50) continue;
+    ++informative;
+    const auto est = EstimateGhJoinPairsInWindow(*ha, *hb, window);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LT(RelativeError(est.value(), truth), 0.12)
+        << "window " << window.ToString() << " truth " << truth << " est "
+        << est.value();
+  }
+  EXPECT_GE(informative, 3);
+}
+
+TEST(GhWindowTest, OutsideExtentIsZero) {
+  const Dataset a = MakeUniform(100, 21);
+  const auto ha = GhHistogram::Build(a, kUnit, 4);
+  const auto hb = GhHistogram::Build(a, kUnit, 4);
+  const auto outside =
+      EstimateGhJoinPairsInWindow(*ha, *hb, Rect(2, 2, 3, 3));
+  ASSERT_TRUE(outside.ok());
+  EXPECT_DOUBLE_EQ(outside.value(), 0.0);
+}
+
+TEST(GhRangeTest, MatchesExactCountOnUniformData) {
+  const Dataset ds = MakeUniform(5000, 23);
+  const auto hist = GhHistogram::Build(ds, kUnit, 6);
+  const RTree tree = RTree::BulkLoadStr(RTree::DatasetEntries(ds));
+  Rng rng(3);
+  double total_err = 0.0;
+  int trials = 0;
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.NextDouble() * 0.7;
+    const double y = rng.NextDouble() * 0.7;
+    const Rect query(x, y, x + 0.25, y + 0.25);
+    const double exact = static_cast<double>(tree.CountRange(query));
+    if (exact < 50) continue;
+    const double est = EstimateGhRangeCount(*hist, query);
+    total_err += RelativeError(est, exact);
+    ++trials;
+  }
+  ASSERT_GT(trials, 10);
+  EXPECT_LT(total_err / trials, 0.10);
+}
+
+TEST(GhRangeTest, TracksSkewBetterThanGlobalAverage) {
+  const Dataset ds = MakeClustered(5000, 25);
+  const auto hist = GhHistogram::Build(ds, kUnit, 6);
+  const RTree tree = RTree::BulkLoadStr(RTree::DatasetEntries(ds));
+  const Rect hot(0.3, 0.6, 0.5, 0.8);    // on the cluster
+  const Rect cold(0.7, 0.05, 0.9, 0.25); // far from it
+  const double exact_hot = static_cast<double>(tree.CountRange(hot));
+  const double exact_cold = static_cast<double>(tree.CountRange(cold));
+  const double est_hot = EstimateGhRangeCount(*hist, hot);
+  const double est_cold = EstimateGhRangeCount(*hist, cold);
+  ASSERT_GT(exact_hot, 100.0);
+  EXPECT_LT(RelativeError(est_hot, exact_hot), 0.15);
+  // The cold region truly has almost nothing; the estimate must agree.
+  EXPECT_LT(est_cold, exact_cold + 0.02 * exact_hot);
+}
+
+TEST(GhRangeTest, WholeExtentQueryCountsEverything) {
+  // A query covering the whole extent should estimate ~N. The edge and
+  // corner mechanisms over-charge slightly in the boundary cells (the
+  // model assumes data could poke outside the query there), so allow a
+  // few percent of bias.
+  const Dataset ds = MakeUniform(2000, 27);
+  const auto hist = GhHistogram::Build(ds, kUnit, 5);
+  const double est = EstimateGhRangeCount(*hist, kUnit);
+  EXPECT_NEAR(est, 2000.0, 2000.0 * 0.06);
+}
+
+TEST(GhRangeTest, EmptyHistogramEstimatesZero) {
+  const auto hist = GhHistogram::CreateEmpty(kUnit, 5);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_DOUBLE_EQ(EstimateGhRangeCount(*hist, Rect(0.1, 0.1, 0.9, 0.9)),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,128 @@
+// Tests for the sparse GH histogram file format, file-size accounting and
+// self-join estimation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/gh_histogram.h"
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "stats/dataset_stats.h"
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeTightCluster(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.004, 0.004, 0.5};
+  return gen::GaussianClusterRects("tight", n, kUnit,
+                                   {{0.3, 0.3}, 0.02, 0.02, 1.0}, size, seed);
+}
+
+TEST(GhSparseTest, SparseRoundTripIsLossless) {
+  const std::string path = ::testing::TempDir() + "/gh_sparse.hist";
+  const Dataset ds = MakeTightCluster(800, 3);
+  const auto hist = GhHistogram::Build(ds, kUnit, 7);
+  ASSERT_TRUE(hist.ok());
+  ASSERT_TRUE(hist->Save(path, GhHistogram::FileFormat::kSparse).ok());
+  const auto loaded = GhHistogram::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->c(), hist->c());
+  EXPECT_EQ(loaded->o(), hist->o());
+  EXPECT_EQ(loaded->h(), hist->h());
+  EXPECT_EQ(loaded->v(), hist->v());
+  EXPECT_EQ(loaded->dataset_size(), 800u);
+  std::remove(path.c_str());
+}
+
+TEST(GhSparseTest, SparseFileMuchSmallerForSkewedData) {
+  const std::string dense_path = ::testing::TempDir() + "/gh_dense.hist";
+  const std::string sparse_path = ::testing::TempDir() + "/gh_sp.hist";
+  const Dataset ds = MakeTightCluster(800, 5);
+  const auto hist = GhHistogram::Build(ds, kUnit, 8);  // 65536 cells
+  ASSERT_TRUE(hist->Save(dense_path, GhHistogram::FileFormat::kDense).ok());
+  ASSERT_TRUE(hist->Save(sparse_path, GhHistogram::FileFormat::kSparse).ok());
+  const auto dense_bytes = ReadFile(dense_path).value().size();
+  const auto sparse_bytes = ReadFile(sparse_path).value().size();
+  // A tight cluster occupies a tiny fraction of a 256x256 grid.
+  EXPECT_LT(sparse_bytes * 10, dense_bytes);
+  // FileBytes() predicts the actual file sizes exactly.
+  EXPECT_EQ(hist->FileBytes(GhHistogram::FileFormat::kDense), dense_bytes);
+  EXPECT_EQ(hist->FileBytes(GhHistogram::FileFormat::kSparse), sparse_bytes);
+  std::remove(dense_path.c_str());
+  std::remove(sparse_path.c_str());
+}
+
+TEST(GhSparseTest, NonEmptyCellsCountsExactly) {
+  auto hist = GhHistogram::CreateEmpty(kUnit, 3);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->NonEmptyCells(), 0u);
+  hist->AddRect(Rect(0.1, 0.1, 0.11, 0.11));  // contained in one cell
+  EXPECT_EQ(hist->NonEmptyCells(), 1u);
+}
+
+TEST(GhSparseTest, SparseCorruptionDetected) {
+  const std::string path = ::testing::TempDir() + "/gh_sp_bad.hist";
+  const Dataset ds = MakeTightCluster(200, 7);
+  const auto hist = GhHistogram::Build(ds, kUnit, 6);
+  ASSERT_TRUE(hist->Save(path, GhHistogram::FileFormat::kSparse).ok());
+  auto bytes = ReadFile(path).value();
+  bytes[bytes.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  EXPECT_FALSE(GhHistogram::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GhSparseTest, EstimatesIdenticalAcrossFormats) {
+  const std::string dense_path = ::testing::TempDir() + "/gh_fd.hist";
+  const std::string sparse_path = ::testing::TempDir() + "/gh_fs.hist";
+  const Dataset a = MakeTightCluster(500, 9);
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  const Dataset b = gen::UniformRects("u", 500, kUnit, size, 10);
+  const auto ha = GhHistogram::Build(a, kUnit, 6);
+  const auto hb = GhHistogram::Build(b, kUnit, 6);
+  ASSERT_TRUE(ha->Save(dense_path, GhHistogram::FileFormat::kDense).ok());
+  ASSERT_TRUE(ha->Save(sparse_path, GhHistogram::FileFormat::kSparse).ok());
+  const auto dense = GhHistogram::Load(dense_path);
+  const auto sparse = GhHistogram::Load(sparse_path);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_DOUBLE_EQ(EstimateGhJoinPairs(*dense, *hb).value(),
+                   EstimateGhJoinPairs(*sparse, *hb).value());
+  std::remove(dense_path.c_str());
+  std::remove(sparse_path.c_str());
+}
+
+TEST(GhSelfJoinTest, MatchesExactSelfJoinOnDenseData) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.03, 0.03, 0.5};
+  const Dataset ds = gen::UniformRects("u", 3000, kUnit, size, 11);
+  const double n = static_cast<double>(ds.size());
+  // Distinct unordered intersecting pairs, self-pairs excluded.
+  const double exact =
+      (static_cast<double>(NestedLoopJoinCount(ds, ds)) - n) / 2.0;
+  ASSERT_GT(exact, 1000.0);
+  const auto hist = GhHistogram::Build(ds, kUnit, 6);
+  const auto est = EstimateGhSelfJoinPairs(*hist);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(RelativeError(est.value(), exact), 0.10)
+      << "est " << est.value() << " exact " << exact;
+}
+
+TEST(GhSelfJoinTest, SparseDataClampsAtZero) {
+  // Two far-apart tiny rects: no real pairs; the estimate must not go
+  // negative.
+  Dataset ds("two");
+  ds.Add(Rect(0.1, 0.1, 0.1001, 0.1001));
+  ds.Add(Rect(0.9, 0.9, 0.9001, 0.9001));
+  const auto hist = GhHistogram::Build(ds, kUnit, 7);
+  const auto est = EstimateGhSelfJoinPairs(*hist);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(est.value(), 0.0);
+  EXPECT_LT(est.value(), 0.1);
+}
+
+}  // namespace
+}  // namespace sjsel

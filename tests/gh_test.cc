@@ -1,0 +1,271 @@
+#include "core/gh_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "stats/dataset_stats.h"
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+Dataset MakeClustered(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::GaussianClusterRects("c", n, kUnit,
+                                   {{0.4, 0.7}, 0.1, 0.1, 1.0}, size, seed);
+}
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+TEST(GhBuildTest, RejectsBadInput) {
+  const Dataset ds = MakeUniform(10, 1);
+  EXPECT_FALSE(GhHistogram::Build(ds, kUnit, -1).ok());
+  EXPECT_FALSE(GhHistogram::Build(ds, kUnit, 99).ok());
+  EXPECT_FALSE(GhHistogram::Build(ds, Rect(0, 0, 0, 1), 3).ok());
+}
+
+class GhInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GhInvariantTest, CellSumsMatchClosedForms) {
+  const int level = GetParam();
+  const Dataset ds = MakeClustered(2000, 7);
+  const auto hist = GhHistogram::Build(ds, kUnit, level);
+  ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+
+  // Every MBR contributes exactly 4 corners, each to exactly one cell.
+  EXPECT_NEAR(Sum(hist->c()), 4.0 * ds.size(), 1e-6);
+
+  // Σ O * cell_area = total clipped area = total area (all MBRs inside).
+  double total_area = 0.0;
+  double total_w = 0.0;
+  double total_h = 0.0;
+  for (const Rect& r : ds.rects()) {
+    total_area += r.area();
+    total_w += r.width();
+    total_h += r.height();
+  }
+  const double cell_area = hist->grid().cell_area();
+  EXPECT_NEAR(Sum(hist->o()) * cell_area, total_area, 1e-9);
+
+  // Each MBR has two horizontal edges of its width and two vertical edges
+  // of its height; the ratios must sum back to those lengths.
+  EXPECT_NEAR(Sum(hist->h()) * hist->grid().cell_width(), 2.0 * total_w,
+              1e-9);
+  EXPECT_NEAR(Sum(hist->v()) * hist->grid().cell_height(), 2.0 * total_h,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, GhInvariantTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 7));
+
+TEST(GhEstimateTest, LevelZeroMatchesHandComputation) {
+  // At level 0 the estimate collapses to
+  //   IP = C1*O2 + C2*O1 + H1*V2 + H2*V1 over one cell.
+  Dataset a("a");
+  a.Add(Rect(0.1, 0.1, 0.3, 0.4));
+  Dataset b("b");
+  b.Add(Rect(0.6, 0.5, 0.9, 0.8));
+  const auto ha = GhHistogram::Build(a, kUnit, 0);
+  const auto hb = GhHistogram::Build(b, kUnit, 0);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  // C=4, O=area, H=2*w (ratio to width 1), V=2*h.
+  const double expected_ip = 4.0 * (0.3 * 0.3) + 4.0 * (0.2 * 0.3) +
+                             (2 * 0.2) * (2 * 0.3) + (2 * 0.3) * (2 * 0.3);
+  const auto ip = EstimateGhIntersectionPoints(*ha, *hb);
+  ASSERT_TRUE(ip.ok());
+  EXPECT_NEAR(ip.value(), expected_ip, 1e-12);
+  const auto pairs = EstimateGhJoinPairs(*ha, *hb);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_NEAR(pairs.value(), expected_ip / 4.0, 1e-12);
+}
+
+TEST(GhEstimateTest, FineGridNailsASinglePair) {
+  // With fine gridding and one intersecting pair in general position, GH
+  // counts the 4 intersection points nearly exactly.
+  Dataset a("a");
+  a.Add(Rect(0.2, 0.2, 0.5, 0.5));
+  Dataset b("b");
+  b.Add(Rect(0.4, 0.4, 0.7, 0.7));
+  const auto ha = GhHistogram::Build(a, kUnit, 8);
+  const auto hb = GhHistogram::Build(b, kUnit, 8);
+  const auto pairs = EstimateGhJoinPairs(*ha, *hb);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_NEAR(pairs.value(), 1.0, 0.05);
+}
+
+TEST(GhEstimateTest, DisjointDatasetsEstimateNearZero) {
+  Dataset a("a");
+  a.Add(Rect(0.0, 0.0, 0.2, 0.2));
+  Dataset b("b");
+  b.Add(Rect(0.7, 0.7, 0.9, 0.9));
+  const auto ha = GhHistogram::Build(a, kUnit, 6);
+  const auto hb = GhHistogram::Build(b, kUnit, 6);
+  const auto pairs = EstimateGhJoinPairs(*ha, *hb);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_NEAR(pairs.value(), 0.0, 1e-9);
+}
+
+TEST(GhEstimateTest, PointDatasetInsideRectIsOnePair) {
+  // Degenerate MBR support: a point inside a rectangle is exactly one pair
+  // through the corner/area mechanism (4 coincident corners / 4).
+  Dataset pts("p");
+  pts.Add(Rect::FromPoint({0.45, 0.45}));
+  Dataset rects("r");
+  rects.Add(Rect(0.3, 0.3, 0.6, 0.6));
+  for (int level : {0, 2, 4, 6}) {
+    const auto hp = GhHistogram::Build(pts, kUnit, level);
+    const auto hr = GhHistogram::Build(rects, kUnit, level);
+    const auto pairs = EstimateGhJoinPairs(*hp, *hr);
+    ASSERT_TRUE(pairs.ok());
+    // Coarse levels over-estimate via the uniformity assumption, but at
+    // fine levels the cell is inside the rect so the estimate converges
+    // to 1.
+    if (level >= 4) {
+      EXPECT_NEAR(pairs.value(), 1.0, 0.05) << "level " << level;
+    }
+  }
+}
+
+TEST(GhEstimateTest, IncompatibleGridsRejected) {
+  const Dataset ds = MakeUniform(100, 3);
+  const auto h3 = GhHistogram::Build(ds, kUnit, 3);
+  const auto h4 = GhHistogram::Build(ds, kUnit, 4);
+  const auto other_extent = GhHistogram::Build(ds, Rect(0, 0, 2, 2), 3);
+  EXPECT_FALSE(EstimateGhJoinPairs(*h3, *h4).ok());
+  EXPECT_FALSE(EstimateGhJoinPairs(*h3, *other_extent).ok());
+  const auto basic = GhHistogram::Build(ds, kUnit, 3, GhVariant::kBasic);
+  EXPECT_FALSE(EstimateGhJoinPairs(*h3, *basic).ok());
+}
+
+TEST(GhEstimateTest, SelectivityNormalizesPairs) {
+  const Dataset a = MakeUniform(500, 11);
+  const Dataset b = MakeUniform(500, 12);
+  const auto ha = GhHistogram::Build(a, kUnit, 5);
+  const auto hb = GhHistogram::Build(b, kUnit, 5);
+  const auto pairs = EstimateGhJoinPairs(*ha, *hb);
+  const auto sel = EstimateGhJoinSelectivity(*ha, *hb);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NEAR(sel.value(), pairs.value() / (500.0 * 500.0), 1e-15);
+}
+
+TEST(GhEstimateTest, EmptyDatasetSelectivityIsError) {
+  const Dataset a = MakeUniform(10, 1);
+  const Dataset empty("e");
+  const auto ha = GhHistogram::Build(a, kUnit, 2);
+  const auto he = GhHistogram::Build(empty, kUnit, 2);
+  EXPECT_TRUE(EstimateGhJoinPairs(*ha, *he).ok());  // 0 pairs is fine
+  EXPECT_FALSE(EstimateGhJoinSelectivity(*ha, *he).ok());
+}
+
+TEST(GhAccuracyTest, ErrorShrinksWithLevelOnSkewedData) {
+  // The paper's headline property (Fig. 7): GH errors decrease
+  // monotonically-in-trend with the gridding level. We assert that the
+  // finest level beats the coarsest by a wide margin across seeds.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Dataset a = MakeClustered(3000, seed);
+    const Dataset b = MakeUniform(3000, seed + 100);
+    const double actual =
+        static_cast<double>(NestedLoopJoinCount(a, b));
+    ASSERT_GT(actual, 0.0);
+    double coarse_err = 0.0;
+    double fine_err = 0.0;
+    for (int level : {0, 7}) {
+      const auto ha = GhHistogram::Build(a, kUnit, level);
+      const auto hb = GhHistogram::Build(b, kUnit, level);
+      const auto est = EstimateGhJoinPairs(*ha, *hb);
+      ASSERT_TRUE(est.ok());
+      const double err = RelativeError(est.value(), actual);
+      if (level == 0) {
+        coarse_err = err;
+      } else {
+        fine_err = err;
+      }
+    }
+    EXPECT_LT(fine_err, 0.10) << "seed " << seed;
+    EXPECT_LT(fine_err, coarse_err) << "seed " << seed;
+  }
+}
+
+TEST(GhAccuracyTest, RevisedBeatsBasicAtModerateLevels) {
+  // The Figure 4 motivation: basic GH suffers false/multiple counting that
+  // the revised per-cell ratios fix.
+  const Dataset a = MakeClustered(2000, 21);
+  const Dataset b = MakeUniform(2000, 22);
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  ASSERT_GT(actual, 0.0);
+  const int level = 4;
+  const auto ra = GhHistogram::Build(a, kUnit, level);
+  const auto rb = GhHistogram::Build(b, kUnit, level);
+  const auto ba = GhHistogram::Build(a, kUnit, level, GhVariant::kBasic);
+  const auto bb = GhHistogram::Build(b, kUnit, level, GhVariant::kBasic);
+  const double revised_err =
+      RelativeError(EstimateGhJoinPairs(*ra, *rb).value(), actual);
+  const double basic_err =
+      RelativeError(EstimateGhJoinPairs(*ba, *bb).value(), actual);
+  EXPECT_LT(revised_err, basic_err);
+}
+
+TEST(GhFileTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sjsel_gh.hist";
+  const Dataset ds = MakeClustered(500, 31);
+  const auto hist = GhHistogram::Build(ds, kUnit, 4);
+  ASSERT_TRUE(hist.ok());
+  ASSERT_TRUE(hist->Save(path).ok());
+  const auto loaded = GhHistogram::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->grid().level(), 4);
+  EXPECT_EQ(loaded->dataset_size(), 500u);
+  EXPECT_EQ(loaded->dataset_name(), "c");
+  EXPECT_EQ(loaded->variant(), GhVariant::kRevised);
+  EXPECT_EQ(loaded->c(), hist->c());
+  EXPECT_EQ(loaded->o(), hist->o());
+  EXPECT_EQ(loaded->h(), hist->h());
+  EXPECT_EQ(loaded->v(), hist->v());
+  // A loaded histogram estimates identically to the in-memory one.
+  const auto other = GhHistogram::Build(MakeUniform(500, 32), kUnit, 4);
+  EXPECT_DOUBLE_EQ(EstimateGhJoinPairs(*hist, *other).value(),
+                   EstimateGhJoinPairs(*loaded, *other).value());
+  std::remove(path.c_str());
+}
+
+TEST(GhFileTest, CorruptionDetected) {
+  const std::string path = ::testing::TempDir() + "/sjsel_gh_bad.hist";
+  const Dataset ds = MakeUniform(200, 41);
+  const auto hist = GhHistogram::Build(ds, kUnit, 3);
+  ASSERT_TRUE(hist->Save(path).ok());
+  auto bytes = ReadFile(path).value();
+  bytes[bytes.size() / 2] ^= 0x10;
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  const auto loaded = GhHistogram::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(GhFileTest, NominalBytesMatchLevel) {
+  const Dataset ds = MakeUniform(100, 51);
+  for (int level : {0, 3, 6}) {
+    const auto hist = GhHistogram::Build(ds, kUnit, level);
+    EXPECT_EQ(hist->NominalBytes(),
+              uint64_t{32} << (2 * level));  // 4 doubles * 4^level cells
+  }
+}
+
+}  // namespace
+}  // namespace sjsel

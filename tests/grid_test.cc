@@ -1,0 +1,112 @@
+#include "core/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+TEST(GridTest, CreateValidatesInput) {
+  EXPECT_FALSE(Grid::Create(Rect(0, 0, 1, 1), -1).ok());
+  EXPECT_FALSE(Grid::Create(Rect(0, 0, 1, 1), 16).ok());
+  EXPECT_FALSE(Grid::Create(Rect(0, 0, 0, 1), 3).ok());  // zero width
+  EXPECT_FALSE(Grid::Create(Rect::Empty(), 3).ok());
+  EXPECT_TRUE(Grid::Create(Rect(0, 0, 1, 1), 0).ok());
+  EXPECT_TRUE(Grid::Create(Rect(-5, -5, 5, 5), 9).ok());
+}
+
+TEST(GridTest, LevelZeroIsOneCell) {
+  const Grid g = Grid::Create(Rect(0, 0, 2, 4), 0).value();
+  EXPECT_EQ(g.per_axis(), 1);
+  EXPECT_EQ(g.num_cells(), 1);
+  EXPECT_DOUBLE_EQ(g.cell_width(), 2.0);
+  EXPECT_DOUBLE_EQ(g.cell_height(), 4.0);
+  EXPECT_EQ(g.CellOf({1.0, 1.0}), 0);
+  EXPECT_EQ(g.CellRect(0, 0), Rect(0, 0, 2, 4));
+}
+
+TEST(GridTest, CellCountsGrowAsFourToTheLevel) {
+  for (int level = 0; level <= 6; ++level) {
+    const Grid g = Grid::Create(Rect(0, 0, 1, 1), level).value();
+    EXPECT_EQ(g.per_axis(), 1 << level);
+    EXPECT_EQ(g.num_cells(), int64_t{1} << (2 * level));
+  }
+}
+
+TEST(GridTest, HalfOpenOwnership) {
+  const Grid g = Grid::Create(Rect(0, 0, 1, 1), 2).value();  // 4x4
+  EXPECT_EQ(g.CellX(0.0), 0);
+  EXPECT_EQ(g.CellX(0.25), 1);   // boundary belongs to the upper cell
+  EXPECT_EQ(g.CellX(0.24999), 0);
+  EXPECT_EQ(g.CellX(0.5), 2);
+  EXPECT_EQ(g.CellX(1.0), 3);    // extent max clamps into the last cell
+  EXPECT_EQ(g.CellX(1.7), 3);    // out-of-extent clamps
+  EXPECT_EQ(g.CellX(-0.3), 0);
+}
+
+TEST(GridTest, EveryPointHasExactlyOneOwner) {
+  const Grid g = Grid::Create(Rect(0, 0, 1, 1), 3).value();
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    const int64_t cell = g.CellOf(p);
+    ASSERT_GE(cell, 0);
+    ASSERT_LT(cell, g.num_cells());
+    // The owning cell geometrically contains the point.
+    const int cx = static_cast<int>(cell % g.per_axis());
+    const int cy = static_cast<int>(cell / g.per_axis());
+    EXPECT_TRUE(g.CellRect(cx, cy).Contains(p));
+  }
+}
+
+TEST(GridTest, CellRectsTileTheExtent) {
+  const Grid g = Grid::Create(Rect(-1, -1, 1, 1), 2).value();
+  double total_area = 0.0;
+  for (int cy = 0; cy < g.per_axis(); ++cy) {
+    for (int cx = 0; cx < g.per_axis(); ++cx) {
+      total_area += g.CellRect(cx, cy).area();
+    }
+  }
+  EXPECT_NEAR(total_area, g.extent().area(), 1e-12);
+  EXPECT_EQ(g.CellRect(0, 0).min_x, -1.0);
+  EXPECT_EQ(g.CellRect(g.per_axis() - 1, g.per_axis() - 1).max_x, 1.0);
+}
+
+TEST(GridTest, CellRangeCoversRect) {
+  const Grid g = Grid::Create(Rect(0, 0, 1, 1), 3).value();  // 8x8
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  g.CellRange(Rect(0.1, 0.3, 0.6, 0.35), &x0, &y0, &x1, &y1);
+  EXPECT_EQ(x0, 0);
+  EXPECT_EQ(x1, 4);
+  EXPECT_EQ(y0, 2);
+  EXPECT_EQ(y1, 2);
+  // A degenerate point rect spans exactly one cell.
+  g.CellRange(Rect(0.5, 0.5, 0.5, 0.5), &x0, &y0, &x1, &y1);
+  EXPECT_EQ(x0, x1);
+  EXPECT_EQ(y0, y1);
+}
+
+TEST(GridTest, Compatibility) {
+  const Grid a = Grid::Create(Rect(0, 0, 1, 1), 3).value();
+  const Grid b = Grid::Create(Rect(0, 0, 1, 1), 3).value();
+  const Grid c = Grid::Create(Rect(0, 0, 1, 1), 4).value();
+  const Grid d = Grid::Create(Rect(0, 0, 2, 1), 3).value();
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(c));
+  EXPECT_FALSE(a.CompatibleWith(d));
+}
+
+TEST(GridTest, FlatIndexingIsRowMajor) {
+  const Grid g = Grid::Create(Rect(0, 0, 1, 1), 2).value();
+  EXPECT_EQ(g.Flat(0, 0), 0);
+  EXPECT_EQ(g.Flat(3, 0), 3);
+  EXPECT_EQ(g.Flat(0, 1), 4);
+  EXPECT_EQ(g.Flat(3, 3), 15);
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,148 @@
+#include "hilbert/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+class HilbertOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertOrderTest, BijectionOnFullGrid) {
+  const int order = GetParam();
+  const HilbertCurve curve(order);
+  const uint64_t n = curve.resolution();
+  std::set<uint64_t> seen;
+  for (uint32_t y = 0; y < n; ++y) {
+    for (uint32_t x = 0; x < n; ++x) {
+      const uint64_t d = curve.XyToD(x, y);
+      EXPECT_LT(d, n * n);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate d=" << d;
+      uint32_t rx = 0;
+      uint32_t ry = 0;
+      curve.DToXy(d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), n * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallOrders, HilbertOrderTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(HilbertTest, ConsecutiveDistancesAreAdjacentCells) {
+  // The defining property of the Hilbert curve: consecutive curve positions
+  // are 4-neighbors in the grid.
+  const HilbertCurve curve(6);
+  const uint64_t total = curve.resolution() * curve.resolution();
+  uint32_t px = 0;
+  uint32_t py = 0;
+  curve.DToXy(0, &px, &py);
+  for (uint64_t d = 1; d < total; ++d) {
+    uint32_t x = 0;
+    uint32_t y = 0;
+    curve.DToXy(d, &x, &y);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(manhattan, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertTest, HighOrderRoundTripSamples) {
+  const HilbertCurve curve(16);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextU64(curve.resolution()));
+    const uint32_t y = static_cast<uint32_t>(rng.NextU64(curve.resolution()));
+    uint32_t rx = 0;
+    uint32_t ry = 0;
+    curve.DToXy(curve.XyToD(x, y), &rx, &ry);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+  }
+}
+
+TEST(HilbertTest, ValueForPointQuantizesAndClamps) {
+  const HilbertCurve curve(8);
+  const Rect extent(0, 0, 1, 1);
+  // Corners map to valid values; out-of-extent points clamp (no crash).
+  const uint64_t max_d = curve.resolution() * curve.resolution();
+  EXPECT_LT(curve.ValueForPoint({0, 0}, extent), max_d);
+  EXPECT_LT(curve.ValueForPoint({1, 1}, extent), max_d);
+  EXPECT_LT(curve.ValueForPoint({-5, 7}, extent), max_d);
+  // Nearby points get nearby (often equal) cells — exact equality for two
+  // points inside the same quantization cell.
+  EXPECT_EQ(curve.ValueForPoint({0.5001, 0.5001}, extent),
+            curve.ValueForPoint({0.5002, 0.5002}, extent));
+}
+
+TEST(HilbertTest, ValueForRectUsesCenter) {
+  const HilbertCurve curve(8);
+  const Rect extent(0, 0, 1, 1);
+  const Rect r(0.4, 0.4, 0.6, 0.6);
+  EXPECT_EQ(curve.ValueForRect(r, extent),
+            curve.ValueForPoint({0.5, 0.5}, extent));
+}
+
+TEST(HilbertTest, DegenerateExtentDoesNotCrash) {
+  const HilbertCurve curve(8);
+  const Rect degenerate(0.5, 0.5, 0.5, 0.5);
+  EXPECT_EQ(curve.ValueForPoint({0.5, 0.5}, degenerate), 0u);
+}
+
+TEST(HilbertTest, ClusteringBeatsRowMajorOrder) {
+  // The classic clustering metric (Moon et al.): the average number of
+  // contiguous curve runs covering a query region approaches perimeter/4
+  // for the Hilbert curve regardless of orientation, while row-major order
+  // needs one run per row. On tall regions (2x16) Hilbert should therefore
+  // need far fewer runs — the locality property Sorted Sampling and
+  // Hilbert packing rely on.
+  const int order = 6;  // 64x64 grid
+  const HilbertCurve curve(order);
+  const uint64_t n = curve.resolution();
+  const uint32_t kx = 2;
+  const uint32_t ky = 16;
+  Rng rng(77);
+
+  auto count_runs = [](std::vector<uint64_t>* ds) {
+    std::sort(ds->begin(), ds->end());
+    int runs = ds->empty() ? 0 : 1;
+    for (size_t i = 1; i < ds->size(); ++i) {
+      if ((*ds)[i] != (*ds)[i - 1] + 1) ++runs;
+    }
+    return runs;
+  };
+
+  int hilbert_runs = 0;
+  int rowmajor_runs = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const uint32_t x0 = static_cast<uint32_t>(rng.NextU64(n - kx));
+    const uint32_t y0 = static_cast<uint32_t>(rng.NextU64(n - ky));
+    std::vector<uint64_t> h;
+    std::vector<uint64_t> rm;
+    for (uint32_t dy = 0; dy < ky; ++dy) {
+      for (uint32_t dx = 0; dx < kx; ++dx) {
+        h.push_back(curve.XyToD(x0 + dx, y0 + dy));
+        rm.push_back(static_cast<uint64_t>(y0 + dy) * n + (x0 + dx));
+      }
+    }
+    hilbert_runs += count_runs(&h);
+    rowmajor_runs += count_runs(&rm);
+  }
+  // Measured: ~2.7k Hilbert runs vs 4.8k row-major runs; assert with margin.
+  EXPECT_LT(hilbert_runs, rowmajor_runs * 3 / 4);
+}
+
+}  // namespace
+}  // namespace sjsel

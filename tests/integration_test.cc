@@ -1,0 +1,183 @@
+// End-to-end tests across the whole stack: paper workloads (tiny scale),
+// every estimator, exact joins as ground truth, and the paper's qualitative
+// findings as assertions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/estimator.h"
+#include "core/parametric.h"
+#include "core/gh_histogram.h"
+#include "core/ph_histogram.h"
+#include "datagen/workloads.h"
+#include "join/plane_sweep.h"
+#include "stats/dataset_stats.h"
+#include "util/timer.h"
+
+namespace sjsel {
+namespace {
+
+constexpr double kTinyScale = 0.04;
+
+struct PairFixture {
+  Dataset a;
+  Dataset b;
+  Rect extent;
+  double actual_pairs = 0.0;
+};
+
+PairFixture MakePair(const gen::JoinPair& pair, uint64_t seed) {
+  PairFixture f;
+  f.a = gen::MakePaperDataset(pair.first, kTinyScale, seed);
+  f.b = gen::MakePaperDataset(pair.second, kTinyScale, seed);
+  f.extent = f.a.ComputeExtent();
+  f.extent.Extend(f.b.ComputeExtent());
+  f.actual_pairs = static_cast<double>(PlaneSweepJoinCount(f.a, f.b));
+  return f;
+}
+
+class PaperPairTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperPairTest, GhLevel7IsAccurate) {
+  // Paper: "GH is very accurate (less than 5% errors) in all the four
+  // joins ... at level 7". At 1% cardinality the statistics are noisier,
+  // so we allow 15%.
+  const auto pair = gen::Figure7Pairs()[GetParam()];
+  const PairFixture f = MakePair(pair, 97);
+  ASSERT_GT(f.actual_pairs, 0.0) << pair.Label();
+  const auto ha = GhHistogram::Build(f.a, f.extent, 7);
+  const auto hb = GhHistogram::Build(f.b, f.extent, 7);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  const auto est = EstimateGhJoinPairs(*ha, *hb);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(RelativeError(est.value(), f.actual_pairs), 0.15)
+      << pair.Label() << ": est " << est.value() << " actual "
+      << f.actual_pairs;
+}
+
+TEST_P(PaperPairTest, GhErrorTrendsDownWithLevel) {
+  // Paper: "the estimation errors [of GH] monotonically decrease with the
+  // level of gridding". Statistical noise allows local wiggles; assert the
+  // broad trend: best-so-far error at level >= 6 beats levels 0-2 maxima.
+  const auto pair = gen::Figure7Pairs()[GetParam()];
+  const PairFixture f = MakePair(pair, 131);
+  ASSERT_GT(f.actual_pairs, 0.0);
+  std::vector<double> errors;
+  for (int level = 0; level <= 7; ++level) {
+    const auto ha = GhHistogram::Build(f.a, f.extent, level);
+    const auto hb = GhHistogram::Build(f.b, f.extent, level);
+    const auto est = EstimateGhJoinPairs(*ha, *hb);
+    ASSERT_TRUE(est.ok());
+    errors.push_back(RelativeError(est.value(), f.actual_pairs));
+  }
+  const double late = std::min({errors[5], errors[6], errors[7]});
+  const double early = std::max({errors[0], errors[1]});
+  EXPECT_LE(late, early) << pair.Label();
+  EXPECT_LT(errors[7], 0.20) << pair.Label();
+}
+
+TEST_P(PaperPairTest, GhBeatsPrioParametricOnSkewedPairs) {
+  // Paper: both proposed histogram schemes beat the prior parametric
+  // technique [2]; the margin is largest on skewed data.
+  const auto pair = gen::Figure7Pairs()[GetParam()];
+  const PairFixture f = MakePair(pair, 151);
+  ASSERT_GT(f.actual_pairs, 0.0);
+  const DatasetStats sa = DatasetStats::Compute(f.a, f.extent);
+  const DatasetStats sb = DatasetStats::Compute(f.b, f.extent);
+  const double parametric_err =
+      RelativeError(ParametricJoinPairs(sa, sb), f.actual_pairs);
+  const auto ha = GhHistogram::Build(f.a, f.extent, 7);
+  const auto hb = GhHistogram::Build(f.b, f.extent, 7);
+  const double gh_err =
+      RelativeError(EstimateGhJoinPairs(*ha, *hb).value(), f.actual_pairs);
+  EXPECT_LT(gh_err, parametric_err + 1e-9) << pair.Label();
+}
+
+TEST_P(PaperPairTest, PhHistogramFileCheaperThanGhIsFalse) {
+  // Paper: "GH requires less space than PH" — 4 vs 8 doubles per cell.
+  const auto pair = gen::Figure7Pairs()[GetParam()];
+  const PairFixture f = MakePair(pair, 7);
+  const auto gh = GhHistogram::Build(f.a, f.extent, 5);
+  const auto ph = PhHistogram::Build(f.a, f.extent, 5);
+  EXPECT_EQ(ph->NominalBytes(), 2 * gh->NominalBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure7Pairs, PaperPairTest,
+                         ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           const auto pair =
+                               gen::Figure7Pairs()[info.param];
+                           return gen::PaperDatasetName(pair.first) + "_" +
+                                  gen::PaperDatasetName(pair.second);
+                         });
+
+TEST(IntegrationTest, SamplingTenPercentIsReasonableOnPaperPairs) {
+  // Paper: 10%/10% random sampling gives usable (~10%) errors; at 1% of
+  // the paper cardinality the sample join is small, so allow a wide band.
+  const auto pair = gen::Figure6Pairs()[0];  // TS with TCB (dense join)
+  const PairFixture f = MakePair(pair, 41);
+  ASSERT_GT(f.actual_pairs, 100.0);
+  SamplingOptions options;
+  options.method = SamplingMethod::kRandomWithReplacement;
+  options.frac_a = 0.1;
+  options.frac_b = 0.1;
+  // Sampling is noisy at this reduced scale (the sample join sees ~1% of
+  // the pairs); average the estimate over several seeds like a practical
+  // system would.
+  double mean_estimate = 0.0;
+  const int runs = 5;
+  for (int seed = 1; seed <= runs; ++seed) {
+    options.seed = static_cast<uint64_t>(seed);
+    const auto est = MakeSamplingEstimator(options)->Estimate(f.a, f.b);
+    ASSERT_TRUE(est.ok());
+    mean_estimate += est->estimated_pairs / runs;
+  }
+  EXPECT_LT(RelativeError(mean_estimate, f.actual_pairs), 0.5);
+}
+
+TEST(IntegrationTest, HistogramFilesRoundTripAcrossTechniques) {
+  const auto pair = gen::Figure7Pairs()[0];
+  const PairFixture f = MakePair(pair, 43);
+  const std::string dir = ::testing::TempDir();
+  const auto gh = GhHistogram::Build(f.a, f.extent, 6);
+  const auto ph = PhHistogram::Build(f.a, f.extent, 6);
+  ASSERT_TRUE(gh->Save(dir + "/it_gh.hist").ok());
+  ASSERT_TRUE(ph->Save(dir + "/it_ph.hist").ok());
+  const auto gh2 = GhHistogram::Load(dir + "/it_gh.hist");
+  const auto ph2 = PhHistogram::Load(dir + "/it_ph.hist");
+  ASSERT_TRUE(gh2.ok());
+  ASSERT_TRUE(ph2.ok());
+  const auto ghb = GhHistogram::Build(f.b, f.extent, 6);
+  const auto phb = PhHistogram::Build(f.b, f.extent, 6);
+  EXPECT_DOUBLE_EQ(EstimateGhJoinPairs(*gh, *ghb).value(),
+                   EstimateGhJoinPairs(*gh2, *ghb).value());
+  EXPECT_DOUBLE_EQ(EstimatePhJoinPairs(*ph, *phb).value(),
+                   EstimatePhJoinPairs(*ph2, *phb).value());
+  std::remove((dir + "/it_gh.hist").c_str());
+  std::remove((dir + "/it_ph.hist").c_str());
+}
+
+TEST(IntegrationTest, EstimateTimeIsTinyComparedToJoin) {
+  // Paper: GH estimation time is ~1% of the join at level 7. Timing on CI
+  // is noisy; assert a lenient 50%.
+  const auto pair = gen::Figure7Pairs()[0];
+  PairFixture f = MakePair(pair, 47);
+  Timer join_timer;
+  const uint64_t actual = PlaneSweepJoinCount(f.a, f.b);
+  const double join_seconds = join_timer.ElapsedSeconds();
+  (void)actual;
+
+  const auto ha = GhHistogram::Build(f.a, f.extent, 7);
+  const auto hb = GhHistogram::Build(f.b, f.extent, 7);
+  Timer est_timer;
+  const auto est = EstimateGhJoinPairs(*ha, *hb);
+  const double est_seconds = est_timer.ElapsedSeconds();
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(est_seconds, join_seconds * 0.5 + 0.005);
+}
+
+}  // namespace
+}  // namespace sjsel

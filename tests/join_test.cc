@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "join/pbsm.h"
+#include "join/plane_sweep.h"
+#include "join/rtree_join.h"
+#include "rtree/rtree.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeWorkload(int which, size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.015, 0.015, 0.5};
+  switch (which) {
+    case 0:
+      return gen::UniformRects("uniform", n, kUnit, size, seed);
+    case 1:
+      return gen::GaussianClusterRects(
+          "clustered", n, kUnit, {{0.4, 0.7}, 0.08, 0.08, 1.0}, size, seed);
+    case 2:
+      return gen::ClusteredPoints("points", n, kUnit,
+                                  {{{0.4, 0.6}, 0.15, 0.15, 1.0}}, 0.3, seed);
+    case 3: {
+      gen::PolylineSpec spec;
+      return gen::RandomWalkPolylines("lines", n, kUnit, spec, seed);
+    }
+    default: {
+      gen::SizeDist big{gen::SizeDist::Kind::kExponential, 0.05, 0.05, 0.0};
+      return gen::UniformRects("bigrects", n, kUnit, big, seed);
+    }
+  }
+}
+
+using PairSet = std::set<std::pair<int64_t, int64_t>>;
+
+PairSet CollectNestedLoop(const Dataset& a, const Dataset& b) {
+  PairSet pairs;
+  NestedLoopJoin(a, b, [&pairs](int64_t x, int64_t y) {
+    pairs.emplace(x, y);
+  });
+  return pairs;
+}
+
+struct JoinCase {
+  int workload_a;
+  int workload_b;
+  size_t na;
+  size_t nb;
+};
+
+class JoinEquivalenceTest : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(JoinEquivalenceTest, AllAlgorithmsAgreeWithNestedLoop) {
+  const JoinCase& c = GetParam();
+  const Dataset a = MakeWorkload(c.workload_a, c.na, 101 + c.workload_a);
+  const Dataset b = MakeWorkload(c.workload_b, c.nb, 202 + c.workload_b);
+
+  const uint64_t expected = NestedLoopJoinCount(a, b);
+  EXPECT_EQ(PlaneSweepJoinCount(a, b), expected);
+  EXPECT_EQ(PbsmJoinCount(a, b), expected);
+
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree tb = RTree::BulkLoadStr(RTree::DatasetEntries(b));
+  EXPECT_EQ(RTreeJoinCount(ta, tb), expected);
+}
+
+TEST_P(JoinEquivalenceTest, EmittedPairSetsAreIdentical) {
+  const JoinCase& c = GetParam();
+  const Dataset a = MakeWorkload(c.workload_a, std::min<size_t>(c.na, 400),
+                                 303 + c.workload_a);
+  const Dataset b = MakeWorkload(c.workload_b, std::min<size_t>(c.nb, 400),
+                                 404 + c.workload_b);
+  const PairSet expected = CollectNestedLoop(a, b);
+
+  PairSet sweep;
+  PlaneSweepJoin(a, b, [&sweep](int64_t x, int64_t y) {
+    EXPECT_TRUE(sweep.emplace(x, y).second) << "duplicate pair from sweep";
+  });
+  EXPECT_EQ(sweep, expected);
+
+  PairSet pbsm;
+  PbsmJoin(a, b, [&pbsm](int64_t x, int64_t y) {
+    EXPECT_TRUE(pbsm.emplace(x, y).second) << "duplicate pair from PBSM";
+  });
+  EXPECT_EQ(pbsm, expected);
+
+  PairSet rtree;
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree tb = RTree::BuildByInsertion(b);
+  RTreeJoin(ta, tb, [&rtree](int64_t x, int64_t y) {
+    EXPECT_TRUE(rtree.emplace(x, y).second) << "duplicate pair from R-tree";
+  });
+  EXPECT_EQ(rtree, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, JoinEquivalenceTest,
+    ::testing::Values(JoinCase{0, 0, 1500, 1500},   // uniform x uniform
+                      JoinCase{0, 1, 1500, 1500},   // uniform x clustered
+                      JoinCase{1, 1, 1500, 1500},   // clustered x clustered
+                      JoinCase{2, 4, 1500, 800},    // points x big rects
+                      JoinCase{3, 0, 1000, 1500},   // polylines x uniform
+                      JoinCase{3, 3, 1000, 1000},   // polylines x polylines
+                      JoinCase{0, 0, 2000, 100},    // lopsided cardinality
+                      JoinCase{4, 4, 600, 600}),    // big x big (dense)
+    [](const ::testing::TestParamInfo<JoinCase>& info) {
+      return "wA" + std::to_string(info.param.workload_a) + "wB" +
+             std::to_string(info.param.workload_b) + "n" +
+             std::to_string(info.param.na) + "x" +
+             std::to_string(info.param.nb);
+    });
+
+TEST(JoinEdgeCaseTest, EmptyInputs) {
+  const Dataset a = MakeWorkload(0, 100, 1);
+  const Dataset empty("empty");
+  EXPECT_EQ(NestedLoopJoinCount(a, empty), 0u);
+  EXPECT_EQ(PlaneSweepJoinCount(a, empty), 0u);
+  EXPECT_EQ(PbsmJoinCount(a, empty), 0u);
+  EXPECT_EQ(PlaneSweepJoinCount(empty, empty), 0u);
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree te = RTree::BuildByInsertion(empty);
+  EXPECT_EQ(RTreeJoinCount(ta, te), 0u);
+}
+
+TEST(JoinEdgeCaseTest, TouchingRectanglesCount) {
+  // Closed-interval semantics: rects sharing only a boundary are a result
+  // pair in every algorithm.
+  Dataset a("a");
+  a.Add(Rect(0, 0, 0.5, 0.5));
+  Dataset b("b");
+  b.Add(Rect(0.5, 0.5, 1, 1));  // touches at one corner point
+  b.Add(Rect(0.5, 0, 1, 0.5));  // shares an edge
+  b.Add(Rect(0.6, 0.6, 1, 1));  // disjoint
+  EXPECT_EQ(NestedLoopJoinCount(a, b), 2u);
+  EXPECT_EQ(PlaneSweepJoinCount(a, b), 2u);
+  EXPECT_EQ(PbsmJoinCount(a, b), 2u);
+  const RTree ta = RTree::BuildByInsertion(a);
+  const RTree tb = RTree::BuildByInsertion(b);
+  EXPECT_EQ(RTreeJoinCount(ta, tb), 2u);
+}
+
+TEST(JoinEdgeCaseTest, IdenticalDatasetsSelfJoin) {
+  const Dataset a = MakeWorkload(1, 800, 55);
+  const uint64_t expected = NestedLoopJoinCount(a, a);
+  EXPECT_GE(expected, a.size());  // every rect intersects itself
+  EXPECT_EQ(PlaneSweepJoinCount(a, a), expected);
+  EXPECT_EQ(PbsmJoinCount(a, a), expected);
+}
+
+TEST(JoinEdgeCaseTest, PbsmPartitionCountIsRespected) {
+  const Dataset a = MakeWorkload(0, 1000, 66);
+  const Dataset b = MakeWorkload(1, 1000, 77);
+  const uint64_t expected = NestedLoopJoinCount(a, b);
+  for (int p : {1, 2, 3, 8, 17}) {
+    PbsmOptions options;
+    options.partitions_per_axis = p;
+    EXPECT_EQ(PbsmJoinCount(a, b, options), expected) << "p=" << p;
+  }
+}
+
+TEST(JoinEdgeCaseTest, RTreesOfVeryDifferentHeights) {
+  const Dataset big = MakeWorkload(0, 5000, 88);
+  Dataset tiny("tiny");
+  tiny.Add(Rect(0.2, 0.2, 0.8, 0.8));
+  tiny.Add(Rect(0.0, 0.0, 0.1, 0.1));
+  const RTree tb = RTree::BuildByInsertion(big);
+  const RTree tt = RTree::BuildByInsertion(tiny);
+  const uint64_t expected = NestedLoopJoinCount(big, tiny);
+  EXPECT_EQ(RTreeJoinCount(tb, tt), expected);
+  EXPECT_EQ(RTreeJoinCount(tt, tb), expected);
+}
+
+TEST(JoinEdgeCaseTest, PointOnPartitionBoundaryNotDuplicated) {
+  // Force rects whose intersection's reference point lies exactly on a
+  // PBSM partition boundary; the owner rule must count it exactly once.
+  Dataset a("a");
+  a.Add(Rect(0.0, 0.0, 0.5, 0.5));
+  Dataset b("b");
+  b.Add(Rect(0.5, 0.5, 1.0, 1.0));
+  PbsmOptions options;
+  options.partitions_per_axis = 2;  // boundary exactly at 0.5
+  EXPECT_EQ(PbsmJoinCount(a, b, options), 1u);
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,111 @@
+#include "hilbert/morton.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "hilbert/hilbert.h"
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+class MortonOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MortonOrderTest, BijectionOnFullGrid) {
+  const MortonCurve curve(GetParam());
+  const uint64_t n = curve.resolution();
+  std::set<uint64_t> seen;
+  for (uint32_t y = 0; y < n; ++y) {
+    for (uint32_t x = 0; x < n; ++x) {
+      const uint64_t d = curve.XyToD(x, y);
+      EXPECT_LT(d, n * n);
+      EXPECT_TRUE(seen.insert(d).second);
+      uint32_t rx = 0;
+      uint32_t ry = 0;
+      curve.DToXy(d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), n * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallOrders, MortonOrderTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MortonTest, KnownInterleavings) {
+  const MortonCurve curve(4);
+  EXPECT_EQ(curve.XyToD(0, 0), 0u);
+  EXPECT_EQ(curve.XyToD(1, 0), 1u);
+  EXPECT_EQ(curve.XyToD(0, 1), 2u);
+  EXPECT_EQ(curve.XyToD(1, 1), 3u);
+  EXPECT_EQ(curve.XyToD(2, 0), 4u);
+  EXPECT_EQ(curve.XyToD(3, 3), 15u);
+}
+
+TEST(MortonTest, HighOrderRoundTripSamples) {
+  const MortonCurve curve(31);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextU64(curve.resolution()));
+    const uint32_t y = static_cast<uint32_t>(rng.NextU64(curve.resolution()));
+    uint32_t rx = 0;
+    uint32_t ry = 0;
+    curve.DToXy(curve.XyToD(x, y), &rx, &ry);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+  }
+}
+
+TEST(MortonTest, ValueForRectQuantizesLikeHilbertHelper) {
+  const MortonCurve curve(8);
+  const Rect extent(0, 0, 1, 1);
+  const uint64_t max_d = curve.resolution() * curve.resolution();
+  EXPECT_LT(curve.ValueForRect(Rect(0.4, 0.4, 0.6, 0.6), extent), max_d);
+  EXPECT_EQ(curve.ValueForPoint({-3, -3}, extent), 0u);  // clamps
+}
+
+TEST(MortonVsHilbertTest, HilbertClustersBetter) {
+  // The design-choice check: the runs metric (contiguous curve segments
+  // covering a query box) should favor Hilbert over Z-order — which is why
+  // SS sorts by Hilbert value.
+  const int order = 6;
+  const HilbertCurve hilbert(order);
+  const MortonCurve morton(order);
+  const uint64_t n = hilbert.resolution();
+  Rng rng(11);
+
+  auto count_runs = [](std::vector<uint64_t>* ds) {
+    std::sort(ds->begin(), ds->end());
+    int runs = ds->empty() ? 0 : 1;
+    for (size_t i = 1; i < ds->size(); ++i) {
+      if ((*ds)[i] != (*ds)[i - 1] + 1) ++runs;
+    }
+    return runs;
+  };
+
+  int hilbert_runs = 0;
+  int morton_runs = 0;
+  const uint32_t k = 8;
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint32_t x0 = static_cast<uint32_t>(rng.NextU64(n - k));
+    const uint32_t y0 = static_cast<uint32_t>(rng.NextU64(n - k));
+    std::vector<uint64_t> h;
+    std::vector<uint64_t> m;
+    for (uint32_t dy = 0; dy < k; ++dy) {
+      for (uint32_t dx = 0; dx < k; ++dx) {
+        h.push_back(hilbert.XyToD(x0 + dx, y0 + dy));
+        m.push_back(morton.XyToD(x0 + dx, y0 + dy));
+      }
+    }
+    hilbert_runs += count_runs(&h);
+    morton_runs += count_runs(&m);
+  }
+  EXPECT_LT(hilbert_runs, morton_runs);
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,132 @@
+// Tests for PH incremental maintenance (AddRect/RemoveRect) and merging.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ph_histogram.h"
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "stats/dataset_stats.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeClustered(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::GaussianClusterRects("c", n, kUnit,
+                                   {{0.4, 0.7}, 0.1, 0.1, 1.0}, size, seed);
+}
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+bool SameCells(const PhHistogram& a, const PhHistogram& b, double tol) {
+  for (size_t i = 0; i < a.cells().size(); ++i) {
+    const auto& ca = a.cells()[i];
+    const auto& cb = b.cells()[i];
+    if (std::fabs(ca.num - cb.num) > tol) return false;
+    if (std::fabs(ca.area_sum - cb.area_sum) > tol) return false;
+    if (std::fabs(ca.w_sum - cb.w_sum) > tol) return false;
+    if (std::fabs(ca.h_sum - cb.h_sum) > tol) return false;
+    if (std::fabs(ca.num_x - cb.num_x) > tol) return false;
+    if (std::fabs(ca.area_sum_x - cb.area_sum_x) > tol) return false;
+    if (std::fabs(ca.w_sum_x - cb.w_sum_x) > tol) return false;
+    if (std::fabs(ca.h_sum_x - cb.h_sum_x) > tol) return false;
+  }
+  return true;
+}
+
+TEST(PhIncrementalTest, AddRectMatchesBatchBuild) {
+  const Dataset ds = MakeClustered(700, 3);
+  const auto batch = PhHistogram::Build(ds, kUnit, 5);
+  auto incremental = PhHistogram::CreateEmpty(kUnit, 5);
+  ASSERT_TRUE(incremental.ok());
+  for (const Rect& r : ds.rects()) incremental->AddRect(r);
+  EXPECT_EQ(incremental->dataset_size(), 700u);
+  EXPECT_DOUBLE_EQ(incremental->avg_span(), batch->avg_span());
+  EXPECT_TRUE(SameCells(*incremental, *batch, 0.0));
+}
+
+TEST(PhIncrementalTest, RemoveUndoesAdd) {
+  const Dataset base = MakeClustered(500, 5);
+  const Dataset extra = MakeUniform(120, 6);
+  const auto reference = PhHistogram::Build(base, kUnit, 4);
+  auto hist = PhHistogram::Build(base, kUnit, 4);
+  ASSERT_TRUE(hist.ok());
+  for (const Rect& r : extra.rects()) hist->AddRect(r);
+  for (const Rect& r : extra.rects()) hist->RemoveRect(r);
+  EXPECT_EQ(hist->dataset_size(), 500u);
+  EXPECT_TRUE(SameCells(*hist, *reference, 1e-9));
+  EXPECT_NEAR(hist->avg_span(), reference->avg_span(), 1e-9);
+}
+
+TEST(PhIncrementalTest, AvgSpanStaysConsistentUnderChurn) {
+  auto hist = PhHistogram::CreateEmpty(kUnit, 4);
+  ASSERT_TRUE(hist.ok());
+  const Dataset ds = MakeClustered(300, 7);
+  for (const Rect& r : ds.rects()) hist->AddRect(r);
+  // Remove the first half, re-add it; compare against the straight build.
+  for (size_t i = 0; i < 150; ++i) hist->RemoveRect(ds[i]);
+  for (size_t i = 0; i < 150; ++i) hist->AddRect(ds[i]);
+  const auto reference = PhHistogram::Build(ds, kUnit, 4);
+  EXPECT_NEAR(hist->avg_span(), reference->avg_span(), 1e-9);
+  EXPECT_TRUE(SameCells(*hist, *reference, 1e-9));
+}
+
+TEST(PhMergeTest, MergeEqualsBuildOfUnion) {
+  const Dataset part1 = MakeClustered(350, 11);
+  const Dataset part2 = MakeUniform(250, 12);
+  Dataset all("all");
+  for (const Rect& r : part1.rects()) all.Add(r);
+  for (const Rect& r : part2.rects()) all.Add(r);
+
+  auto h1 = PhHistogram::Build(part1, kUnit, 5);
+  const auto h2 = PhHistogram::Build(part2, kUnit, 5);
+  const auto h_all = PhHistogram::Build(all, kUnit, 5);
+  ASSERT_TRUE(h1->Merge(*h2).ok());
+  EXPECT_EQ(h1->dataset_size(), 600u);
+  EXPECT_NEAR(h1->avg_span(), h_all->avg_span(), 1e-12);
+  EXPECT_TRUE(SameCells(*h1, *h_all, 1e-9));
+}
+
+TEST(PhMergeTest, RejectsIncompatible) {
+  const Dataset ds = MakeUniform(50, 13);
+  auto h4 = PhHistogram::Build(ds, kUnit, 4);
+  const auto h5 = PhHistogram::Build(ds, kUnit, 5);
+  const auto naive = PhHistogram::Build(ds, kUnit, 4, PhVariant::kNaive);
+  EXPECT_FALSE(h4->Merge(*h5).ok());
+  EXPECT_FALSE(h4->Merge(*naive).ok());
+}
+
+TEST(PhIncrementalTest, EstimateTracksDataChanges) {
+  const Dataset a = MakeClustered(900, 15);
+  Dataset b = MakeUniform(900, 16);
+  const auto ha = PhHistogram::Build(a, kUnit, 4);
+  auto hb = PhHistogram::Build(b, kUnit, 4);
+  const Dataset more = MakeUniform(450, 17);
+  for (const Rect& r : more.rects()) {
+    b.Add(r);
+    hb->AddRect(r);
+  }
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  const auto est = EstimatePhJoinPairs(*ha, *hb);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(RelativeError(est.value(), actual), 0.35);
+}
+
+TEST(PhIncrementalTest, CrossingCountExposed) {
+  const Dataset ds = MakeClustered(400, 19);
+  const auto level0 = PhHistogram::Build(ds, kUnit, 0);
+  EXPECT_DOUBLE_EQ(level0->crossing_count(), 0.0);
+  const auto level6 = PhHistogram::Build(ds, kUnit, 6);
+  EXPECT_GT(level6->crossing_count(), 0.0);
+  EXPECT_LE(level6->crossing_count(), 400.0);
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,155 @@
+// Tests for the MX-CIF quadtree: invariants, query correctness and the
+// aligned quadtree join.
+
+#include "quadtree/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeWorkload(int which, size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  switch (which) {
+    case 0:
+      return gen::UniformRects("uniform", n, kUnit, size, seed);
+    case 1:
+      return gen::GaussianClusterRects(
+          "clustered", n, kUnit, {{0.4, 0.7}, 0.08, 0.08, 1.0}, size, seed);
+    case 2:
+      return gen::ClusteredPoints("points", n, kUnit,
+                                  {{{0.5, 0.5}, 0.2, 0.2, 1.0}}, 0.3, seed);
+    default: {
+      gen::SizeDist big{gen::SizeDist::Kind::kExponential, 0.04, 0.04, 0.0};
+      return gen::UniformRects("big", n, kUnit, big, seed);
+    }
+  }
+}
+
+class QuadtreeWorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadtreeWorkloadTest, InvariantsHold) {
+  Dataset ds = MakeWorkload(GetParam(), 2500, 41);
+  Quadtree tree(kUnit);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    tree.Insert(ds[i], static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), ds.size());
+  const Status s = tree.CheckInvariants();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(tree.num_nodes(), 1u);
+}
+
+TEST_P(QuadtreeWorkloadTest, RangeQueriesMatchBruteForce) {
+  const Dataset ds = MakeWorkload(GetParam(), 2000, 43);
+  Quadtree tree(kUnit);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    tree.Insert(ds[i], static_cast<int64_t>(i));
+  }
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x = rng.NextDouble();
+    const double y = rng.NextDouble();
+    const Rect q(x, y, std::min(1.0, x + 0.2), std::min(1.0, y + 0.2));
+    std::set<int64_t> expected;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      if (ds[i].Intersects(q)) expected.insert(static_cast<int64_t>(i));
+    }
+    std::set<int64_t> got;
+    tree.RangeQuery(q, [&got](int64_t id, const Rect&) {
+      EXPECT_TRUE(got.insert(id).second) << "duplicate result";
+    });
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(tree.CountRange(q), expected.size());
+  }
+}
+
+TEST_P(QuadtreeWorkloadTest, JoinMatchesNestedLoop) {
+  const Dataset a = MakeWorkload(GetParam(), 1200, 47);
+  const Dataset b = MakeWorkload((GetParam() + 1) % 4, 1200, 48);
+  Quadtree ta(kUnit);
+  Quadtree tb(kUnit);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ta.Insert(a[i], static_cast<int64_t>(i));
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    tb.Insert(b[i], static_cast<int64_t>(i));
+  }
+  const auto count = QuadtreeJoinCount(ta, tb);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), NestedLoopJoinCount(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, QuadtreeWorkloadTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(QuadtreeTest, JoinEmitsExactPairSet) {
+  const Dataset a = MakeWorkload(0, 400, 51);
+  const Dataset b = MakeWorkload(1, 400, 52);
+  Quadtree ta(kUnit);
+  Quadtree tb(kUnit);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ta.Insert(a[i], static_cast<int64_t>(i));
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    tb.Insert(b[i], static_cast<int64_t>(i));
+  }
+  std::set<std::pair<int64_t, int64_t>> expected;
+  NestedLoopJoin(a, b, [&expected](int64_t x, int64_t y) {
+    expected.emplace(x, y);
+  });
+  std::set<std::pair<int64_t, int64_t>> got;
+  ASSERT_TRUE(QuadtreeJoin(ta, tb, [&got](int64_t x, int64_t y) {
+                EXPECT_TRUE(got.emplace(x, y).second) << "duplicate pair";
+              }).ok());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(QuadtreeTest, JoinRequiresAlignedExtents) {
+  Quadtree a(kUnit);
+  Quadtree b(Rect(0, 0, 2, 2));
+  a.Insert(Rect(0.1, 0.1, 0.2, 0.2), 1);
+  b.Insert(Rect(0.1, 0.1, 0.2, 0.2), 1);
+  EXPECT_FALSE(QuadtreeJoinCount(a, b).ok());
+}
+
+TEST(QuadtreeTest, CenterStraddlersStayHigh) {
+  Quadtree tree(kUnit);
+  // A rect crossing the root's center lines cannot descend.
+  tree.Insert(Rect(0.4, 0.4, 0.6, 0.6), 1);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  // A tiny rect in a corner descends to max depth.
+  QuadtreeOptions options;
+  options.max_depth = 4;
+  Quadtree shallow(kUnit, options);
+  shallow.Insert(Rect(0.01, 0.01, 0.011, 0.011), 2);
+  EXPECT_EQ(shallow.num_nodes(), 5u);  // a chain of 4 children
+  EXPECT_TRUE(shallow.CheckInvariants().ok());
+}
+
+TEST(QuadtreeTest, BuildFromUsesDatasetExtent) {
+  const Dataset ds = MakeWorkload(0, 500, 53);
+  const Quadtree tree = Quadtree::BuildFrom(ds);
+  EXPECT_EQ(tree.size(), ds.size());
+  EXPECT_EQ(tree.extent(), ds.ComputeExtent());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(QuadtreeTest, EmptyTreesJoinToZero) {
+  Quadtree a(kUnit);
+  Quadtree b(kUnit);
+  EXPECT_EQ(QuadtreeJoinCount(a, b).value(), 0u);
+  a.Insert(Rect(0.1, 0.1, 0.2, 0.2), 1);
+  EXPECT_EQ(QuadtreeJoinCount(a, b).value(), 0u);
+}
+
+}  // namespace
+}  // namespace sjsel

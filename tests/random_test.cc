@@ -1,0 +1,106 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sjsel {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedDrawStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextU64(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedDrawCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++hits[rng.NextU64(8)];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 700);  // each bucket near 1000
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, DoubleInCustomInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble(-3.0, 2.0);
+    ASSERT_GE(d, -3.0);
+    ASSERT_LT(d, 2.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double e = rng.NextExponential(4.0);
+    ASSERT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,161 @@
+#include "geom/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+TEST(RectTest, BasicMeasures) {
+  const Rect r(1.0, 2.0, 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.margin(), 7.0);
+  EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+  EXPECT_FALSE(r.IsEmpty());
+}
+
+TEST(RectTest, EmptySentinel) {
+  Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  e.Extend(Rect(0, 0, 1, 1));
+  EXPECT_EQ(e, Rect(0, 0, 1, 1));
+}
+
+TEST(RectTest, PointRectIsDegenerate) {
+  const Rect p = Rect::FromPoint({0.5, 0.25});
+  EXPECT_DOUBLE_EQ(p.area(), 0.0);
+  EXPECT_TRUE(p.Intersects(Rect(0, 0, 1, 1)));
+  EXPECT_TRUE(Rect(0, 0, 1, 1).Contains(p));
+}
+
+TEST(RectTest, IntersectsIsSymmetricAndClosed) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(1, 1, 2, 2);  // touches at the corner
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  const Rect c(1.0001, 0, 2, 1);
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(RectTest, IntersectionGeometry) {
+  const Rect a(0, 0, 2, 2);
+  const Rect b(1, 1, 3, 3);
+  const Rect i = a.Intersection(b);
+  EXPECT_EQ(i, Rect(1, 1, 2, 2));
+  const Rect d(5, 5, 6, 6);
+  EXPECT_TRUE(a.Intersection(d).IsEmpty());
+}
+
+TEST(RectTest, ContainsAndEnlargement) {
+  const Rect a(0, 0, 4, 4);
+  EXPECT_TRUE(a.Contains(Rect(1, 1, 2, 2)));
+  EXPECT_FALSE(a.Contains(Rect(3, 3, 5, 5)));
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect(1, 1, 2, 2)), 0.0);
+  // Extending (0,0,4,4) to cover (4,0,6,4) yields a 6x4 box: +8 area.
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect(4, 0, 6, 4)), 8.0);
+}
+
+TEST(RectTest, ExtendGrowsInPlace) {
+  Rect a(0, 0, 1, 1);
+  a.Extend(Rect(2, -1, 3, 0.5));
+  EXPECT_EQ(a, Rect(0, -1, 3, 1));
+  a.Extend(Rect::Empty());  // no-op
+  EXPECT_EQ(a, Rect(0, -1, 3, 1));
+}
+
+// --- The Figure 2 intersection taxonomy ------------------------------------
+
+struct Fig2Case {
+  const char* label;
+  Rect a;
+  Rect b;
+  IntersectionKind kind;
+  int corners;    // corner-containment points
+  int crossings;  // edge-crossing points
+};
+
+class Figure2Test : public ::testing::TestWithParam<Fig2Case> {};
+
+TEST_P(Figure2Test, ClassificationAndPointCounts) {
+  const Fig2Case& c = GetParam();
+  EXPECT_EQ(ClassifyIntersection(c.a, c.b), c.kind) << c.label;
+  EXPECT_EQ(ClassifyIntersection(c.b, c.a), c.kind) << c.label;
+  EXPECT_EQ(CountCornerContainments(c.a, c.b), c.corners) << c.label;
+  EXPECT_EQ(CountEdgeCrossings(c.a, c.b), c.crossings) << c.label;
+  if (c.kind != IntersectionKind::kDisjoint) {
+    // The GH correctness argument: every intersecting pair contributes
+    // exactly 4 intersection points, split between the two mechanisms.
+    EXPECT_EQ(c.corners + c.crossings, 4) << c.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, Figure2Test,
+    ::testing::Values(
+        // Cases 1-4: corner overlaps (one corner of each inside the other).
+        Fig2Case{"corner_ne", Rect(0, 0, 2, 2), Rect(1, 1, 3, 3),
+                 IntersectionKind::kCornerOverlap, 2, 2},
+        Fig2Case{"corner_nw", Rect(1, 0, 3, 2), Rect(0, 1, 2, 3),
+                 IntersectionKind::kCornerOverlap, 2, 2},
+        Fig2Case{"corner_se", Rect(0, 1, 2, 3), Rect(1, 0, 3, 2),
+                 IntersectionKind::kCornerOverlap, 2, 2},
+        Fig2Case{"corner_sw", Rect(1, 1, 3, 3), Rect(0, 0, 2, 2),
+                 IntersectionKind::kCornerOverlap, 2, 2},
+        // Cases 5-6: one rect's slab passes through the other.
+        Fig2Case{"vertical_through", Rect(1, -1, 2, 4), Rect(0, 0, 3, 3),
+                 IntersectionKind::kEdgeThrough, 0, 4},
+        Fig2Case{"horizontal_through", Rect(-1, 1, 4, 2), Rect(0, 0, 3, 3),
+                 IntersectionKind::kEdgeThrough, 0, 4},
+        // Cases 7-10: one side poking in (2 corners of one rect inside).
+        Fig2Case{"poke_from_left", Rect(-1, 1, 1, 2), Rect(0, 0, 3, 3),
+                 IntersectionKind::kPartialContain, 2, 2},
+        Fig2Case{"poke_from_right", Rect(2, 1, 4, 2), Rect(0, 0, 3, 3),
+                 IntersectionKind::kPartialContain, 2, 2},
+        Fig2Case{"poke_from_below", Rect(1, -1, 2, 1), Rect(0, 0, 3, 3),
+                 IntersectionKind::kPartialContain, 2, 2},
+        Fig2Case{"poke_from_above", Rect(1, 2, 2, 4), Rect(0, 0, 3, 3),
+                 IntersectionKind::kPartialContain, 2, 2},
+        // Cases 11-12: containment.
+        Fig2Case{"b_inside_a", Rect(0, 0, 3, 3), Rect(1, 1, 2, 2),
+                 IntersectionKind::kContainment, 4, 0},
+        Fig2Case{"a_inside_b", Rect(1, 1, 2, 2), Rect(0, 0, 3, 3),
+                 IntersectionKind::kContainment, 4, 0},
+        // Disjoint.
+        Fig2Case{"disjoint", Rect(0, 0, 1, 1), Rect(2, 2, 3, 3),
+                 IntersectionKind::kDisjoint, 0, 0}),
+    [](const ::testing::TestParamInfo<Fig2Case>& info) {
+      return info.param.label;
+    });
+
+TEST(IntersectionPointsPropertyTest, RandomGeneralPositionPairsAlwaysSumTo4) {
+  Rng rng(99);
+  int intersecting = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto random_rect = [&rng]() {
+      const double x0 = rng.NextDouble();
+      const double y0 = rng.NextDouble();
+      const double x1 = x0 + rng.NextDouble() * 0.5 + 1e-9;
+      const double y1 = y0 + rng.NextDouble() * 0.5 + 1e-9;
+      return Rect(x0, y0, x1, y1);
+    };
+    const Rect a = random_rect();
+    const Rect b = random_rect();
+    if (!a.Intersects(b)) continue;
+    ++intersecting;
+    EXPECT_EQ(CountCornerContainments(a, b) + CountEdgeCrossings(a, b), 4)
+        << a.ToString() << " vs " << b.ToString();
+  }
+  EXPECT_GT(intersecting, 100);  // the sweep actually exercised the property
+}
+
+TEST(RectTest, ToStringMentionsBounds) {
+  const std::string s = Rect(0.5, 1, 2, 3).ToString();
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sjsel

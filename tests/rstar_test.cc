@@ -1,0 +1,130 @@
+// Tests for the R*-style split strategy: structural invariants, query
+// correctness, and the index-quality improvement over the quadratic split.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/generators.h"
+#include "rtree/rtree.h"
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeWorkload(int which, size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  switch (which) {
+    case 0:
+      return gen::UniformRects("uniform", n, kUnit, size, seed);
+    case 1:
+      return gen::GaussianClusterRects(
+          "clustered", n, kUnit, {{0.4, 0.7}, 0.08, 0.08, 1.0}, size, seed);
+    default: {
+      gen::PolylineSpec spec;
+      return gen::RandomWalkPolylines("lines", n, kUnit, spec, seed);
+    }
+  }
+}
+
+RTree BuildRStar(const Dataset& ds) {
+  RTreeOptions options;
+  options.split = SplitStrategy::kRStar;
+  RTree tree(options);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    tree.Insert(ds[i], static_cast<int64_t>(i));
+  }
+  return tree;
+}
+
+class RStarWorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RStarWorkloadTest, InvariantsHold) {
+  const Dataset ds = MakeWorkload(GetParam(), 3000, 51);
+  const RTree tree = BuildRStar(ds);
+  EXPECT_EQ(tree.size(), ds.size());
+  const Status s = tree.CheckInvariants(/*enforce_min_fill=*/true);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST_P(RStarWorkloadTest, QueriesMatchBruteForce) {
+  const Dataset ds = MakeWorkload(GetParam(), 2000, 53);
+  const RTree tree = BuildRStar(ds);
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x = rng.NextDouble();
+    const double y = rng.NextDouble();
+    const Rect q(x, y, std::min(1.0, x + 0.2), std::min(1.0, y + 0.2));
+    std::set<int64_t> expected;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      if (ds[i].Intersects(q)) expected.insert(static_cast<int64_t>(i));
+    }
+    const auto got = tree.SearchRange(q);
+    EXPECT_EQ(std::set<int64_t>(got.begin(), got.end()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, RStarWorkloadTest,
+                         ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0: return std::string("Uniform");
+                             case 1: return std::string("Clustered");
+                             default: return std::string("Polylines");
+                           }
+                         });
+
+// Sum of leaf-node MBR overlaps — the quantity the R* split minimizes; a
+// standard index-quality proxy (less leaf overlap = fewer node reads per
+// query).
+double LeafOverlap(const RTree::Node& node) {
+  double overlap = 0.0;
+  if (!node.is_leaf) {
+    for (const auto& child : node.children) {
+      overlap += LeafOverlap(*child);
+    }
+    if (node.level == 1) {
+      // Children are leaves: measure pairwise overlap of their MBRs.
+      for (size_t i = 0; i < node.rects.size(); ++i) {
+        for (size_t j = i + 1; j < node.rects.size(); ++j) {
+          const Rect inter = node.rects[i].Intersection(node.rects[j]);
+          if (!inter.IsEmpty()) overlap += inter.area();
+        }
+      }
+    }
+  }
+  return overlap;
+}
+
+TEST(RStarQualityTest, LessLeafOverlapThanQuadraticOnClusteredData) {
+  const Dataset ds = MakeWorkload(1, 6000, 55);
+  RTreeOptions quadratic;
+  quadratic.split = SplitStrategy::kQuadratic;
+  RTreeOptions rstar;
+  rstar.split = SplitStrategy::kRStar;
+  const RTree tq = RTree::BuildByInsertion(ds, quadratic);
+  RTree tr(rstar);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    tr.Insert(ds[i], static_cast<int64_t>(i));
+  }
+  EXPECT_LT(LeafOverlap(*tr.root()), LeafOverlap(*tq.root()));
+}
+
+TEST(RStarQualityTest, SmallFanoutDeepTreeStillValid) {
+  RTreeOptions options;
+  options.split = SplitStrategy::kRStar;
+  options.max_entries = 5;
+  const Dataset ds = MakeWorkload(0, 800, 57);
+  RTree tree(options);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    tree.Insert(ds[i], static_cast<int64_t>(i));
+  }
+  EXPECT_GE(tree.height(), 4);
+  EXPECT_TRUE(tree.CheckInvariants(true).ok());
+  EXPECT_EQ(tree.CountRange(kUnit), ds.size());
+}
+
+}  // namespace
+}  // namespace sjsel

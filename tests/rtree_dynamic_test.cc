@@ -1,0 +1,187 @@
+// Tests for dynamic R-tree operations: Delete (with tree condensation) and
+// k-nearest-neighbor search.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "datagen/generators.h"
+#include "rtree/rtree.h"
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeWorkload(size_t n, uint64_t seed, bool clustered = false) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  if (clustered) {
+    return gen::GaussianClusterRects(
+        "c", n, kUnit, {{0.4, 0.7}, 0.08, 0.08, 1.0}, size, seed);
+  }
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+TEST(RTreeDeleteTest, DeleteMissingEntryIsNotFound) {
+  RTree tree;
+  tree.Insert(Rect(0.1, 0.1, 0.2, 0.2), 1);
+  EXPECT_EQ(tree.Delete(Rect(0.1, 0.1, 0.2, 0.2), 99).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tree.Delete(Rect(0.5, 0.5, 0.6, 0.6), 1).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeDeleteTest, DeleteSingleEntry) {
+  RTree tree;
+  tree.Insert(Rect(0.1, 0.1, 0.2, 0.2), 7);
+  ASSERT_TRUE(tree.Delete(Rect(0.1, 0.1, 0.2, 0.2), 7).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.SearchRange(kUnit).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeDeleteTest, DeleteHalfThenQueriesStayCorrect) {
+  const Dataset ds = MakeWorkload(3000, 21);
+  RTree tree = RTree::BuildByInsertion(ds);
+  // Delete every even-indexed entry.
+  for (size_t i = 0; i < ds.size(); i += 2) {
+    const Status s = tree.Delete(ds[i], static_cast<int64_t>(i));
+    ASSERT_TRUE(s.ok()) << "i=" << i << ": " << s.ToString();
+  }
+  EXPECT_EQ(tree.size(), ds.size() / 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x = rng.NextDouble();
+    const double y = rng.NextDouble();
+    const Rect q(x, y, std::min(1.0, x + 0.15), std::min(1.0, y + 0.15));
+    std::set<int64_t> expected;
+    for (size_t i = 1; i < ds.size(); i += 2) {
+      if (ds[i].Intersects(q)) expected.insert(static_cast<int64_t>(i));
+    }
+    const auto got = tree.SearchRange(q);
+    EXPECT_EQ(std::set<int64_t>(got.begin(), got.end()), expected);
+  }
+}
+
+TEST(RTreeDeleteTest, DeleteEverythingLeavesEmptyValidTree) {
+  const Dataset ds = MakeWorkload(1200, 23, /*clustered=*/true);
+  RTree tree = RTree::BuildByInsertion(ds);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(tree.Delete(ds[i], static_cast<int64_t>(i)).ok()) << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // The tree is still usable afterwards.
+  tree.Insert(Rect(0.3, 0.3, 0.4, 0.4), 5);
+  EXPECT_EQ(tree.CountRange(kUnit), 1u);
+}
+
+TEST(RTreeDeleteTest, InterleavedInsertDeleteChurn) {
+  const Dataset ds = MakeWorkload(2000, 25);
+  RTree tree;
+  std::set<size_t> live;
+  Rng rng(7);
+  size_t next = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const bool insert = live.empty() || (next < ds.size() && rng.NextBernoulli(0.6));
+    if (insert && next < ds.size()) {
+      tree.Insert(ds[next], static_cast<int64_t>(next));
+      live.insert(next);
+      ++next;
+    } else if (!live.empty()) {
+      const size_t pick_pos = rng.NextU64(live.size());
+      auto it = live.begin();
+      std::advance(it, pick_pos);
+      ASSERT_TRUE(tree.Delete(ds[*it], static_cast<int64_t>(*it)).ok());
+      live.erase(it);
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  const Status s = tree.CheckInvariants();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  const auto all = tree.SearchRange(kUnit);
+  std::set<int64_t> got(all.begin(), all.end());
+  std::set<int64_t> expected(live.begin(), live.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(RTreeKnnTest, EmptyAndDegenerateCases) {
+  RTree tree;
+  EXPECT_TRUE(tree.NearestNeighbors({0.5, 0.5}, 3).empty());
+  tree.Insert(Rect(0.1, 0.1, 0.2, 0.2), 1);
+  EXPECT_TRUE(tree.NearestNeighbors({0.5, 0.5}, 0).empty());
+  const auto one = tree.NearestNeighbors({0.5, 0.5}, 5);
+  ASSERT_EQ(one.size(), 1u);  // fewer than k when the tree is small
+  EXPECT_EQ(one[0].id, 1);
+}
+
+TEST(RTreeKnnTest, DistanceOfContainingRectIsZero) {
+  RTree tree;
+  tree.Insert(Rect(0.4, 0.4, 0.6, 0.6), 1);
+  tree.Insert(Rect(0.8, 0.8, 0.9, 0.9), 2);
+  const auto nn = tree.NearestNeighbors({0.5, 0.5}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 1);
+  EXPECT_DOUBLE_EQ(nn[0].distance, 0.0);
+}
+
+TEST(RTreeKnnTest, MatchesBruteForceOnRandomWorkloads) {
+  for (const bool clustered : {false, true}) {
+    const Dataset ds = MakeWorkload(2500, 29, clustered);
+    const RTree tree = RTree::BulkLoadStr(RTree::DatasetEntries(ds));
+    Rng rng(11);
+    for (int trial = 0; trial < 20; ++trial) {
+      const Point q{rng.NextDouble(), rng.NextDouble()};
+      const int k = 1 + static_cast<int>(rng.NextU64(10));
+      // Brute force distances.
+      std::vector<double> dists;
+      dists.reserve(ds.size());
+      for (const Rect& r : ds.rects()) {
+        dists.push_back(std::sqrt(r.DistanceSqToPoint(q)));
+      }
+      std::vector<double> sorted = dists;
+      std::sort(sorted.begin(), sorted.end());
+
+      const auto nn = tree.NearestNeighbors(q, k);
+      ASSERT_EQ(nn.size(), static_cast<size_t>(k));
+      for (int i = 0; i < k; ++i) {
+        // Distances must match the k smallest brute-force distances (ids
+        // may differ under ties).
+        EXPECT_NEAR(nn[i].distance, sorted[i], 1e-12)
+            << "trial " << trial << " rank " << i;
+        // And each reported distance is consistent with its own rect.
+        EXPECT_NEAR(nn[i].distance,
+                    std::sqrt(nn[i].rect.DistanceSqToPoint(q)), 1e-12);
+      }
+      // Ascending order.
+      for (int i = 1; i < k; ++i) {
+        EXPECT_LE(nn[i - 1].distance, nn[i].distance);
+      }
+    }
+  }
+}
+
+TEST(RTreeKnnTest, WorksAfterDeletions) {
+  const Dataset ds = MakeWorkload(1000, 31);
+  RTree tree = RTree::BuildByInsertion(ds);
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Delete(ds[i], static_cast<int64_t>(i)).ok());
+  }
+  const Point q{0.5, 0.5};
+  const auto nn = tree.NearestNeighbors(q, 5);
+  ASSERT_EQ(nn.size(), 5u);
+  for (const auto& neighbor : nn) {
+    EXPECT_GE(neighbor.id, 500);  // only surviving entries
+  }
+}
+
+}  // namespace
+}  // namespace sjsel

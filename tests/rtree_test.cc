@@ -1,0 +1,201 @@
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/generators.h"
+#include "util/random.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeWorkload(int which, size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  switch (which) {
+    case 0:
+      return gen::UniformRects("uniform", n, kUnit, size, seed);
+    case 1:
+      return gen::GaussianClusterRects(
+          "clustered", n, kUnit, {{0.4, 0.7}, 0.08, 0.08, 1.0}, size, seed);
+    case 2:
+      return gen::ClusteredPoints("points", n, kUnit,
+                                  {{{0.5, 0.5}, 0.2, 0.2, 1.0}}, 0.3, seed);
+    default: {
+      gen::PolylineSpec spec;
+      return gen::RandomWalkPolylines("lines", n, kUnit, spec, seed);
+    }
+  }
+}
+
+std::set<int64_t> BruteForceQuery(const Dataset& ds, const Rect& q) {
+  std::set<int64_t> out;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (ds[i].Intersects(q)) out.insert(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+enum class BuildKind { kInsert, kStr, kHilbert };
+
+struct RTreeCase {
+  int workload;
+  BuildKind build;
+};
+
+class RTreeParamTest : public ::testing::TestWithParam<RTreeCase> {
+ protected:
+  RTree Build(const Dataset& ds) {
+    switch (GetParam().build) {
+      case BuildKind::kInsert:
+        return RTree::BuildByInsertion(ds);
+      case BuildKind::kStr:
+        return RTree::BulkLoadStr(RTree::DatasetEntries(ds));
+      case BuildKind::kHilbert:
+        return RTree::BulkLoadHilbert(RTree::DatasetEntries(ds));
+    }
+    return RTree();
+  }
+};
+
+TEST_P(RTreeParamTest, InvariantsHold) {
+  const Dataset ds = MakeWorkload(GetParam().workload, 3000, 17);
+  const RTree tree = Build(ds);
+  EXPECT_EQ(tree.size(), ds.size());
+  const bool enforce_min = GetParam().build == BuildKind::kInsert;
+  const Status s = tree.CheckInvariants(enforce_min);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_GT(tree.num_nodes(), 1u);
+  EXPECT_GT(tree.NominalBytes(), 0u);
+}
+
+TEST_P(RTreeParamTest, RangeQueriesMatchBruteForce) {
+  const Dataset ds = MakeWorkload(GetParam().workload, 2000, 23);
+  const RTree tree = Build(ds);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x = rng.NextDouble();
+    const double y = rng.NextDouble();
+    const double w = rng.NextDouble() * 0.3;
+    const double h = rng.NextDouble() * 0.3;
+    const Rect q(x, y, std::min(1.0, x + w), std::min(1.0, y + h));
+    const std::set<int64_t> expected = BruteForceQuery(ds, q);
+    const std::vector<int64_t> got = tree.SearchRange(q);
+    const std::set<int64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got.size(), got_set.size()) << "duplicate results";
+    EXPECT_EQ(got_set, expected);
+    EXPECT_EQ(tree.CountRange(q), expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsAndBuilds, RTreeParamTest,
+    ::testing::Values(RTreeCase{0, BuildKind::kInsert},
+                      RTreeCase{1, BuildKind::kInsert},
+                      RTreeCase{2, BuildKind::kInsert},
+                      RTreeCase{3, BuildKind::kInsert},
+                      RTreeCase{0, BuildKind::kStr},
+                      RTreeCase{1, BuildKind::kStr},
+                      RTreeCase{2, BuildKind::kStr},
+                      RTreeCase{3, BuildKind::kStr},
+                      RTreeCase{0, BuildKind::kHilbert},
+                      RTreeCase{1, BuildKind::kHilbert},
+                      RTreeCase{2, BuildKind::kHilbert},
+                      RTreeCase{3, BuildKind::kHilbert}),
+    [](const ::testing::TestParamInfo<RTreeCase>& info) {
+      std::string name;
+      switch (info.param.workload) {
+        case 0: name = "Uniform"; break;
+        case 1: name = "Clustered"; break;
+        case 2: name = "Points"; break;
+        default: name = "Polylines"; break;
+      }
+      switch (info.param.build) {
+        case BuildKind::kInsert: name += "Insert"; break;
+        case BuildKind::kStr: name += "Str"; break;
+        case BuildKind::kHilbert: name += "Hilbert"; break;
+      }
+      return name;
+    });
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.SearchRange(Rect(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(Rect(0.1, 0.1, 0.2, 0.2), 99);
+  EXPECT_EQ(tree.size(), 1u);
+  const auto hits = tree.SearchRange(Rect(0, 0, 1, 1));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 99);
+  EXPECT_TRUE(tree.SearchRange(Rect(0.5, 0.5, 0.6, 0.6)).empty());
+}
+
+TEST(RTreeTest, DuplicateRectsAllRetained) {
+  RTree tree;
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(Rect(0.4, 0.4, 0.5, 0.5), i);
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_TRUE(tree.CheckInvariants(true).ok());
+  EXPECT_EQ(tree.CountRange(Rect(0.45, 0.45, 0.46, 0.46)), 500u);
+}
+
+TEST(RTreeTest, SmallFanoutForcesDeepTree) {
+  RTreeOptions options;
+  options.max_entries = 4;
+  Dataset ds = MakeWorkload(0, 1000, 31);
+  RTree tree(options);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    tree.Insert(ds[i], static_cast<int64_t>(i));
+  }
+  EXPECT_GE(tree.height(), 4);
+  EXPECT_TRUE(tree.CheckInvariants(true).ok());
+}
+
+TEST(RTreeTest, OptionsValidation) {
+  RTreeOptions options;
+  options.max_entries = 2;  // below the minimum of 4
+  RTree tree(options);
+  EXPECT_EQ(tree.options().max_entries, 4);
+  RTreeOptions defaults;
+  EXPECT_EQ(defaults.EffectiveMin(), 20);  // 40% of 50
+  defaults.min_entries = 5;
+  EXPECT_EQ(defaults.EffectiveMin(), 5);
+}
+
+TEST(RTreeTest, BulkLoadOfEmptyAndTinyInputs) {
+  EXPECT_EQ(RTree::BulkLoadStr({}).size(), 0u);
+  EXPECT_EQ(RTree::BulkLoadHilbert({}).size(), 0u);
+  std::vector<RTree::Entry> one = {{Rect(0, 0, 1, 1), 7}};
+  const RTree tree = RTree::BulkLoadStr(one);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.SearchRange(Rect(0.5, 0.5, 0.6, 0.6)).size(), 1u);
+}
+
+TEST(RTreeTest, PackedTreesAreShallowerOrEqual) {
+  const Dataset ds = MakeWorkload(1, 5000, 37);
+  const RTree inserted = RTree::BuildByInsertion(ds);
+  const RTree packed = RTree::BulkLoadStr(RTree::DatasetEntries(ds));
+  EXPECT_LE(packed.height(), inserted.height());
+  EXPECT_LE(packed.num_nodes(), inserted.num_nodes());
+}
+
+TEST(RTreeTest, NominalBytesScalesWithNodes) {
+  const Dataset ds = MakeWorkload(0, 2000, 41);
+  const RTree tree = RTree::BuildByInsertion(ds);
+  EXPECT_EQ(tree.NominalBytes(),
+            tree.num_nodes() * (16 + 50 * 40));
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,193 @@
+#include "core/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/generators.h"
+#include "join/nested_loop.h"
+#include "stats/dataset_stats.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+Dataset MakeUniform(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::UniformRects("u", n, kUnit, size, seed);
+}
+
+Dataset MakeClustered(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  return gen::GaussianClusterRects("c", n, kUnit,
+                                   {{0.4, 0.7}, 0.1, 0.1, 1.0}, size, seed);
+}
+
+TEST(SamplingMethodTest, Names) {
+  EXPECT_EQ(SamplingMethodName(SamplingMethod::kRegular), "RS");
+  EXPECT_EQ(SamplingMethodName(SamplingMethod::kRandomWithReplacement),
+            "RSWR");
+  EXPECT_EQ(SamplingMethodName(SamplingMethod::kSorted), "SS");
+}
+
+class DrawSizeTest
+    : public ::testing::TestWithParam<std::tuple<SamplingMethod, double>> {};
+
+TEST_P(DrawSizeTest, SampleSizeMatchesFraction) {
+  const auto [method, frac] = GetParam();
+  const Dataset ds = MakeUniform(1000, 3);
+  const auto idx = DrawSampleIndices(ds.size(), frac, method, 5, &ds);
+  EXPECT_EQ(idx.size(),
+            static_cast<size_t>(std::llround(frac * ds.size())));
+  for (size_t i : idx) EXPECT_LT(i, ds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndFractions, DrawSizeTest,
+    ::testing::Combine(
+        ::testing::Values(SamplingMethod::kRegular,
+                          SamplingMethod::kRandomWithReplacement,
+                          SamplingMethod::kSorted),
+        ::testing::Values(0.001, 0.01, 0.1, 0.5, 1.0)));
+
+TEST(DrawTest, TinyFractionYieldsAtLeastOne) {
+  const Dataset ds = MakeUniform(50, 7);
+  const auto idx = DrawSampleIndices(ds.size(), 1e-9,
+                                     SamplingMethod::kRegular, 1, &ds);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(DrawTest, RegularSamplingIsEvenlySpacedAndDuplicateFree) {
+  const Dataset ds = MakeUniform(1000, 9);
+  const auto idx =
+      DrawSampleIndices(ds.size(), 0.1, SamplingMethod::kRegular, 1, &ds);
+  ASSERT_EQ(idx.size(), 100u);
+  std::set<size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), idx.size());
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  // Every 10th item.
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 10u);
+  EXPECT_EQ(idx[99], 990u);
+}
+
+TEST(DrawTest, RswrIsDeterministicPerSeedAndMayRepeat) {
+  const Dataset ds = MakeUniform(100, 11);
+  const auto a = DrawSampleIndices(
+      ds.size(), 0.5, SamplingMethod::kRandomWithReplacement, 42, &ds);
+  const auto b = DrawSampleIndices(
+      ds.size(), 0.5, SamplingMethod::kRandomWithReplacement, 42, &ds);
+  EXPECT_EQ(a, b);
+  const auto c = DrawSampleIndices(
+      ds.size(), 0.5, SamplingMethod::kRandomWithReplacement, 43, &ds);
+  EXPECT_NE(a, c);
+}
+
+TEST(DrawTest, SortedSamplingFollowsHilbertOrder) {
+  // A 100% "sorted sample" is a permutation of the input; a 10% one picks
+  // spread-out positions of the Hilbert order, giving spatial coverage:
+  // its bounding box should cover most of the data extent even for a tiny
+  // sample.
+  const Dataset ds = MakeClustered(2000, 13);
+  const Dataset sample = DrawSample(ds, 0.01, SamplingMethod::kSorted, 1);
+  ASSERT_EQ(sample.size(), 20u);
+  const Rect se = sample.ComputeExtent();
+  const Rect de = ds.ComputeExtent();
+  EXPECT_GT(se.area(), 0.3 * de.area());
+}
+
+TEST(DrawTest, FullFractionIsWholeDataset) {
+  const Dataset ds = MakeUniform(200, 15);
+  for (auto method : {SamplingMethod::kRegular, SamplingMethod::kSorted}) {
+    const Dataset sample = DrawSample(ds, 1.0, method, 1);
+    ASSERT_EQ(sample.size(), ds.size());
+    // Same multiset of rects (order may differ for SS).
+    auto a = ds.rects();
+    auto b = sample.rects();
+    auto lt = [](const Rect& x, const Rect& y) {
+      return std::tie(x.min_x, x.min_y, x.max_x, x.max_y) <
+             std::tie(y.min_x, y.min_y, y.max_x, y.max_y);
+    };
+    std::sort(a.begin(), a.end(), lt);
+    std::sort(b.begin(), b.end(), lt);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(EstimateBySamplingTest, ValidatesArguments) {
+  const Dataset a = MakeUniform(100, 17);
+  SamplingOptions options;
+  options.frac_a = 0.0;
+  EXPECT_FALSE(EstimateBySampling(a, a, options).ok());
+  options.frac_a = 0.5;
+  options.frac_b = 1.5;
+  EXPECT_FALSE(EstimateBySampling(a, a, options).ok());
+  options.frac_b = 0.5;
+  EXPECT_FALSE(EstimateBySampling(Dataset("e"), a, options).ok());
+}
+
+TEST(EstimateBySamplingTest, FullSamplesReproduceExactJoin) {
+  const Dataset a = MakeUniform(800, 19);
+  const Dataset b = MakeClustered(800, 20);
+  SamplingOptions options;
+  options.frac_a = 1.0;
+  options.frac_b = 1.0;
+  options.method = SamplingMethod::kRegular;
+  const auto est = EstimateBySampling(a, b, options);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  EXPECT_DOUBLE_EQ(est->estimated_pairs, actual);
+  EXPECT_EQ(est->sample_pairs, static_cast<uint64_t>(actual));
+  EXPECT_EQ(est->sample_a_size, a.size());
+}
+
+class SamplingAccuracyTest
+    : public ::testing::TestWithParam<SamplingMethod> {};
+
+TEST_P(SamplingAccuracyTest, TenPercentSamplesLandInTheRightBallpark) {
+  // The paper's summary: ~10% samples give usable estimates. Sampling is
+  // noisy, so assert a generous 60% band on a fairly dense join.
+  const Dataset a = MakeUniform(4000, 21);
+  const Dataset b = MakeUniform(4000, 22);
+  const double actual = static_cast<double>(NestedLoopJoinCount(a, b));
+  ASSERT_GT(actual, 1000.0);
+  SamplingOptions options;
+  options.method = GetParam();
+  options.frac_a = 0.1;
+  options.frac_b = 0.1;
+  options.seed = 5;
+  const auto est = EstimateBySampling(a, b, options);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(RelativeError(est->estimated_pairs, actual), 0.6)
+      << "estimated " << est->estimated_pairs << " actual " << actual;
+  EXPECT_GT(est->TotalSeconds(), 0.0);
+  EXPECT_EQ(est->sample_a_size, 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, SamplingAccuracyTest,
+    ::testing::Values(SamplingMethod::kRegular,
+                      SamplingMethod::kRandomWithReplacement,
+                      SamplingMethod::kSorted),
+    [](const ::testing::TestParamInfo<SamplingMethod>& info) {
+      return SamplingMethodName(info.param);
+    });
+
+TEST(EstimateBySamplingTest, SelectivityIsNormalized) {
+  const Dataset a = MakeUniform(500, 23);
+  const Dataset b = MakeUniform(500, 24);
+  SamplingOptions options;
+  options.frac_a = 0.2;
+  options.frac_b = 0.2;
+  const auto est = EstimateBySampling(a, b, options);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->selectivity,
+              est->estimated_pairs / (500.0 * 500.0), 1e-15);
+}
+
+}  // namespace
+}  // namespace sjsel

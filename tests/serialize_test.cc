@@ -1,0 +1,110 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace sjsel {
+namespace {
+
+TEST(BinaryRoundTripTest, Scalars) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(123456789u);
+  w.PutU64(0xdeadbeefcafef00dULL);
+  w.PutI64(-42);
+  w.PutDouble(3.141592653589793);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().value(), 7);
+  EXPECT_EQ(r.GetU32().value(), 123456789u);
+  EXPECT_EQ(r.GetU64().value(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(r.GetI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.141592653589793);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryRoundTripTest, StringsAndVectors) {
+  BinaryWriter w;
+  w.PutString("hello world");
+  w.PutString("");
+  w.PutDoubleVector({1.5, -2.5, 0.0});
+  w.PutDoubleVector({});
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetString().value(), "hello world");
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetDoubleVector().value(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_TRUE(r.GetDoubleVector().value().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryReaderTest, TruncationIsCorruption) {
+  BinaryWriter w;
+  w.PutU32(1);
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.GetU32().ok());
+  const auto after_end = r.GetU64();
+  ASSERT_FALSE(after_end.ok());
+  EXPECT_EQ(after_end.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryReaderTest, TruncatedStringIsCorruption) {
+  BinaryWriter w;
+  w.PutU32(1000);  // claims a 1000-byte string follows, but nothing does
+  BinaryReader r(w.buffer());
+  const auto s = r.GetString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryReaderTest, OversizedVectorLengthIsCorruption) {
+  BinaryWriter w;
+  w.PutU64(uint64_t{1} << 60);  // absurd element count
+  BinaryReader r(w.buffer());
+  const auto v = r.GetDoubleVector();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Crc32Test, KnownVectorAndSensitivity) {
+  // The classic CRC-32 check value for "123456789".
+  const std::string data = "123456789";
+  EXPECT_EQ(Crc32(data.data(), data.size()), 0xcbf43926u);
+
+  std::string tweaked = data;
+  tweaked[4] ^= 1;
+  EXPECT_NE(Crc32(tweaked.data(), tweaked.size()),
+            Crc32(data.data(), data.size()));
+}
+
+TEST(FileIoTest, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sjsel_serialize_test.bin";
+  const std::string payload = "some\0binary\xff payload";
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  const auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIoError) {
+  const auto read = ReadFile("/nonexistent/definitely/missing.bin");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinaryReaderTest, Crc32PrefixMatchesWriter) {
+  BinaryWriter w;
+  w.PutU64(99);
+  w.PutString("payload");
+  const uint32_t expected = w.Crc32();
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.Crc32Prefix(w.buffer().size()).value(), expected);
+  const auto too_long = r.Crc32Prefix(w.buffer().size() + 1);
+  EXPECT_FALSE(too_long.ok());
+}
+
+}  // namespace
+}  // namespace sjsel

@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sjsel {
+namespace {
+
+TEST(TextTableTest, RendersHeaderRuleAndRows) {
+  TextTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("|-"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  // Columns are padded to equal width: every line has the same length.
+  size_t line_len = std::string::npos;
+  size_t start = 0;
+  while (start < s.size()) {
+    const size_t end = s.find('\n', start);
+    const size_t len = end - start;
+    if (line_len == std::string::npos) {
+      line_len = len;
+    } else {
+      EXPECT_EQ(len, line_len);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"only one"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("only one"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TextTableTest, WorksWithoutHeader) {
+  TextTable table;
+  table.AddRow({"x", "y"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("| x | y |"), std::string::npos);
+  EXPECT_EQ(s.find("|-"), std::string::npos);  // no rule without header
+}
+
+TEST(FormatDoubleTest, MidRangeUsesFixed) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+  EXPECT_EQ(FormatDouble(0.0, 2), "0.00");
+  EXPECT_EQ(FormatDouble(-12.5, 1), "-12.5");
+}
+
+TEST(FormatDoubleTest, ExtremesUseScientific) {
+  EXPECT_NE(FormatDouble(1.5e-7, 3).find('e'), std::string::npos);
+  EXPECT_NE(FormatDouble(2.5e9, 3).find('e'), std::string::npos);
+}
+
+TEST(FormatPercentTest, Formats) {
+  EXPECT_EQ(FormatPercent(0.0734), "7.34%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.001, 1), "0.1%");
+}
+
+}  // namespace
+}  // namespace sjsel
