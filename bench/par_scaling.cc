@@ -1,0 +1,192 @@
+// Parallel scaling harness: build/join throughput of the threaded hot
+// paths at 1/2/4/8 threads, reported as speedup over the 1-thread run of
+// the same code path. Not a paper figure — this measures the concurrency
+// layer (docs/ARCHITECTURE.md, "Threading model") that the paper-scale
+// workloads ride on.
+//
+// Workloads (100k rects each unless SJSEL_SCALE changes it):
+//   gh-build    GhHistogram::Build, level 7, revised variant
+//   ph-build    PhHistogram::Build, level 7, split-crossing variant
+//   pbsm-join   PbsmJoinCount, uniform x clustered
+//   rtree-join  RTreeJoinCount, STR bulk-loaded trees
+//   sample-est  EstimateBySampling, RSWR 10%/10%
+//
+// Every parallel result is checked against the serial result before a row
+// is printed — a speedup that changes the answer is a bug, not a win.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/gh_histogram.h"
+#include "core/ph_histogram.h"
+#include "core/sampling.h"
+#include "datagen/generators.h"
+#include "join/pbsm.h"
+#include "join/rtree_join.h"
+#include "rtree/rtree.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+const int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kLevel = 7;
+
+double EnvScale() {
+  if (const char* full = std::getenv("SJSEL_FULL"); full && full[0] == '1') {
+    return 1.0;
+  }
+  if (const char* scale = std::getenv("SJSEL_SCALE")) {
+    const double s = std::atof(scale);
+    if (s > 0.0 && s <= 1.0) return s;
+  }
+  return 1.0;
+}
+
+// Best-of-3 wall-clock seconds.
+template <typename Fn>
+double TimeBest(Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer timer;
+    fn();
+    const double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+struct Row {
+  std::string name;
+  double seconds[4] = {0, 0, 0, 0};
+  bool identical = true;  ///< parallel output matched serial output
+};
+
+void PrintRow(const Row& row) {
+  std::printf("%-11s", row.name.c_str());
+  for (int i = 0; i < 4; ++i) {
+    std::printf("  %8.4fs (%4.2fx)", row.seconds[i],
+                row.seconds[i] > 0.0 ? row.seconds[0] / row.seconds[i] : 0.0);
+  }
+  std::printf("  %s\n", row.identical ? "bit-identical" : "MISMATCH!");
+}
+
+}  // namespace
+}  // namespace sjsel
+
+int main() {
+  using namespace sjsel;
+
+  const double scale = EnvScale();
+  const size_t n = static_cast<size_t>(100000 * scale);
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.005, 0.005, 0.5};
+  const Dataset uniform = gen::UniformRects("uniform", n, kUnit, size, 1);
+  const Dataset clustered = gen::GaussianClusterRects(
+      "clustered", n, kUnit, {{0.4, 0.7}, 0.1, 0.1, 1.0}, size, 2);
+
+  std::printf("parallel scaling, %zu rects/input, %d hardware threads\n", n,
+              ThreadPool::DefaultThreads());
+  std::printf("(speedup vs the 1-thread run of the same code path; every\n"
+              " parallel result is verified against serial before printing)\n\n");
+  std::printf("%-11s  %18s  %18s  %18s  %18s\n", "workload", "1 thread",
+              "2 threads", "4 threads", "8 threads");
+
+  // GH histogram build.
+  {
+    Row row{"gh-build", {}, true};
+    const auto serial = GhHistogram::Build(uniform, kUnit, kLevel);
+    for (int i = 0; i < 4; ++i) {
+      const int threads = kThreadCounts[i];
+      row.seconds[i] = TimeBest([&] {
+        const auto hist = GhHistogram::Build(uniform, kUnit, kLevel,
+                                             GhVariant::kRevised, threads);
+        if (hist->c() != serial->c() || hist->o() != serial->o() ||
+            hist->h() != serial->h() || hist->v() != serial->v()) {
+          row.identical = false;
+        }
+      });
+    }
+    PrintRow(row);
+  }
+
+  // PH histogram build.
+  {
+    Row row{"ph-build", {}, true};
+    const auto serial = PhHistogram::Build(clustered, kUnit, kLevel);
+    for (int i = 0; i < 4; ++i) {
+      const int threads = kThreadCounts[i];
+      row.seconds[i] = TimeBest([&] {
+        const auto hist = PhHistogram::Build(
+            clustered, kUnit, kLevel, PhVariant::kSplitCrossing, threads);
+        if (hist->avg_span() != serial->avg_span() ||
+            hist->cells().size() != serial->cells().size()) {
+          row.identical = false;
+        }
+        for (size_t c = 0; c < hist->cells().size(); ++c) {
+          const auto& x = hist->cells()[c];
+          const auto& y = serial->cells()[c];
+          if (x.num != y.num || x.area_sum != y.area_sum ||
+              x.num_x != y.num_x || x.area_sum_x != y.area_sum_x) {
+            row.identical = false;
+            break;
+          }
+        }
+      });
+    }
+    PrintRow(row);
+  }
+
+  // PBSM ground-truth join.
+  {
+    Row row{"pbsm-join", {}, true};
+    const uint64_t serial = PbsmJoinCount(uniform, clustered);
+    for (int i = 0; i < 4; ++i) {
+      PbsmOptions options;
+      options.threads = kThreadCounts[i];
+      row.seconds[i] = TimeBest([&] {
+        if (PbsmJoinCount(uniform, clustered, options) != serial) {
+          row.identical = false;
+        }
+      });
+    }
+    PrintRow(row);
+  }
+
+  // R-tree ground-truth join (trees built once; the join is the workload).
+  {
+    Row row{"rtree-join", {}, true};
+    const RTree ta = RTree::BulkLoadStr(RTree::DatasetEntries(uniform));
+    const RTree tb = RTree::BulkLoadStr(RTree::DatasetEntries(clustered));
+    const uint64_t serial = RTreeJoinCount(ta, tb);
+    for (int i = 0; i < 4; ++i) {
+      const int threads = kThreadCounts[i];
+      row.seconds[i] = TimeBest([&] {
+        if (RTreeJoinCount(ta, tb, threads) != serial) row.identical = false;
+      });
+    }
+    PrintRow(row);
+  }
+
+  // Sampling estimator (draw + build + join; only build/join parallelize).
+  {
+    Row row{"sample-est", {}, true};
+    SamplingOptions options;
+    options.frac_a = 0.1;
+    options.frac_b = 0.1;
+    const auto serial = EstimateBySampling(uniform, clustered, options);
+    for (int i = 0; i < 4; ++i) {
+      options.threads = kThreadCounts[i];
+      row.seconds[i] = TimeBest([&] {
+        const auto est = EstimateBySampling(uniform, clustered, options);
+        if (est->sample_pairs != serial->sample_pairs) row.identical = false;
+      });
+    }
+    PrintRow(row);
+  }
+
+  return 0;
+}

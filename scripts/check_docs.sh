@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Documentation consistency check, run as a ctest (see tests/CMakeLists.txt).
+#
+# 1. Every relative markdown link target in README.md, DESIGN.md,
+#    EXPERIMENTS.md and docs/*.md must exist on disk.
+# 2. Every source-tree path a docs/*.md file mentions in backticks
+#    (src/..., tests/..., bench/..., examples/..., scripts/...) must
+#    exist, so the docs cannot drift from the code they describe.
+#
+# Exits non-zero listing every stale reference.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+err() {
+  echo "check_docs: $1" >&2
+  fail=1
+}
+
+doc_files=(README.md DESIGN.md EXPERIMENTS.md)
+for f in docs/*.md; do
+  [ -e "$f" ] && doc_files+=("$f")
+done
+
+# --- 1. markdown link targets ---------------------------------------------
+for doc in "${doc_files[@]}"; do
+  dir=$(dirname "$doc")
+  # [text](target) — keep relative targets only, strip #fragments.
+  while IFS= read -r target; do
+    target=${target%%#*}
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ]; then
+      err "$doc links to missing target '$target'"
+    fi
+  done < <(grep -o '\[[^][]*\]([^()]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+# --- 2. source paths referenced by the docs -------------------------------
+for doc in "${doc_files[@]}"; do
+  while IFS= read -r path; do
+    case "$path" in
+      *\**) continue ;;    # globs like src/core/*.h describe sets, not files
+      *\<*) continue ;;    # placeholders like tests/<module>_test.cc
+    esac
+    # A path resolves if it exists as given (file or directory, trailing
+    # slash tolerated) or is a build-target name whose source exists
+    # (bench/fig6_sampling -> bench/fig6_sampling.cc).
+    if [ ! -e "$path" ] && [ ! -e "${path%/}" ] \
+        && [ ! -e "$path.cc" ] && [ ! -e "$path.cpp" ]; then
+      err "$doc references nonexistent source path '$path'"
+    fi
+  done < <(grep -o '`\(src\|tests\|bench\|examples\|scripts\)/[^`]*`' "$doc" \
+             | tr -d '\`' | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK (${#doc_files[@]} files checked)"

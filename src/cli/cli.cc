@@ -22,6 +22,7 @@
 #include "rtree/rtree.h"
 #include "stats/dataset_stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace sjsel {
 namespace cli {
@@ -45,6 +46,12 @@ struct ParsedArgs {
     return it == flags.end() ? fallback : std::atoi(it->second.c_str());
   }
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
+
+  /// The shared --threads flag: default serial, 0 = all hardware threads.
+  int Threads() const {
+    const int threads = FlagInt("threads", 1);
+    return threads == 0 ? ThreadPool::DefaultThreads() : threads;
+  }
 };
 
 ParsedArgs Parse(const std::vector<std::string>& args) {
@@ -74,13 +81,17 @@ int Usage(std::FILE* err) {
                " clustered:N\n"
                "  stats <in.ds>\n"
                "  hist-build <in.ds> <out.hist> [--scheme=gh|ph|minskew]"
-               " [--level=7] [--extent=x0,y0,x1,y1] [--basic|--naive]\n"
+               " [--level=7] [--extent=x0,y0,x1,y1] [--basic|--naive]"
+               " [--threads=1]\n"
                "  hist-info <in.hist>\n"
                "  estimate <a.hist> <b.hist>\n"
                "  range <a.hist> <x0,y0,x1,y1>\n"
-               "  join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]\n"
+               "  join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]"
+               " [--threads=1]\n"
                "  sample <a.ds> <b.ds> [--method=rs|rswr|ss] [--fa=0.1]"
-               " [--fb=0.1] [--seed=1]\n"
+               " [--fb=0.1] [--seed=1] [--threads=1]\n"
+               "  (--threads=0 uses every hardware thread; results are\n"
+               "   identical for any thread count)\n"
                "  gen-geo <streams|blocks|sites> <out.geo> [--n=10000]"
                " [--seed=1]\n"
                "  refine-join <a.geo> <b.geo>\n"
@@ -271,11 +282,12 @@ int CmdHistBuild(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
     extent = *parsed;
   }
   const std::string scheme = args.Flag("scheme", "gh");
+  const int threads = args.Threads();
   Status status;
   if (scheme == "gh") {
     const GhVariant variant =
         args.Has("basic") ? GhVariant::kBasic : GhVariant::kRevised;
-    const auto hist = GhHistogram::Build(*ds, extent, level, variant);
+    const auto hist = GhHistogram::Build(*ds, extent, level, variant, threads);
     if (!hist.ok()) {
       std::fprintf(err, "build failed: %s\n",
                    hist.status().ToString().c_str());
@@ -287,7 +299,7 @@ int CmdHistBuild(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   } else if (scheme == "ph") {
     const PhVariant variant =
         args.Has("naive") ? PhVariant::kNaive : PhVariant::kSplitCrossing;
-    const auto hist = PhHistogram::Build(*ds, extent, level, variant);
+    const auto hist = PhHistogram::Build(*ds, extent, level, variant, threads);
     if (!hist.ok()) {
       std::fprintf(err, "build failed: %s\n",
                    hist.status().ToString().c_str());
@@ -468,15 +480,18 @@ int CmdJoin(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
     return 1;
   }
   const std::string algo = args.Flag("algo", "sweep");
+  const int threads = args.Threads();
   uint64_t count = 0;
   if (algo == "sweep") {
     count = PlaneSweepJoinCount(*a, *b);
   } else if (algo == "pbsm") {
-    count = PbsmJoinCount(*a, *b);
+    PbsmOptions pbsm_options;
+    pbsm_options.threads = threads;
+    count = PbsmJoinCount(*a, *b, pbsm_options);
   } else if (algo == "rtree") {
     const RTree ta = RTree::BulkLoadStr(RTree::DatasetEntries(*a));
     const RTree tb = RTree::BulkLoadStr(RTree::DatasetEntries(*b));
-    count = RTreeJoinCount(ta, tb);
+    count = RTreeJoinCount(ta, tb, threads);
   } else if (algo == "quadtree") {
     Rect extent = a->ComputeExtent();
     extent.Extend(b->ComputeExtent());
@@ -536,6 +551,7 @@ int CmdSample(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   options.frac_a = args.FlagDouble("fa", 0.1);
   options.frac_b = args.FlagDouble("fb", 0.1);
   options.seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
+  options.threads = args.Threads();
   const auto est = EstimateBySampling(*a, *b, options);
   if (!est.ok()) {
     std::fprintf(err, "%s\n", est.status().ToString().c_str());

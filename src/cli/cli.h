@@ -28,6 +28,10 @@ namespace cli {
 ///   sample <a.ds> <b.ds> [--method=rs|rswr|ss] [--fa=0.1] [--fb=0.1]
 ///                              [--seed=1]
 ///                              sampling-based selectivity estimate
+///
+/// hist-build, join and sample accept --threads=N (0 = all hardware
+/// threads). Thread count never changes any output: histograms are
+/// bit-identical and join counts exact for every N.
 int RunCli(const std::vector<std::string>& args, std::FILE* out,
            std::FILE* err);
 

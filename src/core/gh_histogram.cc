@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace sjsel {
 namespace {
@@ -109,6 +110,37 @@ struct ArraySink {
   void Vertical(int64_t idx, double amount) { (*v)[idx] += weight * amount; }
 };
 
+// One recorded cell update of the parallel build: which statistic array,
+// which cell, how much. Workers emit these in rect order; the calling
+// thread replays them in chunk order, so every cell sees its additions in
+// exactly the order the serial build would produce — parallel results are
+// bit-identical to serial, not merely close.
+struct GhContribution {
+  int64_t idx;
+  uint8_t stat;  // 0 = c, 1 = o, 2 = h, 3 = v
+  double amount;
+};
+
+struct RecordingSink {
+  std::vector<GhContribution>* out;
+
+  void Corner(int64_t idx, double amount) {
+    out->push_back({idx, 0, amount});
+  }
+  void Area(int64_t idx, double amount) { out->push_back({idx, 1, amount}); }
+  void Horizontal(int64_t idx, double amount) {
+    out->push_back({idx, 2, amount});
+  }
+  void Vertical(int64_t idx, double amount) {
+    out->push_back({idx, 3, amount});
+  }
+};
+
+// Chunk size of the parallel build. Fixed (independent of the thread
+// count) so the chunk decomposition — and with it the replay order — is a
+// pure function of the dataset.
+constexpr int64_t kBuildChunk = 2048;
+
 }  // namespace
 
 Result<GhHistogram> GhHistogram::CreateEmpty(const Rect& extent, int level,
@@ -156,12 +188,49 @@ Status GhHistogram::Merge(const GhHistogram& other) {
 }
 
 Result<GhHistogram> GhHistogram::Build(const Dataset& ds, const Rect& extent,
-                                       int level, GhVariant variant) {
+                                       int level, GhVariant variant,
+                                       int threads) {
   auto hist_result = CreateEmpty(extent, level, variant);
   if (!hist_result.ok()) return hist_result.status();
   GhHistogram hist = std::move(hist_result).value();
   hist.name_ = ds.name();
-  for (const Rect& r : ds.rects()) hist.AddRect(r);
+  const int64_t n = static_cast<int64_t>(ds.size());
+  if (threads <= 1 || n <= kBuildChunk) {
+    for (const Rect& r : ds.rects()) hist.AddRect(r);
+    return hist;
+  }
+
+  // Parallel phase: workers record each chunk's contributions (all the
+  // clipping / cell-range geometry) without touching shared state.
+  const int64_t blocks = ParallelForNumBlocks(n, kBuildChunk);
+  std::vector<std::vector<GhContribution>> recorded(
+      static_cast<size_t>(blocks));
+  ThreadPool pool(threads);
+  ParallelFor(&pool, n, kBuildChunk,
+              [&](int64_t block, int64_t begin, int64_t end) {
+                auto& out = recorded[static_cast<size_t>(block)];
+                // 4 corners + typically a handful of area/edge cells.
+                out.reserve(static_cast<size_t>(end - begin) * 12);
+                RecordingSink sink{&out};
+                for (int64_t i = begin; i < end; ++i) {
+                  ForEachGhContribution(hist.grid_, variant, ds[i], sink);
+                }
+              });
+
+  // Serial replay in chunk order = dataset order: the per-cell addition
+  // sequence matches the serial build exactly, so the histogram is
+  // bit-identical for any thread count.
+  for (const auto& chunk : recorded) {
+    for (const GhContribution& rec : chunk) {
+      switch (rec.stat) {
+        case 0: hist.c_[rec.idx] += rec.amount; break;
+        case 1: hist.o_[rec.idx] += rec.amount; break;
+        case 2: hist.h_[rec.idx] += rec.amount; break;
+        default: hist.v_[rec.idx] += rec.amount; break;
+      }
+    }
+  }
+  hist.n_ = static_cast<uint64_t>(n);
   return hist;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace sjsel {
 namespace {
@@ -13,6 +14,73 @@ constexpr uint32_t kPhVersion = 2;
 double OverlapLen(double lo, double hi, double cell_lo, double cell_hi) {
   return std::max(0.0, std::min(hi, cell_hi) - std::max(lo, cell_lo));
 }
+
+// Enumerates one MBR's PH contributions in a fixed order (the order Apply
+// has always used): Contained per overlapped cell for contained/naive
+// bookings, else CrossingGlobal once followed by Crossing per cell.
+// Shared by the direct mutation path and the recording path of the
+// parallel build.
+template <typename Sink>
+void ForEachPhContribution(const Grid& grid, PhVariant variant, const Rect& r,
+                           Sink&& sink) {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  grid.CellRange(r, &x0, &y0, &x1, &y1);
+  const bool contained = x0 == x1 && y0 == y1;
+
+  if (contained || variant == PhVariant::kNaive) {
+    // Naive gridding books the full MBR into every overlapped cell; the
+    // real PH books contained MBRs into exactly one.
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        sink.Contained(grid.Flat(cx, cy), r.area(), r.width(), r.height());
+      }
+    }
+    return;
+  }
+
+  sink.CrossingGlobal(static_cast<double>(x1 - x0 + 1) *
+                      static_cast<double>(y1 - y0 + 1));
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      const Rect cell_rect = grid.CellRect(cx, cy);
+      const double w =
+          OverlapLen(r.min_x, r.max_x, cell_rect.min_x, cell_rect.max_x);
+      const double h =
+          OverlapLen(r.min_y, r.max_y, cell_rect.min_y, cell_rect.max_y);
+      sink.Crossing(grid.Flat(cx, cy), w * h, w, h);
+    }
+  }
+}
+
+// One recorded cell update of the parallel build; replayed in dataset
+// order on the calling thread so parallel results are bit-identical to
+// serial (same trick as the GH builder).
+struct PhContribution {
+  int64_t idx;   ///< cell index; unused for kind 2
+  uint8_t kind;  ///< 0 = contained, 1 = crossing, 2 = crossing-global
+  double area;   ///< clipped area, or the span for kind 2
+  double w;
+  double h;
+};
+
+struct PhRecordingSink {
+  std::vector<PhContribution>* out;
+
+  void Contained(int64_t idx, double area, double w, double h) {
+    out->push_back({idx, 0, area, w, h});
+  }
+  void Crossing(int64_t idx, double area, double w, double h) {
+    out->push_back({idx, 1, area, w, h});
+  }
+  void CrossingGlobal(double span) { out->push_back({0, 2, span, 0.0, 0.0}); }
+};
+
+// Chunk size of the parallel build; fixed so the decomposition (and the
+// replay order) never depends on the thread count.
+constexpr int64_t kBuildChunk = 2048;
 
 }  // namespace
 
@@ -25,48 +93,42 @@ Result<PhHistogram> PhHistogram::CreateEmpty(const Rect& extent, int level,
   return hist;
 }
 
+namespace {
+
+// Sink that mutates a histogram's sums directly with a +/-1 weight.
+struct PhDirectSink {
+  std::vector<PhHistogram::Cell>* cells;
+  double* span_sum;
+  double* crossing_count;
+  double weight;
+
+  void Contained(int64_t idx, double area, double w, double h) {
+    PhHistogram::Cell& cell = (*cells)[idx];
+    cell.num += weight;
+    cell.area_sum += weight * area;
+    cell.w_sum += weight * w;
+    cell.h_sum += weight * h;
+  }
+  void Crossing(int64_t idx, double area, double w, double h) {
+    PhHistogram::Cell& cell = (*cells)[idx];
+    cell.num_x += weight;
+    cell.area_sum_x += weight * area;
+    cell.w_sum_x += weight * w;
+    cell.h_sum_x += weight * h;
+  }
+  void CrossingGlobal(double span) {
+    *crossing_count += weight;
+    *span_sum += weight * span;
+  }
+};
+
+}  // namespace
+
 // Folds one MBR into the per-cell sums with the given weight (+1 add,
 // -1 remove).
 void PhHistogram::Apply(const Rect& r, double weight) {
-  int x0 = 0;
-  int y0 = 0;
-  int x1 = 0;
-  int y1 = 0;
-  grid_.CellRange(r, &x0, &y0, &x1, &y1);
-  const bool contained = x0 == x1 && y0 == y1;
-
-  if (contained || variant_ == PhVariant::kNaive) {
-    // Naive gridding books the full MBR into every overlapped cell; the
-    // real PH books contained MBRs into exactly one.
-    for (int cy = y0; cy <= y1; ++cy) {
-      for (int cx = x0; cx <= x1; ++cx) {
-        Cell& cell = cells_[grid_.Flat(cx, cy)];
-        cell.num += weight;
-        cell.area_sum += weight * r.area();
-        cell.w_sum += weight * r.width();
-        cell.h_sum += weight * r.height();
-      }
-    }
-    return;
-  }
-
-  crossing_count_ += weight;
-  span_sum_ += weight * static_cast<double>(x1 - x0 + 1) *
-               static_cast<double>(y1 - y0 + 1);
-  for (int cy = y0; cy <= y1; ++cy) {
-    for (int cx = x0; cx <= x1; ++cx) {
-      const Rect cell_rect = grid_.CellRect(cx, cy);
-      const double w =
-          OverlapLen(r.min_x, r.max_x, cell_rect.min_x, cell_rect.max_x);
-      const double h =
-          OverlapLen(r.min_y, r.max_y, cell_rect.min_y, cell_rect.max_y);
-      Cell& cell = cells_[grid_.Flat(cx, cy)];
-      cell.num_x += weight;
-      cell.area_sum_x += weight * w * h;
-      cell.w_sum_x += weight * w;
-      cell.h_sum_x += weight * h;
-    }
-  }
+  PhDirectSink sink{&cells_, &span_sum_, &crossing_count_, weight};
+  ForEachPhContribution(grid_, variant_, r, sink);
 }
 
 void PhHistogram::AddRect(const Rect& r) {
@@ -107,12 +169,49 @@ Status PhHistogram::Merge(const PhHistogram& other) {
 }
 
 Result<PhHistogram> PhHistogram::Build(const Dataset& ds, const Rect& extent,
-                                       int level, PhVariant variant) {
+                                       int level, PhVariant variant,
+                                       int threads) {
   auto hist_result = CreateEmpty(extent, level, variant);
   if (!hist_result.ok()) return hist_result.status();
   PhHistogram hist = std::move(hist_result).value();
   hist.name_ = ds.name();
-  for (const Rect& r : ds.rects()) hist.AddRect(r);
+  const int64_t n = static_cast<int64_t>(ds.size());
+  if (threads <= 1 || n <= kBuildChunk) {
+    for (const Rect& r : ds.rects()) hist.AddRect(r);
+    return hist;
+  }
+
+  // Parallel phase: workers record each chunk's contributions (cell
+  // ranges, clipping) without touching shared state.
+  const int64_t blocks = ParallelForNumBlocks(n, kBuildChunk);
+  std::vector<std::vector<PhContribution>> recorded(
+      static_cast<size_t>(blocks));
+  ThreadPool pool(threads);
+  ParallelFor(&pool, n, kBuildChunk,
+              [&](int64_t block, int64_t begin, int64_t end) {
+                auto& out = recorded[static_cast<size_t>(block)];
+                out.reserve(static_cast<size_t>(end - begin) * 4);
+                PhRecordingSink sink{&out};
+                for (int64_t i = begin; i < end; ++i) {
+                  ForEachPhContribution(hist.grid_, variant, ds[i], sink);
+                }
+              });
+
+  // Serial replay in chunk order = dataset order; every sum sees its
+  // additions in the serial order, so the result is bit-identical for any
+  // thread count.
+  PhDirectSink sink{&hist.cells_, &hist.span_sum_, &hist.crossing_count_,
+                    +1.0};
+  for (const auto& chunk : recorded) {
+    for (const PhContribution& rec : chunk) {
+      switch (rec.kind) {
+        case 0: sink.Contained(rec.idx, rec.area, rec.w, rec.h); break;
+        case 1: sink.Crossing(rec.idx, rec.area, rec.w, rec.h); break;
+        default: sink.CrossingGlobal(rec.area); break;
+      }
+    }
+  }
+  hist.n_ = static_cast<uint64_t>(n);
   return hist;
 }
 

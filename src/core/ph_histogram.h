@@ -31,6 +31,12 @@ enum class PhVariant {
 ///
 /// Level 0 reproduces the prior parametric model [2] exactly (one cell =
 /// the whole extent, everything contained, Equation 1).
+///
+/// Thread-safety: value type, no hidden shared state. Concurrent const
+/// access (estimates, accessors, Save) is safe; AddRect / RemoveRect /
+/// Merge need external synchronization. The multi-threaded Build never
+/// shares a histogram between workers (record-and-replay, identical to the
+/// GH scheme — see docs/ARCHITECTURE.md, "Threading model").
 class PhHistogram {
  public:
   /// Sums kept per cell; averages and ratios are derived at estimate time.
@@ -45,9 +51,14 @@ class PhHistogram {
     double h_sum_x = 0.0;     ///< Σ height of MBR ∩ cell over Isect
   };
 
+  /// Builds the histogram of `ds` on a `level`-deep grid over `extent`.
+  /// `threads` > 1 parallelizes the per-MBR clipping over fixed-size input
+  /// chunks and replays the recorded contributions in dataset order, so the
+  /// result is bit-identical to the serial build for any thread count;
+  /// `threads` <= 1 is the serial path.
   static Result<PhHistogram> Build(
       const Dataset& ds, const Rect& extent, int level,
-      PhVariant variant = PhVariant::kSplitCrossing);
+      PhVariant variant = PhVariant::kSplitCrossing, int threads = 1);
 
   /// Creates an empty histogram for incremental population with AddRect.
   static Result<PhHistogram> CreateEmpty(

@@ -44,6 +44,14 @@ struct SamplingOptions {
   double frac_b = 0.1;
   uint64_t seed = 1;
   RTreeOptions rtree_options;
+  /// Worker threads for the estimation pipeline; <= 1 runs serially.
+  /// With threads >= 2 the two sample R-trees are built concurrently and
+  /// the sample join fans out over subtree pairs with per-task counters
+  /// (see RTreeJoinCount). Sample *selection* stays serial — it is
+  /// sequential by nature (seeded RNG, Hilbert sort) and that is what
+  /// keeps the drawn samples, and hence the estimate, identical for every
+  /// thread count.
+  int threads = 1;
 };
 
 /// Outcome of a sampling estimation, including the timing breakdown that

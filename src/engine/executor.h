@@ -22,19 +22,31 @@ struct ChainJoinResult {
   double seconds = 0.0;
 };
 
+/// Execution knobs shared by the chain-join entry points.
+struct ExecuteOptions {
+  /// Worker threads for the R-tree probe steps; <= 1 runs serially. Each
+  /// probe step partitions the partial-tuple id range into fixed blocks,
+  /// accumulates per-block match-count vectors, and sums them in block
+  /// order — integer sums, so results are identical for every thread
+  /// count. The pool lives for the duration of one Execute call.
+  int threads = 1;
+};
+
 /// Executes the chain spatial join R1 ⋈ R2 ⋈ ... ⋈ Rk in the given order:
 /// the first step is an R-tree join of the first two datasets, and each
 /// later step extends tuples by probing the next dataset's R-tree with the
 /// tuple's last rectangle. Tuple counts are tracked per distinct last
 /// element, so memory stays O(max dataset size).
 Result<ChainJoinResult> ExecuteChainJoin(Catalog* catalog,
-                                         const std::vector<std::string>& order);
+                                         const std::vector<std::string>& order,
+                                         const ExecuteOptions& options = {});
 
 /// Executes a predicate-annotated chain query in the given order. Each
 /// within-distance edge probes the next R-tree with the tuple's last
 /// rectangle expanded by eps (the exact reduction for Chebyshev distance).
 Result<ChainJoinResult> ExecuteChainSteps(Catalog* catalog,
-                                          const std::vector<ChainStep>& steps);
+                                          const std::vector<ChainStep>& steps,
+                                          const ExecuteOptions& options = {});
 
 }  // namespace sjsel
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace sjsel {
 namespace {
@@ -102,9 +105,13 @@ void JoinPartition(std::vector<IndexedRect>& pa, std::vector<IndexedRect>& pb,
   }
 }
 
-template <typename Emit>
+// Joins every non-empty partition pair, serially in partition order or —
+// with options.threads > 1 — concurrently with one result `Slot` per
+// partition (default-constructed), folded in partition order by `fold`.
+// PartitionEmit is called as emit(slot, a_id, b_id); Fold as fold(slot).
+template <typename Slot, typename PartitionEmit, typename Fold>
 void PbsmJoinImpl(const Dataset& a, const Dataset& b, PbsmOptions options,
-                  Emit&& emit) {
+                  PartitionEmit&& emit, Fold&& fold) {
   if (a.empty() || b.empty()) return;
   PartitionGrid grid;
   grid.extent = a.ComputeExtent();
@@ -116,13 +123,36 @@ void PbsmJoinImpl(const Dataset& a, const Dataset& b, PbsmOptions options,
 
   auto cells_a = Distribute(a, grid);
   auto cells_b = Distribute(b, grid);
-  for (int cy = 0; cy < grid.p; ++cy) {
-    for (int cx = 0; cx < grid.p; ++cx) {
-      const size_t idx = static_cast<size_t>(cy) * grid.p + cx;
-      if (cells_a[idx].empty() || cells_b[idx].empty()) continue;
-      JoinPartition(cells_a[idx], cells_b[idx], grid, cx, cy, emit);
-    }
+
+  // The work list: non-empty partitions only, in partition order.
+  std::vector<size_t> active;
+  for (size_t idx = 0; idx < cells_a.size(); ++idx) {
+    if (!cells_a[idx].empty() && !cells_b[idx].empty()) active.push_back(idx);
   }
+
+  std::vector<Slot> slots(active.size());
+  const auto join_one = [&](size_t task) {
+    const size_t idx = active[task];
+    const int cx = static_cast<int>(idx) % grid.p;
+    const int cy = static_cast<int>(idx) / grid.p;
+    Slot& slot = slots[task];
+    JoinPartition(cells_a[idx], cells_b[idx], grid, cx, cy,
+                  [&slot, &emit](int64_t x, int64_t y) { emit(slot, x, y); });
+  };
+
+  if (options.threads > 1 && active.size() > 1) {
+    ThreadPool pool(options.threads);
+    ParallelFor(&pool, static_cast<int64_t>(active.size()), 1,
+                [&](int64_t, int64_t begin, int64_t) {
+                  join_one(static_cast<size_t>(begin));
+                });
+  } else {
+    for (size_t task = 0; task < active.size(); ++task) join_one(task);
+  }
+
+  // Deterministic combine: partition order, regardless of which worker
+  // finished first.
+  for (size_t task = 0; task < active.size(); ++task) fold(slots[task]);
 }
 
 }  // namespace
@@ -130,13 +160,21 @@ void PbsmJoinImpl(const Dataset& a, const Dataset& b, PbsmOptions options,
 uint64_t PbsmJoinCount(const Dataset& a, const Dataset& b,
                        PbsmOptions options) {
   uint64_t count = 0;
-  PbsmJoinImpl(a, b, options, [&count](int64_t, int64_t) { ++count; });
+  PbsmJoinImpl<uint64_t>(
+      a, b, options, [](uint64_t& slot, int64_t, int64_t) { ++slot; },
+      [&count](const uint64_t& slot) { count += slot; });
   return count;
 }
 
 void PbsmJoin(const Dataset& a, const Dataset& b, const PairCallback& emit,
               PbsmOptions options) {
-  PbsmJoinImpl(a, b, options, [&emit](int64_t x, int64_t y) { emit(x, y); });
+  using Pairs = std::vector<std::pair<int64_t, int64_t>>;
+  PbsmJoinImpl<Pairs>(
+      a, b, options,
+      [](Pairs& slot, int64_t x, int64_t y) { slot.emplace_back(x, y); },
+      [&emit](const Pairs& slot) {
+        for (const auto& [x, y] : slot) emit(x, y);
+      });
 }
 
 }  // namespace sjsel

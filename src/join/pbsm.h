@@ -13,6 +13,11 @@ struct PbsmOptions {
   /// Grid partitions per axis; 0 picks sqrt((N1+N2)/1024) clamped to
   /// [1, 256].
   int partitions_per_axis = 0;
+  /// Worker threads joining partitions concurrently; <= 1 runs serially.
+  /// Partitions are independent after distribution and per-partition
+  /// results are combined in partition order, so the count — and the emit
+  /// order of PbsmJoin — is identical for every thread count.
+  int threads = 1;
 };
 
 /// Partition Based Spatial Merge join (Patel & DeWitt, SIGMOD'96 — one of

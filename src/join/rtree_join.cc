@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "util/thread_pool.h"
+
 namespace sjsel {
 namespace {
 
@@ -55,6 +57,80 @@ uint64_t RTreeJoinCount(const RTree& a, const RTree& b) {
   uint64_t count = 0;
   JoinImpl(a, b, [&count](int64_t, int64_t) { ++count; });
   return count;
+}
+
+namespace {
+
+// A unit of parallel join work: one pair of subtrees plus the window their
+// comparisons are restricted to.
+struct SubtreeTask {
+  const Node* na;
+  const Node* nb;
+  Rect window;
+};
+
+// Splits the root-level node pair into the cross product of intersecting
+// child pairs, descending only the deeper side when heights differ (the
+// same rule JoinNodes applies).
+std::vector<SubtreeTask> TopLevelTasks(const Node& ra, const Node& rb,
+                                       const Rect& window) {
+  std::vector<SubtreeTask> tasks;
+  const bool descend_a = !ra.is_leaf && (rb.is_leaf || ra.level >= rb.level);
+  const bool descend_b = !rb.is_leaf && (ra.is_leaf || rb.level >= ra.level);
+  if (descend_a && descend_b) {
+    for (size_t i = 0; i < ra.rects.size(); ++i) {
+      if (!ra.rects[i].Intersects(window)) continue;
+      const Rect wa = ra.rects[i].Intersection(window);
+      for (size_t j = 0; j < rb.rects.size(); ++j) {
+        if (!rb.rects[j].Intersects(wa)) continue;
+        tasks.push_back({ra.children[i].get(), rb.children[j].get(),
+                         rb.rects[j].Intersection(wa)});
+      }
+    }
+  } else if (descend_a) {
+    for (size_t i = 0; i < ra.rects.size(); ++i) {
+      if (!ra.rects[i].Intersects(window)) continue;
+      tasks.push_back({ra.children[i].get(), &rb,
+                       ra.rects[i].Intersection(window)});
+    }
+  } else if (descend_b) {
+    for (size_t j = 0; j < rb.rects.size(); ++j) {
+      if (!rb.rects[j].Intersects(window)) continue;
+      tasks.push_back({&ra, rb.children[j].get(),
+                       rb.rects[j].Intersection(window)});
+    }
+  }
+  return tasks;
+}
+
+}  // namespace
+
+uint64_t RTreeJoinCount(const RTree& a, const RTree& b, int threads) {
+  if (threads <= 1) return RTreeJoinCount(a, b);
+  if (a.size() == 0 || b.size() == 0) return 0;
+  const Node* ra = a.root();
+  const Node* rb = b.root();
+  const Rect window = ra->ComputeMbr().Intersection(rb->ComputeMbr());
+  if (window.IsEmpty()) return 0;
+  if (ra->is_leaf && rb->is_leaf) {
+    // Two leaf roots: nothing to fan out over.
+    return RTreeJoinCount(a, b);
+  }
+
+  const std::vector<SubtreeTask> tasks = TopLevelTasks(*ra, *rb, window);
+  std::vector<uint64_t> counts(tasks.size(), 0);
+  ThreadPool pool(threads);
+  ParallelFor(&pool, static_cast<int64_t>(tasks.size()), 1,
+              [&](int64_t, int64_t begin, int64_t) {
+                const SubtreeTask& task = tasks[static_cast<size_t>(begin)];
+                uint64_t local = 0;
+                JoinNodes(*task.na, *task.nb, task.window,
+                          [&local](int64_t, int64_t) { ++local; });
+                counts[static_cast<size_t>(begin)] = local;
+              });
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  return total;
 }
 
 namespace {

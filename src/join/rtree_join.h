@@ -17,7 +17,18 @@ namespace sjsel {
 /// disjoint and restricting entry tests to the intersection window of the
 /// current node pair. Trees of different heights are handled by descending
 /// the taller tree against a fixed node of the shorter one.
+///
+/// Thread-safety: joins only read the trees, so any number of joins may
+/// run concurrently over the same (immutable) trees.
 uint64_t RTreeJoinCount(const RTree& a, const RTree& b);
+
+/// Multi-threaded count: expands the roots into their cross product of
+/// intersecting child-subtree pairs and joins those pairs on `threads`
+/// workers, each into its own counter; counters are summed in task order.
+/// Counts are integers, so the result equals the serial count exactly for
+/// every thread count. `threads` <= 1, a leaf root, or a tiny task list
+/// falls back to the serial join.
+uint64_t RTreeJoinCount(const RTree& a, const RTree& b, int threads);
 
 /// Emitting variant; ids are the entry ids stored in the trees.
 void RTreeJoin(const RTree& a, const RTree& b, const PairCallback& emit);

@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace sjsel {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--unfinished_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n, int64_t grain,
+                 const std::function<void(int64_t block, int64_t begin,
+                                          int64_t end)>& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int64_t blocks = ParallelForNumBlocks(n, grain);
+
+  if (pool == nullptr || pool->num_threads() <= 1 || blocks == 1) {
+    // Inline path, same contract as the pooled one: every block runs, the
+    // lowest-indexed failure is rethrown afterwards.
+    std::exception_ptr first_error;
+    for (int64_t b = 0; b < blocks; ++b) {
+      const int64_t begin = b * grain;
+      const int64_t end = std::min(n, begin + grain);
+      try {
+        body(b, begin, end);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  // One exception slot per block: the lowest-indexed failure is rethrown,
+  // so error propagation is as deterministic as the results are.
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(blocks));
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t begin = b * grain;
+    const int64_t end = std::min(n, begin + grain);
+    pool->Submit([&body, &errors, b, begin, end] {
+      try {
+        body(b, begin, end);
+      } catch (...) {
+        errors[static_cast<size_t>(b)] = std::current_exception();
+      }
+    });
+  }
+  pool->Wait();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace sjsel

@@ -1,0 +1,96 @@
+#ifndef SJSEL_UTIL_THREAD_POOL_H_
+#define SJSEL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sjsel {
+
+/// A fixed-size, work-stealing-free thread pool: one shared FIFO queue, N
+/// worker threads created in the constructor and joined in the destructor.
+/// This is the only place in the codebase that spawns threads; every
+/// parallel operation (histogram build, PBSM / R-tree join, sample join,
+/// chain-join probing) owns a call-scoped pool and drives it through
+/// ParallelFor below — there is no global or lazily-initialized pool, so
+/// library users pay nothing unless they pass threads > 1.
+///
+/// Thread-safety: Submit and Wait may be called from any thread, including
+/// concurrently. Tasks must not call Submit/Wait on the pool that runs
+/// them (no nesting) — with every worker blocked in an inner Wait the pool
+/// would deadlock. Tasks must not throw; exception-safe fan-out belongs to
+/// ParallelFor, which catches per-block exceptions and rethrows in the
+/// caller.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Tasks run in FIFO order across the worker set but
+  /// complete in no particular order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished running.
+  void Wait();
+
+  /// std::thread::hardware_concurrency() with a floor of 1 — the sensible
+  /// default for a `--threads=0` style "use the machine" request.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int64_t unfinished_ = 0;  ///< queued + currently running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Deterministic parallel loop: splits [0, n) into consecutive blocks of
+/// `grain` iterations (the last block may be short) and runs
+/// `body(block_index, begin, end)` for each, on `pool`'s workers when
+/// `pool` is non-null, inline on the calling thread otherwise.
+///
+/// The block decomposition depends only on (n, grain) — never on the number
+/// of worker threads — which is the determinism contract every parallel
+/// path in this codebase is built on: workers write to per-block outputs,
+/// and the caller merges them in ascending block index order, making the
+/// result a pure function of the inputs regardless of thread count or
+/// scheduling. See docs/ARCHITECTURE.md ("Threading model").
+///
+/// Exceptions thrown by `body` are caught per block; after all blocks have
+/// finished, the exception of the lowest-indexed failing block is rethrown
+/// on the calling thread (so propagation is deterministic too).
+///
+/// `n <= 0` returns immediately without invoking `body`. `grain < 1` is
+/// clamped to 1.
+void ParallelFor(ThreadPool* pool, int64_t n, int64_t grain,
+                 const std::function<void(int64_t block, int64_t begin,
+                                          int64_t end)>& body);
+
+/// Number of blocks ParallelFor(n, grain) produces — for presizing
+/// per-block output buffers.
+inline int64_t ParallelForNumBlocks(int64_t n, int64_t grain) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+}  // namespace sjsel
+
+#endif  // SJSEL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,154 @@
+// Unit tests for the fixed-size ThreadPool and the deterministic
+// ParallelFor fan-out (src/util/thread_pool.h).
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sjsel {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  constexpr int kTasks = 1000;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, WaitCanBeReused) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 0, 16,
+              [&calls](int64_t, int64_t, int64_t) { calls.fetch_add(1); });
+  ParallelFor(&pool, -5, 16,
+              [&calls](int64_t, int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, BlocksCoverRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10007;  // prime: the last block is short
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelFor(&pool, kN, 64, [&visits](int64_t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, BlockDecompositionIsThreadCountIndependent) {
+  // The determinism contract: per-block results merged in block order are
+  // a pure function of (n, grain), whatever the pool size.
+  constexpr int64_t kN = 1000;
+  constexpr int64_t kGrain = 37;
+  const int64_t blocks = ParallelForNumBlocks(kN, kGrain);
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> sums(static_cast<size_t>(blocks), 0);
+    ParallelFor(&pool, kN, kGrain,
+                [&sums](int64_t block, int64_t begin, int64_t end) {
+                  int64_t s = 0;
+                  for (int64_t i = begin; i < end; ++i) s += i * i;
+                  sums[static_cast<size_t>(block)] = s;
+                });
+    return sums;
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  const auto eight = run(8);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+  EXPECT_EQ(std::accumulate(one.begin(), one.end(), int64_t{0}),
+            (kN - 1) * kN * (2 * kN - 1) / 6);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  int64_t sum = 0;  // no atomics needed: inline execution is sequential
+  ParallelFor(nullptr, 100, 7, [&sum](int64_t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromBody) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 100, 1,
+                  [](int64_t block, int64_t, int64_t) {
+                    if (block == 41) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must still be usable after a failed loop.
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 10, 1,
+              [&counter](int64_t, int64_t, int64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, RethrowsLowestBlockException) {
+  ThreadPool pool(4);
+  try {
+    ParallelFor(&pool, 64, 1, [](int64_t block, int64_t, int64_t) {
+      if (block % 2 == 1) {
+        throw std::runtime_error("block " + std::to_string(block));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "block 1");
+  }
+}
+
+TEST(ParallelForTest, ExceptionInlinePathAlsoPropagates) {
+  EXPECT_THROW(ParallelFor(nullptr, 10, 1,
+                           [](int64_t block, int64_t, int64_t) {
+                             if (block == 3) throw std::logic_error("x");
+                           }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sjsel
