@@ -9,7 +9,10 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "core/kernels.h"
 #include "datagen/workloads.h"
 #include "geom/dataset.h"
 #include "join/rtree_join.h"
@@ -75,6 +78,85 @@ inline PairBaseline ComputeBaseline(const Dataset& a, const Dataset& b) {
   baseline.rtree_join_seconds = join_timer.ElapsedSeconds();
   return baseline;
 }
+
+/// Machine-readable companion to a bench's stdout table: collects one
+/// entry per measured configuration and writes `BENCH_<bench>.json` so
+/// perf regressions can be diffed across commits without parsing text.
+///
+/// The file is a single JSON object:
+///
+///   {
+///     "bench": "kernels",
+///     "kernel_backend": "avx2",          // active dispatch choice
+///     "avx2_available": true,
+///     "hardware_threads": 8,
+///     "entries": [
+///       {"name": "gh_build/scalar", "ns_per_op": 123.4,
+///        "speedup_vs_scalar": 1.0, "threads": 1, "items": 100000},
+///       ...
+///     ]
+///   }
+///
+/// `speedup_vs_scalar` is scalar_ns / this_ns for entries that have a
+/// scalar counterpart (1.0 for the scalar rows themselves, 0.0 when no
+/// baseline applies).
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& name, double ns_per_op,
+           double speedup_vs_scalar, int threads, uint64_t items) {
+    entries_.push_back(Entry{name, ns_per_op, speedup_vs_scalar, threads,
+                             items});
+  }
+
+  /// Writes BENCH_<bench>.json into `dir` (default: current directory).
+  /// Returns true on success.
+  bool Write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJsonWriter: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name_.c_str());
+    std::fprintf(f, "  \"kernel_backend\": \"%s\",\n",
+                 KernelBackendName(ActiveKernelBackend()));
+    std::fprintf(f, "  \"avx2_available\": %s,\n",
+                 DetectKernelBackend() == KernelBackend::kAvx2 ? "true"
+                                                              : "false");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"entries\": [");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                   "\"speedup_vs_scalar\": %.3f, \"threads\": %d, "
+                   "\"items\": %llu}",
+                   i == 0 ? "" : ",", e.name.c_str(), e.ns_per_op,
+                   e.speedup_vs_scalar, e.threads,
+                   static_cast<unsigned long long>(e.items));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double speedup_vs_scalar = 0.0;
+    int threads = 1;
+    uint64_t items = 0;
+  };
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
 
 inline void PrintHeader(const std::string& title, double scale) {
   std::printf("=====================================================\n");

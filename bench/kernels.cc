@@ -1,0 +1,291 @@
+// Batch-kernel regression harness: scalar vs batch/SIMD throughput of the
+// four vectorized hot loops (docs/ARCHITECTURE.md, "Data-level
+// parallelism") with every fast path verified bit-identical to its scalar
+// reference before a row is printed. Emits BENCH_kernels.json (see
+// EXPERIMENTS.md, E13) for machine-readable perf diffing across commits.
+//
+// Rows:
+//   gh_build_kernel/*   cell-range + clipped-fraction kernel in isolation
+//   gh_build/*          full GhHistogram::Build (aos = per-rect AddRect)
+//   ph_build/*          full PhHistogram::Build
+//   plane_sweep/*       PlaneSweepJoinCount, uniform x clustered
+//   pbsm/*              PbsmJoinCount, uniform x clustered
+//   sample_filter/*     EstimateBySampling with the plane-sweep sample join
+//
+// `--smoke` shrinks the inputs and runs one rep per row — the ctest
+// `bench_smoke` entry point. A mismatch between backends exits non-zero.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "bench_common.h"
+#include "core/gh_histogram.h"
+#include "core/grid.h"
+#include "core/kernels.h"
+#include "core/ph_histogram.h"
+#include "core/sampling.h"
+#include "datagen/generators.h"
+#include "geom/soa_dataset.h"
+#include "join/pbsm.h"
+#include "join/plane_sweep.h"
+#include "util/aligned.h"
+#include "util/timer.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+constexpr int kLevel = 7;
+
+int g_reps = 3;
+
+// Best-of-g_reps wall-clock seconds.
+template <typename Fn>
+double TimeBest(Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < g_reps; ++rep) {
+    Timer timer;
+    fn();
+    const double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+double NsPerOp(double seconds, size_t items) {
+  return items == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(items);
+}
+
+void PrintEntry(const std::string& name, double ns, double speedup) {
+  std::printf("%-26s  %10.2f ns/op  %6.2fx\n", name.c_str(), ns, speedup);
+}
+
+bool SameGh(const GhHistogram& a, const GhHistogram& b) {
+  return a.c() == b.c() && a.o() == b.o() && a.h() == b.h() && a.v() == b.v();
+}
+
+bool SamePh(const PhHistogram& a, const PhHistogram& b) {
+  if (a.avg_span() != b.avg_span() ||
+      a.cells().size() != b.cells().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.cells().size(); ++i) {
+    const auto& x = a.cells()[i];
+    const auto& y = b.cells()[i];
+    if (x.num != y.num || x.area_sum != y.area_sum || x.w_sum != y.w_sum ||
+        x.h_sum != y.h_sum || x.num_x != y.num_x ||
+        x.area_sum_x != y.area_sum_x || x.w_sum_x != y.w_sum_x ||
+        x.h_sum_x != y.h_sum_x) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace sjsel
+
+int main(int argc, char** argv) {
+  using namespace sjsel;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) g_reps = 1;
+
+  const size_t n = smoke ? 5000 : 100000;
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.005, 0.005, 0.5};
+  const Dataset uniform = gen::UniformRects("uniform", n, kUnit, size, 1);
+  const Dataset clustered = gen::GaussianClusterRects(
+      "clustered", n, kUnit, {{0.4, 0.7}, 0.1, 0.1, 1.0}, size, 2);
+
+  const bool have_avx2 = DetectKernelBackend() == KernelBackend::kAvx2;
+  std::printf("batch kernels, %zu rects/input, avx2 %s\n\n", n,
+              have_avx2 ? "available" : "not available");
+
+  bench::BenchJsonWriter json("kernels");
+  bool all_identical = true;
+
+  // --- GH build kernel in isolation: per-rect scalar (Grid calls, the
+  // pre-SoA formulation) vs the batched kernels on both backends. This is
+  // the kernel the JSON regression gate watches.
+  {
+    const auto grid = Grid::Create(kUnit, kLevel);
+    const Grid& g = *grid;
+    const SoaDataset soa = SoaDataset::FromDataset(uniform);
+    const SoaSlice slice = soa.Slice();
+    AlignedVector<int32_t> x0(n), y0(n), x1(n), y1(n);
+    AlignedVector<double> area(n), hf(n), vf(n);
+
+    const auto scalar_pass = [&] {
+      for (size_t i = 0; i < n; ++i) {
+        const Rect& r = uniform[i];
+        int a, b, c, d;
+        g.CellRange(r, &a, &b, &c, &d);
+        x0[i] = a;
+        y0[i] = b;
+        x1[i] = c;
+        y1[i] = d;
+        const Rect cell = g.CellRect(a, b);
+        const double w = OverlapLen(r.min_x, r.max_x, cell.min_x, cell.max_x);
+        const double h = OverlapLen(r.min_y, r.max_y, cell.min_y, cell.max_y);
+        area[i] = (w * h) / g.cell_area();
+        hf[i] = w / g.cell_width();
+        vf[i] = h / g.cell_height();
+      }
+    };
+    const GridGeom geom{g.extent().min_x, g.extent().min_y, g.cell_width(),
+                        g.cell_height(), g.per_axis()};
+    const auto batch_pass = [&] {
+      CellRangeBatch(geom, slice, x0.data(), y0.data(), x1.data(), y1.data());
+      GhSingleCellTermsBatch(geom, slice, x0.data(), y0.data(), area.data(),
+                             hf.data(), vf.data());
+    };
+
+    const double t_scalar = TimeBest(scalar_pass);
+    AlignedVector<int32_t> rx0 = x0, ry0 = y0, rx1 = x1, ry1 = y1;
+    AlignedVector<double> rarea = area, rhf = hf, rvf = vf;
+
+    SetKernelBackendForTesting(KernelBackend::kScalar);
+    const double t_batch_scalar = TimeBest(batch_pass);
+    if (x0 != rx0 || y0 != ry0 || x1 != rx1 || y1 != ry1 || area != rarea ||
+        hf != rhf || vf != rvf) {
+      all_identical = false;
+    }
+    double t_batch_simd = t_batch_scalar;
+    if (have_avx2) {
+      SetKernelBackendForTesting(KernelBackend::kAvx2);
+      t_batch_simd = TimeBest(batch_pass);
+      if (x0 != rx0 || y0 != ry0 || x1 != rx1 || y1 != ry1 ||
+          area != rarea || hf != rhf || vf != rvf) {
+        all_identical = false;
+      }
+    }
+    ClearKernelBackendOverrideForTesting();
+
+    PrintEntry("gh_build_kernel/scalar", NsPerOp(t_scalar, n), 1.0);
+    PrintEntry("gh_build_kernel/batch_scalar", NsPerOp(t_batch_scalar, n),
+               t_scalar / t_batch_scalar);
+    PrintEntry("gh_build_kernel/batch_simd", NsPerOp(t_batch_simd, n),
+               t_scalar / t_batch_simd);
+    json.Add("gh_build_kernel/scalar", NsPerOp(t_scalar, n), 1.0, 1, n);
+    json.Add("gh_build_kernel/batch_scalar", NsPerOp(t_batch_scalar, n),
+             t_scalar / t_batch_scalar, 1, n);
+    json.Add("gh_build_kernel/batch_simd", NsPerOp(t_batch_simd, n),
+             t_scalar / t_batch_simd, 1, n);
+  }
+
+  // --- Full GH build: per-rect AddRect (AoS) vs the batched Build.
+  {
+    const auto aos_build = [&] {
+      auto hist = GhHistogram::CreateEmpty(kUnit, kLevel);
+      for (size_t i = 0; i < uniform.size(); ++i) hist->AddRect(uniform[i]);
+      return std::move(*hist);
+    };
+    const GhHistogram reference = aos_build();
+    const double t_aos = TimeBest(aos_build);
+
+    const auto timed_build = [&](KernelBackend backend) {
+      SetKernelBackendForTesting(backend);
+      const double t = TimeBest([&] {
+        const auto hist =
+            GhHistogram::Build(uniform, kUnit, kLevel, GhVariant::kRevised);
+        if (!SameGh(*hist, reference)) all_identical = false;
+      });
+      ClearKernelBackendOverrideForTesting();
+      return t;
+    };
+    const double t_scalar = timed_build(KernelBackend::kScalar);
+    const double t_simd =
+        have_avx2 ? timed_build(KernelBackend::kAvx2) : t_scalar;
+
+    PrintEntry("gh_build/aos", NsPerOp(t_aos, n), 1.0);
+    PrintEntry("gh_build/batch_scalar", NsPerOp(t_scalar, n),
+               t_aos / t_scalar);
+    PrintEntry("gh_build/batch_simd", NsPerOp(t_simd, n), t_aos / t_simd);
+    json.Add("gh_build/aos", NsPerOp(t_aos, n), 1.0, 1, n);
+    json.Add("gh_build/batch_scalar", NsPerOp(t_scalar, n), t_aos / t_scalar,
+             1, n);
+    json.Add("gh_build/batch_simd", NsPerOp(t_simd, n), t_aos / t_simd, 1, n);
+  }
+
+  // --- Full PH build.
+  {
+    const auto aos_build = [&] {
+      auto hist = PhHistogram::CreateEmpty(kUnit, kLevel);
+      for (size_t i = 0; i < clustered.size(); ++i) hist->AddRect(clustered[i]);
+      return std::move(*hist);
+    };
+    const PhHistogram reference = aos_build();
+    const double t_aos = TimeBest(aos_build);
+
+    const auto timed_build = [&](KernelBackend backend) {
+      SetKernelBackendForTesting(backend);
+      const double t = TimeBest([&] {
+        const auto hist = PhHistogram::Build(clustered, kUnit, kLevel,
+                                             PhVariant::kSplitCrossing);
+        if (!SamePh(*hist, reference)) all_identical = false;
+      });
+      ClearKernelBackendOverrideForTesting();
+      return t;
+    };
+    const double t_scalar = timed_build(KernelBackend::kScalar);
+    const double t_simd =
+        have_avx2 ? timed_build(KernelBackend::kAvx2) : t_scalar;
+
+    PrintEntry("ph_build/aos", NsPerOp(t_aos, n), 1.0);
+    PrintEntry("ph_build/batch_scalar", NsPerOp(t_scalar, n),
+               t_aos / t_scalar);
+    PrintEntry("ph_build/batch_simd", NsPerOp(t_simd, n), t_aos / t_simd);
+    json.Add("ph_build/aos", NsPerOp(t_aos, n), 1.0, 1, n);
+    json.Add("ph_build/batch_scalar", NsPerOp(t_scalar, n), t_aos / t_scalar,
+             1, n);
+    json.Add("ph_build/batch_simd", NsPerOp(t_simd, n), t_aos / t_simd, 1, n);
+  }
+
+  // --- Join filters: plane sweep and PBSM, scalar vs SIMD backend.
+  const auto join_rows = [&](const char* name, auto&& count_fn) {
+    SetKernelBackendForTesting(KernelBackend::kScalar);
+    const uint64_t reference = count_fn();
+    const double t_scalar = TimeBest([&] {
+      if (count_fn() != reference) all_identical = false;
+    });
+    double t_simd = t_scalar;
+    if (have_avx2) {
+      SetKernelBackendForTesting(KernelBackend::kAvx2);
+      t_simd = TimeBest([&] {
+        if (count_fn() != reference) all_identical = false;
+      });
+    }
+    ClearKernelBackendOverrideForTesting();
+    PrintEntry(std::string(name) + "/scalar", NsPerOp(t_scalar, n), 1.0);
+    PrintEntry(std::string(name) + "/simd", NsPerOp(t_simd, n),
+               t_scalar / t_simd);
+    json.Add(std::string(name) + "/scalar", NsPerOp(t_scalar, n), 1.0, 1, n);
+    json.Add(std::string(name) + "/simd", NsPerOp(t_simd, n),
+             t_scalar / t_simd, 1, n);
+  };
+  join_rows("plane_sweep",
+            [&] { return PlaneSweepJoinCount(uniform, clustered); });
+  join_rows("pbsm", [&] { return PbsmJoinCount(uniform, clustered); });
+
+  // --- Sampling estimator with the plane-sweep sample join.
+  {
+    SamplingOptions options;
+    options.join_algo = SampleJoinAlgo::kPlaneSweep;
+    options.frac_a = 0.1;
+    options.frac_b = 0.1;
+    join_rows("sample_filter", [&] {
+      return EstimateBySampling(uniform, clustered, options)->sample_pairs;
+    });
+  }
+
+  std::printf("\nbackends %s\n",
+              all_identical ? "bit-identical" : "MISMATCH!");
+  json.Write();
+  return all_identical ? 0 : 1;
+}

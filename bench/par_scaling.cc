@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/gh_histogram.h"
 #include "core/ph_histogram.h"
 #include "core/sampling.h"
@@ -75,6 +76,16 @@ void PrintRow(const Row& row) {
   std::printf("  %s\n", row.identical ? "bit-identical" : "MISMATCH!");
 }
 
+// One JSON entry per thread count; speedup is vs this row's 1-thread run
+// (the stdout table's baseline, not the kernel-scalar baseline).
+void AddRowJson(bench::BenchJsonWriter* json, const Row& row, size_t items) {
+  for (int i = 0; i < 4; ++i) {
+    json->Add(row.name, row.seconds[i] * 1e9 / static_cast<double>(items),
+              row.seconds[i] > 0.0 ? row.seconds[0] / row.seconds[i] : 0.0,
+              kThreadCounts[i], items);
+  }
+}
+
 }  // namespace
 }  // namespace sjsel
 
@@ -95,6 +106,8 @@ int main() {
   std::printf("%-11s  %18s  %18s  %18s  %18s\n", "workload", "1 thread",
               "2 threads", "4 threads", "8 threads");
 
+  bench::BenchJsonWriter json("par_scaling");
+
   // GH histogram build.
   {
     Row row{"gh-build", {}, true};
@@ -111,6 +124,7 @@ int main() {
       });
     }
     PrintRow(row);
+    AddRowJson(&json, row, n);
   }
 
   // PH histogram build.
@@ -138,6 +152,7 @@ int main() {
       });
     }
     PrintRow(row);
+    AddRowJson(&json, row, n);
   }
 
   // PBSM ground-truth join.
@@ -154,6 +169,7 @@ int main() {
       });
     }
     PrintRow(row);
+    AddRowJson(&json, row, n);
   }
 
   // R-tree ground-truth join (trees built once; the join is the workload).
@@ -169,6 +185,7 @@ int main() {
       });
     }
     PrintRow(row);
+    AddRowJson(&json, row, n);
   }
 
   // Sampling estimator (draw + build + join; only build/join parallelize).
@@ -186,7 +203,9 @@ int main() {
       });
     }
     PrintRow(row);
+    AddRowJson(&json, row, n);
   }
 
+  json.Write();
   return 0;
 }

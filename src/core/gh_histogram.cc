@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/kernels.h"
+#include "geom/soa_dataset.h"
+#include "util/aligned.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
 
@@ -11,22 +14,18 @@ namespace {
 constexpr uint32_t kGhMagic = 0x53474847;  // "SGHG"
 constexpr uint32_t kGhVersion = 2;
 
-// Length of [lo, hi] ∩ [cell_lo, cell_hi], never negative.
-double OverlapLen(double lo, double hi, double cell_lo, double cell_hi) {
-  return std::max(0.0, std::min(hi, cell_hi) - std::max(lo, cell_lo));
-}
-
 }  // namespace
 
 namespace {
 
-// Folds one MBR's GH contributions into the four per-cell arrays with the
-// given weight (+1 to add, -1 to remove). Shared by Build, AddRect,
-// RemoveRect and the on-the-fly query-parameter path of
-// EstimateGhRangeCount.
+// Emits one MBR's GH contributions given its precomputed cell range
+// [x0, x1] x [y0, y1]. The corner cells and edge rows/columns are the
+// range corners — CellOf(min corner) == (x0, y0) and so on — so a single
+// range computation (scalar here, batched in GhContributionBatch) covers
+// every cell lookup the scheme needs.
 template <typename Sink>
-void ForEachGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
-                           Sink&& sink) {
+void EmitGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
+                        int x0, int y0, int x1, int y1, Sink&& sink) {
   const bool basic = variant == GhVariant::kBasic;
   const double cell_w = grid.cell_width();
   const double cell_h = grid.cell_height();
@@ -34,16 +33,10 @@ void ForEachGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
 
   // Corner points — every MBR has 4 (coincident for degenerate MBRs),
   // each owned by exactly one cell.
-  sink.Corner(grid.CellOf({r.min_x, r.min_y}), 1.0);
-  sink.Corner(grid.CellOf({r.max_x, r.min_y}), 1.0);
-  sink.Corner(grid.CellOf({r.min_x, r.max_y}), 1.0);
-  sink.Corner(grid.CellOf({r.max_x, r.max_y}), 1.0);
-
-  int x0 = 0;
-  int y0 = 0;
-  int x1 = 0;
-  int y1 = 0;
-  grid.CellRange(r, &x0, &y0, &x1, &y1);
+  sink.Corner(grid.Flat(x0, y0), 1.0);
+  sink.Corner(grid.Flat(x1, y0), 1.0);
+  sink.Corner(grid.Flat(x0, y1), 1.0);
+  sink.Corner(grid.Flat(x1, y1), 1.0);
 
   // Area term (revised: clipped-area ratio; basic: intersects-cell count).
   for (int cy = y0; cy <= y1; ++cy) {
@@ -61,9 +54,9 @@ void ForEachGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
   }
 
   // Horizontal edges (bottom and top; both contribute even when they
-  // coincide — see the degenerate-MBR note in the header).
-  for (const double y : {r.min_y, r.max_y}) {
-    const int cy = grid.CellY(y);
+  // coincide — see the degenerate-MBR note in the header). The bottom edge
+  // lies in row y0, the top edge in row y1.
+  for (const int cy : {y0, y1}) {
     for (int cx = x0; cx <= x1; ++cx) {
       const int64_t idx = grid.Flat(cx, cy);
       if (basic) {
@@ -77,9 +70,8 @@ void ForEachGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
     }
   }
 
-  // Vertical edges (left and right).
-  for (const double x : {r.min_x, r.max_x}) {
-    const int cx = grid.CellX(x);
+  // Vertical edges (left and right; columns x0 and x1).
+  for (const int cx : {x0, x1}) {
     for (int cy = y0; cy <= y1; ++cy) {
       const int64_t idx = grid.Flat(cx, cy);
       if (basic) {
@@ -90,6 +82,94 @@ void ForEachGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
                                       cell.max_y) /
                                cell_h);
       }
+    }
+  }
+}
+
+// Scalar entry point: computes the cell range, then emits. Shared by
+// AddRect, RemoveRect and the on-the-fly query-parameter path of
+// EstimateGhRangeCount.
+template <typename Sink>
+void ForEachGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
+                           Sink&& sink) {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  grid.CellRange(r, &x0, &y0, &x1, &y1);
+  EmitGhContribution(grid, variant, r, x0, y0, x1, y1, sink);
+}
+
+// Reusable per-chunk buffers of the batch build path.
+struct GhBatchScratch {
+  AlignedVector<int32_t> x0, y0, x1, y1;
+  AlignedVector<double> area, h_frac, v_frac;
+
+  void Resize(size_t n) {
+    x0.resize(n);
+    y0.resize(n);
+    x1.resize(n);
+    y1.resize(n);
+    area.resize(n);
+    h_frac.resize(n);
+    v_frac.resize(n);
+  }
+};
+
+// Batch-kernel contribution pass over a SoA chunk: cell ranges for the
+// whole chunk in one vectorized sweep (src/core/kernels.h), clipped
+// single-cell terms likewise, then a per-rect emission loop that books the
+// amounts in exactly the order — and from exactly the same floating-point
+// operations — the scalar ForEachGhContribution produces. Rects spanning
+// several cells fall back to the scalar per-cell loops with their
+// precomputed range.
+template <typename Sink>
+void GhContributionBatch(const Grid& grid, GhVariant variant,
+                         const SoaSlice& slice, GhBatchScratch* scratch,
+                         Sink&& sink) {
+  const size_t n = slice.size;
+  scratch->Resize(n);
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(),
+                      grid.per_axis()};
+  CellRangeBatch(geom, slice, scratch->x0.data(), scratch->y0.data(),
+                 scratch->x1.data(), scratch->y1.data());
+  const bool basic = variant == GhVariant::kBasic;
+  if (!basic) {
+    GhSingleCellTermsBatch(geom, slice, scratch->x0.data(),
+                           scratch->y0.data(), scratch->area.data(),
+                           scratch->h_frac.data(), scratch->v_frac.data());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int x0 = scratch->x0[i];
+    const int y0 = scratch->y0[i];
+    const int x1 = scratch->x1[i];
+    const int y1 = scratch->y1[i];
+    if (x0 == x1 && y0 == y1) {
+      // Single-cell rect (the common case at practical grid levels): all
+      // 4 corners, the area term and both edge pairs land in one cell,
+      // with the clipped fractions already computed by the batch kernel.
+      const int64_t idx = grid.Flat(x0, y0);
+      sink.Corner(idx, 1.0);
+      sink.Corner(idx, 1.0);
+      sink.Corner(idx, 1.0);
+      sink.Corner(idx, 1.0);
+      if (basic) {
+        sink.Area(idx, 1.0);
+        sink.Horizontal(idx, 1.0);
+        sink.Horizontal(idx, 1.0);
+        sink.Vertical(idx, 1.0);
+        sink.Vertical(idx, 1.0);
+      } else {
+        sink.Area(idx, scratch->area[i]);
+        sink.Horizontal(idx, scratch->h_frac[i]);
+        sink.Horizontal(idx, scratch->h_frac[i]);
+        sink.Vertical(idx, scratch->v_frac[i]);
+        sink.Vertical(idx, scratch->v_frac[i]);
+      }
+    } else {
+      EmitGhContribution(grid, variant, slice.RectAt(i), x0, y0, x1, y1,
+                         sink);
     }
   }
 }
@@ -195,13 +275,30 @@ Result<GhHistogram> GhHistogram::Build(const Dataset& ds, const Rect& extent,
   GhHistogram hist = std::move(hist_result).value();
   hist.name_ = ds.name();
   const int64_t n = static_cast<int64_t>(ds.size());
+
+  // Both build paths run over the SoA layout so the per-chunk geometry
+  // (cell ranges, single-cell clipping) goes through the batch kernels;
+  // the accumulation stays scalar and in dataset order, which is what
+  // keeps Build bit-identical to an AddRect loop.
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+
   if (threads <= 1 || n <= kBuildChunk) {
-    for (const Rect& r : ds.rects()) hist.AddRect(r);
+    GhBatchScratch scratch;
+    ArraySink sink{&hist.c_, &hist.o_, &hist.h_, &hist.v_, +1.0};
+    for (int64_t begin = 0; begin < n; begin += kBuildChunk) {
+      const int64_t end = std::min(n, begin + kBuildChunk);
+      GhContributionBatch(hist.grid_, variant,
+                          soa.Slice(static_cast<size_t>(begin),
+                                    static_cast<size_t>(end)),
+                          &scratch, sink);
+    }
+    hist.n_ = static_cast<uint64_t>(n);
     return hist;
   }
 
   // Parallel phase: workers record each chunk's contributions (all the
-  // clipping / cell-range geometry) without touching shared state.
+  // clipping / cell-range geometry, batched through the kernels) without
+  // touching shared state.
   const int64_t blocks = ParallelForNumBlocks(n, kBuildChunk);
   std::vector<std::vector<GhContribution>> recorded(
       static_cast<size_t>(blocks));
@@ -212,9 +309,11 @@ Result<GhHistogram> GhHistogram::Build(const Dataset& ds, const Rect& extent,
                 // 4 corners + typically a handful of area/edge cells.
                 out.reserve(static_cast<size_t>(end - begin) * 12);
                 RecordingSink sink{&out};
-                for (int64_t i = begin; i < end; ++i) {
-                  ForEachGhContribution(hist.grid_, variant, ds[i], sink);
-                }
+                GhBatchScratch scratch;
+                GhContributionBatch(hist.grid_, variant,
+                                    soa.Slice(static_cast<size_t>(begin),
+                                              static_cast<size_t>(end)),
+                                    &scratch, sink);
               });
 
   // Serial replay in chunk order = dataset order: the per-cell addition

@@ -1,0 +1,353 @@
+#include "core/kernels.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SJSEL_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define SJSEL_KERNELS_X86 0
+#endif
+
+namespace sjsel {
+namespace {
+
+// -1 = no override; otherwise the int value of the forced KernelBackend.
+std::atomic<int> g_backend_override{-1};
+
+KernelBackend ProbeBackend() {
+#if SJSEL_KERNELS_X86
+  if (__builtin_cpu_supports("avx2")) return KernelBackend::kAvx2;
+#endif
+  return KernelBackend::kScalar;
+}
+
+// One grid-cell coordinate, identical to Grid::CellX / Grid::CellY: floor
+// of the scaled offset, clamped into [0, per_axis).
+inline int32_t CellCoordScalar(double v, double origin, double cell_size,
+                               int per_axis) {
+  int c = static_cast<int>(std::floor((v - origin) / cell_size));
+  if (c < 0) c = 0;
+  if (c >= per_axis) c = per_axis - 1;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backends. These are the semantic reference: every AVX2 kernel must
+// reproduce them bit-for-bit, lane by lane.
+// ---------------------------------------------------------------------------
+
+void CellRangeBatchScalar(const GridGeom& g, const SoaSlice& rects,
+                          int32_t* x0, int32_t* y0, int32_t* x1,
+                          int32_t* y1) {
+  for (std::size_t i = 0; i < rects.size; ++i) {
+    x0[i] = CellCoordScalar(rects.min_x[i], g.min_x, g.cell_w, g.per_axis);
+    y0[i] = CellCoordScalar(rects.min_y[i], g.min_y, g.cell_h, g.per_axis);
+    x1[i] = CellCoordScalar(rects.max_x[i], g.min_x, g.cell_w, g.per_axis);
+    y1[i] = CellCoordScalar(rects.max_y[i], g.min_y, g.cell_h, g.per_axis);
+  }
+}
+
+void GhSingleCellTermsBatchScalar(const GridGeom& g, const SoaSlice& rects,
+                                  const int32_t* x0, const int32_t* y0,
+                                  double* out_area, double* out_h,
+                                  double* out_v) {
+  const double cell_area = g.cell_w * g.cell_h;
+  for (std::size_t i = 0; i < rects.size; ++i) {
+    const double cell_lo_x = g.min_x + x0[i] * g.cell_w;
+    const double cell_hi_x = g.min_x + (x0[i] + 1) * g.cell_w;
+    const double cell_lo_y = g.min_y + y0[i] * g.cell_h;
+    const double cell_hi_y = g.min_y + (y0[i] + 1) * g.cell_h;
+    const double w =
+        OverlapLen(rects.min_x[i], rects.max_x[i], cell_lo_x, cell_hi_x);
+    const double h =
+        OverlapLen(rects.min_y[i], rects.max_y[i], cell_lo_y, cell_hi_y);
+    out_area[i] = (w * h) / cell_area;
+    out_h[i] = w / g.cell_w;
+    out_v[i] = h / g.cell_h;
+  }
+}
+
+void PhContainedTermsBatchScalar(const SoaSlice& rects, double* out_area,
+                                 double* out_w, double* out_h) {
+  for (std::size_t i = 0; i < rects.size; ++i) {
+    const double w = rects.max_x[i] - rects.min_x[i];
+    const double h = rects.max_y[i] - rects.min_y[i];
+    out_w[i] = w;
+    out_h[i] = h;
+    out_area[i] = w * h;
+  }
+}
+
+uint64_t IntersectMask64Scalar(const SoaSlice& rects, std::size_t begin,
+                               std::size_t n, const Rect& probe) {
+  uint64_t mask = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = begin + k;
+    const bool hit = probe.min_x <= rects.max_x[i] &&
+                     rects.min_x[i] <= probe.max_x &&
+                     probe.min_y <= rects.max_y[i] &&
+                     rects.min_y[i] <= probe.max_y;
+    mask |= static_cast<uint64_t>(hit) << k;
+  }
+  return mask;
+}
+
+std::size_t SortedPrefixLeqScalar(const double* keys, std::size_t begin,
+                                  std::size_t end, double bound) {
+  std::size_t k = begin;
+  while (k < end && keys[k] <= bound) ++k;
+  return k - begin;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backends, 4 double lanes per iteration. Bit-identity notes:
+//  - vminpd/vmaxpd return the SECOND operand on ties (and on ±0.0, which
+//    compare equal), so arguments are swapped relative to std::min(a, b) /
+//    std::max(a, b), which return the FIRST.
+//  - No FMA: the avx2 target does not enable contraction, keeping the
+//    mul-then-div sequences identical to scalar.
+//  - Clamps run in the double domain before the int conversion; for every
+//    value whose scalar int cast is defined this matches CellCoordScalar.
+// ---------------------------------------------------------------------------
+
+#if SJSEL_KERNELS_X86
+
+__attribute__((target("avx2"))) inline __m128i CellCoordAvx2(
+    const double* v, __m256d origin, __m256d cell, __m256d hi_clamp) {
+  const __m256d t =
+      _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(v), origin), cell);
+  __m256d f = _mm256_floor_pd(t);
+  f = _mm256_max_pd(f, _mm256_setzero_pd());
+  f = _mm256_min_pd(f, hi_clamp);
+  return _mm256_cvttpd_epi32(f);
+}
+
+__attribute__((target("avx2"))) void CellRangeBatchAvx2(
+    const GridGeom& g, const SoaSlice& rects, int32_t* x0, int32_t* y0,
+    int32_t* x1, int32_t* y1) {
+  const __m256d ox = _mm256_set1_pd(g.min_x);
+  const __m256d oy = _mm256_set1_pd(g.min_y);
+  const __m256d cw = _mm256_set1_pd(g.cell_w);
+  const __m256d ch = _mm256_set1_pd(g.cell_h);
+  const __m256d hi = _mm256_set1_pd(static_cast<double>(g.per_axis - 1));
+  std::size_t i = 0;
+  for (; i + 4 <= rects.size; i += 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x0 + i),
+                     CellCoordAvx2(rects.min_x + i, ox, cw, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y0 + i),
+                     CellCoordAvx2(rects.min_y + i, oy, ch, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x1 + i),
+                     CellCoordAvx2(rects.max_x + i, ox, cw, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y1 + i),
+                     CellCoordAvx2(rects.max_y + i, oy, ch, hi));
+  }
+  for (; i < rects.size; ++i) {
+    x0[i] = CellCoordScalar(rects.min_x[i], g.min_x, g.cell_w, g.per_axis);
+    y0[i] = CellCoordScalar(rects.min_y[i], g.min_y, g.cell_h, g.per_axis);
+    x1[i] = CellCoordScalar(rects.max_x[i], g.min_x, g.cell_w, g.per_axis);
+    y1[i] = CellCoordScalar(rects.max_y[i], g.min_y, g.cell_h, g.per_axis);
+  }
+}
+
+// std::min(a, b) == vminpd(b, a); std::max(a, b) == vmaxpd(b, a).
+__attribute__((target("avx2"))) inline __m256d OverlapLenAvx2(__m256d lo,
+                                                              __m256d hi,
+                                                              __m256d cell_lo,
+                                                              __m256d cell_hi) {
+  const __m256d top = _mm256_min_pd(cell_hi, hi);     // std::min(hi, cell_hi)
+  const __m256d bot = _mm256_max_pd(cell_lo, lo);     // std::max(lo, cell_lo)
+  const __m256d d = _mm256_sub_pd(top, bot);
+  return _mm256_max_pd(d, _mm256_setzero_pd());       // std::max(0.0, d)
+}
+
+__attribute__((target("avx2"))) void GhSingleCellTermsBatchAvx2(
+    const GridGeom& g, const SoaSlice& rects, const int32_t* x0,
+    const int32_t* y0, double* out_area, double* out_h, double* out_v) {
+  const __m256d ox = _mm256_set1_pd(g.min_x);
+  const __m256d oy = _mm256_set1_pd(g.min_y);
+  const __m256d cw = _mm256_set1_pd(g.cell_w);
+  const __m256d ch = _mm256_set1_pd(g.cell_h);
+  const __m256d cell_area = _mm256_set1_pd(g.cell_w * g.cell_h);
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= rects.size; i += 4) {
+    const __m256d x0d = _mm256_cvtepi32_pd(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x0 + i)));
+    const __m256d y0d = _mm256_cvtepi32_pd(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(y0 + i)));
+    const __m256d cell_lo_x = _mm256_add_pd(ox, _mm256_mul_pd(x0d, cw));
+    const __m256d cell_hi_x =
+        _mm256_add_pd(ox, _mm256_mul_pd(_mm256_add_pd(x0d, one), cw));
+    const __m256d cell_lo_y = _mm256_add_pd(oy, _mm256_mul_pd(y0d, ch));
+    const __m256d cell_hi_y =
+        _mm256_add_pd(oy, _mm256_mul_pd(_mm256_add_pd(y0d, one), ch));
+    const __m256d w =
+        OverlapLenAvx2(_mm256_loadu_pd(rects.min_x + i),
+                       _mm256_loadu_pd(rects.max_x + i), cell_lo_x, cell_hi_x);
+    const __m256d h =
+        OverlapLenAvx2(_mm256_loadu_pd(rects.min_y + i),
+                       _mm256_loadu_pd(rects.max_y + i), cell_lo_y, cell_hi_y);
+    _mm256_storeu_pd(out_area + i,
+                     _mm256_div_pd(_mm256_mul_pd(w, h), cell_area));
+    _mm256_storeu_pd(out_h + i, _mm256_div_pd(w, cw));
+    _mm256_storeu_pd(out_v + i, _mm256_div_pd(h, ch));
+  }
+  if (i < rects.size) {
+    const SoaSlice tail = rects.Sub(i, rects.size - i);
+    GhSingleCellTermsBatchScalar(g, tail, x0 + i, y0 + i, out_area + i,
+                                 out_h + i, out_v + i);
+  }
+}
+
+__attribute__((target("avx2"))) void PhContainedTermsBatchAvx2(
+    const SoaSlice& rects, double* out_area, double* out_w, double* out_h) {
+  std::size_t i = 0;
+  for (; i + 4 <= rects.size; i += 4) {
+    const __m256d w = _mm256_sub_pd(_mm256_loadu_pd(rects.max_x + i),
+                                    _mm256_loadu_pd(rects.min_x + i));
+    const __m256d h = _mm256_sub_pd(_mm256_loadu_pd(rects.max_y + i),
+                                    _mm256_loadu_pd(rects.min_y + i));
+    _mm256_storeu_pd(out_w + i, w);
+    _mm256_storeu_pd(out_h + i, h);
+    _mm256_storeu_pd(out_area + i, _mm256_mul_pd(w, h));
+  }
+  if (i < rects.size) {
+    const SoaSlice tail = rects.Sub(i, rects.size - i);
+    PhContainedTermsBatchScalar(tail, out_area + i, out_w + i, out_h + i);
+  }
+}
+
+__attribute__((target("avx2"))) uint64_t IntersectMask64Avx2(
+    const SoaSlice& rects, std::size_t begin, std::size_t n,
+    const Rect& probe) {
+  const __m256d p_min_x = _mm256_set1_pd(probe.min_x);
+  const __m256d p_min_y = _mm256_set1_pd(probe.min_y);
+  const __m256d p_max_x = _mm256_set1_pd(probe.max_x);
+  const __m256d p_max_y = _mm256_set1_pd(probe.max_y);
+  uint64_t mask = 0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const std::size_t i = begin + k;
+    const __m256d c0 =
+        _mm256_cmp_pd(p_min_x, _mm256_loadu_pd(rects.max_x + i), _CMP_LE_OQ);
+    const __m256d c1 =
+        _mm256_cmp_pd(_mm256_loadu_pd(rects.min_x + i), p_max_x, _CMP_LE_OQ);
+    const __m256d c2 =
+        _mm256_cmp_pd(p_min_y, _mm256_loadu_pd(rects.max_y + i), _CMP_LE_OQ);
+    const __m256d c3 =
+        _mm256_cmp_pd(_mm256_loadu_pd(rects.min_y + i), p_max_y, _CMP_LE_OQ);
+    const __m256d hit = _mm256_and_pd(_mm256_and_pd(c0, c1),
+                                      _mm256_and_pd(c2, c3));
+    mask |= static_cast<uint64_t>(_mm256_movemask_pd(hit)) << k;
+  }
+  if (k < n) {
+    mask |= IntersectMask64Scalar(rects, begin + k, n - k, probe) << k;
+  }
+  return mask;
+}
+
+__attribute__((target("avx2"))) std::size_t SortedPrefixLeqAvx2(
+    const double* keys, std::size_t begin, std::size_t end, double bound) {
+  const __m256d b = _mm256_set1_pd(bound);
+  std::size_t k = begin;
+  for (; k + 4 <= end; k += 4) {
+    const int m = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(keys + k), b, _CMP_LE_OQ));
+    if (m != 0xF) {
+      return k - begin +
+             static_cast<std::size_t>(std::countr_zero(~static_cast<unsigned>(m)));
+    }
+  }
+  return k - begin + SortedPrefixLeqScalar(keys, k, end, bound);
+}
+
+#endif  // SJSEL_KERNELS_X86
+
+bool UseAvx2() { return ActiveKernelBackend() == KernelBackend::kAvx2; }
+
+}  // namespace
+
+KernelBackend DetectKernelBackend() {
+  static const KernelBackend detected = ProbeBackend();
+  return detected;
+}
+
+KernelBackend ActiveKernelBackend() {
+  const int forced = g_backend_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelBackend>(forced);
+  return DetectKernelBackend();
+}
+
+void SetKernelBackendForTesting(KernelBackend backend) {
+  g_backend_override.store(static_cast<int>(backend),
+                           std::memory_order_relaxed);
+}
+
+void ClearKernelBackendOverrideForTesting() {
+  g_backend_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+void CellRangeBatch(const GridGeom& g, const SoaSlice& rects, int32_t* x0,
+                    int32_t* y0, int32_t* x1, int32_t* y1) {
+#if SJSEL_KERNELS_X86
+  if (UseAvx2()) {
+    CellRangeBatchAvx2(g, rects, x0, y0, x1, y1);
+    return;
+  }
+#endif
+  CellRangeBatchScalar(g, rects, x0, y0, x1, y1);
+}
+
+void GhSingleCellTermsBatch(const GridGeom& g, const SoaSlice& rects,
+                            const int32_t* x0, const int32_t* y0,
+                            double* out_area, double* out_h, double* out_v) {
+#if SJSEL_KERNELS_X86
+  if (UseAvx2()) {
+    GhSingleCellTermsBatchAvx2(g, rects, x0, y0, out_area, out_h, out_v);
+    return;
+  }
+#endif
+  GhSingleCellTermsBatchScalar(g, rects, x0, y0, out_area, out_h, out_v);
+}
+
+void PhContainedTermsBatch(const SoaSlice& rects, double* out_area,
+                           double* out_w, double* out_h) {
+#if SJSEL_KERNELS_X86
+  if (UseAvx2()) {
+    PhContainedTermsBatchAvx2(rects, out_area, out_w, out_h);
+    return;
+  }
+#endif
+  PhContainedTermsBatchScalar(rects, out_area, out_w, out_h);
+}
+
+uint64_t IntersectMask64(const SoaSlice& rects, std::size_t begin,
+                         std::size_t n, const Rect& probe) {
+#if SJSEL_KERNELS_X86
+  if (UseAvx2()) return IntersectMask64Avx2(rects, begin, n, probe);
+#endif
+  return IntersectMask64Scalar(rects, begin, n, probe);
+}
+
+std::size_t SortedPrefixLeq(const double* keys, std::size_t begin,
+                            std::size_t end, double bound) {
+#if SJSEL_KERNELS_X86
+  if (UseAvx2()) return SortedPrefixLeqAvx2(keys, begin, end, bound);
+#endif
+  return SortedPrefixLeqScalar(keys, begin, end, bound);
+}
+
+}  // namespace sjsel

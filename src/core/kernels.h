@@ -1,0 +1,118 @@
+#ifndef SJSEL_CORE_KERNELS_H_
+#define SJSEL_CORE_KERNELS_H_
+
+// Batch geometry kernels: the branch-free, data-parallel inner loops behind
+// the histogram builds (GH/PH clipping), the partition-sweep join filters
+// (PBSM, plane sweep) and the sampling estimator's sample join.
+//
+// Layering: despite living in src/core/, this module depends only on
+// src/geom/ and src/util/ — it sits directly above the geometry layer in
+// the module map (docs/ARCHITECTURE.md) so the join algorithms in
+// src/join/ may use it too. It mirrors the grid geometry it needs in a
+// plain GridGeom POD instead of including core/grid.h.
+//
+// Dispatch contract (see docs/ARCHITECTURE.md, "Data-level parallelism"):
+//  - Every kernel has a portable scalar implementation and, on x86-64, an
+//    AVX2 implementation selected once at runtime (cpuid probe, cached).
+//  - All backends produce BIT-IDENTICAL results: the same IEEE-754
+//    operations in the same per-lane order as the scalar code. Vector
+//    min/max operand order is chosen to reproduce std::min/std::max tie
+//    semantics exactly (minpd/maxpd return the SECOND operand on ties, so
+//    arguments are swapped), and no FMA contraction is used.
+//  - SetKernelBackendForTesting forces a backend so the equivalence tests
+//    can diff scalar vs SIMD lane by lane.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/rect.h"
+#include "geom/soa_dataset.h"
+
+namespace sjsel {
+
+/// Which implementation the batch kernels run with.
+enum class KernelBackend {
+  kScalar,  ///< portable, auto-vectorizable C++
+  kAvx2,    ///< hand-vectorized 4-lane double kernels (x86-64 with AVX2)
+};
+
+/// The best backend this CPU supports (probed once, cached).
+KernelBackend DetectKernelBackend();
+
+/// The backend kernels currently dispatch to: the testing override if one
+/// is set, otherwise DetectKernelBackend().
+KernelBackend ActiveKernelBackend();
+
+/// Forces every kernel onto `backend` until cleared. Testing hook only —
+/// forcing kAvx2 on a CPU without AVX2 is the caller's crash to keep.
+void SetKernelBackendForTesting(KernelBackend backend);
+
+/// Restores runtime detection.
+void ClearKernelBackendOverrideForTesting();
+
+/// Short lowercase name ("scalar", "avx2") for logs and bench JSON.
+const char* KernelBackendName(KernelBackend backend);
+
+/// Plain-old-data mirror of the uniform-grid geometry the cell kernels
+/// need (core/Grid exposes the same values; callers copy them over so this
+/// header does not depend on core/grid.h).
+struct GridGeom {
+  double min_x = 0.0;   ///< extent origin
+  double min_y = 0.0;
+  double cell_w = 0.0;  ///< cell width (extent width / per_axis)
+  double cell_h = 0.0;
+  int per_axis = 1;     ///< cells per axis
+};
+
+/// Length of [lo, hi] ∩ [cell_lo, cell_hi], never negative. The one
+/// clipping primitive both histogram schemes are built on (previously
+/// duplicated file-locally in gh_histogram.cc / ph_histogram.cc).
+inline double OverlapLen(double lo, double hi, double cell_lo,
+                         double cell_hi) {
+  return std::max(0.0, std::min(hi, cell_hi) - std::max(lo, cell_lo));
+}
+
+/// Batch cell-range kernel: for every rect i of `rects` computes the
+/// column/row span of overlapped grid cells,
+///   x0[i] = clamp(floor((min_x[i] - g.min_x) / g.cell_w), 0, per_axis-1)
+/// and likewise y0/x1/y1 — lane-for-lane identical to Grid::CellRange.
+/// Output arrays must hold rects.size entries.
+void CellRangeBatch(const GridGeom& g, const SoaSlice& rects, int32_t* x0,
+                    int32_t* y0, int32_t* x1, int32_t* y1);
+
+/// Batch GH revised-variant terms for single-cell rects: with (x0[i],
+/// y0[i]) the cell from CellRangeBatch, computes the clipped fractions
+///   out_area[i] = (w * h) / (g.cell_w * g.cell_h)
+///   out_h[i]    = w / g.cell_w
+///   out_v[i]    = h / g.cell_h
+/// where w/h are the OverlapLen of the rect against that cell's rect —
+/// exactly the amounts the scalar GH accumulation books for a rect whose
+/// cell range is one cell. Values for multi-cell rects are computed too
+/// (for the x0/y0 cell) but are only meaningful for single-cell rects.
+void GhSingleCellTermsBatch(const GridGeom& g, const SoaSlice& rects,
+                            const int32_t* x0, const int32_t* y0,
+                            double* out_area, double* out_h, double* out_v);
+
+/// Batch PH contained-population terms: out_w[i] = width, out_h[i] =
+/// height, out_area[i] = width * height — the amounts PH books for an MBR
+/// contained in one cell (and for every cell under the naive variant).
+void PhContainedTermsBatch(const SoaSlice& rects, double* out_area,
+                           double* out_w, double* out_h);
+
+/// Join-filter kernel: bit k of the result is set iff `probe` intersects
+/// rect begin + k (closed-interval convention, identical to
+/// Rect::Intersects). `n` must be <= 64.
+uint64_t IntersectMask64(const SoaSlice& rects, std::size_t begin,
+                         std::size_t n, const Rect& probe);
+
+/// Length of the prefix of keys[begin, end) with keys[k] <= bound — the
+/// forward-scan run length of a min_x-sorted sweep. Scans sequentially and
+/// stops at the first violating key, so on sorted input it equals the
+/// number of keys <= bound.
+std::size_t SortedPrefixLeq(const double* keys, std::size_t begin,
+                            std::size_t end, double bound);
+
+}  // namespace sjsel
+
+#endif  // SJSEL_CORE_KERNELS_H_

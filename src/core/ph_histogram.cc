@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/kernels.h"
+#include "geom/soa_dataset.h"
+#include "util/aligned.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
 
@@ -11,23 +14,13 @@ namespace {
 constexpr uint32_t kPhMagic = 0x53504847;  // "SPHG"
 constexpr uint32_t kPhVersion = 2;
 
-double OverlapLen(double lo, double hi, double cell_lo, double cell_hi) {
-  return std::max(0.0, std::min(hi, cell_hi) - std::max(lo, cell_lo));
-}
-
-// Enumerates one MBR's PH contributions in a fixed order (the order Apply
-// has always used): Contained per overlapped cell for contained/naive
-// bookings, else CrossingGlobal once followed by Crossing per cell.
-// Shared by the direct mutation path and the recording path of the
-// parallel build.
+// Emits one MBR's PH contributions given its precomputed cell range, in a
+// fixed order (the order Apply has always used): Contained per overlapped
+// cell for contained/naive bookings, else CrossingGlobal once followed by
+// Crossing per cell.
 template <typename Sink>
-void ForEachPhContribution(const Grid& grid, PhVariant variant, const Rect& r,
-                           Sink&& sink) {
-  int x0 = 0;
-  int y0 = 0;
-  int x1 = 0;
-  int y1 = 0;
-  grid.CellRange(r, &x0, &y0, &x1, &y1);
+void EmitPhContribution(const Grid& grid, PhVariant variant, const Rect& r,
+                        int x0, int y0, int x1, int y1, Sink&& sink) {
   const bool contained = x0 == x1 && y0 == y1;
 
   if (contained || variant == PhVariant::kNaive) {
@@ -51,6 +44,77 @@ void ForEachPhContribution(const Grid& grid, PhVariant variant, const Rect& r,
       const double h =
           OverlapLen(r.min_y, r.max_y, cell_rect.min_y, cell_rect.max_y);
       sink.Crossing(grid.Flat(cx, cy), w * h, w, h);
+    }
+  }
+}
+
+// Scalar entry point: cell range, then emit. Shared by the direct
+// mutation path (Apply) and the recording path of the parallel build.
+template <typename Sink>
+void ForEachPhContribution(const Grid& grid, PhVariant variant, const Rect& r,
+                           Sink&& sink) {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  grid.CellRange(r, &x0, &y0, &x1, &y1);
+  EmitPhContribution(grid, variant, r, x0, y0, x1, y1, sink);
+}
+
+// Reusable per-chunk buffers of the batch build path.
+struct PhBatchScratch {
+  AlignedVector<int32_t> x0, y0, x1, y1;
+  AlignedVector<double> area, w, h;
+
+  void Resize(size_t n) {
+    x0.resize(n);
+    y0.resize(n);
+    x1.resize(n);
+    y1.resize(n);
+    area.resize(n);
+    w.resize(n);
+    h.resize(n);
+  }
+};
+
+// Batch-kernel contribution pass over a SoA chunk: vectorized cell ranges
+// and contained-population terms (width/height/area) for the whole chunk,
+// then per-rect emission in the exact scalar order. The contained terms
+// are plain subtractions/products, so they are bitwise identical to
+// Rect::width()/height()/area(); crossing rects fall back to the scalar
+// clipping loop with their precomputed range.
+template <typename Sink>
+void PhContributionBatch(const Grid& grid, PhVariant variant,
+                         const SoaSlice& slice, PhBatchScratch* scratch,
+                         Sink&& sink) {
+  const size_t n = slice.size;
+  scratch->Resize(n);
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(),
+                      grid.per_axis()};
+  CellRangeBatch(geom, slice, scratch->x0.data(), scratch->y0.data(),
+                 scratch->x1.data(), scratch->y1.data());
+  PhContainedTermsBatch(slice, scratch->area.data(), scratch->w.data(),
+                        scratch->h.data());
+  for (size_t i = 0; i < n; ++i) {
+    const int x0 = scratch->x0[i];
+    const int y0 = scratch->y0[i];
+    const int x1 = scratch->x1[i];
+    const int y1 = scratch->y1[i];
+    const bool contained = x0 == x1 && y0 == y1;
+    if (contained) {
+      sink.Contained(grid.Flat(x0, y0), scratch->area[i], scratch->w[i],
+                     scratch->h[i]);
+    } else if (variant == PhVariant::kNaive) {
+      for (int cy = y0; cy <= y1; ++cy) {
+        for (int cx = x0; cx <= x1; ++cx) {
+          sink.Contained(grid.Flat(cx, cy), scratch->area[i], scratch->w[i],
+                         scratch->h[i]);
+        }
+      }
+    } else {
+      EmitPhContribution(grid, variant, slice.RectAt(i), x0, y0, x1, y1,
+                         sink);
     }
   }
 }
@@ -176,13 +240,30 @@ Result<PhHistogram> PhHistogram::Build(const Dataset& ds, const Rect& extent,
   PhHistogram hist = std::move(hist_result).value();
   hist.name_ = ds.name();
   const int64_t n = static_cast<int64_t>(ds.size());
+
+  // Both build paths run over the SoA layout so the per-chunk geometry
+  // goes through the batch kernels; accumulation stays scalar and in
+  // dataset order (bit-identical to an AddRect loop).
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+
   if (threads <= 1 || n <= kBuildChunk) {
-    for (const Rect& r : ds.rects()) hist.AddRect(r);
+    PhBatchScratch scratch;
+    PhDirectSink sink{&hist.cells_, &hist.span_sum_, &hist.crossing_count_,
+                      +1.0};
+    for (int64_t begin = 0; begin < n; begin += kBuildChunk) {
+      const int64_t end = std::min(n, begin + kBuildChunk);
+      PhContributionBatch(hist.grid_, variant,
+                          soa.Slice(static_cast<size_t>(begin),
+                                    static_cast<size_t>(end)),
+                          &scratch, sink);
+    }
+    hist.n_ = static_cast<uint64_t>(n);
     return hist;
   }
 
   // Parallel phase: workers record each chunk's contributions (cell
-  // ranges, clipping) without touching shared state.
+  // ranges, clipping, batched through the kernels) without touching
+  // shared state.
   const int64_t blocks = ParallelForNumBlocks(n, kBuildChunk);
   std::vector<std::vector<PhContribution>> recorded(
       static_cast<size_t>(blocks));
@@ -192,9 +273,11 @@ Result<PhHistogram> PhHistogram::Build(const Dataset& ds, const Rect& extent,
                 auto& out = recorded[static_cast<size_t>(block)];
                 out.reserve(static_cast<size_t>(end - begin) * 4);
                 PhRecordingSink sink{&out};
-                for (int64_t i = begin; i < end; ++i) {
-                  ForEachPhContribution(hist.grid_, variant, ds[i], sink);
-                }
+                PhBatchScratch scratch;
+                PhContributionBatch(hist.grid_, variant,
+                                    soa.Slice(static_cast<size_t>(begin),
+                                              static_cast<size_t>(end)),
+                                    &scratch, sink);
               });
 
   // Serial replay in chunk order = dataset order; every sum sees its

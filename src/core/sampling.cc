@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "hilbert/hilbert.h"
+#include "join/plane_sweep.h"
 #include "join/rtree_join.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -118,27 +119,37 @@ Result<SamplingEstimate> EstimateBySampling(const Dataset& a,
   est.sample_a_size = sample_a.size();
   est.sample_b_size = sample_b.size();
 
-  timer.Reset();
-  std::optional<RTree> trees[2];
-  if (options.threads >= 2) {
-    // The two builds are independent; run them on two workers. Insertion
-    // order within each tree is unchanged, so the trees are identical to
-    // a serial build.
-    ThreadPool pool(2);
-    ParallelFor(&pool, 2, 1, [&](int64_t, int64_t begin, int64_t) {
-      const Dataset& sample = begin == 0 ? sample_a : sample_b;
-      trees[begin].emplace(
-          RTree::BuildByInsertion(sample, options.rtree_options));
-    });
+  if (options.join_algo == SampleJoinAlgo::kPlaneSweep) {
+    // No index to build: filter the sample pairs with the vectorized
+    // plane-sweep join. Exact, so sample_pairs matches the R-tree path.
+    timer.Reset();
+    est.sample_pairs = PlaneSweepJoinCount(sample_a, sample_b);
+    est.join_seconds = timer.ElapsedSeconds();
   } else {
-    trees[0].emplace(RTree::BuildByInsertion(sample_a, options.rtree_options));
-    trees[1].emplace(RTree::BuildByInsertion(sample_b, options.rtree_options));
-  }
-  est.build_seconds = timer.ElapsedSeconds();
+    timer.Reset();
+    std::optional<RTree> trees[2];
+    if (options.threads >= 2) {
+      // The two builds are independent; run them on two workers. Insertion
+      // order within each tree is unchanged, so the trees are identical to
+      // a serial build.
+      ThreadPool pool(2);
+      ParallelFor(&pool, 2, 1, [&](int64_t, int64_t begin, int64_t) {
+        const Dataset& sample = begin == 0 ? sample_a : sample_b;
+        trees[begin].emplace(
+            RTree::BuildByInsertion(sample, options.rtree_options));
+      });
+    } else {
+      trees[0].emplace(
+          RTree::BuildByInsertion(sample_a, options.rtree_options));
+      trees[1].emplace(
+          RTree::BuildByInsertion(sample_b, options.rtree_options));
+    }
+    est.build_seconds = timer.ElapsedSeconds();
 
-  timer.Reset();
-  est.sample_pairs = RTreeJoinCount(*trees[0], *trees[1], options.threads);
-  est.join_seconds = timer.ElapsedSeconds();
+    timer.Reset();
+    est.sample_pairs = RTreeJoinCount(*trees[0], *trees[1], options.threads);
+    est.join_seconds = timer.ElapsedSeconds();
+  }
 
   // Scale the sample-join cardinality back up: R / (a% * b%). Use the
   // realized fractions so rounding in the sample sizes does not bias the

@@ -35,9 +35,21 @@ std::vector<size_t> DrawSampleIndices(size_t n, double frac,
 Dataset DrawSample(const Dataset& ds, double frac, SamplingMethod method,
                    uint64_t seed);
 
+/// Algorithm used to count pairs between the two drawn samples. Both are
+/// exact, so the estimate is identical; only the timing profile differs.
+enum class SampleJoinAlgo {
+  /// Build an R-tree per sample and join the trees (the paper's setup —
+  /// reports a build/join timing split).
+  kRTree,
+  /// Skip the index builds and run the vectorized plane-sweep join
+  /// directly on the samples (build_seconds stays 0).
+  kPlaneSweep,
+};
+
 /// Parameters of one sampling-based selectivity estimation run.
 struct SamplingOptions {
   SamplingMethod method = SamplingMethod::kRandomWithReplacement;
+  SampleJoinAlgo join_algo = SampleJoinAlgo::kRTree;
   /// Sampling fractions for the two inputs; 1.0 uses the full dataset
   /// (the paper's "100" columns).
   double frac_a = 0.1;

@@ -1,0 +1,39 @@
+#include "geom/soa_dataset.h"
+
+namespace sjsel {
+
+SoaDataset SoaDataset::FromDataset(const Dataset& ds) {
+  SoaDataset out;
+  out.Reserve(ds.size());
+  for (const Rect& r : ds.rects()) out.Append(r);
+  return out;
+}
+
+void SoaDataset::Reserve(std::size_t n) {
+  min_x_.reserve(n);
+  min_y_.reserve(n);
+  max_x_.reserve(n);
+  max_y_.reserve(n);
+}
+
+void SoaDataset::Append(const Rect& r) {
+  min_x_.push_back(r.min_x);
+  min_y_.push_back(r.min_y);
+  max_x_.push_back(r.max_x);
+  max_y_.push_back(r.max_y);
+}
+
+void SoaDataset::Clear() {
+  min_x_.clear();
+  min_y_.clear();
+  max_x_.clear();
+  max_y_.clear();
+}
+
+Rect SoaDataset::ComputeExtent() const {
+  Rect extent = Rect::Empty();
+  for (std::size_t i = 0; i < size(); ++i) extent.Extend(RectAt(i));
+  return extent;
+}
+
+}  // namespace sjsel

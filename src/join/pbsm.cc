@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "join/sweep_common.h"
 #include "util/thread_pool.h"
 
 namespace sjsel {
@@ -38,18 +39,30 @@ struct IndexedRect {
   int64_t id = 0;
 };
 
-int PickPartitions(size_t n1, size_t n2, int requested) {
-  if (requested > 0) return std::min(requested, 256);
-  const double total = static_cast<double>(n1 + n2);
-  int p = static_cast<int>(std::ceil(std::sqrt(total / 1024.0)));
-  return std::clamp(p, 1, 256);
-}
-
-// Buckets every rectangle of `ds` into each partition it overlaps.
+// Buckets every rectangle of `ds` into each partition it overlaps. A
+// first pass counts per-partition occupancy so each bucket is reserved
+// exactly once — no push_back growth reallocations on large inputs.
 std::vector<std::vector<IndexedRect>> Distribute(const Dataset& ds,
                                                  const PartitionGrid& grid) {
-  std::vector<std::vector<IndexedRect>> cells(
-      static_cast<size_t>(grid.p) * grid.p);
+  const size_t num_cells = static_cast<size_t>(grid.p) * grid.p;
+  std::vector<uint32_t> counts(num_cells, 0);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const Rect& r = ds[i];
+    const int x0 = grid.CellX(r.min_x);
+    const int x1 = grid.CellX(r.max_x);
+    const int y0 = grid.CellY(r.min_y);
+    const int y1 = grid.CellY(r.max_y);
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        ++counts[static_cast<size_t>(cy) * grid.p + cx];
+      }
+    }
+  }
+
+  std::vector<std::vector<IndexedRect>> cells(num_cells);
+  for (size_t c = 0; c < num_cells; ++c) {
+    if (counts[c] > 0) cells[c].reserve(counts[c]);
+  }
   for (size_t i = 0; i < ds.size(); ++i) {
     const Rect& r = ds[i];
     const int x0 = grid.CellX(r.min_x);
@@ -66,43 +79,45 @@ std::vector<std::vector<IndexedRect>> Distribute(const Dataset& ds,
   return cells;
 }
 
+// Per-worker scratch: the two SoA sweep inputs, reused across every
+// partition a worker block processes (capacity survives Assign).
+struct PartitionScratch {
+  sweep::SweepSoa a;
+  sweep::SweepSoa b;
+};
+
+// Sorts a partition's rects by min_x (ties broken by dataset position, so
+// the order is implementation-independent) into the scratch SoA buffers.
+void AssignSorted(std::vector<IndexedRect>& items, sweep::SweepSoa* out) {
+  std::sort(items.begin(), items.end(),
+            [](const IndexedRect& a, const IndexedRect& b) {
+              if (a.rect.min_x != b.rect.min_x) {
+                return a.rect.min_x < b.rect.min_x;
+              }
+              return a.id < b.id;
+            });
+  out->Clear();
+  out->Reserve(items.size());
+  for (const IndexedRect& item : items) out->Append(item.rect, item.id);
+}
+
+// Sweeps one partition pair with the vectorized SoA sweep and applies the
+// reference-point de-duplication: only the partition containing the
+// lower-left corner of the intersection reports a pair.
 template <typename Emit>
 void JoinPartition(std::vector<IndexedRect>& pa, std::vector<IndexedRect>& pb,
-                   const PartitionGrid& grid, int cx, int cy, Emit&& emit) {
-  auto by_min_x = [](const IndexedRect& a, const IndexedRect& b) {
-    return a.rect.min_x < b.rect.min_x;
-  };
-  std::sort(pa.begin(), pa.end(), by_min_x);
-  std::sort(pb.begin(), pb.end(), by_min_x);
-
-  // `r` is always from the first input's partition, `s` from the second's.
-  auto handle = [&](const IndexedRect& r, const IndexedRect& s) {
-    if (!r.rect.Intersects(s.rect)) return;
-    // Reference-point de-duplication: only the partition containing the
-    // lower-left corner of the intersection reports the pair.
-    const Point ref{std::max(r.rect.min_x, s.rect.min_x),
-                    std::max(r.rect.min_y, s.rect.min_y)};
+                   const PartitionGrid& grid, int cx, int cy,
+                   PartitionScratch* scratch, Emit&& emit) {
+  AssignSorted(pa, &scratch->a);
+  AssignSorted(pb, &scratch->b);
+  const sweep::SweepSoa& sa = scratch->a;
+  const sweep::SweepSoa& sb = scratch->b;
+  sweep::SoaSweep(sa, sb, [&](size_t i, size_t j) {
+    const Point ref{std::max(sa.min_x[i], sb.min_x[j]),
+                    std::max(sa.min_y[i], sb.min_y[j])};
     if (!grid.Owns(cx, cy, ref)) return;
-    emit(r.id, s.id);
-  };
-
-  size_t i = 0;
-  size_t j = 0;
-  while (i < pa.size() && j < pb.size()) {
-    if (pa[i].rect.min_x <= pb[j].rect.min_x) {
-      for (size_t k = j; k < pb.size() && pb[k].rect.min_x <= pa[i].rect.max_x;
-           ++k) {
-        handle(pa[i], pb[k]);
-      }
-      ++i;
-    } else {
-      for (size_t k = i; k < pa.size() && pa[k].rect.min_x <= pb[j].rect.max_x;
-           ++k) {
-        handle(pa[k], pb[j]);
-      }
-      ++j;
-    }
-  }
+    emit(sa.id[i], sb.id[j]);
+  });
 }
 
 // Joins every non-empty partition pair, serially in partition order or —
@@ -116,7 +131,7 @@ void PbsmJoinImpl(const Dataset& a, const Dataset& b, PbsmOptions options,
   PartitionGrid grid;
   grid.extent = a.ComputeExtent();
   grid.extent.Extend(b.ComputeExtent());
-  grid.p = PickPartitions(a.size(), b.size(), options.partitions_per_axis);
+  grid.p = PbsmPickPartitions(a.size(), b.size(), options.partitions_per_axis);
   grid.cell_w = grid.extent.width() / grid.p;
   grid.cell_h = grid.extent.height() / grid.p;
   if (grid.cell_w <= 0.0 || grid.cell_h <= 0.0) grid.p = 1;
@@ -131,23 +146,34 @@ void PbsmJoinImpl(const Dataset& a, const Dataset& b, PbsmOptions options,
   }
 
   std::vector<Slot> slots(active.size());
-  const auto join_one = [&](size_t task) {
+  const auto join_one = [&](size_t task, PartitionScratch* scratch) {
     const size_t idx = active[task];
     const int cx = static_cast<int>(idx) % grid.p;
     const int cy = static_cast<int>(idx) / grid.p;
     Slot& slot = slots[task];
-    JoinPartition(cells_a[idx], cells_b[idx], grid, cx, cy,
+    JoinPartition(cells_a[idx], cells_b[idx], grid, cx, cy, scratch,
                   [&slot, &emit](int64_t x, int64_t y) { emit(slot, x, y); });
   };
 
   if (options.threads > 1 && active.size() > 1) {
+    // Chunk several partitions per block so each worker invocation reuses
+    // one scratch across its partitions; slots stay per task, so results
+    // and emit order are unchanged by the chunking.
+    const int64_t grain = std::max<int64_t>(
+        1, static_cast<int64_t>(active.size()) / (4 * options.threads));
     ThreadPool pool(options.threads);
-    ParallelFor(&pool, static_cast<int64_t>(active.size()), 1,
-                [&](int64_t, int64_t begin, int64_t) {
-                  join_one(static_cast<size_t>(begin));
+    ParallelFor(&pool, static_cast<int64_t>(active.size()), grain,
+                [&](int64_t, int64_t begin, int64_t end) {
+                  PartitionScratch scratch;
+                  for (int64_t task = begin; task < end; ++task) {
+                    join_one(static_cast<size_t>(task), &scratch);
+                  }
                 });
   } else {
-    for (size_t task = 0; task < active.size(); ++task) join_one(task);
+    PartitionScratch scratch;
+    for (size_t task = 0; task < active.size(); ++task) {
+      join_one(task, &scratch);
+    }
   }
 
   // Deterministic combine: partition order, regardless of which worker
@@ -156,6 +182,14 @@ void PbsmJoinImpl(const Dataset& a, const Dataset& b, PbsmOptions options,
 }
 
 }  // namespace
+
+int PbsmPickPartitions(size_t n1, size_t n2, int requested) {
+  if (requested > 0) return std::min(requested, kPbsmMaxPartitionsPerAxis);
+  const double total = static_cast<double>(n1 + n2);
+  const int p = static_cast<int>(
+      std::ceil(std::sqrt(total / kPbsmTargetRectsPerPartition)));
+  return std::clamp(p, 1, kPbsmMaxPartitionsPerAxis);
+}
 
 uint64_t PbsmJoinCount(const Dataset& a, const Dataset& b,
                        PbsmOptions options) {

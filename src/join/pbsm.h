@@ -8,10 +8,25 @@
 
 namespace sjsel {
 
+/// Hard cap on partitions per axis (so the partition table tops out at
+/// 256 x 256 = 65536 cells regardless of input size or caller request).
+inline constexpr int kPbsmMaxPartitionsPerAxis = 256;
+
+/// Average number of rectangles (both inputs combined) the automatic
+/// partition picker aims to land in each partition: p = ceil(sqrt((N1 +
+/// N2) / target)), so partition-local sweeps stay cache-resident without
+/// drowning in per-partition overhead.
+inline constexpr double kPbsmTargetRectsPerPartition = 1024.0;
+
+/// Partitions-per-axis heuristic: a positive `requested` is honored up to
+/// kPbsmMaxPartitionsPerAxis; otherwise the occupancy target above picks,
+/// clamped to [1, kPbsmMaxPartitionsPerAxis]. Exposed for testing.
+int PbsmPickPartitions(size_t n1, size_t n2, int requested);
+
 /// Options for the partition-based join.
 struct PbsmOptions {
-  /// Grid partitions per axis; 0 picks sqrt((N1+N2)/1024) clamped to
-  /// [1, 256].
+  /// Grid partitions per axis; 0 engages PbsmPickPartitions' occupancy
+  /// heuristic.
   int partitions_per_axis = 0;
   /// Worker threads joining partitions concurrently; <= 1 runs serially.
   /// Partitions are independent after distribution and per-partition

@@ -1,74 +1,48 @@
 #include "join/plane_sweep.h"
 
 #include <algorithm>
+#include <numeric>
 #include <vector>
+
+#include "join/sweep_common.h"
 
 namespace sjsel {
 namespace {
 
-struct SweepItem {
-  Rect rect;
-  int64_t id = 0;
-};
-
-std::vector<SweepItem> SortedByMinX(const Dataset& ds) {
-  std::vector<SweepItem> items;
-  items.reserve(ds.size());
-  for (size_t i = 0; i < ds.size(); ++i) {
-    items.push_back(SweepItem{ds[i], static_cast<int64_t>(i)});
-  }
-  std::sort(items.begin(), items.end(),
-            [](const SweepItem& a, const SweepItem& b) {
-              return a.rect.min_x < b.rect.min_x;
-            });
-  return items;
-}
-
-// Core forward-scan sweep. `emit(left_id, right_id)` receives ids in
-// (a, b) order regardless of which side triggered the scan.
-template <typename Emit>
-void Sweep(const std::vector<SweepItem>& a, const std::vector<SweepItem>& b,
-           Emit&& emit) {
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].rect.min_x <= b[j].rect.min_x) {
-      const Rect& r = a[i].rect;
-      for (size_t k = j; k < b.size() && b[k].rect.min_x <= r.max_x; ++k) {
-        const Rect& s = b[k].rect;
-        if (r.min_y <= s.max_y && s.min_y <= r.max_y) {
-          emit(a[i].id, b[k].id);
-        }
-      }
-      ++i;
-    } else {
-      const Rect& s = b[j].rect;
-      for (size_t k = i; k < a.size() && a[k].rect.min_x <= s.max_x; ++k) {
-        const Rect& r = a[k].rect;
-        if (r.min_y <= s.max_y && s.min_y <= r.max_y) {
-          emit(a[k].id, b[j].id);
-        }
-      }
-      ++j;
-    }
-  }
+// Sorts dataset positions by min_x and gathers the geometry into SoA
+// layout for the vectorized sweep.
+sweep::SweepSoa SortedByMinX(const Dataset& ds) {
+  std::vector<int64_t> order(ds.size());
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::sort(order.begin(), order.end(), [&ds](int64_t a, int64_t b) {
+    const double ax = ds[static_cast<size_t>(a)].min_x;
+    const double bx = ds[static_cast<size_t>(b)].min_x;
+    if (ax != bx) return ax < bx;
+    return a < b;  // tie-break on position: emission order is reproducible
+  });
+  sweep::SweepSoa soa;
+  soa.Reserve(ds.size());
+  for (int64_t pos : order) soa.Append(ds[static_cast<size_t>(pos)], pos);
+  return soa;
 }
 
 }  // namespace
 
 uint64_t PlaneSweepJoinCount(const Dataset& a, const Dataset& b) {
-  const std::vector<SweepItem> sa = SortedByMinX(a);
-  const std::vector<SweepItem> sb = SortedByMinX(b);
+  const sweep::SweepSoa sa = SortedByMinX(a);
+  const sweep::SweepSoa sb = SortedByMinX(b);
   uint64_t count = 0;
-  Sweep(sa, sb, [&count](int64_t, int64_t) { ++count; });
+  sweep::SoaSweep(sa, sb, [&count](size_t, size_t) { ++count; });
   return count;
 }
 
 void PlaneSweepJoin(const Dataset& a, const Dataset& b,
                     const PairCallback& emit) {
-  const std::vector<SweepItem> sa = SortedByMinX(a);
-  const std::vector<SweepItem> sb = SortedByMinX(b);
-  Sweep(sa, sb, [&emit](int64_t x, int64_t y) { emit(x, y); });
+  const sweep::SweepSoa sa = SortedByMinX(a);
+  const sweep::SweepSoa sb = SortedByMinX(b);
+  sweep::SoaSweep(sa, sb, [&](size_t i, size_t j) {
+    emit(sa.id[i], sb.id[j]);
+  });
 }
 
 }  // namespace sjsel

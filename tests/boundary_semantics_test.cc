@@ -1,0 +1,161 @@
+// Boundary semantics of the geometric primitives the estimators and join
+// filters are built on: closed-interval Rect intersection/containment for
+// degenerate (zero-area) and exactly-touching MBRs, the OverlapLen clipping
+// primitive, and grid-cell ownership for rectangles sitting exactly on
+// cell boundaries. These are the conventions every kernel backend must
+// reproduce (see tests/kernel_equivalence_test.cc for the backend diff).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gh_histogram.h"
+#include "core/grid.h"
+#include "core/kernels.h"
+#include "geom/rect.h"
+#include "join/nested_loop.h"
+#include "join/pbsm.h"
+#include "join/plane_sweep.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+// --- OverlapLen: the one clipping primitive of both histogram schemes.
+
+TEST(OverlapLenTest, BasicOverlapIsIntersectionLength) {
+  EXPECT_DOUBLE_EQ(OverlapLen(0.0, 1.0, 0.25, 0.75), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapLen(0.25, 0.75, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapLen(0.0, 0.5, 0.25, 1.0), 0.25);
+}
+
+TEST(OverlapLenTest, DisjointIntervalsClampToZero) {
+  EXPECT_EQ(OverlapLen(0.0, 0.2, 0.3, 0.5), 0.0);
+  EXPECT_EQ(OverlapLen(0.6, 0.9, 0.3, 0.5), 0.0);
+}
+
+TEST(OverlapLenTest, TouchingIntervalsOverlapInExactlyOnePoint) {
+  // Closed intervals sharing one endpoint: length 0, not negative.
+  EXPECT_EQ(OverlapLen(0.0, 0.5, 0.5, 1.0), 0.0);
+  EXPECT_EQ(OverlapLen(0.5, 1.0, 0.0, 0.5), 0.0);
+}
+
+TEST(OverlapLenTest, DegenerateIntervalInsideIsZeroNotNegative) {
+  // A point interval (lo == hi) overlaps in a point wherever it lands.
+  EXPECT_EQ(OverlapLen(0.3, 0.3, 0.0, 1.0), 0.0);
+  EXPECT_EQ(OverlapLen(0.3, 0.3, 0.4, 1.0), 0.0);
+  EXPECT_EQ(OverlapLen(0.0, 1.0, 0.3, 0.3), 0.0);
+}
+
+// --- Rect: closed-interval intersection and containment.
+
+TEST(RectBoundaryTest, TouchingEdgesIntersect) {
+  const Rect left(0.0, 0.0, 0.5, 1.0);
+  const Rect right(0.5, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(left.Intersects(right));
+  EXPECT_TRUE(right.Intersects(left));
+  // ... and the shared edge is the (zero-area) intersection rectangle.
+  const Rect ix = left.Intersection(right);
+  EXPECT_FALSE(ix.IsEmpty());
+  EXPECT_EQ(ix.area(), 0.0);
+  EXPECT_EQ(ix.min_x, 0.5);
+  EXPECT_EQ(ix.max_x, 0.5);
+}
+
+TEST(RectBoundaryTest, TouchingCornersIntersect) {
+  const Rect a(0.0, 0.0, 0.5, 0.5);
+  const Rect b(0.5, 0.5, 1.0, 1.0);
+  EXPECT_TRUE(a.Intersects(b));
+  const Rect ix = a.Intersection(b);
+  EXPECT_EQ(ix.width(), 0.0);
+  EXPECT_EQ(ix.height(), 0.0);
+}
+
+TEST(RectBoundaryTest, StrictlyDisjointDoNotIntersect) {
+  const Rect a(0.0, 0.0, 0.5, 0.5);
+  EXPECT_FALSE(a.Intersects(Rect(0.5 + 1e-12, 0.0, 1.0, 0.5)));
+  EXPECT_FALSE(a.Intersects(Rect(0.0, 0.6, 0.5, 1.0)));
+}
+
+TEST(RectBoundaryTest, ZeroAreaRects) {
+  const Rect point(0.25, 0.25, 0.25, 0.25);   // point datum
+  const Rect hseg(0.0, 0.25, 1.0, 0.25);      // horizontal segment
+  const Rect vseg(0.25, 0.0, 0.25, 1.0);      // vertical segment
+  EXPECT_EQ(point.area(), 0.0);
+  EXPECT_TRUE(point.Intersects(point));       // self, even degenerate
+  EXPECT_TRUE(hseg.Intersects(vseg));         // crossing segments
+  EXPECT_TRUE(point.Intersects(hseg));        // point on the segment
+  EXPECT_TRUE(point.Intersects(vseg));
+  EXPECT_FALSE(point.Intersects(Rect(0.3, 0.25, 0.4, 0.25)));
+  EXPECT_TRUE(kUnit.Contains(point));
+  EXPECT_TRUE(hseg.Contains(point));          // degenerate containment
+}
+
+TEST(RectBoundaryTest, ContainsCountsTheBoundary) {
+  const Rect outer(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(outer.Contains(outer));                         // itself
+  EXPECT_TRUE(outer.Contains(Rect(0.0, 0.0, 1.0, 0.5)));      // shares edges
+  EXPECT_TRUE(outer.Contains(Point{1.0, 1.0}));               // corner
+  EXPECT_FALSE(outer.Contains(Rect(0.0, 0.0, 1.0 + 1e-12, 0.5)));
+}
+
+// --- Grid ownership for geometry exactly on cell boundaries.
+
+TEST(GridBoundaryTest, RectOnCellBoundaryOwnedByHalfOpenConvention) {
+  const auto grid = Grid::Create(kUnit, 2);  // 4x4 cells, boundaries at k/4
+  ASSERT_TRUE(grid.ok());
+  // A rect spanning [0.25, 0.5] on both axes: its min corner is owned by
+  // cell 1 (half-open [0.25, 0.5)), its max corner by cell 2.
+  int x0, y0, x1, y1;
+  grid->CellRange(Rect(0.25, 0.25, 0.5, 0.5), &x0, &y0, &x1, &y1);
+  EXPECT_EQ(x0, 1);
+  EXPECT_EQ(y0, 1);
+  EXPECT_EQ(x1, 2);
+  EXPECT_EQ(y1, 2);
+  // A degenerate point exactly on an interior boundary belongs to the
+  // higher cell; on the extent max, to the last cell (closed last column).
+  EXPECT_EQ(grid->CellX(0.5), 2);
+  EXPECT_EQ(grid->CellX(1.0), 3);
+  EXPECT_EQ(grid->CellX(0.0), 0);
+}
+
+TEST(GridBoundaryTest, CornerPartitionInvariantOnBoundaryRects) {
+  // GH relies on per-cell corner counts partitioning the corner
+  // population. Build from rects whose corners all sit on cell
+  // boundaries; the total corner mass must still be exactly 4 per rect.
+  Dataset ds("boundary");
+  ds.Add(Rect(0.25, 0.25, 0.5, 0.5));
+  ds.Add(Rect(0.0, 0.0, 0.25, 0.75));
+  ds.Add(Rect(0.5, 0.5, 1.0, 1.0));    // touches the extent max corner
+  ds.Add(Rect(0.75, 0.0, 0.75, 0.5));  // vertical segment on a boundary
+  const auto hist = GhHistogram::Build(ds, kUnit, 2);
+  ASSERT_TRUE(hist.ok());
+  double corner_mass = 0.0;
+  for (double c : hist->c()) corner_mass += c;
+  EXPECT_DOUBLE_EQ(corner_mass, 4.0 * ds.size());
+}
+
+// --- Joins on boundary geometry: every filter implements the same closed
+// convention, so they must agree pair for pair.
+
+TEST(JoinBoundaryTest, TouchingAndDegenerateRectsCountedOnce) {
+  Dataset a("a");
+  a.Add(Rect(0.0, 0.0, 0.5, 0.5));
+  a.Add(Rect(0.25, 0.25, 0.25, 0.25));  // point
+  a.Add(Rect(0.5, 0.0, 0.5, 1.0));      // segment on x = 0.5
+  Dataset b("b");
+  b.Add(Rect(0.5, 0.5, 1.0, 1.0));      // touches a[0] in one corner
+  b.Add(Rect(0.25, 0.25, 0.5, 0.5));    // min corner == the point a[1]
+  b.Add(Rect(0.0, 0.75, 0.5, 0.75));    // segment ending on a[2]
+  const uint64_t expected = NestedLoopJoinCount(a, b);
+  EXPECT_EQ(PlaneSweepJoinCount(a, b), expected);
+  for (int p : {1, 2, 4}) {
+    PbsmOptions options;
+    options.partitions_per_axis = p;
+    EXPECT_EQ(PbsmJoinCount(a, b, options), expected) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace sjsel

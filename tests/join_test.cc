@@ -178,6 +178,44 @@ TEST(JoinEdgeCaseTest, RTreesOfVeryDifferentHeights) {
   EXPECT_EQ(RTreeJoinCount(tt, tb), expected);
 }
 
+TEST(PbsmPickPartitionsTest, HonorsRequestUpToTheCap) {
+  EXPECT_EQ(PbsmPickPartitions(1000, 1000, 7), 7);
+  EXPECT_EQ(PbsmPickPartitions(0, 0, 1), 1);
+  EXPECT_EQ(PbsmPickPartitions(1000, 1000, kPbsmMaxPartitionsPerAxis),
+            kPbsmMaxPartitionsPerAxis);
+  // Requests beyond the cap clamp instead of exploding the cell table.
+  EXPECT_EQ(PbsmPickPartitions(1000, 1000, kPbsmMaxPartitionsPerAxis + 1),
+            kPbsmMaxPartitionsPerAxis);
+  EXPECT_EQ(PbsmPickPartitions(10, 10, 1 << 20), kPbsmMaxPartitionsPerAxis);
+}
+
+TEST(PbsmPickPartitionsTest, HeuristicClampsAtTinyInputs) {
+  // Inputs far under one target-occupancy partition still get one cell.
+  EXPECT_EQ(PbsmPickPartitions(0, 0, 0), 1);
+  EXPECT_EQ(PbsmPickPartitions(1, 0, 0), 1);
+  EXPECT_EQ(PbsmPickPartitions(10, 10, 0), 1);
+  const size_t target = static_cast<size_t>(kPbsmTargetRectsPerPartition);
+  EXPECT_EQ(PbsmPickPartitions(target / 2, target / 2, 0), 1);
+}
+
+TEST(PbsmPickPartitionsTest, HeuristicTracksOccupancyTargetAndCap) {
+  const size_t target = static_cast<size_t>(kPbsmTargetRectsPerPartition);
+  // 100x the target over p*p partitions -> p = 10 per axis.
+  EXPECT_EQ(PbsmPickPartitions(50 * target, 50 * target, 0), 10);
+  // Monotone in the input size.
+  int prev = 0;
+  for (size_t n = 1; n <= (size_t{1} << 30); n *= 4) {
+    const int p = PbsmPickPartitions(n, n, 0);
+    EXPECT_GE(p, prev) << "n=" << n;
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, kPbsmMaxPartitionsPerAxis);
+    prev = p;
+  }
+  // Huge inputs saturate at the cap.
+  EXPECT_EQ(PbsmPickPartitions(size_t{1} << 32, size_t{1} << 32, 0),
+            kPbsmMaxPartitionsPerAxis);
+}
+
 TEST(JoinEdgeCaseTest, PointOnPartitionBoundaryNotDuplicated) {
   // Force rects whose intersection's reference point lies exactly on a
   // PBSM partition boundary; the owner rule must count it exactly once.

@@ -1,0 +1,333 @@
+// Bit-identity of the batch/SIMD kernel layer (src/core/kernels.h): every
+// backend must produce the same IEEE-754 doubles as the scalar reference —
+// not approximately equal, EQ on the bits — both at the kernel level (lane
+// by lane) and composed through the histogram builds, join filters and the
+// sampling estimator at several thread counts. This is the contract that
+// lets the SoA fast paths slot under the record-and-replay determinism
+// scheme (docs/ARCHITECTURE.md, "Data-level parallelism").
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/gh_histogram.h"
+#include "core/grid.h"
+#include "core/kernels.h"
+#include "core/ph_histogram.h"
+#include "core/sampling.h"
+#include "datagen/generators.h"
+#include "geom/soa_dataset.h"
+#include "join/nested_loop.h"
+#include "join/pbsm.h"
+#include "join/plane_sweep.h"
+#include "util/aligned.h"
+
+namespace sjsel {
+namespace {
+
+const Rect kUnit(0, 0, 1, 1);
+
+bool HaveAvx2() { return DetectKernelBackend() == KernelBackend::kAvx2; }
+
+// Restores runtime dispatch after every test, pass or fail.
+class KernelEquivalenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ClearKernelBackendOverrideForTesting(); }
+};
+
+Dataset UniformData(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.01, 0.01, 0.5};
+  return gen::UniformRects("uniform", n, kUnit, size, seed);
+}
+
+Dataset SkewedData(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kExponential, 0.02, 0.02, 0.0};
+  return gen::GaussianClusterRects("skewed", n, kUnit,
+                                   {{0.2, 0.8}, 0.05, 0.05, 1.0}, size, seed);
+}
+
+// Adds the adversarial cases: degenerate rects, rects exactly on grid-cell
+// boundaries of every level up to 4, negative zeros, touching pairs.
+Dataset WithBoundaryCases(Dataset ds) {
+  ds.Add(Rect(0.25, 0.25, 0.25, 0.25));      // point on a cell boundary
+  ds.Add(Rect(0.5, 0.0, 0.5, 1.0));          // full-height boundary segment
+  ds.Add(Rect(0.0, 0.0, 1.0, 1.0));          // the whole extent
+  ds.Add(Rect(-0.0, 0.125, 0.375, 0.625));   // negative zero coordinate
+  ds.Add(Rect(0.75, 0.75, 1.0, 1.0));        // touches the extent corner
+  return ds;
+}
+
+// --- Kernel-level: lane-by-lane diff of scalar vs AVX2.
+
+TEST_F(KernelEquivalenceTest, CellRangeBatchLaneExact) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const Dataset ds = WithBoundaryCases(UniformData(1003, 11));
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+  const size_t n = soa.size();
+  for (int level : {0, 1, 3, 7}) {
+    const auto grid = Grid::Create(kUnit, level);
+    const GridGeom g{grid->extent().min_x, grid->extent().min_y,
+                     grid->cell_width(), grid->cell_height(),
+                     grid->per_axis()};
+    AlignedVector<int32_t> sx0(n), sy0(n), sx1(n), sy1(n);
+    AlignedVector<int32_t> vx0(n), vy0(n), vx1(n), vy1(n);
+    SetKernelBackendForTesting(KernelBackend::kScalar);
+    CellRangeBatch(g, soa.Slice(), sx0.data(), sy0.data(), sx1.data(),
+                   sy1.data());
+    SetKernelBackendForTesting(KernelBackend::kAvx2);
+    CellRangeBatch(g, soa.Slice(), vx0.data(), vy0.data(), vx1.data(),
+                   vy1.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(sx0[i], vx0[i]) << "level " << level << " lane " << i;
+      ASSERT_EQ(sy0[i], vy0[i]) << "level " << level << " lane " << i;
+      ASSERT_EQ(sx1[i], vx1[i]) << "level " << level << " lane " << i;
+      ASSERT_EQ(sy1[i], vy1[i]) << "level " << level << " lane " << i;
+    }
+    // ... and both agree with the Grid the histograms actually use.
+    for (size_t i = 0; i < n; ++i) {
+      int x0, y0, x1, y1;
+      grid->CellRange(ds[i], &x0, &y0, &x1, &y1);
+      ASSERT_EQ(sx0[i], x0) << "lane " << i;
+      ASSERT_EQ(sy0[i], y0) << "lane " << i;
+      ASSERT_EQ(sx1[i], x1) << "lane " << i;
+      ASSERT_EQ(sy1[i], y1) << "lane " << i;
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, GhSingleCellTermsBatchBitwise) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const Dataset ds = WithBoundaryCases(SkewedData(997, 13));
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+  const size_t n = soa.size();
+  const auto grid = Grid::Create(kUnit, 5);
+  const GridGeom g{grid->extent().min_x, grid->extent().min_y,
+                   grid->cell_width(), grid->cell_height(),
+                   grid->per_axis()};
+  AlignedVector<int32_t> x0(n), y0(n), x1(n), y1(n);
+  CellRangeBatch(g, soa.Slice(), x0.data(), y0.data(), x1.data(), y1.data());
+
+  AlignedVector<double> sa(n), sh(n), sv(n), va(n), vh(n), vv(n);
+  SetKernelBackendForTesting(KernelBackend::kScalar);
+  GhSingleCellTermsBatch(g, soa.Slice(), x0.data(), y0.data(), sa.data(),
+                         sh.data(), sv.data());
+  SetKernelBackendForTesting(KernelBackend::kAvx2);
+  GhSingleCellTermsBatch(g, soa.Slice(), x0.data(), y0.data(), va.data(),
+                         vh.data(), vv.data());
+  for (size_t i = 0; i < n; ++i) {
+    // EXPECT_EQ on doubles: bitwise-equal values (0.0 == -0.0 aside, which
+    // is itself the semantics std::min/max give).
+    ASSERT_EQ(sa[i], va[i]) << "lane " << i;
+    ASSERT_EQ(sh[i], vh[i]) << "lane " << i;
+    ASSERT_EQ(sv[i], vv[i]) << "lane " << i;
+  }
+}
+
+TEST_F(KernelEquivalenceTest, PhContainedTermsBatchBitwise) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const Dataset ds = WithBoundaryCases(UniformData(513, 17));
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+  const size_t n = soa.size();
+  AlignedVector<double> sa(n), sw(n), sh(n), va(n), vw(n), vh(n);
+  SetKernelBackendForTesting(KernelBackend::kScalar);
+  PhContainedTermsBatch(soa.Slice(), sa.data(), sw.data(), sh.data());
+  SetKernelBackendForTesting(KernelBackend::kAvx2);
+  PhContainedTermsBatch(soa.Slice(), va.data(), vw.data(), vh.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sa[i], va[i]) << "lane " << i;
+    ASSERT_EQ(sw[i], vw[i]) << "lane " << i;
+    ASSERT_EQ(sh[i], vh[i]) << "lane " << i;
+  }
+}
+
+TEST_F(KernelEquivalenceTest, IntersectMask64MatchesRectIntersects) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  Dataset ds = WithBoundaryCases(UniformData(200, 19));
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+  const std::vector<Rect> probes = {
+      Rect(0.2, 0.2, 0.4, 0.4),    Rect(0.0, 0.0, 1.0, 1.0),
+      Rect(0.25, 0.25, 0.25, 0.25), Rect(0.5, 0.0, 0.5, 1.0),
+      Rect(0.9, 0.9, 0.95, 0.95),  Rect(-0.0, -0.0, 0.0, 0.0)};
+  for (const Rect& probe : probes) {
+    for (size_t begin = 0; begin < soa.size(); begin += 37) {
+      const size_t n = std::min<size_t>(64, soa.size() - begin);
+      SetKernelBackendForTesting(KernelBackend::kScalar);
+      const uint64_t scalar = IntersectMask64(soa.Slice(), begin, n, probe);
+      SetKernelBackendForTesting(KernelBackend::kAvx2);
+      const uint64_t simd = IntersectMask64(soa.Slice(), begin, n, probe);
+      ASSERT_EQ(scalar, simd) << "begin " << begin;
+      for (size_t k = 0; k < n; ++k) {
+        ASSERT_EQ((scalar >> k) & 1,
+                  probe.Intersects(ds[begin + k]) ? 1u : 0u)
+            << "begin " << begin << " bit " << k;
+      }
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, SortedPrefixLeqMatchesScalarScan) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  AlignedVector<double> keys;
+  for (int i = 0; i < 301; ++i) keys.push_back(std::floor(i / 3.0) * 0.01);
+  keys.push_back(-0.0);  // unsorted tail values exercise the early stop
+  keys.push_back(0.5);
+  keys.push_back(0.25);
+  for (double bound : {-1.0, -0.0, 0.0, 0.005, 0.3, 0.5, 2.0}) {
+    for (size_t begin : {size_t{0}, size_t{1}, size_t{77}, keys.size() - 2}) {
+      SetKernelBackendForTesting(KernelBackend::kScalar);
+      const size_t s = SortedPrefixLeq(keys.data(), begin, keys.size(), bound);
+      SetKernelBackendForTesting(KernelBackend::kAvx2);
+      const size_t v = SortedPrefixLeq(keys.data(), begin, keys.size(), bound);
+      ASSERT_EQ(s, v) << "bound " << bound << " begin " << begin;
+      // Reference semantics: count up to the first violating key.
+      size_t expected = 0;
+      for (size_t k = begin; k < keys.size() && keys[k] <= bound; ++k) {
+        ++expected;
+      }
+      ASSERT_EQ(s, expected) << "bound " << bound << " begin " << begin;
+    }
+  }
+}
+
+// --- Composed: histogram builds are bitwise equal to the per-rect AddRect
+// reference for every backend x thread count x variant x data shape.
+
+struct BuildCase {
+  bool skewed;
+  int threads;
+};
+
+class BuildEquivalenceTest
+    : public ::testing::TestWithParam<BuildCase> {
+ protected:
+  void TearDown() override { ClearKernelBackendOverrideForTesting(); }
+};
+
+std::vector<KernelBackend> BackendsToTest() {
+  std::vector<KernelBackend> backends = {KernelBackend::kScalar};
+  if (HaveAvx2()) backends.push_back(KernelBackend::kAvx2);
+  return backends;
+}
+
+TEST_P(BuildEquivalenceTest, GhBuildBitIdenticalToAddRectLoop) {
+  const BuildCase& c = GetParam();
+  const Dataset ds = WithBoundaryCases(c.skewed ? SkewedData(4000, 23)
+                                               : UniformData(4000, 23));
+  for (const GhVariant variant : {GhVariant::kRevised, GhVariant::kBasic}) {
+    auto reference = GhHistogram::CreateEmpty(kUnit, 6, variant);
+    ASSERT_TRUE(reference.ok());
+    for (size_t i = 0; i < ds.size(); ++i) reference->AddRect(ds[i]);
+    for (const KernelBackend backend : BackendsToTest()) {
+      SetKernelBackendForTesting(backend);
+      const auto hist = GhHistogram::Build(ds, kUnit, 6, variant, c.threads);
+      ASSERT_TRUE(hist.ok());
+      // EXPECT_EQ on the double vectors: bitwise equality, not tolerance.
+      EXPECT_EQ(hist->c(), reference->c())
+          << KernelBackendName(backend) << " threads " << c.threads;
+      EXPECT_EQ(hist->o(), reference->o()) << KernelBackendName(backend);
+      EXPECT_EQ(hist->h(), reference->h()) << KernelBackendName(backend);
+      EXPECT_EQ(hist->v(), reference->v()) << KernelBackendName(backend);
+    }
+  }
+}
+
+TEST_P(BuildEquivalenceTest, PhBuildBitIdenticalToAddRectLoop) {
+  const BuildCase& c = GetParam();
+  const Dataset ds = WithBoundaryCases(c.skewed ? SkewedData(4000, 29)
+                                               : UniformData(4000, 29));
+  for (const PhVariant variant :
+       {PhVariant::kSplitCrossing, PhVariant::kNaive}) {
+    auto reference = PhHistogram::CreateEmpty(kUnit, 6, variant);
+    ASSERT_TRUE(reference.ok());
+    for (size_t i = 0; i < ds.size(); ++i) reference->AddRect(ds[i]);
+    for (const KernelBackend backend : BackendsToTest()) {
+      SetKernelBackendForTesting(backend);
+      const auto hist = PhHistogram::Build(ds, kUnit, 6, variant, c.threads);
+      ASSERT_TRUE(hist.ok());
+      EXPECT_EQ(hist->avg_span(), reference->avg_span())
+          << KernelBackendName(backend) << " threads " << c.threads;
+      ASSERT_EQ(hist->cells().size(), reference->cells().size());
+      for (size_t i = 0; i < hist->cells().size(); ++i) {
+        const auto& x = hist->cells()[i];
+        const auto& y = reference->cells()[i];
+        ASSERT_EQ(x.num, y.num) << "cell " << i;
+        ASSERT_EQ(x.area_sum, y.area_sum) << "cell " << i;
+        ASSERT_EQ(x.w_sum, y.w_sum) << "cell " << i;
+        ASSERT_EQ(x.h_sum, y.h_sum) << "cell " << i;
+        ASSERT_EQ(x.num_x, y.num_x) << "cell " << i;
+        ASSERT_EQ(x.area_sum_x, y.area_sum_x) << "cell " << i;
+        ASSERT_EQ(x.w_sum_x, y.w_sum_x) << "cell " << i;
+        ASSERT_EQ(x.h_sum_x, y.h_sum_x) << "cell " << i;
+      }
+    }
+  }
+}
+
+TEST_P(BuildEquivalenceTest, JoinsExactAcrossBackendsAndThreads) {
+  const BuildCase& c = GetParam();
+  const Dataset a = WithBoundaryCases(UniformData(1500, 31));
+  const Dataset b = WithBoundaryCases(c.skewed ? SkewedData(1500, 37)
+                                               : UniformData(1500, 37));
+  const uint64_t expected = NestedLoopJoinCount(a, b);
+
+  // The reference pair sequence (scalar backend, serial PBSM).
+  SetKernelBackendForTesting(KernelBackend::kScalar);
+  std::vector<std::pair<int64_t, int64_t>> reference;
+  PbsmOptions serial;
+  PbsmJoin(a, b, [&](int64_t x, int64_t y) { reference.emplace_back(x, y); },
+           serial);
+  ASSERT_EQ(reference.size(), expected);
+
+  for (const KernelBackend backend : BackendsToTest()) {
+    SetKernelBackendForTesting(backend);
+    EXPECT_EQ(PlaneSweepJoinCount(a, b), expected)
+        << KernelBackendName(backend);
+    PbsmOptions options;
+    options.threads = c.threads;
+    EXPECT_EQ(PbsmJoinCount(a, b, options), expected)
+        << KernelBackendName(backend);
+    // The emitted sequence — not just the set — is invariant.
+    std::vector<std::pair<int64_t, int64_t>> got;
+    PbsmJoin(a, b, [&](int64_t x, int64_t y) { got.emplace_back(x, y); },
+             options);
+    EXPECT_EQ(got, reference)
+        << KernelBackendName(backend) << " threads " << c.threads;
+  }
+}
+
+TEST_P(BuildEquivalenceTest, SamplingPlaneSweepMatchesRTreeJoin) {
+  const BuildCase& c = GetParam();
+  const Dataset a = UniformData(3000, 41);
+  const Dataset b = c.skewed ? SkewedData(3000, 43) : UniformData(3000, 43);
+  SamplingOptions options;
+  options.frac_a = 0.2;
+  options.frac_b = 0.2;
+  options.threads = c.threads;
+  const auto rtree = EstimateBySampling(a, b, options);
+  ASSERT_TRUE(rtree.ok());
+  for (const KernelBackend backend : BackendsToTest()) {
+    SetKernelBackendForTesting(backend);
+    options.join_algo = SampleJoinAlgo::kPlaneSweep;
+    const auto sweep = EstimateBySampling(a, b, options);
+    ASSERT_TRUE(sweep.ok());
+    // Same drawn samples, exact filters: identical raw pair count and
+    // therefore a bit-identical estimate.
+    EXPECT_EQ(sweep->sample_pairs, rtree->sample_pairs)
+        << KernelBackendName(backend);
+    EXPECT_EQ(sweep->estimated_pairs, rtree->estimated_pairs);
+    EXPECT_EQ(sweep->sample_a_size, rtree->sample_a_size);
+    EXPECT_EQ(sweep->sample_b_size, rtree->sample_b_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BuildEquivalenceTest,
+    ::testing::Values(BuildCase{false, 1}, BuildCase{false, 4},
+                      BuildCase{false, 8}, BuildCase{true, 1},
+                      BuildCase{true, 4}, BuildCase{true, 8}));
+
+}  // namespace
+}  // namespace sjsel
