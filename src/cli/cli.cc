@@ -1,11 +1,15 @@
 #include "cli/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <limits>
 #include <map>
 #include <optional>
 
 #include "core/gh_histogram.h"
+#include "core/guarded_estimator.h"
 #include "core/minskew.h"
 #include "core/ph_histogram.h"
 #include "core/sampling.h"
@@ -13,6 +17,7 @@
 #include "datagen/geo_generators.h"
 #include "datagen/workloads.h"
 #include "geom/dataset.h"
+#include "geom/validate.h"
 #include "join/nested_loop.h"
 #include "join/pbsm.h"
 #include "join/plane_sweep.h"
@@ -21,6 +26,7 @@
 #include "quadtree/quadtree.h"
 #include "rtree/rtree.h"
 #include "stats/dataset_stats.h"
+#include "util/fault_injection.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -37,22 +43,60 @@ struct ParsedArgs {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
-  double FlagDouble(const std::string& key, double fallback) const {
+  // Strict numeric flag parsing: the whole value must parse (no trailing
+  // junk, no empty value, no overflow) or the command is rejected with the
+  // offending flag named — "--seed=abc" must not silently become 0.
+  Result<double> FlagDouble(const std::string& key, double fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    const char* text = it->second.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+      return Status::InvalidArgument("bad --" + key + ": '" + it->second +
+                                     "' is not a number");
+    }
+    return v;
   }
-  int FlagInt(const std::string& key, int fallback) const {
+  Result<int> FlagInt(const std::string& key, int fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    const char* text = it->second.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max()) {
+      return Status::InvalidArgument("bad --" + key + ": '" + it->second +
+                                     "' is not an integer");
+    }
+    return static_cast<int>(v);
   }
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
 
   /// The shared --threads flag: default serial, 0 = all hardware threads.
-  int Threads() const {
-    const int threads = FlagInt("threads", 1);
-    return threads == 0 ? ThreadPool::DefaultThreads() : threads;
+  Result<int> Threads() const {
+    auto threads = FlagInt("threads", 1);
+    if (!threads.ok()) return threads;
+    return threads.value() == 0 ? ThreadPool::DefaultThreads()
+                                : threads.value();
   }
 };
+
+// Extracts a strict numeric flag; on a parse error, reports it to `err`
+// (in scope at every use) and fails the command with the flag-error exit
+// code 2.
+#define SJSEL_FLAG_OR_RETURN(lhs, expr)                               \
+  do {                                                                \
+    auto _flag = (expr);                                              \
+    if (!_flag.ok()) {                                                \
+      std::fprintf(err, "%s\n", _flag.status().ToString().c_str());   \
+      return 2;                                                       \
+    }                                                                 \
+    lhs = _flag.value();                                              \
+  } while (0)
 
 ParsedArgs Parse(const std::vector<std::string>& args) {
   ParsedArgs parsed;
@@ -82,9 +126,14 @@ int Usage(std::FILE* err) {
                "  stats <in.ds>\n"
                "  hist-build <in.ds> <out.hist> [--scheme=gh|ph|minskew]"
                " [--level=7] [--extent=x0,y0,x1,y1] [--basic|--naive]"
-               " [--threads=1]\n"
+               " [--validate=reject|clamp|quarantine] [--threads=1]\n"
                "  hist-info <in.hist>\n"
                "  estimate <a.hist> <b.hist>\n"
+               "  estimate <a.ds> <b.ds> [--gh-level=7] [--ph-level=5]"
+               " [--fa=0.1] [--fb=0.1] [--seed=1] [--method=rs|rswr|ss]"
+               " [--validate=reject|clamp|quarantine]\n"
+               "      dataset inputs run the guarded fallback chain"
+               " (gh->ph->sampling->parametric)\n"
                "  range <a.hist> <x0,y0,x1,y1>\n"
                "  join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]"
                " [--threads=1]\n"
@@ -95,7 +144,12 @@ int Usage(std::FILE* err) {
                "  gen-geo <streams|blocks|sites> <out.geo> [--n=10000]"
                " [--seed=1]\n"
                "  refine-join <a.geo> <b.geo>\n"
-               "  knn <in.ds> <x,y> [--k=5]\n");
+               "  knn <in.ds> <x,y> [--k=5]\n"
+               "\n"
+               "global flags:\n"
+               "  --inject-faults=<site>=<trigger>[,...]\n"
+               "      arm deterministic fault injection for this invocation;\n"
+               "      triggers: always | nth:N | every:N | prob:P[/SEED]\n");
   return 2;
 }
 
@@ -124,12 +178,16 @@ int CmdGen(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   if (args.positional.size() != 3) return Usage(err);
   const std::string& spec = args.positional[1];
   const std::string& path = args.positional[2];
-  const uint64_t seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
+  int seed_flag = 1;
+  SJSEL_FLAG_OR_RETURN(seed_flag, args.FlagInt("seed", 1));
+  const uint64_t seed = static_cast<uint64_t>(seed_flag);
+  double scale = 0.1;
+  SJSEL_FLAG_OR_RETURN(scale, args.FlagDouble("scale", 0.1));
   const Rect unit(0, 0, 1, 1);
 
   Dataset ds;
   if (const auto paper = PaperDatasetByName(spec); paper.has_value()) {
-    ds = gen::MakePaperDataset(*paper, args.FlagDouble("scale", 0.1), seed);
+    ds = gen::MakePaperDataset(*paper, scale, seed);
   } else if (spec.rfind("uniform:", 0) == 0) {
     const size_t n = std::strtoull(spec.c_str() + 8, nullptr, 10);
     gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.005, 0.005, 0.5};
@@ -157,8 +215,12 @@ int CmdGenGeo(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   if (args.positional.size() != 3) return Usage(err);
   const std::string& kind = args.positional[1];
   const std::string& path = args.positional[2];
-  const size_t n = static_cast<size_t>(args.FlagInt("n", 10000));
-  const uint64_t seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
+  int n_flag = 10000;
+  SJSEL_FLAG_OR_RETURN(n_flag, args.FlagInt("n", 10000));
+  const size_t n = static_cast<size_t>(n_flag);
+  int seed_flag = 1;
+  SJSEL_FLAG_OR_RETURN(seed_flag, args.FlagInt("seed", 1));
+  const uint64_t seed = static_cast<uint64_t>(seed_flag);
   const Rect unit(0, 0, 1, 1);
   const std::vector<gen::Cluster> metros = {
       {{0.3, 0.35}, 0.07, 0.07, 1.0}, {{0.65, 0.6}, 0.06, 0.06, 0.8}};
@@ -225,7 +287,8 @@ int CmdKnn(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
     std::fprintf(err, "bad query point (want x,y)\n");
     return 2;
   }
-  const int k = args.FlagInt("k", 5);
+  int k = 5;
+  SJSEL_FLAG_OR_RETURN(k, args.FlagInt("k", 5));
   const RTree tree = RTree::BulkLoadStr(RTree::DatasetEntries(*ds));
   const auto neighbors = tree.NearestNeighbors(query, k);
   std::fprintf(out, "%zu nearest of %zu rectangles to (%g, %g):\n",
@@ -266,12 +329,13 @@ int CmdStats(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
 
 int CmdHistBuild(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   if (args.positional.size() != 3) return Usage(err);
-  const auto ds = Dataset::Load(args.positional[1]);
+  auto ds = Dataset::Load(args.positional[1]);
   if (!ds.ok()) {
     std::fprintf(err, "load failed: %s\n", ds.status().ToString().c_str());
     return 1;
   }
-  const int level = args.FlagInt("level", 7);
+  int level = 7;
+  SJSEL_FLAG_OR_RETURN(level, args.FlagInt("level", 7));
   Rect extent = ds->ComputeExtent();
   if (args.Has("extent")) {
     const auto parsed = ParseRect(args.Flag("extent", ""));
@@ -281,8 +345,31 @@ int CmdHistBuild(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
     }
     extent = *parsed;
   }
+  // Opt-in pre-build validation against the resolved extent. Only applied
+  // when the user asks: the default build must keep the seed behavior of
+  // clipping boundary-crossing rects cell-by-cell, bit for bit.
+  if (args.Has("validate")) {
+    const auto policy = ParseValidationPolicy(args.Flag("validate", ""));
+    if (!policy.ok()) {
+      std::fprintf(err, "%s\n", policy.status().ToString().c_str());
+      return 2;
+    }
+    RobustnessCounters counters;
+    auto validated = ValidateDataset(*ds, extent, policy.value(), &counters);
+    if (!validated.ok()) {
+      std::fprintf(err, "validation failed: %s\n",
+                   validated.status().ToString().c_str());
+      return 1;
+    }
+    ds = std::move(validated).value();
+    if (counters.Defects() > 0) {
+      std::fprintf(out, "validation           : %s\n",
+                   counters.ToString().c_str());
+    }
+  }
   const std::string scheme = args.Flag("scheme", "gh");
-  const int threads = args.Threads();
+  int threads = 1;
+  SJSEL_FLAG_OR_RETURN(threads, args.Threads());
   Status status;
   if (scheme == "gh") {
     const GhVariant variant =
@@ -307,7 +394,8 @@ int CmdHistBuild(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
     }
     status = hist->Save(args.positional[2]);
   } else if (scheme == "minskew") {
-    const int buckets = args.FlagInt("buckets", 256);
+    int buckets = 256;
+    SJSEL_FLAG_OR_RETURN(buckets, args.FlagInt("buckets", 256));
     const auto hist = MinSkewHistogram::Build(*ds, extent, buckets);
     if (!hist.ok()) {
       std::fprintf(err, "build failed: %s\n",
@@ -406,8 +494,82 @@ int CmdHistInfo(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   return 0;
 }
 
+// The guarded estimate path: both inputs are dataset files, so the full
+// fallback chain (GH -> PH -> sampling -> parametric) can run with input
+// validation in front. Prints the same pairs/selectivity lines as the
+// histogram path plus provenance: answering rung, degradation trail, and
+// validation tallies.
+int CmdEstimateGuarded(const ParsedArgs& args, const Dataset& a,
+                       const Dataset& b, std::FILE* out, std::FILE* err) {
+  GuardedEstimatorOptions options;
+  SJSEL_FLAG_OR_RETURN(options.gh_level, args.FlagInt("gh-level", 7));
+  SJSEL_FLAG_OR_RETURN(options.ph_level, args.FlagInt("ph-level", 5));
+  SJSEL_FLAG_OR_RETURN(options.sampling.frac_a, args.FlagDouble("fa", 0.1));
+  SJSEL_FLAG_OR_RETURN(options.sampling.frac_b, args.FlagDouble("fb", 0.1));
+  int seed_flag = 1;
+  SJSEL_FLAG_OR_RETURN(seed_flag, args.FlagInt("seed", 1));
+  options.sampling.seed = static_cast<uint64_t>(seed_flag);
+  const std::string method = args.Flag("method", "rswr");
+  if (method == "rs") {
+    options.sampling.method = SamplingMethod::kRegular;
+  } else if (method == "rswr") {
+    options.sampling.method = SamplingMethod::kRandomWithReplacement;
+  } else if (method == "ss") {
+    options.sampling.method = SamplingMethod::kSorted;
+  } else {
+    std::fprintf(err, "unknown --method: %s\n", method.c_str());
+    return 2;
+  }
+  const auto policy = ParseValidationPolicy(args.Flag("validate", "quarantine"));
+  if (!policy.ok()) {
+    std::fprintf(err, "%s\n", policy.status().ToString().c_str());
+    return 2;
+  }
+  options.policy = policy.value();
+
+  const GuardedEstimator estimator(options);
+  const auto result = estimator.Estimate(a, b);
+  if (!result.ok()) {
+    std::fprintf(err, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "estimated pairs      : %s\n",
+               FormatDouble(result->outcome.estimated_pairs, 1).c_str());
+  std::fprintf(out, "estimated selectivity: %s\n",
+               FormatDouble(result->outcome.selectivity, 6).c_str());
+  std::fprintf(out, "rung                 : %s (%s)\n",
+               EstimatorRungName(result->rung), result->rung_label.c_str());
+  std::fprintf(out, "degradation_reason   : %s\n",
+               result->degraded() ? result->degradation_reason.c_str()
+                                  : "none");
+  if (result->clamped) std::fprintf(out, "clamped              : yes\n");
+  if (result->validation_a.Defects() > 0) {
+    std::fprintf(out, "validation (a)       : %s\n",
+                 result->validation_a.ToString().c_str());
+  }
+  if (result->validation_b.Defects() > 0) {
+    std::fprintf(out, "validation (b)       : %s\n",
+                 result->validation_b.ToString().c_str());
+  }
+  return 0;
+}
+
 int CmdEstimate(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   if (args.positional.size() != 3) return Usage(err);
+  // Dataset files get the guarded fallback chain; histogram files keep the
+  // direct single-scheme path (Dataset::Load fails fast on a histogram
+  // magic, so sniffing is cheap and cannot misfire).
+  {
+    const auto da = Dataset::Load(args.positional[1]);
+    if (da.ok()) {
+      const auto db = Dataset::Load(args.positional[2]);
+      if (!db.ok()) {
+        std::fprintf(err, "%s\n", db.status().ToString().c_str());
+        return 1;
+      }
+      return CmdEstimateGuarded(args, *da, *db, out, err);
+    }
+  }
   const auto a = LoadAnyHistogram(args.positional[1]);
   const auto b = LoadAnyHistogram(args.positional[2]);
   if (!a.ok() || !b.ok()) {
@@ -480,7 +642,8 @@ int CmdJoin(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
     return 1;
   }
   const std::string algo = args.Flag("algo", "sweep");
-  const int threads = args.Threads();
+  int threads = 1;
+  SJSEL_FLAG_OR_RETURN(threads, args.Threads());
   uint64_t count = 0;
   if (algo == "sweep") {
     count = PlaneSweepJoinCount(*a, *b);
@@ -548,10 +711,12 @@ int CmdSample(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
     std::fprintf(err, "unknown --method: %s\n", method.c_str());
     return 2;
   }
-  options.frac_a = args.FlagDouble("fa", 0.1);
-  options.frac_b = args.FlagDouble("fb", 0.1);
-  options.seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
-  options.threads = args.Threads();
+  SJSEL_FLAG_OR_RETURN(options.frac_a, args.FlagDouble("fa", 0.1));
+  SJSEL_FLAG_OR_RETURN(options.frac_b, args.FlagDouble("fb", 0.1));
+  int seed_flag = 1;
+  SJSEL_FLAG_OR_RETURN(seed_flag, args.FlagInt("seed", 1));
+  options.seed = static_cast<uint64_t>(seed_flag);
+  SJSEL_FLAG_OR_RETURN(options.threads, args.Threads());
   const auto est = EstimateBySampling(*a, *b, options);
   if (!est.ok()) {
     std::fprintf(err, "%s\n", est.status().ToString().c_str());
@@ -572,11 +737,9 @@ int CmdSample(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
 
 }  // namespace
 
-int RunCli(const std::vector<std::string>& args, std::FILE* out,
-           std::FILE* err) {
-  if (args.empty()) return Usage(err);
-  const ParsedArgs parsed = Parse(args);
-  if (parsed.positional.empty()) return Usage(err);
+namespace {
+
+int Dispatch(const ParsedArgs& parsed, std::FILE* out, std::FILE* err) {
   const std::string& command = parsed.positional[0];
   if (command == "gen") return CmdGen(parsed, out, err);
   if (command == "gen-geo") return CmdGenGeo(parsed, out, err);
@@ -591,6 +754,34 @@ int RunCli(const std::vector<std::string>& args, std::FILE* out,
   if (command == "sample") return CmdSample(parsed, out, err);
   std::fprintf(err, "unknown command: %s\n", command.c_str());
   return Usage(err);
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::FILE* out,
+           std::FILE* err) {
+  if (args.empty()) return Usage(err);
+  const ParsedArgs parsed = Parse(args);
+  if (parsed.positional.empty()) return Usage(err);
+
+  // Global fault-injection arming, scoped to this invocation. A bad spec
+  // is a usage error; an injected fault that escapes every recovery layer
+  // must exit as a diagnosed failure, never a crash — hence the catch-all
+  // around the dispatch below.
+  std::optional<ScopedFaultInjection> injection;
+  if (parsed.Has("inject-faults")) {
+    injection.emplace(parsed.Flag("inject-faults", ""));
+    if (!injection->status().ok()) {
+      std::fprintf(err, "%s\n", injection->status().ToString().c_str());
+      return 2;
+    }
+  }
+  try {
+    return Dispatch(parsed, out, err);
+  } catch (const std::exception& e) {
+    std::fprintf(err, "fault: %s\n", e.what());
+    return 1;
+  }
 }
 
 }  // namespace cli

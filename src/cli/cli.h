@@ -21,6 +21,12 @@ namespace cli {
 ///   hist-info <in.hist>        histogram file metadata
 ///   estimate <a.hist> <b.hist> join selectivity estimate from two
 ///                              histogram files (GH or PH, auto-detected)
+///   estimate <a.ds> <b.ds>     guarded estimate from two dataset files:
+///                              inputs are validated (--validate=reject|
+///                              clamp|quarantine, default quarantine) and
+///                              the fallback chain GH -> PH -> sampling ->
+///                              parametric answers, reporting the rung and
+///                              a machine-readable degradation_reason
 ///   range <a.hist> <x0,y0,x1,y1>
 ///                              estimated range-query result count (GH)
 ///   join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]
@@ -32,6 +38,12 @@ namespace cli {
 /// hist-build, join and sample accept --threads=N (0 = all hardware
 /// threads). Thread count never changes any output: histograms are
 /// bit-identical and join counts exact for every N.
+///
+/// Every command accepts --inject-faults=<site>=<trigger>[,...] to arm
+/// deterministic fault injection for the invocation (see
+/// src/util/fault_injection.h for sites and trigger syntax). Numeric flags
+/// are parsed strictly: trailing junk or overflow rejects the command with
+/// exit code 2 naming the flag.
 int RunCli(const std::vector<std::string>& args, std::FILE* out,
            std::FILE* err);
 

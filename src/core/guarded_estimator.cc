@@ -1,0 +1,157 @@
+#include "core/guarded_estimator.h"
+
+#include <cmath>
+#include <exception>
+#include <memory>
+
+#include "util/fault_injection.h"
+
+namespace sjsel {
+namespace {
+
+const char* RungFaultSite(EstimatorRung rung) {
+  switch (rung) {
+    case EstimatorRung::kGh:
+      return kFaultSiteEstimatorGh;
+    case EstimatorRung::kPh:
+      return kFaultSiteEstimatorPh;
+    case EstimatorRung::kSampling:
+      return kFaultSiteEstimatorSampling;
+    case EstimatorRung::kParametric:
+      return kFaultSiteEstimatorParametric;
+  }
+  return "estimator.unknown";
+}
+
+void AppendReason(std::string* reason, EstimatorRung rung,
+                  const std::string& cause) {
+  if (!reason->empty()) reason->push_back(';');
+  reason->append(EstimatorRungName(rung));
+  reason->push_back(':');
+  reason->append(cause);
+}
+
+std::unique_ptr<SelectivityEstimator> MakeRung(
+    EstimatorRung rung, const GuardedEstimatorOptions& options) {
+  switch (rung) {
+    case EstimatorRung::kGh:
+      return MakeGhEstimator(options.gh_level);
+    case EstimatorRung::kPh:
+      return MakePhEstimator(options.ph_level);
+    case EstimatorRung::kSampling:
+      return MakeSamplingEstimator(options.sampling);
+    case EstimatorRung::kParametric:
+      return MakeParametricEstimator();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* EstimatorRungName(EstimatorRung rung) {
+  switch (rung) {
+    case EstimatorRung::kGh:
+      return "gh";
+    case EstimatorRung::kPh:
+      return "ph";
+    case EstimatorRung::kSampling:
+      return "sampling";
+    case EstimatorRung::kParametric:
+      return "parametric";
+  }
+  return "unknown";
+}
+
+Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
+                                                  const Dataset& b) const {
+  EstimateResult result;
+
+  // Validation pass: both inputs, against their joint extent. The extent is
+  // computed from finite coordinates only, so a handful of NaN/Inf rects
+  // cannot poison the frame every clean rect is judged against.
+  Rect extent = Rect::Empty();
+  for (const Dataset* ds : {&a, &b}) {
+    for (const Rect& r : ds->rects()) {
+      if (ClassifyRect(r, Rect::Empty()) == RectDefect::kNone) extent.Extend(r);
+    }
+  }
+  Dataset va;
+  SJSEL_ASSIGN_OR_RETURN(
+      va, ValidateDataset(a, extent, options_.policy, &result.validation_a));
+  Dataset vb;
+  SJSEL_ASSIGN_OR_RETURN(
+      vb, ValidateDataset(b, extent, options_.policy, &result.validation_b));
+
+  // An input that is empty (or empty after quarantine) joins with nothing;
+  // a zero estimate is the correct, finite, in-range answer.
+  if (va.empty() || vb.empty()) {
+    result.rung = EstimatorRung::kParametric;
+    result.rung_label = "Empty";
+    AppendReason(&result.degradation_reason, EstimatorRung::kParametric,
+                 "empty_input");
+    return result;
+  }
+
+  // Every rung's estimate must land in [0, N1*N2] — there are at most
+  // N1*N2 joined pairs, whatever the data looks like.
+  const double n1 = static_cast<double>(va.size());
+  const double n2 = static_cast<double>(vb.size());
+  const double bound = n1 * n2;
+
+  constexpr EstimatorRung kChain[] = {
+      EstimatorRung::kGh, EstimatorRung::kPh, EstimatorRung::kSampling,
+      EstimatorRung::kParametric};
+  for (const EstimatorRung rung : kChain) {
+    if (FaultInjector::GloballyArmed() &&
+        FaultInjector::Global().ShouldFail(RungFaultSite(rung))) {
+      AppendReason(&result.degradation_reason, rung, "injected");
+      continue;
+    }
+    const std::unique_ptr<SelectivityEstimator> estimator =
+        MakeRung(rung, options_);
+    Result<EstimateOutcome> outcome = Status::Internal("rung not run");
+    try {
+      outcome = estimator->Estimate(va, vb);
+    } catch (const std::exception&) {
+      // Injected worker faults surface here as FaultInjectedError rethrown
+      // by ParallelFor; treat any rung exception as that rung failing.
+      AppendReason(&result.degradation_reason, rung, "exception");
+      continue;
+    }
+    if (!outcome.ok()) {
+      AppendReason(&result.degradation_reason, rung,
+                   std::string("error:") +
+                       StatusCodeName(outcome.status().code()));
+      continue;
+    }
+    const double pairs = outcome->estimated_pairs;
+    if (!std::isfinite(pairs)) {
+      AppendReason(&result.degradation_reason, rung, "guard:non_finite");
+      continue;
+    }
+    if (pairs < 0.0) {
+      AppendReason(&result.degradation_reason, rung, "guard:negative");
+      continue;
+    }
+    result.outcome = std::move(outcome).value();
+    if (result.outcome.estimated_pairs > bound) {
+      result.outcome.estimated_pairs = bound;
+      result.clamped = true;
+    }
+    result.outcome.selectivity = result.outcome.estimated_pairs / bound;
+    result.rung = rung;
+    result.rung_label = estimator->Name();
+    return result;
+  }
+
+  // Even the parametric floor tripped (it can only do so on pathological
+  // extents). Degrade to the one estimate that is always safe: zero.
+  AppendReason(&result.degradation_reason, EstimatorRung::kParametric,
+               "floor:zero");
+  result.rung = EstimatorRung::kParametric;
+  result.rung_label = "Zero";
+  result.outcome = EstimateOutcome{};
+  return result;
+}
+
+}  // namespace sjsel

@@ -1,0 +1,92 @@
+#ifndef SJSEL_CORE_GUARDED_ESTIMATOR_H_
+#define SJSEL_CORE_GUARDED_ESTIMATOR_H_
+
+#include <string>
+
+#include "core/estimator.h"
+#include "core/sampling.h"
+#include "geom/dataset.h"
+#include "geom/validate.h"
+#include "util/result.h"
+
+namespace sjsel {
+
+/// The rungs of the guarded fallback chain, in descending preference:
+/// GH (the paper's headline estimator) → PH → sampling → the Aref–Samet
+/// parametric model (Eq. 1), which needs only aggregate statistics and
+/// cannot fail on finite input.
+enum class EstimatorRung {
+  kGh = 0,
+  kPh,
+  kSampling,
+  kParametric,
+};
+
+/// Short stable name used in degradation reasons: "gh", "ph", "sampling",
+/// "parametric".
+const char* EstimatorRungName(EstimatorRung rung);
+
+/// A sanity-checked estimate plus the provenance a production caller needs:
+/// which rung answered, why better rungs were skipped, and how much of the
+/// input was repaired or quarantined before estimation.
+struct EstimateResult {
+  EstimateOutcome outcome;
+  /// The rung whose estimate was accepted.
+  EstimatorRung rung = EstimatorRung::kGh;
+  /// Human-readable technique name of that rung, e.g. "GH(level=7)".
+  std::string rung_label;
+  /// True if the raw estimate was pulled back into [0, N1*N2].
+  bool clamped = false;
+  /// Machine-readable, ';'-joined trail of "<rung>:<cause>" entries, one
+  /// per skipped rung, oldest first. Causes:
+  ///   injected              an armed fault rule fired for the rung
+  ///   error:<StatusCode>    the rung returned a non-OK Status
+  ///   exception             the rung threw (injected worker fault, ...)
+  ///   guard:non_finite      the rung produced NaN or +-Inf
+  ///   guard:negative        the rung produced a negative pair count
+  /// Empty when the primary (GH) rung answered.
+  std::string degradation_reason;
+  /// Validation tallies for the two inputs under the configured policy.
+  RobustnessCounters validation_a;
+  RobustnessCounters validation_b;
+
+  bool degraded() const { return !degradation_reason.empty(); }
+};
+
+/// Configuration of the chain. The defaults mirror the paper's headline
+/// settings (GH level 7, PH level 5, 10%/10% RSWR sampling).
+struct GuardedEstimatorOptions {
+  int gh_level = 7;
+  int ph_level = 5;
+  SamplingOptions sampling;
+  /// Applied to both inputs before any histogram build. kReject makes
+  /// Estimate fail on the first defective rect; the lenient policies
+  /// repair or drop and keep going.
+  ValidationPolicy policy = ValidationPolicy::kQuarantine;
+};
+
+/// Guardrailed facade over the whole estimator family. Every estimate is
+/// validated before use: non-finite, negative and out-of-range values trip
+/// a guard, and any guard trip, error Status, injected fault or exception
+/// degrades to the next rung instead of surfacing garbage. The final
+/// parametric rung is computed from aggregate statistics of the validated
+/// inputs and is clamped rather than failed, so Estimate only returns a
+/// non-OK Status for kReject policy violations or inputs that are empty
+/// after validation... and even the latter yields a well-defined zero
+/// estimate, not an error (an empty side joins with nothing).
+class GuardedEstimator {
+ public:
+  explicit GuardedEstimator(GuardedEstimatorOptions options = {})
+      : options_(options) {}
+
+  Result<EstimateResult> Estimate(const Dataset& a, const Dataset& b) const;
+
+  const GuardedEstimatorOptions& options() const { return options_; }
+
+ private:
+  GuardedEstimatorOptions options_;
+};
+
+}  // namespace sjsel
+
+#endif  // SJSEL_CORE_GUARDED_ESTIMATOR_H_

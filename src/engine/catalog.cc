@@ -1,5 +1,7 @@
 #include "engine/catalog.h"
 
+#include "util/fault_injection.h"
+
 namespace sjsel {
 
 Status Catalog::AddDataset(Dataset dataset) {
@@ -12,7 +14,14 @@ Status Catalog::AddDataset(Dataset dataset) {
   }
   Entry entry;
   const std::string name = dataset.name();
-  entry.dataset = std::move(dataset);
+  // Structural validation only (empty extent): NaN/Inf and inverted MBRs
+  // would silently corrupt every histogram cell they touch, so quarantine
+  // them here. Out-of-extent rects are fine — the GH build clips them.
+  auto validated = ValidateDataset(dataset, Rect::Empty(),
+                                   ValidationPolicy::kQuarantine,
+                                   &entry.validation);
+  if (!validated.ok()) return validated.status();
+  entry.dataset = std::move(validated).value();
   entries_.emplace(name, std::move(entry));
   return Status::OK();
 }
@@ -44,14 +53,65 @@ Result<const Dataset*> Catalog::GetDataset(const std::string& name) const {
   return &it->second.dataset;
 }
 
+Result<RobustnessCounters> Catalog::ValidationCounters(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no such dataset: " + name);
+  }
+  return it->second.validation;
+}
+
 Result<const GhHistogram*> Catalog::GetHistogram(const std::string& name) {
   Entry* entry = nullptr;
   SJSEL_ASSIGN_OR_RETURN(entry, Find(name));
-  if (entry->histogram == nullptr) {
-    auto built = GhHistogram::Build(entry->dataset, extent_, gh_level_);
-    if (!built.ok()) return built.status();
-    entry->histogram =
-        std::make_unique<GhHistogram>(std::move(built).value());
+  if (entry->histogram != nullptr) return entry->histogram.get();
+
+  const std::string cache_path =
+      histogram_cache_dir_.empty() ? ""
+                                   : histogram_cache_dir_ + "/" + name + ".gh";
+  if (!cache_path.empty()) {
+    // Cache-file load, with the catalog.hist_load fault site in front of
+    // it. Any failure here — injected, missing file, corruption, version
+    // skew — degrades to the rebuild below rather than failing the query.
+    Status load_status = Status::OK();
+    if (FaultInjector::GloballyArmed() &&
+        FaultInjector::Global().ShouldFail(kFaultSiteCatalogHistLoad)) {
+      load_status =
+          Status::Corruption("injected fault at catalog.hist_load: " + name);
+    }
+    if (load_status.ok()) {
+      auto loaded = GhHistogram::Load(cache_path);
+      if (loaded.ok()) {
+        // The file must describe this catalog's grid and this dataset;
+        // anything else is a stale or foreign cache entry.
+        const bool compatible =
+            loaded->grid().level() == gh_level_ &&
+            loaded->grid().extent() == extent_ &&
+            loaded->dataset_size() == entry->dataset.size();
+        if (compatible) {
+          entry->histogram =
+              std::make_unique<GhHistogram>(std::move(loaded).value());
+          return entry->histogram.get();
+        }
+        load_status = Status::FailedPrecondition(
+            "histogram cache mismatch for " + name);
+      } else {
+        load_status = loaded.status();
+      }
+    }
+    // Fall through to the in-memory rebuild; count the degradation.
+    (void)load_status;
+    ++histogram_rebuilds_;
+  }
+
+  auto built = GhHistogram::Build(entry->dataset, extent_, gh_level_);
+  if (!built.ok()) return built.status();
+  entry->histogram = std::make_unique<GhHistogram>(std::move(built).value());
+  if (!cache_path.empty()) {
+    // Refresh the cache entry; a failed save only costs the next process
+    // a rebuild.
+    (void)entry->histogram->Save(cache_path);
   }
   return entry->histogram.get();
 }

@@ -1,6 +1,7 @@
 #ifndef SJSEL_ENGINE_CATALOG_H_
 #define SJSEL_ENGINE_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "core/gh_histogram.h"
 #include "geom/dataset.h"
+#include "geom/validate.h"
 #include "rtree/rtree.h"
 #include "util/result.h"
 
@@ -20,6 +22,15 @@ namespace sjsel {
 ///
 /// This realizes the paper's motivating use-case (and its "future work"):
 /// a query optimizer that consults spatial-join selectivity estimates.
+///
+/// Robustness: registration runs a structural validation pass (non-finite
+/// and inverted MBRs are quarantined; out-of-extent geometry is legal —
+/// the GH build clamps it by cell ownership). With a histogram cache
+/// directory set, GetHistogram persists built histograms and reloads them
+/// on later calls; ANY load failure — missing file, CRC mismatch, version
+/// skew, grid mismatch, injected fault (site catalog.hist_load) — falls
+/// back to an in-memory rebuild instead of erroring the query, and the
+/// fallback is counted in histogram_rebuilds().
 class Catalog {
  public:
   /// `extent` is the workspace every registered dataset lives in;
@@ -28,7 +39,8 @@ class Catalog {
       : extent_(extent), gh_level_(gh_level) {}
 
   /// Registers a dataset under its name(). Fails on duplicates or empty
-  /// names.
+  /// names. Structurally defective rects (NaN/Inf coordinates, inverted
+  /// MBRs) are quarantined and counted — see ValidationCounters().
   Status AddDataset(Dataset dataset);
 
   bool Has(const std::string& name) const;
@@ -37,7 +49,23 @@ class Catalog {
   /// Borrowed pointer valid while the catalog lives.
   Result<const Dataset*> GetDataset(const std::string& name) const;
 
-  /// The dataset's GH histogram, built on first use.
+  /// What registration quarantined from the named dataset.
+  Result<RobustnessCounters> ValidationCounters(const std::string& name) const;
+
+  /// Enables the on-disk histogram cache under `dir` (files named
+  /// <dir>/<dataset>.gh). The directory must already exist; save failures
+  /// are tolerated silently (the cache is an optimization, not a
+  /// correctness dependency).
+  void SetHistogramCacheDir(std::string dir) {
+    histogram_cache_dir_ = std::move(dir);
+  }
+
+  /// Times a cache-file load failed and GetHistogram fell back to an
+  /// in-memory rebuild.
+  uint64_t histogram_rebuilds() const { return histogram_rebuilds_; }
+
+  /// The dataset's GH histogram: from the in-memory cache, else the file
+  /// cache (when configured), else built from the dataset.
   Result<const GhHistogram*> GetHistogram(const std::string& name);
 
   /// The dataset's R-tree (STR bulk load), built on first use.
@@ -57,6 +85,7 @@ class Catalog {
  private:
   struct Entry {
     Dataset dataset;
+    RobustnessCounters validation;
     std::unique_ptr<GhHistogram> histogram;
     std::unique_ptr<RTree> rtree;
   };
@@ -65,6 +94,8 @@ class Catalog {
 
   Rect extent_;
   int gh_level_;
+  std::string histogram_cache_dir_;
+  uint64_t histogram_rebuilds_ = 0;
   std::map<std::string, Entry> entries_;
 };
 

@@ -1,0 +1,159 @@
+#include "geom/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sjsel {
+namespace {
+
+const char* RectDefectName(RectDefect defect) {
+  switch (defect) {
+    case RectDefect::kNone:
+      return "none";
+    case RectDefect::kNonFinite:
+      return "non-finite";
+    case RectDefect::kInverted:
+      return "inverted";
+    case RectDefect::kOutOfExtent:
+      return "out-of-extent";
+  }
+  return "unknown";
+}
+
+void Count(RectDefect defect, RobustnessCounters* counters) {
+  switch (defect) {
+    case RectDefect::kNone:
+      break;
+    case RectDefect::kNonFinite:
+      ++counters->non_finite;
+      break;
+    case RectDefect::kInverted:
+      ++counters->inverted;
+      break;
+    case RectDefect::kOutOfExtent:
+      ++counters->out_of_extent;
+      break;
+  }
+}
+
+}  // namespace
+
+const char* ValidationPolicyName(ValidationPolicy policy) {
+  switch (policy) {
+    case ValidationPolicy::kReject:
+      return "reject";
+    case ValidationPolicy::kClampToExtent:
+      return "clamp";
+    case ValidationPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+Result<ValidationPolicy> ParseValidationPolicy(const std::string& name) {
+  if (name == "reject") return ValidationPolicy::kReject;
+  if (name == "clamp") return ValidationPolicy::kClampToExtent;
+  if (name == "quarantine") return ValidationPolicy::kQuarantine;
+  return Status::InvalidArgument(
+      "unknown validation policy '" + name +
+      "' (want reject | clamp | quarantine)");
+}
+
+RectDefect ClassifyRect(const Rect& r, const Rect& extent) {
+  if (!std::isfinite(r.min_x) || !std::isfinite(r.min_y) ||
+      !std::isfinite(r.max_x) || !std::isfinite(r.max_y)) {
+    return RectDefect::kNonFinite;
+  }
+  if (r.min_x > r.max_x || r.min_y > r.max_y) {
+    return RectDefect::kInverted;
+  }
+  if (!extent.IsEmpty() && !extent.Contains(r)) {
+    return RectDefect::kOutOfExtent;
+  }
+  return RectDefect::kNone;
+}
+
+void RobustnessCounters::Merge(const RobustnessCounters& other) {
+  checked += other.checked;
+  non_finite += other.non_finite;
+  inverted += other.inverted;
+  out_of_extent += other.out_of_extent;
+  clamped += other.clamped;
+  quarantined += other.quarantined;
+}
+
+std::string RobustnessCounters::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "checked=%llu non_finite=%llu inverted=%llu "
+                "out_of_extent=%llu clamped=%llu quarantined=%llu",
+                static_cast<unsigned long long>(checked),
+                static_cast<unsigned long long>(non_finite),
+                static_cast<unsigned long long>(inverted),
+                static_cast<unsigned long long>(out_of_extent),
+                static_cast<unsigned long long>(clamped),
+                static_cast<unsigned long long>(quarantined));
+  return buf;
+}
+
+Result<Dataset> ValidateDataset(const Dataset& ds, const Rect& extent,
+                                ValidationPolicy policy,
+                                RobustnessCounters* counters) {
+  RobustnessCounters local;
+  RobustnessCounters* tally = counters != nullptr ? counters : &local;
+  *tally = RobustnessCounters{};
+
+  Dataset out(ds.name());
+  out.Reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const Rect& r = ds[i];
+    ++tally->checked;
+    const RectDefect defect = ClassifyRect(r, extent);
+    if (defect == RectDefect::kNone) {
+      out.Add(r);
+      continue;
+    }
+    Count(defect, tally);
+    if (policy == ValidationPolicy::kReject) {
+      return Status::InvalidArgument(
+          "rect " + std::to_string(i) + " of dataset '" + ds.name() +
+          "' is " + RectDefectName(defect) + ": " + r.ToString());
+    }
+    if (policy == ValidationPolicy::kClampToExtent) {
+      if (defect == RectDefect::kInverted) {
+        Rect fixed(std::min(r.min_x, r.max_x), std::min(r.min_y, r.max_y),
+                   std::max(r.min_x, r.max_x), std::max(r.min_y, r.max_y));
+        // The normalized rect may still poke out of the extent.
+        if (!extent.IsEmpty() && !extent.Contains(fixed)) {
+          fixed = fixed.Intersection(extent);
+          if (fixed.IsEmpty()) {
+            ++tally->quarantined;
+            continue;
+          }
+        }
+        ++tally->clamped;
+        out.Add(fixed);
+        continue;
+      }
+      if (defect == RectDefect::kOutOfExtent) {
+        const Rect fixed = r.Intersection(extent);
+        if (fixed.IsEmpty()) {  // disjoint from the extent: nothing to keep
+          ++tally->quarantined;
+          continue;
+        }
+        ++tally->clamped;
+        out.Add(fixed);
+        continue;
+      }
+      // Non-finite coordinates have no meaningful repair.
+      ++tally->quarantined;
+      continue;
+    }
+    // kQuarantine: drop and count.
+    ++tally->quarantined;
+  }
+  return out;
+}
+
+}  // namespace sjsel

@@ -1,0 +1,212 @@
+#include "util/fault_injection.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sjsel {
+namespace {
+
+// FNV-1a over the site name; mixed with the seed and call index so kProb
+// schedules differ across sites but replay exactly for a fixed spec.
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Parses "<trigger>[:<args>]" into the rule's trigger fields.
+Status ParseTrigger(const std::string& text, FaultInjector::Rule* rule) {
+  if (text == "always") {
+    rule->trigger = FaultInjector::Trigger::kAlways;
+    return Status::OK();
+  }
+  const size_t colon = text.find(':');
+  const std::string kind = text.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : text.substr(colon + 1);
+  if (kind == "nth" || kind == "every") {
+    rule->trigger = kind == "nth" ? FaultInjector::Trigger::kNth
+                                  : FaultInjector::Trigger::kEvery;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+    if (arg.empty() || end == nullptr || *end != '\0' || n == 0) {
+      return Status::InvalidArgument("bad fault trigger count in '" + text +
+                                     "' (want " + kind + ":<N>, N >= 1)");
+    }
+    rule->n = n;
+    return Status::OK();
+  }
+  if (kind == "prob") {
+    rule->trigger = FaultInjector::Trigger::kProb;
+    const size_t slash = arg.find('/');
+    const std::string p_text = arg.substr(0, slash);
+    char* end = nullptr;
+    const double p = std::strtod(p_text.c_str(), &end);
+    if (p_text.empty() || end == nullptr || *end != '\0' || !std::isfinite(p) ||
+        p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad fault probability in '" + text +
+                                     "' (want prob:<P>[/<SEED>], 0 <= P <= 1)");
+    }
+    rule->probability = p;
+    if (slash != std::string::npos) {
+      const std::string seed_text = arg.substr(slash + 1);
+      const unsigned long long seed =
+          std::strtoull(seed_text.c_str(), &end, 10);
+      if (seed_text.empty() || *end != '\0') {
+        return Status::InvalidArgument("bad fault seed in '" + text + "'");
+      }
+      rule->seed = seed;
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "unknown fault trigger '" + text +
+      "' (want always | nth:<N> | every:<N> | prob:<P>[/<SEED>])");
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::globally_armed_{false};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Result<std::vector<FaultInjector::Rule>> FaultInjector::ParseSpec(
+    const std::string& spec) {
+  std::vector<Rule> rules;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string clause = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (clause.empty()) {
+      // Only an entirely empty spec is reported as such below; an empty
+      // clause inside a non-empty spec is a typo worth rejecting loudly.
+      if (spec.empty()) continue;
+      return Status::InvalidArgument("empty fault clause in spec '" + spec +
+                                     "'");
+    }
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad fault clause '" + clause +
+                                     "' (want <site>=<trigger>)");
+    }
+    Rule rule;
+    rule.site = clause.substr(0, eq);
+    SJSEL_RETURN_IF_ERROR(ParseTrigger(clause.substr(eq + 1), &rule));
+    rules.push_back(std::move(rule));
+  }
+  if (rules.empty()) {
+    return Status::InvalidArgument("empty fault-injection spec");
+  }
+  return rules;
+}
+
+Status FaultInjector::Arm(std::vector<Rule> rules) {
+  if (rules.empty()) {
+    return Status::InvalidArgument("cannot arm an empty fault rule list");
+  }
+  for (const Rule& rule : rules) {
+    if (rule.site.empty()) {
+      return Status::InvalidArgument("fault rule with empty site name");
+    }
+    if ((rule.trigger == Trigger::kNth || rule.trigger == Trigger::kEvery) &&
+        rule.n == 0) {
+      return Status::InvalidArgument("fault rule with n == 0 for site " +
+                                     rule.site);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_ = std::move(rules);
+    sites_.clear();
+  }
+  globally_armed_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FaultInjector::ArmSpec(const std::string& spec) {
+  auto rules = ParseSpec(spec);
+  if (!rules.ok()) return rules.status();
+  return Arm(std::move(rules).value());
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  sites_.clear();
+  globally_armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(const std::string& site) {
+  if (!GloballyArmed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rules_.empty()) return false;
+  SiteState& state = sites_[site];
+  const uint64_t call = ++state.calls;  // 1-based
+  bool fired = false;
+  for (const Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    switch (rule.trigger) {
+      case Trigger::kAlways:
+        fired = true;
+        break;
+      case Trigger::kNth:
+        fired = call == rule.n;
+        break;
+      case Trigger::kEvery:
+        fired = call % rule.n == 0;
+        break;
+      case Trigger::kProb: {
+        const uint64_t draw =
+            SplitMix64(HashSite(site) ^ (rule.seed * 0x2545f4914f6cdd1dull) ^
+                       call);
+        fired = static_cast<double>(draw) <
+                rule.probability * 18446744073709551616.0;  // 2^64
+        break;
+      }
+    }
+    if (fired) break;
+  }
+  if (fired) ++state.triggers;
+  return fired;
+}
+
+void FaultInjector::ThrowIfTriggered(const std::string& site) {
+  if (ShouldFail(site)) throw FaultInjectedError(site);
+}
+
+uint64_t FaultInjector::CallCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+uint64_t FaultInjector::TriggerCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggers;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const std::string& spec) {
+  status_ = FaultInjector::Global().ArmSpec(spec);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::Global().Disarm();
+}
+
+}  // namespace sjsel

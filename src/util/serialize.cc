@@ -3,6 +3,8 @@
 #include <array>
 #include <cstdio>
 
+#include "util/fault_injection.h"
+
 namespace sjsel {
 namespace {
 
@@ -92,9 +94,14 @@ Result<double> BinaryReader::GetDouble() {
 Result<std::string> BinaryReader::GetString() {
   uint32_t n = 0;
   SJSEL_RETURN_IF_ERROR(GetRaw(&n, sizeof(n)));
-  if (pos_ + n > data_.size()) {
-    return Status::Corruption("truncated string of length " +
-                              std::to_string(n));
+  // Cap the prefix against the remaining bytes BEFORE allocating anything:
+  // an adversarial length must cost a Corruption status, not a multi-GB
+  // allocation attempt. Written overflow-proof (n compared to the
+  // remainder, never pos_ + n).
+  if (static_cast<size_t>(n) > data_.size() - pos_) {
+    return Status::Corruption("string length " + std::to_string(n) +
+                              " exceeds remaining " +
+                              std::to_string(data_.size() - pos_) + " bytes");
   }
   std::string s = data_.substr(pos_, n);
   pos_ += n;
@@ -104,9 +111,13 @@ Result<std::string> BinaryReader::GetString() {
 Result<std::vector<double>> BinaryReader::GetDoubleVector() {
   uint64_t n = 0;
   SJSEL_RETURN_IF_ERROR(GetRaw(&n, sizeof(n)));
+  // Same pre-allocation cap as GetString: the element count must fit the
+  // remaining bytes (divide the remainder rather than multiplying n, so a
+  // length near 2^64 cannot overflow the comparison).
   if (n > (data_.size() - pos_) / sizeof(double)) {
-    return Status::Corruption("truncated double vector of length " +
-                              std::to_string(n));
+    return Status::Corruption("double vector length " + std::to_string(n) +
+                              " exceeds remaining " +
+                              std::to_string(data_.size() - pos_) + " bytes");
   }
   std::vector<double> v(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -136,6 +147,11 @@ Status WriteFile(const std::string& path, const std::string& data) {
 }
 
 Result<std::string> ReadFile(const std::string& path) {
+  // Fault site io.read: simulated IO failure before touching the file.
+  if (FaultInjector::GloballyArmed() &&
+      FaultInjector::Global().ShouldFail(kFaultSiteIoRead)) {
+    return Status::IoError("injected fault at io.read: " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IoError("cannot open for read: " + path);
@@ -150,6 +166,12 @@ Result<std::string> ReadFile(const std::string& path) {
   std::fclose(f);
   if (had_error) {
     return Status::IoError("read error: " + path);
+  }
+  // Fault site io.corrupt: deterministic single-byte flip in the middle of
+  // the buffer — downstream CRC/magic validation must catch it.
+  if (FaultInjector::GloballyArmed() && !data.empty() &&
+      FaultInjector::Global().ShouldFail(kFaultSiteIoCorrupt)) {
+    data[data.size() / 2] ^= 0x20;
   }
   return data;
 }

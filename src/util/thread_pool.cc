@@ -4,7 +4,24 @@
 #include <exception>
 #include <utility>
 
+#include "util/fault_injection.h"
+
 namespace sjsel {
+namespace {
+
+// Fault site pool.task: one consultation per ParallelFor block, at the
+// task boundary, in both the inline and pooled paths. Propagation reuses
+// ParallelFor's deterministic rethrow (lowest failing block), so an
+// always- or every-armed worker failure surfaces identically for any
+// thread count; nth/prob schedules count consultations, whose block
+// assignment under a pool depends on scheduling.
+inline void MaybeInjectTaskFault() {
+  if (FaultInjector::GloballyArmed()) {
+    FaultInjector::Global().ThrowIfTriggered(kFaultSitePoolTask);
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -75,6 +92,7 @@ void ParallelFor(ThreadPool* pool, int64_t n, int64_t grain,
       const int64_t begin = b * grain;
       const int64_t end = std::min(n, begin + grain);
       try {
+        MaybeInjectTaskFault();
         body(b, begin, end);
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
@@ -92,6 +110,7 @@ void ParallelFor(ThreadPool* pool, int64_t n, int64_t grain,
     const int64_t end = std::min(n, begin + grain);
     pool->Submit([&body, &errors, b, begin, end] {
       try {
+        MaybeInjectTaskFault();
         body(b, begin, end);
       } catch (...) {
         errors[static_cast<size_t>(b)] = std::current_exception();

@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/gh_histogram.h"
 #include "core/grid.h"
 #include "core/kernels.h"
 #include "geom/rect.h"
+#include "geom/validate.h"
 #include "join/nested_loop.h"
 #include "join/pbsm.h"
 #include "join/plane_sweep.h"
@@ -155,6 +157,69 @@ TEST(JoinBoundaryTest, TouchingAndDegenerateRectsCountedOnce) {
     options.partitions_per_axis = p;
     EXPECT_EQ(PbsmJoinCount(a, b, options), expected) << "p=" << p;
   }
+}
+
+// --- Rect validation: ClassifyRect must share the closed-interval
+// conventions above — boundary-touching is inside, degenerate is legal,
+// only truly malformed rects are defects.
+
+TEST(ValidationBoundaryTest, RectOnTheExtentBoundaryIsInExtent) {
+  // Closed containment: rects touching (or equal to) the extent are fine.
+  EXPECT_EQ(ClassifyRect(kUnit, kUnit), RectDefect::kNone);
+  EXPECT_EQ(ClassifyRect(Rect(0.0, 0.0, 0.5, 1.0), kUnit), RectDefect::kNone);
+  EXPECT_EQ(ClassifyRect(Rect(1.0, 1.0, 1.0, 1.0), kUnit), RectDefect::kNone);
+  // One coordinate past the boundary is out.
+  EXPECT_EQ(ClassifyRect(Rect(0.0, 0.0, 1.0 + 1e-12, 1.0), kUnit),
+            RectDefect::kOutOfExtent);
+  EXPECT_EQ(ClassifyRect(Rect(-1e-12, 0.0, 1.0, 1.0), kUnit),
+            RectDefect::kOutOfExtent);
+}
+
+TEST(ValidationBoundaryTest, DegenerateRectsAreLegalInvertedAreNot) {
+  // Zero-width/height (points, segments) follow the closed convention and
+  // are valid geometry; min > max on either axis is a defect.
+  EXPECT_EQ(ClassifyRect(Rect(0.3, 0.3, 0.3, 0.3), kUnit), RectDefect::kNone);
+  EXPECT_EQ(ClassifyRect(Rect(0.5, 0.0, 0.5, 1.0), kUnit), RectDefect::kNone);
+  EXPECT_EQ(ClassifyRect(Rect(0.6, 0.2, 0.4, 0.8), kUnit),
+            RectDefect::kInverted);
+  EXPECT_EQ(ClassifyRect(Rect(0.2, 0.8, 0.4, 0.6), kUnit),
+            RectDefect::kInverted);
+}
+
+TEST(ValidationBoundaryTest, AnyNonFiniteCoordinateDominates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // Non-finite outranks inverted/out-of-extent: no repair is meaningful.
+  EXPECT_EQ(ClassifyRect(Rect(nan, 0, 1, 1), kUnit), RectDefect::kNonFinite);
+  EXPECT_EQ(ClassifyRect(Rect(0, nan, 1, 1), kUnit), RectDefect::kNonFinite);
+  EXPECT_EQ(ClassifyRect(Rect(0, 0, inf, 1), kUnit), RectDefect::kNonFinite);
+  EXPECT_EQ(ClassifyRect(Rect(0, 0, 1, -inf), kUnit),
+            RectDefect::kNonFinite);
+  EXPECT_EQ(ClassifyRect(Rect(5, 5, nan, 2), kUnit), RectDefect::kNonFinite);
+  // With an empty extent (structural-only validation) containment is
+  // skipped but the other checks still apply.
+  EXPECT_EQ(ClassifyRect(Rect(7, 7, 9, 9), Rect::Empty()), RectDefect::kNone);
+  EXPECT_EQ(ClassifyRect(Rect(9, 9, 7, 7), Rect::Empty()),
+            RectDefect::kInverted);
+}
+
+TEST(ValidationBoundaryTest, ClampPreservesClosedIntervalSemantics) {
+  // Clamping an out-of-extent rect intersects with the closed extent: a
+  // rect ending exactly on the boundary stays, one fully outside leaves an
+  // empty intersection and is quarantined instead.
+  Dataset ds("clamp");
+  ds.Add(Rect(-0.5, 0.25, 0.5, 0.75));  // straddles the left edge
+  ds.Add(Rect(2.0, 2.0, 3.0, 3.0));     // fully outside
+  RobustnessCounters counters;
+  const auto out =
+      ValidateDataset(ds, kUnit, ValidationPolicy::kClampToExtent, &counters);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_DOUBLE_EQ((*out)[0].min_x, 0.0);
+  EXPECT_DOUBLE_EQ((*out)[0].max_x, 0.5);
+  EXPECT_EQ(counters.out_of_extent, 2u);
+  EXPECT_EQ(counters.clamped, 1u);
+  EXPECT_EQ(counters.quarantined, 1u);
 }
 
 }  // namespace

@@ -262,6 +262,105 @@ TEST(CliTest, BadExtentFlagRejected) {
   std::remove(ds.c_str());
 }
 
+TEST(CliTest, GarbageNumericFlagsRejectedNamingTheFlag) {
+  const std::string ds = TempPath("cli_strict.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:100", ds}).code, 0);
+
+  // Each case: the exit code is the usage-error 2 and stderr names the
+  // offending flag instead of silently treating the value as 0.
+  CliResult r = RunTool({"gen", "uniform:100", ds, "--seed=abc"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --seed"), std::string::npos);
+  EXPECT_NE(r.err.find("abc"), std::string::npos);
+
+  r = RunTool({"hist-build", ds, TempPath("x.gh"), "--level=7junk"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --level"), std::string::npos);
+
+  r = RunTool({"sample", ds, ds, "--fa=0.5x"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --fa"), std::string::npos);
+
+  r = RunTool({"join", ds, ds, "--threads="});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --threads"), std::string::npos);
+
+  r = RunTool({"knn", ds, "0.5,0.5", "--k=99999999999999999999"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --k"), std::string::npos);
+  std::remove(ds.c_str());
+}
+
+TEST(CliTest, GuardedEstimateOnDatasets) {
+  const std::string ds_a = TempPath("cli_ge_a.ds");
+  const std::string ds_b = TempPath("cli_ge_b.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:1500", ds_a, "--seed=11"}).code, 0);
+  ASSERT_EQ(RunTool({"gen", "clustered:1500", ds_b, "--seed=12"}).code, 0);
+
+  // Clean inputs: the primary GH rung answers, no degradation.
+  CliResult r = RunTool({"estimate", ds_a, ds_b});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("estimated pairs"), std::string::npos);
+  EXPECT_NE(r.out.find("rung                 : gh"), std::string::npos);
+  EXPECT_NE(r.out.find("degradation_reason   : none"), std::string::npos);
+
+  // Forced GH failure: still exit 0, the PH rung answers, and the
+  // degradation trail names the skipped rung.
+  r = RunTool({"estimate", ds_a, ds_b, "--inject-faults=estimator.gh=always"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("rung                 : ph"), std::string::npos);
+  EXPECT_NE(r.out.find("degradation_reason   : gh:injected"),
+            std::string::npos);
+
+  // Whole upper chain out: the parametric anchor still answers.
+  r = RunTool({"estimate", ds_a, ds_b,
+               "--inject-faults=estimator.gh=always,estimator.ph=always,"
+               "estimator.sampling=always"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("rung                 : parametric"),
+            std::string::npos);
+
+  std::remove(ds_a.c_str());
+  std::remove(ds_b.c_str());
+}
+
+TEST(CliTest, BadInjectFaultsSpecRejected) {
+  const CliResult r = RunTool({"stats", "/nonexistent.ds",
+                               "--inject-faults=bogus"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad fault clause"), std::string::npos);
+}
+
+TEST(CliTest, InjectedIoFaultIsDiagnosedNotCrashed) {
+  const std::string ds = TempPath("cli_iofault.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:200", ds}).code, 0);
+  // io.read makes every file load fail: the command must report the
+  // injected IoError and exit 1, and a following run (injection scoped to
+  // one invocation) must succeed again.
+  CliResult r = RunTool({"stats", ds, "--inject-faults=io.read=always"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("io.read"), std::string::npos);
+  EXPECT_EQ(RunTool({"stats", ds}).code, 0);
+  std::remove(ds.c_str());
+}
+
+TEST(CliTest, HistBuildValidatePolicyFlag) {
+  const std::string ds = TempPath("cli_val.ds");
+  const std::string gh = TempPath("cli_val.gh");
+  ASSERT_EQ(RunTool({"gen", "uniform:300", ds}).code, 0);
+  // Generated data is clean, so every policy builds successfully…
+  for (const std::string policy : {"reject", "clamp", "quarantine"}) {
+    const CliResult r = RunTool({"hist-build", ds, gh, "--level=5",
+                                 "--validate=" + policy});
+    EXPECT_EQ(r.code, 0) << policy << ": " << r.err;
+  }
+  // …and an unknown policy is a usage error.
+  const CliResult r = RunTool({"hist-build", ds, gh, "--validate=maybe"});
+  EXPECT_EQ(r.code, 2);
+  std::remove(ds.c_str());
+  std::remove(gh.c_str());
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace sjsel

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "datagen/generators.h"
 #include "engine/catalog.h"
@@ -331,6 +332,31 @@ TEST(ExecutorTest, ValidatesInput) {
   ASSERT_TRUE(catalog.AddDataset(MakeNamed("a", 50, 0.5, 0.5, 71)).ok());
   EXPECT_FALSE(ExecuteChainJoin(&catalog, {"a"}).ok());
   EXPECT_FALSE(ExecuteChainJoin(&catalog, {"a", "nope"}).ok());
+}
+
+TEST(CatalogTest, RegistrationQuarantinesStructuralDefects) {
+  Catalog catalog(kUnit, 5);
+  Dataset dirty = MakeNamed("dirty", 100, 0.5, 0.5, 31);
+  dirty.Add(Rect(std::numeric_limits<double>::quiet_NaN(), 0, 0.1, 0.1));
+  dirty.Add(Rect(0.8, 0.8, 0.2, 0.2));  // inverted
+  ASSERT_TRUE(catalog.AddDataset(dirty).ok());
+
+  // The registered dataset holds only the clean rects...
+  const auto stored = catalog.GetDataset("dirty");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ((*stored)->size(), 100u);
+  // ...and the counters record what was dropped.
+  const auto counters = catalog.ValidationCounters("dirty");
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(counters->checked, 102u);
+  EXPECT_EQ(counters->non_finite, 1u);
+  EXPECT_EQ(counters->inverted, 1u);
+  EXPECT_EQ(counters->quarantined, 2u);
+  EXPECT_FALSE(catalog.ValidationCounters("nope").ok());
+
+  // Estimation over the catalog keeps working on the cleaned dataset.
+  ASSERT_TRUE(catalog.AddDataset(MakeNamed("other", 100, 0.5, 0.5, 32)).ok());
+  EXPECT_TRUE(catalog.EstimateJoinPairs("dirty", "other").ok());
 }
 
 }  // namespace

@@ -4,15 +4,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <optional>
+
 #include "core/gh_histogram.h"
+#include "core/guarded_estimator.h"
 #include "core/minskew.h"
 #include "core/parametric.h"
 #include "core/ph_histogram.h"
 #include "datagen/generators.h"
+#include "geom/validate.h"
 #include "join/nested_loop.h"
 #include "join/pbsm.h"
 #include "join/plane_sweep.h"
 #include "stats/dataset_stats.h"
+#include "util/fault_injection.h"
 
 namespace sjsel {
 namespace {
@@ -150,6 +157,125 @@ INSTANTIATE_TEST_SUITE_P(Frames, FrameTest, ::testing::Values(0, 1, 2, 3, 4),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return kFrames[info.param].label;
                          });
+
+// ---------------------------------------------------------------------------
+// Degenerate-input robustness: the same shared workload with NaN, Inf and
+// inverted rectangles mixed in, pushed through every estimator rung of the
+// guarded chain under each validation policy.
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// w.a with three defective rects appended: one NaN, one Inf, one inverted.
+Dataset PollutedA() {
+  const UnitWorkload& w = SharedWorkload();
+  Dataset polluted(w.a.name() + "_polluted");
+  polluted.Reserve(w.a.size() + 3);
+  for (const Rect& r : w.a.rects()) polluted.Add(r);
+  polluted.Add(Rect(kNaN, 0.1, 0.2, 0.2));
+  polluted.Add(Rect(0.3, 0.3, kInf, 0.4));
+  polluted.Add(Rect(0.8, 0.8, 0.2, 0.2));  // min > max on both axes
+  return polluted;
+}
+
+// Fault specs that force the chain down to each rung, paired with the rung
+// expected to answer and its degradation trail.
+struct RungCase {
+  const char* spec;  // nullptr = nothing armed
+  EstimatorRung rung;
+  const char* reason;
+};
+
+const RungCase kRungCases[] = {
+    {nullptr, EstimatorRung::kGh, ""},
+    {"estimator.gh=always", EstimatorRung::kPh, "gh:injected"},
+    {"estimator.gh=always,estimator.ph=always", EstimatorRung::kSampling,
+     "gh:injected;ph:injected"},
+    {"estimator.gh=always,estimator.ph=always,estimator.sampling=always",
+     EstimatorRung::kParametric, "gh:injected;ph:injected;sampling:injected"},
+};
+
+TEST(DegenerateInputTest, RejectPolicyFailsForEveryRung) {
+  const UnitWorkload& w = SharedWorkload();
+  const Dataset polluted = PollutedA();
+  GuardedEstimatorOptions options;
+  options.policy = ValidationPolicy::kReject;
+  for (const RungCase& rc : kRungCases) {
+    std::optional<ScopedFaultInjection> arm;
+    if (rc.spec != nullptr) {
+      arm.emplace(rc.spec);
+      ASSERT_TRUE(arm->status().ok());
+    }
+    const auto result = GuardedEstimator(options).Estimate(polluted, w.b);
+    ASSERT_FALSE(result.ok()) << EstimatorRungName(rc.rung);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(DegenerateInputTest, QuarantineMatchesCleanEstimateOnEveryRung) {
+  // Quarantining the three defective rects must leave exactly the clean
+  // dataset, so the estimate of every rung is bit-identical to the clean
+  // run at the same rung.
+  const UnitWorkload& w = SharedWorkload();
+  const Dataset polluted = PollutedA();
+  for (const RungCase& rc : kRungCases) {
+    std::optional<ScopedFaultInjection> arm;
+    if (rc.spec != nullptr) {
+      arm.emplace(rc.spec);
+      ASSERT_TRUE(arm->status().ok());
+    }
+    const auto clean = GuardedEstimator().Estimate(w.a, w.b);
+    const auto dirty = GuardedEstimator().Estimate(polluted, w.b);
+    ASSERT_TRUE(clean.ok() && dirty.ok()) << EstimatorRungName(rc.rung);
+    EXPECT_EQ(dirty->rung, rc.rung);
+    EXPECT_EQ(dirty->degradation_reason, rc.reason);
+    EXPECT_EQ(dirty->outcome.estimated_pairs, clean->outcome.estimated_pairs)
+        << EstimatorRungName(rc.rung);
+    EXPECT_EQ(dirty->validation_a.non_finite, 2u);
+    EXPECT_EQ(dirty->validation_a.inverted, 1u);
+    EXPECT_EQ(dirty->validation_a.quarantined, 3u);
+    EXPECT_EQ(dirty->validation_b.Defects(), 0u);
+  }
+}
+
+TEST(DegenerateInputTest, ClampPolicyIsFiniteAndInRangeOnEveryRung) {
+  const UnitWorkload& w = SharedWorkload();
+  const Dataset polluted = PollutedA();
+  GuardedEstimatorOptions options;
+  options.policy = ValidationPolicy::kClampToExtent;
+  for (const RungCase& rc : kRungCases) {
+    std::optional<ScopedFaultInjection> arm;
+    if (rc.spec != nullptr) {
+      arm.emplace(rc.spec);
+      ASSERT_TRUE(arm->status().ok());
+    }
+    const auto result = GuardedEstimator(options).Estimate(polluted, w.b);
+    ASSERT_TRUE(result.ok()) << EstimatorRungName(rc.rung);
+    EXPECT_EQ(result->rung, rc.rung);
+    const double bound = static_cast<double>(polluted.size()) *
+                         static_cast<double>(w.b.size());
+    EXPECT_TRUE(std::isfinite(result->outcome.estimated_pairs));
+    EXPECT_GE(result->outcome.estimated_pairs, 0.0);
+    EXPECT_LE(result->outcome.estimated_pairs, bound);
+    // Non-finite rects cannot be repaired and stay quarantined; the
+    // inverted one is normalized and kept.
+    EXPECT_EQ(result->validation_a.quarantined, 2u);
+    EXPECT_EQ(result->validation_a.clamped, 1u);
+  }
+}
+
+TEST(DegenerateInputTest, DefectiveRectsCannotPoisonTheJointExtent) {
+  // The joint extent is derived from well-formed rects only: a dataset
+  // whose defects include infinite coordinates must still produce the
+  // clean frame, not an infinite one (which would flatten every histogram
+  // into one cell).
+  const UnitWorkload& w = SharedWorkload();
+  const auto clean = GuardedEstimator().Estimate(w.a, w.b);
+  const auto dirty = GuardedEstimator().Estimate(PollutedA(), w.b);
+  ASSERT_TRUE(clean.ok() && dirty.ok());
+  EXPECT_EQ(dirty->outcome.estimated_pairs, clean->outcome.estimated_pairs);
+  EXPECT_GT(dirty->outcome.estimated_pairs, 0.0);
+}
 
 }  // namespace
 }  // namespace sjsel

@@ -68,6 +68,52 @@ TEST(BinaryReaderTest, OversizedVectorLengthIsCorruption) {
   EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
 }
 
+TEST(BinaryReaderTest, AdversarialStringLengthIsCappedBeforeAllocation) {
+  // A length prefix of UINT32_MAX over a tiny buffer must be rejected by
+  // comparing against the remaining bytes, not by attempting a 4 GiB
+  // substr. The reader must also stay usable at its old position.
+  BinaryWriter w;
+  w.PutU32(0xffffffffu);
+  w.PutU8('x');
+  BinaryReader r(w.buffer());
+  const auto s = r.GetString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(s.status().message().find("exceeds remaining"), std::string::npos);
+}
+
+TEST(BinaryReaderTest, AdversarialVectorCountCannotOverflowTheCap) {
+  // Counts near 2^64 would wrap a naive `n * sizeof(double)` size check to
+  // a small number; the divide-based cap must still reject them.
+  for (const uint64_t n :
+       {~uint64_t{0}, ~uint64_t{0} / sizeof(double), uint64_t{1} << 61}) {
+    BinaryWriter w;
+    w.PutU64(n);
+    w.PutDouble(1.0);  // far fewer payload bytes than claimed
+    BinaryReader r(w.buffer());
+    const auto v = r.GetDoubleVector();
+    ASSERT_FALSE(v.ok()) << "count " << n;
+    EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(BinaryReaderTest, LengthPrefixOffByOneIsCorruption) {
+  // Exactly the remaining bytes is legal; one more is not.
+  BinaryWriter exact;
+  exact.PutU32(3);
+  const std::string ok_data = exact.buffer() + "abc";
+  BinaryReader ok_reader(ok_data);
+  EXPECT_EQ(ok_reader.GetString().value(), "abc");
+
+  BinaryWriter over;
+  over.PutU32(4);
+  const std::string bad_data = over.buffer() + "abc";
+  BinaryReader bad_reader(bad_data);
+  const auto s = bad_reader.GetString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kCorruption);
+}
+
 TEST(Crc32Test, KnownVectorAndSensitivity) {
   // The classic CRC-32 check value for "123456789".
   const std::string data = "123456789";
