@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "datagen/workloads.h"
 #include "geom/dataset.h"
 #include "join/rtree_join.h"
+#include "obs/metrics.h"
 #include "rtree/rtree.h"
 #include "util/timer.h"
 
@@ -60,22 +62,35 @@ struct PairBaseline {
   }
 };
 
+/// Resolves a metrics histogram for a bench phase timer — but only when
+/// metrics are armed, so an unarmed run registers no instruments.
+inline obs::Histogram* BenchHistogram(const char* name) {
+  return obs::MetricsArmed() ? obs::MetricsRegistry::Global().GetHistogram(name)
+                             : nullptr;
+}
+
 /// Builds both R-trees by insertion (as the paper's baseline does), joins
-/// them, and records the timing/size denominators.
+/// them, and records the timing/size denominators. With metrics armed the
+/// phase durations also land in the bench.rtree_*_us histograms.
 inline PairBaseline ComputeBaseline(const Dataset& a, const Dataset& b) {
   PairBaseline baseline;
   baseline.extent = a.ComputeExtent();
   baseline.extent.Extend(b.ComputeExtent());
 
-  Timer build_timer;
-  const RTree ta = RTree::BuildByInsertion(a);
-  const RTree tb = RTree::BuildByInsertion(b);
-  baseline.rtree_build_seconds = build_timer.ElapsedSeconds();
-  baseline.rtree_bytes = ta.NominalBytes() + tb.NominalBytes();
-
-  Timer join_timer;
-  baseline.actual_pairs = RTreeJoinCount(ta, tb);
-  baseline.rtree_join_seconds = join_timer.ElapsedSeconds();
+  std::optional<RTree> ta;
+  std::optional<RTree> tb;
+  {
+    ScopedTimer build_timer(BenchHistogram("bench.rtree_build_us"));
+    ta.emplace(RTree::BuildByInsertion(a));
+    tb.emplace(RTree::BuildByInsertion(b));
+    baseline.rtree_build_seconds = build_timer.ElapsedSeconds();
+  }
+  baseline.rtree_bytes = ta->NominalBytes() + tb->NominalBytes();
+  {
+    ScopedTimer join_timer(BenchHistogram("bench.rtree_join_us"));
+    baseline.actual_pairs = RTreeJoinCount(*ta, *tb);
+    baseline.rtree_join_seconds = join_timer.ElapsedSeconds();
+  }
   return baseline;
 }
 
@@ -111,6 +126,21 @@ class BenchJsonWriter {
                              items});
   }
 
+  /// Attaches a run-metadata string (emitted under "run": {...}). Built-in
+  /// keys (build_type, compiler) are filled automatically; use this for
+  /// bench-specific facts like the configured thread count or dataset
+  /// scale.
+  void AddMetadata(const std::string& key, const std::string& value) {
+    metadata_[key] = value;
+  }
+
+  /// Captures the current metrics snapshot (obs/metrics.h) and embeds it
+  /// under "metrics" in the written file. Call after the measured work,
+  /// while the registry still holds the run's values.
+  void EmbedMetrics() {
+    metrics_json_ = obs::MetricsRegistry::Global().SnapshotJson();
+  }
+
   /// Writes BENCH_<bench>.json into `dir` (default: current directory).
   /// Returns true on success.
   bool Write(const std::string& dir = ".") const {
@@ -129,6 +159,25 @@ class BenchJsonWriter {
                                                               : "false");
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"run\": {\n");
+    std::fprintf(f, "    \"build_type\": \"%s\",\n",
+#ifdef NDEBUG
+                 "release"
+#else
+                 "debug"
+#endif
+    );
+    std::fprintf(f, "    \"compiler\": \"%s\"", CompilerId());
+    for (const auto& [key, value] : metadata_) {
+      std::fprintf(f, ",\n    \"%s\": \"%s\"", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n  },\n");
+    if (!metrics_json_.empty()) {
+      // SnapshotJson is already valid JSON; whitespace nesting is cosmetic.
+      std::string trimmed = metrics_json_;
+      while (!trimmed.empty() && trimmed.back() == '\n') trimmed.pop_back();
+      std::fprintf(f, "  \"metrics\": %s,\n", trimmed.c_str());
+    }
     std::fprintf(f, "  \"entries\": [");
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
@@ -154,7 +203,20 @@ class BenchJsonWriter {
     int threads = 1;
     uint64_t items = 0;
   };
+
+  static const char* CompilerId() {
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+  }
+
   std::string bench_name_;
+  std::map<std::string, std::string> metadata_;
+  std::string metrics_json_;
   std::vector<Entry> entries_;
 };
 

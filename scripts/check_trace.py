@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by `sjsel --trace`.
+
+Checks:
+  * the file parses as JSON with a `traceEvents` list
+  * every event has the required fields for its phase ("X" complete
+    events need ts/dur, "i" instant events need ts, "M" metadata is
+    ignored)
+  * per thread, complete spans nest properly: replaying the events
+    sorted by (ts, -dur) against a stack, every span must lie fully
+    inside the span currently open below it (balanced, contained
+    intervals — the invariant the self-contained-span design guarantees)
+  * every span named by a --require-span flag occurs at least once
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+
+Usage:
+  check_trace.py trace.json --require-span gh.build --require-span cli.run
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON file")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="span name that must appear at least once (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing or non-list traceEvents")
+
+    spans_by_tid = defaultdict(list)
+    seen_names = set()
+    n_complete = 0
+    n_instant = 0
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"event #{i} has no name")
+        if "ts" not in ev or not isinstance(ev["ts"], (int, float)):
+            fail(f"event #{i} ({name}) has no numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event #{i} ({name}) is 'X' but has no valid dur")
+            spans_by_tid[ev.get("tid", 0)].append(
+                (float(ev["ts"]), float(dur), name)
+            )
+            seen_names.add(name)
+            n_complete += 1
+        elif ph == "i":
+            seen_names.add(name)
+            n_instant += 1
+        else:
+            fail(f"event #{i} ({name}) has unexpected phase {ph!r}")
+
+    # Per-thread nesting: sorted by (start, -dur) a parent precedes its
+    # children. Replay against a stack; each span must fit inside the
+    # innermost still-open span.
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (end_ts, name)
+        for ts, dur, name in spans:
+            end = ts + dur
+            while stack and ts >= stack[-1][0]:
+                stack.pop()
+            if stack and end > stack[-1][0] + 1e-9:
+                fail(
+                    f"tid {tid}: span '{name}' [{ts}, {end}] overflows "
+                    f"enclosing span '{stack[-1][1]}' ending at {stack[-1][0]}"
+                )
+            stack.append((end, name))
+
+    missing = [n for n in args.require_span if n not in seen_names]
+    if missing:
+        fail(
+            f"required spans absent: {', '.join(missing)} "
+            f"(present: {', '.join(sorted(seen_names))})"
+        )
+
+    print(
+        f"check_trace: OK: {n_complete} spans, {n_instant} instants, "
+        f"{len(spans_by_tid)} thread(s), "
+        f"{len(args.require_span)} required span(s) present"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

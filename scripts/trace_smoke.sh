@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for --trace / --metrics: generates two small
+# datasets, runs estimate (healthy + fault-degraded) and join with tracing
+# armed, and validates every emitted trace with scripts/check_trace.py
+# (balanced per-thread nesting + required spans) and every metrics file
+# with a JSON parse.
+#
+# Usage: trace_smoke.sh <path-to-sjsel-binary>
+# Exit:  0 pass, 77 skipped (no python3), non-zero otherwise.
+
+set -euo pipefail
+
+SJSEL="${1:?usage: trace_smoke.sh <path-to-sjsel-binary>}"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+CHECK="$HERE/check_trace.py"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "trace_smoke: python3 not found, skipping" >&2
+  exit 77
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$SJSEL" gen uniform:3000 "$TMP/a.ds" --seed=1 >/dev/null
+"$SJSEL" gen clustered:3000 "$TMP/b.ds" --seed=2 >/dev/null
+
+# 1. Healthy estimate with verification: the trace must contain the
+#    histogram build, the winning GH rung, and the exact-join check.
+"$SJSEL" estimate "$TMP/a.ds" "$TMP/b.ds" --verify \
+  --trace "$TMP/estimate.json" --metrics "$TMP/metrics.json" >/dev/null
+python3 "$CHECK" "$TMP/estimate.json" \
+  --require-span cli.run \
+  --require-span estimate.guarded \
+  --require-span gh.build \
+  --require-span estimate.rung.gh \
+  --require-span verify.exact_join
+python3 -m json.tool "$TMP/metrics.json" >/dev/null
+grep -q '"estimator.answered.gh"' "$TMP/metrics.json" || {
+  echo "trace_smoke: metrics.json missing estimator.answered.gh" >&2
+  exit 1
+}
+
+# 2. Degraded estimate: with the GH rung fault-injected the chain must
+#    fall through to PH, and the trace must show the PH build + rung.
+"$SJSEL" estimate "$TMP/a.ds" "$TMP/b.ds" \
+  --inject-faults=estimator.gh=always \
+  --trace "$TMP/degraded.json" >/dev/null
+python3 "$CHECK" "$TMP/degraded.json" \
+  --require-span estimate.rung.gh \
+  --require-span ph.build \
+  --require-span estimate.rung.ph
+
+# 3. Traced exact join.
+"$SJSEL" join "$TMP/a.ds" "$TMP/b.ds" --algo=sweep \
+  --trace "$TMP/join.json" >/dev/null
+python3 "$CHECK" "$TMP/join.json" \
+  --require-span cli.run \
+  --require-span join.plane_sweep
+
+echo "trace_smoke: all traces validated"

@@ -23,6 +23,8 @@
 #include "join/plane_sweep.h"
 #include "join/refinement.h"
 #include "join/rtree_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quadtree/quadtree.h"
 #include "rtree/rtree.h"
 #include "stats/dataset_stats.h"
@@ -100,11 +102,20 @@ struct ParsedArgs {
 
 ParsedArgs Parse(const std::vector<std::string>& args) {
   ParsedArgs parsed;
-  for (const std::string& arg : args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     if (arg.rfind("--", 0) == 0) {
       const size_t eq = arg.find('=');
       if (eq == std::string::npos) {
-        parsed.flags[arg.substr(2)] = "1";
+        const std::string key = arg.substr(2);
+        // The observability output flags take a file path, either attached
+        // (--trace=t.json) or as the following argument (--trace t.json).
+        if ((key == "trace" || key == "metrics") && i + 1 < args.size() &&
+            args[i + 1].rfind("--", 0) != 0) {
+          parsed.flags[key] = args[++i];
+        } else {
+          parsed.flags[key] = std::string("1");
+        }
       } else {
         parsed.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
       }
@@ -131,9 +142,11 @@ int Usage(std::FILE* err) {
                "  estimate <a.hist> <b.hist>\n"
                "  estimate <a.ds> <b.ds> [--gh-level=7] [--ph-level=5]"
                " [--fa=0.1] [--fb=0.1] [--seed=1] [--method=rs|rswr|ss]"
-               " [--validate=reject|clamp|quarantine]\n"
+               " [--validate=reject|clamp|quarantine] [--verify]\n"
                "      dataset inputs run the guarded fallback chain"
-               " (gh->ph->sampling->parametric)\n"
+               " (gh->ph->sampling->parametric);\n"
+               "      --verify also runs the exact plane-sweep join and"
+               " reports the relative error\n"
                "  range <a.hist> <x0,y0,x1,y1>\n"
                "  join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]"
                " [--threads=1]\n"
@@ -149,7 +162,13 @@ int Usage(std::FILE* err) {
                "global flags:\n"
                "  --inject-faults=<site>=<trigger>[,...]\n"
                "      arm deterministic fault injection for this invocation;\n"
-               "      triggers: always | nth:N | every:N | prob:P[/SEED]\n");
+               "      triggers: always | nth:N | every:N | prob:P[/SEED]\n"
+               "  --trace=<file.json>\n"
+               "      record spans for this invocation and write a Chrome\n"
+               "      trace-event file (chrome://tracing, ui.perfetto.dev)\n"
+               "  --metrics=<file.json>\n"
+               "      collect counters/gauges/latency histograms, print a\n"
+               "      metrics block and write a JSON snapshot\n");
   return 2;
 }
 
@@ -543,13 +562,33 @@ int CmdEstimateGuarded(const ParsedArgs& args, const Dataset& a,
                result->degraded() ? result->degradation_reason.c_str()
                                   : "none");
   if (result->clamped) std::fprintf(out, "clamped              : yes\n");
-  if (result->validation_a.Defects() > 0) {
-    std::fprintf(out, "validation (a)       : %s\n",
-                 result->validation_a.ToString().c_str());
-  }
-  if (result->validation_b.Defects() > 0) {
-    std::fprintf(out, "validation (b)       : %s\n",
-                 result->validation_b.ToString().c_str());
+  // The full robustness tally is always part of the answer — a clean run
+  // prints all-zero defect counts rather than staying silent, so scripted
+  // consumers never have to special-case the happy path.
+  std::fprintf(out, "validation (a)       : %s\n",
+               result->validation_a.ToString().c_str());
+  std::fprintf(out, "validation (b)       : %s\n",
+               result->validation_b.ToString().c_str());
+
+  if (args.Has("verify")) {
+    // Ground truth for the estimate above: the exact plane-sweep join over
+    // the raw inputs.
+    uint64_t actual = 0;
+    {
+      SJSEL_TRACE_SPAN("verify.exact_join", "n_a=%zu n_b=%zu", a.size(),
+                       b.size());
+      SJSEL_METRIC_SCOPED_LATENCY("verify.exact_join_us");
+      actual = PlaneSweepJoinCount(a, b);
+    }
+    std::fprintf(out, "actual pairs         : %llu\n",
+                 static_cast<unsigned long long>(actual));
+    if (actual > 0) {
+      const double rel =
+          (result->outcome.estimated_pairs - static_cast<double>(actual)) /
+          static_cast<double>(actual);
+      std::fprintf(out, "relative error       : %s\n",
+                   FormatDouble(rel, 4).c_str());
+    }
   }
   return 0;
 }
@@ -776,12 +815,51 @@ int RunCli(const std::vector<std::string>& args, std::FILE* out,
       return 2;
     }
   }
+
+  // Observability arming, scoped to this invocation like fault injection:
+  // --trace records spans, --metrics collects counters; both flush to
+  // their files after the command finishes, whatever its outcome.
+  const std::string trace_path = parsed.Flag("trace", "");
+  const std::string metrics_path = parsed.Flag("metrics", "");
+  const bool tracing = parsed.Has("trace");
+  const bool metrics = parsed.Has("metrics");
+  if ((tracing && trace_path == "1") || (metrics && metrics_path == "1")) {
+    std::fprintf(err, "--trace/--metrics need a file path (--trace=t.json)\n");
+    return 2;
+  }
+  if (metrics) obs::MetricsRegistry::Arm();
+  if (tracing) obs::Tracer::Global().Arm();
+
+  int code = 0;
   try {
-    return Dispatch(parsed, out, err);
+    // Inner scope: the cli.run span must complete before the flush below,
+    // or the top-level span would be missing from its own trace.
+    SJSEL_TRACE_SPAN("cli.run", "command=%s",
+                     parsed.positional[0].c_str());
+    code = Dispatch(parsed, out, err);
   } catch (const std::exception& e) {
     std::fprintf(err, "fault: %s\n", e.what());
-    return 1;
+    code = 1;
   }
+
+  if (metrics) {
+    obs::MetricsRegistry::Disarm();
+    std::fprintf(out, "metrics:\n%s",
+                 obs::MetricsRegistry::Global().SnapshotText().c_str());
+    if (!obs::MetricsRegistry::Global().WriteJson(metrics_path)) {
+      std::fprintf(err, "failed to write metrics to %s\n",
+                   metrics_path.c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  if (tracing) {
+    obs::Tracer::Global().Disarm();
+    if (!obs::Tracer::Global().WriteChromeTrace(trace_path)) {
+      std::fprintf(err, "failed to write trace to %s\n", trace_path.c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
 }
 
 }  // namespace cli

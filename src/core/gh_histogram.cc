@@ -4,6 +4,8 @@
 
 #include "core/kernels.h"
 #include "geom/soa_dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/aligned.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -270,6 +272,10 @@ Status GhHistogram::Merge(const GhHistogram& other) {
 Result<GhHistogram> GhHistogram::Build(const Dataset& ds, const Rect& extent,
                                        int level, GhVariant variant,
                                        int threads) {
+  SJSEL_TRACE_SPAN("gh.build", "dataset=%s rects=%zu level=%d threads=%d",
+                   ds.name().c_str(), ds.size(), level, threads);
+  SJSEL_METRIC_INC("hist.gh.builds");
+  SJSEL_METRIC_SCOPED_LATENCY("hist.gh.build_us");
   auto hist_result = CreateEmpty(extent, level, variant);
   if (!hist_result.ok()) return hist_result.status();
   GhHistogram hist = std::move(hist_result).value();

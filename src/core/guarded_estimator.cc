@@ -4,10 +4,35 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 
 namespace sjsel {
 namespace {
+
+// Span names must be string literals (the tracer keeps the pointer), so
+// each rung gets its own.
+const char* RungSpanName(EstimatorRung rung) {
+  switch (rung) {
+    case EstimatorRung::kGh:
+      return "estimate.rung.gh";
+    case EstimatorRung::kPh:
+      return "estimate.rung.ph";
+    case EstimatorRung::kSampling:
+      return "estimate.rung.sampling";
+    case EstimatorRung::kParametric:
+      return "estimate.rung.parametric";
+  }
+  return "estimate.rung.unknown";
+}
+
+// Books one rung failure as a labeled counter, e.g.
+// estimator.failed.gh.error:INTERNAL.
+void CountRungFailure(EstimatorRung rung, const std::string& cause) {
+  SJSEL_METRIC_INC(std::string("estimator.failed.") +
+                   EstimatorRungName(rung) + "." + cause);
+}
 
 const char* RungFaultSite(EstimatorRung rung) {
   switch (rung) {
@@ -64,6 +89,9 @@ const char* EstimatorRungName(EstimatorRung rung) {
 
 Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
                                                   const Dataset& b) const {
+  SJSEL_TRACE_SPAN("estimate.guarded", "n_a=%zu n_b=%zu policy=%s", a.size(),
+                   b.size(), ValidationPolicyName(options_.policy));
+  SJSEL_METRIC_INC("estimator.estimates");
   EstimateResult result;
 
   // Validation pass: both inputs, against their joint extent. The extent is
@@ -102,9 +130,13 @@ Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
       EstimatorRung::kGh, EstimatorRung::kPh, EstimatorRung::kSampling,
       EstimatorRung::kParametric};
   for (const EstimatorRung rung : kChain) {
+    SJSEL_TRACE_SPAN(RungSpanName(rung));
+    SJSEL_METRIC_INC(std::string("estimator.attempts.") +
+                     EstimatorRungName(rung));
     if (FaultInjector::GloballyArmed() &&
         FaultInjector::Global().ShouldFail(RungFaultSite(rung))) {
       AppendReason(&result.degradation_reason, rung, "injected");
+      CountRungFailure(rung, "injected");
       continue;
     }
     const std::unique_ptr<SelectivityEstimator> estimator =
@@ -116,31 +148,42 @@ Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
       // Injected worker faults surface here as FaultInjectedError rethrown
       // by ParallelFor; treat any rung exception as that rung failing.
       AppendReason(&result.degradation_reason, rung, "exception");
+      CountRungFailure(rung, "exception");
       continue;
     }
     if (!outcome.ok()) {
-      AppendReason(&result.degradation_reason, rung,
-                   std::string("error:") +
-                       StatusCodeName(outcome.status().code()));
+      const std::string cause =
+          std::string("error:") + StatusCodeName(outcome.status().code());
+      AppendReason(&result.degradation_reason, rung, cause);
+      CountRungFailure(rung, cause);
       continue;
     }
     const double pairs = outcome->estimated_pairs;
     if (!std::isfinite(pairs)) {
       AppendReason(&result.degradation_reason, rung, "guard:non_finite");
+      CountRungFailure(rung, "guard:non_finite");
       continue;
     }
     if (pairs < 0.0) {
       AppendReason(&result.degradation_reason, rung, "guard:negative");
+      CountRungFailure(rung, "guard:negative");
       continue;
     }
     result.outcome = std::move(outcome).value();
     if (result.outcome.estimated_pairs > bound) {
       result.outcome.estimated_pairs = bound;
       result.clamped = true;
+      SJSEL_METRIC_INC("estimator.clamped");
     }
     result.outcome.selectivity = result.outcome.estimated_pairs / bound;
     result.rung = rung;
     result.rung_label = estimator->Name();
+    SJSEL_METRIC_INC(std::string("estimator.answered.") +
+                     EstimatorRungName(rung));
+    if (!result.degradation_reason.empty()) {
+      SJSEL_METRIC_INC("estimator.degraded");
+      SJSEL_TRACE_INSTANT("estimator.degraded");
+    }
     return result;
   }
 
@@ -148,6 +191,8 @@ Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
   // extents). Degrade to the one estimate that is always safe: zero.
   AppendReason(&result.degradation_reason, EstimatorRung::kParametric,
                "floor:zero");
+  SJSEL_METRIC_INC("estimator.degraded");
+  SJSEL_TRACE_INSTANT("estimator.degraded");
   result.rung = EstimatorRung::kParametric;
   result.rung_label = "Zero";
   result.outcome = EstimateOutcome{};

@@ -4,6 +4,8 @@
 
 #include "core/kernels.h"
 #include "geom/soa_dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/aligned.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -235,6 +237,10 @@ Status PhHistogram::Merge(const PhHistogram& other) {
 Result<PhHistogram> PhHistogram::Build(const Dataset& ds, const Rect& extent,
                                        int level, PhVariant variant,
                                        int threads) {
+  SJSEL_TRACE_SPAN("ph.build", "dataset=%s rects=%zu level=%d threads=%d",
+                   ds.name().c_str(), ds.size(), level, threads);
+  SJSEL_METRIC_INC("hist.ph.builds");
+  SJSEL_METRIC_SCOPED_LATENCY("hist.ph.build_us");
   auto hist_result = CreateEmpty(extent, level, variant);
   if (!hist_result.ok()) return hist_result.status();
   PhHistogram hist = std::move(hist_result).value();

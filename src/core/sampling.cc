@@ -7,6 +7,8 @@
 #include "hilbert/hilbert.h"
 #include "join/plane_sweep.h"
 #include "join/rtree_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -109,45 +111,70 @@ Result<SamplingEstimate> EstimateBySampling(const Dataset& a,
   }
 
   SamplingEstimate est;
+  SJSEL_TRACE_SPAN("sampling.estimate", "method=%s frac_a=%.3f frac_b=%.3f",
+                   SamplingMethodName(options.method).c_str(),
+                   options.frac_a, options.frac_b);
+  SJSEL_METRIC_INC("sampling.runs");
 
   Timer timer;
-  const Dataset sample_a =
-      DrawSample(a, options.frac_a, options.method, options.seed);
-  const Dataset sample_b =
-      DrawSample(b, options.frac_b, options.method, options.seed * 7 + 3);
+  Dataset sample_a("");
+  Dataset sample_b("");
+  {
+    SJSEL_TRACE_SPAN("sampling.select", "n_a=%zu n_b=%zu", a.size(),
+                     b.size());
+    SJSEL_METRIC_SCOPED_LATENCY("sampling.select_us");
+    sample_a = DrawSample(a, options.frac_a, options.method, options.seed);
+    sample_b =
+        DrawSample(b, options.frac_b, options.method, options.seed * 7 + 3);
+  }
   est.select_seconds = timer.ElapsedSeconds();
   est.sample_a_size = sample_a.size();
   est.sample_b_size = sample_b.size();
+  SJSEL_METRIC_ADD("sampling.selected", sample_a.size() + sample_b.size());
 
   if (options.join_algo == SampleJoinAlgo::kPlaneSweep) {
     // No index to build: filter the sample pairs with the vectorized
     // plane-sweep join. Exact, so sample_pairs matches the R-tree path.
     timer.Reset();
-    est.sample_pairs = PlaneSweepJoinCount(sample_a, sample_b);
+    {
+      SJSEL_TRACE_SPAN("sampling.exact_join", "algo=plane_sweep");
+      SJSEL_METRIC_SCOPED_LATENCY("sampling.join_us");
+      est.sample_pairs = PlaneSweepJoinCount(sample_a, sample_b);
+    }
     est.join_seconds = timer.ElapsedSeconds();
   } else {
     timer.Reset();
     std::optional<RTree> trees[2];
-    if (options.threads >= 2) {
-      // The two builds are independent; run them on two workers. Insertion
-      // order within each tree is unchanged, so the trees are identical to
-      // a serial build.
-      ThreadPool pool(2);
-      ParallelFor(&pool, 2, 1, [&](int64_t, int64_t begin, int64_t) {
-        const Dataset& sample = begin == 0 ? sample_a : sample_b;
-        trees[begin].emplace(
-            RTree::BuildByInsertion(sample, options.rtree_options));
-      });
-    } else {
-      trees[0].emplace(
-          RTree::BuildByInsertion(sample_a, options.rtree_options));
-      trees[1].emplace(
-          RTree::BuildByInsertion(sample_b, options.rtree_options));
+    {
+      SJSEL_TRACE_SPAN("sampling.index_build", "samples=%zu threads=%d",
+                       sample_a.size() + sample_b.size(), options.threads);
+      SJSEL_METRIC_SCOPED_LATENCY("sampling.index_build_us");
+      if (options.threads >= 2) {
+        // The two builds are independent; run them on two workers.
+        // Insertion order within each tree is unchanged, so the trees are
+        // identical to a serial build.
+        ThreadPool pool(2);
+        ParallelFor(&pool, 2, 1, [&](int64_t, int64_t begin, int64_t) {
+          const Dataset& sample = begin == 0 ? sample_a : sample_b;
+          trees[begin].emplace(
+              RTree::BuildByInsertion(sample, options.rtree_options));
+        });
+      } else {
+        trees[0].emplace(
+            RTree::BuildByInsertion(sample_a, options.rtree_options));
+        trees[1].emplace(
+            RTree::BuildByInsertion(sample_b, options.rtree_options));
+      }
     }
     est.build_seconds = timer.ElapsedSeconds();
 
     timer.Reset();
-    est.sample_pairs = RTreeJoinCount(*trees[0], *trees[1], options.threads);
+    {
+      SJSEL_TRACE_SPAN("sampling.exact_join", "algo=rtree");
+      SJSEL_METRIC_SCOPED_LATENCY("sampling.join_us");
+      est.sample_pairs =
+          RTreeJoinCount(*trees[0], *trees[1], options.threads);
+    }
     est.join_seconds = timer.ElapsedSeconds();
   }
 

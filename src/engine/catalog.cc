@@ -1,5 +1,7 @@
 #include "engine/catalog.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 
 namespace sjsel {
@@ -63,9 +65,13 @@ Result<RobustnessCounters> Catalog::ValidationCounters(
 }
 
 Result<const GhHistogram*> Catalog::GetHistogram(const std::string& name) {
+  SJSEL_TRACE_SPAN("catalog.get_histogram", "dataset=%s", name.c_str());
   Entry* entry = nullptr;
   SJSEL_ASSIGN_OR_RETURN(entry, Find(name));
-  if (entry->histogram != nullptr) return entry->histogram.get();
+  if (entry->histogram != nullptr) {
+    SJSEL_METRIC_INC("catalog.hist.memory_hits");
+    return entry->histogram.get();
+  }
 
   const std::string cache_path =
       histogram_cache_dir_.empty() ? ""
@@ -90,6 +96,7 @@ Result<const GhHistogram*> Catalog::GetHistogram(const std::string& name) {
             loaded->grid().extent() == extent_ &&
             loaded->dataset_size() == entry->dataset.size();
         if (compatible) {
+          SJSEL_METRIC_INC("catalog.hist.cache_hits");
           entry->histogram =
               std::make_unique<GhHistogram>(std::move(loaded).value());
           return entry->histogram.get();
@@ -103,6 +110,8 @@ Result<const GhHistogram*> Catalog::GetHistogram(const std::string& name) {
     // Fall through to the in-memory rebuild; count the degradation.
     (void)load_status;
     ++histogram_rebuilds_;
+    SJSEL_METRIC_INC("catalog.hist.cache_misses");
+    SJSEL_METRIC_INC("catalog.hist.rebuilds");
   }
 
   auto built = GhHistogram::Build(entry->dataset, extent_, gh_level_);

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sjsel {
 namespace {
 
@@ -35,6 +38,18 @@ void Count(RectDefect defect, RobustnessCounters* counters) {
       ++counters->out_of_extent;
       break;
   }
+}
+
+// Publishes a validation pass's tally to the validate.* counters. Called
+// on every exit path of ValidateDataset — including kReject errors, where
+// the partial tally is still the honest record of what was inspected.
+void PublishValidationMetrics(const RobustnessCounters& tally) {
+  SJSEL_METRIC_ADD("validate.checked", tally.checked);
+  SJSEL_METRIC_ADD("validate.non_finite", tally.non_finite);
+  SJSEL_METRIC_ADD("validate.inverted", tally.inverted);
+  SJSEL_METRIC_ADD("validate.out_of_extent", tally.out_of_extent);
+  SJSEL_METRIC_ADD("validate.clamped", tally.clamped);
+  SJSEL_METRIC_ADD("validate.quarantined", tally.quarantined);
 }
 
 }  // namespace
@@ -100,6 +115,8 @@ std::string RobustnessCounters::ToString() const {
 Result<Dataset> ValidateDataset(const Dataset& ds, const Rect& extent,
                                 ValidationPolicy policy,
                                 RobustnessCounters* counters) {
+  SJSEL_TRACE_SPAN("validate.dataset", "dataset=%s rects=%zu policy=%s",
+                   ds.name().c_str(), ds.size(), ValidationPolicyName(policy));
   RobustnessCounters local;
   RobustnessCounters* tally = counters != nullptr ? counters : &local;
   *tally = RobustnessCounters{};
@@ -116,6 +133,7 @@ Result<Dataset> ValidateDataset(const Dataset& ds, const Rect& extent,
     }
     Count(defect, tally);
     if (policy == ValidationPolicy::kReject) {
+      PublishValidationMetrics(*tally);
       return Status::InvalidArgument(
           "rect " + std::to_string(i) + " of dataset '" + ds.name() +
           "' is " + RectDefectName(defect) + ": " + r.ToString());
@@ -153,6 +171,7 @@ Result<Dataset> ValidateDataset(const Dataset& ds, const Rect& extent,
     // kQuarantine: drop and count.
     ++tally->quarantined;
   }
+  PublishValidationMetrics(*tally);
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "join/sweep_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace sjsel {
@@ -193,15 +195,22 @@ int PbsmPickPartitions(size_t n1, size_t n2, int requested) {
 
 uint64_t PbsmJoinCount(const Dataset& a, const Dataset& b,
                        PbsmOptions options) {
+  SJSEL_TRACE_SPAN("join.pbsm", "n_a=%zu n_b=%zu threads=%d", a.size(),
+                   b.size(), options.threads);
+  SJSEL_METRIC_INC("join.pbsm.runs");
   uint64_t count = 0;
   PbsmJoinImpl<uint64_t>(
       a, b, options, [](uint64_t& slot, int64_t, int64_t) { ++slot; },
       [&count](const uint64_t& slot) { count += slot; });
+  SJSEL_METRIC_ADD("join.pbsm.pairs", count);
   return count;
 }
 
 void PbsmJoin(const Dataset& a, const Dataset& b, const PairCallback& emit,
               PbsmOptions options) {
+  SJSEL_TRACE_SPAN("join.pbsm", "n_a=%zu n_b=%zu threads=%d", a.size(),
+                   b.size(), options.threads);
+  SJSEL_METRIC_INC("join.pbsm.runs");
   using Pairs = std::vector<std::pair<int64_t, int64_t>>;
   PbsmJoinImpl<Pairs>(
       a, b, options,

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "join/sweep_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sjsel {
 namespace {
@@ -29,15 +31,20 @@ sweep::SweepSoa SortedByMinX(const Dataset& ds) {
 }  // namespace
 
 uint64_t PlaneSweepJoinCount(const Dataset& a, const Dataset& b) {
+  SJSEL_TRACE_SPAN("join.plane_sweep", "n_a=%zu n_b=%zu", a.size(), b.size());
+  SJSEL_METRIC_INC("join.plane_sweep.runs");
   const sweep::SweepSoa sa = SortedByMinX(a);
   const sweep::SweepSoa sb = SortedByMinX(b);
   uint64_t count = 0;
   sweep::SoaSweep(sa, sb, [&count](size_t, size_t) { ++count; });
+  SJSEL_METRIC_ADD("join.plane_sweep.pairs", count);
   return count;
 }
 
 void PlaneSweepJoin(const Dataset& a, const Dataset& b,
                     const PairCallback& emit) {
+  SJSEL_TRACE_SPAN("join.plane_sweep", "n_a=%zu n_b=%zu", a.size(), b.size());
+  SJSEL_METRIC_INC("join.plane_sweep.runs");
   const sweep::SweepSoa sa = SortedByMinX(a);
   const sweep::SweepSoa sb = SortedByMinX(b);
   sweep::SoaSweep(sa, sb, [&](size_t i, size_t j) {

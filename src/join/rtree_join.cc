@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace sjsel {
@@ -54,8 +56,13 @@ void JoinImpl(const RTree& a, const RTree& b, Emit&& emit) {
 }  // namespace
 
 uint64_t RTreeJoinCount(const RTree& a, const RTree& b) {
+  SJSEL_TRACE_SPAN("join.rtree", "n_a=%zu n_b=%zu threads=1",
+                   static_cast<size_t>(a.size()),
+                   static_cast<size_t>(b.size()));
+  SJSEL_METRIC_INC("join.rtree.runs");
   uint64_t count = 0;
   JoinImpl(a, b, [&count](int64_t, int64_t) { ++count; });
+  SJSEL_METRIC_ADD("join.rtree.pairs", count);
   return count;
 }
 
@@ -117,6 +124,13 @@ uint64_t RTreeJoinCount(const RTree& a, const RTree& b, int threads) {
     return RTreeJoinCount(a, b);
   }
 
+  // The delegating early-exits above are counted by the serial overload;
+  // only the genuine fan-out path is instrumented here, so one logical
+  // join never books join.rtree.runs twice.
+  SJSEL_TRACE_SPAN("join.rtree", "n_a=%zu n_b=%zu threads=%d",
+                   static_cast<size_t>(a.size()),
+                   static_cast<size_t>(b.size()), threads);
+  SJSEL_METRIC_INC("join.rtree.runs");
   const std::vector<SubtreeTask> tasks = TopLevelTasks(*ra, *rb, window);
   std::vector<uint64_t> counts(tasks.size(), 0);
   ThreadPool pool(threads);
@@ -130,6 +144,7 @@ uint64_t RTreeJoinCount(const RTree& a, const RTree& b, int threads) {
               });
   uint64_t total = 0;
   for (const uint64_t c : counts) total += c;
+  SJSEL_METRIC_ADD("join.rtree.pairs", total);
   return total;
 }
 

@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace sjsel {
+namespace obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> MetricsRegistry::armed_{false};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+void MetricsRegistry::Arm() {
+  Global().Reset();
+  armed_.store(true, std::memory_order_release);
+}
+
+void MetricsRegistry::Disarm() {
+  armed_.store(false, std::memory_order_release);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+size_t MetricsRegistry::InstrumentCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    out += "\": ";
+    out += std::to_string(counter->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    out += "\": ";
+    out += std::to_string(gauge->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    out += "\": {\"count\": ";
+    out += std::to_string(hist->count());
+    out += ", \"sum\": ";
+    out += std::to_string(hist->sum());
+    out += ", \"min\": ";
+    out += std::to_string(hist->min());
+    out += ", \"max\": ";
+    out += std::to_string(hist->max());
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t n = hist->bucket(i);
+      if (n == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[";
+      out += std::to_string(i);
+      out += ", ";
+      out += std::to_string(n);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "  %-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "  %-44s %lld\n", name.c_str(),
+                  static_cast<long long>(gauge->value()));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "  %-44s count=%llu mean=%.1fus min=%lluus max=%lluus\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(hist->count()),
+                  hist->mean(), static_cast<unsigned long long>(hist->min()),
+                  static_cast<unsigned long long>(hist->max()));
+    out += line;
+  }
+  return out;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  const std::string json = SnapshotJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+void RecordLatencyMicros(Histogram* hist, uint64_t micros) {
+  if (hist != nullptr && MetricsRegistry::Armed()) hist->Record(micros);
+}
+
+}  // namespace obs
+}  // namespace sjsel

@@ -1,0 +1,264 @@
+#ifndef SJSEL_OBS_METRICS_H_
+#define SJSEL_OBS_METRICS_H_
+
+// Process-wide metrics: named counters, gauges and log-scale latency
+// histograms with deterministic JSON / text snapshots. See
+// docs/OBSERVABILITY.md for the naming scheme and which seams publish
+// what.
+//
+// Cost contract, mirroring src/util/fault_injection.h: every instrumented
+// site first checks MetricsRegistry::Armed() — one relaxed atomic load —
+// and does nothing else while disarmed (no lookup, no allocation, no
+// atomic RMW). While armed, updating an instrument is a name lookup under
+// a short mutex plus a relaxed atomic add; the instrumented seams are
+// coarse (whole builds, joins, validation passes), not per-rectangle, so
+// the lookup never sits on an inner loop.
+//
+// Instruments live for the process lifetime once registered — pointers
+// returned by Get* never dangle — and Reset() only zeroes their values,
+// so snapshots taken from concurrent threads are always safe.
+//
+// This header depends only on the standard library (it sits below
+// src/util/ in the module map, like obs/trace.h).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sjsel {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-set / high-water value (e.g. pool queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is higher than the current value.
+  void UpdateMax(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-scale (power-of-two bucket) histogram of non-negative integer
+/// samples. Latency sites record microseconds. Bucket 0 counts samples
+/// equal to 0; bucket i >= 1 counts samples v with 2^(i-1) <= v < 2^i.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t v) {
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    UpdateMin(v);
+    UpdateMax(v);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded sample; 0 when empty.
+  uint64_t min() const {
+    const uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == kEmptyMin ? 0 : m;
+  }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(kEmptyMin, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  static int BucketOf(uint64_t v) {
+    if (v == 0) return 0;
+    const int b = 64 - static_cast<int>(__builtin_clzll(v));
+    // Samples at or above 2^63 share the last bucket (index 63 would
+    // otherwise be one past the array for top-bit values).
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+
+ private:
+  static constexpr uint64_t kEmptyMin = ~uint64_t{0};
+
+  void UpdateMin(uint64_t v) {
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void UpdateMax(uint64_t v) {
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{kEmptyMin};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// The process-wide registry of named instruments.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// The fast gate every instrumented site checks first.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Zeroes every instrument and starts collection.
+  static void Arm();
+
+  /// Stops collection. Values stay readable/snapshotable.
+  static void Disarm();
+
+  /// Finds or creates the named instrument. Returned pointers are stable
+  /// for the process lifetime. A name used as one kind must not be reused
+  /// as another (the snapshot namespaces them separately, so nothing
+  /// breaks, but the metric becomes ambiguous to readers).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every registered instrument (registrations persist).
+  void Reset();
+
+  /// Registered instruments of all three kinds (tests use this to assert
+  /// the disarmed path registers nothing).
+  size_t InstrumentCount() const;
+
+  /// Deterministic snapshot: keys sorted, fixed field order, no
+  /// timestamps. Two snapshots with no intervening updates are
+  /// byte-identical.
+  ///
+  ///   {
+  ///     "counters": {"join.pbsm.runs": 3, ...},
+  ///     "gauges": {"pool.queue_depth.max": 14, ...},
+  ///     "histograms": {
+  ///       "hist.gh.build_us": {"count": 2, "sum": 1234, "min": 400,
+  ///                            "max": 834, "buckets": [[9, 1], [10, 1]]},
+  ///       ...
+  ///     }
+  ///   }
+  ///
+  /// A histogram's "buckets" lists [bucket_index, count] for non-empty
+  /// buckets only; bucket i >= 1 covers [2^(i-1), 2^i).
+  std::string SnapshotJson() const;
+
+  /// Human-readable block for the CLI: one "name : value" line per
+  /// instrument, sorted.
+  std::string SnapshotText() const;
+
+  /// Writes SnapshotJson() to `path`. Returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+inline bool MetricsArmed() { return MetricsRegistry::Armed(); }
+
+/// Implementation of util/timer.h's ScopedTimer reporting hook: records
+/// `micros` into `hist` when metrics are armed. Tolerates null.
+void RecordLatencyMicros(Histogram* hist, uint64_t micros);
+
+/// RAII latency sample: when metrics are armed at construction, records
+/// the scope's elapsed microseconds into the named histogram on
+/// destruction. One relaxed load when disarmed.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(const char* name) {
+    if (MetricsArmed()) {
+      hist_ = MetricsRegistry::Global().GetHistogram(name);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedLatency() {
+    if (hist_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      hist_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count()));
+    }
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Counter bump, gated on the armed check. `name` is evaluated only when
+/// armed.
+#define SJSEL_METRIC_ADD(name, delta)                                     \
+  do {                                                                    \
+    if (::sjsel::obs::MetricsArmed()) {                                   \
+      ::sjsel::obs::MetricsRegistry::Global().GetCounter(name)->Add(      \
+          static_cast<uint64_t>(delta));                                  \
+    }                                                                     \
+  } while (0)
+
+#define SJSEL_METRIC_INC(name) SJSEL_METRIC_ADD(name, 1)
+
+/// High-water gauge update, gated on the armed check.
+#define SJSEL_METRIC_GAUGE_MAX(name, v)                                   \
+  do {                                                                    \
+    if (::sjsel::obs::MetricsArmed()) {                                   \
+      ::sjsel::obs::MetricsRegistry::Global().GetGauge(name)->UpdateMax(  \
+          static_cast<int64_t>(v));                                       \
+    }                                                                     \
+  } while (0)
+
+/// Scoped latency histogram sample (microseconds). At most one per line.
+#define SJSEL_METRIC_SCOPED_LATENCY(name) \
+  ::sjsel::obs::ScopedLatency SJSEL_OBS_CONCAT_M(sjsel_latency_, \
+                                                 __LINE__)(name)
+#define SJSEL_OBS_CONCAT_M_INNER(a, b) a##b
+#define SJSEL_OBS_CONCAT_M(a, b) SJSEL_OBS_CONCAT_M_INNER(a, b)
+
+}  // namespace obs
+}  // namespace sjsel
+
+#endif  // SJSEL_OBS_METRICS_H_

@@ -1,0 +1,289 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace sjsel {
+namespace obs {
+namespace {
+
+// Span nesting depth of the calling thread. Incremented by Begin,
+// decremented by End; purely thread-local, so no synchronization.
+thread_local int t_depth = 0;
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Minimal JSON string escaping for names and detail strings.
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+// A fixed-capacity per-thread event ring. The owning thread is the only
+// writer; Collect (any thread) reads under the same spin gate the writer
+// takes, so readers never see a half-written slot and TSan sees a proper
+// acquire/release pair. The gate is per-ring and uncontended except
+// during a flush, so recording stays wait-free in the steady state.
+class TraceRing {
+ public:
+  explicit TraceRing(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  void Push(const char* name, int64_t start_ns, int64_t dur_ns, int depth,
+            const char* detail) {
+    Lock();
+    Slot& slot = slots_[head_ % Tracer::kRingCapacity];
+    slot.name = name;
+    slot.start_ns = start_ns;
+    slot.dur_ns = dur_ns;
+    slot.depth = depth;
+    if (detail != nullptr && detail[0] != '\0') {
+      std::snprintf(slot.detail, sizeof(slot.detail), "%s", detail);
+    } else {
+      slot.detail[0] = '\0';
+    }
+    ++head_;
+    Unlock();
+  }
+
+  void Reset() {
+    Lock();
+    head_ = 0;
+    Unlock();
+  }
+
+  // Appends this ring's events (record order) to `out`; returns how many
+  // events wraparound has overwritten.
+  uint64_t CollectInto(std::vector<CollectedSpan>* out) {
+    Lock();
+    const uint64_t kept =
+        head_ < Tracer::kRingCapacity ? head_ : Tracer::kRingCapacity;
+    const uint64_t dropped = head_ - kept;
+    for (uint64_t i = head_ - kept; i < head_; ++i) {
+      const Slot& slot = slots_[i % Tracer::kRingCapacity];
+      CollectedSpan span;
+      span.name = slot.name;
+      span.start_ns = slot.start_ns;
+      span.dur_ns = slot.dur_ns;
+      span.tid = id_;
+      span.depth = slot.depth;
+      span.detail = slot.detail;
+      out->push_back(std::move(span));
+    }
+    Unlock();
+    return dropped;
+  }
+
+ private:
+  struct Slot {
+    const char* name = "";
+    int64_t start_ns = 0;
+    int64_t dur_ns = 0;
+    int32_t depth = 0;
+    char detail[Tracer::kMaxDetail] = {0};
+  };
+
+  void Lock() {
+    while (gate_.exchange(true, std::memory_order_acquire)) {
+      // Contended only while a flush copies this ring; spin briefly.
+    }
+  }
+  void Unlock() { gate_.store(false, std::memory_order_release); }
+
+  std::atomic<bool> gate_{false};
+  uint64_t head_ = 0;  ///< events ever pushed; slot index is head_ % cap
+  int id_;
+  Slot slots_[Tracer::kRingCapacity];
+};
+
+std::atomic<bool> Tracer::armed_{false};
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // intentionally leaked
+  return *tracer;
+}
+
+// Thread exit returns the ring to the tracer's free list so short-lived
+// pool workers recycle rings instead of growing the registry without
+// bound. A reused ring keeps its recorded events (the dead thread's spans
+// ended before the new thread's begin, so the shared tid track stays
+// properly nested in time).
+struct Tracer::RingLease {
+  TraceRing* ring = nullptr;
+  ~RingLease() {
+    if (ring != nullptr) Tracer::Global().ReleaseRing(ring);
+  }
+};
+
+TraceRing* Tracer::RingForThisThread() {
+  thread_local RingLease lease;
+  if (lease.ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_rings_.empty()) {
+      lease.ring = free_rings_.back();
+      free_rings_.pop_back();
+    } else {
+      rings_.push_back(
+          std::make_unique<TraceRing>(static_cast<int>(rings_.size())));
+      lease.ring = rings_.back().get();
+    }
+  }
+  return lease.ring;
+}
+
+void Tracer::ReleaseRing(TraceRing* ring) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_rings_.push_back(ring);
+}
+
+void Tracer::Arm() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& ring : rings_) ring->Reset();
+  }
+  epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disarm() { armed_.store(false, std::memory_order_release); }
+
+int64_t Tracer::NowNs() const {
+  return SteadyNowNs() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void Tracer::RecordSpan(const char* name, int64_t start_ns, int64_t dur_ns,
+                        int depth, const char* detail) {
+  if (!Armed()) return;
+  RingForThisThread()->Push(name, start_ns, dur_ns, depth, detail);
+}
+
+void Tracer::Instant(const char* name) {
+  if (!Armed()) return;
+  RingForThisThread()->Push(name, NowNs(), -1, t_depth, "");
+}
+
+int Tracer::ring_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(rings_.size());
+}
+
+Tracer::Snapshot Tracer::Collect() {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.rings = static_cast<int>(rings_.size());
+  for (auto& ring : rings_) {
+    snapshot.dropped += ring->CollectInto(&snapshot.spans);
+  }
+  return snapshot;
+}
+
+std::string Tracer::ChromeTraceJson() {
+  const Snapshot snapshot = Collect();
+  std::string out;
+  out.reserve(snapshot.spans.size() * 128 + 256);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n";
+  out += "\"otherData\": {\"tool\": \"sjsel\", \"dropped_events\": ";
+  out += std::to_string(snapshot.dropped);
+  out += "},\n\"traceEvents\": [\n";
+  out +=
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"sjsel\"}}";
+  char num[64];
+  for (const CollectedSpan& span : snapshot.spans) {
+    out += ",\n{\"name\": \"";
+    AppendJsonEscaped(&out, span.name);
+    out += "\", \"cat\": \"sjsel\", \"ph\": \"";
+    out += span.dur_ns < 0 ? "i" : "X";
+    out += "\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(span.tid + 1);  // tid 0 is the metadata track
+    std::snprintf(num, sizeof(num), ", \"ts\": %.3f",
+                  static_cast<double>(span.start_ns) / 1000.0);
+    out += num;
+    if (span.dur_ns < 0) {
+      out += ", \"s\": \"t\"";
+    } else {
+      std::snprintf(num, sizeof(num), ", \"dur\": %.3f",
+                    static_cast<double>(span.dur_ns) / 1000.0);
+      out += num;
+    }
+    out += ", \"args\": {\"depth\": ";
+    out += std::to_string(span.depth);
+    if (!span.detail.empty()) {
+      out += ", \"detail\": \"";
+      AppendJsonEscaped(&out, span.detail);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+void TraceSpan::Begin(const char* name) {
+  name_ = name;
+  start_ns_ = Tracer::Global().NowNs();
+  depth_ = t_depth++;
+  active_ = true;
+  detail_[0] = '\0';
+}
+
+void TraceSpan::Begin(const char* name, const char* fmt, ...) {
+  Begin(name);
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(detail_, sizeof(detail_), fmt, args);
+  va_end(args);
+}
+
+void TraceSpan::End() {
+  const int64_t end_ns = Tracer::Global().NowNs();
+  --t_depth;
+  active_ = false;
+  // Disarmed mid-span: drop the event (RecordSpan re-checks) but the
+  // depth bookkeeping above must still run.
+  Tracer::Global().RecordSpan(name_, start_ns_, end_ns - start_ns_, depth_,
+                              detail_);
+}
+
+}  // namespace obs
+}  // namespace sjsel

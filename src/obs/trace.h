@@ -1,0 +1,180 @@
+#ifndef SJSEL_OBS_TRACE_H_
+#define SJSEL_OBS_TRACE_H_
+
+// Scoped-span tracing into per-thread ring buffers, flushed on demand to
+// Chrome trace-event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev). See docs/OBSERVABILITY.md for the span
+// taxonomy and the cost contract.
+//
+// Usage at an instrumented seam:
+//
+//   SJSEL_TRACE_SPAN("gh.build", "level=%d rects=%zu", level, ds.size());
+//
+// The macro declares an inert RAII object and only consults the tracer —
+// one relaxed atomic load — to decide whether to start recording. While
+// the tracer is disarmed a span costs that single load and branch: no
+// clock read, no allocation, no argument formatting. While armed, spans
+// record a self-contained "complete" event (name, start, duration, depth,
+// preformatted detail string) into the calling thread's ring buffer on
+// destruction; recording one event is a clock read, an snprintf into a
+// fixed slot, and two uncontended atomic exchanges (the ring's flush
+// gate). Nothing ever blocks on another thread's progress.
+//
+// Rings are fixed-capacity and overwrite their oldest events when full
+// (the drop count is reported in the flushed file). Because every slot is
+// a complete span — begin/end are never split across entries — wraparound
+// can only drop whole spans, so a flushed trace is always balanced.
+//
+// This header depends only on the standard library: it sits below
+// src/util/ so even util/timer.h may build on it (see the module map in
+// docs/ARCHITECTURE.md).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sjsel {
+namespace obs {
+
+/// One recorded event, as returned by Tracer::Collect for tests and the
+/// JSON writer. dur_ns == -1 marks an instant event.
+struct CollectedSpan {
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int tid = 0;    ///< ring id — one per recording thread, reused after exit
+  int depth = 0;  ///< span nesting depth on its thread at begin time
+  std::string detail;  ///< the formatted args string, possibly empty
+};
+
+class TraceRing;
+
+/// The process-wide tracer. Arm() resets all rings and starts the trace
+/// clock; spans and instants recorded while armed are collected by
+/// Collect()/WriteChromeTrace(). All methods are thread-safe.
+class Tracer {
+ public:
+  /// Events a single thread can hold before the ring overwrites its
+  /// oldest entry.
+  static constexpr size_t kRingCapacity = 4096;
+  /// Formatted detail strings are truncated to this many bytes (including
+  /// the NUL).
+  static constexpr size_t kMaxDetail = 96;
+
+  static Tracer& Global();
+
+  /// The fast gate every span checks first: one relaxed atomic load.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Starts (or restarts) tracing: clears every ring, re-zeroes the trace
+  /// clock, arms the gate.
+  void Arm();
+
+  /// Stops recording. Already-recorded events stay collectable.
+  void Disarm();
+
+  /// Records an instant event on the calling thread's ring. No-op when
+  /// disarmed.
+  void Instant(const char* name);
+
+  /// Everything currently recorded, in per-ring record order, plus the
+  /// number of events lost to ring wraparound. Safe to call while other
+  /// threads are still recording (in-flight events may or may not be
+  /// included).
+  struct Snapshot {
+    std::vector<CollectedSpan> spans;
+    uint64_t dropped = 0;
+    int rings = 0;
+  };
+  Snapshot Collect();
+
+  /// The snapshot as a Chrome trace-event JSON object (traceEvents array
+  /// of "X"/"i" events, ts/dur in microseconds).
+  std::string ChromeTraceJson();
+
+  /// Writes ChromeTraceJson() to `path`. Returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path);
+
+  /// Rings ever created (== distinct concurrently-live recording threads
+  /// high-water mark; exited threads donate their ring back for reuse).
+  int ring_count();
+
+  /// Internal: record one complete span from the calling thread.
+  void RecordSpan(const char* name, int64_t start_ns, int64_t dur_ns,
+                  int depth, const char* detail);
+
+  /// Nanoseconds since Arm() on the trace clock (steady).
+  int64_t NowNs() const;
+
+ private:
+  TraceRing* RingForThisThread();
+  void ReleaseRing(TraceRing* ring);
+
+  struct RingLease;  // thread_local handle that returns the ring on exit
+
+  static std::atomic<bool> armed_;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::vector<TraceRing*> free_rings_;
+  std::atomic<int64_t> epoch_ns_{0};  ///< steady-clock ns at Arm()
+};
+
+/// RAII span. Default-constructed it is inert; Begin() starts the clock
+/// and the destructor records the completed span. Use via
+/// SJSEL_TRACE_SPAN so the disarmed path never reaches Begin().
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  ~TraceSpan() {
+    if (active_) End();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// `name` must have static storage duration (string literals only — the
+  /// pointer is kept until flush). The printf-style overload formats a
+  /// human-readable detail string into a fixed buffer, surfaced as
+  /// args.detail in the trace file.
+  void Begin(const char* name);
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 3, 4)))
+#endif
+  void Begin(const char* name, const char* fmt, ...);
+
+ private:
+  void End();
+
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  int depth_ = 0;
+  bool active_ = false;
+  char detail_[Tracer::kMaxDetail] = {0};
+};
+
+#define SJSEL_OBS_CONCAT_INNER(a, b) a##b
+#define SJSEL_OBS_CONCAT(a, b) SJSEL_OBS_CONCAT_INNER(a, b)
+
+/// Scoped span covering the rest of the enclosing block. At most one per
+/// source line. Arguments beyond the name are a printf format + values,
+/// only evaluated when the tracer is armed.
+#define SJSEL_TRACE_SPAN(...)                                              \
+  ::sjsel::obs::TraceSpan SJSEL_OBS_CONCAT(sjsel_trace_span_, __LINE__);   \
+  if (::sjsel::obs::Tracer::Armed())                                       \
+  SJSEL_OBS_CONCAT(sjsel_trace_span_, __LINE__).Begin(__VA_ARGS__)
+
+/// Instant event (a point on the timeline), e.g. a degradation or a cache
+/// rebuild. Costs one relaxed load when disarmed.
+#define SJSEL_TRACE_INSTANT(name)                                          \
+  do {                                                                     \
+    if (::sjsel::obs::Tracer::Armed())                                     \
+      ::sjsel::obs::Tracer::Global().Instant(name);                        \
+  } while (0)
+
+}  // namespace obs
+}  // namespace sjsel
+
+#endif  // SJSEL_OBS_TRACE_H_

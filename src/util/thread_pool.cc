@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 
 namespace sjsel {
@@ -41,11 +43,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++unfinished_;
+    depth = queue_.size();
   }
+  SJSEL_METRIC_INC("pool.tasks");
+  SJSEL_METRIC_GAUGE_MAX("pool.queue_depth.max", depth);
   work_available_.notify_one();
 }
 
@@ -83,6 +89,13 @@ void ParallelFor(ThreadPool* pool, int64_t n, int64_t grain,
   if (n <= 0) return;
   if (grain < 1) grain = 1;
   const int64_t blocks = ParallelForNumBlocks(n, grain);
+  SJSEL_TRACE_SPAN("pool.parallel_for",
+                   "n=%lld grain=%lld blocks=%lld threads=%d",
+                   static_cast<long long>(n), static_cast<long long>(grain),
+                   static_cast<long long>(blocks),
+                   pool == nullptr ? 1 : pool->num_threads());
+  SJSEL_METRIC_INC("pool.parallel_for.calls");
+  SJSEL_METRIC_ADD("pool.parallel_for.blocks", blocks);
 
   if (pool == nullptr || pool->num_threads() <= 1 || blocks == 1) {
     // Inline path, same contract as the pooled one: every block runs, the

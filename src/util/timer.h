@@ -2,8 +2,17 @@
 #define SJSEL_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace sjsel {
+
+namespace obs {
+// Defined in obs/metrics.h / obs/metrics.cc; forward-declared so this
+// header stays include-light (ScopedTimer below only needs the pointer
+// and the reporting hook).
+class Histogram;
+void RecordLatencyMicros(Histogram* hist, uint64_t micros);
+}  // namespace obs
 
 /// Monotonic wall-clock stopwatch used for the paper's relative-time metrics
 /// (Est. Time 1 / Est. Time 2, histogram build time).
@@ -22,9 +31,49 @@ class Timer {
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Whole microseconds elapsed since construction or the last Reset().
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A Timer that, on destruction, reports its elapsed microseconds into a
+/// metrics histogram (obs/metrics.h) — the standard way for benches and
+/// phase-structured code to both read a duration and publish it:
+///
+///   {
+///     ScopedTimer t(registry.GetHistogram("pipeline.build_us"));
+///     ... work ...
+///     seconds = t.ElapsedSeconds();   // still readable inline
+///   }                                 // histogram sample recorded here
+///
+/// A null histogram (or disarmed metrics) makes the report a no-op, so
+/// the type is safe to use unconditionally.
+class ScopedTimer {
+ public:
+  ScopedTimer() = default;
+  explicit ScopedTimer(obs::Histogram* hist) : hist_(hist) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) obs::RecordLatencyMicros(hist_, ElapsedMicros());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  void Reset() { timer_.Reset(); }
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+  double ElapsedMillis() const { return timer_.ElapsedMillis(); }
+  uint64_t ElapsedMicros() const { return timer_.ElapsedMicros(); }
+
+ private:
+  Timer timer_;
+  obs::Histogram* hist_ = nullptr;
 };
 
 }  // namespace sjsel

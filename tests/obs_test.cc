@@ -1,0 +1,265 @@
+// Tests for the observability layer (src/obs/): span recording and
+// nesting, ring-buffer wraparound semantics, the disarmed zero-cost
+// contract, metrics instruments and snapshot determinism, and the
+// ScopedTimer reporting hook from util/timer.h.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace sjsel {
+namespace {
+
+using obs::CollectedSpan;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::Tracer;
+
+const CollectedSpan* FindSpan(const std::vector<CollectedSpan>& spans,
+                              const std::string& name) {
+  for (const CollectedSpan& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, RecordsCompleteSpansWithArgs) {
+  Tracer::Global().Arm();
+  {
+    SJSEL_TRACE_SPAN("outer", "n=%d", 42);
+    SJSEL_TRACE_SPAN("inner");
+  }
+  Tracer::Global().Disarm();
+
+  const Tracer::Snapshot snap = Tracer::Global().Collect();
+  const CollectedSpan* outer = FindSpan(snap.spans, "outer");
+  const CollectedSpan* inner = FindSpan(snap.spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->detail, "n=42");
+  EXPECT_GE(outer->dur_ns, 0);
+  EXPECT_GE(inner->dur_ns, 0);
+}
+
+TEST(TraceTest, NestedSpansCarryDepthAndContainment) {
+  Tracer::Global().Arm();
+  {
+    SJSEL_TRACE_SPAN("parent");
+    {
+      SJSEL_TRACE_SPAN("child");
+    }
+  }
+  Tracer::Global().Disarm();
+
+  const Tracer::Snapshot snap = Tracer::Global().Collect();
+  const CollectedSpan* parent = FindSpan(snap.spans, "parent");
+  const CollectedSpan* child = FindSpan(snap.spans, "child");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(parent->depth, 0);
+  EXPECT_EQ(child->depth, 1);
+  // The child's interval nests inside the parent's.
+  EXPECT_GE(child->start_ns, parent->start_ns);
+  EXPECT_LE(child->start_ns + child->dur_ns,
+            parent->start_ns + parent->dur_ns);
+}
+
+TEST(TraceTest, InstantEventsAreMarked) {
+  Tracer::Global().Arm();
+  SJSEL_TRACE_INSTANT("ping");
+  Tracer::Global().Disarm();
+  const Tracer::Snapshot snap = Tracer::Global().Collect();
+  const CollectedSpan* ping = FindSpan(snap.spans, "ping");
+  ASSERT_NE(ping, nullptr);
+  EXPECT_EQ(ping->dur_ns, -1);
+}
+
+TEST(TraceTest, RingWraparoundDropsWholeSpansOnly) {
+  Tracer::Global().Arm();
+  const size_t total = Tracer::kRingCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    SJSEL_TRACE_SPAN("wrap");
+  }
+  Tracer::Global().Disarm();
+  const Tracer::Snapshot snap = Tracer::Global().Collect();
+  // The ring holds exactly kRingCapacity events; the overflow is counted,
+  // never half-recorded.
+  size_t wraps = 0;
+  for (const CollectedSpan& s : snap.spans) {
+    if (s.name == "wrap") ++wraps;
+  }
+  EXPECT_EQ(wraps, Tracer::kRingCapacity);
+  EXPECT_GE(snap.dropped, uint64_t{100});
+}
+
+TEST(TraceTest, DisarmedSpansRecordNothing) {
+  Tracer::Global().Arm();
+  Tracer::Global().Disarm();
+  // Re-arm resets; then disarm again and issue spans: none may appear.
+  Tracer::Global().Arm();
+  Tracer::Global().Disarm();
+  {
+    SJSEL_TRACE_SPAN("ghost", "x=%d", 1);
+    SJSEL_TRACE_INSTANT("ghost_instant");
+  }
+  const Tracer::Snapshot snap = Tracer::Global().Collect();
+  EXPECT_EQ(FindSpan(snap.spans, "ghost"), nullptr);
+  EXPECT_EQ(FindSpan(snap.spans, "ghost_instant"), nullptr);
+}
+
+TEST(TraceTest, ArmResetsPriorEvents) {
+  Tracer::Global().Arm();
+  {
+    SJSEL_TRACE_SPAN("first_run");
+  }
+  Tracer::Global().Arm();  // restart
+  {
+    SJSEL_TRACE_SPAN("second_run");
+  }
+  Tracer::Global().Disarm();
+  const Tracer::Snapshot snap = Tracer::Global().Collect();
+  EXPECT_EQ(FindSpan(snap.spans, "first_run"), nullptr);
+  EXPECT_NE(FindSpan(snap.spans, "second_run"), nullptr);
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormedAndBalanced) {
+  Tracer::Global().Arm();
+  {
+    SJSEL_TRACE_SPAN("json_outer", "k=%s", "v");
+    SJSEL_TRACE_SPAN("json_inner");
+  }
+  Tracer::Global().Disarm();
+  const std::string json = Tracer::Global().ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"json_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"json_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("k=v"), std::string::npos);
+}
+
+TEST(TraceTest, SpansFromWorkerThreadsLandInDistinctRings) {
+  Tracer::Global().Arm();
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([] {
+      SJSEL_TRACE_SPAN("worker_span");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  Tracer::Global().Disarm();
+  const Tracer::Snapshot snap = Tracer::Global().Collect();
+  size_t found = 0;
+  for (const CollectedSpan& s : snap.spans) {
+    if (s.name == "worker_span") ++found;
+  }
+  EXPECT_EQ(found, 4u);
+}
+
+TEST(MetricsTest, CountersGaugesHistogramsRoundTrip) {
+  MetricsRegistry::Arm();
+  SJSEL_METRIC_INC("t.counter");
+  SJSEL_METRIC_ADD("t.counter", 9);
+  SJSEL_METRIC_GAUGE_MAX("t.gauge", 5);
+  SJSEL_METRIC_GAUGE_MAX("t.gauge", 3);  // lower: must not regress
+  MetricsRegistry::Global().GetHistogram("t.hist")->Record(100);
+  MetricsRegistry::Disarm();
+
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("t.counter")->value(),
+            uint64_t{10});
+  EXPECT_EQ(MetricsRegistry::Global().GetGauge("t.gauge")->value(), 5);
+  const Histogram* hist = MetricsRegistry::Global().GetHistogram("t.hist");
+  EXPECT_EQ(hist->count(), uint64_t{1});
+  EXPECT_EQ(hist->sum(), uint64_t{100});
+  EXPECT_EQ(hist->min(), uint64_t{100});
+  EXPECT_EQ(hist->max(), uint64_t{100});
+}
+
+TEST(MetricsTest, DisarmedMacrosUpdateNothing) {
+  MetricsRegistry::Arm();
+  MetricsRegistry::Disarm();
+  const size_t before = MetricsRegistry::Global().InstrumentCount();
+  SJSEL_METRIC_INC("t.never_registered");
+  SJSEL_METRIC_GAUGE_MAX("t.never_registered_gauge", 1);
+  { SJSEL_METRIC_SCOPED_LATENCY("t.never_registered_hist"); }
+  // Disarmed macros must not even register the instrument.
+  EXPECT_EQ(MetricsRegistry::Global().InstrumentCount(), before);
+}
+
+TEST(MetricsTest, HistogramBucketMath) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+  // Top-bit samples clamp into the last bucket instead of overflowing.
+  EXPECT_EQ(Histogram::BucketOf(~uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketOf(uint64_t{1} << 63), Histogram::kBuckets - 1);
+}
+
+TEST(MetricsTest, SnapshotJsonIsDeterministic) {
+  MetricsRegistry::Arm();
+  SJSEL_METRIC_INC("t.z");
+  SJSEL_METRIC_INC("t.a");
+  SJSEL_METRIC_GAUGE_MAX("t.g", 7);
+  MetricsRegistry::Global().GetHistogram("t.h")->Record(3);
+  MetricsRegistry::Disarm();
+  const std::string one = MetricsRegistry::Global().SnapshotJson();
+  const std::string two = MetricsRegistry::Global().SnapshotJson();
+  EXPECT_EQ(one, two);
+  // Keys are sorted: "t.a" appears before "t.z".
+  EXPECT_LT(one.find("\"t.a\""), one.find("\"t.z\""));
+}
+
+TEST(MetricsTest, ArmResetsValuesButKeepsRegistrations) {
+  MetricsRegistry::Arm();
+  SJSEL_METRIC_ADD("t.reset_me", 5);
+  MetricsRegistry::Arm();  // re-arm zeroes
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("t.reset_me")->value(),
+            uint64_t{0});
+  MetricsRegistry::Disarm();
+}
+
+TEST(ScopedTimerTest, ReportsIntoHistogramWhenArmed) {
+  MetricsRegistry::Arm();
+  Histogram* hist = MetricsRegistry::Global().GetHistogram("t.scoped_us");
+  hist->Reset();
+  {
+    ScopedTimer timer(hist);
+    EXPECT_GE(timer.ElapsedMicros(), uint64_t{0});
+  }
+  MetricsRegistry::Disarm();
+  EXPECT_EQ(hist->count(), uint64_t{1});
+}
+
+TEST(ScopedTimerTest, NullHistogramAndDisarmedAreNoOps) {
+  {
+    ScopedTimer timer(nullptr);  // must not crash
+  }
+  MetricsRegistry::Arm();
+  Histogram* hist = MetricsRegistry::Global().GetHistogram("t.disarmed_us");
+  MetricsRegistry::Disarm();
+  hist->Reset();
+  {
+    ScopedTimer timer(hist);
+  }
+  // Disarmed at destruction: nothing recorded.
+  EXPECT_EQ(hist->count(), uint64_t{0});
+}
+
+TEST(TimerTest, ElapsedMicrosIsMonotonic) {
+  Timer timer;
+  const uint64_t first = timer.ElapsedMicros();
+  const uint64_t second = timer.ElapsedMicros();
+  EXPECT_GE(second, first);
+}
+
+}  // namespace
+}  // namespace sjsel
