@@ -7,6 +7,7 @@
 // R-tree size).
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <string>
@@ -219,6 +220,42 @@ class BenchJsonWriter {
   std::string metrics_json_;
   std::vector<Entry> entries_;
 };
+
+/// Environment-driven metrics capture for bench binaries, which have no
+/// flag parser of their own: when SJSEL_METRICS_JSON names a file, metrics
+/// are armed for the whole process lifetime and a JSON snapshot
+/// (obs::MetricsRegistry::SnapshotJson) is written there at exit.
+/// scripts/run_experiments.sh sets it to keep a machine-readable metrics
+/// file next to every bench's text output.
+class MetricsEnvScope {
+ public:
+  MetricsEnvScope() {
+    const char* path = std::getenv("SJSEL_METRICS_JSON");
+    if (path != nullptr && path[0] != '\0') {
+      path_ = path;
+      obs::MetricsRegistry::Arm();
+    }
+  }
+  ~MetricsEnvScope() {
+    if (path_.empty()) return;
+    obs::MetricsRegistry::Disarm();
+    if (obs::MetricsRegistry::Global().WriteJson(path_)) {
+      std::printf("wrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "MetricsEnvScope: cannot write %s\n",
+                   path_.c_str());
+    }
+  }
+  MetricsEnvScope(const MetricsEnvScope&) = delete;
+  MetricsEnvScope& operator=(const MetricsEnvScope&) = delete;
+
+ private:
+  std::string path_;
+};
+
+// One instance per process (inline variable): armed before main() runs,
+// flushed after it returns.
+inline const MetricsEnvScope kMetricsEnvScope{};
 
 inline void PrintHeader(const std::string& title, double scale) {
   std::printf("=====================================================\n");

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Accuracy/perf drift gate, wired as a ctest (bench_drift) and a CI step:
+# runs the accuracy_grid bench in a scratch directory and compares the
+# BENCH_accuracy.json it writes against the checked-in baseline in
+# bench/baselines/ via scripts/check_bench.py. Exits 77 (ctest SKIP) when
+# python3 is unavailable.
+#
+# Usage: bench_drift.sh <accuracy_grid-binary> [workdir]
+set -euo pipefail
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench_drift: python3 not found, skipping" >&2
+  exit 77
+fi
+
+BIN="${1:?usage: bench_drift.sh <accuracy_grid-binary> [workdir]}"
+BIN="$(cd "$(dirname "$BIN")" && pwd)/$(basename "$BIN")"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="${2:-$(mktemp -d)}"
+
+mkdir -p "$WORK"
+cd "$WORK"
+"$BIN"
+python3 "$REPO_ROOT/scripts/check_bench.py" "$REPO_ROOT/bench/baselines" "$WORK"

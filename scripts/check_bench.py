@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Drift gate over BENCH_*.json files.
+
+Compares every BENCH_*.json in a baseline directory against the file of
+the same name in a fresh directory and fails (exit 1, each offending
+metric named) when a value drifts out of its tolerance band:
+
+  * accuracy keys (rel_error, estimated_pairs, actual_pairs, selectivity)
+    are deterministic for a fixed dataset scale — the band is tight
+    (1e-6 absolute + 1e-6 relative, just enough for cross-compiler FMA
+    last-bit noise);
+  * ns_per_op is wall-clock — only a slowdown beyond PERF_FACTOR x the
+    baseline that also loses at least PERF_ABS_NS of absolute wall-clock
+    fails, so machine jitter and scheduler noise on fast entries never
+    trip the gate;
+  * a baseline entry missing from the fresh file fails (a renamed or
+    dropped measurement is drift too); extra fresh entries are fine.
+
+File-level metadata guards: when the two files record a different
+"run.scale" the accuracy comparison is skipped (different data, not
+drift), and when "run.build_type" differs the perf comparison is skipped
+(debug vs release is not a regression).
+
+Usage:
+  check_bench.py <baseline-dir-or-file> <fresh-dir-or-file>
+  check_bench.py --self-test
+"""
+
+import glob
+import json
+import os
+import sys
+import tempfile
+
+TIGHT_KEYS = ("rel_error", "estimated_pairs", "actual_pairs", "selectivity")
+TIGHT_ABS = 1e-6
+TIGHT_REL = 1e-6
+PERF_KEYS = ("ns_per_op",)
+PERF_FACTOR = 8.0
+# Absolute floor for a perf failure: fast micro-entries (sub-ms prepare
+# times) can blow past the factor on a loaded 1-core CI box without any
+# real regression; require losing at least this much wall-clock too.
+PERF_ABS_NS = 5e7
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_entries(name, base, fresh, failures, skip_accuracy, skip_perf):
+    fresh_by_name = {e.get("name"): e for e in fresh.get("entries", [])}
+    for entry in base.get("entries", []):
+        entry_name = entry.get("name")
+        other = fresh_by_name.get(entry_name)
+        checked_keys = [
+            k for k in entry
+            if (k in TIGHT_KEYS and not skip_accuracy)
+            or (k in PERF_KEYS and not skip_perf)
+        ]
+        if not checked_keys:
+            continue
+        if other is None:
+            failures.append(f"{name}: entry '{entry_name}' missing from fresh run")
+            continue
+        for key in checked_keys:
+            b = float(entry[key])
+            if key not in other:
+                failures.append(
+                    f"{name}: {entry_name}.{key} missing from fresh entry")
+                continue
+            f = float(other[key])
+            if key in TIGHT_KEYS:
+                tol = TIGHT_ABS + TIGHT_REL * abs(b)
+                if abs(f - b) > tol:
+                    failures.append(
+                        f"{name}: {entry_name}.{key} drifted: "
+                        f"baseline={b!r} fresh={f!r} (tolerance {tol:.3g})")
+            else:  # perf
+                if f > b * PERF_FACTOR and f - b > PERF_ABS_NS:
+                    failures.append(
+                        f"{name}: {entry_name}.{key} regressed: "
+                        f"baseline={b:.0f}ns fresh={f:.0f}ns "
+                        f"(limit {PERF_FACTOR:g}x)")
+
+
+def compare_files(base_path, fresh_path, failures, notes):
+    name = os.path.basename(base_path)
+    base = load(base_path)
+    fresh = load(fresh_path)
+    base_run = base.get("run", {})
+    fresh_run = fresh.get("run", {})
+    skip_accuracy = False
+    skip_perf = False
+    if base_run.get("scale") != fresh_run.get("scale"):
+        skip_accuracy = True
+        notes.append(
+            f"{name}: scale differs (baseline {base_run.get('scale')}, "
+            f"fresh {fresh_run.get('scale')}) — accuracy comparison skipped")
+    if base_run.get("build_type") != fresh_run.get("build_type"):
+        skip_perf = True
+        notes.append(
+            f"{name}: build_type differs — perf comparison skipped")
+    compare_entries(name, base, fresh, failures, skip_accuracy, skip_perf)
+
+
+def run(baseline, fresh):
+    failures = []
+    notes = []
+    if os.path.isdir(baseline):
+        pairs = []
+        for base_path in sorted(glob.glob(os.path.join(baseline, "BENCH_*.json"))):
+            fresh_path = os.path.join(fresh, os.path.basename(base_path))
+            if not os.path.exists(fresh_path):
+                failures.append(
+                    f"{os.path.basename(base_path)}: no fresh counterpart in {fresh}")
+                continue
+            pairs.append((base_path, fresh_path))
+        if not pairs and not failures:
+            print(f"check_bench: no BENCH_*.json baselines in {baseline}",
+                  file=sys.stderr)
+            return 2
+    else:
+        pairs = [(baseline, fresh)]
+    for base_path, fresh_path in pairs:
+        compare_files(base_path, fresh_path, failures, notes)
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        print(f"check_bench: {len(failures)} metric(s) out of tolerance")
+        return 1
+    print(f"check_bench: OK ({len(pairs)} file(s) within tolerance)")
+    return 0
+
+
+def self_test():
+    base = {
+        "bench": "accuracy",
+        "run": {"build_type": "release", "scale": "0.05"},
+        "entries": [
+            {"name": "TCB-TS/gh/L7", "rel_error": 0.0289,
+             "estimated_pairs": 12345.678, "actual_pairs": 11999.0},
+            {"name": "TCB-TS/gh/L7/prepare", "ns_per_op": 1e8},
+        ],
+    }
+
+    def outcome(mutate, expect, base_run=None):
+        fresh = json.loads(json.dumps(base))
+        if base_run is not None:
+            fresh["run"].update(base_run)
+        mutate(fresh)
+        with tempfile.TemporaryDirectory() as d:
+            bp = os.path.join(d, "BENCH_accuracy.json")
+            fp = os.path.join(d, "fresh.json")
+            with open(bp, "w") as f:
+                json.dump(base, f)
+            with open(fp, "w") as f:
+                json.dump(fresh, f)
+            code = run(bp, fp)
+        assert code == expect, f"expected exit {expect}, got {code}"
+
+    # Identical files pass; last-bit FP noise passes.
+    outcome(lambda fresh: None, 0)
+    outcome(lambda fresh: fresh["entries"][0].__setitem__(
+        "estimated_pairs", 12345.678 + 1e-9), 0)
+    # An accuracy value perturbed beyond the band fails.
+    outcome(lambda fresh: fresh["entries"][0].__setitem__(
+        "rel_error", 0.04), 1)
+    # A big slowdown fails; the same numbers under a different build_type
+    # or scale are skipped, and a dropped entry fails.
+    outcome(lambda fresh: fresh["entries"][1].__setitem__(
+        "ns_per_op", 1e9), 1)
+    outcome(lambda fresh: fresh["entries"][1].__setitem__(
+        "ns_per_op", 1e9), 0, base_run={"build_type": "debug"})
+    # A fast entry blowing past the factor but losing less than the
+    # absolute floor is scheduler noise, not a regression.
+    base["entries"][1]["ns_per_op"] = 1e6
+    outcome(lambda fresh: fresh["entries"][1].__setitem__(
+        "ns_per_op", 2e7), 0)
+    base["entries"][1]["ns_per_op"] = 1e8
+    outcome(lambda fresh: fresh["entries"][0].__setitem__(
+        "rel_error", 0.5), 0, base_run={"scale": "1.0"})
+    outcome(lambda fresh: fresh["entries"].pop(0), 1)
+    print("check_bench: self-test OK")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return run(argv[1], argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

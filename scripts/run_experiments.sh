@@ -5,6 +5,13 @@
 #   scripts/run_experiments.sh [build_dir] [results_dir]
 # Environment:
 #   SJSEL_SCALE=<0..1> | SJSEL_FULL=1   dataset scale (default 0.1)
+#
+# Each bench writes three files into results/: <name>.txt (the stdout
+# table), <name>.metrics.json (the run's metrics snapshot, captured via
+# SJSEL_METRICS_JSON — see bench/bench_common.h) and, for benches that
+# emit one, BENCH_<name>.json (machine-readable entries for
+# scripts/check_bench.py). Benches run with results/ as their working
+# directory so BENCH_*.json never clobber checked-in baselines.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -17,12 +24,19 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
 fi
 
 mkdir -p "$RESULTS_DIR"
+BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
+RESULTS_DIR="$(cd "$RESULTS_DIR" && pwd)"
+
+echo "dataset scale: SJSEL_SCALE=${SJSEL_SCALE:-<unset>}" \
+     "SJSEL_FULL=${SJSEL_FULL:-<unset>} (unset = each bench's default)"
 
 for bench in "$BUILD_DIR"/bench/*; do
   [[ -f "$bench" && -x "$bench" ]] || continue
   name="$(basename "$bench")"
   echo "== $name"
-  "$bench" | tee "$RESULTS_DIR/$name.txt"
+  (cd "$RESULTS_DIR" &&
+   SJSEL_METRICS_JSON="$RESULTS_DIR/$name.metrics.json" "$bench" |
+     tee "$RESULTS_DIR/$name.txt")
 done
 
 echo

@@ -23,6 +23,7 @@
 #include "join/plane_sweep.h"
 #include "join/refinement.h"
 #include "join/rtree_join.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "quadtree/quadtree.h"
@@ -142,11 +143,23 @@ int Usage(std::FILE* err) {
                "  estimate <a.hist> <b.hist>\n"
                "  estimate <a.ds> <b.ds> [--gh-level=7] [--ph-level=5]"
                " [--fa=0.1] [--fb=0.1] [--seed=1] [--method=rs|rswr|ss]"
-               " [--validate=reject|clamp|quarantine] [--verify]\n"
+               " [--validate=reject|clamp|quarantine] [--verify]"
+               " [--explain]\n"
                "      dataset inputs run the guarded fallback chain"
                " (gh->ph->sampling->parametric);\n"
                "      --verify also runs the exact plane-sweep join and"
-               " reports the relative error\n"
+               " reports the relative error;\n"
+               "      --explain prints the chain's per-rung trial trail\n"
+               "  explain <a.ds> <b.ds> [--scheme=gh|ph] [--level=7]"
+               " [--top=10] [--exact] [--json=<file>] [--csv=<file>]"
+               " [--threads=1] [--validate=reject|clamp|quarantine]"
+               " [--timing]\n"
+               "      per-cell estimate breakdown: term contributions,"
+               " contribution skew,\n"
+               "      guarded-chain trail; --exact adds per-cell error"
+               " attribution against\n"
+               "      the exact join; --json/--csv write the report /"
+               " cell-grid heatmap\n"
                "  range <a.hist> <x0,y0,x1,y1>\n"
                "  join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]"
                " [--threads=1]\n"
@@ -570,6 +583,12 @@ int CmdEstimateGuarded(const ParsedArgs& args, const Dataset& a,
   std::fprintf(out, "validation (b)       : %s\n",
                result->validation_b.ToString().c_str());
 
+  if (args.Has("explain")) {
+    obs::ExplainRenderOptions render;
+    render.include_timing = args.Has("timing");
+    std::fputs(obs::RenderChainText(*result, render).c_str(), out);
+  }
+
   if (args.Has("verify")) {
     // Ground truth for the estimate above: the exact plane-sweep join over
     // the raw inputs.
@@ -589,6 +608,81 @@ int CmdEstimateGuarded(const ParsedArgs& args, const Dataset& a,
       std::fprintf(out, "relative error       : %s\n",
                    FormatDouble(rel, 4).c_str());
     }
+  }
+  return 0;
+}
+
+// Estimator introspection: the full explain report — per-cell term
+// breakdown of the estimate, contribution skew, the guarded chain's
+// per-rung trail, and (with --exact) per-cell error attribution against
+// the exact plane-sweep join. Deterministic output: byte-identical across
+// runs and --threads values unless --timing is given.
+int CmdExplain(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 3) return Usage(err);
+  const auto a = Dataset::Load(args.positional[1]);
+  const auto b = Dataset::Load(args.positional[2]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(err, "%s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 1;
+  }
+  obs::ExplainOptions options;
+  const std::string scheme = args.Flag("scheme", "gh");
+  if (scheme == "gh") {
+    options.scheme = obs::ExplainScheme::kGh;
+  } else if (scheme == "ph") {
+    options.scheme = obs::ExplainScheme::kPh;
+  } else {
+    std::fprintf(err, "unknown --scheme: %s\n", scheme.c_str());
+    return 2;
+  }
+  SJSEL_FLAG_OR_RETURN(options.level, args.FlagInt("level", 7));
+  SJSEL_FLAG_OR_RETURN(options.top_k, args.FlagInt("top", 10));
+  options.with_exact = args.Has("exact");
+  SJSEL_FLAG_OR_RETURN(options.threads, args.Threads());
+  const auto policy = ParseValidationPolicy(args.Flag("validate", "quarantine"));
+  if (!policy.ok()) {
+    std::fprintf(err, "%s\n", policy.status().ToString().c_str());
+    return 2;
+  }
+  options.policy = policy.value();
+
+  const auto report = obs::BuildEstimateExplain(*a, *b, options);
+  if (!report.ok()) {
+    std::fprintf(err, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  obs::ExplainRenderOptions render;
+  render.include_timing = args.Has("timing");
+  std::fputs(obs::RenderExplainText(*report, render).c_str(), out);
+
+  const std::string json_path = args.Flag("json", "");
+  if (!json_path.empty()) {
+    const std::string json = obs::RenderExplainJson(*report, render);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    const bool written =
+        f != nullptr &&
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    if (f != nullptr && std::fclose(f) != 0) {
+      std::fprintf(err, "failed to write explain json to %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    if (!written) {
+      std::fprintf(err, "failed to write explain json to %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "explain json         : %s\n", json_path.c_str());
+  }
+  const std::string csv_path = args.Flag("csv", "");
+  if (!csv_path.empty()) {
+    const Status st = obs::WriteExplainHeatmapCsv(*report, csv_path);
+    if (!st.ok()) {
+      std::fprintf(err, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(out, "heatmap csv          : %s\n", csv_path.c_str());
   }
   return 0;
 }
@@ -788,6 +882,7 @@ int Dispatch(const ParsedArgs& parsed, std::FILE* out, std::FILE* err) {
   if (command == "hist-build") return CmdHistBuild(parsed, out, err);
   if (command == "hist-info") return CmdHistInfo(parsed, out, err);
   if (command == "estimate") return CmdEstimate(parsed, out, err);
+  if (command == "explain") return CmdExplain(parsed, out, err);
   if (command == "range") return CmdRange(parsed, out, err);
   if (command == "join") return CmdJoin(parsed, out, err);
   if (command == "sample") return CmdSample(parsed, out, err);

@@ -26,7 +26,16 @@ namespace cli {
 ///                              clamp|quarantine, default quarantine) and
 ///                              the fallback chain GH -> PH -> sampling ->
 ///                              parametric answers, reporting the rung and
-///                              a machine-readable degradation_reason
+///                              a machine-readable degradation_reason;
+///                              --explain adds the chain's per-rung trail
+///   explain <a.ds> <b.ds>      per-cell estimate breakdown (GH/PH term
+///                              contributions, contribution skew, chain
+///                              trail); --exact adds per-cell error
+///                              attribution against the exact join;
+///                              --json=<file> / --csv=<file> write the
+///                              JSON report / cell-grid heatmap CSV.
+///                              Output is byte-identical across runs and
+///                              --threads values (opt-in --timing excepted)
 ///   range <a.hist> <x0,y0,x1,y1>
 ///                              estimated range-query result count (GH)
 ///   join <a.ds> <b.ds> [--algo=sweep|pbsm|rtree|quadtree|nested]

@@ -339,8 +339,9 @@ Result<GhHistogram> GhHistogram::Build(const Dataset& ds, const Rect& extent,
   return hist;
 }
 
-Result<double> EstimateGhIntersectionPoints(const GhHistogram& a,
-                                            const GhHistogram& b) {
+namespace {
+
+Status CheckGhCombinable(const GhHistogram& a, const GhHistogram& b) {
   if (!a.grid().CompatibleWith(b.grid())) {
     return Status::InvalidArgument(
         "GH histograms built on different grids cannot be combined");
@@ -349,20 +350,46 @@ Result<double> EstimateGhIntersectionPoints(const GhHistogram& a,
     return Status::InvalidArgument(
         "GH histograms of different variants cannot be combined");
   }
-  const auto& ca = a.c();
-  const auto& oa = a.o();
-  const auto& ha = a.h();
-  const auto& va = a.v();
-  const auto& cb = b.c();
-  const auto& ob = b.o();
-  const auto& hb = b.h();
-  const auto& vb = b.v();
+  return Status::OK();
+}
+
+// The four Equation 5 cross terms of one cell. Both the scalar estimate
+// and GhPerCellContributions go through this helper, so the per-cell
+// breakdown reproduces the scalar sum bit for bit regardless of how the
+// compiler contracts the multiplies.
+inline GhCellContribution GhCellTerms(const GhHistogram& a,
+                                      const GhHistogram& b, size_t i) {
+  GhCellContribution t;
+  t.c1_o2 = a.c()[i] * b.o()[i];
+  t.o1_c2 = a.o()[i] * b.c()[i];
+  t.h1_v2 = a.h()[i] * b.v()[i];
+  t.v1_h2 = a.v()[i] * b.h()[i];
+  return t;
+}
+
+}  // namespace
+
+Result<double> EstimateGhIntersectionPoints(const GhHistogram& a,
+                                            const GhHistogram& b) {
+  if (const Status st = CheckGhCombinable(a, b); !st.ok()) return st;
   double ip = 0.0;
-  const size_t n = ca.size();
+  const size_t n = a.c().size();
   for (size_t i = 0; i < n; ++i) {
-    ip += ca[i] * ob[i] + oa[i] * cb[i] + ha[i] * vb[i] + va[i] * hb[i];
+    ip += GhCellTerms(a, b, i).intersection_points();
   }
   return ip;
+}
+
+Result<std::vector<GhCellContribution>> GhPerCellContributions(
+    const GhHistogram& a, const GhHistogram& b) {
+  if (const Status st = CheckGhCombinable(a, b); !st.ok()) return st;
+  const size_t n = a.c().size();
+  std::vector<GhCellContribution> cells;
+  cells.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cells.push_back(GhCellTerms(a, b, i));
+  }
+  return cells;
 }
 
 Result<double> EstimateGhJoinPairs(const GhHistogram& a,

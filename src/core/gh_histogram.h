@@ -142,6 +142,32 @@ class GhHistogram {
 Result<double> EstimateGhIntersectionPoints(const GhHistogram& a,
                                             const GhHistogram& b);
 
+/// One cell's share of the Equation 5 estimate: the four cross terms
+/// C1·O2, O1·C2, H1·V2, V1·H2 evaluated on that cell. The explain report
+/// (src/obs/explain.h) renders these per cell.
+struct GhCellContribution {
+  double c1_o2 = 0.0;
+  double o1_c2 = 0.0;
+  double h1_v2 = 0.0;
+  double v1_h2 = 0.0;
+
+  /// Intersection points this cell contributes. The association mirrors
+  /// the accumulation in EstimateGhIntersectionPoints exactly (both call
+  /// the same per-cell helper), so summing these in flat-index order
+  /// reproduces the scalar estimate bit for bit.
+  double intersection_points() const {
+    return c1_o2 + o1_c2 + h1_v2 + v1_h2;
+  }
+  /// Join pairs attributed to the cell (points / 4 — exact in binary FP).
+  double pairs() const { return intersection_points() / 4.0; }
+};
+
+/// Per-cell breakdown of EstimateGhIntersectionPoints: element i is cell
+/// i's share (flat row-major index). Same compatibility requirements as
+/// the scalar estimate.
+Result<std::vector<GhCellContribution>> GhPerCellContributions(
+    const GhHistogram& a, const GhHistogram& b);
+
 /// Window-restricted estimate: join pairs whose intersection falls inside
 /// `window` — the paper's "approximate number of bridges in a given spatial
 /// extent" query. Sums per-cell contributions only over cells overlapping

@@ -3,10 +3,12 @@
 #include <cmath>
 #include <exception>
 #include <memory>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fault_injection.h"
+#include "util/timer.h"
 
 namespace sjsel {
 namespace {
@@ -116,7 +118,15 @@ Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
     result.rung = EstimatorRung::kParametric;
     result.rung_label = "Empty";
     AppendReason(&result.degradation_reason, EstimatorRung::kParametric,
-                 "empty_input");
+                 kDegradeCauseEmptyInput);
+    RungTrial trial;
+    trial.rung = EstimatorRung::kParametric;
+    trial.label = result.rung_label;
+    trial.answered = true;
+    trial.cause = kDegradeCauseEmptyInput;
+    trial.raw_pairs = 0.0;
+    trial.has_raw_pairs = true;
+    result.trials.push_back(std::move(trial));
     return result;
   }
 
@@ -133,40 +143,51 @@ Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
     SJSEL_TRACE_SPAN(RungSpanName(rung));
     SJSEL_METRIC_INC(std::string("estimator.attempts.") +
                      EstimatorRungName(rung));
+    RungTrial trial;
+    trial.rung = rung;
+    const Timer rung_timer;
+    // Books a failed attempt: degradation trail, metrics and the recorded
+    // trial all see the same cause string.
+    const auto fail = [&](const std::string& cause) {
+      AppendReason(&result.degradation_reason, rung, cause);
+      CountRungFailure(rung, cause);
+      trial.cause = cause;
+      trial.elapsed_us = static_cast<uint64_t>(rung_timer.ElapsedMicros());
+      result.trials.push_back(std::move(trial));
+    };
     if (FaultInjector::GloballyArmed() &&
         FaultInjector::Global().ShouldFail(RungFaultSite(rung))) {
-      AppendReason(&result.degradation_reason, rung, "injected");
-      CountRungFailure(rung, "injected");
+      fail(kDegradeCauseInjected);
       continue;
     }
     const std::unique_ptr<SelectivityEstimator> estimator =
         MakeRung(rung, options_);
+    trial.label = estimator->Name();
     Result<EstimateOutcome> outcome = Status::Internal("rung not run");
     try {
       outcome = estimator->Estimate(va, vb);
     } catch (const std::exception&) {
       // Injected worker faults surface here as FaultInjectedError rethrown
       // by ParallelFor; treat any rung exception as that rung failing.
-      AppendReason(&result.degradation_reason, rung, "exception");
-      CountRungFailure(rung, "exception");
+      fail(kDegradeCauseException);
       continue;
     }
     if (!outcome.ok()) {
-      const std::string cause =
-          std::string("error:") + StatusCodeName(outcome.status().code());
-      AppendReason(&result.degradation_reason, rung, cause);
-      CountRungFailure(rung, cause);
+      fail(std::string(kDegradeCauseErrorPrefix) +
+           StatusCodeName(outcome.status().code()));
       continue;
     }
     const double pairs = outcome->estimated_pairs;
+    if (std::isfinite(pairs)) {
+      trial.raw_pairs = pairs;
+      trial.has_raw_pairs = true;
+    }
     if (!std::isfinite(pairs)) {
-      AppendReason(&result.degradation_reason, rung, "guard:non_finite");
-      CountRungFailure(rung, "guard:non_finite");
+      fail(kDegradeCauseNonFinite);
       continue;
     }
     if (pairs < 0.0) {
-      AppendReason(&result.degradation_reason, rung, "guard:negative");
-      CountRungFailure(rung, "guard:negative");
+      fail(kDegradeCauseNegative);
       continue;
     }
     result.outcome = std::move(outcome).value();
@@ -178,6 +199,9 @@ Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
     result.outcome.selectivity = result.outcome.estimated_pairs / bound;
     result.rung = rung;
     result.rung_label = estimator->Name();
+    trial.answered = true;
+    trial.elapsed_us = static_cast<uint64_t>(rung_timer.ElapsedMicros());
+    result.trials.push_back(std::move(trial));
     SJSEL_METRIC_INC(std::string("estimator.answered.") +
                      EstimatorRungName(rung));
     if (!result.degradation_reason.empty()) {
@@ -190,12 +214,20 @@ Result<EstimateResult> GuardedEstimator::Estimate(const Dataset& a,
   // Even the parametric floor tripped (it can only do so on pathological
   // extents). Degrade to the one estimate that is always safe: zero.
   AppendReason(&result.degradation_reason, EstimatorRung::kParametric,
-               "floor:zero");
+               kDegradeCauseFloorZero);
   SJSEL_METRIC_INC("estimator.degraded");
   SJSEL_TRACE_INSTANT("estimator.degraded");
   result.rung = EstimatorRung::kParametric;
   result.rung_label = "Zero";
   result.outcome = EstimateOutcome{};
+  RungTrial floor_trial;
+  floor_trial.rung = EstimatorRung::kParametric;
+  floor_trial.label = result.rung_label;
+  floor_trial.answered = true;
+  floor_trial.cause = kDegradeCauseFloorZero;
+  floor_trial.raw_pairs = 0.0;
+  floor_trial.has_raw_pairs = true;
+  result.trials.push_back(std::move(floor_trial));
   return result;
 }
 

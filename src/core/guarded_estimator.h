@@ -1,7 +1,9 @@
 #ifndef SJSEL_CORE_GUARDED_ESTIMATOR_H_
 #define SJSEL_CORE_GUARDED_ESTIMATOR_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/estimator.h"
 #include "core/sampling.h"
@@ -26,6 +28,43 @@ enum class EstimatorRung {
 /// "parametric".
 const char* EstimatorRungName(EstimatorRung rung);
 
+/// The machine-readable cause vocabulary of degradation_reason entries and
+/// of the estimator.failed.<rung>.<cause> metric names. These strings are
+/// a stable contract for downstream parsers and the explain report;
+/// tests/degradation_reason_test.cc pins every one of them literally.
+inline constexpr char kDegradeCauseInjected[] = "injected";
+inline constexpr char kDegradeCauseException[] = "exception";
+inline constexpr char kDegradeCauseNonFinite[] = "guard:non_finite";
+inline constexpr char kDegradeCauseNegative[] = "guard:negative";
+inline constexpr char kDegradeCauseEmptyInput[] = "empty_input";
+inline constexpr char kDegradeCauseFloorZero[] = "floor:zero";
+/// error causes are kDegradeCauseErrorPrefix + StatusCodeName(code),
+/// e.g. "error:INVALID_ARGUMENT".
+inline constexpr char kDegradeCauseErrorPrefix[] = "error:";
+
+/// One attempted rung of the fallback chain, recorded in order for
+/// introspection (the explain report renders these verbatim).
+struct RungTrial {
+  EstimatorRung rung = EstimatorRung::kGh;
+  /// Technique label once the rung was constructed ("GH(level=7)"); empty
+  /// for rungs skipped before construction (injected faults). The
+  /// empty-input and zero-floor pseudo-rungs use "Empty" / "Zero".
+  std::string label;
+  /// True when this rung's estimate was accepted as the answer.
+  bool answered = false;
+  /// Failure (or pseudo-rung) cause from the vocabulary above; empty for
+  /// an ordinarily answered rung.
+  std::string cause;
+  /// The rung's raw pre-clamp estimate, when it produced a finite value
+  /// (also filled for guard-tripped values, so reports can show what was
+  /// rejected). Valid only when has_raw_pairs.
+  double raw_pairs = 0.0;
+  bool has_raw_pairs = false;
+  /// Wall-clock of the attempt. Not deterministic — renderers that
+  /// promise byte-identical output must omit it.
+  uint64_t elapsed_us = 0;
+};
+
 /// A sanity-checked estimate plus the provenance a production caller needs:
 /// which rung answered, why better rungs were skipped, and how much of the
 /// input was repaired or quarantined before estimation.
@@ -49,6 +88,10 @@ struct EstimateResult {
   /// Validation tallies for the two inputs under the configured policy.
   RobustnessCounters validation_a;
   RobustnessCounters validation_b;
+  /// Every rung attempt in chain order, answering one last. Joining the
+  /// trials with a non-empty cause as ';'-separated "<rung>:<cause>"
+  /// entries reproduces degradation_reason exactly.
+  std::vector<RungTrial> trials;
 
   bool degraded() const { return !degradation_reason.empty(); }
 };

@@ -343,10 +343,30 @@ CellAverages IsectAverages(const PhHistogram::Cell& c, double cell_area) {
   return a;
 }
 
-}  // namespace
+// The four Equation 3 terms of one cell. Both the scalar estimate and
+// PhPerCellContributions go through this helper, so the per-cell
+// breakdown accumulates to the scalar sum bit for bit.
+PhCellContribution PhCellTerms(const PhHistogram::Cell& ca,
+                               const PhHistogram::Cell& cb,
+                               double cell_area) {
+  const CellAverages cont1 = ContAverages(ca, cell_area);
+  const CellAverages isect1 = IsectAverages(ca, cell_area);
+  const CellAverages cont2 = ContAverages(cb, cell_area);
+  const CellAverages isect2 = IsectAverages(cb, cell_area);
+  PhCellContribution t;
+  t.sa = ArefSametTerm(cont1.n, cont1.cov, cont1.w, cont1.h, cont2.n,
+                       cont2.cov, cont2.w, cont2.h, cell_area);
+  t.sb = ArefSametTerm(cont1.n, cont1.cov, cont1.w, cont1.h, isect2.n,
+                       isect2.cov, isect2.w, isect2.h, cell_area);
+  t.sc = ArefSametTerm(isect1.n, isect1.cov, isect1.w, isect1.h, cont2.n,
+                       cont2.cov, cont2.w, cont2.h, cell_area);
+  t.sd_raw = ArefSametTerm(isect1.n, isect1.cov, isect1.w, isect1.h,
+                           isect2.n, isect2.cov, isect2.w, isect2.h,
+                           cell_area);
+  return t;
+}
 
-Result<double> EstimatePhJoinPairs(const PhHistogram& a, const PhHistogram& b,
-                                   PhEstimateOptions options) {
+Status CheckPhCombinable(const PhHistogram& a, const PhHistogram& b) {
   if (!a.grid().CompatibleWith(b.grid())) {
     return Status::InvalidArgument(
         "PH histograms built on different grids cannot be combined");
@@ -355,6 +375,14 @@ Result<double> EstimatePhJoinPairs(const PhHistogram& a, const PhHistogram& b,
     return Status::InvalidArgument(
         "PH histograms of different variants cannot be combined");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> EstimatePhJoinPairs(const PhHistogram& a, const PhHistogram& b,
+                                   PhEstimateOptions options) {
+  if (const Status st = CheckPhCombinable(a, b); !st.ok()) return st;
   const double cell_area = a.grid().cell_area();
   const auto& cells_a = a.cells();
   const auto& cells_b = b.cells();
@@ -362,26 +390,37 @@ Result<double> EstimatePhJoinPairs(const PhHistogram& a, const PhHistogram& b,
   double sum_abc = 0.0;  // Sa + Sb + Sc
   double sum_d = 0.0;    // Sd, corrected for multiple counting below
   for (size_t i = 0; i < cells_a.size(); ++i) {
-    const CellAverages cont1 = ContAverages(cells_a[i], cell_area);
-    const CellAverages isect1 = IsectAverages(cells_a[i], cell_area);
-    const CellAverages cont2 = ContAverages(cells_b[i], cell_area);
-    const CellAverages isect2 = IsectAverages(cells_b[i], cell_area);
-
-    sum_abc += ArefSametTerm(cont1.n, cont1.cov, cont1.w, cont1.h, cont2.n,
-                             cont2.cov, cont2.w, cont2.h, cell_area);
-    sum_abc += ArefSametTerm(cont1.n, cont1.cov, cont1.w, cont1.h, isect2.n,
-                             isect2.cov, isect2.w, isect2.h, cell_area);
-    sum_abc += ArefSametTerm(isect1.n, isect1.cov, isect1.w, isect1.h,
-                             cont2.n, cont2.cov, cont2.w, cont2.h, cell_area);
-    sum_d += ArefSametTerm(isect1.n, isect1.cov, isect1.w, isect1.h, isect2.n,
-                           isect2.cov, isect2.w, isect2.h, cell_area);
+    const PhCellContribution t = PhCellTerms(cells_a[i], cells_b[i],
+                                             cell_area);
+    sum_abc += t.sa;
+    sum_abc += t.sb;
+    sum_abc += t.sc;
+    sum_d += t.sd_raw;
   }
 
-  if (options.apply_span_correction) {
-    const double mean_span = (a.avg_span() + b.avg_span()) / 2.0;
-    if (mean_span > 0.0) sum_d /= mean_span;
-  }
+  sum_d /= PhMeanSpan(a, b, options);
   return sum_abc + sum_d;
+}
+
+Result<std::vector<PhCellContribution>> PhPerCellContributions(
+    const PhHistogram& a, const PhHistogram& b) {
+  if (const Status st = CheckPhCombinable(a, b); !st.ok()) return st;
+  const double cell_area = a.grid().cell_area();
+  const auto& cells_a = a.cells();
+  const auto& cells_b = b.cells();
+  std::vector<PhCellContribution> out;
+  out.reserve(cells_a.size());
+  for (size_t i = 0; i < cells_a.size(); ++i) {
+    out.push_back(PhCellTerms(cells_a[i], cells_b[i], cell_area));
+  }
+  return out;
+}
+
+double PhMeanSpan(const PhHistogram& a, const PhHistogram& b,
+                  PhEstimateOptions options) {
+  if (!options.apply_span_correction) return 1.0;
+  const double mean_span = (a.avg_span() + b.avg_span()) / 2.0;
+  return mean_span > 0.0 ? mean_span : 1.0;
 }
 
 Result<double> EstimatePhJoinSelectivity(const PhHistogram& a,

@@ -124,6 +124,37 @@ struct PhEstimateOptions {
 Result<double> EstimatePhJoinPairs(const PhHistogram& a, const PhHistogram& b,
                                    PhEstimateOptions options = {});
 
+/// One cell's share of the Equation 3 estimate, split into the four
+/// population pairings: Sa (Cont×Cont), Sb (Cont×Isect), Sc (Isect×Cont)
+/// and the *raw* Sd (Isect×Isect) before the global AvgSpan damping.
+struct PhCellContribution {
+  double sa = 0.0;
+  double sb = 0.0;
+  double sc = 0.0;
+  double sd_raw = 0.0;
+
+  /// Join pairs attributed to the cell once `mean_span` (PhMeanSpan of
+  /// the two histograms) is applied to the crossing-crossing term.
+  double pairs(double mean_span) const {
+    return sa + sb + sc + sd_raw / mean_span;
+  }
+};
+
+/// Per-cell breakdown of EstimatePhJoinPairs: element i is cell i's share
+/// (flat row-major index). The scalar estimate accumulates exactly these
+/// terms in this order (both paths share one per-cell helper), so
+/// Σ sa + Σ sb + Σ sc interleaved per cell plus Σ sd_raw / PhMeanSpan
+/// reproduces EstimatePhJoinPairs bit for bit. Same compatibility
+/// requirements as the scalar estimate.
+Result<std::vector<PhCellContribution>> PhPerCellContributions(
+    const PhHistogram& a, const PhHistogram& b);
+
+/// The Sd divisor the scalar estimate uses for this histogram pair: the
+/// mean of the two AvgSpans when options.apply_span_correction (and that
+/// mean is positive), else 1.0.
+double PhMeanSpan(const PhHistogram& a, const PhHistogram& b,
+                  PhEstimateOptions options = {});
+
 /// Estimated join selectivity: pairs / (N1 * N2).
 Result<double> EstimatePhJoinSelectivity(const PhHistogram& a,
                                          const PhHistogram& b,

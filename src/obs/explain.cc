@@ -1,0 +1,518 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/gh_histogram.h"
+#include "core/grid.h"
+#include "core/ph_histogram.h"
+#include "join/plane_sweep.h"
+#include "util/table.h"
+
+namespace sjsel {
+namespace obs {
+namespace {
+
+const char* const kGhTermLabels[4] = {"c1*o2", "o1*c2", "h1*v2", "v1*h2"};
+const char* const kPhTermLabels[4] = {"sa", "sb", "sc", "sd_raw"};
+
+// Cells ranked by estimated contribution, descending, flat index ascending
+// on ties — the one deterministic order every ranked view derives from.
+std::vector<int64_t> RankByContribution(const std::vector<ExplainCell>& cells) {
+  std::vector<int64_t> order(cells.size());
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::sort(order.begin(), order.end(), [&](int64_t lhs, int64_t rhs) {
+    const double le = cells[static_cast<size_t>(lhs)].estimated_pairs;
+    const double re = cells[static_cast<size_t>(rhs)].estimated_pairs;
+    if (le != re) return le > re;
+    return lhs < rhs;
+  });
+  return order;
+}
+
+ContributionSkew ComputeSkew(const std::vector<ExplainCell>& cells,
+                             const std::vector<int64_t>& ranked) {
+  ContributionSkew skew;
+  double total = 0.0;
+  for (const ExplainCell& cell : cells) {
+    if (cell.estimated_pairs != 0.0) ++skew.nonzero_cells;
+    total += cell.estimated_pairs;
+  }
+  if (total <= 0.0 || ranked.empty()) return skew;
+  const auto share_of_top = [&](int64_t k) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < k && i < static_cast<int64_t>(ranked.size());
+         ++i) {
+      sum += cells[static_cast<size_t>(ranked[static_cast<size_t>(i)])]
+                 .estimated_pairs;
+    }
+    return sum / total;
+  };
+  const int64_t n = static_cast<int64_t>(cells.size());
+  skew.top1pct_share = share_of_top(std::max<int64_t>(1, n / 100));
+  skew.top10pct_share = share_of_top(std::max<int64_t>(1, n / 10));
+  skew.max_cell_share = share_of_top(1);
+  return skew;
+}
+
+// Exact %.17g so every double survives a JSON round trip.
+void AppendJsonDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendCellJson(std::string* out, const EstimateExplain& report,
+                    int64_t index) {
+  const ExplainCell& cell = report.cells[static_cast<size_t>(index)];
+  *out += "{\"index\": " + std::to_string(cell.index) +
+          ", \"cx\": " + std::to_string(cell.cx) +
+          ", \"cy\": " + std::to_string(cell.cy) + ", \"terms\": [";
+  for (int t = 0; t < 4; ++t) {
+    if (t > 0) *out += ", ";
+    AppendJsonDouble(out, cell.terms[t]);
+  }
+  *out += "], \"estimated_pairs\": ";
+  AppendJsonDouble(out, cell.estimated_pairs);
+  if (report.has_exact) {
+    *out += ", \"actual_pairs\": ";
+    AppendJsonDouble(out, cell.actual_pairs);
+    *out += ", \"error\": ";
+    AppendJsonDouble(out, cell.error());
+  }
+  *out += "}";
+}
+
+std::string TrialStatusLine(const RungTrial& trial,
+                            const ExplainRenderOptions& options) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "  %-10s %-8s", EstimatorRungName(trial.rung),
+                trial.answered ? "answered" : "failed");
+  std::string line = head;
+  if (!trial.label.empty()) line += " " + trial.label;
+  if (!trial.cause.empty()) line += " cause=" + trial.cause;
+  if (trial.has_raw_pairs) {
+    line += " raw_pairs=" + FormatDouble(trial.raw_pairs, 6);
+  }
+  if (options.include_timing) {
+    line += " [" + std::to_string(trial.elapsed_us) + "us]";
+  }
+  return line;
+}
+
+}  // namespace
+
+const char* ExplainSchemeName(ExplainScheme scheme) {
+  return scheme == ExplainScheme::kGh ? "gh" : "ph";
+}
+
+const char* const* ExplainTermLabels(ExplainScheme scheme) {
+  return scheme == ExplainScheme::kGh ? kGhTermLabels : kPhTermLabels;
+}
+
+Result<EstimateExplain> BuildEstimateExplain(const Dataset& a,
+                                             const Dataset& b,
+                                             const ExplainOptions& options) {
+  EstimateExplain report;
+  report.scheme = options.scheme;
+  report.level = options.level;
+  report.dataset_a = a.name();
+  report.dataset_b = b.name();
+  report.raw_a = a.size();
+  report.raw_b = b.size();
+
+  // The joint extent from finite coordinates only — the same frame the
+  // guarded estimator validates against, so the chain run below and this
+  // breakdown describe identical inputs.
+  Rect extent = Rect::Empty();
+  for (const Dataset* ds : {&a, &b}) {
+    for (const Rect& r : ds->rects()) {
+      if (ClassifyRect(r, Rect::Empty()) == RectDefect::kNone) extent.Extend(r);
+    }
+  }
+  Dataset va;
+  SJSEL_ASSIGN_OR_RETURN(
+      va, ValidateDataset(a, extent, options.policy, &report.validation_a));
+  Dataset vb;
+  SJSEL_ASSIGN_OR_RETURN(
+      vb, ValidateDataset(b, extent, options.policy, &report.validation_b));
+  report.n1 = va.size();
+  report.n2 = vb.size();
+  report.extent = extent;
+
+  // The guarded chain run recorded in the report, with the rung matching
+  // the breakdown scheme pinned to the breakdown level.
+  GuardedEstimatorOptions guarded = options.guarded;
+  guarded.policy = options.policy;
+  if (options.scheme == ExplainScheme::kGh) {
+    guarded.gh_level = options.level;
+  } else {
+    guarded.ph_level = options.level;
+  }
+  SJSEL_ASSIGN_OR_RETURN(report.chain,
+                         GuardedEstimator(guarded).Estimate(a, b));
+
+  // Empty input after validation: the estimate is zero and there is no
+  // grid to attribute anything to.
+  if (va.empty() || vb.empty()) {
+    if (options.with_exact) report.has_exact = true;
+    return report;
+  }
+
+  Result<Grid> created = Grid::Create(extent, options.level);
+  if (!created.ok()) return created.status();
+  const Grid& grid = created.value();
+  report.per_axis = grid.per_axis();
+  report.num_cells = grid.num_cells();
+  report.cells.resize(static_cast<size_t>(grid.num_cells()));
+  for (int64_t i = 0; i < grid.num_cells(); ++i) {
+    ExplainCell& cell = report.cells[static_cast<size_t>(i)];
+    cell.index = i;
+    cell.cx = static_cast<int>(i % grid.per_axis());
+    cell.cy = static_cast<int>(i / grid.per_axis());
+  }
+
+  if (options.scheme == ExplainScheme::kGh) {
+    Result<GhHistogram> ra = GhHistogram::Build(
+        va, extent, options.level, GhVariant::kRevised, options.threads);
+    if (!ra.ok()) return ra.status();
+    Result<GhHistogram> rb = GhHistogram::Build(
+        vb, extent, options.level, GhVariant::kRevised, options.threads);
+    if (!rb.ok()) return rb.status();
+    const GhHistogram& ha = ra.value();
+    const GhHistogram& hb = rb.value();
+    std::vector<GhCellContribution> terms;
+    SJSEL_ASSIGN_OR_RETURN(terms, GhPerCellContributions(ha, hb));
+    SJSEL_ASSIGN_OR_RETURN(report.estimated_pairs,
+                           EstimateGhJoinPairs(ha, hb));
+    for (size_t i = 0; i < terms.size(); ++i) {
+      ExplainCell& cell = report.cells[i];
+      cell.terms[0] = terms[i].c1_o2;
+      cell.terms[1] = terms[i].o1_c2;
+      cell.terms[2] = terms[i].h1_v2;
+      cell.terms[3] = terms[i].v1_h2;
+      cell.estimated_pairs = terms[i].pairs();
+    }
+  } else {
+    Result<PhHistogram> ra = PhHistogram::Build(
+        va, extent, options.level, PhVariant::kSplitCrossing, options.threads);
+    if (!ra.ok()) return ra.status();
+    Result<PhHistogram> rb = PhHistogram::Build(
+        vb, extent, options.level, PhVariant::kSplitCrossing, options.threads);
+    if (!rb.ok()) return rb.status();
+    const PhHistogram& ha = ra.value();
+    const PhHistogram& hb = rb.value();
+    std::vector<PhCellContribution> terms;
+    SJSEL_ASSIGN_OR_RETURN(terms, PhPerCellContributions(ha, hb));
+    SJSEL_ASSIGN_OR_RETURN(report.estimated_pairs,
+                           EstimatePhJoinPairs(ha, hb));
+    const double mean_span = PhMeanSpan(ha, hb);
+    for (size_t i = 0; i < terms.size(); ++i) {
+      ExplainCell& cell = report.cells[i];
+      cell.terms[0] = terms[i].sa;
+      cell.terms[1] = terms[i].sb;
+      cell.terms[2] = terms[i].sc;
+      cell.terms[3] = terms[i].sd_raw;
+      cell.estimated_pairs = terms[i].pairs(mean_span);
+    }
+  }
+  report.selectivity = report.estimated_pairs / (static_cast<double>(report.n1) *
+                                                 static_cast<double>(report.n2));
+
+  if (options.with_exact) {
+    // Partitioned exact count: every joined pair drops one integer count
+    // on the cell owning each corner of its intersection rectangle, so a
+    // cell's exact share is count/4 and the shares sum to the join count
+    // whatever cells the intersection touches (integer sums, order
+    // independent — deterministic for any join order).
+    std::vector<uint64_t> corner_counts(
+        static_cast<size_t>(grid.num_cells()), 0);
+    uint64_t total = 0;
+    PlaneSweepJoin(va, vb, [&](int64_t ia, int64_t ib) {
+      const Rect isect = va[static_cast<size_t>(ia)].Intersection(
+          vb[static_cast<size_t>(ib)]);
+      ++corner_counts[static_cast<size_t>(
+          grid.CellOf({isect.min_x, isect.min_y}))];
+      ++corner_counts[static_cast<size_t>(
+          grid.CellOf({isect.max_x, isect.min_y}))];
+      ++corner_counts[static_cast<size_t>(
+          grid.CellOf({isect.min_x, isect.max_y}))];
+      ++corner_counts[static_cast<size_t>(
+          grid.CellOf({isect.max_x, isect.max_y}))];
+      ++total;
+    });
+    for (size_t i = 0; i < corner_counts.size(); ++i) {
+      report.cells[i].actual_pairs =
+          static_cast<double>(corner_counts[i]) / 4.0;
+    }
+    report.has_exact = true;
+    report.actual_pairs = total;
+    if (total > 0) {
+      report.relative_error =
+          (report.estimated_pairs - static_cast<double>(total)) /
+          static_cast<double>(total);
+    }
+  }
+
+  const std::vector<int64_t> ranked = RankByContribution(report.cells);
+  report.skew = ComputeSkew(report.cells, ranked);
+  const int64_t top_k = std::max(0, options.top_k);
+  for (const int64_t index : ranked) {
+    if (static_cast<int64_t>(report.top_contributors.size()) >= top_k) break;
+    if (report.cells[static_cast<size_t>(index)].estimated_pairs == 0.0) break;
+    report.top_contributors.push_back(index);
+  }
+  if (report.has_exact) {
+    std::vector<int64_t> by_error(report.cells.size());
+    std::iota(by_error.begin(), by_error.end(), int64_t{0});
+    std::sort(by_error.begin(), by_error.end(),
+              [&](int64_t lhs, int64_t rhs) {
+                const double le =
+                    std::fabs(report.cells[static_cast<size_t>(lhs)].error());
+                const double re =
+                    std::fabs(report.cells[static_cast<size_t>(rhs)].error());
+                if (le != re) return le > re;
+                return lhs < rhs;
+              });
+    for (const int64_t index : by_error) {
+      if (static_cast<int64_t>(report.top_errors.size()) >= top_k) break;
+      if (report.cells[static_cast<size_t>(index)].error() == 0.0) break;
+      report.top_errors.push_back(index);
+    }
+  }
+  return report;
+}
+
+std::string RenderChainText(const EstimateResult& result,
+                            const ExplainRenderOptions& options) {
+  std::string out = "chain:\n";
+  for (const RungTrial& trial : result.trials) {
+    out += TrialStatusLine(trial, options);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderExplainText(const EstimateExplain& report,
+                              const ExplainRenderOptions& options) {
+  std::string out;
+  char line[256];
+  const auto kv = [&](const char* key, const std::string& value) {
+    std::snprintf(line, sizeof(line), "%-21s: %s\n", key, value.c_str());
+    out += line;
+  };
+  kv("explain", std::string(ExplainSchemeName(report.scheme)) + " level " +
+                    std::to_string(report.level));
+  kv("dataset a", report.dataset_a + " (" + std::to_string(report.raw_a) +
+                      " rects, " + std::to_string(report.n1) + " validated)");
+  kv("dataset b", report.dataset_b + " (" + std::to_string(report.raw_b) +
+                      " rects, " + std::to_string(report.n2) + " validated)");
+  kv("extent", report.extent.ToString());
+  kv("grid", std::to_string(report.per_axis) + " x " +
+                 std::to_string(report.per_axis) + " = " +
+                 std::to_string(report.num_cells) + " cells");
+  kv("estimated pairs", FormatDouble(report.estimated_pairs, 1));
+  kv("estimated selectivity", FormatDouble(report.selectivity, 6));
+  kv("validation (a)", report.validation_a.ToString());
+  kv("validation (b)", report.validation_b.ToString());
+  out += RenderChainText(report.chain, options);
+  kv("rung", std::string(EstimatorRungName(report.chain.rung)) + " (" +
+                 report.chain.rung_label + ")");
+  kv("degradation_reason", report.chain.degraded()
+                               ? report.chain.degradation_reason
+                               : "none");
+  kv("clamped", report.chain.clamped ? "yes" : "no");
+
+  if (report.cells.empty()) {
+    kv("per-cell breakdown", "unavailable (empty input after validation)");
+    return out;
+  }
+
+  out += "contribution skew:\n";
+  std::snprintf(line, sizeof(line), "  %-19s: %lld of %lld\n",
+                "nonzero cells",
+                static_cast<long long>(report.skew.nonzero_cells),
+                static_cast<long long>(report.num_cells));
+  out += line;
+  const auto skew_kv = [&](const char* key, double share) {
+    std::snprintf(line, sizeof(line), "  %-19s: %s of estimate\n", key,
+                  FormatPercent(share).c_str());
+    out += line;
+  };
+  skew_kv("top 1% of cells", report.skew.top1pct_share);
+  skew_kv("top 10% of cells", report.skew.top10pct_share);
+  skew_kv("max single cell", report.skew.max_cell_share);
+
+  const char* const* labels = ExplainTermLabels(report.scheme);
+  const auto cell_table = [&](const std::vector<int64_t>& indices) {
+    TextTable table;
+    std::vector<std::string> header = {"cell", "cx", "cy"};
+    for (int t = 0; t < 4; ++t) header.push_back(labels[t]);
+    header.push_back("est_pairs");
+    if (report.has_exact) {
+      header.push_back("actual_pairs");
+      header.push_back("error");
+    }
+    table.SetHeader(std::move(header));
+    for (const int64_t index : indices) {
+      const ExplainCell& cell = report.cells[static_cast<size_t>(index)];
+      std::vector<std::string> row = {std::to_string(cell.index),
+                                      std::to_string(cell.cx),
+                                      std::to_string(cell.cy)};
+      for (int t = 0; t < 4; ++t) row.push_back(FormatDouble(cell.terms[t], 4));
+      row.push_back(FormatDouble(cell.estimated_pairs, 6));
+      if (report.has_exact) {
+        row.push_back(FormatDouble(cell.actual_pairs, 6));
+        row.push_back(FormatDouble(cell.error(), 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    return table.ToString();
+  };
+
+  out += "top contributing cells:\n";
+  out += cell_table(report.top_contributors);
+  if (report.has_exact) {
+    kv("actual pairs", std::to_string(report.actual_pairs));
+    kv("relative error", FormatDouble(report.relative_error, 4));
+    out += "top erring cells:\n";
+    out += cell_table(report.top_errors);
+  }
+  return out;
+}
+
+std::string RenderExplainJson(const EstimateExplain& report,
+                              const ExplainRenderOptions& options) {
+  std::string out = "{\n  \"explain\": {\n";
+  out += "    \"scheme\": ";
+  AppendJsonString(&out, ExplainSchemeName(report.scheme));
+  out += ",\n    \"level\": " + std::to_string(report.level);
+  out += ",\n    \"dataset_a\": {\"name\": ";
+  AppendJsonString(&out, report.dataset_a);
+  out += ", \"rects\": " + std::to_string(report.raw_a) +
+         ", \"validated\": " + std::to_string(report.n1) + "}";
+  out += ",\n    \"dataset_b\": {\"name\": ";
+  AppendJsonString(&out, report.dataset_b);
+  out += ", \"rects\": " + std::to_string(report.raw_b) +
+         ", \"validated\": " + std::to_string(report.n2) + "}";
+  out += ",\n    \"extent\": [";
+  AppendJsonDouble(&out, report.extent.min_x);
+  out += ", ";
+  AppendJsonDouble(&out, report.extent.min_y);
+  out += ", ";
+  AppendJsonDouble(&out, report.extent.max_x);
+  out += ", ";
+  AppendJsonDouble(&out, report.extent.max_y);
+  out += "]";
+  out += ",\n    \"grid\": {\"per_axis\": " + std::to_string(report.per_axis) +
+         ", \"cells\": " + std::to_string(report.num_cells) + "}";
+  out += ",\n    \"estimated_pairs\": ";
+  AppendJsonDouble(&out, report.estimated_pairs);
+  out += ",\n    \"selectivity\": ";
+  AppendJsonDouble(&out, report.selectivity);
+
+  out += ",\n    \"chain\": {\"rung\": ";
+  AppendJsonString(&out, EstimatorRungName(report.chain.rung));
+  out += ", \"label\": ";
+  AppendJsonString(&out, report.chain.rung_label);
+  out += ", \"degradation_reason\": ";
+  AppendJsonString(&out, report.chain.degradation_reason);
+  out += ", \"clamped\": ";
+  out += report.chain.clamped ? "true" : "false";
+  out += ", \"trials\": [";
+  for (size_t i = 0; i < report.chain.trials.size(); ++i) {
+    const RungTrial& trial = report.chain.trials[i];
+    out += i == 0 ? "" : ", ";
+    out += "{\"rung\": ";
+    AppendJsonString(&out, EstimatorRungName(trial.rung));
+    out += ", \"label\": ";
+    AppendJsonString(&out, trial.label);
+    out += ", \"answered\": ";
+    out += trial.answered ? "true" : "false";
+    out += ", \"cause\": ";
+    AppendJsonString(&out, trial.cause);
+    if (trial.has_raw_pairs) {
+      out += ", \"raw_pairs\": ";
+      AppendJsonDouble(&out, trial.raw_pairs);
+    }
+    if (options.include_timing) {
+      out += ", \"elapsed_us\": " + std::to_string(trial.elapsed_us);
+    }
+    out += "}";
+  }
+  out += "]}";
+
+  out += ",\n    \"term_labels\": [";
+  const char* const* labels = ExplainTermLabels(report.scheme);
+  for (int t = 0; t < 4; ++t) {
+    if (t > 0) out += ", ";
+    AppendJsonString(&out, labels[t]);
+  }
+  out += "]";
+  out += ",\n    \"skew\": {\"nonzero_cells\": " +
+         std::to_string(report.skew.nonzero_cells) + ", \"top1pct_share\": ";
+  AppendJsonDouble(&out, report.skew.top1pct_share);
+  out += ", \"top10pct_share\": ";
+  AppendJsonDouble(&out, report.skew.top10pct_share);
+  out += ", \"max_cell_share\": ";
+  AppendJsonDouble(&out, report.skew.max_cell_share);
+  out += "}";
+
+  out += ",\n    \"top_contributors\": [";
+  for (size_t i = 0; i < report.top_contributors.size(); ++i) {
+    out += i == 0 ? "" : ", ";
+    AppendCellJson(&out, report, report.top_contributors[i]);
+  }
+  out += "]";
+  if (report.has_exact) {
+    out += ",\n    \"exact\": {\"actual_pairs\": " +
+           std::to_string(report.actual_pairs) + ", \"relative_error\": ";
+    AppendJsonDouble(&out, report.relative_error);
+    out += "}";
+    out += ",\n    \"top_errors\": [";
+    for (size_t i = 0; i < report.top_errors.size(); ++i) {
+      out += i == 0 ? "" : ", ";
+      AppendCellJson(&out, report, report.top_errors[i]);
+    }
+    out += "]";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Status WriteExplainHeatmapCsv(const EstimateExplain& report,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "cx,cy,estimated_pairs%s\n",
+               report.has_exact ? ",actual_pairs,error" : "");
+  for (const ExplainCell& cell : report.cells) {
+    if (report.has_exact) {
+      std::fprintf(f, "%d,%d,%.17g,%.17g,%.17g\n", cell.cx, cell.cy,
+                   cell.estimated_pairs, cell.actual_pairs, cell.error());
+    } else {
+      std::fprintf(f, "%d,%d,%.17g\n", cell.cx, cell.cy,
+                   cell.estimated_pairs);
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IoError("failed writing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace sjsel

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace sjsel {
@@ -13,7 +15,43 @@ void AppendEscaped(std::string* out, const std::string& s) {
   }
 }
 
+// Quantile values are derived doubles; %.6g keeps them readable and the
+// snapshot deterministic (pure function of the bucket counts).
+std::string FormatQuantile(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
 }  // namespace
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  double value = static_cast<double>(max());
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    const double next = cum + static_cast<double>(in_bucket);
+    if (next >= target) {
+      if (i == 0) {
+        value = 0.0;
+      } else {
+        const double lo = std::ldexp(1.0, i - 1);  // 2^(i-1)
+        const double hi = std::ldexp(1.0, i);      // 2^i
+        const double frac = (target - cum) / static_cast<double>(in_bucket);
+        value = lo + frac * (hi - lo);
+      }
+      break;
+    }
+    cum = next;
+  }
+  return std::clamp(value, static_cast<double>(min()),
+                    static_cast<double>(max()));
+}
 
 std::atomic<bool> MetricsRegistry::armed_{false};
 
@@ -103,6 +141,12 @@ std::string MetricsRegistry::SnapshotJson() const {
     out += std::to_string(hist->min());
     out += ", \"max\": ";
     out += std::to_string(hist->max());
+    out += ", \"p50\": ";
+    out += FormatQuantile(hist->Quantile(0.50));
+    out += ", \"p95\": ";
+    out += FormatQuantile(hist->Quantile(0.95));
+    out += ", \"p99\": ";
+    out += FormatQuantile(hist->Quantile(0.99));
     out += ", \"buckets\": [";
     bool first_bucket = true;
     for (int i = 0; i < Histogram::kBuckets; ++i) {
@@ -139,10 +183,13 @@ std::string MetricsRegistry::SnapshotText() const {
   }
   for (const auto& [name, hist] : histograms_) {
     std::snprintf(line, sizeof(line),
-                  "  %-44s count=%llu mean=%.1fus min=%lluus max=%lluus\n",
+                  "  %-44s count=%llu mean=%.1fus p50=%.6gus p95=%.6gus "
+                  "p99=%.6gus min=%lluus max=%lluus\n",
                   name.c_str(),
                   static_cast<unsigned long long>(hist->count()),
-                  hist->mean(), static_cast<unsigned long long>(hist->min()),
+                  hist->mean(), hist->Quantile(0.50), hist->Quantile(0.95),
+                  hist->Quantile(0.99),
+                  static_cast<unsigned long long>(hist->min()),
                   static_cast<unsigned long long>(hist->max()));
     out += line;
   }

@@ -95,6 +95,15 @@ class Histogram {
                   : static_cast<double>(sum()) / static_cast<double>(n);
   }
 
+  /// Quantile estimate from the log-scale buckets, q in [0, 1] (clamped).
+  /// Walks the cumulative bucket counts to the one containing rank
+  /// q * count, interpolates linearly within that bucket's value range
+  /// [2^(i-1), 2^i) — bucket 0 is exactly 0 — and clamps the result into
+  /// [min(), max()] so a sparse top bucket cannot report a value beyond
+  /// anything observed. 0 when empty. The interpolation is pinned by
+  /// tests/obs_test.cc.
+  double Quantile(double q) const;
+
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -172,13 +181,15 @@ class MetricsRegistry {
   ///     "gauges": {"pool.queue_depth.max": 14, ...},
   ///     "histograms": {
   ///       "hist.gh.build_us": {"count": 2, "sum": 1234, "min": 400,
-  ///                            "max": 834, "buckets": [[9, 1], [10, 1]]},
+  ///                            "max": 834, "p50": 617, "p95": 812.3,
+  ///                            "p99": 829.7, "buckets": [[9, 1], [10, 1]]},
   ///       ...
   ///     }
   ///   }
   ///
   /// A histogram's "buckets" lists [bucket_index, count] for non-empty
-  /// buckets only; bucket i >= 1 covers [2^(i-1), 2^i).
+  /// buckets only; bucket i >= 1 covers [2^(i-1), 2^i). p50/p95/p99 come
+  /// from Histogram::Quantile (bucket interpolation, %.6g).
   std::string SnapshotJson() const;
 
   /// Human-readable block for the CLI: one "name : value" line per

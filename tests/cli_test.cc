@@ -324,6 +324,74 @@ TEST(CliTest, GuardedEstimateOnDatasets) {
   std::remove(ds_b.c_str());
 }
 
+TEST(CliTest, ExplainCommandEndToEnd) {
+  const std::string ds_a = TempPath("cli_ex_a.ds");
+  const std::string ds_b = TempPath("cli_ex_b.ds");
+  const std::string json = TempPath("cli_ex.json");
+  const std::string csv = TempPath("cli_ex.csv");
+  ASSERT_EQ(RunTool({"gen", "uniform:1200", ds_a, "--seed=31"}).code, 0);
+  ASSERT_EQ(RunTool({"gen", "clustered:1200", ds_b, "--seed=32"}).code, 0);
+
+  const std::vector<std::string> cmd = {"explain", ds_a,      ds_b,
+                                        "--exact", "--top=5", "--level=4",
+                                        "--json=" + json, "--csv=" + csv};
+  const CliResult r = RunTool(cmd);
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const char* needle :
+       {"explain              : gh level 4", "estimated pairs",
+        "chain:", "contribution skew:", "top contributing cells:",
+        "actual pairs", "top erring cells:", "c1*o2"}) {
+    EXPECT_NE(r.out.find(needle), std::string::npos) << needle;
+  }
+
+  // Deterministic output: a second run and a threaded run are
+  // byte-identical (json/csv side files excluded from this run).
+  const CliResult again =
+      RunTool({"explain", ds_a, ds_b, "--exact", "--top=5", "--level=4"});
+  const CliResult threaded = RunTool({"explain", ds_a, ds_b, "--exact",
+                                      "--top=5", "--level=4", "--threads=4"});
+  const CliResult base =
+      RunTool({"explain", ds_a, ds_b, "--exact", "--top=5", "--level=4"});
+  EXPECT_EQ(base.out, again.out);
+  EXPECT_EQ(base.out, threaded.out);
+
+  // Side files were written and are non-empty.
+  for (const std::string& path : {json, csv}) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr) << path;
+    std::fseek(f, 0, SEEK_END);
+    EXPECT_GT(std::ftell(f), 0) << path;
+    std::fclose(f);
+    std::remove(path.c_str());
+  }
+
+  // Unknown scheme is a usage error.
+  EXPECT_EQ(RunTool({"explain", ds_a, ds_b, "--scheme=bogus"}).code, 2);
+
+  std::remove(ds_a.c_str());
+  std::remove(ds_b.c_str());
+}
+
+TEST(CliTest, EstimateExplainPrintsChainTrail) {
+  const std::string ds_a = TempPath("cli_ee_a.ds");
+  const std::string ds_b = TempPath("cli_ee_b.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:600", ds_a, "--seed=41"}).code, 0);
+  ASSERT_EQ(RunTool({"gen", "uniform:600", ds_b, "--seed=42"}).code, 0);
+  const CliResult r =
+      RunTool({"estimate", ds_a, ds_b, "--explain",
+               "--inject-faults=estimator.gh=always"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("chain:"), std::string::npos);
+  EXPECT_NE(r.out.find("gh         failed"), std::string::npos);
+  EXPECT_NE(r.out.find("cause=injected"), std::string::npos);
+  EXPECT_NE(r.out.find("ph         answered"), std::string::npos);
+  // Without --explain the chain block stays out of the output.
+  const CliResult plain = RunTool({"estimate", ds_a, ds_b});
+  EXPECT_EQ(plain.out.find("chain:"), std::string::npos);
+  std::remove(ds_a.c_str());
+  std::remove(ds_b.c_str());
+}
+
 TEST(CliTest, BadInjectFaultsSpecRejected) {
   const CliResult r = RunTool({"stats", "/nonexistent.ds",
                                "--inject-faults=bogus"});

@@ -204,6 +204,50 @@ TEST(MetricsTest, HistogramBucketMath) {
   EXPECT_EQ(Histogram::BucketOf(uint64_t{1} << 63), Histogram::kBuckets - 1);
 }
 
+TEST(MetricsTest, QuantileInterpolationIsPinned) {
+  // The exact interpolation semantics are a contract (SnapshotText/Json
+  // print these values): walk to the bucket holding rank q*count,
+  // interpolate linearly in [2^(i-1), 2^i), clamp into [min, max].
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 4; ++i) h.Record(4);
+  // All four samples sit in bucket 3 ([4, 8)); rank 2 of 4 interpolates
+  // to 6, then clamps to the observed max of 4.
+  EXPECT_EQ(h.Quantile(0.50), 4.0);
+  EXPECT_EQ(h.Quantile(1.0), 4.0);
+
+  Histogram spread;
+  for (const uint64_t v : {1, 2, 4, 8}) spread.Record(v);
+  // p50: rank 2 lands exactly at the end of bucket 2 ([2, 4)) -> 4.
+  EXPECT_EQ(spread.Quantile(0.50), 4.0);
+  // p95: rank 3.8 interpolates 0.8 into bucket 4 ([8, 16)) -> 14.4,
+  // clamped to the observed max of 8.
+  EXPECT_EQ(spread.Quantile(0.95), 8.0);
+  // q clamps into [0, 1]; q=0 clamps up to the observed min.
+  EXPECT_EQ(spread.Quantile(0.0), 1.0);
+  EXPECT_EQ(spread.Quantile(-1.0), 1.0);
+
+  Histogram zeros;
+  zeros.Record(0);
+  zeros.Record(0);
+  EXPECT_EQ(zeros.Quantile(0.99), 0.0);  // bucket 0 is exactly 0
+}
+
+TEST(MetricsTest, SnapshotsIncludeQuantiles) {
+  MetricsRegistry::Arm();
+  Histogram* hist = MetricsRegistry::Global().GetHistogram("t.quant_us");
+  hist->Reset();
+  for (const uint64_t v : {1, 2, 4, 8}) hist->Record(v);
+  MetricsRegistry::Disarm();
+  const std::string json = MetricsRegistry::Global().SnapshotJson();
+  EXPECT_NE(json.find("\"p50\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 8"), std::string::npos);
+  const std::string text = MetricsRegistry::Global().SnapshotText();
+  EXPECT_NE(text.find("p50=4us"), std::string::npos);
+  EXPECT_NE(text.find("p95=8us"), std::string::npos);
+}
+
 TEST(MetricsTest, SnapshotJsonIsDeterministic) {
   MetricsRegistry::Arm();
   SJSEL_METRIC_INC("t.z");
