@@ -1,0 +1,121 @@
+// Extension experiment: multi-way join plan quality (docs/PLANNER.md).
+//
+// For small input sets the DP planner is provably optimal under its
+// C_out cost model (tests/planner_test.cc checks this against exhaustive
+// enumeration), so the interesting questions are the *gaps*: how much
+// worse the greedy fallback and the naive left-deep input-order plan are
+// than the DP optimum on the paper's dataset mix, and what planning
+// costs in wall-clock (dominated by the k*(k-1)/2 pairwise guarded
+// estimates). Emits BENCH_planner_quality.json.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "planner/join_planner.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sjsel {
+namespace {
+
+// C_out of the left-deep plan that joins the inputs in the order given —
+// what a planner-less system would do — priced with the plan's own
+// pairwise selectivities (clique independence model).
+double LeftDeepInputOrderCost(const MultiJoinPlan& plan) {
+  double total = 0.0;
+  for (size_t prefix = 2; prefix <= plan.input_sizes.size(); ++prefix) {
+    double card = 1.0;
+    for (size_t i = 0; i < prefix; ++i) {
+      card *= static_cast<double>(plan.input_sizes[i]);
+    }
+    for (const PairSelectivity& pair : plan.pairs) {
+      if (pair.i < prefix && pair.j < prefix) card *= pair.selectivity;
+    }
+    total += card;
+  }
+  return total;
+}
+
+int Run(bool smoke) {
+  const double scale = smoke ? 0.02 : gen::ExperimentScaleFromEnv(0.1);
+  bench::PrintHeader(
+      "Extension: multi-way join plan quality (DP vs greedy vs left-deep)",
+      scale);
+  bench::DatasetCache cache(scale);
+
+  const std::vector<std::vector<gen::PaperDataset>> combos = {
+      {gen::PaperDataset::kTS, gen::PaperDataset::kTCB,
+       gen::PaperDataset::kCAS},
+      {gen::PaperDataset::kTS, gen::PaperDataset::kTCB,
+       gen::PaperDataset::kCAS, gen::PaperDataset::kCAR},
+      {gen::PaperDataset::kTS, gen::PaperDataset::kTCB,
+       gen::PaperDataset::kCAS, gen::PaperDataset::kCAR,
+       gen::PaperDataset::kSP},
+  };
+
+  bench::BenchJsonWriter json("planner_quality");
+  json.AddMetadata("scale", FormatDouble(scale, 3));
+
+  TextTable table;
+  table.SetHeader({"inputs", "dp cost", "greedy/dp", "left-deep/dp",
+                   "dp tree", "plan ms"});
+  for (const auto& combo : combos) {
+    std::vector<PlannerInput> inputs;
+    std::string label;
+    for (const gen::PaperDataset which : combo) {
+      const Dataset& ds = cache.Get(which);
+      inputs.push_back(PlannerInput{gen::PaperDatasetName(which), &ds});
+      if (!label.empty()) label += "+";
+      label += gen::PaperDatasetName(which);
+    }
+
+    PlannerOptions dp_options;
+    ScopedTimer timer(nullptr);
+    const auto dp = PlanMultiJoin(inputs, dp_options);
+    const double plan_seconds = timer.ElapsedSeconds();
+    if (!dp.ok()) {
+      std::fprintf(stderr, "plan %s failed: %s\n", label.c_str(),
+                   dp.status().ToString().c_str());
+      return 1;
+    }
+
+    PlannerOptions greedy_options;
+    greedy_options.dp_limit = 2;  // force the greedy fallback
+    const auto greedy = PlanMultiJoin(inputs, greedy_options);
+    if (!greedy.ok()) {
+      std::fprintf(stderr, "greedy plan %s failed: %s\n", label.c_str(),
+                   greedy.status().ToString().c_str());
+      return 1;
+    }
+
+    const double left_deep = LeftDeepInputOrderCost(*dp);
+    const double dp_cost = dp->cost > 0 ? dp->cost : 1e-30;
+    table.AddRow({label, FormatDouble(dp->cost, 1),
+                  FormatDouble(greedy->cost / dp_cost, 3),
+                  FormatDouble(left_deep / dp_cost, 3), dp->tree,
+                  FormatDouble(plan_seconds * 1e3, 2)});
+    json.Add(label, plan_seconds * 1e9, left_deep / dp_cost,
+             dp_options.threads, combo.size());
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: ratios are C_out cost relative to the DP optimum (1.000 =\n"
+      "matched it). Greedy usually stays close; the input-order left-deep\n"
+      "plan pays for joining large or poorly-correlated inputs early —\n"
+      "the gap selectivity-driven ordering exists to close. Plan time is\n"
+      "almost entirely the pairwise guarded estimates, which a server\n"
+      "deployment amortizes via the estimate cache (docs/SERVER.md).\n");
+  json.EmbedMetrics();
+  return json.Write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sjsel
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return sjsel::Run(smoke);
+}

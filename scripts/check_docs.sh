@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Documentation consistency check, run as a ctest (see tests/CMakeLists.txt).
 #
-# 1. Every relative markdown link target in README.md, DESIGN.md,
+# 1. Required docs exist: the manifest below names the documents other
+#    docs, tests and CI point at — deleting or renaming one must fail
+#    here, not at a reader's 404.
+# 2. Every relative markdown link target in README.md, DESIGN.md,
 #    EXPERIMENTS.md and docs/*.md must exist on disk.
-# 2. Every source-tree path a docs/*.md file mentions in backticks
+# 3. Every source-tree path a docs/*.md file mentions in backticks
 #    (src/..., tests/..., bench/..., examples/..., scripts/...) must
 #    exist, so the docs cannot drift from the code they describe.
+# 4. Every backticked `server.*` / `planner.*` / `estimator.*` metric or
+#    span name the docs mention must occur in src/ — the observability
+#    vocabulary docs advertise is the one the code emits.
 #
 # Exits non-zero listing every stale reference.
 
@@ -18,6 +24,20 @@ err() {
   echo "check_docs: $1" >&2
   fail=1
 }
+
+# --- 0. required-docs manifest --------------------------------------------
+required_docs=(
+  README.md
+  DESIGN.md
+  EXPERIMENTS.md
+  ROADMAP.md
+  docs/ARCHITECTURE.md
+  docs/SERVER.md
+  docs/PLANNER.md
+)
+for doc in "${required_docs[@]}"; do
+  [ -e "$doc" ] || err "required document '$doc' is missing"
+done
 
 doc_files=(README.md DESIGN.md EXPERIMENTS.md)
 for f in docs/*.md; do
@@ -55,6 +75,25 @@ for doc in "${doc_files[@]}"; do
       err "$doc references nonexistent source path '$path'"
     fi
   done < <(grep -o '`\(src\|tests\|bench\|examples\|scripts\)/[^`]*`' "$doc" \
+             | tr -d '\`' | sort -u)
+done
+
+# --- 4. metric / span names referenced by the docs ------------------------
+# Backticked dotted names in the observability vocabulary (server.*,
+# planner.*, estimator.*) must be greppable in src/ — either whole (most
+# call sites) or as a "<prefix>." literal next to a runtime suffix (the
+# server's per-code failure counters).
+for doc in "${doc_files[@]}"; do
+  while IFS= read -r name; do
+    case "$name" in
+      *\<*) continue ;;    # placeholders like server.requests.failed.<code>
+    esac
+    if ! grep -rqF "$name" src/; then
+      prefix="${name%.*}."
+      grep -rqF "\"$prefix" src/ \
+        || err "$doc references metric/span '$name' not found in src/"
+    fi
+  done < <(grep -ho '`\(server\|planner\|estimator\)\.[a-z0-9_.]*`' "$doc" \
              | tr -d '\`' | sort -u)
 done
 

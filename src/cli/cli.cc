@@ -1,12 +1,16 @@
 #include "cli/cli.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <limits>
 #include <map>
 #include <optional>
+#include <thread>
 
 #include "core/gh_histogram.h"
 #include "core/guarded_estimator.h"
@@ -26,7 +30,10 @@
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "planner/join_planner.h"
 #include "quadtree/quadtree.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "rtree/rtree.h"
 #include "stats/dataset_stats.h"
 #include "util/fault_injection.h"
@@ -171,6 +178,23 @@ int Usage(std::FILE* err) {
                " [--seed=1]\n"
                "  refine-join <a.geo> <b.geo>\n"
                "  knn <in.ds> <x,y> [--k=5]\n"
+               "  plan <a.ds> <b.ds> [<c.ds> ...] [--threads=1]"
+               " [--dp-limit=12] [--json]\n"
+               "      selectivity-driven multi-way join planning: guarded"
+               " pairwise\n"
+               "      estimates feed a DP search over bushy join trees"
+               " (docs/PLANNER.md)\n"
+               "  serve <socket> [--workers=4] [--max-queue=64]\n"
+               "      estimation daemon on a Unix socket: NDJSON"
+               " estimate/explain/\n"
+               "      stats/plan requests, per-request deadlines & metrics"
+               " (docs/SERVER.md)\n"
+               "  client <socket> [<request-json> ...]\n"
+               "      send request lines (or stdin NDJSON) to a running"
+               " server\n"
+               "  (plan and serve also take the estimate flags: --gh-level,"
+               " --ph-level,\n"
+               "   --fa, --fb, --seed, --method, --validate)\n"
                "\n"
                "global flags:\n"
                "  --inject-faults=<site>=<trigger>[,...]\n"
@@ -531,23 +555,26 @@ int CmdHistInfo(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
 // validation in front. Prints the same pairs/selectivity lines as the
 // histogram path plus provenance: answering rung, degradation trail, and
 // validation tallies.
-int CmdEstimateGuarded(const ParsedArgs& args, const Dataset& a,
-                       const Dataset& b, std::FILE* out, std::FILE* err) {
-  GuardedEstimatorOptions options;
-  SJSEL_FLAG_OR_RETURN(options.gh_level, args.FlagInt("gh-level", 7));
-  SJSEL_FLAG_OR_RETURN(options.ph_level, args.FlagInt("ph-level", 5));
-  SJSEL_FLAG_OR_RETURN(options.sampling.frac_a, args.FlagDouble("fa", 0.1));
-  SJSEL_FLAG_OR_RETURN(options.sampling.frac_b, args.FlagDouble("fb", 0.1));
+// Parses the guarded-chain knobs shared by `estimate`, `plan` and
+// `serve` — one parser, so a plan's (or the daemon's) per-pair numbers
+// are bit-for-bit the standalone estimates for the same flags. Returns 0
+// on success, else the command exit code (already reported to `err`).
+int ParseGuardedOptions(const ParsedArgs& args, std::FILE* err,
+                        GuardedEstimatorOptions* options) {
+  SJSEL_FLAG_OR_RETURN(options->gh_level, args.FlagInt("gh-level", 7));
+  SJSEL_FLAG_OR_RETURN(options->ph_level, args.FlagInt("ph-level", 5));
+  SJSEL_FLAG_OR_RETURN(options->sampling.frac_a, args.FlagDouble("fa", 0.1));
+  SJSEL_FLAG_OR_RETURN(options->sampling.frac_b, args.FlagDouble("fb", 0.1));
   int seed_flag = 1;
   SJSEL_FLAG_OR_RETURN(seed_flag, args.FlagInt("seed", 1));
-  options.sampling.seed = static_cast<uint64_t>(seed_flag);
+  options->sampling.seed = static_cast<uint64_t>(seed_flag);
   const std::string method = args.Flag("method", "rswr");
   if (method == "rs") {
-    options.sampling.method = SamplingMethod::kRegular;
+    options->sampling.method = SamplingMethod::kRegular;
   } else if (method == "rswr") {
-    options.sampling.method = SamplingMethod::kRandomWithReplacement;
+    options->sampling.method = SamplingMethod::kRandomWithReplacement;
   } else if (method == "ss") {
-    options.sampling.method = SamplingMethod::kSorted;
+    options->sampling.method = SamplingMethod::kSorted;
   } else {
     std::fprintf(err, "unknown --method: %s\n", method.c_str());
     return 2;
@@ -557,7 +584,16 @@ int CmdEstimateGuarded(const ParsedArgs& args, const Dataset& a,
     std::fprintf(err, "%s\n", policy.status().ToString().c_str());
     return 2;
   }
-  options.policy = policy.value();
+  options->policy = policy.value();
+  return 0;
+}
+
+int CmdEstimateGuarded(const ParsedArgs& args, const Dataset& a,
+                       const Dataset& b, std::FILE* out, std::FILE* err) {
+  GuardedEstimatorOptions options;
+  if (const int code = ParseGuardedOptions(args, err, &options); code != 0) {
+    return code;
+  }
 
   const GuardedEstimator estimator(options);
   const auto result = estimator.Estimate(a, b);
@@ -872,6 +908,145 @@ int CmdSample(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
 
 namespace {
 
+// Multi-way join planning (docs/PLANNER.md): pairwise selectivities from
+// the guarded chain feed a DP search over bushy join trees.
+int CmdPlan(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() < 3) {
+    std::fprintf(err, "plan needs at least two dataset files\n");
+    return Usage(err);
+  }
+  PlannerOptions options;
+  if (const int code = ParseGuardedOptions(args, err, &options.estimator);
+      code != 0) {
+    return code;
+  }
+  SJSEL_FLAG_OR_RETURN(options.threads, args.Threads());
+  SJSEL_FLAG_OR_RETURN(options.dp_limit, args.FlagInt("dp-limit", 12));
+
+  // Datasets live here; the planner borrows them by pointer, labeled by
+  // their file path (unique even when generated dataset *names* collide).
+  std::vector<Dataset> datasets;
+  datasets.reserve(args.positional.size() - 1);
+  std::vector<PlannerInput> inputs;
+  for (size_t i = 1; i < args.positional.size(); ++i) {
+    auto loaded = Dataset::Load(args.positional[i]);
+    if (!loaded.ok()) {
+      std::fprintf(err, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(loaded).value());
+  }
+  for (size_t i = 1; i < args.positional.size(); ++i) {
+    inputs.push_back(PlannerInput{args.positional[i], &datasets[i - 1]});
+  }
+
+  const auto plan = PlanMultiJoin(inputs, options);
+  if (!plan.ok()) {
+    std::fprintf(err, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Has("json")) {
+    std::fprintf(out, "%s\n", RenderPlanJson(*plan).c_str());
+  } else {
+    std::fputs(RenderPlanText(*plan).c_str(), out);
+  }
+  return 0;
+}
+
+// `serve` runs until a stop is requested; the signal handler can only
+// set a flag, which the wait loop below polls.
+std::atomic<bool> g_serve_signal_stop{false};
+
+void HandleServeSignal(int) { g_serve_signal_stop.store(true); }
+
+int CmdServe(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 2) {
+    std::fprintf(err, "serve needs a socket path\n");
+    return Usage(err);
+  }
+  server::ServerOptions options;
+  options.socket_path = args.positional[1];
+  if (const int code = ParseGuardedOptions(args, err, &options.estimator);
+      code != 0) {
+    return code;
+  }
+  SJSEL_FLAG_OR_RETURN(options.workers, args.FlagInt("workers", 4));
+  SJSEL_FLAG_OR_RETURN(options.max_queue, args.FlagInt("max-queue", 64));
+  if (options.workers < 1) {
+    std::fprintf(err, "--workers must be >= 1\n");
+    return 2;
+  }
+
+  server::Server daemon(options);
+  const Status status = daemon.Start();
+  if (!status.ok()) {
+    std::fprintf(err, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(out, "listening on %s (workers=%d max-queue=%d)\n",
+               options.socket_path.c_str(), options.workers,
+               options.max_queue);
+  std::fflush(out);
+
+  g_serve_signal_stop.store(false);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (!daemon.stop_requested()) {
+    if (g_serve_signal_stop.load()) daemon.RequestStop();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  daemon.Stop();
+  std::fprintf(out, "served %llu requests\n",
+               static_cast<unsigned long long>(daemon.requests_served()));
+  return 0;
+}
+
+// Scripted client: sends one request line per invocation argument, or —
+// with no request argument — every line read from stdin (a scripted
+// NDJSON session, used by the CI smoke drill). Prints one response line
+// per request.
+int CmdClient(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() < 2) {
+    std::fprintf(err, "client needs a socket path\n");
+    return Usage(err);
+  }
+  server::Client client;
+  const Status status = client.Connect(args.positional[1]);
+  if (!status.ok()) {
+    std::fprintf(err, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const auto send = [&](const std::string& line) -> int {
+    if (line.empty()) return 0;
+    const auto response = client.Call(line);
+    if (!response.ok()) {
+      std::fprintf(err, "%s\n", response.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(out, "%s\n", response->c_str());
+    return 0;
+  };
+  if (args.positional.size() > 2) {
+    for (size_t i = 2; i < args.positional.size(); ++i) {
+      if (const int code = send(args.positional[i]); code != 0) return code;
+    }
+    return 0;
+  }
+  std::string line;
+  int ch;
+  while ((ch = std::fgetc(stdin)) != EOF) {
+    if (ch == '\n') {
+      if (const int code = send(line); code != 0) return code;
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(ch));
+    }
+  }
+  return send(line);
+}
+
 int Dispatch(const ParsedArgs& parsed, std::FILE* out, std::FILE* err) {
   const std::string& command = parsed.positional[0];
   if (command == "gen") return CmdGen(parsed, out, err);
@@ -886,6 +1061,9 @@ int Dispatch(const ParsedArgs& parsed, std::FILE* out, std::FILE* err) {
   if (command == "range") return CmdRange(parsed, out, err);
   if (command == "join") return CmdJoin(parsed, out, err);
   if (command == "sample") return CmdSample(parsed, out, err);
+  if (command == "plan") return CmdPlan(parsed, out, err);
+  if (command == "serve") return CmdServe(parsed, out, err);
+  if (command == "client") return CmdClient(parsed, out, err);
   std::fprintf(err, "unknown command: %s\n", command.c_str());
   return Usage(err);
 }

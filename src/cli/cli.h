@@ -43,6 +43,20 @@ namespace cli {
 ///   sample <a.ds> <b.ds> [--method=rs|rswr|ss] [--fa=0.1] [--fb=0.1]
 ///                              [--seed=1]
 ///                              sampling-based selectivity estimate
+///   plan <a.ds> <b.ds> [<c.ds> ...]
+///                              selectivity-driven multi-way join plan:
+///                              guarded pairwise estimates + DP over bushy
+///                              join trees; --json emits the machine form
+///                              (docs/PLANNER.md)
+///   serve <socket>             estimation daemon: NDJSON estimate/explain/
+///                              stats/plan over a Unix-domain socket with a
+///                              bounded admission queue, per-request
+///                              deadlines and per-request metrics/spans;
+///                              stops on SIGINT/SIGTERM or a `shutdown`
+///                              request (docs/SERVER.md)
+///   client <socket> [<json> ...]
+///                              send request lines (or stdin NDJSON) to a
+///                              running server, one response line each
 ///
 /// hist-build, join and sample accept --threads=N (0 = all hardware
 /// threads). Thread count never changes any output: histograms are

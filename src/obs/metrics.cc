@@ -60,13 +60,52 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+namespace {
+
+// Arming state behind the fast armed_ flag: process-wide arming (CLI
+// --metrics) and the scope refcount (server requests) combine under one
+// mutex; armed_ caches `process || refs > 0`.
+struct ArmState {
+  std::mutex mu;
+  bool process = false;
+  int scope_refs = 0;
+};
+
+ArmState& MetricsArmState() {
+  static ArmState* state = new ArmState();  // leaked, like the registry
+  return *state;
+}
+
+}  // namespace
+
 void MetricsRegistry::Arm() {
+  ArmState& state = MetricsArmState();
+  std::lock_guard<std::mutex> lock(state.mu);
   Global().Reset();
+  state.process = true;
   armed_.store(true, std::memory_order_release);
 }
 
 void MetricsRegistry::Disarm() {
-  armed_.store(false, std::memory_order_release);
+  ArmState& state = MetricsArmState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.process = false;
+  armed_.store(state.scope_refs > 0, std::memory_order_release);
+}
+
+void MetricsRegistry::ArmScopeAcquire() {
+  ArmState& state = MetricsArmState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  ++state.scope_refs;
+  armed_.store(true, std::memory_order_release);
+}
+
+void MetricsRegistry::ArmScopeRelease() {
+  ArmState& state = MetricsArmState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.scope_refs > 0) --state.scope_refs;
+  armed_.store(state.process || state.scope_refs > 0,
+               std::memory_order_release);
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {

@@ -157,6 +157,16 @@ class MetricsRegistry {
   /// Stops collection. Values stay readable/snapshotable.
   static void Disarm();
 
+  /// Scoped (refcounted) arming, used by the server to collect metrics
+  /// per request rather than per process: the registry is armed while
+  /// process arming (Arm/Disarm) is active OR at least one scope is
+  /// held. Unlike Arm(), acquiring the first scope does NOT reset
+  /// accumulated values, so counters aggregate across requests and a
+  /// `stats` request can snapshot the server's lifetime totals. Pairs
+  /// must balance; use ScopedMetricsArm.
+  static void ArmScopeAcquire();
+  static void ArmScopeRelease();
+
   /// Finds or creates the named instrument. Returned pointers are stable
   /// for the process lifetime. A name used as one kind must not be reused
   /// as another (the snapshot namespaces them separately, so nothing
@@ -209,6 +219,16 @@ class MetricsRegistry {
 };
 
 inline bool MetricsArmed() { return MetricsRegistry::Armed(); }
+
+/// RAII pair for ArmScopeAcquire/ArmScopeRelease (one per served
+/// request; see docs/SERVER.md "Observability").
+class ScopedMetricsArm {
+ public:
+  ScopedMetricsArm() { MetricsRegistry::ArmScopeAcquire(); }
+  ~ScopedMetricsArm() { MetricsRegistry::ArmScopeRelease(); }
+  ScopedMetricsArm(const ScopedMetricsArm&) = delete;
+  ScopedMetricsArm& operator=(const ScopedMetricsArm&) = delete;
+};
 
 /// Implementation of util/timer.h's ScopedTimer reporting hook: records
 /// `micros` into `hist` when metrics are armed. Tolerates null.

@@ -168,15 +168,42 @@ void Tracer::ReleaseRing(TraceRing* ring) {
 }
 
 void Tracer::Arm() {
+  std::lock_guard<std::mutex> arm_lock(arm_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& ring : rings_) ring->Reset();
   }
   epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  process_armed_ = true;
+  ever_armed_ = true;
   armed_.store(true, std::memory_order_release);
 }
 
-void Tracer::Disarm() { armed_.store(false, std::memory_order_release); }
+void Tracer::Disarm() {
+  std::lock_guard<std::mutex> arm_lock(arm_mu_);
+  process_armed_ = false;
+  armed_.store(scope_refs_ > 0, std::memory_order_release);
+}
+
+void Tracer::ArmScopeAcquire() {
+  std::lock_guard<std::mutex> arm_lock(arm_mu_);
+  ++scope_refs_;
+  if (!ever_armed_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& ring : rings_) ring->Reset();
+    }
+    epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+    ever_armed_ = true;
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void Tracer::ArmScopeRelease() {
+  std::lock_guard<std::mutex> arm_lock(arm_mu_);
+  if (scope_refs_ > 0) --scope_refs_;
+  armed_.store(process_armed_ || scope_refs_ > 0, std::memory_order_release);
+}
 
 int64_t Tracer::NowNs() const {
   return SteadyNowNs() - epoch_ns_.load(std::memory_order_relaxed);

@@ -76,6 +76,16 @@ class Tracer {
   /// Stops recording. Already-recorded events stay collectable.
   void Disarm();
 
+  /// Scoped (refcounted) arming for per-request tracing (the server arms
+  /// around each request, not for the process): recording is on while
+  /// Arm()/Disarm() arming is active OR at least one scope is held. The
+  /// first scope ever acquired resets the rings and the trace clock like
+  /// Arm(); later scopes resume recording without clearing, so one flush
+  /// at shutdown holds every request's spans. Pairs must balance; use
+  /// ScopedTraceArm.
+  void ArmScopeAcquire();
+  void ArmScopeRelease();
+
   /// Records an instant event on the calling thread's ring. No-op when
   /// disarmed.
   void Instant(const char* name);
@@ -117,6 +127,11 @@ class Tracer {
 
   static std::atomic<bool> armed_;
 
+  std::mutex arm_mu_;         ///< guards the three arming fields below
+  bool process_armed_ = false;
+  int scope_refs_ = 0;
+  bool ever_armed_ = false;   ///< first scope resets rings + clock
+
   std::mutex mu_;
   std::vector<std::unique_ptr<TraceRing>> rings_;
   std::vector<TraceRing*> free_rings_;
@@ -153,6 +168,16 @@ class TraceSpan {
   int depth_ = 0;
   bool active_ = false;
   char detail_[Tracer::kMaxDetail] = {0};
+};
+
+/// RAII pair for Tracer::ArmScopeAcquire/ArmScopeRelease (one per served
+/// request; see docs/SERVER.md "Observability").
+class ScopedTraceArm {
+ public:
+  ScopedTraceArm() { Tracer::Global().ArmScopeAcquire(); }
+  ~ScopedTraceArm() { Tracer::Global().ArmScopeRelease(); }
+  ScopedTraceArm(const ScopedTraceArm&) = delete;
+  ScopedTraceArm& operator=(const ScopedTraceArm&) = delete;
 };
 
 #define SJSEL_OBS_CONCAT_INNER(a, b) a##b

@@ -1,0 +1,62 @@
+#include "server/catalog.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sjsel {
+namespace server {
+
+Result<std::shared_ptr<const Dataset>> ServerCatalog::GetDataset(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = datasets_.find(path);
+    if (it != datasets_.end()) {
+      SJSEL_METRIC_INC("server.catalog.dataset_hits");
+      return it->second;
+    }
+  }
+  SJSEL_METRIC_INC("server.catalog.dataset_misses");
+  SJSEL_TRACE_SPAN("server.catalog.load_dataset");
+  auto loaded = Dataset::Load(path);
+  if (!loaded.ok()) return loaded.status();
+  auto shared = std::make_shared<const Dataset>(std::move(loaded).value());
+  std::lock_guard<std::mutex> lock(mu_);
+  // Two workers may race to load the same path; both get the same bytes,
+  // so first-in wins and the loser's copy is dropped.
+  const auto [it, inserted] = datasets_.emplace(path, std::move(shared));
+  (void)inserted;
+  return it->second;
+}
+
+Result<EstimateResult> ServerCatalog::Estimate(const std::string& a,
+                                               const std::string& b) {
+  const std::pair<std::string, std::string> key(a, b);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = estimates_.find(key);
+    if (it != estimates_.end()) {
+      SJSEL_METRIC_INC("server.catalog.estimate_hits");
+      return it->second;
+    }
+  }
+  SJSEL_METRIC_INC("server.catalog.estimate_misses");
+  std::shared_ptr<const Dataset> da;
+  SJSEL_ASSIGN_OR_RETURN(da, GetDataset(a));
+  std::shared_ptr<const Dataset> db;
+  SJSEL_ASSIGN_OR_RETURN(db, GetDataset(b));
+  // Estimated outside the lock: concurrent first requests for the same
+  // pair may both compute, but the chain is deterministic, so whichever
+  // result lands in the cache is the same value.
+  auto result = estimator_.Estimate(*da, *db);
+  if (!result.ok()) return result.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = estimates_.emplace(key, std::move(result).value());
+  (void)inserted;
+  return it->second;
+}
+
+}  // namespace server
+}  // namespace sjsel

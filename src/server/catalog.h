@@ -1,0 +1,56 @@
+#ifndef SJSEL_SERVER_CATALOG_H_
+#define SJSEL_SERVER_CATALOG_H_
+
+// The daemon-side catalog: datasets loaded once per path and pair
+// estimates computed once per (a, b), both kept for the server's
+// lifetime so an optimizer calling `estimate` millions of times pays
+// the load/build cost once. Thread-safe; see docs/SERVER.md "Catalog".
+//
+// Distinct from src/engine/catalog.h (the single-threaded, in-process
+// SDBMS catalog keyed by dataset *name* over one workspace extent):
+// this one is keyed by *file path*, serves concurrent workers, and
+// caches guarded-chain results — provenance included — not bare GH
+// histograms.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/guarded_estimator.h"
+#include "geom/dataset.h"
+#include "util/result.h"
+
+namespace sjsel {
+namespace server {
+
+class ServerCatalog {
+ public:
+  explicit ServerCatalog(GuardedEstimatorOptions options = {})
+      : estimator_(options) {}
+
+  /// The dataset at `path`, loading and caching it on first use.
+  /// Counts `server.catalog.dataset_hits` / `.dataset_misses`.
+  Result<std::shared_ptr<const Dataset>> GetDataset(const std::string& path);
+
+  /// The guarded-chain estimate for the dataset pair, cached by path
+  /// pair. The estimator runs with the options this catalog was built
+  /// with (defaults match the CLI `estimate` command, so cached answers
+  /// are bit-for-bit the standalone ones). Counts
+  /// `server.catalog.estimate_hits` / `.estimate_misses`.
+  Result<EstimateResult> Estimate(const std::string& a, const std::string& b);
+
+  const GuardedEstimator& estimator() const { return estimator_; }
+
+ private:
+  GuardedEstimator estimator_;
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Dataset>> datasets_;
+  std::map<std::pair<std::string, std::string>, EstimateResult> estimates_;
+};
+
+}  // namespace server
+}  // namespace sjsel
+
+#endif  // SJSEL_SERVER_CATALOG_H_

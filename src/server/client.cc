@@ -1,0 +1,89 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sjsel {
+namespace server {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status Client::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string msg = std::strerror(errno);
+    Close();
+    return Status::IoError("connect " + socket_path + ": " + msg);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::Call(const std::string& request_line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const std::string out = request_line + "\n";
+  size_t off = 0;
+  bool send_failed = false;
+  while (off < out.size()) {
+    // MSG_NOSIGNAL: a server that closed mid-send must surface as an
+    // IoError, not kill the client process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // The server may close before reading the request — admission
+    // control rejects at accept time — after sending a terminal error
+    // response. That response is still readable, so fall through and
+    // try to drain it before reporting the write failure.
+    send_failed = true;
+    break;
+  }
+  while (true) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) {
+      return Status::IoError(send_failed
+                                 ? "write: connection closed by server"
+                                 : "server closed the connection mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace server
+}  // namespace sjsel

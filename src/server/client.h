@@ -1,0 +1,45 @@
+#ifndef SJSEL_SERVER_CLIENT_H_
+#define SJSEL_SERVER_CLIENT_H_
+
+// Minimal client for the estimation server (docs/SERVER.md): connects to
+// the Unix-domain socket and exchanges one NDJSON line per call. Used by
+// `sjsel client` and the server tests; also the reference implementation
+// for clients in other languages.
+
+#include <string>
+
+#include "util/result.h"
+
+namespace sjsel {
+namespace server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the server's socket. Fails if nothing is listening.
+  Status Connect(const std::string& socket_path);
+
+  /// Sends one request line (newline appended here) and blocks for the
+  /// response line. The server answers in order, so calls pipeline
+  /// naturally on one connection. If the server hangs up before reading
+  /// the request (admission-control rejection), the terminal error
+  /// response it sent first is still returned.
+  Result<std::string> Call(const std::string& request_line);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace server
+}  // namespace sjsel
+
+#endif  // SJSEL_SERVER_CLIENT_H_

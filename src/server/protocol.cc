@@ -1,0 +1,91 @@
+#include "server/protocol.h"
+
+#include <cmath>
+#include <utility>
+
+namespace sjsel {
+namespace server {
+
+Result<Request> ParseRequest(const std::string& line) {
+  JsonValue doc;
+  SJSEL_ASSIGN_OR_RETURN(doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request req;
+  if (const JsonValue* id = doc.Find("id"); id != nullptr) req.id = *id;
+  SJSEL_ASSIGN_OR_RETURN(req.op, doc.GetString("op", ""));
+  if (req.op.empty()) {
+    return Status::InvalidArgument("request needs a non-empty 'op'");
+  }
+  SJSEL_ASSIGN_OR_RETURN(req.a, doc.GetString("a", ""));
+  SJSEL_ASSIGN_OR_RETURN(req.b, doc.GetString("b", ""));
+  SJSEL_ASSIGN_OR_RETURN(req.path, doc.GetString("path", ""));
+  if (const JsonValue* paths = doc.Find("paths"); paths != nullptr) {
+    if (!paths->is_array()) {
+      return Status::InvalidArgument("field 'paths' must be an array");
+    }
+    for (const JsonValue& p : paths->items()) {
+      if (!p.is_string()) {
+        return Status::InvalidArgument("'paths' entries must be strings");
+      }
+      req.paths.push_back(p.string_value());
+    }
+  }
+  if (const JsonValue* deadline = doc.Find("deadline_ms");
+      deadline != nullptr) {
+    if (!deadline->is_number()) {
+      return Status::InvalidArgument("field 'deadline_ms' must be a number");
+    }
+    req.deadline_ms = deadline->number_value();
+    req.has_deadline = true;
+  }
+  double level = 7;
+  SJSEL_ASSIGN_OR_RETURN(level, doc.GetNumber("level", 7));
+  double top = 10;
+  SJSEL_ASSIGN_OR_RETURN(top, doc.GetNumber("top", 10));
+  if (level != std::floor(level) || top != std::floor(top)) {
+    return Status::InvalidArgument("'level' and 'top' must be integers");
+  }
+  req.level = static_cast<int>(level);
+  req.top = static_cast<int>(top);
+  SJSEL_ASSIGN_OR_RETURN(req.exact, doc.GetBool("exact", false));
+  SJSEL_ASSIGN_OR_RETURN(req.scheme, doc.GetString("scheme", "gh"));
+  return req;
+}
+
+std::string OkResponse(const JsonValue& id, JsonValue result) {
+  JsonValue response = JsonValue::Object();
+  response.Set("id", id);
+  response.Set("ok", JsonValue::Bool(true));
+  response.Set("result", std::move(result));
+  return response.Dump();
+}
+
+std::string ErrorResponse(const JsonValue& id, const std::string& code,
+                          const std::string& message) {
+  JsonValue response = JsonValue::Object();
+  response.Set("id", id);
+  response.Set("ok", JsonValue::Bool(false));
+  response.Set("error", JsonValue::Object()
+                            .Set("code", JsonValue::String(code))
+                            .Set("message", JsonValue::String(message)));
+  return response.Dump();
+}
+
+const char* ErrorCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+    case StatusCode::kIoError:
+    case StatusCode::kCorruption:
+      return kErrNotFound;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return kErrBadRequest;
+    default:
+      return kErrInternal;
+  }
+}
+
+}  // namespace server
+}  // namespace sjsel

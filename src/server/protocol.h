@@ -1,0 +1,73 @@
+#ifndef SJSEL_SERVER_PROTOCOL_H_
+#define SJSEL_SERVER_PROTOCOL_H_
+
+// The wire protocol of the estimation server: newline-delimited JSON
+// (NDJSON) over a Unix-domain stream socket. One request object per
+// line, one response object per line, in order. The full specification
+// — field schemas, error codes, deadline and admission-control
+// semantics — lives in docs/SERVER.md; this header is its in-code
+// counterpart and the single place the vocabulary is defined.
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace sjsel {
+namespace server {
+
+/// Stable error codes carried in response `error.code`. Each maps 1:1 to
+/// a `server.requests.failed.<code>` (or `.rejected.<code>`) metric.
+inline constexpr char kErrBadRequest[] = "bad_request";
+inline constexpr char kErrUnknownOp[] = "unknown_op";
+inline constexpr char kErrNotFound[] = "not_found";
+inline constexpr char kErrDeadline[] = "deadline";
+inline constexpr char kErrOverloaded[] = "overloaded";
+inline constexpr char kErrShuttingDown[] = "shutting_down";
+inline constexpr char kErrInternal[] = "internal";
+
+/// A parsed request. Unknown fields are ignored (forward compatibility);
+/// known fields with the wrong JSON type reject the request.
+struct Request {
+  /// Echoed verbatim into the response; null when the client sent none.
+  JsonValue id;
+  /// "ping", "estimate", "explain", "stats", "plan" or "shutdown".
+  std::string op;
+  /// Dataset file paths: `a`/`b` for estimate and explain, `path` for
+  /// stats, `paths` (array) for plan.
+  std::string a;
+  std::string b;
+  std::string path;
+  std::vector<std::string> paths;
+  /// Milliseconds the server may spend before *dispatching* the request
+  /// (admission + parse; compute is not preempted — see docs/SERVER.md).
+  /// Present iff has_deadline; values <= 0 are already expired.
+  double deadline_ms = 0.0;
+  bool has_deadline = false;
+  /// explain-only knobs, defaulted like the CLI.
+  int level = 7;
+  int top = 10;
+  bool exact = false;
+  std::string scheme = "gh";
+};
+
+/// Parses one request line. Errors name the offending field or byte.
+Result<Request> ParseRequest(const std::string& line);
+
+/// `{"id":...,"ok":true,"result":<result>}`.
+std::string OkResponse(const JsonValue& id, JsonValue result);
+
+/// `{"id":...,"ok":false,"error":{"code":"...","message":"..."}}`.
+std::string ErrorResponse(const JsonValue& id, const std::string& code,
+                          const std::string& message);
+
+/// Maps a Status from dataset loading / estimation onto the protocol's
+/// error-code vocabulary (NotFound and I/O failures become "not_found",
+/// argument errors "bad_request", everything else "internal").
+const char* ErrorCodeForStatus(const Status& status);
+
+}  // namespace server
+}  // namespace sjsel
+
+#endif  // SJSEL_SERVER_PROTOCOL_H_

@@ -1,0 +1,414 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "planner/join_planner.h"
+#include "server/protocol.h"
+#include "stats/dataset_stats.h"
+#include "util/table.h"
+
+namespace sjsel {
+namespace server {
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Writes the whole buffer, retrying on EINTR / partial writes. Returns
+// false on any hard error (the peer hung up — nothing left to do).
+// MSG_NOSIGNAL: a vanished client must surface as EPIPE, not kill the
+// daemon with SIGPIPE.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool SendResponseLine(int fd, const std::string& response) {
+  return WriteAll(fd, response + "\n");
+}
+
+// Tracks the request's dispatch deadline (docs/SERVER.md: the budget
+// covers queueing and parsing; compute is not preempted).
+struct Deadline {
+  int64_t start_ms = 0;
+  double limit_ms = 0.0;
+  bool armed = false;
+
+  bool Expired() const {
+    return armed &&
+           static_cast<double>(SteadyNowMs() - start_ms) >= limit_ms;
+  }
+};
+
+void CountFailure(const std::string& code) {
+  SJSEL_METRIC_INC(std::string("server.requests.failed.") + code);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), catalog_(options_.estimator) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_queue < 0) options_.max_queue = 0;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path (empty or longer than " +
+                                   std::to_string(sizeof(addr.sun_path) - 1) +
+                                   " bytes)");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  // A stale socket left by a crashed daemon is safe to replace; refuse to
+  // clobber anything that is not a socket.
+  struct stat st;
+  if (::lstat(options_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return Status::AlreadyExists(options_.socket_path +
+                                   " exists and is not a socket");
+    }
+    ::unlink(options_.socket_path.c_str());
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind " + options_.socket_path + ": " + msg);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    return Status::IoError("listen: " + msg);
+  }
+
+  started_ = true;
+  joined_ = false;
+  stop_requested_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+}
+
+void Server::Stop() {
+  if (!started_ || joined_) return;
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+  joined_ = true;
+}
+
+void Server::WaitForStopRequest() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] { return stop_requested(); });
+}
+
+void Server::AcceptLoop() {
+  while (!stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;  // timeout, EINTR — re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    obs::ScopedMetricsArm metrics_arm;
+    SJSEL_METRIC_INC("server.connections.accepted");
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (pending_fds_.size() >= static_cast<size_t>(options_.max_queue)) {
+      lock.unlock();
+      // Admission control: reject now rather than queue without bound.
+      SJSEL_METRIC_INC("server.requests.rejected.overloaded");
+      SendResponseLine(fd, ErrorResponse(JsonValue::Null(), kErrOverloaded,
+                                         "admission queue full"));
+      ::close(fd);
+      continue;
+    }
+    SJSEL_METRIC_GAUGE_MAX("server.queue_depth.max",
+                           pending_fds_.size() + 1);
+    pending_fds_.push_back(fd);
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stop_requested() || !pending_fds_.empty();
+      });
+      // Graceful drain: queued connections are still served after a stop
+      // request; the worker exits only once the queue is empty.
+      if (pending_fds_.empty()) return;
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  SJSEL_TRACE_SPAN("server.connection");
+  std::string buffer;
+  bool open = true;
+  while (open) {
+    // Serve every complete line already buffered.
+    size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      open = SendResponseLine(fd, HandleLine(line));
+    }
+    if (!open || stop_requested()) break;
+    if (buffer.size() > options_.max_line_bytes) {
+      obs::ScopedMetricsArm metrics_arm;
+      CountFailure(kErrBadRequest);
+      SendResponseLine(fd, ErrorResponse(JsonValue::Null(), kErrBadRequest,
+                                         "request line too long"));
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;  // timeout — re-check the stop flag
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n == 0) break;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  obs::ScopedMetricsArm metrics_arm;
+  SJSEL_METRIC_INC("server.connections.closed");
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  // Observability is armed for the duration of this request only; values
+  // aggregate across requests in the global registry.
+  obs::ScopedMetricsArm metrics_arm;
+  obs::ScopedTraceArm trace_arm;
+  SJSEL_TRACE_SPAN("server.request");
+  SJSEL_METRIC_SCOPED_LATENCY("server.request_us");
+  SJSEL_METRIC_INC("server.requests.received");
+
+  Deadline deadline;
+  deadline.start_ms = SteadyNowMs();
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    CountFailure(kErrBadRequest);
+    return ErrorResponse(JsonValue::Null(), kErrBadRequest,
+                         parsed.status().message());
+  }
+  const Request& req = *parsed;
+  deadline.limit_ms = req.deadline_ms;
+  deadline.armed = req.has_deadline;
+  if (stop_requested() && req.op != "shutdown" && req.op != "ping") {
+    CountFailure(kErrShuttingDown);
+    return ErrorResponse(req.id, kErrShuttingDown, "server is shutting down");
+  }
+  if (deadline.Expired()) {
+    CountFailure(kErrDeadline);
+    return ErrorResponse(req.id, kErrDeadline,
+                         "deadline exceeded before dispatch");
+  }
+  return Dispatch(req);
+}
+
+std::string Server::Dispatch(const Request& req) {
+  const auto fail = [&](const char* code,
+                        const std::string& message) -> std::string {
+    CountFailure(code);
+    return ErrorResponse(req.id, code, message);
+  };
+  const auto fail_status = [&](const Status& status) -> std::string {
+    return fail(ErrorCodeForStatus(status), status.message());
+  };
+  const auto answered = [&](JsonValue result) -> std::string {
+    SJSEL_METRIC_INC("server.requests.answered");
+    return OkResponse(req.id, std::move(result));
+  };
+
+  if (req.op == "ping") {
+    return answered(JsonValue::Object().Set("pong", JsonValue::Bool(true)));
+  }
+
+  if (req.op == "shutdown") {
+    RequestStop();
+    return answered(
+        JsonValue::Object().Set("stopping", JsonValue::Bool(true)));
+  }
+
+  if (req.op == "estimate") {
+    SJSEL_TRACE_SPAN("server.op.estimate");
+    if (req.a.empty() || req.b.empty()) {
+      return fail(kErrBadRequest, "estimate needs 'a' and 'b' paths");
+    }
+    const auto result = catalog_.Estimate(req.a, req.b);
+    if (!result.ok()) return fail_status(result.status());
+    const EstimateResult& est = *result;
+    JsonValue out = JsonValue::Object();
+    out.Set("estimated_pairs", JsonValue::Number(est.outcome.estimated_pairs));
+    out.Set("estimated_pairs_text",
+            JsonValue::String(FormatDouble(est.outcome.estimated_pairs, 1)));
+    out.Set("selectivity", JsonValue::Number(est.outcome.selectivity));
+    out.Set("selectivity_text",
+            JsonValue::String(FormatDouble(est.outcome.selectivity, 6)));
+    out.Set("rung", JsonValue::String(EstimatorRungName(est.rung)));
+    out.Set("rung_label", JsonValue::String(est.rung_label));
+    out.Set("degradation_reason", JsonValue::String(est.degradation_reason));
+    out.Set("clamped", JsonValue::Bool(est.clamped));
+    out.Set("validation_a", JsonValue::String(est.validation_a.ToString()));
+    out.Set("validation_b", JsonValue::String(est.validation_b.ToString()));
+    return answered(std::move(out));
+  }
+
+  if (req.op == "explain") {
+    SJSEL_TRACE_SPAN("server.op.explain");
+    if (req.a.empty() || req.b.empty()) {
+      return fail(kErrBadRequest, "explain needs 'a' and 'b' paths");
+    }
+    obs::ExplainOptions options;
+    if (req.scheme == "gh") {
+      options.scheme = obs::ExplainScheme::kGh;
+    } else if (req.scheme == "ph") {
+      options.scheme = obs::ExplainScheme::kPh;
+    } else {
+      return fail(kErrBadRequest, "unknown scheme '" + req.scheme + "'");
+    }
+    options.level = req.level;
+    options.top_k = req.top;
+    options.with_exact = req.exact;
+    options.guarded = options_.estimator;
+    const auto a = catalog_.GetDataset(req.a);
+    if (!a.ok()) return fail_status(a.status());
+    const auto b = catalog_.GetDataset(req.b);
+    if (!b.ok()) return fail_status(b.status());
+    const auto report = obs::BuildEstimateExplain(**a, **b, options);
+    if (!report.ok()) return fail_status(report.status());
+    // The explain renderer already emits deterministic JSON; parse it so
+    // the report nests as an object instead of an escaped string.
+    auto report_json = JsonValue::Parse(obs::RenderExplainJson(*report));
+    if (!report_json.ok()) return fail_status(report_json.status());
+    return answered(JsonValue::Object().Set("report",
+                                            std::move(report_json).value()));
+  }
+
+  if (req.op == "stats") {
+    SJSEL_TRACE_SPAN("server.op.stats");
+    if (!req.path.empty()) {
+      const auto ds = catalog_.GetDataset(req.path);
+      if (!ds.ok()) return fail_status(ds.status());
+      const Rect extent = (*ds)->ComputeExtent();
+      const DatasetStats stats = DatasetStats::Compute(**ds, extent);
+      JsonValue out = JsonValue::Object();
+      out.Set("name", JsonValue::String((*ds)->name()));
+      out.Set("n", JsonValue::Int(static_cast<long long>(stats.n)));
+      out.Set("coverage", JsonValue::Number(stats.coverage));
+      out.Set("avg_width", JsonValue::Number(stats.avg_width));
+      out.Set("avg_height", JsonValue::Number(stats.avg_height));
+      out.Set("extent_area", JsonValue::Number(stats.extent_area));
+      return answered(std::move(out));
+    }
+    // Without a path: the server's own lifetime statistics — the metrics
+    // snapshot aggregated over every request served so far.
+    auto metrics = JsonValue::Parse(
+        obs::MetricsRegistry::Global().SnapshotJson());
+    if (!metrics.ok()) return fail_status(metrics.status());
+    JsonValue out = JsonValue::Object();
+    out.Set("requests_served",
+            JsonValue::Int(static_cast<long long>(requests_served())));
+    out.Set("metrics", std::move(metrics).value());
+    return answered(std::move(out));
+  }
+
+  if (req.op == "plan") {
+    SJSEL_TRACE_SPAN("server.op.plan");
+    if (req.paths.size() < 2) {
+      return fail(kErrBadRequest, "plan needs a 'paths' array of >= 2");
+    }
+    std::vector<std::shared_ptr<const Dataset>> keep_alive;
+    std::vector<PlannerInput> inputs;
+    for (const std::string& path : req.paths) {
+      const auto ds = catalog_.GetDataset(path);
+      if (!ds.ok()) return fail_status(ds.status());
+      keep_alive.push_back(*ds);
+      inputs.push_back(PlannerInput{path, keep_alive.back().get()});
+    }
+    PlannerOptions options;
+    options.estimator = options_.estimator;
+    const auto plan = PlanMultiJoin(inputs, options);
+    if (!plan.ok()) return fail_status(plan.status());
+    auto plan_json = JsonValue::Parse(RenderPlanJson(*plan));
+    if (!plan_json.ok()) return fail_status(plan_json.status());
+    return answered(
+        JsonValue::Object().Set("plan", std::move(plan_json).value()));
+  }
+
+  return fail(kErrUnknownOp, "unknown op '" + req.op + "'");
+}
+
+}  // namespace server
+}  // namespace sjsel

@@ -1,0 +1,132 @@
+#ifndef SJSEL_SERVER_SERVER_H_
+#define SJSEL_SERVER_SERVER_H_
+
+// `sjsel serve`: a long-running daemon that owns the histogram catalog
+// and answers concurrent estimate / explain / stats / plan requests over
+// a newline-delimited JSON protocol on a Unix-domain socket. Protocol
+// and operations: docs/SERVER.md.
+//
+// Architecture: one accept thread + a fixed pool of worker threads
+// behind a bounded admission queue of accepted connections. A worker
+// owns one connection at a time and serves its requests in order;
+// concurrency comes from serving many connections at once. When the
+// queue is full, new connections are rejected immediately with an
+// `overloaded` error instead of queueing without bound.
+//
+// Observability is armed per request, not per process
+// (obs::ScopedMetricsArm / obs::ScopedTraceArm): every served request
+// records `server.*` metrics and trace spans into the global registry,
+// aggregated across the daemon lifetime, and a `stats` request (or the
+// CLI's --metrics/--trace flags on `serve`) snapshots them.
+//
+// Shutdown is graceful: stop accepting, serve every queued connection's
+// in-flight request, then join. Triggers: Stop()/RequestStop(), a
+// `shutdown` request, or (in the CLI) SIGINT/SIGTERM.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/guarded_estimator.h"
+#include "server/catalog.h"
+#include "server/protocol.h"
+#include "util/result.h"
+
+namespace sjsel {
+namespace server {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain socket (sun_path limit applies,
+  /// ~107 bytes). A stale socket file left by a crashed daemon is
+  /// replaced; any other existing file is an error.
+  std::string socket_path;
+  /// Worker threads — the number of connections served concurrently.
+  int workers = 4;
+  /// Accepted connections waiting for a worker beyond those being
+  /// served. Connection number workers + max_queue + 1 is rejected with
+  /// an `overloaded` error.
+  int max_queue = 64;
+  /// A request line longer than this (without a newline) closes the
+  /// connection with a `bad_request` error.
+  size_t max_line_bytes = 1 << 20;
+  /// Estimator configuration shared by the catalog, the estimate op and
+  /// the planner op. Defaults match the CLI `estimate` command.
+  GuardedEstimatorOptions estimator;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Stops and joins if still running (as if Stop() were called).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns the accept + worker threads.
+  Status Start();
+
+  /// Asks the server to stop: no new connections are accepted; queued
+  /// and in-flight requests finish. Safe from any thread, including
+  /// workers (the `shutdown` op calls this). Returns without waiting.
+  void RequestStop();
+
+  /// True once RequestStop()/Stop() has been called (or a `shutdown`
+  /// request arrived).
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Graceful shutdown: RequestStop(), drain, join all threads, remove
+  /// the socket file. Idempotent. Must not be called from a worker.
+  void Stop();
+
+  /// Blocks until a stop is requested, polling `poll` between checks.
+  void WaitForStopRequest();
+
+  /// Handles one request line and returns the response line (without the
+  /// trailing newline). This is the whole protocol minus the socket —
+  /// exposed so tests can drive it in-process; the socket workers call
+  /// exactly this.
+  std::string HandleLine(const std::string& line);
+
+  const ServerOptions& options() const { return options_; }
+  ServerCatalog& catalog() { return catalog_; }
+
+  /// Requests answered since Start (any op, ok or error response sent).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  std::string Dispatch(const Request& req);
+
+  ServerOptions options_;
+  ServerCatalog catalog_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace server
+}  // namespace sjsel
+
+#endif  // SJSEL_SERVER_SERVER_H_

@@ -429,6 +429,68 @@ TEST(CliTest, HistBuildValidatePolicyFlag) {
   std::remove(gh.c_str());
 }
 
+TEST(CliTest, PlanCommandEndToEnd) {
+  const std::string ds_a = TempPath("cli_plan_a.ds");
+  const std::string ds_b = TempPath("cli_plan_b.ds");
+  const std::string ds_c = TempPath("cli_plan_c.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:1200", ds_a, "--seed=41"}).code, 0);
+  ASSERT_EQ(RunTool({"gen", "clustered:900", ds_b, "--seed=42"}).code, 0);
+  ASSERT_EQ(RunTool({"gen", "uniform:600", ds_c, "--seed=43"}).code, 0);
+
+  CliResult r = RunTool({"plan", ds_a, ds_b, ds_c});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("datasets             : 3"), std::string::npos);
+  EXPECT_NE(r.out.find("pair estimates:"), std::string::npos);
+  EXPECT_NE(r.out.find("algorithm            : dp"), std::string::npos);
+  const std::string text_plan = r.out;
+
+  // The planner is deterministic across thread counts — the whole
+  // rendering, not just the chosen tree.
+  r = RunTool({"plan", ds_a, ds_b, ds_c, "--threads=4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out, text_plan);
+
+  // --json emits one machine-readable document.
+  r = RunTool({"plan", ds_a, ds_b, ds_c, "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"tree\":"), std::string::npos);
+  EXPECT_NE(r.out.find("\"degraded\":false"), std::string::npos);
+
+  // Degraded pair estimates surface in the plan output.
+  r = RunTool({"plan", ds_a, ds_b, ds_c,
+               "--inject-faults=estimator.gh=always"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("gh:injected"), std::string::npos);
+
+  std::remove(ds_a.c_str());
+  std::remove(ds_b.c_str());
+  std::remove(ds_c.c_str());
+}
+
+TEST(CliTest, PlanRejectsTooFewInputs) {
+  const std::string ds = TempPath("cli_plan_one.ds");
+  ASSERT_EQ(RunTool({"gen", "uniform:100", ds}).code, 0);
+  const CliResult r = RunTool({"plan", ds});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("at least two"), std::string::npos);
+  std::remove(ds.c_str());
+}
+
+TEST(CliTest, ServeRejectsBadFlags) {
+  CliResult r = RunTool({"serve"});
+  EXPECT_EQ(r.code, 2);
+  r = RunTool({"serve", TempPath("cli_srv.sock"), "--workers=0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--workers"), std::string::npos);
+}
+
+TEST(CliTest, ClientReportsConnectFailure) {
+  const CliResult r =
+      RunTool({"client", TempPath("cli_no_server.sock"), "{\"op\":\"ping\"}"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("connect"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace sjsel

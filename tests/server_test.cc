@@ -1,0 +1,329 @@
+// Tests of the estimation server (src/server/): protocol round-trips
+// driven through Server::HandleLine (the full protocol minus the
+// socket), structured errors for malformed input and expired deadlines,
+// agreement with the standalone estimator and planner, and — over a
+// real Unix-domain socket — concurrent clients, admission-control
+// rejection and graceful shutdown. The socket tests also run under the
+// TSan CI job, which is the point: every request path is exercised from
+// multiple threads.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/guarded_estimator.h"
+#include "datagen/generators.h"
+#include "planner/join_planner.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace sjsel {
+namespace server {
+namespace {
+
+Dataset MakeUniform(const std::string& name, size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.005, 0.005, 0.5};
+  return gen::UniformRects(name, n, Rect(0, 0, 1, 1), size, seed);
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() {
+    a_path_ = ::testing::TempDir() + "/server_a.ds";
+    b_path_ = ::testing::TempDir() + "/server_b.ds";
+    c_path_ = ::testing::TempDir() + "/server_c.ds";
+    EXPECT_TRUE(MakeUniform("sa", 800, 21).Save(a_path_).ok());
+    EXPECT_TRUE(MakeUniform("sb", 600, 22).Save(b_path_).ok());
+    EXPECT_TRUE(MakeUniform("sc", 400, 23).Save(c_path_).ok());
+  }
+
+  ~ServerTest() override {
+    std::remove(a_path_.c_str());
+    std::remove(b_path_.c_str());
+    std::remove(c_path_.c_str());
+  }
+
+  // Handles one line on a throwaway server and parses the response.
+  JsonValue Handle(Server* server, const std::string& line) {
+    const std::string response = server->HandleLine(line);
+    auto parsed = JsonValue::Parse(response);
+    EXPECT_TRUE(parsed.ok()) << "unparseable response: " << response;
+    return parsed.ok() ? std::move(parsed).value() : JsonValue::Null();
+  }
+
+  static std::string ErrorCode(const JsonValue& response) {
+    const JsonValue* error = response.Find("error");
+    if (error == nullptr || error->Find("code") == nullptr) return "";
+    return error->Find("code")->string_value();
+  }
+
+  std::string a_path_, b_path_, c_path_;
+};
+
+TEST_F(ServerTest, MalformedLineIsStructuredBadRequest) {
+  Server server(ServerOptions{});
+  for (const char* line : {"{nope", "[]", "\"just a string\"", "{}",
+                           "{\"op\":42}"}) {
+    const JsonValue response = Handle(&server, line);
+    ASSERT_TRUE(response.is_object()) << line;
+    EXPECT_FALSE(response.Find("ok")->bool_value()) << line;
+    EXPECT_EQ(ErrorCode(response), kErrBadRequest) << line;
+  }
+}
+
+TEST_F(ServerTest, UnknownOpEchoesIdWithStructuredError) {
+  Server server(ServerOptions{});
+  const JsonValue response =
+      Handle(&server, R"({"id":"req-7","op":"frobnicate"})");
+  EXPECT_EQ(response.Find("id")->string_value(), "req-7");
+  EXPECT_FALSE(response.Find("ok")->bool_value());
+  EXPECT_EQ(ErrorCode(response), kErrUnknownOp);
+}
+
+TEST_F(ServerTest, ExpiredDeadlineIsDeadlineError) {
+  Server server(ServerOptions{});
+  // deadline_ms <= 0 is already expired at dispatch — the deterministic
+  // test hook for the deadline path (docs/SERVER.md).
+  const JsonValue response = Handle(
+      &server, R"({"id":3,"op":"estimate","a":")" + a_path_ +
+                   R"(","b":")" + b_path_ + R"(","deadline_ms":0})");
+  EXPECT_EQ(ErrorCode(response), kErrDeadline);
+  EXPECT_DOUBLE_EQ(response.Find("id")->number_value(), 3.0);
+}
+
+TEST_F(ServerTest, GenerousDeadlinePasses) {
+  Server server(ServerOptions{});
+  const JsonValue response = Handle(
+      &server, R"({"op":"ping","deadline_ms":60000})");
+  EXPECT_TRUE(response.Find("ok")->bool_value());
+  EXPECT_TRUE(response.Find("result")->Find("pong")->bool_value());
+}
+
+TEST_F(ServerTest, MissingDatasetIsNotFound) {
+  Server server(ServerOptions{});
+  const JsonValue response = Handle(
+      &server, R"({"op":"estimate","a":"/no/such/file.ds","b":")" +
+                   b_path_ + R"("})");
+  EXPECT_FALSE(response.Find("ok")->bool_value());
+  EXPECT_EQ(ErrorCode(response), kErrNotFound);
+}
+
+TEST_F(ServerTest, EstimateMatchesStandaloneEstimatorBitForBit) {
+  Server server(ServerOptions{});
+  const JsonValue response = Handle(
+      &server, R"({"op":"estimate","a":")" + a_path_ + R"(","b":")" +
+                   b_path_ + R"("})");
+  ASSERT_TRUE(response.Find("ok")->bool_value());
+  const JsonValue* result = response.Find("result");
+  ASSERT_TRUE(result != nullptr);
+
+  auto a = Dataset::Load(a_path_);
+  auto b = Dataset::Load(b_path_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto standalone = GuardedEstimator().Estimate(*a, *b);
+  ASSERT_TRUE(standalone.ok());
+
+  EXPECT_EQ(result->Find("estimated_pairs")->number_value(),
+            standalone->outcome.estimated_pairs);
+  EXPECT_EQ(result->Find("selectivity")->number_value(),
+            standalone->outcome.selectivity);
+  // The *_text fields reproduce the CLI `estimate` rendering exactly.
+  EXPECT_EQ(result->Find("estimated_pairs_text")->string_value(),
+            FormatDouble(standalone->outcome.estimated_pairs, 1));
+  EXPECT_EQ(result->Find("selectivity_text")->string_value(),
+            FormatDouble(standalone->outcome.selectivity, 6));
+  EXPECT_EQ(result->Find("rung")->string_value(),
+            EstimatorRungName(standalone->rung));
+}
+
+TEST_F(ServerTest, PlanMatchesInProcessPlanner) {
+  Server server(ServerOptions{});
+  const JsonValue response = Handle(
+      &server, R"({"op":"plan","paths":[")" + a_path_ + R"(",")" +
+                   b_path_ + R"(",")" + c_path_ + R"("]})");
+  ASSERT_TRUE(response.Find("ok")->bool_value())
+      << ErrorCode(response);
+  const JsonValue* plan_json = response.Find("result")->Find("plan");
+  ASSERT_TRUE(plan_json != nullptr);
+
+  auto a = Dataset::Load(a_path_);
+  auto b = Dataset::Load(b_path_);
+  auto c = Dataset::Load(c_path_);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  const auto plan = PlanMultiJoin({PlannerInput{a_path_, &*a},
+                                   PlannerInput{b_path_, &*b},
+                                   PlannerInput{c_path_, &*c}});
+  ASSERT_TRUE(plan.ok());
+  const auto expected = JsonValue::Parse(RenderPlanJson(*plan));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(plan_json->Dump(), expected->Dump());
+}
+
+TEST_F(ServerTest, StatsWithPathReportsDatasetStatistics) {
+  Server server(ServerOptions{});
+  const JsonValue response =
+      Handle(&server, R"({"op":"stats","path":")" + a_path_ + R"("})");
+  ASSERT_TRUE(response.Find("ok")->bool_value());
+  EXPECT_DOUBLE_EQ(response.Find("result")->Find("n")->number_value(), 800.0);
+}
+
+TEST_F(ServerTest, StatsSnapshotCarriesServerMetrics) {
+  Server server(ServerOptions{});
+  Handle(&server, R"({"op":"ping"})");
+  Handle(&server, R"({"op":"estimate","a":")" + a_path_ + R"(","b":")" +
+                      b_path_ + R"("})");
+  const JsonValue response = Handle(&server, R"({"op":"stats"})");
+  ASSERT_TRUE(response.Find("ok")->bool_value());
+  const JsonValue* result = response.Find("result");
+  EXPECT_GE(result->Find("requests_served")->number_value(), 3.0);
+  const JsonValue* counters = result->Find("metrics")->Find("counters");
+  ASSERT_TRUE(counters != nullptr);
+  // Requests are metered even though the process never armed metrics:
+  // each request arms the registry for its own scope.
+  EXPECT_GE(counters->Find("server.requests.received")->number_value(), 3.0);
+  EXPECT_GE(counters->Find("server.requests.answered")->number_value(), 2.0);
+}
+
+TEST_F(ServerTest, ShutdownOpStopsAcceptingWork) {
+  Server server(ServerOptions{});
+  const JsonValue response = Handle(&server, R"({"op":"shutdown"})");
+  EXPECT_TRUE(response.Find("ok")->bool_value());
+  EXPECT_TRUE(server.stop_requested());
+  // In-flight/queued requests after the stop get a structured error...
+  const JsonValue rejected = Handle(
+      &server, R"({"op":"estimate","a":")" + a_path_ + R"(","b":")" +
+                   b_path_ + R"("})");
+  EXPECT_EQ(ErrorCode(rejected), kErrShuttingDown);
+  // ...but ping still answers, so health checks see the drain.
+  EXPECT_TRUE(Handle(&server, R"({"op":"ping"})").Find("ok")->bool_value());
+}
+
+// --- socket tests ---
+
+std::string SocketPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST_F(ServerTest, SocketRoundTripAndGracefulShutdown) {
+  ServerOptions options;
+  options.socket_path = SocketPath("sjsel_rt.sock");
+  options.workers = 2;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  auto response = client.Call(R"({"id":1,"op":"ping"})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->find("\"pong\":true"), std::string::npos);
+
+  // Pipelined calls on one connection come back in order.
+  response = client.Call(R"({"id":2,"op":"estimate","a":")" + a_path_ +
+                         R"(","b":")" + b_path_ + R"("})");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("\"id\":2"), std::string::npos);
+  EXPECT_NE(response->find("\"ok\":true"), std::string::npos);
+
+  response = client.Call(R"({"op":"shutdown"})");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("\"stopping\":true"), std::string::npos);
+  server.Stop();
+  EXPECT_GE(server.requests_served(), 3u);
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllGetAnswers) {
+  ServerOptions options;
+  options.socket_path = SocketPath("sjsel_mt.sock");
+  options.workers = 4;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect(options.socket_path).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        // Alternate cheap and estimator-heavy ops so workers contend on
+        // the shared catalog while others ping.
+        const std::string request =
+            (i % 2 == 0)
+                ? R"({"op":"ping"})"
+                : R"({"op":"estimate","a":")" + a_path_ + R"(","b":")" +
+                      ((t % 2 == 0) ? b_path_ : c_path_) + R"("})";
+        const auto response = client.Call(request);
+        if (!response.ok() ||
+            response->find("\"ok\":true") == std::string::npos) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests_served(),
+            static_cast<uint64_t>(kThreads * kCallsPerThread));
+  server.Stop();
+}
+
+TEST_F(ServerTest, ZeroQueueRejectsWithOverloaded) {
+  ServerOptions options;
+  options.socket_path = SocketPath("sjsel_full.sock");
+  options.workers = 1;
+  options.max_queue = 0;  // every accepted connection is beyond capacity
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  const auto response = client.Call(R"({"op":"ping"})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->find(kErrOverloaded), std::string::npos) << *response;
+  server.Stop();
+}
+
+TEST_F(ServerTest, OverlongLineClosesWithBadRequest) {
+  ServerOptions options;
+  options.socket_path = SocketPath("sjsel_long.sock");
+  options.max_line_bytes = 64;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  // > one read chunk (4096) so the overflow check must fire before the
+  // terminating newline can arrive.
+  const std::string huge(8192, 'x');
+  const auto response = client.Call("{\"op\":\"" + huge + "\"}");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find(kErrBadRequest), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServerTest, StartRefusesToClobberNonSocketFile) {
+  ServerOptions options;
+  options.socket_path = SocketPath("sjsel_not_a_socket");
+  std::FILE* f = std::fopen(options.socket_path.c_str(), "w");
+  ASSERT_TRUE(f != nullptr);
+  std::fclose(f);
+  Server server(options);
+  EXPECT_FALSE(server.Start().ok());
+  std::remove(options.socket_path.c_str());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace sjsel
