@@ -103,28 +103,39 @@ inline PairBaseline ComputeBaseline(const Dataset& a, const Dataset& b) {
 ///
 ///   {
 ///     "bench": "kernels",
-///     "kernel_backend": "avx2",          // active dispatch choice
+///     "kernel_backend": "avx512",        // active dispatch choice
+///     "kernel_dispatch": "detected",     // override | env | detected
 ///     "avx2_available": true,
+///     "avx512_available": true,
 ///     "hardware_threads": 8,
 ///     "entries": [
 ///       {"name": "gh_build/scalar", "ns_per_op": 123.4,
-///        "speedup_vs_scalar": 1.0, "threads": 1, "items": 100000},
+///        "speedup_vs_scalar": 1.0, "threads": 1, "items": 100000,
+///        "backend": "scalar"},
 ///       ...
 ///     ]
 ///   }
 ///
 /// `speedup_vs_scalar` is scalar_ns / this_ns for entries that have a
 /// scalar counterpart (1.0 for the scalar rows themselves, 0.0 when no
-/// baseline applies).
+/// baseline applies). `threads` is the thread count the entry actually
+/// ran with and `backend` the kernel backend it actually dispatched to —
+/// both recorded at Add time, not inferred at Write time, so forced-
+/// backend and thread-sweep rows stay attributable. `items` is the
+/// dataset size the per-op normalization divided by.
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string bench_name)
       : bench_name_(std::move(bench_name)) {}
 
+  /// `backend` defaults to the backend active at Add time.
   void Add(const std::string& name, double ns_per_op,
-           double speedup_vs_scalar, int threads, uint64_t items) {
-    entries_.push_back(Entry{name, ns_per_op, speedup_vs_scalar, threads,
-                             items});
+           double speedup_vs_scalar, int threads, uint64_t items,
+           const char* backend = nullptr) {
+    entries_.push_back(Entry{
+        name, ns_per_op, speedup_vs_scalar, threads, items,
+        backend != nullptr ? backend
+                           : KernelBackendName(ActiveKernelBackend())});
   }
 
   /// Attaches a run-metadata string (emitted under "run": {...}). Built-in
@@ -153,11 +164,16 @@ class BenchJsonWriter {
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name_.c_str());
+    const KernelDispatchInfo dispatch = GetKernelDispatchInfo();
     std::fprintf(f, "  \"kernel_backend\": \"%s\",\n",
-                 KernelBackendName(ActiveKernelBackend()));
+                 KernelBackendName(dispatch.active));
+    std::fprintf(f, "  \"kernel_dispatch\": \"%s\",\n", dispatch.source);
     std::fprintf(f, "  \"avx2_available\": %s,\n",
-                 DetectKernelBackend() == KernelBackend::kAvx2 ? "true"
-                                                              : "false");
+                 KernelBackendAvailable(KernelBackend::kAvx2) ? "true"
+                                                             : "false");
+    std::fprintf(f, "  \"avx512_available\": %s,\n",
+                 KernelBackendAvailable(KernelBackend::kAvx512) ? "true"
+                                                               : "false");
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     std::fprintf(f, "  \"run\": {\n");
@@ -185,10 +201,11 @@ class BenchJsonWriter {
       std::fprintf(f,
                    "%s\n    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
                    "\"speedup_vs_scalar\": %.3f, \"threads\": %d, "
-                   "\"items\": %llu}",
+                   "\"items\": %llu, \"backend\": \"%s\"}",
                    i == 0 ? "" : ",", e.name.c_str(), e.ns_per_op,
                    e.speedup_vs_scalar, e.threads,
-                   static_cast<unsigned long long>(e.items));
+                   static_cast<unsigned long long>(e.items),
+                   e.backend.c_str());
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -203,6 +220,7 @@ class BenchJsonWriter {
     double speedup_vs_scalar = 0.0;
     int threads = 1;
     uint64_t items = 0;
+    std::string backend;
   };
 
   static const char* CompilerId() {

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Accuracy/perf drift gate, wired as a ctest (bench_drift) and a CI step:
-# runs the accuracy_grid bench in a scratch directory and compares the
-# BENCH_accuracy.json it writes against the checked-in baseline in
+# runs each given bench command in a scratch directory and compares every
+# BENCH_*.json they write against the checked-in baselines in
 # bench/baselines/ via scripts/check_bench.py. Exits 77 (ctest SKIP) when
 # python3 is unavailable.
 #
-# Usage: bench_drift.sh <accuracy_grid-binary> [workdir]
+# Usage: bench_drift.sh <workdir> "<bench-binary> [args]" ...
+# Each command argument is a whole shell word; it is word-split so smoke
+# flags ride along ("path/to/kernels --smoke").
 set -euo pipefail
 
 if ! command -v python3 >/dev/null 2>&1; then
@@ -13,12 +15,18 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 77
 fi
 
-BIN="${1:?usage: bench_drift.sh <accuracy_grid-binary> [workdir]}"
-BIN="$(cd "$(dirname "$BIN")" && pwd)/$(basename "$BIN")"
+WORK="${1:?usage: bench_drift.sh <workdir> \"<bench-binary> [args]\" ...}"
+shift
+[ "$#" -ge 1 ] || { echo "bench_drift: no bench commands given" >&2; exit 2; }
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-WORK="${2:-$(mktemp -d)}"
 
 mkdir -p "$WORK"
 cd "$WORK"
-"$BIN"
+for cmd in "$@"; do
+  # shellcheck disable=SC2086  # intentional word split: binary + its flags
+  set -- $cmd
+  BIN="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+  shift
+  "$BIN" "$@"
+done
 python3 "$REPO_ROOT/scripts/check_bench.py" "$REPO_ROOT/bench/baselines" "$WORK"

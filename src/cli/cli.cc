@@ -14,6 +14,7 @@
 
 #include "core/gh_histogram.h"
 #include "core/guarded_estimator.h"
+#include "core/kernels.h"
 #include "core/minskew.h"
 #include "core/ph_histogram.h"
 #include "core/sampling.h"
@@ -197,6 +198,9 @@ int Usage(std::FILE* err) {
                "   --fa, --fb, --seed, --method, --validate)\n"
                "\n"
                "global flags:\n"
+               "  --kernel-backend=scalar|avx2|avx512|neon\n"
+               "      force every batch kernel onto one backend (results\n"
+               "      are bit-identical; errors if the CPU lacks it)\n"
                "  --inject-faults=<site>=<trigger>[,...]\n"
                "      arm deterministic fault injection for this invocation;\n"
                "      triggers: always | nth:N | every:N | prob:P[/SEED]\n"
@@ -380,6 +384,10 @@ int CmdStats(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
                FormatDouble(stats.max_width, 6).c_str());
   std::fprintf(out, "max height  : %s\n",
                FormatDouble(stats.max_height, 6).c_str());
+  const KernelDispatchInfo dispatch = GetKernelDispatchInfo();
+  std::fprintf(out, "kernels     : %s (%s; detected %s)\n",
+               KernelBackendName(dispatch.active), dispatch.source,
+               KernelBackendName(dispatch.detected));
   return 0;
 }
 
@@ -1103,6 +1111,30 @@ int RunCli(const std::vector<std::string>& args, std::FILE* out,
   if (metrics) obs::MetricsRegistry::Arm();
   if (tracing) obs::Tracer::Global().Arm();
 
+  // Global kernel-backend forcing, scoped to this invocation: every batch
+  // kernel (histogram builds, join filters, sample join) dispatches to the
+  // named backend. CI's forced-backend drill and A/B timing both ride on
+  // this; an unavailable backend is a usage error, not a crash later.
+  bool backend_forced = false;
+  if (parsed.Has("kernel-backend")) {
+    const std::string name = parsed.Flag("kernel-backend", "");
+    KernelBackend backend = KernelBackend::kScalar;
+    if (!ParseKernelBackend(name, &backend)) {
+      std::fprintf(err,
+                   "bad --kernel-backend: '%s' "
+                   "(want scalar|avx2|avx512|neon)\n",
+                   name.c_str());
+      return 2;
+    }
+    if (!KernelBackendAvailable(backend)) {
+      std::fprintf(err, "--kernel-backend=%s: not available on this CPU\n",
+                   name.c_str());
+      return 2;
+    }
+    SetKernelBackendOverride(backend);
+    backend_forced = true;
+  }
+
   int code = 0;
   try {
     // Inner scope: the cli.run span must complete before the flush below,
@@ -1114,6 +1146,7 @@ int RunCli(const std::vector<std::string>& args, std::FILE* out,
     std::fprintf(err, "fault: %s\n", e.what());
     code = 1;
   }
+  if (backend_forced) ClearKernelBackendOverride();
 
   if (metrics) {
     obs::MetricsRegistry::Disarm();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/kernels.h"
+#include "core/tile_build.h"
 #include "geom/soa_dataset.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -102,80 +103,6 @@ void ForEachGhContribution(const Grid& grid, GhVariant variant, const Rect& r,
   EmitGhContribution(grid, variant, r, x0, y0, x1, y1, sink);
 }
 
-// Reusable per-chunk buffers of the batch build path.
-struct GhBatchScratch {
-  AlignedVector<int32_t> x0, y0, x1, y1;
-  AlignedVector<double> area, h_frac, v_frac;
-
-  void Resize(size_t n) {
-    x0.resize(n);
-    y0.resize(n);
-    x1.resize(n);
-    y1.resize(n);
-    area.resize(n);
-    h_frac.resize(n);
-    v_frac.resize(n);
-  }
-};
-
-// Batch-kernel contribution pass over a SoA chunk: cell ranges for the
-// whole chunk in one vectorized sweep (src/core/kernels.h), clipped
-// single-cell terms likewise, then a per-rect emission loop that books the
-// amounts in exactly the order — and from exactly the same floating-point
-// operations — the scalar ForEachGhContribution produces. Rects spanning
-// several cells fall back to the scalar per-cell loops with their
-// precomputed range.
-template <typename Sink>
-void GhContributionBatch(const Grid& grid, GhVariant variant,
-                         const SoaSlice& slice, GhBatchScratch* scratch,
-                         Sink&& sink) {
-  const size_t n = slice.size;
-  scratch->Resize(n);
-  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
-                      grid.cell_width(), grid.cell_height(),
-                      grid.per_axis()};
-  CellRangeBatch(geom, slice, scratch->x0.data(), scratch->y0.data(),
-                 scratch->x1.data(), scratch->y1.data());
-  const bool basic = variant == GhVariant::kBasic;
-  if (!basic) {
-    GhSingleCellTermsBatch(geom, slice, scratch->x0.data(),
-                           scratch->y0.data(), scratch->area.data(),
-                           scratch->h_frac.data(), scratch->v_frac.data());
-  }
-  for (size_t i = 0; i < n; ++i) {
-    const int x0 = scratch->x0[i];
-    const int y0 = scratch->y0[i];
-    const int x1 = scratch->x1[i];
-    const int y1 = scratch->y1[i];
-    if (x0 == x1 && y0 == y1) {
-      // Single-cell rect (the common case at practical grid levels): all
-      // 4 corners, the area term and both edge pairs land in one cell,
-      // with the clipped fractions already computed by the batch kernel.
-      const int64_t idx = grid.Flat(x0, y0);
-      sink.Corner(idx, 1.0);
-      sink.Corner(idx, 1.0);
-      sink.Corner(idx, 1.0);
-      sink.Corner(idx, 1.0);
-      if (basic) {
-        sink.Area(idx, 1.0);
-        sink.Horizontal(idx, 1.0);
-        sink.Horizontal(idx, 1.0);
-        sink.Vertical(idx, 1.0);
-        sink.Vertical(idx, 1.0);
-      } else {
-        sink.Area(idx, scratch->area[i]);
-        sink.Horizontal(idx, scratch->h_frac[i]);
-        sink.Horizontal(idx, scratch->h_frac[i]);
-        sink.Vertical(idx, scratch->v_frac[i]);
-        sink.Vertical(idx, scratch->v_frac[i]);
-      }
-    } else {
-      EmitGhContribution(grid, variant, slice.RectAt(i), x0, y0, x1, y1,
-                         sink);
-    }
-  }
-}
-
 // Sink that accumulates into a histogram's arrays with a +/-1 weight.
 struct ArraySink {
   std::vector<double>* c;
@@ -192,36 +119,327 @@ struct ArraySink {
   void Vertical(int64_t idx, double amount) { (*v)[idx] += weight * amount; }
 };
 
-// One recorded cell update of the parallel build: which statistic array,
-// which cell, how much. Workers emit these in rect order; the calling
-// thread replays them in chunk order, so every cell sees its additions in
-// exactly the order the serial build would produce — parallel results are
-// bit-identical to serial, not merely close.
-struct GhContribution {
-  int64_t idx;
-  uint8_t stat;  // 0 = c, 1 = o, 2 = h, 3 = v
-  double amount;
+// Tile side of the blocked build, in cells: 32×32 cells × 4 stat arrays ×
+// 8 B = 32 KiB — one tile's accumulation working set stays L1-resident.
+constexpr int kGhTileCells = 32;
+
+// Accumulation-array budget (4 stat arrays × 8 B per cell) under which a
+// serial build skips the binning pass: the scattered per-cell writes stay
+// cache-resident anyway, so one dataset-order sweep of the expansion
+// engine is both faster and trivially order-preserving.
+constexpr int64_t kGhCacheResidentBytes = 2 << 20;
+
+// (rect, cell) entry buffer of the expand-clip-accumulate engine, in SoA
+// layout. The expansion loop resolves each entry to its flat cell index
+// and computes the clip overlaps w/h scalar (min/max arithmetic — cheap;
+// w varies only by column and h only by row, so they are hoisted);
+// `counts` packs how many corner / horizontal-edge / vertical-edge
+// bookings the entry's cell receives from its rect. The batched
+// GhEntryTermsBatch kernel then turns (w, h) runs into the clipped
+// fractions — the per-cell divisions that dominate the scalar build.
+struct GhEntryScratch {
+  AlignedVector<int32_t> idx;          // flat cell index (Grid::Flat)
+  AlignedVector<uint8_t> counts;       // corner(0..4) | h(0..2)<<3 | v<<5
+  AlignedVector<double> w, h;          // clip overlaps (revised variant)
+  AlignedVector<double> area, hf, vf;  // GhEntryTermsBatch outputs
+  AlignedVector<double> wcol;          // per-rect column overlap buffer
+  size_t used = 0;
+
+  size_t capacity() const { return idx.size(); }
+
+  void Ensure(size_t cap) {
+    if (capacity() >= cap) return;
+    idx.resize(cap);
+    counts.resize(cap);
+    w.resize(cap);
+    h.resize(cap);
+    area.resize(cap);
+    hf.resize(cap);
+    vf.resize(cap);
+  }
 };
 
-struct RecordingSink {
-  std::vector<GhContribution>* out;
+constexpr size_t kGhEntryChunk = 4096;
 
-  void Corner(int64_t idx, double amount) {
-    out->push_back({idx, 0, amount});
-  }
-  void Area(int64_t idx, double amount) { out->push_back({idx, 1, amount}); }
-  void Horizontal(int64_t idx, double amount) {
-    out->push_back({idx, 2, amount});
-  }
-  void Vertical(int64_t idx, double amount) {
-    out->push_back({idx, 3, amount});
-  }
-};
+// Expands rows [lo, hi) of a rect run (cell ranges + coordinates, dataset
+// order or binned order) into (rect, cell) entries clamped to `tile`,
+// batches the per-cell clipped fractions through GhEntryTermsBatch, and
+// books the amounts with a scalar loop in entry order. Entry order is
+// rect order, cells row-major — so per cell and per statistic the
+// additions happen in the serial AddRect sequence with the same amounts
+// (see core/tile_build.h for why within-rect order is free). The count
+// statistics are booked as one add of the count value: they only ever
+// accumulate +1.0s, so the running sums are exact small integers and
+// a + k is bitwise equal to k repetitions of a + 1.0.
+void GhAccumulateRun(const Grid& grid, bool basic, const int32_t* x0,
+                     const int32_t* y0, const int32_t* x1, const int32_t* y1,
+                     const SoaSlice& coords, size_t lo, size_t hi,
+                     const tile_build::TileBounds& tile, GhEntryScratch* es,
+                     std::vector<double>* c, std::vector<double>* o,
+                     std::vector<double>* h, std::vector<double>* v) {
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(),
+                      grid.per_axis()};
+  const int per_axis = geom.per_axis;
+  es->Ensure(kGhEntryChunk);
+  es->used = 0;
 
-// Chunk size of the parallel build. Fixed (independent of the thread
-// count) so the chunk decomposition — and with it the replay order — is a
-// pure function of the dataset.
-constexpr int64_t kBuildChunk = 2048;
+  const auto flush = [&] {
+    if (es->used == 0) return;
+    if (!basic) {
+      GhEntryTermsBatch(geom, es->used, es->w.data(), es->h.data(),
+                        es->area.data(), es->hf.data(), es->vf.data());
+    }
+    for (size_t k = 0; k < es->used; ++k) {
+      const int32_t idx = es->idx[k];
+      const uint32_t f = es->counts[k];
+      if (basic) {
+        (*o)[idx] += 1.0;
+        if (f != 0) {
+          (*c)[idx] += static_cast<double>(f & 7);
+          (*h)[idx] += static_cast<double>((f >> 3) & 3);
+          (*v)[idx] += static_cast<double>(f >> 5);
+        }
+      } else {
+        (*o)[idx] += es->area[k];
+        if (f != 0) {
+          (*c)[idx] += static_cast<double>(f & 7);
+          const uint32_t hc = (f >> 3) & 3;
+          if (hc != 0) {
+            (*h)[idx] += es->hf[k];
+            if (hc == 2) (*h)[idx] += es->hf[k];
+          }
+          const uint32_t vc = f >> 5;
+          if (vc != 0) {
+            (*v)[idx] += es->vf[k];
+            if (vc == 2) (*v)[idx] += es->vf[k];
+          }
+        }
+      }
+    }
+    es->used = 0;
+  };
+
+  for (size_t k = lo; k < hi; ++k) {
+    const int rx0 = x0[k];
+    const int ry0 = y0[k];
+    const int rx1 = x1[k];
+    const int ry1 = y1[k];
+    const int ex0 = std::max(rx0, tile.cx0);
+    const int ex1 = std::min(rx1, tile.cx1);
+    const int ey0 = std::max(ry0, tile.cy0);
+    const int ey1 = std::min(ry1, tile.cy1);
+    const size_t ncols = static_cast<size_t>(ex1 - ex0 + 1);
+    const size_t cells = ncols * static_cast<size_t>(ey1 - ey0 + 1);
+    if (es->used + cells > es->capacity()) {
+      flush();
+      es->Ensure(cells);
+    }
+    const double rmin_x = coords.min_x[k];
+    const double rmin_y = coords.min_y[k];
+    const double rmax_x = coords.max_x[k];
+    const double rmax_y = coords.max_y[k];
+    if (!basic) {
+      // Same cell-bound and overlap arithmetic as Grid::CellRect +
+      // OverlapLen in the streaming path, hoisted per column.
+      if (es->wcol.size() < ncols) es->wcol.resize(ncols);
+      for (int cx = ex0; cx <= ex1; ++cx) {
+        const double cell_lo = geom.min_x + cx * geom.cell_w;
+        const double cell_hi = geom.min_x + (cx + 1) * geom.cell_w;
+        es->wcol[cx - ex0] = OverlapLen(rmin_x, rmax_x, cell_lo, cell_hi);
+      }
+    }
+    size_t used = es->used;
+    for (int cy = ey0; cy <= ey1; ++cy) {
+      const uint32_t row_hits =
+          static_cast<uint32_t>(cy == ry0) + static_cast<uint32_t>(cy == ry1);
+      double hrow = 0.0;
+      if (!basic) {
+        const double cell_lo = geom.min_y + cy * geom.cell_h;
+        const double cell_hi = geom.min_y + (cy + 1) * geom.cell_h;
+        hrow = OverlapLen(rmin_y, rmax_y, cell_lo, cell_hi);
+      }
+      const int32_t rowbase = static_cast<int32_t>(cy) * per_axis;
+      for (int cx = ex0; cx <= ex1; ++cx) {
+        const uint32_t col_hits = static_cast<uint32_t>(cx == rx0) +
+                                  static_cast<uint32_t>(cx == rx1);
+        es->idx[used] = rowbase + cx;
+        es->counts[used] = static_cast<uint8_t>(
+            (col_hits * row_hits) | (row_hits << 3) | (col_hits << 5));
+        if (!basic) {
+          es->w[used] = es->wcol[cx - ex0];
+          es->h[used] = hrow;
+        }
+        ++used;
+      }
+    }
+    es->used = used;
+  }
+  flush();
+}
+
+// Rect chunk of the serial fast path below: 12 term arrays x 2048 x <= 8 B
+// = 160 KiB of kernel output that stays cache-hot for the scatter pass.
+constexpr size_t kGhRectChunk = 2048;
+
+// Serial cache-resident fast path: the fused GhRectTermsBatch kernel
+// computes cell ranges plus every clipped fraction a rect spanning at most
+// 2x2 cells can book (the overwhelming majority once MBRs are at or below
+// cell size), and a straight-line scatter books the precomputed amounts —
+// no SoA copy, no (rect, cell) entry buffer. Wider rects fall back to the
+// streaming per-cell emission. Bit-identity with AddRect: rects are
+// processed in dataset order, every amount is the same IEEE-754 expression
+// the streaming path evaluates, and within one rect each per-cell
+// accumulator receives the same adds in the same sequence (count sums are
+// exact small integers, so booking a count as one add of its value equals
+// repeated +1.0 adds).
+template <bool kBasic>
+void GhSerialBuild(const Grid& grid, const Dataset& ds,
+                   std::vector<double>* c_arr, std::vector<double>* o_arr,
+                   std::vector<double>* h_arr, std::vector<double>* v_arr) {
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(),
+                      grid.per_axis()};
+  const int32_t per_axis = geom.per_axis;
+  const size_t n = ds.size();
+  const Rect* rects = ds.rects().data();
+  double* C = c_arr->data();
+  double* O = o_arr->data();
+  double* H = h_arr->data();
+  double* V = v_arr->data();
+
+  AlignedVector<int32_t> x0(kGhRectChunk), y0(kGhRectChunk),
+      x1(kGhRectChunk), y1(kGhRectChunk);
+  AlignedVector<double> a00(kGhRectChunk), a01(kGhRectChunk),
+      a10(kGhRectChunk), a11(kGhRectChunk), hf0(kGhRectChunk),
+      hf1(kGhRectChunk), vf0(kGhRectChunk), vf1(kGhRectChunk);
+  const GhRectTermsOut out{x0.data(),  y0.data(),  x1.data(),  y1.data(),
+                           a00.data(), a01.data(), a10.data(), a11.data(),
+                           hf0.data(), hf1.data(), vf0.data(), vf1.data()};
+
+  for (size_t lo = 0; lo < n; lo += kGhRectChunk) {
+    const size_t m = std::min(kGhRectChunk, n - lo);
+    GhRectTermsBatch(geom, rects + lo, m, out);
+    for (size_t k = 0; k < m; ++k) {
+      const int cspan = x1[k] - x0[k];
+      const int rspan = y1[k] - y0[k];
+      if ((cspan | rspan) > 1) {
+        ArraySink sink{c_arr, o_arr, h_arr, v_arr, +1.0};
+        EmitGhContribution(grid,
+                           kBasic ? GhVariant::kBasic : GhVariant::kRevised,
+                           rects[lo + k], x0[k], y0[k], x1[k], y1[k], sink);
+        continue;
+      }
+      const int32_t i00 = y0[k] * per_axis + x0[k];
+      const int32_t i10 = i00 + 1;
+      const int32_t i01 = i00 + per_axis;
+      const int32_t i11 = i01 + 1;
+      // Cases keyed by span: a coincident edge pair (span 0 on an axis)
+      // doubles that axis's corner and edge bookings, exactly as the
+      // streaming path's two passes over {x0, x1} / {y0, y1} do.
+      switch ((cspan << 1) | rspan) {
+        case 0:  // one cell; all four corners and both edge pairs land on it
+          if constexpr (kBasic) {
+            C[i00] += 4.0;
+            O[i00] += 1.0;
+            H[i00] += 2.0;
+            V[i00] += 2.0;
+          } else {
+            C[i00] += 4.0;
+            O[i00] += a00[k];
+            H[i00] += hf0[k];
+            H[i00] += hf0[k];
+            V[i00] += vf0[k];
+            V[i00] += vf0[k];
+          }
+          break;
+        case 1:  // one column, two rows
+          if constexpr (kBasic) {
+            C[i00] += 2.0;
+            C[i01] += 2.0;
+            O[i00] += 1.0;
+            O[i01] += 1.0;
+            H[i00] += 1.0;
+            H[i01] += 1.0;
+            V[i00] += 2.0;
+            V[i01] += 2.0;
+          } else {
+            C[i00] += 2.0;
+            C[i01] += 2.0;
+            O[i00] += a00[k];
+            O[i01] += a01[k];
+            H[i00] += hf0[k];
+            H[i01] += hf0[k];
+            V[i00] += vf0[k];
+            V[i00] += vf0[k];
+            V[i01] += vf1[k];
+            V[i01] += vf1[k];
+          }
+          break;
+        case 2:  // two columns, one row
+          if constexpr (kBasic) {
+            C[i00] += 2.0;
+            C[i10] += 2.0;
+            O[i00] += 1.0;
+            O[i10] += 1.0;
+            H[i00] += 2.0;
+            H[i10] += 2.0;
+            V[i00] += 1.0;
+            V[i10] += 1.0;
+          } else {
+            C[i00] += 2.0;
+            C[i10] += 2.0;
+            O[i00] += a00[k];
+            O[i10] += a10[k];
+            H[i00] += hf0[k];
+            H[i00] += hf0[k];
+            H[i10] += hf1[k];
+            H[i10] += hf1[k];
+            V[i00] += vf0[k];
+            V[i10] += vf0[k];
+          }
+          break;
+        default:  // 2x2
+          if constexpr (kBasic) {
+            C[i00] += 1.0;
+            C[i10] += 1.0;
+            C[i01] += 1.0;
+            C[i11] += 1.0;
+            O[i00] += 1.0;
+            O[i10] += 1.0;
+            O[i01] += 1.0;
+            O[i11] += 1.0;
+            H[i00] += 1.0;
+            H[i10] += 1.0;
+            H[i01] += 1.0;
+            H[i11] += 1.0;
+            V[i00] += 1.0;
+            V[i01] += 1.0;
+            V[i10] += 1.0;
+            V[i11] += 1.0;
+          } else {
+            C[i00] += 1.0;
+            C[i10] += 1.0;
+            C[i01] += 1.0;
+            C[i11] += 1.0;
+            O[i00] += a00[k];
+            O[i10] += a10[k];
+            O[i01] += a01[k];
+            O[i11] += a11[k];
+            H[i00] += hf0[k];
+            H[i10] += hf1[k];
+            H[i01] += hf0[k];
+            H[i11] += hf1[k];
+            V[i00] += vf0[k];
+            V[i01] += vf1[k];
+            V[i10] += vf0[k];
+            V[i11] += vf1[k];
+          }
+          break;
+      }
+    }
+  }
+}
 
 }  // namespace
 
@@ -280,62 +498,54 @@ Result<GhHistogram> GhHistogram::Build(const Dataset& ds, const Rect& extent,
   if (!hist_result.ok()) return hist_result.status();
   GhHistogram hist = std::move(hist_result).value();
   hist.name_ = ds.name();
-  const int64_t n = static_cast<int64_t>(ds.size());
+  const size_t n = ds.size();
+  hist.n_ = static_cast<uint64_t>(n);
+  if (n == 0) return hist;
 
-  // Both build paths run over the SoA layout so the per-chunk geometry
-  // (cell ranges, single-cell clipping) goes through the batch kernels;
-  // the accumulation stays scalar and in dataset order, which is what
-  // keeps Build bit-identical to an AddRect loop.
-  const SoaDataset soa = SoaDataset::FromDataset(ds);
-
-  if (threads <= 1 || n <= kBuildChunk) {
-    GhBatchScratch scratch;
-    ArraySink sink{&hist.c_, &hist.o_, &hist.h_, &hist.v_, +1.0};
-    for (int64_t begin = 0; begin < n; begin += kBuildChunk) {
-      const int64_t end = std::min(n, begin + kBuildChunk);
-      GhContributionBatch(hist.grid_, variant,
-                          soa.Slice(static_cast<size_t>(begin),
-                                    static_cast<size_t>(end)),
-                          &scratch, sink);
+  const Grid& grid = hist.grid_;
+  const int per_axis = grid.per_axis();
+  const bool basic = variant == GhVariant::kBasic;
+  const int tiles_per_axis = (per_axis + kGhTileCells - 1) / kGhTileCells;
+  const int64_t num_tiles =
+      static_cast<int64_t>(tiles_per_axis) * tiles_per_axis;
+  const bool blocked = (threads > 1 && num_tiles > 1) ||
+                       grid.num_cells() * 4 * 8 > kGhCacheResidentBytes;
+  if (!blocked) {
+    // Serial cache-resident regime: the fused AoS kernel + scatter pass.
+    if (basic) {
+      GhSerialBuild<true>(grid, ds, &hist.c_, &hist.o_, &hist.h_, &hist.v_);
+    } else {
+      GhSerialBuild<false>(grid, ds, &hist.c_, &hist.o_, &hist.h_,
+                           &hist.v_);
     }
-    hist.n_ = static_cast<uint64_t>(n);
     return hist;
   }
 
-  // Parallel phase: workers record each chunk's contributions (all the
-  // clipping / cell-range geometry, batched through the kernels) without
-  // touching shared state.
-  const int64_t blocks = ParallelForNumBlocks(n, kBuildChunk);
-  std::vector<std::vector<GhContribution>> recorded(
-      static_cast<size_t>(blocks));
-  ThreadPool pool(threads);
-  ParallelFor(&pool, n, kBuildChunk,
-              [&](int64_t block, int64_t begin, int64_t end) {
-                auto& out = recorded[static_cast<size_t>(block)];
-                // 4 corners + typically a handful of area/edge cells.
-                out.reserve(static_cast<size_t>(end - begin) * 12);
-                RecordingSink sink{&out};
-                GhBatchScratch scratch;
-                GhContributionBatch(hist.grid_, variant,
-                                    soa.Slice(static_cast<size_t>(begin),
-                                              static_cast<size_t>(end)),
-                                    &scratch, sink);
-              });
+  // Cache-blocked bin-then-accumulate (see core/tile_build.h for the
+  // scheme and the bit-identity argument). Pass 1 computes cell ranges
+  // for the whole dataset with the vectorized CellRangeBatch kernel and
+  // counting-sorts rect payloads by tile; pass 2 runs the
+  // expand-clip-accumulate engine (GhAccumulateRun) per tile.
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+  const SoaSlice all = soa.Slice();
+  AlignedVector<int32_t> x0(n), y0(n), x1(n), y1(n);
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(), per_axis};
+  CellRangeBatch(geom, all, x0.data(), y0.data(), x1.data(), y1.data());
 
-  // Serial replay in chunk order = dataset order: the per-cell addition
-  // sequence matches the serial build exactly, so the histogram is
-  // bit-identical for any thread count.
-  for (const auto& chunk : recorded) {
-    for (const GhContribution& rec : chunk) {
-      switch (rec.stat) {
-        case 0: hist.c_[rec.idx] += rec.amount; break;
-        case 1: hist.o_[rec.idx] += rec.amount; break;
-        case 2: hist.h_[rec.idx] += rec.amount; break;
-        default: hist.v_[rec.idx] += rec.amount; break;
-      }
-    }
-  }
-  hist.n_ = static_cast<uint64_t>(n);
+  const tile_build::TileBins bins = tile_build::BinRectsByTile(
+      all, per_axis, kGhTileCells, x0.data(), y0.data(), x1.data(),
+      y1.data());
+  const SoaSlice binned = bins.CoordSlice(0, bins.offsets.back());
+  tile_build::ForEachTile(bins.num_tiles(), threads, [&](int64_t t) {
+    const tile_build::TileBounds tile = tile_build::BoundsOfTile(
+        t, bins.tiles_per_axis, kGhTileCells, per_axis);
+    GhEntryScratch es;
+    GhAccumulateRun(grid, basic, bins.x0.data(), bins.y0.data(),
+                    bins.x1.data(), bins.y1.data(), binned, bins.offsets[t],
+                    bins.offsets[t + 1], tile, &es, &hist.c_, &hist.o_,
+                    &hist.h_, &hist.v_);
+  });
   return hist;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/kernels.h"
+#include "core/tile_build.h"
 #include "geom/soa_dataset.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -50,8 +51,9 @@ void EmitPhContribution(const Grid& grid, PhVariant variant, const Rect& r,
   }
 }
 
-// Scalar entry point: cell range, then emit. Shared by the direct
-// mutation path (Apply) and the recording path of the parallel build.
+// Scalar entry point: cell range, then emit. Used by the incremental
+// AddRect/RemoveRect path (Apply); the blocked build reuses
+// EmitPhContribution directly with precomputed ranges.
 template <typename Sink>
 void ForEachPhContribution(const Grid& grid, PhVariant variant, const Rect& r,
                            Sink&& sink) {
@@ -63,90 +65,15 @@ void ForEachPhContribution(const Grid& grid, PhVariant variant, const Rect& r,
   EmitPhContribution(grid, variant, r, x0, y0, x1, y1, sink);
 }
 
-// Reusable per-chunk buffers of the batch build path.
-struct PhBatchScratch {
-  AlignedVector<int32_t> x0, y0, x1, y1;
-  AlignedVector<double> area, w, h;
+// Tile side of the blocked build, in cells: a PH Cell is 8 doubles (one
+// cache line), so 16×16 cells × 64 B = 16 KiB per tile — L1-resident.
+constexpr int kPhTileCells = 16;
 
-  void Resize(size_t n) {
-    x0.resize(n);
-    y0.resize(n);
-    x1.resize(n);
-    y1.resize(n);
-    area.resize(n);
-    w.resize(n);
-    h.resize(n);
-  }
-};
-
-// Batch-kernel contribution pass over a SoA chunk: vectorized cell ranges
-// and contained-population terms (width/height/area) for the whole chunk,
-// then per-rect emission in the exact scalar order. The contained terms
-// are plain subtractions/products, so they are bitwise identical to
-// Rect::width()/height()/area(); crossing rects fall back to the scalar
-// clipping loop with their precomputed range.
-template <typename Sink>
-void PhContributionBatch(const Grid& grid, PhVariant variant,
-                         const SoaSlice& slice, PhBatchScratch* scratch,
-                         Sink&& sink) {
-  const size_t n = slice.size;
-  scratch->Resize(n);
-  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
-                      grid.cell_width(), grid.cell_height(),
-                      grid.per_axis()};
-  CellRangeBatch(geom, slice, scratch->x0.data(), scratch->y0.data(),
-                 scratch->x1.data(), scratch->y1.data());
-  PhContainedTermsBatch(slice, scratch->area.data(), scratch->w.data(),
-                        scratch->h.data());
-  for (size_t i = 0; i < n; ++i) {
-    const int x0 = scratch->x0[i];
-    const int y0 = scratch->y0[i];
-    const int x1 = scratch->x1[i];
-    const int y1 = scratch->y1[i];
-    const bool contained = x0 == x1 && y0 == y1;
-    if (contained) {
-      sink.Contained(grid.Flat(x0, y0), scratch->area[i], scratch->w[i],
-                     scratch->h[i]);
-    } else if (variant == PhVariant::kNaive) {
-      for (int cy = y0; cy <= y1; ++cy) {
-        for (int cx = x0; cx <= x1; ++cx) {
-          sink.Contained(grid.Flat(cx, cy), scratch->area[i], scratch->w[i],
-                         scratch->h[i]);
-        }
-      }
-    } else {
-      EmitPhContribution(grid, variant, slice.RectAt(i), x0, y0, x1, y1,
-                         sink);
-    }
-  }
-}
-
-// One recorded cell update of the parallel build; replayed in dataset
-// order on the calling thread so parallel results are bit-identical to
-// serial (same trick as the GH builder).
-struct PhContribution {
-  int64_t idx;   ///< cell index; unused for kind 2
-  uint8_t kind;  ///< 0 = contained, 1 = crossing, 2 = crossing-global
-  double area;   ///< clipped area, or the span for kind 2
-  double w;
-  double h;
-};
-
-struct PhRecordingSink {
-  std::vector<PhContribution>* out;
-
-  void Contained(int64_t idx, double area, double w, double h) {
-    out->push_back({idx, 0, area, w, h});
-  }
-  void Crossing(int64_t idx, double area, double w, double h) {
-    out->push_back({idx, 1, area, w, h});
-  }
-  void CrossingGlobal(double span) { out->push_back({0, 2, span, 0.0, 0.0}); }
-};
-
-// Chunk size of the parallel build; fixed so the decomposition (and the
-// replay order) never depends on the thread count.
-constexpr int64_t kBuildChunk = 2048;
+// Accumulation-array budget (one 64 B Cell per grid cell) under which a
+// serial build skips the binning pass: the scattered per-cell writes stay
+// cache-resident anyway, so one dataset-order sweep of the expansion
+// engine is both faster and trivially order-preserving.
+constexpr int64_t kPhCacheResidentBytes = 2 << 20;
 
 }  // namespace
 
@@ -187,6 +114,268 @@ struct PhDirectSink {
     *span_sum += weight * span;
   }
 };
+
+// Accumulates rows [lo, hi) of a rect run (cell ranges + coordinates,
+// dataset order or binned order) into the per-cell sums, with each rect's
+// cell loops clamped to `tile`. PH books four adds into ONE 64-byte Cell
+// per (rect, cell) and its clip amounts are pure min/max arithmetic — no
+// divisions — so unlike GH there is nothing to gain from routing entries
+// through a batch kernel; the vectorized CellRangeBatch pass plus this
+// cache-blocked direct loop IS the fast path. The global span/crossing
+// sums are NOT booked here — Build books them once per rect in dataset
+// order during pass 1 (a rect spanning several tiles would otherwise book
+// them once per tile). Cell bounds use the Grid::CellRect arithmetic and
+// the row overlap is hoisted (it varies only by row), both bitwise equal
+// to the streaming Apply path; see core/tile_build.h for why within-rect
+// reordering is free.
+void PhAccumulateRun(const Grid& grid, PhVariant variant, const int32_t* x0,
+                     const int32_t* y0, const int32_t* x1, const int32_t* y1,
+                     const SoaSlice& coords, size_t lo, size_t hi,
+                     const tile_build::TileBounds& tile,
+                     std::vector<PhHistogram::Cell>* cells) {
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(),
+                      grid.per_axis()};
+  const int per_axis = geom.per_axis;
+  for (size_t k = lo; k < hi; ++k) {
+    const int rx0 = x0[k];
+    const int ry0 = y0[k];
+    const int rx1 = x1[k];
+    const int ry1 = y1[k];
+    const int ex0 = std::max(rx0, tile.cx0);
+    const int ex1 = std::min(rx1, tile.cx1);
+    const int ey0 = std::max(ry0, tile.cy0);
+    const int ey1 = std::min(ry1, tile.cy1);
+    const double rmin_x = coords.min_x[k];
+    const double rmin_y = coords.min_y[k];
+    const double rmax_x = coords.max_x[k];
+    const double rmax_y = coords.max_y[k];
+    const bool single = rx0 == rx1 && ry0 == ry1;
+    if (single || variant == PhVariant::kNaive) {
+      // Same scalar arithmetic as Rect::width()/height()/area(), which is
+      // what the streaming Apply path books for these entries.
+      const double rw = rmax_x - rmin_x;
+      const double rh = rmax_y - rmin_y;
+      const double ra = rw * rh;
+      for (int cy = ey0; cy <= ey1; ++cy) {
+        const int32_t rowbase = static_cast<int32_t>(cy) * per_axis;
+        for (int cx = ex0; cx <= ex1; ++cx) {
+          PhHistogram::Cell& cell = (*cells)[rowbase + cx];
+          cell.num += 1.0;
+          cell.area_sum += ra;
+          cell.w_sum += rw;
+          cell.h_sum += rh;
+        }
+      }
+    } else {
+      for (int cy = ey0; cy <= ey1; ++cy) {
+        const double cell_lo_y = geom.min_y + cy * geom.cell_h;
+        const double cell_hi_y = geom.min_y + (cy + 1) * geom.cell_h;
+        const double h = OverlapLen(rmin_y, rmax_y, cell_lo_y, cell_hi_y);
+        const int32_t rowbase = static_cast<int32_t>(cy) * per_axis;
+        for (int cx = ex0; cx <= ex1; ++cx) {
+          const double cell_lo_x = geom.min_x + cx * geom.cell_w;
+          const double cell_hi_x = geom.min_x + (cx + 1) * geom.cell_w;
+          const double w = OverlapLen(rmin_x, rmax_x, cell_lo_x, cell_hi_x);
+          PhHistogram::Cell& cell = (*cells)[rowbase + cx];
+          cell.num_x += 1.0;
+          cell.area_sum_x += w * h;
+          cell.w_sum_x += w;
+          cell.h_sum_x += h;
+        }
+      }
+    }
+  }
+}
+
+// Sink for the serial fast path's wide-rect fallback: books per-cell sums
+// only. The global crossing sums are already booked (in dataset order) by
+// the chunk loop before the fallback fires.
+struct PhCellsOnlySink {
+  std::vector<PhHistogram::Cell>* cells;
+
+  void Contained(int64_t idx, double area, double w, double h) {
+    PhHistogram::Cell& cell = (*cells)[idx];
+    cell.num += 1.0;
+    cell.area_sum += area;
+    cell.w_sum += w;
+    cell.h_sum += h;
+  }
+  void Crossing(int64_t idx, double area, double w, double h) {
+    PhHistogram::Cell& cell = (*cells)[idx];
+    cell.num_x += 1.0;
+    cell.area_sum_x += area;
+    cell.w_sum_x += w;
+    cell.h_sum_x += h;
+  }
+  void CrossingGlobal(double) {}
+};
+
+// Rect chunk of the serial fast path: 8 arrays x 2048 x <= 8 B = 96 KiB of
+// kernel output that stays cache-hot for the scatter pass.
+constexpr size_t kPhRectChunk = 2048;
+
+// Serial fast path for the scalar (and stub-NEON) backends: PH books raw
+// overlaps — no divisions — so the fused kernel's store-then-reload round
+// trip only pays for itself when the clip pass is vectorized. The scalar
+// dispatch instead books rects straight from the AoS input, ranges inline
+// (Grid::CellRange, the streaming path's own arithmetic) and the row
+// overlap hoisted per row.
+void PhSerialBuildScalarDirect(const Grid& grid, const Dataset& ds,
+                               PhVariant variant,
+                               std::vector<PhHistogram::Cell>* cells,
+                               double* span_sum, double* crossing_count) {
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(),
+                      grid.per_axis()};
+  const int32_t per_axis = geom.per_axis;
+  const size_t n = ds.size();
+  const Rect* rects = ds.rects().data();
+  PhHistogram::Cell* C = cells->data();
+  // Run the global sums in registers (same serial add chain, stored back
+  // once): through the out-pointers every add would be a memory RMW the
+  // compiler must order against the cell writes.
+  double cc = *crossing_count;
+  double ss = *span_sum;
+  for (size_t i = 0; i < n; ++i) {
+    const Rect& r = rects[i];
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = 0;
+    int y1 = 0;
+    grid.CellRange(r, &x0, &y0, &x1, &y1);
+    if ((x0 == x1 && y0 == y1) || variant == PhVariant::kNaive) {
+      const double rw = r.max_x - r.min_x;
+      const double rh = r.max_y - r.min_y;
+      const double ra = rw * rh;
+      for (int cy = y0; cy <= y1; ++cy) {
+        const int32_t rowbase = cy * per_axis;
+        for (int cx = x0; cx <= x1; ++cx) {
+          PhHistogram::Cell& cell = C[rowbase + cx];
+          cell.num += 1.0;
+          cell.area_sum += ra;
+          cell.w_sum += rw;
+          cell.h_sum += rh;
+        }
+      }
+      continue;
+    }
+    cc += 1.0;
+    ss += static_cast<double>(x1 - x0 + 1) * static_cast<double>(y1 - y0 + 1);
+    for (int cy = y0; cy <= y1; ++cy) {
+      const double cell_lo_y = geom.min_y + cy * geom.cell_h;
+      const double cell_hi_y = geom.min_y + (cy + 1) * geom.cell_h;
+      const double h = OverlapLen(r.min_y, r.max_y, cell_lo_y, cell_hi_y);
+      const int32_t rowbase = cy * per_axis;
+      for (int cx = x0; cx <= x1; ++cx) {
+        const double cell_lo_x = geom.min_x + cx * geom.cell_w;
+        const double cell_hi_x = geom.min_x + (cx + 1) * geom.cell_w;
+        const double w = OverlapLen(r.min_x, r.max_x, cell_lo_x, cell_hi_x);
+        PhHistogram::Cell& cell = C[rowbase + cx];
+        cell.num_x += 1.0;
+        cell.area_sum_x += w * h;
+        cell.w_sum_x += w;
+        cell.h_sum_x += h;
+      }
+    }
+  }
+  *crossing_count = cc;
+  *span_sum = ss;
+}
+
+// Serial cache-resident fast path: the fused PhRectClipBatch kernel
+// computes cell ranges plus the first two column/row overlaps per rect,
+// then a scatter pass books contained rects with their full dimensions and
+// crossing rects of span <= 2x2 with the precomputed overlaps (products
+// formed scalar, the same w * h expression the streaming path evaluates).
+// Wider crossing rects fall back to per-cell emission with the global sums
+// suppressed — the chunk loop books those in dataset order itself. No SoA
+// copy, no entry buffer; see core/tile_build.h for why within-rect
+// reordering is bitwise free.
+void PhSerialBuild(const Grid& grid, const Dataset& ds, PhVariant variant,
+                   std::vector<PhHistogram::Cell>* cells, double* span_sum,
+                   double* crossing_count) {
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(),
+                      grid.per_axis()};
+  const int32_t per_axis = geom.per_axis;
+  const size_t n = ds.size();
+  const Rect* rects = ds.rects().data();
+  PhHistogram::Cell* C = cells->data();
+
+  const KernelBackend backend = ActiveKernelBackend();
+  if (backend == KernelBackend::kScalar ||
+      backend == KernelBackend::kNeon) {
+    PhSerialBuildScalarDirect(grid, ds, variant, cells, span_sum,
+                              crossing_count);
+    return;
+  }
+
+  AlignedVector<int32_t> x0(kPhRectChunk), y0(kPhRectChunk),
+      x1(kPhRectChunk), y1(kPhRectChunk);
+  AlignedVector<double> w0(kPhRectChunk), w1(kPhRectChunk),
+      h0(kPhRectChunk), h1(kPhRectChunk);
+  const PhRectClipOut out{x0.data(), y0.data(), x1.data(), y1.data(),
+                          w0.data(), w1.data(), h0.data(), h1.data()};
+
+  const auto book_crossing = [C](int32_t idx, double w, double h) {
+    PhHistogram::Cell& cell = C[idx];
+    cell.num_x += 1.0;
+    cell.area_sum_x += w * h;
+    cell.w_sum_x += w;
+    cell.h_sum_x += h;
+  };
+
+  // Same register-resident global sums as the scalar-direct path.
+  double cc = *crossing_count;
+  double ss = *span_sum;
+  for (size_t lo = 0; lo < n; lo += kPhRectChunk) {
+    const size_t m = std::min(kPhRectChunk, n - lo);
+    PhRectClipBatch(geom, rects + lo, m, out);
+    for (size_t k = 0; k < m; ++k) {
+      const int cspan = x1[k] - x0[k];
+      const int rspan = y1[k] - y0[k];
+      if ((cspan | rspan) == 0 || variant == PhVariant::kNaive) {
+        // Contained (or naive) booking: the full MBR dimensions into every
+        // overlapped cell — the same Rect::width()/height()/area()
+        // arithmetic the streaming path books.
+        const Rect& r = rects[lo + k];
+        const double rw = r.max_x - r.min_x;
+        const double rh = r.max_y - r.min_y;
+        const double ra = rw * rh;
+        for (int32_t cy = y0[k]; cy <= y1[k]; ++cy) {
+          const int32_t rowbase = cy * per_axis;
+          for (int32_t cx = x0[k]; cx <= x1[k]; ++cx) {
+            PhHistogram::Cell& cell = C[rowbase + cx];
+            cell.num += 1.0;
+            cell.area_sum += ra;
+            cell.w_sum += rw;
+            cell.h_sum += rh;
+          }
+        }
+        continue;
+      }
+      cc += 1.0;
+      ss += static_cast<double>(cspan + 1) *
+            static_cast<double>(rspan + 1);
+      if ((cspan | rspan) <= 1) {
+        const int32_t i00 = y0[k] * per_axis + x0[k];
+        book_crossing(i00, w0[k], h0[k]);
+        if (cspan != 0) book_crossing(i00 + 1, w1[k], h0[k]);
+        if (rspan != 0) {
+          book_crossing(i00 + per_axis, w0[k], h1[k]);
+          if (cspan != 0) book_crossing(i00 + per_axis + 1, w1[k], h1[k]);
+        }
+      } else {
+        PhCellsOnlySink sink{cells};
+        EmitPhContribution(grid, variant, rects[lo + k], x0[k], y0[k],
+                           x1[k], y1[k], sink);
+      }
+    }
+  }
+  *crossing_count = cc;
+  *span_sum = ss;
+}
 
 }  // namespace
 
@@ -245,62 +434,61 @@ Result<PhHistogram> PhHistogram::Build(const Dataset& ds, const Rect& extent,
   if (!hist_result.ok()) return hist_result.status();
   PhHistogram hist = std::move(hist_result).value();
   hist.name_ = ds.name();
-  const int64_t n = static_cast<int64_t>(ds.size());
+  const size_t n = ds.size();
+  hist.n_ = static_cast<uint64_t>(n);
+  if (n == 0) return hist;
 
-  // Both build paths run over the SoA layout so the per-chunk geometry
-  // goes through the batch kernels; accumulation stays scalar and in
-  // dataset order (bit-identical to an AddRect loop).
-  const SoaDataset soa = SoaDataset::FromDataset(ds);
-
-  if (threads <= 1 || n <= kBuildChunk) {
-    PhBatchScratch scratch;
-    PhDirectSink sink{&hist.cells_, &hist.span_sum_, &hist.crossing_count_,
-                      +1.0};
-    for (int64_t begin = 0; begin < n; begin += kBuildChunk) {
-      const int64_t end = std::min(n, begin + kBuildChunk);
-      PhContributionBatch(hist.grid_, variant,
-                          soa.Slice(static_cast<size_t>(begin),
-                                    static_cast<size_t>(end)),
-                          &scratch, sink);
-    }
-    hist.n_ = static_cast<uint64_t>(n);
+  const Grid& grid = hist.grid_;
+  const int per_axis = grid.per_axis();
+  const int tiles_per_axis = (per_axis + kPhTileCells - 1) / kPhTileCells;
+  const int64_t num_tiles =
+      static_cast<int64_t>(tiles_per_axis) * tiles_per_axis;
+  const bool blocked =
+      (threads > 1 && num_tiles > 1) ||
+      grid.num_cells() * static_cast<int64_t>(sizeof(Cell)) >
+          kPhCacheResidentBytes;
+  if (!blocked) {
+    // Serial cache-resident regime: the fused AoS kernel + scatter pass
+    // (books the global crossing sums inline, in dataset order).
+    PhSerialBuild(grid, ds, variant, &hist.cells_, &hist.span_sum_,
+                  &hist.crossing_count_);
     return hist;
   }
 
-  // Parallel phase: workers record each chunk's contributions (cell
-  // ranges, clipping, batched through the kernels) without touching
-  // shared state.
-  const int64_t blocks = ParallelForNumBlocks(n, kBuildChunk);
-  std::vector<std::vector<PhContribution>> recorded(
-      static_cast<size_t>(blocks));
-  ThreadPool pool(threads);
-  ParallelFor(&pool, n, kBuildChunk,
-              [&](int64_t block, int64_t begin, int64_t end) {
-                auto& out = recorded[static_cast<size_t>(block)];
-                out.reserve(static_cast<size_t>(end - begin) * 4);
-                PhRecordingSink sink{&out};
-                PhBatchScratch scratch;
-                PhContributionBatch(hist.grid_, variant,
-                                    soa.Slice(static_cast<size_t>(begin),
-                                              static_cast<size_t>(end)),
-                                    &scratch, sink);
-              });
-
-  // Serial replay in chunk order = dataset order; every sum sees its
-  // additions in the serial order, so the result is bit-identical for any
-  // thread count.
-  PhDirectSink sink{&hist.cells_, &hist.span_sum_, &hist.crossing_count_,
-                    +1.0};
-  for (const auto& chunk : recorded) {
-    for (const PhContribution& rec : chunk) {
-      switch (rec.kind) {
-        case 0: sink.Contained(rec.idx, rec.area, rec.w, rec.h); break;
-        case 1: sink.Crossing(rec.idx, rec.area, rec.w, rec.h); break;
-        default: sink.CrossingGlobal(rec.area); break;
-      }
+  // Pass 1 (bin): vectorized cell ranges for the whole dataset, the
+  // global crossing sums in dataset order, and the counting sort of rect
+  // payloads into tiles of cells (see core/tile_build.h for the
+  // bit-identity argument).
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+  const SoaSlice all = soa.Slice();
+  AlignedVector<int32_t> x0(n), y0(n), x1(n), y1(n);
+  const GridGeom geom{grid.extent().min_x, grid.extent().min_y,
+                      grid.cell_width(), grid.cell_height(), per_axis};
+  CellRangeBatch(geom, all, x0.data(), y0.data(), x1.data(), y1.data());
+  if (variant == PhVariant::kSplitCrossing) {
+    // The same additions CrossingGlobal books per crossing rect, in the
+    // same dataset order; the accumulation engine never books them.
+    for (size_t i = 0; i < n; ++i) {
+      if (x0[i] == x1[i] && y0[i] == y1[i]) continue;
+      hist.crossing_count_ += 1.0;
+      hist.span_sum_ += static_cast<double>(x1[i] - x0[i] + 1) *
+                        static_cast<double>(y1[i] - y0[i] + 1);
     }
   }
-  hist.n_ = static_cast<uint64_t>(n);
+
+  // Pass 2 (accumulate): the expand-clip-accumulate engine per tile of
+  // cells over the binned payload.
+  const tile_build::TileBins bins = tile_build::BinRectsByTile(
+      all, per_axis, kPhTileCells, x0.data(), y0.data(), x1.data(),
+      y1.data());
+  const SoaSlice binned = bins.CoordSlice(0, bins.offsets.back());
+  tile_build::ForEachTile(bins.num_tiles(), threads, [&](int64_t t) {
+    const tile_build::TileBounds tile = tile_build::BoundsOfTile(
+        t, bins.tiles_per_axis, kPhTileCells, per_axis);
+    PhAccumulateRun(grid, variant, bins.x0.data(), bins.y0.data(),
+                    bins.x1.data(), bins.y1.data(), binned, bins.offsets[t],
+                    bins.offsets[t + 1], tile, &hist.cells_);
+  });
   return hist;
 }
 

@@ -5,8 +5,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/kernels.h"
+#include "geom/soa_dataset.h"
 #include "join/sweep_common.h"
 #include "obs/metrics.h"
+#include "util/aligned.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -31,94 +34,115 @@ struct PartitionGrid {
 
   // True if cell (cx, cy) owns point `pt` under the half-open convention
   // (the last row/column is closed so boundary-max points have an owner).
+  // With one partition ownership is trivial — and cell_w may be zero for a
+  // degenerate extent, so the division must not run.
   bool Owns(int cx, int cy, const Point& pt) const {
+    if (p == 1) return true;
     return CellX(pt.x) == cx && CellY(pt.y) == cy;
   }
 };
 
-struct IndexedRect {
-  Rect rect;
-  int64_t id = 0;
+// All partitions of one dataset in a single CSR-style SoA block:
+// offsets[c] .. offsets[c+1] index the rects overlapping partition c,
+// already sorted by (min_x, dataset position). Rects spanning several
+// partitions are replicated into each. Built once per dataset, then every
+// partition sweep reads its slice in place — no per-partition copies, no
+// per-partition sorts.
+struct PartitionedSoa {
+  std::vector<uint64_t> offsets;  ///< p*p + 1 entries
+  AlignedVector<double> min_x, min_y, max_x, max_y;
+  std::vector<int64_t> id;  ///< original dataset position per row
+
+  SoaSlice Slice(uint64_t lo, uint64_t hi) const {
+    return SoaSlice{min_x.data() + lo, min_y.data() + lo, max_x.data() + lo,
+                    max_y.data() + lo, static_cast<size_t>(hi - lo)};
+  }
 };
 
-// Buckets every rectangle of `ds` into each partition it overlaps. A
-// first pass counts per-partition occupancy so each bucket is reserved
-// exactly once — no push_back growth reallocations on large inputs.
-std::vector<std::vector<IndexedRect>> Distribute(const Dataset& ds,
-                                                 const PartitionGrid& grid) {
+// Buckets every rectangle of `ds` into each partition it overlaps, with
+// the per-partition runs coming out min_x-sorted: partition cell ranges
+// are computed for the whole dataset with the vectorized CellRangeBatch
+// kernel (bit-identical to the scalar CellX/CellY arithmetic), one global
+// argsort orders rect indices by (min_x, dataset position) — the exact
+// comparator the old per-partition sort used — and a stable counting-sort
+// fill walks that order, so each partition's slice inherits it.
+PartitionedSoa DistributeSorted(const Dataset& ds, const PartitionGrid& grid) {
+  const size_t n = ds.size();
   const size_t num_cells = static_cast<size_t>(grid.p) * grid.p;
-  std::vector<uint32_t> counts(num_cells, 0);
-  for (size_t i = 0; i < ds.size(); ++i) {
-    const Rect& r = ds[i];
-    const int x0 = grid.CellX(r.min_x);
-    const int x1 = grid.CellX(r.max_x);
-    const int y0 = grid.CellY(r.min_y);
-    const int y1 = grid.CellY(r.max_y);
-    for (int cy = y0; cy <= y1; ++cy) {
-      for (int cx = x0; cx <= x1; ++cx) {
-        ++counts[static_cast<size_t>(cy) * grid.p + cx];
+  const SoaDataset soa = SoaDataset::FromDataset(ds);
+  const SoaSlice all = soa.Slice();
+
+  AlignedVector<int32_t> x0(n), y0(n), x1(n), y1(n);
+  if (grid.p == 1) {
+    // Degenerate extents make cell_w/cell_h zero; every rect lands in the
+    // single partition without touching the division.
+    std::fill(x0.begin(), x0.end(), 0);
+    std::fill(y0.begin(), y0.end(), 0);
+    std::fill(x1.begin(), x1.end(), 0);
+    std::fill(y1.begin(), y1.end(), 0);
+  } else {
+    const GridGeom geom{grid.extent.min_x, grid.extent.min_y, grid.cell_w,
+                        grid.cell_h, grid.p};
+    CellRangeBatch(geom, all, x0.data(), y0.data(), x1.data(), y1.data());
+  }
+
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (all.min_x[a] != all.min_x[b]) return all.min_x[a] < all.min_x[b];
+    return a < b;
+  });
+
+  PartitionedSoa out;
+  out.offsets.assign(num_cells + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (int cy = y0[i]; cy <= y1[i]; ++cy) {
+      for (int cx = x0[i]; cx <= x1[i]; ++cx) {
+        ++out.offsets[static_cast<size_t>(cy) * grid.p + cx + 1];
       }
     }
   }
-
-  std::vector<std::vector<IndexedRect>> cells(num_cells);
-  for (size_t c = 0; c < num_cells; ++c) {
-    if (counts[c] > 0) cells[c].reserve(counts[c]);
-  }
-  for (size_t i = 0; i < ds.size(); ++i) {
-    const Rect& r = ds[i];
-    const int x0 = grid.CellX(r.min_x);
-    const int x1 = grid.CellX(r.max_x);
-    const int y0 = grid.CellY(r.min_y);
-    const int y1 = grid.CellY(r.max_y);
-    for (int cy = y0; cy <= y1; ++cy) {
-      for (int cx = x0; cx <= x1; ++cx) {
-        cells[static_cast<size_t>(cy) * grid.p + cx].push_back(
-            IndexedRect{r, static_cast<int64_t>(i)});
+  for (size_t c = 0; c < num_cells; ++c) out.offsets[c + 1] += out.offsets[c];
+  const size_t total = static_cast<size_t>(out.offsets[num_cells]);
+  out.min_x.resize(total);
+  out.min_y.resize(total);
+  out.max_x.resize(total);
+  out.max_y.resize(total);
+  out.id.resize(total);
+  std::vector<uint64_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (const uint32_t i : order) {
+    for (int cy = y0[i]; cy <= y1[i]; ++cy) {
+      for (int cx = x0[i]; cx <= x1[i]; ++cx) {
+        const size_t c = static_cast<size_t>(cy) * grid.p + cx;
+        const size_t pos = static_cast<size_t>(cursor[c]++);
+        out.min_x[pos] = all.min_x[i];
+        out.min_y[pos] = all.min_y[i];
+        out.max_x[pos] = all.max_x[i];
+        out.max_y[pos] = all.max_y[i];
+        out.id[pos] = static_cast<int64_t>(i);
       }
     }
   }
-  return cells;
+  return out;
 }
 
-// Per-worker scratch: the two SoA sweep inputs, reused across every
-// partition a worker block processes (capacity survives Assign).
-struct PartitionScratch {
-  sweep::SweepSoa a;
-  sweep::SweepSoa b;
-};
-
-// Sorts a partition's rects by min_x (ties broken by dataset position, so
-// the order is implementation-independent) into the scratch SoA buffers.
-void AssignSorted(std::vector<IndexedRect>& items, sweep::SweepSoa* out) {
-  std::sort(items.begin(), items.end(),
-            [](const IndexedRect& a, const IndexedRect& b) {
-              if (a.rect.min_x != b.rect.min_x) {
-                return a.rect.min_x < b.rect.min_x;
-              }
-              return a.id < b.id;
-            });
-  out->Clear();
-  out->Reserve(items.size());
-  for (const IndexedRect& item : items) out->Append(item.rect, item.id);
-}
-
-// Sweeps one partition pair with the vectorized SoA sweep and applies the
+// Sweeps one partition pair in place over the CSR slices and applies the
 // reference-point de-duplication: only the partition containing the
-// lower-left corner of the intersection reports a pair.
+// lower-left corner of the intersection reports a pair. Read-only on the
+// partitioned inputs, so partitions can run concurrently with no scratch.
 template <typename Emit>
-void JoinPartition(std::vector<IndexedRect>& pa, std::vector<IndexedRect>& pb,
-                   const PartitionGrid& grid, int cx, int cy,
-                   PartitionScratch* scratch, Emit&& emit) {
-  AssignSorted(pa, &scratch->a);
-  AssignSorted(pb, &scratch->b);
-  const sweep::SweepSoa& sa = scratch->a;
-  const sweep::SweepSoa& sb = scratch->b;
+void JoinPartition(const PartitionedSoa& a, const PartitionedSoa& b,
+                   size_t idx, const PartitionGrid& grid, int cx, int cy,
+                   Emit&& emit) {
+  const SoaSlice sa = a.Slice(a.offsets[idx], a.offsets[idx + 1]);
+  const SoaSlice sb = b.Slice(b.offsets[idx], b.offsets[idx + 1]);
+  const int64_t* ida = a.id.data() + a.offsets[idx];
+  const int64_t* idb = b.id.data() + b.offsets[idx];
   sweep::SoaSweep(sa, sb, [&](size_t i, size_t j) {
     const Point ref{std::max(sa.min_x[i], sb.min_x[j]),
                     std::max(sa.min_y[i], sb.min_y[j])};
     if (!grid.Owns(cx, cy, ref)) return;
-    emit(sa.id[i], sb.id[j]);
+    emit(ida[i], idb[j]);
   });
 }
 
@@ -138,43 +162,44 @@ void PbsmJoinImpl(const Dataset& a, const Dataset& b, PbsmOptions options,
   grid.cell_h = grid.extent.height() / grid.p;
   if (grid.cell_w <= 0.0 || grid.cell_h <= 0.0) grid.p = 1;
 
-  auto cells_a = Distribute(a, grid);
-  auto cells_b = Distribute(b, grid);
+  const PartitionedSoa pa = DistributeSorted(a, grid);
+  const PartitionedSoa pb = DistributeSorted(b, grid);
 
   // The work list: non-empty partitions only, in partition order.
+  const size_t num_cells = static_cast<size_t>(grid.p) * grid.p;
   std::vector<size_t> active;
-  for (size_t idx = 0; idx < cells_a.size(); ++idx) {
-    if (!cells_a[idx].empty() && !cells_b[idx].empty()) active.push_back(idx);
+  for (size_t idx = 0; idx < num_cells; ++idx) {
+    if (pa.offsets[idx + 1] > pa.offsets[idx] &&
+        pb.offsets[idx + 1] > pb.offsets[idx]) {
+      active.push_back(idx);
+    }
   }
 
   std::vector<Slot> slots(active.size());
-  const auto join_one = [&](size_t task, PartitionScratch* scratch) {
+  const auto join_one = [&](size_t task) {
     const size_t idx = active[task];
     const int cx = static_cast<int>(idx) % grid.p;
     const int cy = static_cast<int>(idx) / grid.p;
     Slot& slot = slots[task];
-    JoinPartition(cells_a[idx], cells_b[idx], grid, cx, cy, scratch,
+    JoinPartition(pa, pb, idx, grid, cx, cy,
                   [&slot, &emit](int64_t x, int64_t y) { emit(slot, x, y); });
   };
 
   if (options.threads > 1 && active.size() > 1) {
-    // Chunk several partitions per block so each worker invocation reuses
-    // one scratch across its partitions; slots stay per task, so results
-    // and emit order are unchanged by the chunking.
+    // Workers only read the partitioned inputs and write their own slots,
+    // so the block decomposition cannot affect results or emit order.
     const int64_t grain = std::max<int64_t>(
         1, static_cast<int64_t>(active.size()) / (4 * options.threads));
     ThreadPool pool(options.threads);
     ParallelFor(&pool, static_cast<int64_t>(active.size()), grain,
                 [&](int64_t, int64_t begin, int64_t end) {
-                  PartitionScratch scratch;
                   for (int64_t task = begin; task < end; ++task) {
-                    join_one(static_cast<size_t>(task), &scratch);
+                    join_one(static_cast<size_t>(task));
                   }
                 });
   } else {
-    PartitionScratch scratch;
     for (size_t task = 0; task < active.size(); ++task) {
-      join_one(task, &scratch);
+      join_one(task);
     }
   }
 

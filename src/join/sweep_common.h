@@ -57,16 +57,15 @@ struct SweepSoa {
   }
 };
 
-/// Forward-scan sweep over two min_x-sorted SoA inputs. Calls
-/// emit(i, j) — row indices into `a` and `b` — for every intersecting pair
-/// (closed-interval convention), in the order the scalar forward scan
+/// Forward-scan sweep over two min_x-sorted SoA views. Calls
+/// emit(i, j) — row indices into `sa` and `sb` — for every intersecting
+/// pair (closed-interval convention), in the order the scalar forward scan
 /// visits them. The x-axis low bound of every scanned candidate holds by
-/// sortedness, so the batched 4-way Rect::Intersects mask decides exactly
-/// the pairs the scalar y-overlap test would.
+/// sortedness, so the batched multi-lane Rect::Intersects mask decides
+/// exactly the pairs the scalar y-overlap test would. Slice form so PBSM
+/// can sweep pre-partitioned runs in place, without per-partition copies.
 template <typename Emit>
-void SoaSweep(const SweepSoa& a, const SweepSoa& b, Emit&& emit) {
-  const SoaSlice sa = a.Slice();
-  const SoaSlice sb = b.Slice();
+void SoaSweep(const SoaSlice& sa, const SoaSlice& sb, Emit&& emit) {
   size_t i = 0;
   size_t j = 0;
   while (i < sa.size && j < sb.size) {
@@ -98,6 +97,12 @@ void SoaSweep(const SweepSoa& a, const SweepSoa& b, Emit&& emit) {
       ++j;
     }
   }
+}
+
+/// Owning-buffer convenience overload.
+template <typename Emit>
+void SoaSweep(const SweepSoa& a, const SweepSoa& b, Emit&& emit) {
+  SoaSweep(a.Slice(), b.Slice(), emit);
 }
 
 }  // namespace sweep

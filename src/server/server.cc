@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/kernels.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -373,13 +374,21 @@ std::string Server::Dispatch(const Request& req) {
       return answered(std::move(out));
     }
     // Without a path: the server's own lifetime statistics — the metrics
-    // snapshot aggregated over every request served so far.
+    // snapshot aggregated over every request served so far, plus the
+    // kernel dispatch decision every estimate this daemon computes runs
+    // with (docs/ARCHITECTURE.md, "Data-level parallelism").
     auto metrics = JsonValue::Parse(
         obs::MetricsRegistry::Global().SnapshotJson());
     if (!metrics.ok()) return fail_status(metrics.status());
     JsonValue out = JsonValue::Object();
     out.Set("requests_served",
             JsonValue::Int(static_cast<long long>(requests_served())));
+    const KernelDispatchInfo dispatch = GetKernelDispatchInfo();
+    out.Set("kernel_backend",
+            JsonValue::String(KernelBackendName(dispatch.active)));
+    out.Set("kernel_dispatch", JsonValue::String(dispatch.source));
+    out.Set("kernel_detected",
+            JsonValue::String(KernelBackendName(dispatch.detected)));
     out.Set("metrics", std::move(metrics).value());
     return answered(std::move(out));
   }

@@ -5,6 +5,12 @@
 // sampling estimator at several thread counts. This is the contract that
 // lets the SoA fast paths slot under the record-and-replay determinism
 // scheme (docs/ARCHITECTURE.md, "Data-level parallelism").
+//
+// Backend matrix: each lane test diffs the scalar kernel against EVERY
+// SIMD backend this machine can run (AVX2 and AVX-512 where available);
+// CI additionally forces SJSEL_KERNEL_BACKEND=scalar / =avx2 through the
+// whole suite so the scalar and narrow-vector paths get full runs even on
+// wide machines.
 
 #include <gtest/gtest.h>
 
@@ -30,7 +36,17 @@ namespace {
 
 const Rect kUnit(0, 0, 1, 1);
 
-bool HaveAvx2() { return DetectKernelBackend() == KernelBackend::kAvx2; }
+// Every non-scalar backend this machine can run. Empty on a plain-SSE x86
+// or non-NEON build — the lane tests skip, and the composed tests still
+// cover the scalar paths.
+std::vector<KernelBackend> AvailableSimdBackends() {
+  std::vector<KernelBackend> backends;
+  for (const KernelBackend b : {KernelBackend::kAvx2, KernelBackend::kAvx512,
+                                KernelBackend::kNeon}) {
+    if (KernelBackendAvailable(b)) backends.push_back(b);
+  }
+  return backends;
+}
 
 // Restores runtime dispatch after every test, pass or fail.
 class KernelEquivalenceTest : public ::testing::Test {
@@ -57,13 +73,15 @@ Dataset WithBoundaryCases(Dataset ds) {
   ds.Add(Rect(0.0, 0.0, 1.0, 1.0));          // the whole extent
   ds.Add(Rect(-0.0, 0.125, 0.375, 0.625));   // negative zero coordinate
   ds.Add(Rect(0.75, 0.75, 1.0, 1.0));        // touches the extent corner
+  ds.Add(Rect(0.125, 0.25, 0.375, 0.5));     // spans cells, edges on lines
   return ds;
 }
 
-// --- Kernel-level: lane-by-lane diff of scalar vs AVX2.
+// --- Kernel-level: lane-by-lane diff of scalar vs every SIMD backend.
 
 TEST_F(KernelEquivalenceTest, CellRangeBatchLaneExact) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const std::vector<KernelBackend> simd = AvailableSimdBackends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   const Dataset ds = WithBoundaryCases(UniformData(1003, 11));
   const SoaDataset soa = SoaDataset::FromDataset(ds);
   const size_t n = soa.size();
@@ -77,16 +95,22 @@ TEST_F(KernelEquivalenceTest, CellRangeBatchLaneExact) {
     SetKernelBackendForTesting(KernelBackend::kScalar);
     CellRangeBatch(g, soa.Slice(), sx0.data(), sy0.data(), sx1.data(),
                    sy1.data());
-    SetKernelBackendForTesting(KernelBackend::kAvx2);
-    CellRangeBatch(g, soa.Slice(), vx0.data(), vy0.data(), vx1.data(),
-                   vy1.data());
-    for (size_t i = 0; i < n; ++i) {
-      ASSERT_EQ(sx0[i], vx0[i]) << "level " << level << " lane " << i;
-      ASSERT_EQ(sy0[i], vy0[i]) << "level " << level << " lane " << i;
-      ASSERT_EQ(sx1[i], vx1[i]) << "level " << level << " lane " << i;
-      ASSERT_EQ(sy1[i], vy1[i]) << "level " << level << " lane " << i;
+    for (const KernelBackend backend : simd) {
+      SetKernelBackendForTesting(backend);
+      CellRangeBatch(g, soa.Slice(), vx0.data(), vy0.data(), vx1.data(),
+                     vy1.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(sx0[i], vx0[i]) << KernelBackendName(backend) << " level "
+                                  << level << " lane " << i;
+        ASSERT_EQ(sy0[i], vy0[i]) << KernelBackendName(backend) << " lane "
+                                  << i;
+        ASSERT_EQ(sx1[i], vx1[i]) << KernelBackendName(backend) << " lane "
+                                  << i;
+        ASSERT_EQ(sy1[i], vy1[i]) << KernelBackendName(backend) << " lane "
+                                  << i;
+      }
     }
-    // ... and both agree with the Grid the histograms actually use.
+    // ... and the scalar kernel agrees with the Grid the histograms use.
     for (size_t i = 0; i < n; ++i) {
       int x0, y0, x1, y1;
       grid->CellRange(ds[i], &x0, &y0, &x1, &y1);
@@ -99,7 +123,8 @@ TEST_F(KernelEquivalenceTest, CellRangeBatchLaneExact) {
 }
 
 TEST_F(KernelEquivalenceTest, GhSingleCellTermsBatchBitwise) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const std::vector<KernelBackend> simd = AvailableSimdBackends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   const Dataset ds = WithBoundaryCases(SkewedData(997, 13));
   const SoaDataset soa = SoaDataset::FromDataset(ds);
   const size_t n = soa.size();
@@ -114,37 +139,192 @@ TEST_F(KernelEquivalenceTest, GhSingleCellTermsBatchBitwise) {
   SetKernelBackendForTesting(KernelBackend::kScalar);
   GhSingleCellTermsBatch(g, soa.Slice(), x0.data(), y0.data(), sa.data(),
                          sh.data(), sv.data());
-  SetKernelBackendForTesting(KernelBackend::kAvx2);
-  GhSingleCellTermsBatch(g, soa.Slice(), x0.data(), y0.data(), va.data(),
-                         vh.data(), vv.data());
-  for (size_t i = 0; i < n; ++i) {
-    // EXPECT_EQ on doubles: bitwise-equal values (0.0 == -0.0 aside, which
-    // is itself the semantics std::min/max give).
-    ASSERT_EQ(sa[i], va[i]) << "lane " << i;
-    ASSERT_EQ(sh[i], vh[i]) << "lane " << i;
-    ASSERT_EQ(sv[i], vv[i]) << "lane " << i;
+  for (const KernelBackend backend : simd) {
+    SetKernelBackendForTesting(backend);
+    GhSingleCellTermsBatch(g, soa.Slice(), x0.data(), y0.data(), va.data(),
+                           vh.data(), vv.data());
+    for (size_t i = 0; i < n; ++i) {
+      // ASSERT_EQ on doubles: bitwise-equal values (0.0 == -0.0 aside,
+      // which is itself the semantics std::min/max give).
+      ASSERT_EQ(sa[i], va[i]) << KernelBackendName(backend) << " lane " << i;
+      ASSERT_EQ(sh[i], vh[i]) << KernelBackendName(backend) << " lane " << i;
+      ASSERT_EQ(sv[i], vv[i]) << KernelBackendName(backend) << " lane " << i;
+    }
   }
 }
 
 TEST_F(KernelEquivalenceTest, PhContainedTermsBatchBitwise) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const std::vector<KernelBackend> simd = AvailableSimdBackends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   const Dataset ds = WithBoundaryCases(UniformData(513, 17));
   const SoaDataset soa = SoaDataset::FromDataset(ds);
   const size_t n = soa.size();
   AlignedVector<double> sa(n), sw(n), sh(n), va(n), vw(n), vh(n);
   SetKernelBackendForTesting(KernelBackend::kScalar);
   PhContainedTermsBatch(soa.Slice(), sa.data(), sw.data(), sh.data());
-  SetKernelBackendForTesting(KernelBackend::kAvx2);
-  PhContainedTermsBatch(soa.Slice(), va.data(), vw.data(), vh.data());
+  for (const KernelBackend backend : simd) {
+    SetKernelBackendForTesting(backend);
+    PhContainedTermsBatch(soa.Slice(), va.data(), vw.data(), vh.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(sa[i], va[i]) << KernelBackendName(backend) << " lane " << i;
+      ASSERT_EQ(sw[i], vw[i]) << KernelBackendName(backend) << " lane " << i;
+      ASSERT_EQ(sh[i], vh[i]) << KernelBackendName(backend) << " lane " << i;
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, GhEntryTermsBatchBitwise) {
+  const std::vector<KernelBackend> simd = AvailableSimdBackends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend on this host";
+  const auto grid = Grid::Create(kUnit, 6);
+  const GridGeom g{grid->extent().min_x, grid->extent().min_y,
+                   grid->cell_width(), grid->cell_height(),
+                   grid->per_axis()};
+  // Synthetic clip overlaps including zeros, denormal-adjacent tiny values
+  // and full-cell widths — everything the expansion loop can produce.
+  const size_t n = 777;
+  AlignedVector<double> w(n), h(n);
   for (size_t i = 0; i < n; ++i) {
-    ASSERT_EQ(sa[i], va[i]) << "lane " << i;
-    ASSERT_EQ(sw[i], vw[i]) << "lane " << i;
-    ASSERT_EQ(sh[i], vh[i]) << "lane " << i;
+    w[i] = (i % 7 == 0) ? 0.0 : g.cell_w * (static_cast<double>(i % 11) / 10);
+    h[i] = (i % 5 == 0) ? g.cell_h : 1e-14 * static_cast<double>(i);
+  }
+  AlignedVector<double> sa(n), shf(n), svf(n), va(n), vhf(n), vvf(n);
+  SetKernelBackendForTesting(KernelBackend::kScalar);
+  GhEntryTermsBatch(g, n, w.data(), h.data(), sa.data(), shf.data(),
+                    svf.data());
+  for (const KernelBackend backend : simd) {
+    SetKernelBackendForTesting(backend);
+    GhEntryTermsBatch(g, n, w.data(), h.data(), va.data(), vhf.data(),
+                      vvf.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(sa[i], va[i]) << KernelBackendName(backend) << " lane " << i;
+      ASSERT_EQ(shf[i], vhf[i]) << KernelBackendName(backend) << " lane "
+                                << i;
+      ASSERT_EQ(svf[i], vvf[i]) << KernelBackendName(backend) << " lane "
+                                << i;
+    }
+  }
+}
+
+// The fused serial-build kernels (GhRectTermsBatch / PhRectClipBatch) read
+// AoS rects directly; their 12/8 output arrays must match the scalar
+// kernel bit for bit on every backend, at several grid levels, including
+// the boundary-touching cases.
+
+struct GhTermsArrays {
+  explicit GhTermsArrays(size_t n)
+      : x0(n), y0(n), x1(n), y1(n), a00(n), a01(n), a10(n), a11(n), hf0(n),
+        hf1(n), vf0(n), vf1(n) {}
+  GhRectTermsOut Out() {
+    return GhRectTermsOut{x0.data(),  y0.data(),  x1.data(),  y1.data(),
+                          a00.data(), a01.data(), a10.data(), a11.data(),
+                          hf0.data(), hf1.data(), vf0.data(), vf1.data()};
+  }
+  AlignedVector<int32_t> x0, y0, x1, y1;
+  AlignedVector<double> a00, a01, a10, a11, hf0, hf1, vf0, vf1;
+};
+
+TEST_F(KernelEquivalenceTest, GhRectTermsBatchBitwise) {
+  const std::vector<KernelBackend> simd = AvailableSimdBackends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend on this host";
+  const Dataset ds = WithBoundaryCases(SkewedData(1009, 47));
+  const size_t n = ds.size();
+  for (int level : {1, 4, 7}) {
+    const auto grid = Grid::Create(kUnit, level);
+    const GridGeom g{grid->extent().min_x, grid->extent().min_y,
+                     grid->cell_width(), grid->cell_height(),
+                     grid->per_axis()};
+    GhTermsArrays s(n), v(n);
+    SetKernelBackendForTesting(KernelBackend::kScalar);
+    GhRectTermsBatch(g, ds.rects().data(), n, s.Out());
+    // The cell range must agree with the Grid the builds use.
+    for (size_t i = 0; i < n; ++i) {
+      int x0, y0, x1, y1;
+      grid->CellRange(ds[i], &x0, &y0, &x1, &y1);
+      ASSERT_EQ(s.x0[i], x0) << "level " << level << " lane " << i;
+      ASSERT_EQ(s.y0[i], y0) << "lane " << i;
+      ASSERT_EQ(s.x1[i], x1) << "lane " << i;
+      ASSERT_EQ(s.y1[i], y1) << "lane " << i;
+    }
+    for (const KernelBackend backend : simd) {
+      SetKernelBackendForTesting(backend);
+      GhRectTermsBatch(g, ds.rects().data(), n, v.Out());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(s.x0[i], v.x0[i]) << KernelBackendName(backend) << " level "
+                                    << level << " lane " << i;
+        ASSERT_EQ(s.y0[i], v.y0[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.x1[i], v.x1[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.y1[i], v.y1[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.a00[i], v.a00[i]) << KernelBackendName(backend)
+                                      << " level " << level << " lane " << i;
+        ASSERT_EQ(s.a01[i], v.a01[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.a10[i], v.a10[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.a11[i], v.a11[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.hf0[i], v.hf0[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.hf1[i], v.hf1[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.vf0[i], v.vf0[i]) << KernelBackendName(backend);
+        ASSERT_EQ(s.vf1[i], v.vf1[i]) << KernelBackendName(backend);
+      }
+    }
+  }
+}
+
+TEST_F(KernelEquivalenceTest, PhRectClipBatchBitwise) {
+  const std::vector<KernelBackend> simd = AvailableSimdBackends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend on this host";
+  const Dataset ds = WithBoundaryCases(UniformData(1013, 53));
+  const size_t n = ds.size();
+  for (int level : {1, 4, 7}) {
+    const auto grid = Grid::Create(kUnit, level);
+    const GridGeom g{grid->extent().min_x, grid->extent().min_y,
+                     grid->cell_width(), grid->cell_height(),
+                     grid->per_axis()};
+    AlignedVector<int32_t> sx0(n), sy0(n), sx1(n), sy1(n);
+    AlignedVector<double> sw0(n), sw1(n), sh0(n), sh1(n);
+    AlignedVector<int32_t> vx0(n), vy0(n), vx1(n), vy1(n);
+    AlignedVector<double> vw0(n), vw1(n), vh0(n), vh1(n);
+    SetKernelBackendForTesting(KernelBackend::kScalar);
+    PhRectClipBatch(g, ds.rects().data(), n,
+                    PhRectClipOut{sx0.data(), sy0.data(), sx1.data(),
+                                  sy1.data(), sw0.data(), sw1.data(),
+                                  sh0.data(), sh1.data()});
+    // Scalar semantics: the overlaps are OverlapLen against columns
+    // x0/x0+1 and rows y0/y0+1 of the Grid.
+    for (size_t i = 0; i < n; ++i) {
+      const Rect& r = ds[i];
+      const double col_lo = g.min_x + sx0[i] * g.cell_w;
+      const double col_mid = g.min_x + (sx0[i] + 1) * g.cell_w;
+      const double col_hi = g.min_x + (sx0[i] + 2) * g.cell_w;
+      ASSERT_EQ(sw0[i], OverlapLen(r.min_x, r.max_x, col_lo, col_mid))
+          << "level " << level << " lane " << i;
+      ASSERT_EQ(sw1[i], OverlapLen(r.min_x, r.max_x, col_mid, col_hi))
+          << "level " << level << " lane " << i;
+    }
+    for (const KernelBackend backend : simd) {
+      SetKernelBackendForTesting(backend);
+      PhRectClipBatch(g, ds.rects().data(), n,
+                      PhRectClipOut{vx0.data(), vy0.data(), vx1.data(),
+                                    vy1.data(), vw0.data(), vw1.data(),
+                                    vh0.data(), vh1.data()});
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(sx0[i], vx0[i]) << KernelBackendName(backend) << " level "
+                                  << level << " lane " << i;
+        ASSERT_EQ(sy0[i], vy0[i]) << KernelBackendName(backend);
+        ASSERT_EQ(sx1[i], vx1[i]) << KernelBackendName(backend);
+        ASSERT_EQ(sy1[i], vy1[i]) << KernelBackendName(backend);
+        ASSERT_EQ(sw0[i], vw0[i]) << KernelBackendName(backend) << " level "
+                                  << level << " lane " << i;
+        ASSERT_EQ(sw1[i], vw1[i]) << KernelBackendName(backend);
+        ASSERT_EQ(sh0[i], vh0[i]) << KernelBackendName(backend);
+        ASSERT_EQ(sh1[i], vh1[i]) << KernelBackendName(backend);
+      }
+    }
   }
 }
 
 TEST_F(KernelEquivalenceTest, IntersectMask64MatchesRectIntersects) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const std::vector<KernelBackend> simd = AvailableSimdBackends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   Dataset ds = WithBoundaryCases(UniformData(200, 19));
   const SoaDataset soa = SoaDataset::FromDataset(ds);
   const std::vector<Rect> probes = {
@@ -156,9 +336,11 @@ TEST_F(KernelEquivalenceTest, IntersectMask64MatchesRectIntersects) {
       const size_t n = std::min<size_t>(64, soa.size() - begin);
       SetKernelBackendForTesting(KernelBackend::kScalar);
       const uint64_t scalar = IntersectMask64(soa.Slice(), begin, n, probe);
-      SetKernelBackendForTesting(KernelBackend::kAvx2);
-      const uint64_t simd = IntersectMask64(soa.Slice(), begin, n, probe);
-      ASSERT_EQ(scalar, simd) << "begin " << begin;
+      for (const KernelBackend backend : simd) {
+        SetKernelBackendForTesting(backend);
+        ASSERT_EQ(scalar, IntersectMask64(soa.Slice(), begin, n, probe))
+            << KernelBackendName(backend) << " begin " << begin;
+      }
       for (size_t k = 0; k < n; ++k) {
         ASSERT_EQ((scalar >> k) & 1,
                   probe.Intersects(ds[begin + k]) ? 1u : 0u)
@@ -169,7 +351,8 @@ TEST_F(KernelEquivalenceTest, IntersectMask64MatchesRectIntersects) {
 }
 
 TEST_F(KernelEquivalenceTest, SortedPrefixLeqMatchesScalarScan) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const std::vector<KernelBackend> simd = AvailableSimdBackends();
+  if (simd.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   AlignedVector<double> keys;
   for (int i = 0; i < 301; ++i) keys.push_back(std::floor(i / 3.0) * 0.01);
   keys.push_back(-0.0);  // unsorted tail values exercise the early stop
@@ -179,9 +362,12 @@ TEST_F(KernelEquivalenceTest, SortedPrefixLeqMatchesScalarScan) {
     for (size_t begin : {size_t{0}, size_t{1}, size_t{77}, keys.size() - 2}) {
       SetKernelBackendForTesting(KernelBackend::kScalar);
       const size_t s = SortedPrefixLeq(keys.data(), begin, keys.size(), bound);
-      SetKernelBackendForTesting(KernelBackend::kAvx2);
-      const size_t v = SortedPrefixLeq(keys.data(), begin, keys.size(), bound);
-      ASSERT_EQ(s, v) << "bound " << bound << " begin " << begin;
+      for (const KernelBackend backend : simd) {
+        SetKernelBackendForTesting(backend);
+        ASSERT_EQ(s, SortedPrefixLeq(keys.data(), begin, keys.size(), bound))
+            << KernelBackendName(backend) << " bound " << bound << " begin "
+            << begin;
+      }
       // Reference semantics: count up to the first violating key.
       size_t expected = 0;
       for (size_t k = begin; k < keys.size() && keys[k] <= bound; ++k) {
@@ -190,6 +376,43 @@ TEST_F(KernelEquivalenceTest, SortedPrefixLeqMatchesScalarScan) {
       ASSERT_EQ(s, expected) << "bound " << bound << " begin " << begin;
     }
   }
+}
+
+// --- Dispatch plumbing: name/parse round-trips and override precedence.
+
+TEST_F(KernelEquivalenceTest, ParseAndNameRoundTrip) {
+  for (const KernelBackend b :
+       {KernelBackend::kScalar, KernelBackend::kAvx2, KernelBackend::kAvx512,
+        KernelBackend::kNeon}) {
+    KernelBackend parsed = KernelBackend::kScalar;
+    ASSERT_TRUE(ParseKernelBackend(KernelBackendName(b), &parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  KernelBackend parsed = KernelBackend::kAvx2;
+  EXPECT_FALSE(ParseKernelBackend("sse9", &parsed));
+  EXPECT_FALSE(ParseKernelBackend("", &parsed));
+  EXPECT_EQ(parsed, KernelBackend::kAvx2);  // unknown names leave *out alone
+  EXPECT_TRUE(KernelBackendAvailable(KernelBackend::kScalar));
+}
+
+TEST_F(KernelEquivalenceTest, DispatchInfoReportsOverrideSource) {
+  ClearKernelBackendOverrideForTesting();
+  const KernelDispatchInfo detected = GetKernelDispatchInfo();
+  EXPECT_EQ(detected.detected, DetectKernelBackend());
+  // With no programmatic override the source is env or detection —
+  // whichever this process was launched with (CI's forced drill runs the
+  // whole suite under SJSEL_KERNEL_BACKEND).
+  EXPECT_TRUE(std::string(detected.source) == "detected" ||
+              std::string(detected.source) == "env");
+
+  SetKernelBackendForTesting(KernelBackend::kScalar);
+  const KernelDispatchInfo forced = GetKernelDispatchInfo();
+  EXPECT_EQ(forced.active, KernelBackend::kScalar);
+  EXPECT_EQ(std::string(forced.source), "override");
+  EXPECT_EQ(forced.detected, detected.detected);
+
+  ClearKernelBackendOverrideForTesting();
+  EXPECT_EQ(GetKernelDispatchInfo().active, detected.active);
 }
 
 // --- Composed: histogram builds are bitwise equal to the per-rect AddRect
@@ -208,7 +431,9 @@ class BuildEquivalenceTest
 
 std::vector<KernelBackend> BackendsToTest() {
   std::vector<KernelBackend> backends = {KernelBackend::kScalar};
-  if (HaveAvx2()) backends.push_back(KernelBackend::kAvx2);
+  for (const KernelBackend b : AvailableSimdBackends()) {
+    backends.push_back(b);
+  }
   return backends;
 }
 
@@ -257,6 +482,56 @@ TEST_P(BuildEquivalenceTest, PhBuildBitIdenticalToAddRectLoop) {
         ASSERT_EQ(x.area_sum, y.area_sum) << "cell " << i;
         ASSERT_EQ(x.w_sum, y.w_sum) << "cell " << i;
         ASSERT_EQ(x.h_sum, y.h_sum) << "cell " << i;
+        ASSERT_EQ(x.num_x, y.num_x) << "cell " << i;
+        ASSERT_EQ(x.area_sum_x, y.area_sum_x) << "cell " << i;
+        ASSERT_EQ(x.w_sum_x, y.w_sum_x) << "cell " << i;
+        ASSERT_EQ(x.h_sum_x, y.h_sum_x) << "cell " << i;
+      }
+    }
+  }
+}
+
+// The serial fused fast path (small grids), the blocked-by-size engine
+// (level 9: 8MB of GH stats, 16MB of PH cells) and the blocked-by-threads
+// engine must all reproduce the AddRect stream bit for bit. This pins the
+// regime boundary itself: whichever side of the cache threshold a grid
+// lands on, the numbers cannot change.
+TEST_P(BuildEquivalenceTest, BuildRegimesAgreeAcrossGridLevels) {
+  const BuildCase& c = GetParam();
+  const Dataset ds = WithBoundaryCases(c.skewed ? SkewedData(2500, 59)
+                                               : UniformData(2500, 59));
+  for (const int level : {0, 2, 9}) {
+    auto gh_ref = GhHistogram::CreateEmpty(kUnit, level, GhVariant::kRevised);
+    auto ph_ref =
+        PhHistogram::CreateEmpty(kUnit, level, PhVariant::kSplitCrossing);
+    ASSERT_TRUE(gh_ref.ok());
+    ASSERT_TRUE(ph_ref.ok());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      gh_ref->AddRect(ds[i]);
+      ph_ref->AddRect(ds[i]);
+    }
+    for (const KernelBackend backend : BackendsToTest()) {
+      SetKernelBackendForTesting(backend);
+      const auto gh = GhHistogram::Build(ds, kUnit, level, GhVariant::kRevised,
+                                         c.threads);
+      ASSERT_TRUE(gh.ok());
+      EXPECT_EQ(gh->c(), gh_ref->c()) << KernelBackendName(backend)
+                                      << " level " << level << " threads "
+                                      << c.threads;
+      EXPECT_EQ(gh->o(), gh_ref->o()) << KernelBackendName(backend);
+      EXPECT_EQ(gh->h(), gh_ref->h()) << KernelBackendName(backend);
+      EXPECT_EQ(gh->v(), gh_ref->v()) << KernelBackendName(backend);
+      const auto ph = PhHistogram::Build(ds, kUnit, level,
+                                         PhVariant::kSplitCrossing, c.threads);
+      ASSERT_TRUE(ph.ok());
+      EXPECT_EQ(ph->avg_span(), ph_ref->avg_span())
+          << KernelBackendName(backend) << " level " << level;
+      ASSERT_EQ(ph->cells().size(), ph_ref->cells().size());
+      for (size_t i = 0; i < ph->cells().size(); ++i) {
+        const auto& x = ph->cells()[i];
+        const auto& y = ph_ref->cells()[i];
+        ASSERT_EQ(x.num, y.num) << "level " << level << " cell " << i;
+        ASSERT_EQ(x.area_sum, y.area_sum) << "cell " << i;
         ASSERT_EQ(x.num_x, y.num_x) << "cell " << i;
         ASSERT_EQ(x.area_sum_x, y.area_sum_x) << "cell " << i;
         ASSERT_EQ(x.w_sum_x, y.w_sum_x) << "cell " << i;
