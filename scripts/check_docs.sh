@@ -9,9 +9,10 @@
 # 3. Every source-tree path a docs/*.md file mentions in backticks
 #    (src/..., tests/..., bench/..., examples/..., scripts/...) must
 #    exist, so the docs cannot drift from the code they describe.
-# 4. Every backticked `server.*` / `planner.*` / `estimator.*` metric or
-#    span name the docs mention must occur in src/ — the observability
-#    vocabulary docs advertise is the one the code emits.
+# 4. Every backticked `server.*` / `planner.*` / `estimator.*` /
+#    `stream.*` metric or span name the docs mention must occur in
+#    src/ — the observability vocabulary docs advertise is the one the
+#    code emits.
 #
 # Exits non-zero listing every stale reference.
 
@@ -34,6 +35,7 @@ required_docs=(
   docs/ARCHITECTURE.md
   docs/SERVER.md
   docs/PLANNER.md
+  docs/DURABILITY.md
 )
 for doc in "${required_docs[@]}"; do
   [ -e "$doc" ] || err "required document '$doc' is missing"
@@ -80,7 +82,7 @@ done
 
 # --- 4. metric / span names referenced by the docs ------------------------
 # Backticked dotted names in the observability vocabulary (server.*,
-# planner.*, estimator.*) must be greppable in src/ — either whole (most
+# planner.*, estimator.*, stream.*) must be greppable in src/ — either whole (most
 # call sites) or as a "<prefix>." literal next to a runtime suffix (the
 # server's per-code failure counters).
 for doc in "${doc_files[@]}"; do
@@ -93,7 +95,7 @@ for doc in "${doc_files[@]}"; do
       grep -rqF "\"$prefix" src/ \
         || err "$doc references metric/span '$name' not found in src/"
     fi
-  done < <(grep -ho '`\(server\|planner\|estimator\)\.[a-z0-9_.]*`' "$doc" \
+  done < <(grep -ho '`\(server\|planner\|estimator\|stream\)\.[a-z0-9_.]*`' "$doc" \
              | tr -d '\`' | sort -u)
 done
 

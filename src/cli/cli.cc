@@ -37,6 +37,7 @@
 #include "server/server.h"
 #include "rtree/rtree.h"
 #include "stats/dataset_stats.h"
+#include "stream/ingest.h"
 #include "util/fault_injection.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -190,9 +191,26 @@ int Usage(std::FILE* err) {
                " estimate/explain/\n"
                "      stats/plan requests, per-request deadlines & metrics"
                " (docs/SERVER.md)\n"
-               "  client <socket> [<request-json> ...]\n"
+               "  client <socket> [<request-json> ...] [--retry=1]"
+               " [--retry-backoff-ms=25]\n"
                "      send request lines (or stdin NDJSON) to a running"
-               " server\n"
+               " server;\n"
+               "      --retry waits out server startup with exponential"
+               " backoff\n"
+               "  ingest <dir> [--init --extent=x0,y0,x1,y1 [--gh-level=7]"
+               " [--ph-level=5]\n"
+               "      [--seal-every=8] [--checkpoint-every=0] [--no-fsync]]\n"
+               "      | [--status] | [--digest] | [--estimate=<b.ds>]"
+               " | [--checkpoint]\n"
+               "      crash-safe streaming ingest (docs/DURABILITY.md):"
+               " default mode\n"
+               "      applies stdin op lines (add/remove x0 y0 x1 y1,"
+               " checkpoint) and\n"
+               "      acks each one only after its WAL record is durable\n"
+               "  gen-ops <n> [--seed=1] [--extent=0,0,1,1]"
+               " [--remove-frac=0]\n"
+               "      deterministic op stream for the ingest recovery"
+               " drills\n"
                "  (plan and serve also take the estimate flags: --gh-level,"
                " --ph-level,\n"
                "   --fa, --fb, --seed, --method, --validate)\n"
@@ -1020,8 +1038,17 @@ int CmdClient(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
     std::fprintf(err, "client needs a socket path\n");
     return Usage(err);
   }
+  int retry = 1;
+  SJSEL_FLAG_OR_RETURN(retry, args.FlagInt("retry", 1));
+  int backoff_ms = 25;
+  SJSEL_FLAG_OR_RETURN(backoff_ms, args.FlagInt("retry-backoff-ms", 25));
+  if (retry < 1 || backoff_ms < 1) {
+    std::fprintf(err, "--retry and --retry-backoff-ms must be >= 1\n");
+    return 2;
+  }
   server::Client client;
-  const Status status = client.Connect(args.positional[1]);
+  const Status status =
+      client.ConnectWithRetry(args.positional[1], retry, backoff_ms);
   if (!status.ok()) {
     std::fprintf(err, "%s\n", status.ToString().c_str());
     return 1;
@@ -1055,6 +1082,255 @@ int CmdClient(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   return send(line);
 }
 
+void PrintRecoveryInfo(std::FILE* out, const stream::RecoveryInfo& info) {
+  std::fprintf(out,
+               "recovery: checkpoint_seq=%llu replayed_records=%llu"
+               " skipped_records=%llu replayed_ops=%llu dropped_bytes=%llu\n",
+               static_cast<unsigned long long>(info.checkpoint_seq),
+               static_cast<unsigned long long>(info.replayed_records),
+               static_cast<unsigned long long>(info.skipped_records),
+               static_cast<unsigned long long>(info.replayed_ops),
+               static_cast<unsigned long long>(info.dropped_bytes));
+  if (!info.tail_error.empty()) {
+    std::fprintf(out, "recovery: dropped tail: %s\n", info.tail_error.c_str());
+  }
+}
+
+// Durable streaming ingest (docs/DURABILITY.md). `--init` creates the
+// directory; the default mode reads one op per stdin line (`add x0 y0 x1
+// y1`, `remove x0 y0 x1 y1`, `checkpoint`) and acknowledges each batch
+// only after its WAL record is durable — the drill scripts treat an
+// `ack` as a promise the op survives kill -9.
+int CmdIngest(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 2) {
+    std::fprintf(err, "ingest needs a stream directory\n");
+    return Usage(err);
+  }
+  const std::string& dir = args.positional[1];
+
+  if (args.Has("init")) {
+    stream::StreamOptions options;
+    const auto extent = ParseRect(args.Flag("extent", "0,0,1,1"));
+    if (!extent.has_value()) {
+      std::fprintf(err, "bad --extent (want x0,y0,x1,y1)\n");
+      return 2;
+    }
+    options.extent = *extent;
+    SJSEL_FLAG_OR_RETURN(options.gh_level, args.FlagInt("gh-level", 7));
+    SJSEL_FLAG_OR_RETURN(options.ph_level, args.FlagInt("ph-level", 5));
+    int seal_every = 8;
+    SJSEL_FLAG_OR_RETURN(seal_every, args.FlagInt("seal-every", 8));
+    int checkpoint_every = 0;
+    SJSEL_FLAG_OR_RETURN(checkpoint_every,
+                         args.FlagInt("checkpoint-every", 0));
+    if (seal_every < 1 || checkpoint_every < 0) {
+      std::fprintf(err, "--seal-every must be >= 1, --checkpoint-every >= 0\n");
+      return 2;
+    }
+    options.seal_every = static_cast<uint32_t>(seal_every);
+    options.checkpoint_every = static_cast<uint32_t>(checkpoint_every);
+    options.fsync_always = !args.Has("no-fsync");
+    const Status status = stream::StreamIngest::Init(dir, options);
+    if (!status.ok()) {
+      std::fprintf(err, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(out, "initialized stream %s (gh-level=%d ph-level=%d"
+                 " seal-every=%u checkpoint-every=%u fsync=%d)\n",
+                 dir.c_str(), options.gh_level, options.ph_level,
+                 options.seal_every, options.checkpoint_every,
+                 options.fsync_always ? 1 : 0);
+    return 0;
+  }
+
+  auto opened = stream::StreamIngest::Open(dir);
+  if (!opened.ok()) {
+    std::fprintf(err, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  stream::StreamIngest& ingest = **opened;
+
+  if (args.Has("status")) {
+    std::fprintf(out,
+                 "stream %s: seq=%llu snapshot_seq=%llu checkpoint_seq=%llu"
+                 " active_batches=%llu wal_bytes=%llu\n",
+                 dir.c_str(), static_cast<unsigned long long>(ingest.seq()),
+                 static_cast<unsigned long long>(ingest.snapshot()->seq),
+                 static_cast<unsigned long long>(ingest.checkpoint_seq()),
+                 static_cast<unsigned long long>(ingest.active_batches()),
+                 static_cast<unsigned long long>(ingest.wal_bytes()));
+    PrintRecoveryInfo(out, ingest.recovery());
+    return 0;
+  }
+
+  if (args.Has("digest")) {
+    const auto digest = ingest.StateDigest();
+    if (!digest.ok()) {
+      std::fprintf(err, "%s\n", digest.status().ToString().c_str());
+      return 1;
+    }
+    auto state = ingest.MaterializeState();
+    if (!state.ok()) {
+      std::fprintf(err, "%s\n", state.status().ToString().c_str());
+      return 1;
+    }
+    const auto self = EstimateGhJoinPairs(state->gh, state->gh);
+    if (!self.ok()) {
+      std::fprintf(err, "%s\n", self.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(out, "seq=%llu digest=%s self_join=%.17g\n",
+                 static_cast<unsigned long long>(state->seq),
+                 digest->c_str(), self.value());
+    return 0;
+  }
+
+  if (args.Has("estimate")) {
+    const std::string path = args.Flag("estimate", "");
+    auto probe = Dataset::Load(path);
+    if (!probe.ok()) {
+      std::fprintf(err, "%s\n", probe.status().ToString().c_str());
+      return 1;
+    }
+    const auto snap = ingest.snapshot();
+    const auto built = GhHistogram::Build(*probe, snap->gh.grid().extent(),
+                                          snap->gh.grid().level());
+    if (!built.ok()) {
+      std::fprintf(err, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    const auto pairs = EstimateGhJoinPairs(snap->gh, built.value());
+    if (!pairs.ok()) {
+      std::fprintf(err, "%s\n", pairs.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(out, "snapshot_seq=%llu estimated_pairs=%.17g\n",
+                 static_cast<unsigned long long>(snap->seq), pairs.value());
+    return 0;
+  }
+
+  if (args.Has("checkpoint")) {
+    const Status status = ingest.Checkpoint();
+    if (!status.ok()) {
+      std::fprintf(err, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(out, "checkpointed at seq=%llu wal_bytes=%llu\n",
+                 static_cast<unsigned long long>(ingest.checkpoint_seq()),
+                 static_cast<unsigned long long>(ingest.wal_bytes()));
+    return 0;
+  }
+
+  // Op-stream mode: one op per line; every `ack <seq>` line is flushed
+  // before the next op is read, so a driver that killed this process can
+  // trust exactly the acked prefix to be recovered.
+  std::string line;
+  int ch;
+  uint64_t applied = 0;
+  const auto run_line = [&](const std::string& text) -> int {
+    if (text.empty()) return 0;
+    Rect r;
+    char word[16] = {0};
+    if (std::sscanf(text.c_str(), "%15s %lf %lf %lf %lf", word, &r.min_x,
+                    &r.min_y, &r.max_x, &r.max_y) == 5 &&
+        (std::strcmp(word, "add") == 0 || std::strcmp(word, "remove") == 0)) {
+      const stream::OpKind kind = std::strcmp(word, "add") == 0
+                                      ? stream::OpKind::kAdd
+                                      : stream::OpKind::kRemove;
+      const auto seq = ingest.Apply({{kind, r}});
+      if (!seq.ok()) {
+        std::fprintf(err, "%s\n", seq.status().ToString().c_str());
+        return 1;
+      }
+      ++applied;
+      std::fprintf(out, "ack %llu\n",
+                   static_cast<unsigned long long>(seq.value()));
+      std::fflush(out);
+      return 0;
+    }
+    if (text == "checkpoint") {
+      const Status status = ingest.Checkpoint();
+      if (!status.ok()) {
+        std::fprintf(err, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(out, "checkpoint %llu\n",
+                   static_cast<unsigned long long>(ingest.checkpoint_seq()));
+      std::fflush(out);
+      return 0;
+    }
+    std::fprintf(err, "bad op line: %s\n", text.c_str());
+    return 1;
+  };
+  while ((ch = std::fgetc(stdin)) != EOF) {
+    if (ch == '\n') {
+      if (const int code = run_line(line); code != 0) return code;
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(ch));
+    }
+  }
+  if (const int code = run_line(line); code != 0) return code;
+  std::fprintf(out, "applied %llu ops (seq=%llu)\n",
+               static_cast<unsigned long long>(applied),
+               static_cast<unsigned long long>(ingest.seq()));
+  return 0;
+}
+
+// Deterministic op-stream generator for the ingest drills: same n, seed,
+// extent, and remove-frac always print the same lines, so a reference
+// state can be rebuilt from any acked prefix of the stream.
+int CmdGenOps(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
+  if (args.positional.size() != 2) {
+    std::fprintf(err, "gen-ops needs a count\n");
+    return Usage(err);
+  }
+  char* end = nullptr;
+  const unsigned long long n_raw =
+      std::strtoull(args.positional[1].c_str(), &end, 10);
+  if (end == args.positional[1].c_str() || *end != '\0' || n_raw == 0) {
+    std::fprintf(err, "bad op count: %s\n", args.positional[1].c_str());
+    return 2;
+  }
+  const size_t n = static_cast<size_t>(n_raw);
+  int seed_flag = 1;
+  SJSEL_FLAG_OR_RETURN(seed_flag, args.FlagInt("seed", 1));
+  double remove_frac = 0.0;
+  SJSEL_FLAG_OR_RETURN(remove_frac, args.FlagDouble("remove-frac", 0.0));
+  if (remove_frac < 0.0 || remove_frac >= 1.0) {
+    std::fprintf(err, "--remove-frac must be in [0, 1)\n");
+    return 2;
+  }
+  const auto extent = ParseRect(args.Flag("extent", "0,0,1,1"));
+  if (!extent.has_value()) {
+    std::fprintf(err, "bad --extent (want x0,y0,x1,y1)\n");
+    return 2;
+  }
+
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  const Dataset ds = gen::UniformRects(
+      "ops", n, *extent, size, static_cast<uint64_t>(seed_flag));
+  // Removes target already-emitted adds at a fixed stride, so the stream
+  // is valid (never removes what was not added) for every prefix.
+  const size_t stride =
+      remove_frac > 0.0 ? static_cast<size_t>(1.0 / remove_frac) : 0;
+  size_t emitted_adds = 0;
+  size_t removed = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const Rect& r = ds.rects()[i];
+    std::fprintf(out, "add %.17g %.17g %.17g %.17g\n", r.min_x, r.min_y,
+                 r.max_x, r.max_y);
+    ++emitted_adds;
+    if (stride > 0 && emitted_adds % stride == 0 && removed < i) {
+      const Rect& victim = ds.rects()[removed];
+      std::fprintf(out, "remove %.17g %.17g %.17g %.17g\n", victim.min_x,
+                   victim.min_y, victim.max_x, victim.max_y);
+      ++removed;
+    }
+  }
+  return 0;
+}
+
 int Dispatch(const ParsedArgs& parsed, std::FILE* out, std::FILE* err) {
   const std::string& command = parsed.positional[0];
   if (command == "gen") return CmdGen(parsed, out, err);
@@ -1072,6 +1348,8 @@ int Dispatch(const ParsedArgs& parsed, std::FILE* out, std::FILE* err) {
   if (command == "plan") return CmdPlan(parsed, out, err);
   if (command == "serve") return CmdServe(parsed, out, err);
   if (command == "client") return CmdClient(parsed, out, err);
+  if (command == "ingest") return CmdIngest(parsed, out, err);
+  if (command == "gen-ops") return CmdGenOps(parsed, out, err);
   std::fprintf(err, "unknown command: %s\n", command.c_str());
   return Usage(err);
 }

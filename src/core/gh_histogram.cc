@@ -15,7 +15,9 @@ namespace sjsel {
 namespace {
 
 constexpr uint32_t kGhMagic = 0x53474847;  // "SGHG"
-constexpr uint32_t kGhVersion = 2;
+// v3: shared checked envelope (format-version byte + CRC verified before
+// any field parse); v2 carried a u32 version and a trailing CRC check.
+constexpr uint8_t kGhVersion = 3;
 
 }  // namespace
 
@@ -776,9 +778,9 @@ uint64_t GhHistogram::NonEmptyCells() const {
 }
 
 uint64_t GhHistogram::FileBytes(FileFormat format) const {
-  // Header: magic, version, variant, format, level, 4 extent doubles, n,
-  // name; trailer: CRC.
-  const uint64_t header = 4 + 4 + 1 + 1 + 4 + 32 + 8 + 4 + name_.size();
+  // Header: magic, version byte, variant, format, level, 4 extent doubles,
+  // n, name; trailer: CRC.
+  const uint64_t header = 4 + 1 + 1 + 1 + 4 + 32 + 8 + 4 + name_.size();
   const uint64_t trailer = 4;
   if (format == FileFormat::kDense) {
     return header + 4 * (8 + c_.size() * 8) + trailer;
@@ -788,8 +790,7 @@ uint64_t GhHistogram::FileBytes(FileFormat format) const {
 
 Status GhHistogram::Save(const std::string& path, FileFormat format) const {
   BinaryWriter w;
-  w.PutU32(kGhMagic);
-  w.PutU32(kGhVersion);
+  w.BeginEnvelope(kGhMagic, kGhVersion);
   w.PutU8(variant_ == GhVariant::kBasic ? 1 : 0);
   w.PutU8(format == FileFormat::kSparse ? 1 : 0);
   w.PutU32(static_cast<uint32_t>(grid_.level()));
@@ -817,30 +818,18 @@ Status GhHistogram::Save(const std::string& path, FileFormat format) const {
       w.PutDouble(v_[i]);
     }
   }
-  const uint32_t crc = w.Crc32();
-  BinaryWriter trailer;
-  trailer.PutU32(crc);
-  return WriteFile(path, w.buffer() + trailer.buffer());
+  return WriteFile(path, w.SealEnvelope());
 }
 
 Result<GhHistogram> GhHistogram::Load(const std::string& path) {
   std::string data;
   SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
-  if (data.size() < sizeof(uint32_t)) {
-    return Status::Corruption("GH file too short: " + path);
-  }
-  const size_t body_size = data.size() - sizeof(uint32_t);
   BinaryReader r(std::move(data));
-  uint32_t body_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(body_crc, r.Crc32Prefix(body_size));
-
-  uint32_t magic = 0;
-  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
-  if (magic != kGhMagic) return Status::Corruption("bad GH magic in " + path);
-  uint32_t version = 0;
-  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  uint8_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.OpenEnvelope(kGhMagic, "GH histogram"));
   if (version != kGhVersion) {
-    return Status::Corruption("unsupported GH version");
+    return Status::Corruption("unsupported GH version " +
+                              std::to_string(version));
   }
   uint8_t variant_byte = 0;
   SJSEL_ASSIGN_OR_RETURN(variant_byte, r.GetU8());
@@ -892,14 +881,7 @@ Result<GhHistogram> GhHistogram::Load(const std::string& path) {
       SJSEL_ASSIGN_OR_RETURN(hist.v_[idx], r.GetDouble());
     }
   }
-  if (r.position() != body_size) {
-    return Status::Corruption("trailing garbage in GH file " + path);
-  }
-  uint32_t stored_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
-  if (stored_crc != body_crc) {
-    return Status::Corruption("GH CRC mismatch in " + path);
-  }
+  SJSEL_RETURN_IF_ERROR(r.ExpectBodyEnd("GH file " + path));
   return hist;
 }
 

@@ -65,7 +65,9 @@ double ProbWithin(double a1, double b1, double a2, double b2, double t) {
 namespace {
 
 constexpr uint32_t kMinSkewMagic = 0x534d534b;  // "SMSK"
-constexpr uint32_t kMinSkewVersion = 1;
+// v2: shared checked envelope (format-version byte + CRC verified before
+// any field parse); v1 carried a u32 version and a trailing CRC check.
+constexpr uint8_t kMinSkewVersion = 2;
 
 // A candidate region of the density grid, in cell coordinates
 // [x0, x1) x [y0, y1).
@@ -321,8 +323,7 @@ double EstimateMinSkewRangeCount(const MinSkewHistogram& hist,
 
 Status MinSkewHistogram::Save(const std::string& path) const {
   BinaryWriter w;
-  w.PutU32(kMinSkewMagic);
-  w.PutU32(kMinSkewVersion);
+  w.BeginEnvelope(kMinSkewMagic, kMinSkewVersion);
   w.PutDouble(extent_.min_x);
   w.PutDouble(extent_.min_y);
   w.PutDouble(extent_.max_x);
@@ -339,32 +340,18 @@ Status MinSkewHistogram::Save(const std::string& path) const {
     w.PutDouble(b.avg_w);
     w.PutDouble(b.avg_h);
   }
-  const uint32_t crc = w.Crc32();
-  BinaryWriter trailer;
-  trailer.PutU32(crc);
-  return WriteFile(path, w.buffer() + trailer.buffer());
+  return WriteFile(path, w.SealEnvelope());
 }
 
 Result<MinSkewHistogram> MinSkewHistogram::Load(const std::string& path) {
   std::string data;
   SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
-  if (data.size() < sizeof(uint32_t)) {
-    return Status::Corruption("MinSkew file too short: " + path);
-  }
-  const size_t body_size = data.size() - sizeof(uint32_t);
   BinaryReader r(std::move(data));
-  uint32_t body_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(body_crc, r.Crc32Prefix(body_size));
-
-  uint32_t magic = 0;
-  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
-  if (magic != kMinSkewMagic) {
-    return Status::Corruption("bad MinSkew magic in " + path);
-  }
-  uint32_t version = 0;
-  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  uint8_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.OpenEnvelope(kMinSkewMagic, "MinSkew"));
   if (version != kMinSkewVersion) {
-    return Status::Corruption("unsupported MinSkew version");
+    return Status::Corruption("unsupported MinSkew version " +
+                              std::to_string(version));
   }
   MinSkewHistogram hist;
   SJSEL_ASSIGN_OR_RETURN(hist.extent_.min_x, r.GetDouble());
@@ -391,14 +378,7 @@ Result<MinSkewHistogram> MinSkewHistogram::Load(const std::string& path) {
     SJSEL_ASSIGN_OR_RETURN(b.avg_w, r.GetDouble());
     SJSEL_ASSIGN_OR_RETURN(b.avg_h, r.GetDouble());
   }
-  if (r.position() != body_size) {
-    return Status::Corruption("trailing garbage in MinSkew file " + path);
-  }
-  uint32_t stored_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
-  if (stored_crc != body_crc) {
-    return Status::Corruption("MinSkew CRC mismatch in " + path);
-  }
+  SJSEL_RETURN_IF_ERROR(r.ExpectBodyEnd("MinSkew file " + path));
   return hist;
 }
 

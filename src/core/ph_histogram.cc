@@ -15,7 +15,9 @@ namespace sjsel {
 namespace {
 
 constexpr uint32_t kPhMagic = 0x53504847;  // "SPHG"
-constexpr uint32_t kPhVersion = 2;
+// v3: shared checked envelope (format-version byte + CRC verified before
+// any field parse); v2 carried a u32 version and a trailing CRC check.
+constexpr uint8_t kPhVersion = 3;
 
 // Emits one MBR's PH contributions given its precomputed cell range, in a
 // fixed order (the order Apply has always used): Contained per overlapped
@@ -626,8 +628,7 @@ Result<double> EstimatePhJoinSelectivity(const PhHistogram& a,
 
 Status PhHistogram::Save(const std::string& path) const {
   BinaryWriter w;
-  w.PutU32(kPhMagic);
-  w.PutU32(kPhVersion);
+  w.BeginEnvelope(kPhMagic, kPhVersion);
   w.PutU8(variant_ == PhVariant::kNaive ? 1 : 0);
   w.PutU32(static_cast<uint32_t>(grid_.level()));
   w.PutDouble(grid_.extent().min_x);
@@ -649,30 +650,18 @@ Status PhHistogram::Save(const std::string& path) const {
     w.PutDouble(c.w_sum_x);
     w.PutDouble(c.h_sum_x);
   }
-  const uint32_t crc = w.Crc32();
-  BinaryWriter trailer;
-  trailer.PutU32(crc);
-  return WriteFile(path, w.buffer() + trailer.buffer());
+  return WriteFile(path, w.SealEnvelope());
 }
 
 Result<PhHistogram> PhHistogram::Load(const std::string& path) {
   std::string data;
   SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
-  if (data.size() < sizeof(uint32_t)) {
-    return Status::Corruption("PH file too short: " + path);
-  }
-  const size_t body_size = data.size() - sizeof(uint32_t);
   BinaryReader r(std::move(data));
-  uint32_t body_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(body_crc, r.Crc32Prefix(body_size));
-
-  uint32_t magic = 0;
-  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
-  if (magic != kPhMagic) return Status::Corruption("bad PH magic in " + path);
-  uint32_t version = 0;
-  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  uint8_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.OpenEnvelope(kPhMagic, "PH histogram"));
   if (version != kPhVersion) {
-    return Status::Corruption("unsupported PH version");
+    return Status::Corruption("unsupported PH version " +
+                              std::to_string(version));
   }
   uint8_t variant_byte = 0;
   SJSEL_ASSIGN_OR_RETURN(variant_byte, r.GetU8());
@@ -710,14 +699,7 @@ Result<PhHistogram> PhHistogram::Load(const std::string& path) {
     SJSEL_ASSIGN_OR_RETURN(c.w_sum_x, r.GetDouble());
     SJSEL_ASSIGN_OR_RETURN(c.h_sum_x, r.GetDouble());
   }
-  if (r.position() != body_size) {
-    return Status::Corruption("trailing garbage in PH file " + path);
-  }
-  uint32_t stored_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
-  if (stored_crc != body_crc) {
-    return Status::Corruption("PH CRC mismatch in " + path);
-  }
+  SJSEL_RETURN_IF_ERROR(r.ExpectBodyEnd("PH file " + path));
   return hist;
 }
 

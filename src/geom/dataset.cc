@@ -9,7 +9,9 @@ namespace sjsel {
 namespace {
 
 constexpr uint32_t kDatasetMagic = 0x534a4453;  // "SJDS"
-constexpr uint32_t kDatasetVersion = 1;
+// v2: shared checked envelope (format-version byte + CRC verified before
+// any field parse); v1 carried a u32 version and a trailing CRC check.
+constexpr uint8_t kDatasetVersion = 2;
 
 }  // namespace
 
@@ -21,8 +23,7 @@ Rect Dataset::ComputeExtent() const {
 
 Status Dataset::Save(const std::string& path) const {
   BinaryWriter w;
-  w.PutU32(kDatasetMagic);
-  w.PutU32(kDatasetVersion);
+  w.BeginEnvelope(kDatasetMagic, kDatasetVersion);
   w.PutString(name_);
   w.PutU64(rects_.size());
   for (const Rect& r : rects_) {
@@ -31,35 +32,15 @@ Status Dataset::Save(const std::string& path) const {
     w.PutDouble(r.max_x);
     w.PutDouble(r.max_y);
   }
-  const uint32_t crc = w.Crc32();
-  BinaryWriter trailer;
-  trailer.PutU32(crc);
-  return WriteFile(path, w.buffer() + trailer.buffer());
+  return WriteFile(path, w.SealEnvelope());
 }
 
 Result<Dataset> Dataset::Load(const std::string& path) {
   std::string data;
   SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
-  if (data.size() < sizeof(uint32_t)) {
-    return Status::Corruption("dataset file too short: " + path);
-  }
-  const size_t body_size = data.size() - sizeof(uint32_t);
   BinaryReader r(std::move(data));
-
-  uint32_t expected_crc_body = 0;
-  {
-    uint32_t actual = 0;
-    SJSEL_ASSIGN_OR_RETURN(actual, r.Crc32Prefix(body_size));
-    expected_crc_body = actual;
-  }
-
-  uint32_t magic = 0;
-  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
-  if (magic != kDatasetMagic) {
-    return Status::Corruption("bad dataset magic in " + path);
-  }
-  uint32_t version = 0;
-  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  uint8_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.OpenEnvelope(kDatasetMagic, "dataset"));
   if (version != kDatasetVersion) {
     return Status::Corruption("unsupported dataset version " +
                               std::to_string(version));
@@ -84,14 +65,7 @@ Result<Dataset> Dataset::Load(const std::string& path) {
     SJSEL_ASSIGN_OR_RETURN(rect.max_y, r.GetDouble());
     ds.Add(rect);
   }
-  if (r.position() != body_size) {
-    return Status::Corruption("trailing garbage in dataset file " + path);
-  }
-  uint32_t stored_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
-  if (stored_crc != expected_crc_body) {
-    return Status::Corruption("dataset CRC mismatch in " + path);
-  }
+  SJSEL_RETURN_IF_ERROR(r.ExpectBodyEnd("dataset file " + path));
   return ds;
 }
 

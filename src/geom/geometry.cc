@@ -9,7 +9,9 @@ namespace sjsel {
 namespace {
 
 constexpr uint32_t kGeoMagic = 0x534a4745;  // "SJGE"
-constexpr uint32_t kGeoVersion = 1;
+// v2: shared checked envelope (format-version byte + CRC verified before
+// any field parse); v1 carried a u32 version and a trailing CRC check.
+constexpr uint8_t kGeoVersion = 2;
 constexpr uint8_t kTagPoint = 0;
 constexpr uint8_t kTagPolyline = 1;
 constexpr uint8_t kTagPolygon = 2;
@@ -185,8 +187,7 @@ bool GeometriesIntersect(const Geometry& a, const Geometry& b) {
 
 Status GeoDataset::Save(const std::string& path) const {
   BinaryWriter w;
-  w.PutU32(kGeoMagic);
-  w.PutU32(kGeoVersion);
+  w.BeginEnvelope(kGeoMagic, kGeoVersion);
   w.PutString(name_);
   w.PutU64(objects_.size());
   auto put_points = [&w](const std::vector<Point>& pts) {
@@ -209,32 +210,18 @@ Status GeoDataset::Save(const std::string& path) const {
       put_points(std::get<Polygon>(g).pts);
     }
   }
-  const uint32_t crc = w.Crc32();
-  BinaryWriter trailer;
-  trailer.PutU32(crc);
-  return WriteFile(path, w.buffer() + trailer.buffer());
+  return WriteFile(path, w.SealEnvelope());
 }
 
 Result<GeoDataset> GeoDataset::Load(const std::string& path) {
   std::string data;
   SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
-  if (data.size() < sizeof(uint32_t)) {
-    return Status::Corruption("geo file too short: " + path);
-  }
-  const size_t body_size = data.size() - sizeof(uint32_t);
   BinaryReader r(std::move(data));
-  uint32_t body_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(body_crc, r.Crc32Prefix(body_size));
-
-  uint32_t magic = 0;
-  SJSEL_ASSIGN_OR_RETURN(magic, r.GetU32());
-  if (magic != kGeoMagic) {
-    return Status::Corruption("bad geo magic in " + path);
-  }
-  uint32_t version = 0;
-  SJSEL_ASSIGN_OR_RETURN(version, r.GetU32());
+  uint8_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, r.OpenEnvelope(kGeoMagic, "geo dataset"));
   if (version != kGeoVersion) {
-    return Status::Corruption("unsupported geo version");
+    return Status::Corruption("unsupported geo version " +
+                              std::to_string(version));
   }
   GeoDataset ds;
   SJSEL_ASSIGN_OR_RETURN(ds.name_, r.GetString());
@@ -280,14 +267,7 @@ Result<GeoDataset> GeoDataset::Load(const std::string& path) {
       return Status::Corruption("unknown geometry tag in " + path);
     }
   }
-  if (r.position() != body_size) {
-    return Status::Corruption("trailing garbage in geo file " + path);
-  }
-  uint32_t stored_crc = 0;
-  SJSEL_ASSIGN_OR_RETURN(stored_crc, r.GetU32());
-  if (stored_crc != body_crc) {
-    return Status::Corruption("geo CRC mismatch in " + path);
-  }
+  SJSEL_RETURN_IF_ERROR(r.ExpectBodyEnd("geo file " + path));
   return ds;
 }
 

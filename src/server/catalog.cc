@@ -58,5 +58,37 @@ Result<EstimateResult> ServerCatalog::Estimate(const std::string& a,
   return it->second;
 }
 
+Result<std::shared_ptr<stream::StreamIngest>> ServerCatalog::GetStream(
+    const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = streams_.find(dir);
+    if (it != streams_.end()) return it->second;
+  }
+  SJSEL_METRIC_INC("server.catalog.stream_opens");
+  SJSEL_TRACE_SPAN("server.catalog.open_stream");
+  auto opened = stream::StreamIngest::Open(dir);
+  if (!opened.ok()) return opened.status();
+  std::shared_ptr<stream::StreamIngest> shared = std::move(opened).value();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Two workers may race to open the same directory. Only one ingest may
+  // own the WAL writer, so first-in wins and the loser is discarded.
+  const auto [it, inserted] = streams_.emplace(dir, std::move(shared));
+  (void)inserted;
+  return it->second;
+}
+
+Result<std::shared_ptr<stream::StreamIngest>> ServerCatalog::InitStream(
+    const std::string& dir, const stream::StreamOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (streams_.count(dir) != 0) {
+      return Status::FailedPrecondition("stream already open: " + dir);
+    }
+  }
+  SJSEL_RETURN_IF_ERROR(stream::StreamIngest::Init(dir, options));
+  return GetStream(dir);
+}
+
 }  // namespace server
 }  // namespace sjsel

@@ -20,6 +20,7 @@
 
 #include "core/guarded_estimator.h"
 #include "geom/dataset.h"
+#include "stream/ingest.h"
 #include "util/result.h"
 
 namespace sjsel {
@@ -41,6 +42,17 @@ class ServerCatalog {
   /// `server.catalog.estimate_hits` / `.estimate_misses`.
   Result<EstimateResult> Estimate(const std::string& a, const std::string& b);
 
+  /// The open stream ingest at directory `dir`, recovering it on first
+  /// use and keeping it open (with its WAL writer) for the server's
+  /// lifetime. Counts `server.catalog.stream_opens`.
+  Result<std::shared_ptr<stream::StreamIngest>> GetStream(
+      const std::string& dir);
+
+  /// Creates + opens a stream directory (op `ingest` with `extent`).
+  /// Fails if it is already initialized.
+  Result<std::shared_ptr<stream::StreamIngest>> InitStream(
+      const std::string& dir, const stream::StreamOptions& options);
+
   const GuardedEstimator& estimator() const { return estimator_; }
 
  private:
@@ -48,6 +60,7 @@ class ServerCatalog {
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<const Dataset>> datasets_;
   std::map<std::pair<std::string, std::string>, EstimateResult> estimates_;
+  std::map<std::string, std::shared_ptr<stream::StreamIngest>> streams_;
 };
 
 }  // namespace server

@@ -4,8 +4,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace sjsel {
 namespace server {
@@ -32,13 +35,41 @@ Status Client::Connect(const std::string& socket_path) {
   if (fd_ < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const std::string msg = std::strerror(errno);
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int err = errno;
     Close();
-    return Status::IoError("connect " + socket_path + ": " + msg);
+    // Re-publish the connect errno (Close may clobber it) so
+    // ConnectWithRetry can classify the failure.
+    errno = err;
+    return Status::IoError("connect " + socket_path + ": " +
+                           std::strerror(err));
   }
   return Status::OK();
+}
+
+Status Client::ConnectWithRetry(const std::string& socket_path, int attempts,
+                                int initial_backoff_ms) {
+  attempts = std::max(attempts, 1);
+  int backoff_ms = std::max(initial_backoff_ms, 1);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 1000);
+    }
+    errno = 0;
+    last = Connect(socket_path);
+    if (last.ok()) return last;
+    // Retry only the two transient startup races; anything else (bad
+    // path, permissions) will not fix itself by waiting.
+    if (errno != ECONNREFUSED && errno != ENOENT) return last;
+  }
+  return last;
 }
 
 Result<std::string> Client::Call(const std::string& request_line) {

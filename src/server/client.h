@@ -24,6 +24,15 @@ class Client {
   /// Connects to the server's socket. Fails if nothing is listening.
   Status Connect(const std::string& socket_path);
 
+  /// Connect with bounded exponential backoff on *transient* failures —
+  /// ECONNREFUSED (socket exists, nobody accepting yet) and ENOENT (the
+  /// daemon has not bound the path yet), the two races a client starting
+  /// alongside the server actually hits. Sleeps initial_backoff_ms,
+  /// 2x, 4x, ... between at most `attempts` tries (capped at 1s per
+  /// step); any other error, e.g. a bad path, fails immediately.
+  Status ConnectWithRetry(const std::string& socket_path, int attempts,
+                          int initial_backoff_ms);
+
   /// Sends one request line (newline appended here) and blocks for the
   /// response line. The server answers in order, so calls pipeline
   /// naturally on one connection. If the server hangs up before reading

@@ -5,6 +5,54 @@
 
 namespace sjsel {
 namespace server {
+namespace {
+
+/// A rect on the wire is [min_x, min_y, max_x, max_y].
+Result<Rect> ParseRect(const JsonValue& v, const std::string& field) {
+  if (!v.is_array() || v.items().size() != 4) {
+    return Status::InvalidArgument("'" + field +
+                                   "' entries must be [x0,y0,x1,y1] arrays");
+  }
+  double coords[4];
+  for (size_t i = 0; i < 4; ++i) {
+    const JsonValue& c = v.items()[i];
+    if (!c.is_number()) {
+      return Status::InvalidArgument("'" + field +
+                                     "' coordinates must be numbers");
+    }
+    coords[i] = c.number_value();
+  }
+  return Rect(coords[0], coords[1], coords[2], coords[3]);
+}
+
+Status ParseRectArray(const JsonValue& doc, const std::string& field,
+                      std::vector<Rect>* out) {
+  const JsonValue* arr = doc.Find(field);
+  if (arr == nullptr) return Status::OK();
+  if (!arr->is_array()) {
+    return Status::InvalidArgument("field '" + field + "' must be an array");
+  }
+  out->reserve(arr->items().size());
+  for (const JsonValue& v : arr->items()) {
+    Rect r;
+    SJSEL_ASSIGN_OR_RETURN(r, ParseRect(v, field));
+    out->push_back(r);
+  }
+  return Status::OK();
+}
+
+Status ParseIntField(const JsonValue& doc, const std::string& field,
+                     int fallback, int* out) {
+  double v = 0;
+  SJSEL_ASSIGN_OR_RETURN(v, doc.GetNumber(field, fallback));
+  if (v != std::floor(v)) {
+    return Status::InvalidArgument("'" + field + "' must be an integer");
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<Request> ParseRequest(const std::string& line) {
   JsonValue doc;
@@ -51,6 +99,17 @@ Result<Request> ParseRequest(const std::string& line) {
   req.top = static_cast<int>(top);
   SJSEL_ASSIGN_OR_RETURN(req.exact, doc.GetBool("exact", false));
   SJSEL_ASSIGN_OR_RETURN(req.scheme, doc.GetString("scheme", "gh"));
+  SJSEL_ASSIGN_OR_RETURN(req.stream, doc.GetString("stream", ""));
+  SJSEL_RETURN_IF_ERROR(ParseRectArray(doc, "adds", &req.adds));
+  SJSEL_RETURN_IF_ERROR(ParseRectArray(doc, "removes", &req.removes));
+  if (const JsonValue* extent = doc.Find("extent"); extent != nullptr) {
+    SJSEL_ASSIGN_OR_RETURN(req.extent, ParseRect(*extent, "extent"));
+    req.has_extent = true;
+  }
+  SJSEL_RETURN_IF_ERROR(ParseIntField(doc, "ph_level", 5, &req.ph_level));
+  SJSEL_RETURN_IF_ERROR(ParseIntField(doc, "seal_every", 8, &req.seal_every));
+  SJSEL_RETURN_IF_ERROR(
+      ParseIntField(doc, "checkpoint_every", 0, &req.checkpoint_every));
   return req;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "geom/rect.h"
 #include "util/json.h"
 #include "util/result.h"
 
@@ -32,7 +33,8 @@ inline constexpr char kErrInternal[] = "internal";
 struct Request {
   /// Echoed verbatim into the response; null when the client sent none.
   JsonValue id;
-  /// "ping", "estimate", "explain", "stats", "plan" or "shutdown".
+  /// "ping", "estimate", "explain", "stats", "plan", "ingest",
+  /// "checkpoint", "stream_estimate", "stream_stats" or "shutdown".
   std::string op;
   /// Dataset file paths: `a`/`b` for estimate and explain, `path` for
   /// stats, `paths` (array) for plan.
@@ -50,6 +52,18 @@ struct Request {
   int top = 10;
   bool exact = false;
   std::string scheme = "gh";
+  /// Streaming-ingest fields (docs/SERVER.md "Streaming ops"): `stream` is
+  /// the stream directory; `adds`/`removes` are arrays of [x0,y0,x1,y1]
+  /// rects; `extent` (same shape) plus `ph_level`/`seal_every`/
+  /// `checkpoint_every` initialize a new stream on first ingest.
+  std::string stream;
+  std::vector<Rect> adds;
+  std::vector<Rect> removes;
+  bool has_extent = false;
+  Rect extent;
+  int ph_level = 5;
+  int seal_every = 8;
+  int checkpoint_every = 0;
 };
 
 /// Parses one request line. Errors name the offending field or byte.

@@ -11,8 +11,10 @@
 #include <cstring>
 #include <utility>
 
+#include "core/gh_histogram.h"
 #include "core/kernels.h"
 #include "obs/explain.h"
+#include "stream/ingest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/join_planner.h"
@@ -414,6 +416,139 @@ std::string Server::Dispatch(const Request& req) {
     if (!plan_json.ok()) return fail_status(plan_json.status());
     return answered(
         JsonValue::Object().Set("plan", std::move(plan_json).value()));
+  }
+
+  if (req.op == "ingest") {
+    SJSEL_TRACE_SPAN("server.op.ingest");
+    if (req.stream.empty()) {
+      return fail(kErrBadRequest, "ingest needs a 'stream' directory");
+    }
+    Result<std::shared_ptr<stream::StreamIngest>> ingest =
+        Status::Internal("unreachable");
+    if (req.has_extent) {
+      stream::StreamOptions options;
+      options.extent = req.extent;
+      options.gh_level = req.level;
+      options.ph_level = req.ph_level;
+      options.seal_every = static_cast<uint32_t>(req.seal_every);
+      options.checkpoint_every = static_cast<uint32_t>(req.checkpoint_every);
+      ingest = catalog_.InitStream(req.stream, options);
+    } else {
+      ingest = catalog_.GetStream(req.stream);
+    }
+    if (!ingest.ok()) return fail_status(ingest.status());
+    std::vector<stream::StreamOp> batch;
+    batch.reserve(req.adds.size() + req.removes.size());
+    for (const Rect& r : req.adds) {
+      batch.push_back({stream::OpKind::kAdd, r});
+    }
+    for (const Rect& r : req.removes) {
+      batch.push_back({stream::OpKind::kRemove, r});
+    }
+    uint64_t seq = (*ingest)->seq();
+    if (!batch.empty()) {
+      const auto applied = (*ingest)->Apply(batch);
+      if (!applied.ok()) return fail_status(applied.status());
+      seq = *applied;
+    } else if (!req.has_extent) {
+      return fail(kErrBadRequest,
+                  "ingest needs 'adds'/'removes' ops or 'extent' to init");
+    }
+    JsonValue out = JsonValue::Object();
+    out.Set("seq", JsonValue::Int(static_cast<long long>(seq)));
+    out.Set("snapshot_seq",
+            JsonValue::Int(
+                static_cast<long long>((*ingest)->snapshot()->seq)));
+    out.Set("wal_bytes",
+            JsonValue::Int(static_cast<long long>((*ingest)->wal_bytes())));
+    return answered(std::move(out));
+  }
+
+  if (req.op == "checkpoint") {
+    SJSEL_TRACE_SPAN("server.op.checkpoint");
+    if (req.stream.empty()) {
+      return fail(kErrBadRequest, "checkpoint needs a 'stream' directory");
+    }
+    const auto ingest = catalog_.GetStream(req.stream);
+    if (!ingest.ok()) return fail_status(ingest.status());
+    const Status st = (*ingest)->Checkpoint();
+    if (!st.ok()) return fail_status(st);
+    JsonValue out = JsonValue::Object();
+    out.Set("checkpoint_seq",
+            JsonValue::Int(
+                static_cast<long long>((*ingest)->checkpoint_seq())));
+    out.Set("wal_bytes",
+            JsonValue::Int(static_cast<long long>((*ingest)->wal_bytes())));
+    return answered(std::move(out));
+  }
+
+  if (req.op == "stream_estimate") {
+    SJSEL_TRACE_SPAN("server.op.stream_estimate");
+    if (req.stream.empty() || req.b.empty()) {
+      return fail(kErrBadRequest,
+                  "stream_estimate needs 'stream' and a 'b' dataset path");
+    }
+    const auto ingest = catalog_.GetStream(req.stream);
+    if (!ingest.ok()) return fail_status(ingest.status());
+    const auto b = catalog_.GetDataset(req.b);
+    if (!b.ok()) return fail_status(b.status());
+    // Estimates are served from the immutable snapshot — a consistent
+    // (base + sealed deltas) view that concurrent Applies never mutate.
+    const auto snap = (*ingest)->snapshot();
+    const auto bh = GhHistogram::Build(**b, snap->gh.grid().extent(),
+                                       snap->gh.grid().level());
+    if (!bh.ok()) return fail_status(bh.status());
+    const auto pairs = EstimateGhJoinPairs(snap->gh, *bh);
+    if (!pairs.ok()) return fail_status(pairs.status());
+    const double n1 = static_cast<double>(snap->gh.dataset_size());
+    const double n2 = static_cast<double>((*b)->size());
+    JsonValue out = JsonValue::Object();
+    out.Set("estimated_pairs", JsonValue::Number(*pairs));
+    out.Set("selectivity",
+            JsonValue::Number(n1 > 0.0 && n2 > 0.0 ? *pairs / (n1 * n2)
+                                                   : 0.0));
+    out.Set("snapshot_seq",
+            JsonValue::Int(static_cast<long long>(snap->seq)));
+    out.Set("stream_n", JsonValue::Int(static_cast<long long>(
+                            snap->gh.dataset_size())));
+    return answered(std::move(out));
+  }
+
+  if (req.op == "stream_stats") {
+    SJSEL_TRACE_SPAN("server.op.stream_stats");
+    if (req.stream.empty()) {
+      return fail(kErrBadRequest, "stream_stats needs a 'stream' directory");
+    }
+    const auto ingest = catalog_.GetStream(req.stream);
+    if (!ingest.ok()) return fail_status(ingest.status());
+    const stream::RecoveryInfo& rec = (*ingest)->recovery();
+    JsonValue out = JsonValue::Object();
+    out.Set("seq", JsonValue::Int(static_cast<long long>((*ingest)->seq())));
+    out.Set("snapshot_seq",
+            JsonValue::Int(
+                static_cast<long long>((*ingest)->snapshot()->seq)));
+    out.Set("checkpoint_seq",
+            JsonValue::Int(
+                static_cast<long long>((*ingest)->checkpoint_seq())));
+    out.Set("active_batches",
+            JsonValue::Int(
+                static_cast<long long>((*ingest)->active_batches())));
+    out.Set("wal_bytes",
+            JsonValue::Int(static_cast<long long>((*ingest)->wal_bytes())));
+    out.Set("recovery",
+            JsonValue::Object()
+                .Set("checkpoint_seq",
+                     JsonValue::Int(static_cast<long long>(rec.checkpoint_seq)))
+                .Set("replayed_records",
+                     JsonValue::Int(
+                         static_cast<long long>(rec.replayed_records)))
+                .Set("skipped_records",
+                     JsonValue::Int(
+                         static_cast<long long>(rec.skipped_records)))
+                .Set("dropped_bytes",
+                     JsonValue::Int(static_cast<long long>(rec.dropped_bytes)))
+                .Set("tail_error", JsonValue::String(rec.tail_error)));
+    return answered(std::move(out));
   }
 
   return fail(kErrUnknownOp, "unknown op '" + req.op + "'");

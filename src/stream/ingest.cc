@@ -1,0 +1,512 @@
+#include "stream/ingest.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace stream {
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x534a4d46;  // "SJMF"
+constexpr uint8_t kManifestVersion = 1;
+constexpr uint8_t kRecordTypeBatch = 1;
+constexpr uint32_t kMaxBatchOps = 1u << 20;
+
+bool FileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// fsync a file written through the stdio-based Save paths, so checkpoint
+/// base images are durable before the MANIFEST starts referencing them.
+Status SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open for fsync: " + path);
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status ValidateOptions(const StreamOptions& o) {
+  if (!(o.extent.min_x < o.extent.max_x && o.extent.min_y < o.extent.max_y)) {
+    return Status::InvalidArgument("stream extent must be non-degenerate");
+  }
+  if (o.seal_every == 0) {
+    return Status::InvalidArgument("seal_every must be >= 1");
+  }
+  if (o.checkpoint_every != 0 && o.checkpoint_every % o.seal_every != 0) {
+    // A checkpoint persists the snapshot, which only advances at seal
+    // boundaries; aligning the cadences keeps "checkpoint_every" honest.
+    return Status::InvalidArgument(
+        "checkpoint_every must be a multiple of seal_every");
+  }
+  // Grid creation validates the levels.
+  SJSEL_RETURN_IF_ERROR(Grid::Create(o.extent, o.gh_level).status());
+  SJSEL_RETURN_IF_ERROR(Grid::Create(o.extent, o.ph_level).status());
+  return Status::OK();
+}
+
+Status ValidateBatch(const std::vector<StreamOp>& batch) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("empty ingest batch");
+  }
+  if (batch.size() > kMaxBatchOps) {
+    return Status::InvalidArgument("ingest batch too large: " +
+                                   std::to_string(batch.size()) + " ops");
+  }
+  for (const StreamOp& op : batch) {
+    if (op.kind != OpKind::kAdd && op.kind != OpKind::kRemove) {
+      return Status::InvalidArgument("unknown ingest op kind");
+    }
+    const Rect& r = op.rect;
+    if (!(std::isfinite(r.min_x) && std::isfinite(r.min_y) &&
+          std::isfinite(r.max_x) && std::isfinite(r.max_y))) {
+      return Status::InvalidArgument("non-finite rect in ingest batch");
+    }
+    if (r.min_x > r.max_x || r.min_y > r.max_y) {
+      return Status::InvalidArgument("inverted rect in ingest batch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string StreamIngest::EncodeBatch(uint64_t seq,
+                                      const std::vector<StreamOp>& ops) {
+  BinaryWriter w;
+  w.PutU8(kRecordTypeBatch);
+  w.PutU64(seq);
+  w.PutU32(static_cast<uint32_t>(ops.size()));
+  for (const StreamOp& op : ops) {
+    w.PutU8(static_cast<uint8_t>(op.kind));
+    w.PutDouble(op.rect.min_x);
+    w.PutDouble(op.rect.min_y);
+    w.PutDouble(op.rect.max_x);
+    w.PutDouble(op.rect.max_y);
+  }
+  return w.buffer();
+}
+
+Result<std::pair<uint64_t, std::vector<StreamOp>>> StreamIngest::DecodeBatch(
+    const std::string& payload) {
+  BinaryReader r(payload);
+  uint8_t type = 0;
+  SJSEL_ASSIGN_OR_RETURN(type, r.GetU8());
+  if (type != kRecordTypeBatch) {
+    return Status::Corruption("unknown WAL record type " +
+                              std::to_string(type));
+  }
+  uint64_t seq = 0;
+  SJSEL_ASSIGN_OR_RETURN(seq, r.GetU64());
+  uint32_t count = 0;
+  SJSEL_ASSIGN_OR_RETURN(count, r.GetU32());
+  // Each op is 33 bytes; reject counts beyond the remaining payload.
+  if (count > (r.size() - r.position()) / 33) {
+    return Status::Corruption("WAL batch op count exceeds payload");
+  }
+  std::vector<StreamOp> ops(count);
+  for (StreamOp& op : ops) {
+    uint8_t kind = 0;
+    SJSEL_ASSIGN_OR_RETURN(kind, r.GetU8());
+    op.kind = static_cast<OpKind>(kind);
+    SJSEL_ASSIGN_OR_RETURN(op.rect.min_x, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(op.rect.min_y, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(op.rect.max_x, r.GetDouble());
+    SJSEL_ASSIGN_OR_RETURN(op.rect.max_y, r.GetDouble());
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing garbage in WAL batch record");
+  }
+  SJSEL_RETURN_IF_ERROR(ValidateBatch(ops));
+  return std::make_pair(seq, std::move(ops));
+}
+
+StreamIngest::StreamIngest(std::string dir, StreamOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+std::string StreamIngest::WalPath() const { return dir_ + "/wal.log"; }
+std::string StreamIngest::ManifestPath() const { return dir_ + "/MANIFEST"; }
+std::string StreamIngest::BasePath(uint64_t seq, const char* ext) const {
+  return dir_ + "/base." + std::to_string(seq) + "." + ext;
+}
+
+Status StreamIngest::WriteManifest(uint64_t checkpoint_seq) const {
+  BinaryWriter w;
+  w.BeginEnvelope(kManifestMagic, kManifestVersion);
+  w.PutDouble(options_.extent.min_x);
+  w.PutDouble(options_.extent.min_y);
+  w.PutDouble(options_.extent.max_x);
+  w.PutDouble(options_.extent.max_y);
+  w.PutU32(static_cast<uint32_t>(options_.gh_level));
+  w.PutU32(static_cast<uint32_t>(options_.ph_level));
+  w.PutU32(options_.seal_every);
+  w.PutU32(options_.checkpoint_every);
+  w.PutU8(options_.fsync_always ? 1 : 0);
+  w.PutU64(checkpoint_seq);
+  return WriteFileAtomic(ManifestPath(), w.SealEnvelope());
+}
+
+Result<std::pair<StreamOptions, uint64_t>> StreamIngest::ReadManifest(
+    const std::string& dir) {
+  std::string data;
+  SJSEL_ASSIGN_OR_RETURN(data, ReadFile(dir + "/MANIFEST"));
+  BinaryReader r(std::move(data));
+  uint8_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version,
+                         r.OpenEnvelope(kManifestMagic, "stream manifest"));
+  if (version != kManifestVersion) {
+    return Status::Corruption("unsupported stream manifest version " +
+                              std::to_string(version));
+  }
+  StreamOptions o;
+  SJSEL_ASSIGN_OR_RETURN(o.extent.min_x, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(o.extent.min_y, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(o.extent.max_x, r.GetDouble());
+  SJSEL_ASSIGN_OR_RETURN(o.extent.max_y, r.GetDouble());
+  uint32_t gh_level = 0;
+  uint32_t ph_level = 0;
+  SJSEL_ASSIGN_OR_RETURN(gh_level, r.GetU32());
+  SJSEL_ASSIGN_OR_RETURN(ph_level, r.GetU32());
+  o.gh_level = static_cast<int>(gh_level);
+  o.ph_level = static_cast<int>(ph_level);
+  SJSEL_ASSIGN_OR_RETURN(o.seal_every, r.GetU32());
+  SJSEL_ASSIGN_OR_RETURN(o.checkpoint_every, r.GetU32());
+  uint8_t fsync_byte = 0;
+  SJSEL_ASSIGN_OR_RETURN(fsync_byte, r.GetU8());
+  o.fsync_always = fsync_byte != 0;
+  uint64_t checkpoint_seq = 0;
+  SJSEL_ASSIGN_OR_RETURN(checkpoint_seq, r.GetU64());
+  SJSEL_RETURN_IF_ERROR(r.ExpectBodyEnd("stream manifest"));
+  SJSEL_RETURN_IF_ERROR(ValidateOptions(o));
+  return std::make_pair(o, checkpoint_seq);
+}
+
+Status StreamIngest::Init(const std::string& dir,
+                          const StreamOptions& options) {
+  SJSEL_RETURN_IF_ERROR(ValidateOptions(options));
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create stream directory: " + dir);
+  }
+  if (FileExists(dir + "/MANIFEST")) {
+    return Status::FailedPrecondition("stream directory already initialized: " +
+                                      dir);
+  }
+  StreamIngest stub(dir, options);
+  SJSEL_RETURN_IF_ERROR(stub.WriteManifest(0));
+  // Create the (empty) WAL so a crash before the first Apply still leaves
+  // a well-formed directory.
+  WalWriter wal;
+  SJSEL_ASSIGN_OR_RETURN(wal, WalWriter::Open(stub.WalPath(),
+                                              options.fsync_always));
+  return Status::OK();
+}
+
+Status StreamIngest::ResetActiveLocked() {
+  auto gh = GhHistogram::CreateEmpty(options_.extent, options_.gh_level);
+  SJSEL_RETURN_IF_ERROR(gh.status());
+  auto ph = PhHistogram::CreateEmpty(options_.extent, options_.ph_level);
+  SJSEL_RETURN_IF_ERROR(ph.status());
+  active_gh_ = std::make_unique<GhHistogram>(std::move(gh).value());
+  active_ph_ = std::make_unique<PhHistogram>(std::move(ph).value());
+  active_payloads_.clear();
+  active_batches_ = 0;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StreamIngest>> StreamIngest::Open(
+    const std::string& dir) {
+  SJSEL_TRACE_SPAN("stream.recover", "dir=%s", dir.c_str());
+  std::pair<StreamOptions, uint64_t> manifest;
+  SJSEL_ASSIGN_OR_RETURN(manifest, ReadManifest(dir));
+  const StreamOptions& options = manifest.first;
+  const uint64_t checkpoint_seq = manifest.second;
+
+  std::unique_ptr<StreamIngest> ingest(new StreamIngest(dir, options));
+  ingest->checkpoint_seq_ = checkpoint_seq;
+  ingest->seq_ = checkpoint_seq;
+  ingest->recovery_.checkpoint_seq = checkpoint_seq;
+
+  // Base histograms: the persisted checkpoint image, or empty at seq 0.
+  // (StreamSnapshot is not default-constructible — the histogram classes
+  // only come from their factories — so the snapshot is built in place.)
+  auto gh = checkpoint_seq > 0
+                ? GhHistogram::Load(ingest->BasePath(checkpoint_seq, "gh"))
+                : GhHistogram::CreateEmpty(options.extent, options.gh_level);
+  SJSEL_RETURN_IF_ERROR(gh.status());
+  auto ph = checkpoint_seq > 0
+                ? PhHistogram::Load(ingest->BasePath(checkpoint_seq, "ph"))
+                : PhHistogram::CreateEmpty(options.extent, options.ph_level);
+  SJSEL_RETURN_IF_ERROR(ph.status());
+  if (checkpoint_seq > 0) {
+    const auto grid = Grid::Create(options.extent, options.gh_level);
+    SJSEL_RETURN_IF_ERROR(grid.status());
+    if (!gh.value().grid().CompatibleWith(grid.value())) {
+      return Status::Corruption("checkpoint base grid does not match the "
+                                "stream manifest in " + dir);
+    }
+  }
+  ingest->snapshot_ = std::make_shared<StreamSnapshot>(StreamSnapshot{
+      std::move(gh).value(), std::move(ph).value(), checkpoint_seq});
+  SJSEL_RETURN_IF_ERROR(ingest->ResetActiveLocked());
+
+  // Replay the WAL tail. Records the base already covers are skipped; the
+  // rest must form a gap-free continuation of the acknowledged stream.
+  if (FileExists(ingest->WalPath())) {
+    auto replayed = ReplayWal(
+        ingest->WalPath(), [&ingest](const std::string& payload) -> Status {
+          std::pair<uint64_t, std::vector<StreamOp>> batch;
+          SJSEL_ASSIGN_OR_RETURN(batch, DecodeBatch(payload));
+          if (batch.first <= ingest->checkpoint_seq_) {
+            ++ingest->recovery_.skipped_records;
+            return Status::OK();
+          }
+          if (batch.first != ingest->seq_ + 1) {
+            return Status::Corruption(
+                "WAL sequence gap: expected " +
+                std::to_string(ingest->seq_ + 1) + ", found " +
+                std::to_string(batch.first));
+          }
+          SJSEL_RETURN_IF_ERROR(
+              ingest->ApplyToActive(batch.first, batch.second, payload));
+          ++ingest->recovery_.replayed_records;
+          ingest->recovery_.replayed_ops += batch.second.size();
+          return Status::OK();
+        });
+    SJSEL_RETURN_IF_ERROR(replayed.status());
+    const WalReplayResult& rr = replayed.value();
+    ingest->recovery_.dropped_bytes = rr.dropped_bytes;
+    ingest->recovery_.tail_error = rr.tail_error;
+    if (rr.dropped_bytes > 0) {
+      // Unacknowledged torn tail: drop it so appends resume on a clean
+      // frame boundary.
+      SJSEL_RETURN_IF_ERROR(TruncateWal(ingest->WalPath(), rr.valid_bytes));
+    }
+    SJSEL_METRIC_ADD("stream.replay.records", rr.records);
+    SJSEL_METRIC_ADD("stream.replay.dropped_bytes", rr.dropped_bytes);
+  }
+
+  SJSEL_ASSIGN_OR_RETURN(
+      ingest->wal_, WalWriter::Open(ingest->WalPath(), options.fsync_always));
+  return ingest;
+}
+
+Status StreamIngest::ApplyToActive(uint64_t seq,
+                                   const std::vector<StreamOp>& ops,
+                                   const std::string& payload) {
+  for (const StreamOp& op : ops) {
+    if (op.kind == OpKind::kAdd) {
+      active_gh_->AddRect(op.rect);
+      active_ph_->AddRect(op.rect);
+    } else {
+      active_gh_->RemoveRect(op.rect);
+      active_ph_->RemoveRect(op.rect);
+    }
+  }
+  active_payloads_.push_back(payload);
+  ++active_batches_;
+  seq_ = seq;
+  if (seq_ % options_.seal_every == 0) {
+    SJSEL_RETURN_IF_ERROR(SealLocked());
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> StreamIngest::Apply(const std::vector<StreamOp>& batch) {
+  SJSEL_RETURN_IF_ERROR(ValidateBatch(batch));
+  std::lock_guard<std::mutex> lock(mu_);
+  SJSEL_TRACE_SPAN("stream.apply", "seq=%llu ops=%zu",
+                   static_cast<unsigned long long>(seq_ + 1), batch.size());
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "ingest poisoned by an earlier WAL failure; reopen " + dir_ +
+        " to recover");
+  }
+  const uint64_t seq = seq_ + 1;
+  const std::string payload = EncodeBatch(seq, batch);
+  const Status appended = wal_.Append(payload);
+  if (!appended.ok()) {
+    // The WAL may now hold a torn record; acknowledging anything past it
+    // would violate "acknowledged implies replayable".
+    poisoned_ = true;
+    return appended;
+  }
+  SJSEL_RETURN_IF_ERROR(ApplyToActive(seq, batch, payload));
+  SJSEL_METRIC_INC("stream.ingest.batches");
+  SJSEL_METRIC_ADD("stream.ingest.ops", batch.size());
+  SJSEL_METRIC_GAUGE_MAX("stream.delta.batches", active_batches_);
+  if (options_.checkpoint_every != 0 &&
+      seq % options_.checkpoint_every == 0) {
+    SJSEL_RETURN_IF_ERROR(CheckpointLocked());
+  }
+  return seq;
+}
+
+Status StreamIngest::SealLocked() {
+  SJSEL_TRACE_SPAN("stream.seal", "seq=%llu batches=%llu",
+                   static_cast<unsigned long long>(seq_),
+                   static_cast<unsigned long long>(active_batches_));
+  std::shared_ptr<const StreamSnapshot> current;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    current = snapshot_;
+  }
+  // Left-fold merge: new = old + delta, in seq order. Appending each delta
+  // to the end of the fold keeps every cell value bit-identical to an
+  // in-order replay of the ops (see docs/DURABILITY.md).
+  auto next = std::make_shared<StreamSnapshot>(*current);
+  SJSEL_RETURN_IF_ERROR(next->gh.Merge(*active_gh_));
+  SJSEL_RETURN_IF_ERROR(next->ph.Merge(*active_ph_));
+  next->seq = seq_;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snapshot_ = std::move(next);
+  }
+  SJSEL_METRIC_INC("stream.seals");
+  return ResetActiveLocked();
+}
+
+Status StreamIngest::CheckpointLocked() {
+  SJSEL_TRACE_SPAN("stream.checkpoint", "seq=%llu",
+                   static_cast<unsigned long long>(seq_));
+  SJSEL_METRIC_SCOPED_LATENCY("stream.compaction_us");
+  std::shared_ptr<const StreamSnapshot> snap = snapshot();
+  const uint64_t target = snap->seq;
+  const uint64_t previous = checkpoint_seq_;
+  if (target > previous) {
+    // 1. Persist the snapshot under a seq-versioned name and make it
+    //    durable before the MANIFEST can reference it.
+    SJSEL_RETURN_IF_ERROR(snap->gh.Save(BasePath(target, "gh")));
+    SJSEL_RETURN_IF_ERROR(SyncFile(BasePath(target, "gh")));
+    SJSEL_RETURN_IF_ERROR(snap->ph.Save(BasePath(target, "ph")));
+    SJSEL_RETURN_IF_ERROR(SyncFile(BasePath(target, "ph")));
+    // 2. Atomically commit the new checkpoint seq. A crash before this
+    //    rename keeps the old base + full WAL; after it, replay skips
+    //    records the new base covers.
+    SJSEL_RETURN_IF_ERROR(WriteManifest(target));
+    checkpoint_seq_ = target;
+  }
+  // 3. Rewrite the WAL down to the unsealed tail. Atomic replace: a crash
+  //    leaves either the old WAL (fully covered by skip-filtering) or the
+  //    new one.
+  BinaryWriter header;
+  header.PutU32(kWalMagic);
+  header.PutU8(kWalVersion);
+  std::string log = header.buffer();
+  for (const std::string& payload : active_payloads_) {
+    BinaryWriter frame;
+    frame.PutU32(static_cast<uint32_t>(payload.size()));
+    frame.PutU32(Crc32(payload.data(), payload.size()));
+    log += frame.buffer() + payload;
+  }
+  wal_.Close();
+  SJSEL_RETURN_IF_ERROR(WriteFileAtomic(WalPath(), log));
+  SJSEL_ASSIGN_OR_RETURN(wal_,
+                         WalWriter::Open(WalPath(), options_.fsync_always));
+  // 4. Old base images are now unreferenced.
+  if (target > previous && previous > 0) {
+    ::unlink(BasePath(previous, "gh").c_str());
+    ::unlink(BasePath(previous, "ph").c_str());
+  }
+  SJSEL_METRIC_INC("stream.compactions");
+  return Status::OK();
+}
+
+Status StreamIngest::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "ingest poisoned by an earlier WAL failure; reopen " + dir_ +
+        " to recover");
+  }
+  return CheckpointLocked();
+}
+
+std::shared_ptr<const StreamSnapshot> StreamIngest::snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return snapshot_;
+}
+
+Result<StreamSnapshot> StreamIngest::MaterializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamSnapshot state = *snapshot();
+  if (active_batches_ > 0) {
+    // Same left-fold a seal would perform, so the materialized state is
+    // exactly the next snapshot.
+    SJSEL_RETURN_IF_ERROR(state.gh.Merge(*active_gh_));
+    SJSEL_RETURN_IF_ERROR(state.ph.Merge(*active_ph_));
+    state.seq = seq_;
+  }
+  return state;
+}
+
+Result<std::string> StreamIngest::StateDigest() const {
+  auto materialized = MaterializeState();
+  SJSEL_RETURN_IF_ERROR(materialized.status());
+  const StreamSnapshot& state = materialized.value();
+  BinaryWriter w;
+  w.PutU64(state.seq);
+  w.PutU64(state.gh.dataset_size());
+  w.PutDoubleVector(state.gh.c());
+  w.PutDoubleVector(state.gh.o());
+  w.PutDoubleVector(state.gh.h());
+  w.PutDoubleVector(state.gh.v());
+  w.PutU64(state.ph.dataset_size());
+  w.PutDouble(state.ph.avg_span());
+  w.PutDouble(state.ph.crossing_count());
+  for (const PhHistogram::Cell& c : state.ph.cells()) {
+    w.PutDouble(c.num);
+    w.PutDouble(c.area_sum);
+    w.PutDouble(c.w_sum);
+    w.PutDouble(c.h_sum);
+    w.PutDouble(c.num_x);
+    w.PutDouble(c.area_sum_x);
+    w.PutDouble(c.w_sum_x);
+    w.PutDouble(c.h_sum_x);
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", w.Crc32());
+  return std::string(buf);
+}
+
+uint64_t StreamIngest::seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+uint64_t StreamIngest::checkpoint_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_seq_;
+}
+
+uint64_t StreamIngest::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.bytes();
+}
+
+uint64_t StreamIngest::active_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_batches_;
+}
+
+}  // namespace stream
+}  // namespace sjsel

@@ -1,0 +1,179 @@
+#ifndef SJSEL_STREAM_INGEST_H_
+#define SJSEL_STREAM_INGEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/gh_histogram.h"
+#include "core/ph_histogram.h"
+#include "geom/rect.h"
+#include "stream/wal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sjsel {
+namespace stream {
+
+/// One update in an ingest batch.
+enum class OpKind : uint8_t {
+  kAdd = 1,
+  kRemove = 2,
+};
+
+struct StreamOp {
+  OpKind kind = OpKind::kAdd;
+  Rect rect;
+};
+
+/// Fixed configuration of a stream directory, chosen at Init and persisted
+/// in the MANIFEST. seal_every / checkpoint_every are batch counts keyed to
+/// the acknowledged sequence number, which makes delta boundaries a pure
+/// function of the op stream — the property the recovery bit-identity
+/// invariant rests on (see docs/DURABILITY.md).
+struct StreamOptions {
+  Rect extent{0.0, 0.0, 1.0, 1.0};
+  int gh_level = 7;
+  int ph_level = 5;
+  uint32_t seal_every = 8;        ///< seal the active delta every N batches
+  uint32_t checkpoint_every = 0;  ///< auto-checkpoint every N batches (0 = manual)
+  bool fsync_always = true;       ///< fdatasync the WAL on every append
+};
+
+/// An immutable (base + sealed deltas) view served to concurrent readers.
+/// `seq` is the last acknowledged batch folded into it; ops newer than that
+/// sit in the active delta and become visible at the next seal.
+struct StreamSnapshot {
+  GhHistogram gh;
+  PhHistogram ph;
+  uint64_t seq = 0;
+};
+
+/// What crash recovery found when the stream directory was opened.
+struct RecoveryInfo {
+  uint64_t checkpoint_seq = 0;    ///< seq covered by the loaded base
+  uint64_t replayed_records = 0;  ///< WAL records re-applied (seq > base)
+  uint64_t skipped_records = 0;   ///< WAL records already in the base
+  uint64_t replayed_ops = 0;      ///< individual add/remove ops re-applied
+  uint64_t dropped_bytes = 0;     ///< torn/corrupt tail bytes truncated
+  std::string tail_error;         ///< replay stop reason; empty = clean log
+};
+
+/// Crash-safe streaming ingest over differential GH/PH histograms.
+///
+/// Layout of a stream directory:
+///   MANIFEST        checked envelope: geometry + cadence + checkpoint seq
+///   base.<S>.gh/.ph histogram images covering batches [1, S]
+///   wal.log         framed op batches with seq > S (stream/wal.h)
+///
+/// Write path (Apply): the batch is framed and fdatasync'd into the WAL
+/// *before* it touches the in-memory delta; only then is its seq
+/// acknowledged. A batch is therefore either durable or unacknowledged —
+/// never half-applied. Every seal_every batches the active delta is merged
+/// into a fresh snapshot (left-fold via Merge, so cell values stay
+/// bit-identical to replaying the ops in order); Checkpoint persists the
+/// snapshot as the new base, rewrites the WAL to just the unsealed tail,
+/// and never changes any cell value.
+///
+/// Read path: snapshot() hands out a shared immutable view; readers never
+/// block writers and vice versa.
+///
+/// Thread-safety: Apply/Checkpoint serialize on an internal mutex;
+/// snapshot()/MaterializeState()/stats are safe from any thread.
+class StreamIngest {
+ public:
+  /// Creates and initializes a stream directory (the directory itself is
+  /// created if missing). Fails if it already holds a MANIFEST.
+  static Status Init(const std::string& dir, const StreamOptions& options);
+
+  /// Opens an existing stream directory, running crash recovery: loads the
+  /// checkpoint base, replays the WAL tail (skipping records the base
+  /// already covers), truncates a torn/corrupt tail, and re-seals deltas at
+  /// the same seq boundaries the original process used — recovered state is
+  /// bit-identical to a never-crashed ingest fed the acknowledged prefix.
+  static Result<std::unique_ptr<StreamIngest>> Open(const std::string& dir);
+
+  /// Durably logs and applies one batch; returns its acknowledged seq.
+  /// After any WAL failure the ingest is poisoned: the WAL tail can no
+  /// longer be trusted to ack past it, so every later Apply fails and the
+  /// caller must reopen (recovery truncates the bad tail).
+  Result<uint64_t> Apply(const std::vector<StreamOp>& batch);
+
+  /// Persists the current snapshot as the new base and shrinks the WAL to
+  /// the unsealed tail. Values are unchanged; only durability is re-based.
+  Status Checkpoint();
+
+  /// The current consistent read view (never null).
+  std::shared_ptr<const StreamSnapshot> snapshot() const;
+
+  /// Full state including the not-yet-sealed active delta, merged the same
+  /// way a seal would. This is what --digest hashes: two ingests fed the
+  /// same acknowledged op stream produce bit-identical MaterializeState.
+  Result<StreamSnapshot> MaterializeState() const;
+
+  /// CRC-32 hex digest of MaterializeState (cells, counts, seq) — the
+  /// recovery drill's equality check.
+  Result<std::string> StateDigest() const;
+
+  const StreamOptions& options() const { return options_; }
+  const std::string& dir() const { return dir_; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+  uint64_t seq() const;
+  uint64_t checkpoint_seq() const;
+  uint64_t wal_bytes() const;
+  uint64_t active_batches() const;
+
+  /// Serializes `ops` into a WAL record payload / decodes one. Exposed for
+  /// tests and the WAL tooling.
+  static std::string EncodeBatch(uint64_t seq,
+                                 const std::vector<StreamOp>& ops);
+  static Result<std::pair<uint64_t, std::vector<StreamOp>>> DecodeBatch(
+      const std::string& payload);
+
+ private:
+  StreamIngest(std::string dir, StreamOptions options);
+
+  std::string WalPath() const;
+  std::string ManifestPath() const;
+  std::string BasePath(uint64_t seq, const char* ext) const;
+
+  Status WriteManifest(uint64_t checkpoint_seq) const;
+  static Result<std::pair<StreamOptions, uint64_t>> ReadManifest(
+      const std::string& dir);
+
+  /// Applies ops to the active delta and advances seq_, sealing at
+  /// seal_every boundaries. Shared by Apply and WAL replay so the live and
+  /// recovered paths are the same code.
+  Status ApplyToActive(uint64_t seq, const std::vector<StreamOp>& ops,
+                       const std::string& payload);
+  Status SealLocked();
+  Status CheckpointLocked();
+  Status ResetActiveLocked();
+
+  const std::string dir_;
+  const StreamOptions options_;
+
+  mutable std::mutex mu_;  ///< serializes writers + active-delta access
+  WalWriter wal_;
+  uint64_t seq_ = 0;
+  uint64_t checkpoint_seq_ = 0;
+  bool poisoned_ = false;
+  std::unique_ptr<GhHistogram> active_gh_;
+  std::unique_ptr<PhHistogram> active_ph_;
+  /// Encoded payloads of unsealed batches, in seq order — exactly the
+  /// records a checkpoint must carry over into the rewritten WAL.
+  std::vector<std::string> active_payloads_;
+  uint64_t active_batches_ = 0;
+
+  mutable std::mutex snap_mu_;  ///< guards the snapshot pointer swap
+  std::shared_ptr<const StreamSnapshot> snapshot_;
+
+  RecoveryInfo recovery_;
+};
+
+}  // namespace stream
+}  // namespace sjsel
+
+#endif  // SJSEL_STREAM_INGEST_H_

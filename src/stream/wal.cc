@@ -1,0 +1,234 @@
+#include "stream/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/fault_injection.h"
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace stream {
+namespace {
+
+std::string WalHeader() {
+  BinaryWriter w;
+  w.PutU32(kWalMagic);
+  w.PutU8(kWalVersion);
+  return w.buffer();
+}
+
+Status FdatasyncRetry(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fdatasync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::IoError("fdatasync failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    fsync_always_ = other.fsync_always_;
+    bytes_ = other.bytes_;
+    other.fd_ = -1;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path, bool fsync_always) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL for append: " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat WAL: " + path);
+  }
+
+  WalWriter w;
+  w.fd_ = fd;
+  w.path_ = path;
+  w.fsync_always_ = fsync_always;
+  w.bytes_ = static_cast<uint64_t>(st.st_size);
+
+  if (w.bytes_ == 0) {
+    const std::string header = WalHeader();
+    SJSEL_RETURN_IF_ERROR(w.WriteAll(header.data(), header.size()));
+    w.bytes_ = header.size();
+    SJSEL_RETURN_IF_ERROR(FdatasyncRetry(fd, path));
+  } else if (w.bytes_ < kWalHeaderBytes) {
+    return Status::Corruption("WAL shorter than its header: " + path);
+  }
+  return w;
+}
+
+Status WalWriter::WriteAll(const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    size_t chunk = n - off;
+    // Fault site wal.short_write: cap one write(2) so only part of the
+    // frame lands in this call — the loop must finish the rest. This is
+    // the success path; it proves partial writes cannot tear a record.
+    if (FaultInjector::GloballyArmed() &&
+        FaultInjector::Global().ShouldFail(kFaultSiteWalShortWrite)) {
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+    const ssize_t written = ::write(fd_, data + off, chunk);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("WAL write failed: " + path_);
+    }
+    off += static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(const std::string& payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("WAL writer is closed: " + path_);
+  }
+  if (payload.size() > kWalMaxRecordBytes) {
+    return Status::InvalidArgument("WAL record too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  BinaryWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data(), payload.size()));
+  std::string bytes = frame.buffer() + payload;
+
+  // Fault site wal.corrupt: flip one payload byte after the CRC was
+  // computed, then report failure so the record is never acknowledged —
+  // replay must reject the frame by CRC.
+  bool corrupt = false;
+  if (!payload.empty() && FaultInjector::GloballyArmed() &&
+      FaultInjector::Global().ShouldFail(kFaultSiteWalCorrupt)) {
+    bytes[kWalFrameBytes + payload.size() / 2] ^= 0x01;
+    corrupt = true;
+  }
+  // Fault site wal.torn_write: persist only a strict prefix of the frame
+  // and fail, simulating a crash mid-append.
+  if (FaultInjector::GloballyArmed() &&
+      FaultInjector::Global().ShouldFail(kFaultSiteWalTornWrite)) {
+    const size_t torn = std::max<size_t>(1, bytes.size() / 2);
+    (void)WriteAll(bytes.data(), torn);
+    bytes_ += torn;
+    return Status::IoError("injected fault at wal.torn_write: " + path_);
+  }
+
+  SJSEL_RETURN_IF_ERROR(WriteAll(bytes.data(), bytes.size()));
+  bytes_ += bytes.size();
+  if (fsync_always_) {
+    SJSEL_METRIC_SCOPED_LATENCY("stream.wal.fsync_us");
+    SJSEL_RETURN_IF_ERROR(FdatasyncRetry(fd_, path_));
+  }
+  SJSEL_METRIC_INC("stream.wal.appends");
+  SJSEL_METRIC_ADD("stream.wal.bytes", static_cast<int64_t>(bytes.size()));
+  if (corrupt) {
+    return Status::IoError("injected fault at wal.corrupt: " + path_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("WAL writer is closed: " + path_);
+  }
+  return FdatasyncRetry(fd_, path_);
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WalReplayResult> ReplayWal(
+    const std::string& path,
+    const std::function<Status(const std::string& payload)>& apply) {
+  std::string data;
+  SJSEL_ASSIGN_OR_RETURN(data, ReadFile(path));
+  if (data.size() < kWalHeaderBytes) {
+    return Status::Corruption("WAL shorter than its header: " + path);
+  }
+  BinaryReader header(data.substr(0, kWalHeaderBytes));
+  uint32_t magic = 0;
+  SJSEL_ASSIGN_OR_RETURN(magic, header.GetU32());
+  if (magic != kWalMagic) {
+    return Status::Corruption("bad WAL magic in " + path);
+  }
+  uint8_t version = 0;
+  SJSEL_ASSIGN_OR_RETURN(version, header.GetU8());
+  if (version != kWalVersion) {
+    return Status::Corruption("unsupported WAL version " +
+                              std::to_string(version) + " in " + path);
+  }
+
+  WalReplayResult result;
+  result.valid_bytes = kWalHeaderBytes;
+  size_t pos = kWalHeaderBytes;
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalFrameBytes) {
+      result.tail_error = "torn frame header at offset " + std::to_string(pos);
+      break;
+    }
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    std::memcpy(&len, data.data() + pos, sizeof(len));
+    std::memcpy(&crc, data.data() + pos + sizeof(len), sizeof(crc));
+    if (len > kWalMaxRecordBytes) {
+      result.tail_error = "implausible record length " + std::to_string(len) +
+                          " at offset " + std::to_string(pos);
+      break;
+    }
+    if (data.size() - pos - kWalFrameBytes < len) {
+      result.tail_error = "torn record payload at offset " +
+                          std::to_string(pos);
+      break;
+    }
+    const char* payload = data.data() + pos + kWalFrameBytes;
+    if (Crc32(payload, len) != crc) {
+      result.tail_error = "record CRC mismatch at offset " +
+                          std::to_string(pos);
+      break;
+    }
+    SJSEL_RETURN_IF_ERROR(apply(std::string(payload, len)));
+    ++result.records;
+    pos += kWalFrameBytes + len;
+    result.valid_bytes = pos;
+  }
+  result.dropped_bytes = data.size() - result.valid_bytes;
+  return result;
+}
+
+Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
+  if (valid_bytes < kWalHeaderBytes) {
+    return Status::InvalidArgument("cannot truncate WAL below its header");
+  }
+  int rc;
+  do {
+    rc = ::truncate(path.c_str(), static_cast<off_t>(valid_bytes));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::IoError("truncate failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace stream
+}  // namespace sjsel

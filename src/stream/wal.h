@@ -1,0 +1,99 @@
+#ifndef SJSEL_STREAM_WAL_H_
+#define SJSEL_STREAM_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sjsel {
+namespace stream {
+
+/// On-disk layout of the write-ahead log:
+///
+///   header:  magic "SJWL" (u32) | format-version byte (u8)
+///   record:  payload length (u32) | CRC-32 of payload (u32) | payload
+///
+/// Records are opaque byte strings to this layer (StreamIngest encodes op
+/// batches into them). A record is durable once Append returns OK with
+/// fsync enabled; a crash mid-append leaves a torn tail that ReplayWal
+/// detects (truncated frame or CRC mismatch) and reports so recovery can
+/// truncate it. Nothing in a valid prefix is ever reinterpreted after a
+/// torn tail: replay stops at the first bad frame.
+inline constexpr uint32_t kWalMagic = 0x534a574c;  // "SJWL"
+inline constexpr uint8_t kWalVersion = 1;
+inline constexpr uint64_t kWalHeaderBytes = 5;
+/// Framing overhead per record: length + CRC.
+inline constexpr uint64_t kWalFrameBytes = 8;
+/// Upper bound on a single record; larger lengths in a frame mean
+/// corruption, not a huge record.
+inline constexpr uint32_t kWalMaxRecordBytes = 1u << 24;
+
+/// Outcome of scanning a log.
+struct WalReplayResult {
+  uint64_t records = 0;        ///< valid records delivered to the callback
+  uint64_t valid_bytes = 0;    ///< length of the valid prefix (incl. header)
+  uint64_t dropped_bytes = 0;  ///< torn/corrupt tail bytes after the prefix
+  std::string tail_error;      ///< why the scan stopped; empty = clean end
+};
+
+/// Appends framed records to a log file. Not thread-safe; StreamIngest
+/// serializes writers. All write paths retry EINTR and continue partial
+/// writes; fault sites wal.torn_write / wal.short_write / wal.corrupt
+/// fire here (see util/fault_injection.h).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter() { Close(); }
+  WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, writing + syncing the header if the file
+  /// is new or empty. An existing file must start with a valid header.
+  static Result<WalWriter> Open(const std::string& path, bool fsync_always);
+
+  /// Frames and appends one record; with fsync enabled the record is on
+  /// disk when this returns OK. On any error the file may hold a torn
+  /// tail — the caller must treat this writer as dead (StreamIngest
+  /// poisons the ingest) because appending past a torn record would make
+  /// replay drop everything after it.
+  Status Append(const std::string& payload);
+
+  /// fdatasync the log (no-op when Append already syncs every record).
+  Status Sync();
+
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Status WriteAll(const char* data, size_t n);
+
+  int fd_ = -1;
+  std::string path_;
+  bool fsync_always_ = true;
+  uint64_t bytes_ = 0;  ///< current file length, including header
+};
+
+/// Scans the log at `path`, invoking `apply` for each valid record in
+/// order. Stops at the first torn or corrupt frame and reports it in the
+/// result (scan errors are not Status failures — a torn tail is the
+/// expected crash signature). IoError only if the file cannot be read or
+/// its header is invalid; a callback error aborts the scan and propagates.
+Result<WalReplayResult> ReplayWal(
+    const std::string& path,
+    const std::function<Status(const std::string& payload)>& apply);
+
+/// Truncates the log to `valid_bytes` (as reported by ReplayWal), dropping
+/// a torn tail so future appends start from a clean frame boundary.
+Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace stream
+}  // namespace sjsel
+
+#endif  // SJSEL_STREAM_WAL_H_

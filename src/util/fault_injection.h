@@ -30,6 +30,16 @@ namespace sjsel {
 ///                    The corresponding GuardedEstimator rung fails with
 ///                    Corruption before running, exercising the fallback
 ///                    chain.
+///   wal.torn_write   WalWriter::Append persists only a strict prefix of
+///                    the framed record and returns IoError — simulates a
+///                    crash mid-write; recovery must truncate the torn
+///                    tail. The writer is poisoned afterwards.
+///   wal.short_write  One write(2) inside Append is artificially capped;
+///                    the retry loop must complete the record (success
+///                    path — proves partial writes are handled).
+///   wal.corrupt      Append flips one payload byte on disk and returns
+///                    IoError (so the record is never acknowledged);
+///                    replay must reject it via the record CRC.
 inline constexpr char kFaultSiteIoRead[] = "io.read";
 inline constexpr char kFaultSiteIoCorrupt[] = "io.corrupt";
 inline constexpr char kFaultSiteCatalogHistLoad[] = "catalog.hist_load";
@@ -38,6 +48,9 @@ inline constexpr char kFaultSiteEstimatorGh[] = "estimator.gh";
 inline constexpr char kFaultSiteEstimatorPh[] = "estimator.ph";
 inline constexpr char kFaultSiteEstimatorSampling[] = "estimator.sampling";
 inline constexpr char kFaultSiteEstimatorParametric[] = "estimator.parametric";
+inline constexpr char kFaultSiteWalTornWrite[] = "wal.torn_write";
+inline constexpr char kFaultSiteWalShortWrite[] = "wal.short_write";
+inline constexpr char kFaultSiteWalCorrupt[] = "wal.corrupt";
 
 /// Thrown at the pool.task site (thread-pool task boundaries cannot return
 /// Status). ParallelFor's per-block exception handling rethrows it on the

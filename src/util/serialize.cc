@@ -1,6 +1,10 @@
 #include "util/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstdio>
 
 #include "util/fault_injection.h"
@@ -51,8 +55,53 @@ uint32_t BinaryWriter::Crc32() const {
   return ::sjsel::Crc32(buffer_.data(), buffer_.size());
 }
 
+void BinaryWriter::BeginEnvelope(uint32_t magic, uint8_t version) {
+  PutU32(magic);
+  PutU8(version);
+}
+
+std::string BinaryWriter::SealEnvelope() const {
+  const uint32_t crc = Crc32();
+  std::string out = buffer_;
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return out;
+}
+
+Result<uint8_t> BinaryReader::OpenEnvelope(uint32_t expected_magic,
+                                           const std::string& what) {
+  // magic(4) + version(1) + crc trailer(4) is the smallest valid file.
+  constexpr size_t kMinSize = 4 + 1 + 4;
+  if (data_.size() < kMinSize) {
+    return Status::Corruption(what + " file too short (" +
+                              std::to_string(data_.size()) + " bytes)");
+  }
+  const size_t body = data_.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data_.data() + body, sizeof(stored_crc));
+  if (stored_crc != ::sjsel::Crc32(data_.data(), body)) {
+    return Status::Corruption(what + " CRC mismatch");
+  }
+  uint32_t magic = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&magic, sizeof(magic)));
+  if (magic != expected_magic) {
+    return Status::Corruption("bad " + what + " magic");
+  }
+  uint8_t version = 0;
+  SJSEL_RETURN_IF_ERROR(GetRaw(&version, sizeof(version)));
+  limit_ = body;
+  return version;
+}
+
+Status BinaryReader::ExpectBodyEnd(const std::string& what) const {
+  if (pos_ != limit_) {
+    return Status::Corruption("trailing garbage in " + what + " (" +
+                              std::to_string(limit_ - pos_) + " bytes)");
+  }
+  return Status::OK();
+}
+
 Status BinaryReader::GetRaw(void* out, size_t n) {
-  if (pos_ + n > data_.size()) {
+  if (pos_ + n > limit_) {
     return Status::Corruption("truncated input: need " + std::to_string(n) +
                               " bytes at offset " + std::to_string(pos_));
   }
@@ -98,10 +147,10 @@ Result<std::string> BinaryReader::GetString() {
   // an adversarial length must cost a Corruption status, not a multi-GB
   // allocation attempt. Written overflow-proof (n compared to the
   // remainder, never pos_ + n).
-  if (static_cast<size_t>(n) > data_.size() - pos_) {
+  if (static_cast<size_t>(n) > limit_ - pos_) {
     return Status::Corruption("string length " + std::to_string(n) +
                               " exceeds remaining " +
-                              std::to_string(data_.size() - pos_) + " bytes");
+                              std::to_string(limit_ - pos_) + " bytes");
   }
   std::string s = data_.substr(pos_, n);
   pos_ += n;
@@ -114,10 +163,10 @@ Result<std::vector<double>> BinaryReader::GetDoubleVector() {
   // Same pre-allocation cap as GetString: the element count must fit the
   // remaining bytes (divide the remainder rather than multiplying n, so a
   // length near 2^64 cannot overflow the comparison).
-  if (n > (data_.size() - pos_) / sizeof(double)) {
+  if (n > (limit_ - pos_) / sizeof(double)) {
     return Status::Corruption("double vector length " + std::to_string(n) +
                               " exceeds remaining " +
-                              std::to_string(data_.size() - pos_) + " bytes");
+                              std::to_string(limit_ - pos_) + " bytes");
   }
   std::vector<double> v(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -142,6 +191,42 @@ Status WriteFile(const std::string& path, const std::string& data) {
   const int close_rc = std::fclose(f);
   if (written != data.size() || close_rc != 0) {
     return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("write failed: " + path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  int rc;
+  do {
+    rc = ::fdatasync(fd);
+  } while (rc != 0 && errno == EINTR);
+  const bool sync_ok = rc == 0;
+  if (::close(fd) != 0 || !sync_ok) {
+    return Status::IoError("fsync/close failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  SJSEL_RETURN_IF_ERROR(WriteFileDurable(tmp, data));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
 }

@@ -29,6 +29,16 @@ class BinaryWriter {
   /// Length-prefixed (u64) vector of doubles.
   void PutDoubleVector(const std::vector<double>& v);
 
+  /// Starts the shared checked-file envelope every binary format uses:
+  /// magic (u32) followed by a format-version byte. Must be the first
+  /// writes into this writer; finish the file with SealEnvelope().
+  void BeginEnvelope(uint32_t magic, uint8_t version);
+
+  /// Returns the file image: everything written so far plus a CRC-32
+  /// trailer (u32) over it. The CRC is verified by
+  /// BinaryReader::OpenEnvelope before any field is parsed.
+  std::string SealEnvelope() const;
+
   const std::string& buffer() const { return buffer_; }
 
   /// CRC-32 (IEEE 802.3 polynomial) of everything written so far.
@@ -47,7 +57,8 @@ class BinaryWriter {
 /// return Corruption on truncated input.
 class BinaryReader {
  public:
-  explicit BinaryReader(std::string data) : data_(std::move(data)) {}
+  explicit BinaryReader(std::string data)
+      : data_(std::move(data)), limit_(data_.size()) {}
 
   Result<uint8_t> GetU8();
   Result<uint32_t> GetU32();
@@ -57,9 +68,23 @@ class BinaryReader {
   Result<std::string> GetString();
   Result<std::vector<double>> GetDoubleVector();
 
+  /// Opens a file image produced by BinaryWriter::BeginEnvelope +
+  /// SealEnvelope: verifies the CRC-32 trailer over the whole body BEFORE
+  /// parsing anything (so a flipped byte anywhere is rejected up front,
+  /// never mis-parsed), checks the magic, and returns the format-version
+  /// byte for the caller to validate. On success subsequent getters are
+  /// bounded to the body (the trailer is no longer readable) and
+  /// ExpectBodyEnd() checks for trailing garbage. `what` names the format
+  /// in error messages (e.g. "dataset").
+  Result<uint8_t> OpenEnvelope(uint32_t expected_magic, const std::string& what);
+
+  /// After parsing all fields of an envelope: Corruption unless the read
+  /// position is exactly the end of the body.
+  Status ExpectBodyEnd(const std::string& what) const;
+
   size_t position() const { return pos_; }
-  size_t size() const { return data_.size(); }
-  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t size() const { return limit_; }
+  bool AtEnd() const { return pos_ >= limit_; }
 
   /// CRC-32 of the first `n` bytes of the underlying data.
   Result<uint32_t> Crc32Prefix(size_t n) const;
@@ -69,6 +94,7 @@ class BinaryReader {
 
   std::string data_;
   size_t pos_ = 0;
+  size_t limit_ = 0;  ///< readable end: data size, or body end in an envelope
 };
 
 /// CRC-32 (IEEE) of a byte range.
@@ -77,6 +103,16 @@ uint32_t Crc32(const void* data, size_t n);
 /// Writes `data` to `path` atomically enough for our purposes (truncate +
 /// write + close). Returns IoError on failure.
 Status WriteFile(const std::string& path, const std::string& data);
+
+/// WriteFile with durability: EINTR-safe write loop plus fdatasync before
+/// close, so the bytes survive a crash of this process (and, fsync
+/// semantics permitting, of the machine).
+Status WriteFileDurable(const std::string& path, const std::string& data);
+
+/// Crash-safe replace: writes `path`.tmp durably, then rename(2)s it over
+/// `path`. A crash at any point leaves either the old complete file or the
+/// new complete file, never a torn mix.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
 
 /// Reads the whole file at `path`.
 Result<std::string> ReadFile(const std::string& path);

@@ -109,6 +109,68 @@ TEST(GhMergeTest, RejectsIncompatible) {
   EXPECT_FALSE(h4->Merge(*basic).ok());
 }
 
+TEST(GhMergeTest, FailedMergeIsStructuredAndLeavesTargetUntouched) {
+  const Dataset ds = MakeUniform(60, 17);
+  auto target = GhHistogram::Build(ds, kUnit, 4);
+  ASSERT_TRUE(target.ok());
+  const GhHistogram before = *target;
+  const auto other_grid = GhHistogram::Build(ds, kUnit, 5);
+  const auto other_variant =
+      GhHistogram::Build(ds, kUnit, 4, GhVariant::kBasic);
+
+  const Status grid_err = target->Merge(*other_grid);
+  EXPECT_EQ(grid_err.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(grid_err.message().find("different grids"), std::string::npos);
+  const Status variant_err = target->Merge(*other_variant);
+  EXPECT_EQ(variant_err.code(), StatusCode::kInvalidArgument);
+
+  // A rejected merge must not have mutated a single cell or the count.
+  EXPECT_EQ(target->dataset_size(), before.dataset_size());
+  EXPECT_EQ(target->c(), before.c());
+  EXPECT_EQ(target->o(), before.o());
+  EXPECT_EQ(target->h(), before.h());
+  EXPECT_EQ(target->v(), before.v());
+}
+
+TEST(GhIncrementalTest, RemoveEverythingReturnsToEmpty) {
+  const Dataset ds = MakeClustered(300, 9);
+  auto hist = GhHistogram::Build(ds, kUnit, 5);
+  ASSERT_TRUE(hist.ok());
+  // Removing every rect drives all statistics back to (near) zero —
+  // "near" because summation is not associative, so cancellation leaves
+  // residuals on the order of the accumulated rounding, not exact zeros.
+  for (size_t i = ds.size(); i > 0; --i) hist->RemoveRect(ds.rects()[i - 1]);
+  EXPECT_EQ(hist->dataset_size(), 0u);
+  const auto empty = GhHistogram::CreateEmpty(kUnit, 5);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(SameArrays(*hist, *empty, 1e-9));
+  // The emptied histogram estimates (essentially) zero pairs again.
+  EXPECT_NEAR(EstimateGhJoinPairs(*hist, *hist).value(), 0.0, 1e-12);
+}
+
+TEST(GhIncrementalTest, RemoveOfNeverAddedRectIsACountedNoOpPair) {
+  // RemoveRect trusts the caller (documented): removing a rect that was
+  // never added subtracts its contribution anyway. Pin the two halves of
+  // that contract — the arrays go negative rather than clamp, and a
+  // matching AddRect cancels them back to exact zeros. The one
+  // asymmetry is the record count, which saturates at zero on remove.
+  auto hist = GhHistogram::CreateEmpty(kUnit, 4);
+  ASSERT_TRUE(hist.ok());
+  const Rect phantom(0.2, 0.2, 0.4, 0.4);
+  hist->RemoveRect(phantom);
+  EXPECT_EQ(hist->dataset_size(), 0u);  // n_ saturates at zero
+  bool has_negative = false;
+  for (const double v : hist->c()) has_negative |= v < 0.0;
+  EXPECT_TRUE(has_negative);
+  hist->AddRect(phantom);
+  const auto empty = GhHistogram::CreateEmpty(kUnit, 4);
+  EXPECT_EQ(hist->c(), empty->c());
+  EXPECT_EQ(hist->o(), empty->o());
+  EXPECT_EQ(hist->h(), empty->h());
+  EXPECT_EQ(hist->v(), empty->v());
+  EXPECT_EQ(hist->dataset_size(), 1u);  // the saturation's visible cost
+}
+
 TEST(GhWindowTest, FullWindowEqualsGlobalEstimate) {
   const Dataset a = MakeClustered(1000, 15);
   const Dataset b = MakeUniform(1000, 16);

@@ -103,6 +103,59 @@ TEST(PhMergeTest, RejectsIncompatible) {
   EXPECT_FALSE(h4->Merge(*naive).ok());
 }
 
+TEST(PhMergeTest, FailedMergeIsStructuredAndLeavesTargetUntouched) {
+  const Dataset ds = MakeUniform(60, 17);
+  auto target = PhHistogram::Build(ds, kUnit, 4);
+  ASSERT_TRUE(target.ok());
+  const PhHistogram before = *target;
+  const auto other_grid = PhHistogram::Build(ds, kUnit, 5);
+  const auto other_variant =
+      PhHistogram::Build(ds, kUnit, 4, PhVariant::kNaive);
+
+  const Status grid_err = target->Merge(*other_grid);
+  EXPECT_EQ(grid_err.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(grid_err.message().find("different grids"), std::string::npos);
+  const Status variant_err = target->Merge(*other_variant);
+  EXPECT_EQ(variant_err.code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(target->dataset_size(), before.dataset_size());
+  EXPECT_DOUBLE_EQ(target->crossing_count(), before.crossing_count());
+  EXPECT_TRUE(SameCells(*target, before, 0.0));
+}
+
+TEST(PhIncrementalTest, RemoveEverythingReturnsToEmpty) {
+  const Dataset ds = MakeClustered(300, 9);
+  auto hist = PhHistogram::Build(ds, kUnit, 4);
+  ASSERT_TRUE(hist.ok());
+  // Removing every rect drives all cell statistics back to (near) zero —
+  // near, not exact, because summation is not associative and the
+  // cancellation leaves rounding residuals.
+  for (size_t i = ds.size(); i > 0; --i) hist->RemoveRect(ds.rects()[i - 1]);
+  EXPECT_EQ(hist->dataset_size(), 0u);
+  const auto empty = PhHistogram::CreateEmpty(kUnit, 4);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(SameCells(*hist, *empty, 1e-9));
+  EXPECT_NEAR(hist->crossing_count(), 0.0, 1e-9);
+  EXPECT_NEAR(EstimatePhJoinPairs(*hist, *hist).value(), 0.0, 1e-9);
+}
+
+TEST(PhIncrementalTest, RemoveOfNeverAddedRectGoesNegativeNotClamped) {
+  auto hist = PhHistogram::CreateEmpty(kUnit, 4);
+  ASSERT_TRUE(hist.ok());
+  const Rect phantom(0.2, 0.2, 0.45, 0.45);
+  hist->RemoveRect(phantom);
+  EXPECT_EQ(hist->dataset_size(), 0u);  // count saturates at zero
+  bool has_negative = false;
+  for (const auto& c : hist->cells()) {
+    has_negative |= c.num < 0.0 || c.num_x < 0.0;
+  }
+  EXPECT_TRUE(has_negative);
+  // A matching AddRect cancels the damage to exact zeros.
+  hist->AddRect(phantom);
+  const auto empty = PhHistogram::CreateEmpty(kUnit, 4);
+  EXPECT_TRUE(SameCells(*hist, *empty, 0.0));
+}
+
 TEST(PhIncrementalTest, EstimateTracksDataChanges) {
   const Dataset a = MakeClustered(900, 15);
   Dataset b = MakeUniform(900, 16);

@@ -141,6 +141,121 @@ TEST(FileIoTest, MissingFileIsIoError) {
   EXPECT_EQ(read.status().code(), StatusCode::kIoError);
 }
 
+constexpr uint32_t kTestMagic = 0x544d4743u;
+
+std::string SealedEnvelope(uint8_t version = 1) {
+  BinaryWriter w;
+  w.BeginEnvelope(kTestMagic, version);
+  w.PutU64(7);
+  w.PutString("body");
+  w.PutDouble(2.5);
+  return w.SealEnvelope();
+}
+
+TEST(EnvelopeTest, RoundTrip) {
+  const std::string file = SealedEnvelope();
+  BinaryReader r(file);
+  const auto version = r.OpenEnvelope(kTestMagic, "test");
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(version.value(), 1);
+  EXPECT_EQ(r.GetU64().value(), 7u);
+  EXPECT_EQ(r.GetString().value(), "body");
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 2.5);
+  EXPECT_TRUE(r.ExpectBodyEnd("test").ok());
+}
+
+TEST(EnvelopeTest, EveryPossibleFlippedByteIsRejected) {
+  // The point of the CRC trailer: no single corrupted byte anywhere in
+  // the file — magic, version, body, or the trailer itself — may open.
+  const std::string good = SealedEnvelope();
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] ^= 0x01;
+    BinaryReader r(bad);
+    const auto version = r.OpenEnvelope(kTestMagic, "test");
+    ASSERT_FALSE(version.ok()) << "flipped byte " << i << " was accepted";
+    EXPECT_EQ(version.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(EnvelopeTest, WrongMagicNamesTheFormat) {
+  const std::string file = SealedEnvelope();
+  BinaryReader r(file);
+  const auto version = r.OpenEnvelope(kTestMagic + 1, "widget");
+  ASSERT_FALSE(version.ok());
+  EXPECT_EQ(version.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(version.status().message().find("widget"), std::string::npos);
+}
+
+TEST(EnvelopeTest, VersionByteIsReturnedForCallerGating) {
+  // OpenEnvelope itself accepts any version (the CRC vouches for the
+  // bytes); each format's Load gates on the versions it understands.
+  const std::string file = SealedEnvelope(/*version=*/9);
+  BinaryReader r(file);
+  const auto version = r.OpenEnvelope(kTestMagic, "test");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 9);
+}
+
+TEST(EnvelopeTest, TruncationsAreRejected) {
+  const std::string good = SealedEnvelope();
+  for (const size_t keep : {size_t{0}, size_t{4}, size_t{8},
+                            good.size() - 4, good.size() - 1}) {
+    BinaryReader r(good.substr(0, keep));
+    const auto version = r.OpenEnvelope(kTestMagic, "test");
+    ASSERT_FALSE(version.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(version.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(EnvelopeTest, TrailingGarbageInsideTheBodyIsRejected) {
+  // A reader that consumed the body but not all of it must be able to
+  // flag the extra bytes (a wrong-shape file whose CRC still matches).
+  BinaryWriter w;
+  w.BeginEnvelope(kTestMagic, 1);
+  w.PutU32(1);
+  w.PutU32(2);  // the "garbage": a field the reader does not expect
+  const std::string file = w.SealEnvelope();
+  BinaryReader r(file);
+  ASSERT_TRUE(r.OpenEnvelope(kTestMagic, "test").ok());
+  ASSERT_TRUE(r.GetU32().ok());
+  const Status end = r.ExpectBodyEnd("test");
+  ASSERT_FALSE(end.ok());
+  EXPECT_EQ(end.code(), StatusCode::kCorruption);
+  EXPECT_NE(end.message().find("trailing garbage"), std::string::npos);
+}
+
+TEST(EnvelopeTest, BodyEndHidesTheTrailerFromGetters) {
+  // The CRC trailer is framing, not body: a length-prefixed field must
+  // not be able to read into it.
+  BinaryWriter w;
+  w.BeginEnvelope(kTestMagic, 1);
+  w.PutU32(6);  // claims 6 string bytes; only 2 exist before the trailer
+  w.PutU8('h');
+  w.PutU8('i');
+  const std::string file = w.SealEnvelope();
+  BinaryReader r(file);
+  ASSERT_TRUE(r.OpenEnvelope(kTestMagic, "test").ok());
+  const auto s = r.GetString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FileIoTest, DurableAndAtomicWritesRoundTrip) {
+  const std::string durable = ::testing::TempDir() + "/sjsel_durable.bin";
+  ASSERT_TRUE(WriteFileDurable(durable, "durable-bytes").ok());
+  EXPECT_EQ(ReadFile(durable).value(), "durable-bytes");
+
+  const std::string atomic = ::testing::TempDir() + "/sjsel_atomic.bin";
+  ASSERT_TRUE(WriteFileAtomic(atomic, "first").ok());
+  ASSERT_TRUE(WriteFileAtomic(atomic, "second").ok());  // replace in place
+  EXPECT_EQ(ReadFile(atomic).value(), "second");
+  // No temp file may be left behind.
+  EXPECT_FALSE(ReadFile(atomic + ".tmp").ok());
+  std::remove(durable.c_str());
+  std::remove(atomic.c_str());
+}
+
 TEST(BinaryReaderTest, Crc32PrefixMatchesWriter) {
   BinaryWriter w;
   w.PutU64(99);

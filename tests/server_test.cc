@@ -12,10 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/gh_histogram.h"
 #include "core/guarded_estimator.h"
 #include "datagen/generators.h"
 #include "planner/join_planner.h"
@@ -311,6 +313,140 @@ TEST_F(ServerTest, OverlongLineClosesWithBadRequest) {
   ASSERT_TRUE(response.ok());
   EXPECT_NE(response->find(kErrBadRequest), std::string::npos);
   server.Stop();
+}
+
+TEST_F(ServerTest, StreamOpsValidateTheirInputs) {
+  Server server(ServerOptions{});
+  for (const char* line :
+       {R"({"op":"ingest"})", R"({"op":"checkpoint"})",
+        R"({"op":"stream_estimate"})", R"({"op":"stream_stats"})"}) {
+    const JsonValue response = Handle(&server, line);
+    EXPECT_FALSE(response.Find("ok")->bool_value()) << line;
+    EXPECT_EQ(ErrorCode(response), kErrBadRequest) << line;
+  }
+  // A stream directory that was never initialized cannot be opened.
+  const JsonValue missing = Handle(
+      &server,
+      R"({"op":"stream_stats","stream":")" + ::testing::TempDir() +
+          R"(/no_such_stream"})");
+  EXPECT_FALSE(missing.Find("ok")->bool_value());
+  EXPECT_NE(ErrorCode(missing), "");
+}
+
+TEST_F(ServerTest, IngestLifecycleOverHandleLine) {
+  const std::string dir = ::testing::TempDir() + "/server_stream";
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/MANIFEST").c_str());
+  Server server(ServerOptions{});
+
+  // Init (extent present) and first batch in one request.
+  const JsonValue init = Handle(
+      &server, R"({"op":"ingest","stream":")" + dir +
+                   R"(","extent":[0,0,1,1],"level":4,"ph_level":3,)" +
+                   R"("seal_every":2,)" +
+                   R"("adds":[[0.1,0.1,0.2,0.2],[0.5,0.5,0.6,0.6]]})");
+  ASSERT_TRUE(init.Find("ok")->bool_value());
+  EXPECT_EQ(init.Find("result")->Find("seq")->number_value(), 1.0);
+
+  // Init without ops is legal; ops without extent reuse the open stream.
+  const JsonValue batch2 = Handle(
+      &server, R"({"op":"ingest","stream":")" + dir +
+                   R"(","adds":[[0.3,0.3,0.4,0.4]],)" +
+                   R"("removes":[[0.1,0.1,0.2,0.2]]})");
+  ASSERT_TRUE(batch2.Find("ok")->bool_value());
+  EXPECT_EQ(batch2.Find("result")->Find("seq")->number_value(), 2.0);
+  // seal_every=2: the second batch sealed, so snapshots see seq 2.
+  EXPECT_EQ(batch2.Find("result")->Find("snapshot_seq")->number_value(), 2.0);
+
+  // Re-init of an open stream is refused.
+  const JsonValue reinit = Handle(
+      &server, R"({"op":"ingest","stream":")" + dir +
+                   R"(","extent":[0,0,1,1]})");
+  EXPECT_FALSE(reinit.Find("ok")->bool_value());
+
+  // stream_estimate against a dataset matches the standalone build over
+  // the snapshot bit for bit.
+  const JsonValue est = Handle(
+      &server, R"({"op":"stream_estimate","stream":")" + dir +
+                   R"(","b":")" + b_path_ + R"("})");
+  ASSERT_TRUE(est.Find("ok")->bool_value());
+  {
+    auto gh = GhHistogram::CreateEmpty(Rect(0, 0, 1, 1), 4);
+    ASSERT_TRUE(gh.ok());
+    gh->AddRect(Rect(0.1, 0.1, 0.2, 0.2));
+    gh->AddRect(Rect(0.5, 0.5, 0.6, 0.6));
+    gh->AddRect(Rect(0.3, 0.3, 0.4, 0.4));
+    gh->RemoveRect(Rect(0.1, 0.1, 0.2, 0.2));
+    auto b = Dataset::Load(b_path_);
+    ASSERT_TRUE(b.ok());
+    const auto bh = GhHistogram::Build(*b, Rect(0, 0, 1, 1), 4);
+    ASSERT_TRUE(bh.ok());
+    // Server state is one sealed delta merged into an empty base; with a
+    // single delta the left-fold sum equals the direct AddRect order.
+    EXPECT_EQ(est.Find("result")->Find("estimated_pairs")->number_value(),
+              EstimateGhJoinPairs(*gh, *bh).value());
+  }
+  EXPECT_EQ(est.Find("result")->Find("stream_n")->number_value(), 2.0);
+
+  // Checkpoint re-bases durability and stream_stats reports it.
+  const JsonValue ckpt = Handle(
+      &server, R"({"op":"checkpoint","stream":")" + dir + R"("})");
+  ASSERT_TRUE(ckpt.Find("ok")->bool_value());
+  EXPECT_EQ(ckpt.Find("result")->Find("checkpoint_seq")->number_value(), 2.0);
+
+  const JsonValue stats = Handle(
+      &server, R"({"op":"stream_stats","stream":")" + dir + R"("})");
+  ASSERT_TRUE(stats.Find("ok")->bool_value());
+  const JsonValue* result = stats.Find("result");
+  EXPECT_EQ(result->Find("seq")->number_value(), 2.0);
+  EXPECT_EQ(result->Find("checkpoint_seq")->number_value(), 2.0);
+  EXPECT_EQ(result->Find("active_batches")->number_value(), 0.0);
+  ASSERT_TRUE(result->Find("recovery") != nullptr);
+  EXPECT_EQ(result->Find("recovery")->Find("tail_error")->string_value(),
+            "");
+
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/MANIFEST").c_str());
+  std::remove((dir + "/base.2.gh").c_str());
+  std::remove((dir + "/base.2.ph").c_str());
+}
+
+TEST_F(ServerTest, ConnectWithRetryWaitsOutServerStartup) {
+  ServerOptions options;
+  options.socket_path = SocketPath("sjsel_retry.sock");
+  std::remove(options.socket_path.c_str());
+  Server server(options);
+
+  // Start the server only after the client has begun retrying: the first
+  // attempts see ENOENT (no socket yet), later ones succeed.
+  std::thread starter([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ASSERT_TRUE(server.Start().ok());
+  });
+  Client client;
+  const Status connected =
+      client.ConnectWithRetry(options.socket_path, /*attempts=*/50,
+                              /*initial_backoff_ms=*/10);
+  starter.join();
+  ASSERT_TRUE(connected.ok()) << connected.ToString();
+  const auto response = client.Call(R"({"op":"ping"})");
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("\"pong\":true"), std::string::npos);
+  client.Close();
+  server.Stop();
+}
+
+TEST_F(ServerTest, ConnectWithRetryFailsFastOnNonTransientErrors) {
+  Client client;
+  // An unbindable path (not ENOENT/ECONNREFUSED) must not burn retries.
+  const auto start = std::chrono::steady_clock::now();
+  const Status bad = client.ConnectWithRetry(
+      std::string(200, 'x'), /*attempts=*/50, /*initial_backoff_ms=*/100);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(bad.ok());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            1000);
 }
 
 TEST_F(ServerTest, StartRefusesToClobberNonSocketFile) {

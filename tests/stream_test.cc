@@ -1,0 +1,437 @@
+#include "stream/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "geom/dataset.h"
+#include "stream/wal.h"
+#include "util/fault_injection.h"
+#include "util/serialize.h"
+
+namespace sjsel {
+namespace stream {
+namespace {
+
+std::string TempDirFor(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  // Tests may rerun in the same temp root; start from a clean slate.
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/MANIFEST").c_str());
+  for (int s = 0; s < 64; ++s) {
+    std::remove((dir + "/base." + std::to_string(s) + ".gh").c_str());
+    std::remove((dir + "/base." + std::to_string(s) + ".ph").c_str());
+  }
+  return dir;
+}
+
+/// Deterministic op stream: adds from a fixed generator, with every
+/// fourth batch removing a previously added rect (valid for any prefix).
+std::vector<std::vector<StreamOp>> MakeBatches(size_t n, uint64_t seed) {
+  gen::SizeDist size{gen::SizeDist::Kind::kUniform, 0.02, 0.02, 0.5};
+  const Dataset ds =
+      gen::UniformRects("ops", n, Rect(0, 0, 1, 1), size, seed);
+  std::vector<std::vector<StreamOp>> batches;
+  size_t removed = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    batches.push_back({{OpKind::kAdd, ds.rects()[i]}});
+    if ((i + 1) % 4 == 0 && removed < i) {
+      batches.push_back({{OpKind::kRemove, ds.rects()[removed++]}});
+    }
+  }
+  return batches;
+}
+
+StreamOptions SmallOptions() {
+  StreamOptions options;
+  options.gh_level = 4;
+  options.ph_level = 3;
+  options.seal_every = 3;
+  options.fsync_always = false;  // temp-dir tests need no durability
+  return options;
+}
+
+std::string DigestOf(StreamIngest& ingest) {
+  const auto digest = ingest.StateDigest();
+  EXPECT_TRUE(digest.ok()) << digest.status().ToString();
+  return digest.ok() ? digest.value() : std::string();
+}
+
+// ---------------------------------------------------------------- WAL --
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/wal_roundtrip.log";
+  std::remove(path.c_str());
+  {
+    auto wal = WalWriter::Open(path, /*fsync_always=*/false);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_TRUE(wal->Append("alpha").ok());
+    ASSERT_TRUE(wal->Append(std::string("\x00\xff payload", 11)).ok());
+    ASSERT_TRUE(wal->Append("").ok());  // empty payloads are legal
+  }
+  std::vector<std::string> payloads;
+  const auto replay = ReplayWal(path, [&](const std::string& p) {
+    payloads.push_back(p);
+    return Status::OK();
+  });
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records, 3u);
+  EXPECT_EQ(replay->dropped_bytes, 0u);
+  EXPECT_TRUE(replay->tail_error.empty());
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "alpha");
+  EXPECT_EQ(payloads[1], std::string("\x00\xff payload", 11));
+  EXPECT_EQ(payloads[2], "");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornTailIsDroppedNotFatal) {
+  const std::string path = ::testing::TempDir() + "/wal_torn.log";
+  std::remove(path.c_str());
+  {
+    auto wal = WalWriter::Open(path, false);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append("kept").ok());
+  }
+  // Simulate a crash mid-append: half a frame of a second record.
+  auto bytes = ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(WriteFile(path, bytes.value() + std::string("\x09\x00", 2)).ok());
+
+  size_t applied = 0;
+  const auto replay = ReplayWal(path, [&](const std::string&) {
+    ++applied;
+    return Status::OK();
+  });
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records, 1u);
+  EXPECT_EQ(applied, 1u);
+  EXPECT_EQ(replay->dropped_bytes, 2u);
+  EXPECT_FALSE(replay->tail_error.empty());
+
+  // Truncating at valid_bytes yields a clean log again.
+  ASSERT_TRUE(TruncateWal(path, replay->valid_bytes).ok());
+  const auto clean = ReplayWal(path, [](const std::string&) {
+    return Status::OK();
+  });
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->records, 1u);
+  EXPECT_TRUE(clean->tail_error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, CorruptRecordStopsReplayThere) {
+  const std::string path = ::testing::TempDir() + "/wal_corrupt.log";
+  std::remove(path.c_str());
+  {
+    auto wal = WalWriter::Open(path, false);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append("first-record").ok());
+    ASSERT_TRUE(wal->Append("second-record").ok());
+  }
+  auto bytes = ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string flipped = bytes.value();
+  // Flip a payload byte of the *last* record: everything before it must
+  // replay, the corrupt record and anything after are dropped.
+  flipped[flipped.size() - 3] ^= 0x40;
+  ASSERT_TRUE(WriteFile(path, flipped).ok());
+
+  std::vector<std::string> payloads;
+  const auto replay = ReplayWal(path, [&](const std::string& p) {
+    payloads.push_back(p);
+    return Status::OK();
+  });
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "first-record");
+  EXPECT_NE(replay->tail_error.find("CRC"), std::string::npos);
+  EXPECT_GT(replay->dropped_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, BadHeaderIsCorruption) {
+  const std::string path = ::testing::TempDir() + "/wal_header.log";
+  ASSERT_TRUE(WriteFile(path, "NOTAWAL").ok());
+  const auto replay = ReplayWal(path, [](const std::string&) {
+    return Status::OK();
+  });
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornWriteFaultLeavesRecoverableLog) {
+  const std::string path = ::testing::TempDir() + "/wal_fault_torn.log";
+  std::remove(path.c_str());
+  auto wal = WalWriter::Open(path, false);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append("durable").ok());
+  {
+    ScopedFaultInjection arm("wal.torn_write=always");
+    ASSERT_TRUE(arm.status().ok());
+    const Status torn = wal->Append("never-acknowledged");
+    ASSERT_FALSE(torn.ok());
+    EXPECT_EQ(torn.code(), StatusCode::kIoError);
+  }
+  wal->Close();
+  size_t applied = 0;
+  const auto replay = ReplayWal(path, [&](const std::string&) {
+    ++applied;
+    return Status::OK();
+  });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(applied, 1u);  // only the acknowledged record survives
+  EXPECT_GT(replay->dropped_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ShortWriteFaultStillWritesEverythingEventually) {
+  const std::string path = ::testing::TempDir() + "/wal_fault_short.log";
+  std::remove(path.c_str());
+  {
+    auto wal = WalWriter::Open(path, false);
+    ASSERT_TRUE(wal.ok());
+    ScopedFaultInjection arm("wal.short_write=always");
+    ASSERT_TRUE(arm.status().ok());
+    // Every write(2) is capped to a partial chunk; the EINTR/short-write
+    // loop must still land the full frame.
+    ASSERT_TRUE(wal->Append("short-write-exercised-payload").ok());
+  }
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(ReplayWal(path, [&](const std::string& p) {
+                payloads.push_back(p);
+                return Status::OK();
+              }).ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "short-write-exercised-payload");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, CorruptFaultIsNeverAcknowledged) {
+  const std::string path = ::testing::TempDir() + "/wal_fault_crc.log";
+  std::remove(path.c_str());
+  auto wal = WalWriter::Open(path, false);
+  ASSERT_TRUE(wal.ok());
+  {
+    ScopedFaultInjection arm("wal.corrupt=always");
+    ASSERT_TRUE(arm.status().ok());
+    const Status corrupt = wal->Append("bit-rotted");
+    ASSERT_FALSE(corrupt.ok());
+    EXPECT_EQ(corrupt.code(), StatusCode::kIoError);
+  }
+  wal->Close();
+  // The record is fully present on disk but fails its CRC: replay must
+  // refuse it rather than apply garbage.
+  size_t applied = 0;
+  const auto replay = ReplayWal(path, [&](const std::string&) {
+    ++applied;
+    return Status::OK();
+  });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(applied, 0u);
+  EXPECT_NE(replay->tail_error.find("CRC"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- ingest --
+
+TEST(StreamIngestTest, InitRejectsReinitAndBadOptions) {
+  const std::string dir = TempDirFor("stream_init");
+  ASSERT_TRUE(StreamIngest::Init(dir, SmallOptions()).ok());
+  const Status again = StreamIngest::Init(dir, SmallOptions());
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+
+  StreamOptions bad = SmallOptions();
+  bad.seal_every = 0;
+  EXPECT_FALSE(StreamIngest::Init(TempDirFor("stream_bad1"), bad).ok());
+
+  StreamOptions misaligned = SmallOptions();
+  misaligned.seal_every = 3;
+  misaligned.checkpoint_every = 4;  // not a multiple: seals would move
+  EXPECT_FALSE(
+      StreamIngest::Init(TempDirFor("stream_bad2"), misaligned).ok());
+}
+
+TEST(StreamIngestTest, ApplyValidatesBatches) {
+  const std::string dir = TempDirFor("stream_validate");
+  ASSERT_TRUE(StreamIngest::Init(dir, SmallOptions()).ok());
+  auto ingest = StreamIngest::Open(dir);
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+
+  EXPECT_EQ((*ingest)->Apply({}).status().code(),
+            StatusCode::kInvalidArgument);
+  Rect inverted(0.5, 0.5, 0.1, 0.1);
+  EXPECT_EQ((*ingest)->Apply({{OpKind::kAdd, inverted}}).status().code(),
+            StatusCode::kInvalidArgument);
+  Rect nan_rect(0.1, 0.1, std::nan(""), 0.2);
+  EXPECT_EQ((*ingest)->Apply({{OpKind::kAdd, nan_rect}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamIngestTest, SnapshotLagsUntilSealMaterializeDoesNot) {
+  const std::string dir = TempDirFor("stream_seal");
+  ASSERT_TRUE(StreamIngest::Init(dir, SmallOptions()).ok());  // seal @ 3
+  auto opened = StreamIngest::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  StreamIngest& ingest = **opened;
+
+  const auto batches = MakeBatches(4, /*seed=*/11);
+  ASSERT_TRUE(ingest.Apply(batches[0]).ok());
+  ASSERT_TRUE(ingest.Apply(batches[1]).ok());
+  EXPECT_EQ(ingest.snapshot()->seq, 0u);  // nothing sealed yet
+  EXPECT_EQ(ingest.snapshot()->gh.dataset_size(), 0u);
+  auto state = ingest.MaterializeState();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->seq, 2u);  // active delta included
+
+  ASSERT_TRUE(ingest.Apply(batches[2]).ok());
+  EXPECT_EQ(ingest.snapshot()->seq, 3u);  // seal boundary reached
+  EXPECT_EQ(ingest.active_batches(), 0u);
+}
+
+TEST(StreamIngestTest, ReopenIsBitIdenticalToUninterruptedRun) {
+  const auto batches = MakeBatches(24, /*seed=*/5);
+
+  // Reference: one uninterrupted ingest over the whole stream.
+  const std::string ref_dir = TempDirFor("stream_ref");
+  ASSERT_TRUE(StreamIngest::Init(ref_dir, SmallOptions()).ok());
+  auto ref = StreamIngest::Open(ref_dir);
+  ASSERT_TRUE(ref.ok());
+  for (const auto& b : batches) ASSERT_TRUE((*ref)->Apply(b).ok());
+
+  // Interrupted: close and reopen (= crash + recovery) every 7 batches,
+  // with a checkpoint thrown in mid-stream.
+  const std::string dir = TempDirFor("stream_reopen");
+  ASSERT_TRUE(StreamIngest::Init(dir, SmallOptions()).ok());
+  std::unique_ptr<StreamIngest> ingest;
+  {
+    auto opened = StreamIngest::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    ingest = std::move(opened).value();
+  }
+  for (size_t i = 0; i < batches.size(); ++i) {
+    if (i > 0 && i % 7 == 0) {
+      ingest.reset();  // drop the writer without any shutdown protocol
+      auto reopened = StreamIngest::Open(dir);
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      ingest = std::move(reopened).value();
+      EXPECT_EQ(ingest->seq(), i);
+    }
+    if (i == 13) ASSERT_TRUE(ingest->Checkpoint().ok());
+    ASSERT_TRUE(ingest->Apply(batches[i]).ok());
+  }
+  EXPECT_EQ(DigestOf(*ingest), DigestOf(**ref));
+
+  // One more recovery pass over the final state agrees too.
+  ingest.reset();
+  auto final_open = StreamIngest::Open(dir);
+  ASSERT_TRUE(final_open.ok());
+  EXPECT_EQ(DigestOf(**final_open), DigestOf(**ref));
+}
+
+TEST(StreamIngestTest, CheckpointScheduleNeverChangesTheDigest) {
+  const auto batches = MakeBatches(18, /*seed=*/23);
+  std::vector<std::string> digests;
+  for (const uint32_t checkpoint_every : {0u, 3u, 9u}) {
+    const std::string dir =
+        TempDirFor("stream_ckpt_" + std::to_string(checkpoint_every));
+    StreamOptions options = SmallOptions();
+    options.checkpoint_every = checkpoint_every;
+    ASSERT_TRUE(StreamIngest::Init(dir, options).ok());
+    auto ingest = StreamIngest::Open(dir);
+    ASSERT_TRUE(ingest.ok());
+    for (const auto& b : batches) ASSERT_TRUE((*ingest)->Apply(b).ok());
+    digests.push_back(DigestOf(**ingest));
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(StreamIngestTest, TornWritePoisonsAndRecoveryDropsTheTail) {
+  const auto batches = MakeBatches(10, /*seed=*/3);
+  const std::string dir = TempDirFor("stream_poison");
+  ASSERT_TRUE(StreamIngest::Init(dir, SmallOptions()).ok());
+  auto opened = StreamIngest::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<StreamIngest> ingest = std::move(opened).value();
+
+  for (size_t i = 0; i < 5; ++i) ASSERT_TRUE(ingest->Apply(batches[i]).ok());
+  {
+    ScopedFaultInjection arm("wal.torn_write=always");
+    ASSERT_TRUE(arm.status().ok());
+    const auto torn = ingest->Apply(batches[5]);
+    ASSERT_FALSE(torn.ok());
+    EXPECT_EQ(torn.status().code(), StatusCode::kIoError);
+  }
+  // Poisoned: even healthy appends must now be refused — acknowledging
+  // past a torn record would lose the ack on replay.
+  const auto after = ingest->Apply(batches[5]);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ingest->Checkpoint().code(), StatusCode::kFailedPrecondition);
+
+  // Recovery sees exactly the 5 acknowledged batches.
+  ingest.reset();
+  auto recovered = StreamIngest::Open(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->seq(), 5u);
+  EXPECT_GT((*recovered)->recovery().dropped_bytes, 0u);
+  EXPECT_FALSE((*recovered)->recovery().tail_error.empty());
+
+  const std::string ref_dir = TempDirFor("stream_poison_ref");
+  ASSERT_TRUE(StreamIngest::Init(ref_dir, SmallOptions()).ok());
+  auto ref = StreamIngest::Open(ref_dir);
+  ASSERT_TRUE(ref.ok());
+  for (size_t i = 0; i < 5; ++i) ASSERT_TRUE((*ref)->Apply(batches[i]).ok());
+  EXPECT_EQ(DigestOf(**recovered), DigestOf(**ref));
+}
+
+TEST(StreamIngestTest, SequenceGapIsCorruption) {
+  const std::string dir = TempDirFor("stream_gap");
+  ASSERT_TRUE(StreamIngest::Init(dir, SmallOptions()).ok());
+  // Forge a WAL whose first record claims seq 2: replay must refuse to
+  // invent the missing batch 1.
+  {
+    auto wal = WalWriter::Open(dir + "/wal.log", false);
+    ASSERT_TRUE(wal.ok());
+    const std::vector<StreamOp> ops = {{OpKind::kAdd, Rect(0, 0, 0.1, 0.1)}};
+    ASSERT_TRUE(wal->Append(StreamIngest::EncodeBatch(2, ops)).ok());
+  }
+  const auto opened = StreamIngest::Open(dir);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(opened.status().message().find("sequence gap"),
+            std::string::npos);
+}
+
+TEST(StreamIngestTest, BatchCodecRoundTripAndRejection) {
+  const std::vector<StreamOp> ops = {
+      {OpKind::kAdd, Rect(0.1, 0.2, 0.3, 0.4)},
+      {OpKind::kRemove, Rect(0.5, 0.6, 0.7, 0.8)},
+  };
+  const std::string payload = StreamIngest::EncodeBatch(42, ops);
+  const auto decoded = StreamIngest::DecodeBatch(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->first, 42u);
+  ASSERT_EQ(decoded->second.size(), 2u);
+  EXPECT_EQ(decoded->second[0].kind, OpKind::kAdd);
+  EXPECT_DOUBLE_EQ(decoded->second[1].rect.max_x, 0.7);
+
+  // Truncated and type-mangled payloads must be rejected, not crash.
+  EXPECT_FALSE(StreamIngest::DecodeBatch(payload.substr(0, 10)).ok());
+  std::string mangled = payload;
+  mangled[0] = 0x7f;  // unknown record type
+  EXPECT_FALSE(StreamIngest::DecodeBatch(mangled).ok());
+  EXPECT_FALSE(StreamIngest::DecodeBatch("").ok());
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace sjsel
