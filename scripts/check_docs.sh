@@ -10,9 +10,9 @@
 #    (src/..., tests/..., bench/..., examples/..., scripts/...) must
 #    exist, so the docs cannot drift from the code they describe.
 # 4. Every backticked `server.*` / `planner.*` / `estimator.*` /
-#    `stream.*` metric or span name the docs mention must occur in
-#    src/ — the observability vocabulary docs advertise is the one the
-#    code emits.
+#    `stream.*` / `log.*` / `accuracy.*` metric, span or log-event name
+#    the docs mention must occur in src/ — the observability vocabulary
+#    docs advertise is the one the code emits.
 #
 # Exits non-zero listing every stale reference.
 
@@ -82,9 +82,10 @@ done
 
 # --- 4. metric / span names referenced by the docs ------------------------
 # Backticked dotted names in the observability vocabulary (server.*,
-# planner.*, estimator.*, stream.*) must be greppable in src/ — either whole (most
-# call sites) or as a "<prefix>." literal next to a runtime suffix (the
-# server's per-code failure counters).
+# planner.*, estimator.*, stream.*, log.*, accuracy.*) must be greppable
+# in src/ — either whole (most call sites) or as a "<prefix>." literal
+# next to a runtime suffix (the server's per-code failure counters, the
+# logger's per-level line counters).
 for doc in "${doc_files[@]}"; do
   while IFS= read -r name; do
     case "$name" in
@@ -95,7 +96,7 @@ for doc in "${doc_files[@]}"; do
       grep -rqF "\"$prefix" src/ \
         || err "$doc references metric/span '$name' not found in src/"
     fi
-  done < <(grep -ho '`\(server\|planner\|estimator\|stream\)\.[a-z0-9_.]*`' "$doc" \
+  done < <(grep -ho '`\(server\|planner\|estimator\|stream\|log\|accuracy\)\.[a-z0-9_.]*`' "$doc" \
              | tr -d '\`' | sort -u)
 done
 

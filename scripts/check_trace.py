@@ -3,19 +3,29 @@
 
 Checks:
   * the file parses as JSON with a `traceEvents` list
+  * `otherData.dropped_events`, when present, is a non-negative integer
+    (the ring-overflow accounting the tracer promises)
   * every event has the required fields for its phase ("X" complete
     events need ts/dur, "i" instant events need ts, "M" metadata is
-    ignored)
+    ignored), and `args.depth` is a non-negative integer when present
   * per thread, complete spans nest properly: replaying the events
-    sorted by (ts, -dur) against a stack, every span must lie fully
-    inside the span currently open below it (balanced, contained
-    intervals — the invariant the self-contained-span design guarantees)
+    sorted by (ts, -dur, depth) against a stack, every span must lie
+    fully inside the span currently open below it (balanced, contained
+    intervals — the invariant the self-contained-span design
+    guarantees); when the file reports zero dropped events, no span's
+    recorded `args.depth` may exceed the replayed stack depth (deeper
+    would mean its parent went missing; shallower is legal because a
+    ring — the file's tid — can be reused by more than one thread)
   * every span named by a --require-span flag occurs at least once
+  * every --require-detail substring occurs in at least one event's
+    `args.detail` (e.g. `request_id=abc` proves request correlation
+    reached the trace)
 
 Exit code 0 on success, 1 with a diagnostic on any violation.
 
 Usage:
-  check_trace.py trace.json --require-span gh.build --require-span cli.run
+  check_trace.py trace.json --require-span gh.build \
+      --require-detail request_id=abc-123
 """
 
 import argparse
@@ -39,6 +49,14 @@ def main():
         metavar="NAME",
         help="span name that must appear at least once (repeatable)",
     )
+    parser.add_argument(
+        "--require-detail",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="substring that must appear in at least one event's "
+        "args.detail (repeatable)",
+    )
     args = parser.parse_args()
 
     try:
@@ -51,8 +69,20 @@ def main():
     if not isinstance(events, list):
         fail("missing or non-list traceEvents")
 
+    # Drop accounting: must be a non-negative int when reported. A file
+    # with drops still has to nest, but recorded depth hints can refer to
+    # evicted parents, so the depth cross-check below is gated on zero.
+    dropped = None
+    other = doc.get("otherData")
+    if isinstance(other, dict) and "dropped_events" in other:
+        dropped = other["dropped_events"]
+        if isinstance(dropped, bool) or not isinstance(dropped, int) or dropped < 0:
+            fail(f"otherData.dropped_events is {dropped!r}, "
+                 "expected a non-negative integer")
+
     spans_by_tid = defaultdict(list)
     seen_names = set()
+    details = []
     n_complete = 0
     n_instant = 0
 
@@ -67,12 +97,25 @@ def main():
             fail(f"event #{i} has no name")
         if "ts" not in ev or not isinstance(ev["ts"], (int, float)):
             fail(f"event #{i} ({name}) has no numeric ts")
+        ev_args = ev.get("args")
+        depth = None
+        if isinstance(ev_args, dict):
+            if "depth" in ev_args:
+                depth = ev_args["depth"]
+                if (isinstance(depth, bool) or not isinstance(depth, int)
+                        or depth < 0):
+                    fail(f"event #{i} ({name}) has invalid depth {depth!r}")
+            detail = ev_args.get("detail")
+            if detail is not None:
+                if not isinstance(detail, str):
+                    fail(f"event #{i} ({name}) has non-string detail")
+                details.append(detail)
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 fail(f"event #{i} ({name}) is 'X' but has no valid dur")
             spans_by_tid[ev.get("tid", 0)].append(
-                (float(ev["ts"]), float(dur), name)
+                (float(ev["ts"]), float(dur), depth, name)
             )
             seen_names.add(name)
             n_complete += 1
@@ -82,22 +125,39 @@ def main():
         else:
             fail(f"event #{i} ({name}) has unexpected phase {ph!r}")
 
-    # Per-thread nesting: sorted by (start, -dur) a parent precedes its
-    # children. Replay against a stack; each span must fit inside the
-    # innermost still-open span.
+    # Per-thread nesting: sorted by (start, -dur, depth) a parent precedes
+    # its children. Replay against a stack; each span must fit inside the
+    # innermost still-open span. The recorded depth hint disambiguates
+    # zero-width spans sharing an endpoint: an event at the exact end of
+    # the open span stays nested only if it is recorded deeper.
+    check_depth = dropped == 0
     for tid, spans in spans_by_tid.items():
-        spans.sort(key=lambda s: (s[0], -s[1]))
-        stack = []  # (end_ts, name)
-        for ts, dur, name in spans:
+        spans.sort(key=lambda s: (s[0], -s[1], s[2] if s[2] is not None else 0))
+        stack = []  # (end_ts, depth, name)
+        for ts, dur, depth, name in spans:
             end = ts + dur
-            while stack and ts >= stack[-1][0]:
+            while stack and (
+                ts > stack[-1][0]
+                or (
+                    ts >= stack[-1][0]
+                    and (depth is None or stack[-1][1] is None
+                         or depth <= stack[-1][1])
+                )
+            ):
                 stack.pop()
             if stack and end > stack[-1][0] + 1e-9:
                 fail(
                     f"tid {tid}: span '{name}' [{ts}, {end}] overflows "
-                    f"enclosing span '{stack[-1][1]}' ending at {stack[-1][0]}"
+                    f"enclosing span '{stack[-1][2]}' ending at {stack[-1][0]}"
                 )
-            stack.append((end, name))
+            if check_depth and depth is not None and depth > len(stack):
+                fail(
+                    f"tid {tid}: span '{name}' at ts {ts} records depth "
+                    f"{depth} but replays at stack depth {len(stack)} — "
+                    "an enclosing span is missing despite zero dropped "
+                    "events"
+                )
+            stack.append((end, depth, name))
 
     missing = [n for n in args.require_span if n not in seen_names]
     if missing:
@@ -106,10 +166,22 @@ def main():
             f"(present: {', '.join(sorted(seen_names))})"
         )
 
+    missing_details = [
+        d for d in args.require_detail
+        if not any(d in detail for detail in details)
+    ]
+    if missing_details:
+        sample = ", ".join(sorted(set(details))[:10])
+        fail(
+            f"required details absent: {', '.join(missing_details)} "
+            f"(sample of present details: {sample})"
+        )
+
     print(
         f"check_trace: OK: {n_complete} spans, {n_instant} instants, "
         f"{len(spans_by_tid)} thread(s), "
-        f"{len(args.require_span)} required span(s) present"
+        f"{len(args.require_span)} required span(s) and "
+        f"{len(args.require_detail)} required detail(s) present"
     )
     return 0
 

@@ -1,0 +1,227 @@
+#!/usr/bin/env bash
+# End-to-end telemetry drill (docs/OBSERVABILITY.md, docs/SERVER.md), run
+# as a ctest and as a CI step: start `sjsel serve` with structured
+# logging, tracing, metrics and the accuracy auditor all armed, drive a
+# mixed scripted session, and assert the full correlation story:
+#
+#   1. a client-supplied request_id is echoed in its response, recorded
+#      in the slowlog, in the structured log and in the trace span,
+#   2. requests without an id get a server-generated `srv-...` id,
+#   3. the `metrics` op returns structurally valid OpenMetrics text
+#      carrying request-latency quantiles and accuracy-audit series,
+#   4. `health` and `slowlog` answer with the documented fields,
+#   5. the structured log brackets the session (server.start/server.stop)
+#      and the drain-time metrics snapshot survives on disk — also when
+#      the daemon is stopped by SIGTERM instead of a shutdown request.
+#
+# Skips (exit 77) when python3 is unavailable (OpenMetrics and trace
+# validation both need it).
+#
+# Usage: telemetry_smoke.sh <path-to-sjsel-binary> [workdir]
+
+set -u
+
+SJSEL=${1:?usage: telemetry_smoke.sh <sjsel-binary> [workdir]}
+SJSEL=$(realpath "$SJSEL") || { echo "telemetry_smoke: no such binary" >&2; exit 1; }
+SCRIPTS_DIR=$(cd "$(dirname "$0")" && pwd)
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+
+command -v python3 > /dev/null 2>&1 || {
+  echo "telemetry_smoke: SKIP: python3 not available" >&2
+  exit 77
+}
+
+cd "$WORKDIR"
+
+SOCK="$WORKDIR/telemetry.sock"
+METRICS="$WORKDIR/serve_metrics.json"
+TRACE="$WORKDIR/serve_trace.json"
+LOG="$WORKDIR/serve_log.jsonl"
+SERVE_LOG="$WORKDIR/serve.out"
+SERVER_PID=""
+REQ_ID="telemetry-smoke-42"
+
+fail() {
+  echo "telemetry_smoke: FAILED: $1" >&2
+  echo "--- serve stdout/stderr ---" >&2
+  cat "$SERVE_LOG" >&2 || true
+  echo "--- structured log ---" >&2
+  cat "$LOG" >&2 || true
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+
+"$SJSEL" gen uniform:1200 a.ds --seed=7 > /dev/null || fail "gen a.ds"
+"$SJSEL" gen clustered:900 b.ds --seed=8 > /dev/null || fail "gen b.ds"
+
+# Everything armed: process-wide metrics + tracing, debug-level JSON
+# logs, audit every estimate against an exact reference (both fixtures
+# are far below the cap), keep the 16 slowest requests.
+"$SJSEL" serve "$SOCK" --workers=2 \
+  --metrics="$METRICS" --trace="$TRACE" \
+  --log-level=debug --log-file="$LOG" \
+  --audit-rate=1 --audit-exact-cap=10000000 --slowlog-k=16 \
+  > "$SERVE_LOG" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 300); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "socket never appeared"
+
+RESPONSES=$("$SJSEL" client "$SOCK" <<EOF
+{"id":1,"op":"ping"}
+{"id":2,"op":"estimate","a":"a.ds","b":"b.ds","request_id":"$REQ_ID"}
+{"id":3,"op":"estimate","a":"b.ds","b":"a.ds"}
+{"id":4,"op":"frobnicate","request_id":"telemetry-smoke-err"}
+{"id":5,"op":"health"}
+{"id":6,"op":"metrics"}
+{"id":7,"op":"slowlog","top":16}
+EOF
+) || fail "client session errored"
+echo "$RESPONSES"
+printf '%s\n' "$RESPONSES" > responses.ndjson
+
+expect() {
+  echo "$RESPONSES" | grep -q "$1" || fail "missing in responses: $1"
+}
+expect '"id":1,"ok":true,"result":{"pong":true}'
+expect '"id":2,"ok":true'
+expect '"estimated_pairs"'
+expect '"id":4,"ok":false,"error":{"code":"unknown_op"'
+# Correlation: the supplied id is echoed; requests without one get a
+# generated srv- id; the failed request keeps its id too.
+expect "\"request_id\":\"$REQ_ID\""
+expect '"request_id":"srv-'
+expect '"request_id":"telemetry-smoke-err"'
+# health fields (status/ready/version/caches).
+expect '"status":"ok"'
+expect '"ready":true'
+expect '"version":"'
+expect '"datasets_cached":2'
+# The live metrics op carries both renderings.
+expect '"openmetrics":"'
+expect 'sjsel_server_requests_received_total'
+expect '"accuracy.audits"'
+# The slowlog reply must name the correlated estimate a second time
+# (echo in the id-2 response + the slowlog entry) with its rung note,
+# and record the failed request with its error note.
+N_CORR=$(echo "$RESPONSES" | grep -o "$REQ_ID" | wc -l)
+[ "$N_CORR" -ge 2 ] || fail "request_id not in slowlog (saw $N_CORR occurrence(s))"
+expect '"note":"rung='
+expect '"note":"error:unknown_op"'
+
+# Structural OpenMetrics validation of the live scrape (id 6).
+python3 - <<'PYEOF' || fail "openmetrics structural check"
+import json, re, sys
+
+resp = None
+with open("responses.ndjson", encoding="utf-8") as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        doc = json.loads(line)
+        if doc.get("id") == 6:
+            resp = doc
+assert resp is not None and resp.get("ok"), "no ok metrics response"
+om = resp["result"]["openmetrics"]
+assert om.endswith("# EOF\n"), "missing # EOF trailer"
+families = set()
+for ln in om.splitlines():
+    if not ln or ln.startswith("#"):
+        continue
+    m = re.match(
+        r'^([a-zA-Z_][a-zA-Z0-9_]*)(\{[^{}]*\})? (-?[0-9.eE+-]+)$', ln)
+    assert m, f"malformed exposition line: {ln!r}"
+    families.add(m.group(1))
+for need in ("sjsel_server_requests_received_total",
+             "sjsel_server_request_us",
+             "sjsel_accuracy_rel_error"):
+    assert any(f.startswith(need) for f in families), f"missing {need}"
+quantiles = [ln for ln in om.splitlines()
+             if ln.startswith("sjsel_server_request_us{")
+             and "quantile=" in ln]
+assert quantiles, "no server.request_us quantile lines"
+print(f"openmetrics: OK ({len(families)} families, "
+      f"{len(quantiles)} request_us quantiles)")
+PYEOF
+
+# Graceful protocol shutdown; daemon must exit 0 and flush everything.
+"$SJSEL" client "$SOCK" '{"id":99,"op":"shutdown"}' \
+  | grep -q '"stopping":true' || fail "shutdown not acknowledged"
+for _ in $(seq 1 300); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && fail "daemon still running after shutdown"
+wait "$SERVER_PID"
+SERVE_EXIT=$?
+SERVER_PID=""
+[ "$SERVE_EXIT" -eq 0 ] || fail "daemon exited $SERVE_EXIT"
+
+# The structured log brackets the session and carries the correlated id.
+grep -q '"event":"server.start"' "$LOG" || fail "no server.start log line"
+grep -q '"event":"server.stop"' "$LOG" || fail "no server.stop log line"
+grep -q "$REQ_ID" "$LOG" || fail "request_id absent from structured log"
+python3 -c '
+import json, sys
+for line in open(sys.argv[1], encoding="utf-8"):
+    line = line.strip()
+    if line:
+        json.loads(line)
+' "$LOG" || fail "structured log is not valid JSON lines"
+
+# The drain-time metrics snapshot aggregates the whole session.
+[ -f "$METRICS" ] || fail "metrics snapshot not written"
+grep -q '"server.requests.answered"' "$METRICS" \
+  || fail "server.requests.answered missing from snapshot"
+grep -q '"accuracy.rel_error"' "$METRICS" \
+  || fail "accuracy.rel_error missing from snapshot"
+grep -q '"accuracy.audits"' "$METRICS" \
+  || fail "accuracy.audits missing from snapshot"
+
+# The trace nests, balances, and carries the correlated request span.
+python3 "$SCRIPTS_DIR/check_trace.py" "$TRACE" \
+  --require-span server.request \
+  --require-span server.op.estimate \
+  --require-span server.audit \
+  --require-detail "request_id=$REQ_ID" \
+  || fail "trace validation"
+
+# --- SIGTERM variant: drain-time telemetry without a shutdown op -------
+SOCK2="$WORKDIR/telemetry2.sock"
+METRICS2="$WORKDIR/sigterm_metrics.json"
+LOG2="$WORKDIR/sigterm_log.jsonl"
+"$SJSEL" serve "$SOCK2" --workers=1 \
+  --metrics="$METRICS2" --log-level=info --log-file="$LOG2" \
+  > "$SERVE_LOG" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 300); do
+  [ -S "$SOCK2" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "sigterm daemon died during startup"
+  sleep 0.1
+done
+[ -S "$SOCK2" ] || fail "sigterm daemon socket never appeared"
+"$SJSEL" client "$SOCK2" '{"id":1,"op":"ping"}' \
+  | grep -q '"pong":true' || fail "sigterm daemon ping"
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 300); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && fail "daemon survived SIGTERM"
+wait "$SERVER_PID"
+SERVE_EXIT=$?
+SERVER_PID=""
+[ "$SERVE_EXIT" -eq 0 ] || fail "SIGTERM'd daemon exited $SERVE_EXIT"
+[ -f "$METRICS2" ] || fail "SIGTERM'd daemon wrote no metrics snapshot"
+grep -q '"server.requests.answered"' "$METRICS2" \
+  || fail "server counters missing from SIGTERM snapshot"
+grep -q '"event":"server.stop"' "$LOG2" \
+  || fail "no server.stop after SIGTERM"
+
+echo "telemetry_smoke: OK"

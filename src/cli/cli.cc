@@ -29,6 +29,7 @@
 #include "join/refinement.h"
 #include "join/rtree_join.h"
 #include "obs/explain.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/join_planner.h"
@@ -38,6 +39,7 @@
 #include "rtree/rtree.h"
 #include "stats/dataset_stats.h"
 #include "stream/ingest.h"
+#include "util/build_info.h"
 #include "util/fault_injection.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -120,8 +122,8 @@ ParsedArgs Parse(const std::vector<std::string>& args) {
         const std::string key = arg.substr(2);
         // The observability output flags take a file path, either attached
         // (--trace=t.json) or as the following argument (--trace t.json).
-        if ((key == "trace" || key == "metrics") && i + 1 < args.size() &&
-            args[i + 1].rfind("--", 0) != 0) {
+        if ((key == "trace" || key == "metrics" || key == "log-file") &&
+            i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
           parsed.flags[key] = args[++i];
         } else {
           parsed.flags[key] = std::string("1");
@@ -186,11 +188,19 @@ int Usage(std::FILE* err) {
                " pairwise\n"
                "      estimates feed a DP search over bushy join trees"
                " (docs/PLANNER.md)\n"
-               "  serve <socket> [--workers=4] [--max-queue=64]\n"
+               "  serve <socket> [--workers=4] [--max-queue=64]"
+               " [--log-level=info]\n"
+               "      [--log-file=<path|->] [--audit-rate=0]"
+               " [--audit-alarm=0.5]\n"
+               "      [--audit-exact-cap=0] [--slowlog-k=32]\n"
                "      estimation daemon on a Unix socket: NDJSON"
                " estimate/explain/\n"
-               "      stats/plan requests, per-request deadlines & metrics"
-               " (docs/SERVER.md)\n"
+               "      stats/plan/metrics/health/slowlog requests with"
+               " per-request\n"
+               "      deadlines, request_id correlation, structured JSON"
+               " logs and an\n"
+               "      online accuracy monitor (docs/SERVER.md,"
+               " docs/OBSERVABILITY.md)\n"
                "  client <socket> [<request-json> ...] [--retry=1]"
                " [--retry-backoff-ms=25]\n"
                "      send request lines (or stdin NDJSON) to a running"
@@ -998,21 +1008,66 @@ int CmdServe(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   }
   SJSEL_FLAG_OR_RETURN(options.workers, args.FlagInt("workers", 4));
   SJSEL_FLAG_OR_RETURN(options.max_queue, args.FlagInt("max-queue", 64));
+  SJSEL_FLAG_OR_RETURN(options.audit_rate, args.FlagDouble("audit-rate", 0.0));
+  SJSEL_FLAG_OR_RETURN(options.audit_alarm,
+                       args.FlagDouble("audit-alarm", 0.5));
+  double audit_exact_cap = 0.0;
+  SJSEL_FLAG_OR_RETURN(audit_exact_cap,
+                       args.FlagDouble("audit-exact-cap", 0.0));
+  int slowlog_k = 32;
+  SJSEL_FLAG_OR_RETURN(slowlog_k, args.FlagInt("slowlog-k", 32));
   if (options.workers < 1) {
     std::fprintf(err, "--workers must be >= 1\n");
     return 2;
+  }
+  if (options.audit_rate < 0.0 || options.audit_rate > 1.0) {
+    std::fprintf(err, "--audit-rate must be in [0, 1]\n");
+    return 2;
+  }
+  if (audit_exact_cap < 0.0 || slowlog_k < 1) {
+    std::fprintf(err, "--audit-exact-cap must be >= 0, --slowlog-k >= 1\n");
+    return 2;
+  }
+  options.audit_exact_cap = static_cast<uint64_t>(audit_exact_cap);
+  options.slowlog_capacity = static_cast<size_t>(slowlog_k);
+
+  // Either logging flag arms the structured logger for the daemon's
+  // lifetime: default level info, default sink stderr ("-" spells it
+  // explicitly, a path logs to that file).
+  const bool logging = args.Has("log-level") || args.Has("log-file");
+  if (logging) {
+    obs::LogLevel level = obs::LogLevel::kInfo;
+    const std::string level_name = args.Flag("log-level", "info");
+    if (!obs::ParseLogLevel(level_name, &level)) {
+      std::fprintf(err, "bad --log-level: '%s' (want debug|info|warn|error)\n",
+                   level_name.c_str());
+      return 2;
+    }
+    std::string log_path = args.Flag("log-file", "");
+    if (log_path == "1") log_path = "";  // bare --log-file: stderr
+    if (!obs::Logger::Global().Arm(level, log_path)) {
+      std::fprintf(err, "failed to open --log-file %s\n", log_path.c_str());
+      return 1;
+    }
   }
 
   server::Server daemon(options);
   const Status status = daemon.Start();
   if (!status.ok()) {
     std::fprintf(err, "%s\n", status.ToString().c_str());
+    if (logging) obs::Logger::Global().Disarm();
     return 1;
   }
   std::fprintf(out, "listening on %s (workers=%d max-queue=%d)\n",
                options.socket_path.c_str(), options.workers,
                options.max_queue);
   std::fflush(out);
+  SJSEL_LOG_INFO("server.start", obs::LogFields()
+                                     .Str("socket", options.socket_path)
+                                     .Int("workers", options.workers)
+                                     .Int("queue_cap", options.max_queue)
+                                     .Num("audit_rate", options.audit_rate)
+                                     .Str("version", kSjselVersion));
 
   g_serve_signal_stop.store(false);
   std::signal(SIGINT, HandleServeSignal);
@@ -1026,6 +1081,22 @@ int CmdServe(const ParsedArgs& args, std::FILE* out, std::FILE* err) {
   daemon.Stop();
   std::fprintf(out, "served %llu requests\n",
                static_cast<unsigned long long>(daemon.requests_served()));
+  // Drain-time telemetry: snapshot the metrics and close the log *here*,
+  // right after the drain completes, so a SIGTERM'd daemon leaves a
+  // complete dump on disk even though the generic post-dispatch flush in
+  // RunCli also runs (that later rewrite is idempotent).
+  const std::string metrics_path = args.Flag("metrics", "");
+  if (!metrics_path.empty() && metrics_path != "1") {
+    if (!obs::MetricsRegistry::Global().WriteJson(metrics_path)) {
+      std::fprintf(err, "failed to write metrics to %s\n",
+                   metrics_path.c_str());
+    }
+  }
+  SJSEL_LOG_INFO("server.stop",
+                 obs::LogFields()
+                     .Uint("requests_served", daemon.requests_served())
+                     .Uint("uptime_s", daemon.uptime_seconds()));
+  if (logging) obs::Logger::Global().Disarm();
   return 0;
 }
 

@@ -1,0 +1,208 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace sjsel {
+namespace obs {
+namespace {
+
+// JSON string escaping matching util/json.h's writer (", \, control
+// bytes). Duplicated here because obs/ sits below util/ in the module
+// map and must not depend on it.
+void AppendJsonString(std::string* out, const char* s, size_t len) {
+  out->push_back('"');
+  for (size_t i = 0; i < len; ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+int64_t WallClockMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warn" || name == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogFields& LogFields::Str(const char* key, const std::string& value) {
+  body_ += ",\"";
+  body_ += key;
+  body_ += "\":";
+  AppendJsonString(&body_, value.data(), value.size());
+  return *this;
+}
+
+LogFields& LogFields::Int(const char* key, long long value) {
+  body_ += ",\"";
+  body_ += key;
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+LogFields& LogFields::Uint(const char* key, unsigned long long value) {
+  body_ += ",\"";
+  body_ += key;
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+LogFields& LogFields::Num(const char* key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  body_ += ",\"";
+  body_ += key;
+  body_ += "\":";
+  body_ += buf;
+  return *this;
+}
+
+LogFields& LogFields::Bool(const char* key, bool value) {
+  body_ += ",\"";
+  body_ += key;
+  body_ += "\":";
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+std::atomic<bool> Logger::armed_{false};
+std::atomic<int> Logger::min_level_{static_cast<int>(LogLevel::kInfo)};
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // leaked, like the registries
+  return *logger;
+}
+
+bool Logger::Arm(LogLevel min_level, const std::string& path,
+                 uint64_t max_lines_per_sec) {
+  Disarm();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path.empty() || path == "-") {
+    sink_ = stderr;
+    owns_sink_ = false;
+  } else {
+    sink_ = std::fopen(path.c_str(), "w");
+    if (sink_ == nullptr) return false;
+    owns_sink_ = true;
+  }
+  max_lines_per_sec_ = max_lines_per_sec == 0 ? 1 : max_lines_per_sec;
+  buckets_.clear();
+  lines_written_.store(0, std::memory_order_relaxed);
+  lines_suppressed_.store(0, std::memory_order_relaxed);
+  min_level_.store(static_cast<int>(min_level), std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+  return true;
+}
+
+void Logger::Disarm() {
+  armed_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    std::fflush(sink_);
+    if (owns_sink_) std::fclose(sink_);
+  }
+  sink_ = nullptr;
+  owns_sink_ = false;
+}
+
+void Logger::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) std::fflush(sink_);
+}
+
+void Logger::Log(LogLevel level, const char* event, const LogFields& fields) {
+  if (!Enabled(level)) return;
+  const int64_t ts_us = WallClockMicros();
+
+  std::string line = "{\"ts_us\":";
+  line += std::to_string(ts_us);
+  line += ",\"level\":\"";
+  line += LogLevelName(level);
+  line += "\",\"event\":";
+  AppendJsonString(&line, event, std::strlen(event));
+  line += fields.body();
+  line += "}\n";
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_ == nullptr) return;  // raced with Disarm
+    TokenBucket& bucket = buckets_[event];
+    const int64_t second = ts_us / 1000000;
+    if (bucket.second != second) {
+      bucket.second = second;
+      bucket.count = 0;
+    }
+    if (bucket.count >= max_lines_per_sec_) {
+      lines_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      SJSEL_METRIC_INC("log.suppressed");
+      return;
+    }
+    ++bucket.count;
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fflush(sink_);
+  }
+  lines_written_.fetch_add(1, std::memory_order_relaxed);
+  SJSEL_METRIC_INC(std::string("log.lines.") + LogLevelName(level));
+}
+
+}  // namespace obs
+}  // namespace sjsel

@@ -1,0 +1,162 @@
+#ifndef SJSEL_OBS_LOG_H_
+#define SJSEL_OBS_LOG_H_
+
+// Structured logging: leveled, rate-limited JSON-lines (one object per
+// line) for the long-running surfaces — server lifecycle, admission
+// rejections, estimator degradations, WAL recovery, checkpoints. See
+// docs/OBSERVABILITY.md ("Structured logging") for the event vocabulary
+// and how log lines correlate with trace spans via request_id.
+//
+// Cost contract, mirroring obs/metrics.h and obs/trace.h: every log site
+// first checks Logger::Armed() — one relaxed atomic load — and does
+// nothing else while disarmed (no formatting, no allocation, no lock).
+// The SJSEL_LOG_* macros evaluate their field-builder argument only when
+// armed, so a disarmed site costs exactly that load and branch.
+//
+// While armed, a line below the configured minimum level costs one more
+// relaxed load; an emitted line is formatted into one std::string and
+// appended to the sink under a short mutex, flushed per line (a crash
+// must not eat the events leading up to it). A per-event token bucket
+// caps emission at `max_lines_per_sec` lines per event name per wall
+// second; suppressed lines are counted (`lines_suppressed()`, plus the
+// `log.suppressed` metric when metrics are armed) so floods are visible
+// without filling the disk.
+//
+// This header depends only on the standard library: it sits below
+// src/util/ in the module map, next to obs/trace.h and obs/metrics.h.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sjsel {
+namespace obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// "debug" / "info" / "warn" / "error".
+const char* LogLevelName(LogLevel level);
+
+/// Parses a level name (as the CLI's --log-level flag spells it).
+/// Returns false on an unknown name, leaving *out untouched.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Ordered key/value fields of one log line, serialized as JSON object
+/// members in insertion order. Values are escaped like util/json.h does
+/// (the emitted line parses with JsonValue::Parse). Keys must be plain
+/// identifiers (no escaping is applied to keys).
+class LogFields {
+ public:
+  LogFields& Str(const char* key, const std::string& value);
+  LogFields& Int(const char* key, long long value);
+  LogFields& Uint(const char* key, unsigned long long value);
+  LogFields& Num(const char* key, double value);
+  LogFields& Bool(const char* key, bool value);
+
+  /// The accumulated `,"key":value` fragments (possibly empty).
+  const std::string& body() const { return body_; }
+
+ private:
+  std::string body_;
+};
+
+/// The process-wide logger. Disarmed by default; `sjsel serve` arms it
+/// for --log-file/--log-level, tests arm it directly.
+class Logger {
+ public:
+  /// Per-event emission cap (lines per event name per wall second)
+  /// unless Arm() overrides it.
+  static constexpr uint64_t kDefaultMaxLinesPerSec = 200;
+
+  static Logger& Global();
+
+  /// The fast gate every log site checks first: one relaxed atomic load.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  /// True when a line at `level` would be emitted: armed AND at or above
+  /// the configured minimum. One extra relaxed load on the armed path.
+  static bool Enabled(LogLevel level) {
+    return Armed() &&
+           static_cast<int>(level) >= min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Opens the sink and arms the gate. `path` empty or "-" logs to
+  /// stderr; otherwise the file is created/truncated. Re-arming flushes
+  /// and closes any previous sink first and zeroes the line counters.
+  /// Returns false (disarmed) when the file cannot be opened.
+  bool Arm(LogLevel min_level, const std::string& path,
+           uint64_t max_lines_per_sec = kDefaultMaxLinesPerSec);
+
+  /// Flushes, closes a file sink, disarms. Idempotent.
+  void Disarm();
+
+  /// Flushes the sink (lines are already flushed per write; this exists
+  /// for symmetry and for the drain path to call explicitly).
+  void Flush();
+
+  /// Emits one line: {"ts_us":...,"level":"...","event":"..."<fields>}.
+  /// `event` must be a dotted lowercase name (e.g. "server.start").
+  /// No-op when disarmed or below the minimum level; rate-limited per
+  /// event name. Call via the SJSEL_LOG_* macros so the disarmed path
+  /// never builds the fields.
+  void Log(LogLevel level, const char* event, const LogFields& fields);
+
+  /// Lines emitted to the sink since the last Arm().
+  uint64_t lines_written() const {
+    return lines_written_.load(std::memory_order_relaxed);
+  }
+  /// Lines dropped by the per-event rate limiter since the last Arm().
+  uint64_t lines_suppressed() const {
+    return lines_suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<bool> armed_;
+  static std::atomic<int> min_level_;
+
+  struct TokenBucket {
+    int64_t second = -1;  ///< wall-clock second the count applies to
+    uint64_t count = 0;
+  };
+
+  std::mutex mu_;  ///< guards the sink and the rate-limit table
+  std::FILE* sink_ = nullptr;
+  bool owns_sink_ = false;
+  uint64_t max_lines_per_sec_ = kDefaultMaxLinesPerSec;
+  std::map<std::string, TokenBucket> buckets_;
+  std::atomic<uint64_t> lines_written_{0};
+  std::atomic<uint64_t> lines_suppressed_{0};
+};
+
+/// Leveled log macros. The fields expression (a LogFields value, e.g.
+/// `obs::LogFields().Str("socket", path)`) is evaluated only when the
+/// logger is armed and the level passes the minimum — one relaxed load
+/// when disarmed.
+#define SJSEL_LOG(level, event, fields)                        \
+  do {                                                         \
+    if (::sjsel::obs::Logger::Enabled(level)) {                \
+      ::sjsel::obs::Logger::Global().Log(level, event, fields); \
+    }                                                          \
+  } while (0)
+
+#define SJSEL_LOG_DEBUG(event, fields) \
+  SJSEL_LOG(::sjsel::obs::LogLevel::kDebug, event, fields)
+#define SJSEL_LOG_INFO(event, fields) \
+  SJSEL_LOG(::sjsel::obs::LogLevel::kInfo, event, fields)
+#define SJSEL_LOG_WARN(event, fields) \
+  SJSEL_LOG(::sjsel::obs::LogLevel::kWarn, event, fields)
+#define SJSEL_LOG_ERROR(event, fields) \
+  SJSEL_LOG(::sjsel::obs::LogLevel::kError, event, fields)
+
+}  // namespace obs
+}  // namespace sjsel
+
+#endif  // SJSEL_OBS_LOG_H_

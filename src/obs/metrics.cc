@@ -235,6 +235,88 @@ std::string MetricsRegistry::SnapshotText() const {
   return out;
 }
 
+namespace {
+
+// OpenMetrics metric names: [a-zA-Z0-9_] survives, everything else
+// (dots, colons in cause suffixes) becomes '_'. The "sjsel_" prefix
+// guarantees a valid leading character.
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "sjsel_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Label-value escaping per the exposition format: backslash, double
+// quote and newline.
+void AppendOpenMetricsLabel(std::string* out, const std::string& v) {
+  for (const char c : v) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '"') {
+      *out += "\\\"";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendNameLabel(std::string* out, const std::string& name) {
+  *out += "{name=\"";
+  AppendOpenMetricsLabel(out, name);
+  *out += "\"}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotOpenMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string san = OpenMetricsName(name);
+    out += "# TYPE " + san + " counter\n";
+    out += san + "_total";
+    AppendNameLabel(&out, name);
+    out += " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string san = OpenMetricsName(name);
+    out += "# TYPE " + san + " gauge\n";
+    out += san;
+    AppendNameLabel(&out, name);
+    out += " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string san = OpenMetricsName(name);
+    out += "# TYPE " + san + " summary\n";
+    static constexpr struct {
+      const char* label;
+      double q;
+    } kQuantiles[] = {
+        {"0.5", 0.50}, {"0.9", 0.90}, {"0.95", 0.95}, {"0.99", 0.99}};
+    for (const auto& quantile : kQuantiles) {
+      out += san + "{name=\"";
+      AppendOpenMetricsLabel(&out, name);
+      out += "\",quantile=\"";
+      out += quantile.label;
+      out += "\"} " + FormatQuantile(hist->Quantile(quantile.q)) + "\n";
+    }
+    out += san + "_sum";
+    AppendNameLabel(&out, name);
+    out += " " + std::to_string(hist->sum()) + "\n";
+    out += san + "_count";
+    AppendNameLabel(&out, name);
+    out += " " + std::to_string(hist->count()) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 bool MetricsRegistry::WriteJson(const std::string& path) const {
   const std::string json = SnapshotJson();
   std::FILE* f = std::fopen(path.c_str(), "w");

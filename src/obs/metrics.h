@@ -206,6 +206,17 @@ class MetricsRegistry {
   /// instrument, sorted.
   std::string SnapshotText() const;
 
+  /// OpenMetrics / Prometheus text exposition of the registry, served by
+  /// the server's `metrics` op (docs/SERVER.md). Deterministic like
+  /// SnapshotJson: instruments sorted by name, fixed line order, ends
+  /// with "# EOF". Dotted names are sanitized to `sjsel_<name with
+  /// non-alphanumerics as _>`; the original dotted name rides along as a
+  /// `name` label (escaped per the exposition format). Counters render
+  /// as `<san>_total`, gauges as plain samples, histograms as summaries
+  /// (p50/p90/p95/p99 quantile samples from Histogram::Quantile, %.6g,
+  /// plus `_sum`/`_count`).
+  std::string SnapshotOpenMetrics() const;
+
   /// Writes SnapshotJson() to `path`. Returns false on I/O failure.
   bool WriteJson(const std::string& path) const;
 

@@ -1,0 +1,58 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sjsel {
+namespace obs {
+
+SlowRequestLog::SlowRequestLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlowRequestLog::Record(SlowRequestEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t seq = recorded_++;
+  if (slots_.size() < capacity_) {
+    slots_.push_back(Slot{std::move(entry), seq});
+    return;
+  }
+  // Evict the current minimum (oldest on ties, so a stream of equal
+  // latencies keeps the most recent window).
+  size_t min_i = 0;
+  for (size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].entry.latency_us < slots_[min_i].entry.latency_us ||
+        (slots_[i].entry.latency_us == slots_[min_i].entry.latency_us &&
+         slots_[i].seq < slots_[min_i].seq)) {
+      min_i = i;
+    }
+  }
+  if (entry.latency_us >= slots_[min_i].entry.latency_us) {
+    slots_[min_i] = Slot{std::move(entry), seq};
+  }
+}
+
+std::vector<SlowRequestEntry> SlowRequestLog::Snapshot() const {
+  std::vector<Slot> copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    copy = slots_;
+  }
+  std::sort(copy.begin(), copy.end(), [](const Slot& a, const Slot& b) {
+    if (a.entry.latency_us != b.entry.latency_us) {
+      return a.entry.latency_us > b.entry.latency_us;
+    }
+    return a.seq < b.seq;
+  });
+  std::vector<SlowRequestEntry> out;
+  out.reserve(copy.size());
+  for (Slot& slot : copy) out.push_back(std::move(slot.entry));
+  return out;
+}
+
+uint64_t SlowRequestLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace obs
+}  // namespace sjsel

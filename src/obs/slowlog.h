@@ -1,0 +1,64 @@
+#ifndef SJSEL_OBS_SLOWLOG_H_
+#define SJSEL_OBS_SLOWLOG_H_
+
+// Bounded in-memory ring of the slowest requests seen so far, backing
+// the server's `slowlog` op (docs/SERVER.md). Keeps the top-K entries
+// by latency: recording is O(K) under a short mutex (K is small — the
+// default ring holds 32 entries), snapshotting copies and sorts them.
+//
+// This is deliberately value-based bookkeeping, not an instrument: the
+// ring is owned by whoever serves it (the server), not by a global
+// registry, and it is always on — a request that took 2 seconds is
+// worth remembering whether or not metrics were armed at the time.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sjsel {
+namespace obs {
+
+/// One remembered request. `note` carries the outcome detail the server
+/// attributes the latency to: the answered estimator rung and
+/// degradation_reason for estimates, `error:<code>` for failures.
+struct SlowRequestEntry {
+  std::string request_id;
+  std::string op;
+  uint64_t latency_us = 0;
+  bool ok = true;
+  std::string note;
+};
+
+class SlowRequestLog {
+ public:
+  explicit SlowRequestLog(size_t capacity = 32);
+
+  /// Remembers `entry` if it ranks among the `capacity()` slowest seen
+  /// so far (evicting the current minimum otherwise). Thread-safe.
+  void Record(SlowRequestEntry entry);
+
+  /// The retained entries, slowest first; ties keep arrival order.
+  std::vector<SlowRequestEntry> Snapshot() const;
+
+  /// Requests ever offered to Record() (retained or not).
+  uint64_t recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    SlowRequestEntry entry;
+    uint64_t seq = 0;  ///< arrival order, the deterministic tiebreak
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t recorded_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace obs
+}  // namespace sjsel
+
+#endif  // SJSEL_OBS_SLOWLOG_H_

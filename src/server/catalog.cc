@@ -90,5 +90,17 @@ Result<std::shared_ptr<stream::StreamIngest>> ServerCatalog::InitStream(
   return GetStream(dir);
 }
 
+ServerCatalog::CacheStats ServerCatalog::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.datasets = datasets_.size();
+  stats.estimates = estimates_.size();
+  stats.streams = streams_.size();
+  for (const auto& [dir, ingest] : streams_) {
+    if (ingest->poisoned()) ++stats.poisoned_streams;
+  }
+  return stats;
+}
+
 }  // namespace server
 }  // namespace sjsel

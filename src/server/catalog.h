@@ -55,9 +55,21 @@ class ServerCatalog {
 
   const GuardedEstimator& estimator() const { return estimator_; }
 
+  /// Cache occupancy for the `health` op (docs/SERVER.md). Counts are a
+  /// consistent point-in-time snapshot under the catalog lock;
+  /// `poisoned_streams` is how many open streams have a failed WAL (their
+  /// mutating ops return FailedPrecondition until reopened).
+  struct CacheStats {
+    size_t datasets = 0;
+    size_t estimates = 0;
+    size_t streams = 0;
+    size_t poisoned_streams = 0;
+  };
+  CacheStats Stats() const;
+
  private:
   GuardedEstimator estimator_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const Dataset>> datasets_;
   std::map<std::pair<std::string, std::string>, EstimateResult> estimates_;
   std::map<std::string, std::shared_ptr<stream::StreamIngest>> streams_;

@@ -66,6 +66,7 @@ Result<Request> ParseRequest(const std::string& line) {
   if (req.op.empty()) {
     return Status::InvalidArgument("request needs a non-empty 'op'");
   }
+  SJSEL_ASSIGN_OR_RETURN(req.request_id, doc.GetString("request_id", ""));
   SJSEL_ASSIGN_OR_RETURN(req.a, doc.GetString("a", ""));
   SJSEL_ASSIGN_OR_RETURN(req.b, doc.GetString("b", ""));
   SJSEL_ASSIGN_OR_RETURN(req.path, doc.GetString("path", ""));
@@ -113,22 +114,30 @@ Result<Request> ParseRequest(const std::string& line) {
   return req;
 }
 
-std::string OkResponse(const JsonValue& id, JsonValue result) {
+std::string OkResponse(const JsonValue& id, JsonValue result,
+                       const std::string& request_id) {
   JsonValue response = JsonValue::Object();
   response.Set("id", id);
   response.Set("ok", JsonValue::Bool(true));
   response.Set("result", std::move(result));
+  if (!request_id.empty()) {
+    response.Set("request_id", JsonValue::String(request_id));
+  }
   return response.Dump();
 }
 
 std::string ErrorResponse(const JsonValue& id, const std::string& code,
-                          const std::string& message) {
+                          const std::string& message,
+                          const std::string& request_id) {
   JsonValue response = JsonValue::Object();
   response.Set("id", id);
   response.Set("ok", JsonValue::Bool(false));
   response.Set("error", JsonValue::Object()
                             .Set("code", JsonValue::String(code))
                             .Set("message", JsonValue::String(message)));
+  if (!request_id.empty()) {
+    response.Set("request_id", JsonValue::String(request_id));
+  }
   return response.Dump();
 }
 

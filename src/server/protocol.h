@@ -33,8 +33,14 @@ inline constexpr char kErrInternal[] = "internal";
 struct Request {
   /// Echoed verbatim into the response; null when the client sent none.
   JsonValue id;
-  /// "ping", "estimate", "explain", "stats", "plan", "ingest",
-  /// "checkpoint", "stream_estimate", "stream_stats" or "shutdown".
+  /// Correlation id echoed as `request_id` in the response and attached
+  /// to the request's `server.request` trace span, log lines and slowlog
+  /// entry (docs/SERVER.md "Request correlation"). The server generates
+  /// one (`srv-<pid>-<n>`) when the client sends none.
+  std::string request_id;
+  /// "ping", "estimate", "explain", "stats", "metrics", "health",
+  /// "slowlog", "plan", "ingest", "checkpoint", "stream_estimate",
+  /// "stream_stats" or "shutdown".
   std::string op;
   /// Dataset file paths: `a`/`b` for estimate and explain, `path` for
   /// stats, `paths` (array) for plan.
@@ -69,12 +75,18 @@ struct Request {
 /// Parses one request line. Errors name the offending field or byte.
 Result<Request> ParseRequest(const std::string& line);
 
-/// `{"id":...,"ok":true,"result":<result>}`.
-std::string OkResponse(const JsonValue& id, JsonValue result);
+/// `{"id":...,"ok":true,"result":<result>,"request_id":"..."}`. The
+/// `request_id` member is appended last (existing consumers keyed on the
+/// `id`/`ok`/`result` prefix keep matching) and omitted when empty (the
+/// admission-control rejection path has no parsed request to correlate).
+std::string OkResponse(const JsonValue& id, JsonValue result,
+                       const std::string& request_id = std::string());
 
-/// `{"id":...,"ok":false,"error":{"code":"...","message":"..."}}`.
+/// `{"id":...,"ok":false,"error":{"code":"...","message":"..."},
+///  "request_id":"..."}` — same request_id rules as OkResponse.
 std::string ErrorResponse(const JsonValue& id, const std::string& code,
-                          const std::string& message);
+                          const std::string& message,
+                          const std::string& request_id = std::string());
 
 /// Maps a Status from dataset loading / estimation onto the protocol's
 /// error-code vocabulary (NotFound and I/O failures become "not_found",

@@ -6,20 +6,26 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
 #include "core/gh_histogram.h"
 #include "core/kernels.h"
+#include "core/sampling.h"
+#include "join/plane_sweep.h"
 #include "obs/explain.h"
+#include "obs/log.h"
 #include "stream/ingest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/join_planner.h"
 #include "server/protocol.h"
 #include "stats/dataset_stats.h"
+#include "util/build_info.h"
 #include "util/table.h"
 
 namespace sjsel {
@@ -75,9 +81,19 @@ void CountFailure(const std::string& code) {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), catalog_(options_.estimator) {
+    : options_(std::move(options)),
+      catalog_(options_.estimator),
+      slowlog_(options_.slowlog_capacity),
+      start_time_(std::chrono::steady_clock::now()) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.max_queue < 0) options_.max_queue = 0;
+  if (options_.audit_rate > 0.0) {
+    // Deterministic 1-in-N selection, N = round(1 / rate) — the first
+    // candidate is always audited, so rate=1 audits everything.
+    const double rate = std::min(1.0, options_.audit_rate);
+    audit_every_ = static_cast<uint64_t>(std::llround(1.0 / rate));
+    if (audit_every_ < 1) audit_every_ = 1;
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -127,6 +143,7 @@ Status Server::Start() {
 
   started_ = true;
   joined_ = false;
+  start_time_ = std::chrono::steady_clock::now();
   stop_requested_.store(false, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   workers_.reserve(static_cast<size_t>(options_.workers));
@@ -172,10 +189,15 @@ void Server::AcceptLoop() {
     obs::ScopedMetricsArm metrics_arm;
     SJSEL_METRIC_INC("server.connections.accepted");
     std::unique_lock<std::mutex> lock(queue_mu_);
-    if (pending_fds_.size() >= static_cast<size_t>(options_.max_queue)) {
+    const size_t queue_depth = pending_fds_.size();
+    if (queue_depth >= static_cast<size_t>(options_.max_queue)) {
       lock.unlock();
       // Admission control: reject now rather than queue without bound.
       SJSEL_METRIC_INC("server.requests.rejected.overloaded");
+      SJSEL_LOG_WARN("server.overloaded",
+                     obs::LogFields()
+                         .Uint("queue_depth", queue_depth)
+                         .Int("queue_cap", options_.max_queue));
       SendResponseLine(fd, ErrorResponse(JsonValue::Null(), kErrOverloaded,
                                          "admission queue full"));
       ::close(fd);
@@ -246,52 +268,122 @@ void Server::ServeConnection(int fd) {
   SJSEL_METRIC_INC("server.connections.closed");
 }
 
+std::string Server::GenerateRequestId() {
+  return "srv-" + std::to_string(static_cast<long long>(::getpid())) + "-" +
+         std::to_string(
+             next_request_seq_.fetch_add(1, std::memory_order_relaxed));
+}
+
+uint64_t Server::uptime_seconds() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+bool Server::ShouldAudit() {
+  if (audit_every_ == 0) return false;
+  return audit_seq_.fetch_add(1, std::memory_order_relaxed) % audit_every_ ==
+         0;
+}
+
 std::string Server::HandleLine(const std::string& line) {
   // Observability is armed for the duration of this request only; values
   // aggregate across requests in the global registry.
   obs::ScopedMetricsArm metrics_arm;
   obs::ScopedTraceArm trace_arm;
-  SJSEL_TRACE_SPAN("server.request");
-  SJSEL_METRIC_SCOPED_LATENCY("server.request_us");
   SJSEL_METRIC_INC("server.requests.received");
+  const auto start = std::chrono::steady_clock::now();
 
   Deadline deadline;
   deadline.start_ms = SteadyNowMs();
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 
-  const auto parsed = ParseRequest(line);
-  if (!parsed.ok()) {
-    CountFailure(kErrBadRequest);
-    return ErrorResponse(JsonValue::Null(), kErrBadRequest,
-                         parsed.status().message());
+  std::string request_id;
+  std::string op;
+  std::string note;
+  std::string response;
+  {
+    auto parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      CountFailure(kErrBadRequest);
+      request_id = GenerateRequestId();
+      note = std::string("error:") + kErrBadRequest;
+      response = ErrorResponse(JsonValue::Null(), kErrBadRequest,
+                               parsed.status().message(), request_id);
+    } else {
+      Request& req = *parsed;
+      if (req.request_id.empty()) req.request_id = GenerateRequestId();
+      request_id = req.request_id;
+      op = req.op;
+      // The span detail carries the correlation id, so one grep joins the
+      // trace file with the response and the log (docs/OBSERVABILITY.md
+      // "Request correlation"). The span closes before the latency is
+      // recorded below, keeping trace and histogram consistent.
+      SJSEL_TRACE_SPAN("server.request", "request_id=%s op=%s",
+                       req.request_id.c_str(), req.op.c_str());
+      deadline.limit_ms = req.deadline_ms;
+      deadline.armed = req.has_deadline;
+      // Pure-observability ops stay answerable while draining: a stopping
+      // server is precisely when scraping health/metrics/slowlog matters.
+      const bool drain_ok = req.op == "shutdown" || req.op == "ping" ||
+                            req.op == "health" || req.op == "metrics" ||
+                            req.op == "slowlog";
+      if (stop_requested() && !drain_ok) {
+        CountFailure(kErrShuttingDown);
+        note = std::string("error:") + kErrShuttingDown;
+        response = ErrorResponse(req.id, kErrShuttingDown,
+                                 "server is shutting down", req.request_id);
+      } else if (deadline.Expired()) {
+        CountFailure(kErrDeadline);
+        note = std::string("error:") + kErrDeadline;
+        response = ErrorResponse(req.id, kErrDeadline,
+                                 "deadline exceeded before dispatch",
+                                 req.request_id);
+      } else {
+        response = Dispatch(req, &note);
+      }
+    }
   }
-  const Request& req = *parsed;
-  deadline.limit_ms = req.deadline_ms;
-  deadline.armed = req.has_deadline;
-  if (stop_requested() && req.op != "shutdown" && req.op != "ping") {
-    CountFailure(kErrShuttingDown);
-    return ErrorResponse(req.id, kErrShuttingDown, "server is shutting down");
-  }
-  if (deadline.Expired()) {
-    CountFailure(kErrDeadline);
-    return ErrorResponse(req.id, kErrDeadline,
-                         "deadline exceeded before dispatch");
-  }
-  return Dispatch(req);
+
+  const uint64_t latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  obs::RecordLatencyMicros(
+      obs::MetricsRegistry::Global().GetHistogram("server.request_us"),
+      latency_us);
+  const bool ok = note.rfind("error:", 0) != 0;
+  obs::SlowRequestEntry entry;
+  entry.request_id = request_id;
+  entry.op = op;
+  entry.latency_us = latency_us;
+  entry.ok = ok;
+  entry.note = note;
+  slowlog_.Record(std::move(entry));
+  SJSEL_METRIC_INC("server.slowlog.recorded");
+  SJSEL_LOG_DEBUG("server.request", obs::LogFields()
+                                        .Str("request_id", request_id)
+                                        .Str("op", op)
+                                        .Uint("latency_us", latency_us)
+                                        .Bool("ok", ok)
+                                        .Str("note", note));
+  return response;
 }
 
-std::string Server::Dispatch(const Request& req) {
+std::string Server::Dispatch(const Request& req, std::string* note) {
   const auto fail = [&](const char* code,
                         const std::string& message) -> std::string {
     CountFailure(code);
-    return ErrorResponse(req.id, code, message);
+    *note = std::string("error:") + code;
+    return ErrorResponse(req.id, code, message, req.request_id);
   };
   const auto fail_status = [&](const Status& status) -> std::string {
     return fail(ErrorCodeForStatus(status), status.message());
   };
   const auto answered = [&](JsonValue result) -> std::string {
     SJSEL_METRIC_INC("server.requests.answered");
-    return OkResponse(req.id, std::move(result));
+    return OkResponse(req.id, std::move(result), req.request_id);
   };
 
   if (req.op == "ping") {
@@ -312,6 +404,26 @@ std::string Server::Dispatch(const Request& req) {
     const auto result = catalog_.Estimate(req.a, req.b);
     if (!result.ok()) return fail_status(result.status());
     const EstimateResult& est = *result;
+    *note = std::string("rung=") + EstimatorRungName(est.rung);
+    if (!est.degradation_reason.empty()) {
+      *note += " degraded";
+      SJSEL_LOG_WARN("estimator.degraded",
+                     obs::LogFields()
+                         .Str("request_id", req.request_id)
+                         .Str("a", req.a)
+                         .Str("b", req.b)
+                         .Str("rung", EstimatorRungName(est.rung))
+                         .Str("reason", est.degradation_reason));
+    }
+    if (ShouldAudit()) {
+      // The datasets are already cached by the estimate above, so these
+      // lookups cannot re-do the load.
+      const auto da = catalog_.GetDataset(req.a);
+      const auto db = catalog_.GetDataset(req.b);
+      if (da.ok() && db.ok()) {
+        AuditEstimate(req, **da, **db, est.outcome.estimated_pairs);
+      }
+    }
     JsonValue out = JsonValue::Object();
     out.Set("estimated_pairs", JsonValue::Number(est.outcome.estimated_pairs));
     out.Set("estimated_pairs_text",
@@ -385,6 +497,10 @@ std::string Server::Dispatch(const Request& req) {
     JsonValue out = JsonValue::Object();
     out.Set("requests_served",
             JsonValue::Int(static_cast<long long>(requests_served())));
+    out.Set("uptime_s",
+            JsonValue::Int(static_cast<long long>(uptime_seconds())));
+    out.Set("version", JsonValue::String(kSjselVersion));
+    out.Set("compiler", JsonValue::String(BuildCompiler()));
     const KernelDispatchInfo dispatch = GetKernelDispatchInfo();
     out.Set("kernel_backend",
             JsonValue::String(KernelBackendName(dispatch.active)));
@@ -392,6 +508,82 @@ std::string Server::Dispatch(const Request& req) {
     out.Set("kernel_detected",
             JsonValue::String(KernelBackendName(dispatch.detected)));
     out.Set("metrics", std::move(metrics).value());
+    return answered(std::move(out));
+  }
+
+  if (req.op == "metrics") {
+    SJSEL_TRACE_SPAN("server.op.metrics");
+    // Both renderings of the same registry state: `openmetrics` is the
+    // scrape-ready exposition text, `snapshot` the structured view.
+    auto& registry = obs::MetricsRegistry::Global();
+    auto snapshot = JsonValue::Parse(registry.SnapshotJson());
+    if (!snapshot.ok()) return fail_status(snapshot.status());
+    JsonValue out = JsonValue::Object();
+    out.Set("openmetrics", JsonValue::String(registry.SnapshotOpenMetrics()));
+    out.Set("snapshot", std::move(snapshot).value());
+    return answered(std::move(out));
+  }
+
+  if (req.op == "health") {
+    SJSEL_TRACE_SPAN("server.op.health");
+    const ServerCatalog::CacheStats cache = catalog_.Stats();
+    size_t queue_depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_depth = pending_fds_.size();
+    }
+    const bool draining = stop_requested();
+    const KernelDispatchInfo dispatch = GetKernelDispatchInfo();
+    JsonValue out = JsonValue::Object();
+    out.Set("status", JsonValue::String(draining ? "draining" : "ok"));
+    out.Set("ready", JsonValue::Bool(!draining));
+    out.Set("uptime_s",
+            JsonValue::Int(static_cast<long long>(uptime_seconds())));
+    out.Set("version", JsonValue::String(kSjselVersion));
+    out.Set("compiler", JsonValue::String(BuildCompiler()));
+    out.Set("kernel_backend",
+            JsonValue::String(KernelBackendName(dispatch.active)));
+    out.Set("workers", JsonValue::Int(options_.workers));
+    out.Set("queue_depth", JsonValue::Int(static_cast<long long>(queue_depth)));
+    out.Set("queue_cap", JsonValue::Int(options_.max_queue));
+    out.Set("datasets_cached",
+            JsonValue::Int(static_cast<long long>(cache.datasets)));
+    out.Set("estimates_cached",
+            JsonValue::Int(static_cast<long long>(cache.estimates)));
+    out.Set("streams_open",
+            JsonValue::Int(static_cast<long long>(cache.streams)));
+    out.Set("streams_poisoned",
+            JsonValue::Int(static_cast<long long>(cache.poisoned_streams)));
+    out.Set("requests_served",
+            JsonValue::Int(static_cast<long long>(requests_served())));
+    out.Set("audit_rate", JsonValue::Number(options_.audit_rate));
+    return answered(std::move(out));
+  }
+
+  if (req.op == "slowlog") {
+    SJSEL_TRACE_SPAN("server.op.slowlog");
+    const std::vector<obs::SlowRequestEntry> entries = slowlog_.Snapshot();
+    const size_t limit =
+        req.top > 0 ? std::min(entries.size(), static_cast<size_t>(req.top))
+                    : entries.size();
+    JsonValue arr = JsonValue::Array();
+    for (size_t i = 0; i < limit; ++i) {
+      const obs::SlowRequestEntry& e = entries[i];
+      arr.Append(
+          JsonValue::Object()
+              .Set("request_id", JsonValue::String(e.request_id))
+              .Set("op", JsonValue::String(e.op))
+              .Set("latency_us",
+                   JsonValue::Int(static_cast<long long>(e.latency_us)))
+              .Set("ok", JsonValue::Bool(e.ok))
+              .Set("note", JsonValue::String(e.note)));
+    }
+    JsonValue out = JsonValue::Object();
+    out.Set("entries", std::move(arr));
+    out.Set("capacity",
+            JsonValue::Int(static_cast<long long>(slowlog_.capacity())));
+    out.Set("recorded",
+            JsonValue::Int(static_cast<long long>(slowlog_.recorded())));
     return answered(std::move(out));
   }
 
@@ -500,6 +692,23 @@ std::string Server::Dispatch(const Request& req) {
     if (!bh.ok()) return fail_status(bh.status());
     const auto pairs = EstimateGhJoinPairs(snap->gh, *bh);
     if (!pairs.ok()) return fail_status(pairs.status());
+    if (ShouldAudit()) {
+      // The reference folds the not-yet-sealed active delta in, so the
+      // audit measures how far the served snapshot lags the acknowledged
+      // stream — GH accuracy drift under churn.
+      SJSEL_TRACE_SPAN("server.audit");
+      const auto full = (*ingest)->MaterializeState();
+      if (full.ok()) {
+        const auto ref = EstimateGhJoinPairs((*full).gh, *bh);
+        if (ref.ok()) {
+          PublishAuditResult(req, "materialized", *pairs, *ref);
+        } else {
+          SJSEL_METRIC_INC("accuracy.audit_failures");
+        }
+      } else {
+        SJSEL_METRIC_INC("accuracy.audit_failures");
+      }
+    }
     const double n1 = static_cast<double>(snap->gh.dataset_size());
     const double n2 = static_cast<double>((*b)->size());
     JsonValue out = JsonValue::Object();
@@ -552,6 +761,65 @@ std::string Server::Dispatch(const Request& req) {
   }
 
   return fail(kErrUnknownOp, "unknown op '" + req.op + "'");
+}
+
+void Server::AuditEstimate(const Request& req, const Dataset& a,
+                           const Dataset& b, double served_pairs) {
+  SJSEL_TRACE_SPAN("server.audit");
+  const uint64_t cap = options_.audit_exact_cap;
+  if (cap > 0 && a.size() <= cap && b.size() <= cap) {
+    const uint64_t exact = PlaneSweepJoinCount(a, b);
+    PublishAuditResult(req, "exact", served_pairs,
+                       static_cast<double>(exact));
+    return;
+  }
+  const auto sampled = EstimateBySampling(a, b, options_.estimator.sampling);
+  if (!sampled.ok()) {
+    SJSEL_METRIC_INC("accuracy.audit_failures");
+    return;
+  }
+  PublishAuditResult(req, "sampling", served_pairs,
+                     (*sampled).estimated_pairs);
+}
+
+void Server::PublishAuditResult(const Request& req, const char* reference,
+                                double served_pairs, double reference_pairs) {
+  SJSEL_METRIC_INC("accuracy.audits");
+  // Relative error against the reference, floored at one pair so an
+  // empty-join reference cannot divide by zero. The histogram stores
+  // non-negative integers, so the error is recorded in parts-per-million
+  // (1e6 ppm == 100% off), capped at a 1e6x relative error.
+  const double denom = std::max(reference_pairs, 1.0);
+  const double rel = std::fabs(served_pairs - reference_pairs) / denom;
+  const uint64_t ppm =
+      static_cast<uint64_t>(std::llround(std::min(rel, 1e6) * 1e6));
+  if (obs::MetricsRegistry::Armed()) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("accuracy.rel_error")
+        ->Record(ppm);
+  }
+  SJSEL_LOG_DEBUG("accuracy.audit", obs::LogFields()
+                                        .Str("request_id", req.request_id)
+                                        .Str("op", req.op)
+                                        .Str("reference", reference)
+                                        .Num("served_pairs", served_pairs)
+                                        .Num("reference_pairs",
+                                             reference_pairs)
+                                        .Num("rel_error", rel));
+  if (rel > options_.audit_alarm) {
+    SJSEL_METRIC_INC("accuracy.drift_alarm");
+    SJSEL_TRACE_INSTANT("accuracy.drift_alarm");
+    SJSEL_LOG_WARN("accuracy.drift", obs::LogFields()
+                                         .Str("request_id", req.request_id)
+                                         .Str("op", req.op)
+                                         .Str("reference", reference)
+                                         .Num("served_pairs", served_pairs)
+                                         .Num("reference_pairs",
+                                              reference_pairs)
+                                         .Num("rel_error", rel)
+                                         .Num("threshold",
+                                              options_.audit_alarm));
+  }
 }
 
 }  // namespace server

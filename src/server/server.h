@@ -24,6 +24,7 @@
 // `shutdown` request, or (in the CLI) SIGINT/SIGTERM.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -33,6 +34,8 @@
 #include <vector>
 
 #include "core/guarded_estimator.h"
+#include "geom/dataset.h"
+#include "obs/slowlog.h"
 #include "server/catalog.h"
 #include "server/protocol.h"
 #include "util/result.h"
@@ -57,6 +60,24 @@ struct ServerOptions {
   /// Estimator configuration shared by the catalog, the estimate op and
   /// the planner op. Defaults match the CLI `estimate` command.
   GuardedEstimatorOptions estimator;
+  /// Online accuracy monitor (docs/OBSERVABILITY.md "Online accuracy
+  /// monitor"): the fraction of estimate / stream_estimate requests
+  /// audited against a reference answer computed alongside the served
+  /// one. 0 disables auditing entirely; 1 audits every request. The
+  /// monitor publishes `accuracy.audits`, the `accuracy.rel_error`
+  /// histogram (relative error in parts-per-million) and
+  /// `accuracy.drift_alarm` when the error exceeds audit_alarm.
+  double audit_rate = 0.0;
+  /// Relative-error threshold above which an audited request raises
+  /// `accuracy.drift_alarm` (counter + warn log + trace instant).
+  double audit_alarm = 0.5;
+  /// When both audited datasets have at most this many rectangles the
+  /// reference is the exact plane-sweep join count; otherwise (or when 0)
+  /// the sampling estimator's answer is used as the reference.
+  uint64_t audit_exact_cap = 0;
+  /// Entries the slow-request ring keeps (the `slowlog` op reports the
+  /// top K requests by latency since startup).
+  size_t slowlog_capacity = 32;
 };
 
 class Server {
@@ -103,18 +124,45 @@ class Server {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// Whole seconds since construction (Start() re-bases it), reported by
+  /// the `stats` and `health` ops.
+  uint64_t uptime_seconds() const;
+
+  /// The slow-request ring behind the `slowlog` op.
+  const obs::SlowRequestLog& slowlog() const { return slowlog_; }
+
  private:
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
-  std::string Dispatch(const Request& req);
+  /// Dispatches a parsed request (its request_id already filled in) and
+  /// appends a short annotation for the slowlog — "rung=..." on
+  /// estimates, "error:<code>" on failures — to *note.
+  std::string Dispatch(const Request& req, std::string* note);
+  /// "srv-<pid>-<n>" for requests that arrive without a request_id.
+  std::string GenerateRequestId();
+  /// True for every 1/audit_rate-th call (deterministic, not random);
+  /// always false when audit_rate == 0.
+  bool ShouldAudit();
+  /// Runs the reference estimator for a served estimate and publishes the
+  /// `accuracy.*` metrics (and the drift alarm when warranted).
+  void AuditEstimate(const Request& req, const Dataset& a, const Dataset& b,
+                     double served_pairs);
+  void PublishAuditResult(const Request& req, const char* reference,
+                          double served_pairs, double reference_pairs);
 
   ServerOptions options_;
   ServerCatalog catalog_;
+  obs::SlowRequestLog slowlog_;
 
   int listen_fd_ = -1;
   std::atomic<bool> stop_requested_{false};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> next_request_seq_{1};
+  std::atomic<uint64_t> audit_seq_{0};
+  /// Derived from audit_rate at construction: audit every Nth candidate.
+  uint64_t audit_every_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
   bool started_ = false;
   bool joined_ = false;
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/serialize.h"
@@ -305,6 +306,19 @@ Result<std::unique_ptr<StreamIngest>> StreamIngest::Open(
     SJSEL_METRIC_ADD("stream.replay.dropped_bytes", rr.dropped_bytes);
   }
 
+  // A torn tail is worth a warning (acknowledged data is intact, but the
+  // client's unacknowledged writes are gone); a clean recovery logs info.
+  SJSEL_LOG(ingest->recovery_.dropped_bytes > 0 ? obs::LogLevel::kWarn
+                                                : obs::LogLevel::kInfo,
+            "stream.recovered",
+            obs::LogFields()
+                .Str("dir", dir)
+                .Uint("checkpoint_seq", ingest->recovery_.checkpoint_seq)
+                .Uint("replayed_records", ingest->recovery_.replayed_records)
+                .Uint("skipped_records", ingest->recovery_.skipped_records)
+                .Uint("dropped_bytes", ingest->recovery_.dropped_bytes)
+                .Str("tail_error", ingest->recovery_.tail_error));
+
   SJSEL_ASSIGN_OR_RETURN(
       ingest->wal_, WalWriter::Open(ingest->WalPath(), options.fsync_always));
   return ingest;
@@ -428,6 +442,10 @@ Status StreamIngest::CheckpointLocked() {
     ::unlink(BasePath(previous, "ph").c_str());
   }
   SJSEL_METRIC_INC("stream.compactions");
+  SJSEL_LOG_INFO("stream.checkpoint", obs::LogFields()
+                                          .Str("dir", dir_)
+                                          .Uint("checkpoint_seq", target)
+                                          .Uint("wal_bytes", wal_.bytes()));
   return Status::OK();
 }
 
@@ -506,6 +524,11 @@ uint64_t StreamIngest::wal_bytes() const {
 uint64_t StreamIngest::active_batches() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_batches_;
+}
+
+bool StreamIngest::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
 }
 
 }  // namespace stream

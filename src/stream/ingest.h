@@ -124,6 +124,9 @@ class StreamIngest {
   uint64_t checkpoint_seq() const;
   uint64_t wal_bytes() const;
   uint64_t active_batches() const;
+  /// True after a WAL write failure: mutating ops fail until the stream is
+  /// reopened. Surfaced by the server's `health` op (poisoned stream count).
+  bool poisoned() const;
 
   /// Serializes `ops` into a WAL record payload / decodes one. Exposed for
   /// tests and the WAL tooling.

@@ -1,0 +1,30 @@
+#ifndef SJSEL_UTIL_BUILD_INFO_H_
+#define SJSEL_UTIL_BUILD_INFO_H_
+
+// Version and build identification — the single source of truth the
+// server's `stats` and `health` ops (and anything else that reports
+// "what build is this") must share, so the two can never disagree.
+// Deliberately excludes timestamps (__DATE__/__TIME__): build info must
+// not make otherwise-identical binaries differ.
+
+namespace sjsel {
+
+/// The project version reported over the wire (docs/SERVER.md `health`).
+inline constexpr char kSjselVersion[] = "0.10.0";
+
+/// The compiler family this binary was built with.
+inline const char* BuildCompiler() {
+#if defined(__clang__)
+  return "clang";
+#elif defined(__GNUC__)
+  return "gcc";
+#elif defined(_MSC_VER)
+  return "msvc";
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace sjsel
+
+#endif  // SJSEL_UTIL_BUILD_INFO_H_

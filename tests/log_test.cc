@@ -1,0 +1,180 @@
+// Tests for the structured logger (src/obs/log.h): level parsing, the
+// disarmed zero-cost contract, JSON-parseable output, level filtering,
+// field escaping, per-event rate limiting, and re-arming semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace sjsel {
+namespace {
+
+using obs::LogFields;
+using obs::Logger;
+using obs::LogLevel;
+using obs::MetricsRegistry;
+
+std::string TempLogPath(const char* name) {
+  return ::testing::TempDir() + "/sjsel_log_test_" + name + ".jsonl";
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(LogLevelTest, ParseAcceptsCanonicalNames) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(obs::ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(obs::ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(obs::ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(obs::ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(obs::ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  // Unknown names fail and leave *out untouched.
+  level = LogLevel::kDebug;
+  EXPECT_FALSE(obs::ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_STREQ(obs::LogLevelName(LogLevel::kWarn), "warn");
+}
+
+TEST(LoggerTest, DisarmedSitesCostNothingObservable) {
+  Logger::Global().Disarm();
+  ASSERT_FALSE(Logger::Armed());
+  // Metrics disarmed too: the macro body must not run, so neither the
+  // logger counters nor the metrics registry may change.
+  MetricsRegistry::Arm();
+  MetricsRegistry::Disarm();
+  const size_t instruments_before = MetricsRegistry::Global().InstrumentCount();
+  const uint64_t written_before = Logger::Global().lines_written();
+  SJSEL_LOG_ERROR("test.disarmed", LogFields().Str("k", "v"));
+  SJSEL_LOG_INFO("test.disarmed2", LogFields().Int("n", 1));
+  EXPECT_EQ(Logger::Global().lines_written(), written_before);
+  EXPECT_EQ(MetricsRegistry::Global().InstrumentCount(), instruments_before);
+}
+
+TEST(LoggerTest, ArmedLinesParseAsJson) {
+  const std::string path = TempLogPath("parse");
+  ASSERT_TRUE(Logger::Global().Arm(LogLevel::kDebug, path));
+  SJSEL_LOG_INFO("test.event", LogFields()
+                                   .Str("request_id", "req-1")
+                                   .Int("answer", -42)
+                                   .Uint("count", 7)
+                                   .Num("ratio", 0.5)
+                                   .Bool("ok", true));
+  Logger::Global().Disarm();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const auto doc = JsonValue::Parse(lines[0]);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("level", "").value(), "info");
+  EXPECT_EQ(doc->GetString("event", "").value(), "test.event");
+  EXPECT_EQ(doc->GetString("request_id", "").value(), "req-1");
+  EXPECT_EQ(doc->GetNumber("answer", 0).value(), -42.0);
+  EXPECT_EQ(doc->GetNumber("count", 0).value(), 7.0);
+  EXPECT_EQ(doc->GetNumber("ratio", 0).value(), 0.5);
+  EXPECT_EQ(doc->GetBool("ok", false).value(), true);
+  EXPECT_GT(doc->GetNumber("ts_us", 0).value(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(LoggerTest, EscapedFieldValuesRoundTrip) {
+  const std::string path = TempLogPath("escape");
+  ASSERT_TRUE(Logger::Global().Arm(LogLevel::kDebug, path));
+  const std::string nasty = "quote\" slash\\ newline\n tab\t bell\x07 done";
+  SJSEL_LOG_WARN("test.escape", LogFields().Str("payload", nasty));
+  Logger::Global().Disarm();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const auto doc = JsonValue::Parse(lines[0]);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("payload", "").value(), nasty);
+  std::remove(path.c_str());
+}
+
+TEST(LoggerTest, MinimumLevelFiltersLowerLines) {
+  const std::string path = TempLogPath("level");
+  ASSERT_TRUE(Logger::Global().Arm(LogLevel::kWarn, path));
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kError));
+  SJSEL_LOG_DEBUG("test.filtered", LogFields());
+  SJSEL_LOG_INFO("test.filtered", LogFields());
+  SJSEL_LOG_WARN("test.kept", LogFields());
+  SJSEL_LOG_ERROR("test.kept", LogFields());
+  Logger::Global().Disarm();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"warn\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"error\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoggerTest, PerEventRateLimitSuppressesFloods) {
+  const std::string path = TempLogPath("rate");
+  // One line per event per second: a burst of 1000 writes at most 2 lines
+  // (the burst may straddle one second boundary) and counts the rest.
+  ASSERT_TRUE(Logger::Global().Arm(LogLevel::kDebug, path,
+                                   /*max_lines_per_sec=*/1));
+  for (int i = 0; i < 1000; ++i) {
+    SJSEL_LOG_INFO("test.flood", LogFields().Int("i", i));
+  }
+  // A different event name has its own bucket and still gets through.
+  SJSEL_LOG_INFO("test.other", LogFields());
+  const uint64_t written = Logger::Global().lines_written();
+  const uint64_t suppressed = Logger::Global().lines_suppressed();
+  Logger::Global().Disarm();
+
+  EXPECT_LE(written, 3u);
+  EXPECT_GE(suppressed, 998u);
+  EXPECT_EQ(written + suppressed, 1001u);
+  const std::vector<std::string> lines = ReadLines(path);
+  EXPECT_EQ(lines.size(), written);
+  std::remove(path.c_str());
+}
+
+TEST(LoggerTest, ReArmTruncatesAndResetsCounters) {
+  const std::string path = TempLogPath("rearm");
+  ASSERT_TRUE(Logger::Global().Arm(LogLevel::kInfo, path));
+  SJSEL_LOG_INFO("test.first", LogFields());
+  ASSERT_TRUE(Logger::Global().Arm(LogLevel::kInfo, path));  // re-arm
+  EXPECT_EQ(Logger::Global().lines_written(), 0u);
+  SJSEL_LOG_INFO("test.second", LogFields());
+  Logger::Global().Disarm();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("test.second"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoggerTest, ArmFailsOnUnopenablePathAndStaysDisarmed) {
+  EXPECT_FALSE(Logger::Global().Arm(LogLevel::kInfo,
+                                    "/nonexistent_dir_xyz/log.jsonl"));
+  EXPECT_FALSE(Logger::Armed());
+  SJSEL_LOG_ERROR("test.nowhere", LogFields());  // must not crash
+}
+
+}  // namespace
+}  // namespace sjsel

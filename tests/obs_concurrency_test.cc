@@ -149,5 +149,42 @@ TEST(ObsConcurrencyTest, SnapshotJsonWhileUpdating) {
   MetricsRegistry::Disarm();
 }
 
+TEST(ObsConcurrencyTest, OpenMetricsSnapshotWhileUpdating) {
+  // The live-scrape path: counters, a gauge and a histogram all updating
+  // while SnapshotOpenMetrics renders. TSan checks the edges; the
+  // assertions check the renderer never emits a torn document.
+  MetricsRegistry::Arm();
+  obs::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("conc.om_hist");
+  // Register the counter and gauge up front so even a scrape that wins the
+  // race against every updater's first increment sees all three lines.
+  MetricsRegistry::Global().GetCounter("conc.om_counter");
+  MetricsRegistry::Global().GetGauge("conc.om_gauge");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> updaters;
+  for (int t = 0; t < 4; ++t) {
+    updaters.emplace_back([&stop, hist, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        SJSEL_METRIC_INC("conc.om_counter");
+        SJSEL_METRIC_GAUGE_MAX("conc.om_gauge", static_cast<int64_t>(i));
+        hist->Record(static_cast<uint64_t>(t) + 1);
+        ++i;
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string om = MetricsRegistry::Global().SnapshotOpenMetrics();
+    // Structurally whole even mid-update: the EOF trailer terminates it
+    // and every rendered instrument line is present.
+    ASSERT_GE(om.size(), 6u);
+    EXPECT_EQ(om.rfind("# EOF\n"), om.size() - 6);
+    EXPECT_NE(om.find("sjsel_conc_om_counter_total"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : updaters) w.join();
+  MetricsRegistry::Disarm();
+}
+
 }  // namespace
 }  // namespace sjsel

@@ -271,6 +271,81 @@ TEST(MetricsTest, ArmResetsValuesButKeepsRegistrations) {
   MetricsRegistry::Disarm();
 }
 
+TEST(MetricsTest, EmptyHistogramSnapshotsAreDefined) {
+  // An instrument that was registered but never recorded must render
+  // without dividing by zero or inventing values, in every format.
+  MetricsRegistry::Arm();
+  MetricsRegistry::Global().GetHistogram("t.empty_hist");
+  MetricsRegistry::Disarm();
+  const Histogram* hist = MetricsRegistry::Global().GetHistogram("t.empty_hist");
+  EXPECT_EQ(hist->count(), uint64_t{0});
+  EXPECT_EQ(hist->Quantile(0.5), 0.0);
+  EXPECT_EQ(hist->Quantile(0.99), 0.0);
+  EXPECT_EQ(hist->mean(), 0.0);
+  const std::string json = MetricsRegistry::Global().SnapshotJson();
+  EXPECT_NE(json.find("\"t.empty_hist\": {\"count\": 0"), std::string::npos);
+  const std::string om = MetricsRegistry::Global().SnapshotOpenMetrics();
+  EXPECT_NE(om.find("sjsel_t_empty_hist_count{name=\"t.empty_hist\"} 0"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, OpenMetricsExpositionFormat) {
+  MetricsRegistry::Arm();
+  SJSEL_METRIC_ADD("t.om.requests", 3);
+  SJSEL_METRIC_GAUGE_MAX("t.om.depth", 9);
+  Histogram* hist = MetricsRegistry::Global().GetHistogram("t.om.lat_us");
+  for (const uint64_t v : {1, 2, 4, 8}) hist->Record(v);
+  MetricsRegistry::Disarm();
+
+  const std::string om = MetricsRegistry::Global().SnapshotOpenMetrics();
+  // Counters: sanitized name + _total suffix, original name as a label.
+  EXPECT_NE(om.find("# TYPE sjsel_t_om_requests counter"), std::string::npos);
+  EXPECT_NE(om.find("sjsel_t_om_requests_total{name=\"t.om.requests\"} 3"),
+            std::string::npos);
+  // Gauges keep the bare sanitized name.
+  EXPECT_NE(om.find("# TYPE sjsel_t_om_depth gauge"), std::string::npos);
+  EXPECT_NE(om.find("sjsel_t_om_depth{name=\"t.om.depth\"} 9"),
+            std::string::npos);
+  // Histograms render as summaries: four quantiles plus _sum/_count.
+  EXPECT_NE(om.find("# TYPE sjsel_t_om_lat_us summary"), std::string::npos);
+  EXPECT_NE(om.find("sjsel_t_om_lat_us{name=\"t.om.lat_us\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      om.find("sjsel_t_om_lat_us{name=\"t.om.lat_us\",quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(om.find("sjsel_t_om_lat_us_sum{name=\"t.om.lat_us\"} 15"),
+            std::string::npos);
+  EXPECT_NE(om.find("sjsel_t_om_lat_us_count{name=\"t.om.lat_us\"} 4"),
+            std::string::npos);
+  // The exposition ends with the OpenMetrics EOF marker.
+  EXPECT_EQ(om.rfind("# EOF\n"), om.size() - 6);
+}
+
+TEST(MetricsTest, OpenMetricsSanitizesNamesAndEscapesLabels) {
+  MetricsRegistry::Arm();
+  SJSEL_METRIC_INC("weird\"name\\with.stuff");
+  MetricsRegistry::Disarm();
+  const std::string om = MetricsRegistry::Global().SnapshotOpenMetrics();
+  // Every non-[a-zA-Z0-9_] byte becomes '_' in the metric name; the label
+  // keeps the original with backslash/quote escaping.
+  EXPECT_NE(om.find("sjsel_weird_name_with_stuff_total"), std::string::npos);
+  EXPECT_NE(om.find("{name=\"weird\\\"name\\\\with.stuff\"}"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, OpenMetricsSnapshotIsDeterministic) {
+  MetricsRegistry::Arm();
+  SJSEL_METRIC_INC("t.om.z");
+  SJSEL_METRIC_INC("t.om.a");
+  MetricsRegistry::Global().GetHistogram("t.om.h")->Record(3);
+  MetricsRegistry::Disarm();
+  const std::string one = MetricsRegistry::Global().SnapshotOpenMetrics();
+  const std::string two = MetricsRegistry::Global().SnapshotOpenMetrics();
+  EXPECT_EQ(one, two);
+  // Sorted map order: t.om.a renders before t.om.z.
+  EXPECT_LT(one.find("sjsel_t_om_a_total"), one.find("sjsel_t_om_z_total"));
+}
+
 TEST(ScopedTimerTest, ReportsIntoHistogramWhenArmed) {
   MetricsRegistry::Arm();
   Histogram* hist = MetricsRegistry::Global().GetHistogram("t.scoped_us");

@@ -23,6 +23,7 @@
 #include "planner/join_planner.h"
 #include "server/client.h"
 #include "server/protocol.h"
+#include "util/build_info.h"
 #include "util/json.h"
 #include "util/table.h"
 
@@ -205,6 +206,206 @@ TEST_F(ServerTest, ShutdownOpStopsAcceptingWork) {
   EXPECT_EQ(ErrorCode(rejected), kErrShuttingDown);
   // ...but ping still answers, so health checks see the drain.
   EXPECT_TRUE(Handle(&server, R"({"op":"ping"})").Find("ok")->bool_value());
+}
+
+// --- telemetry and correlation tests ---
+
+TEST_F(ServerTest, ClientRequestIdIsEchoedVerbatim) {
+  Server server(ServerOptions{});
+  const JsonValue response = Handle(
+      &server, R"({"id":1,"op":"ping","request_id":"corr-abc-123"})");
+  EXPECT_TRUE(response.Find("ok")->bool_value());
+  ASSERT_TRUE(response.Find("request_id") != nullptr);
+  EXPECT_EQ(response.Find("request_id")->string_value(), "corr-abc-123");
+}
+
+TEST_F(ServerTest, ServerGeneratesRequestIdWhenAbsent) {
+  Server server(ServerOptions{});
+  const JsonValue first = Handle(&server, R"({"op":"ping"})");
+  const JsonValue second = Handle(&server, R"({"op":"ping"})");
+  ASSERT_TRUE(first.Find("request_id") != nullptr);
+  ASSERT_TRUE(second.Find("request_id") != nullptr);
+  const std::string id1 = first.Find("request_id")->string_value();
+  const std::string id2 = second.Find("request_id")->string_value();
+  EXPECT_EQ(id1.rfind("srv-", 0), 0u) << id1;
+  EXPECT_EQ(id2.rfind("srv-", 0), 0u) << id2;
+  EXPECT_NE(id1, id2);
+}
+
+TEST_F(ServerTest, BadRequestStillCarriesARequestId) {
+  // Even an unparseable line gets a generated id so the failure can be
+  // found again in the slowlog and the structured log.
+  Server server(ServerOptions{});
+  const JsonValue response = Handle(&server, "{nope");
+  EXPECT_EQ(ErrorCode(response), kErrBadRequest);
+  ASSERT_TRUE(response.Find("request_id") != nullptr);
+  EXPECT_EQ(response.Find("request_id")->string_value().rfind("srv-", 0), 0u);
+}
+
+TEST_F(ServerTest, MetricsOpExposesOpenMetricsAndSnapshot) {
+  Server server(ServerOptions{});
+  Handle(&server, R"({"op":"ping"})");
+  const JsonValue response = Handle(&server, R"({"op":"metrics"})");
+  ASSERT_TRUE(response.Find("ok")->bool_value());
+  const JsonValue* result = response.Find("result");
+  ASSERT_TRUE(result != nullptr);
+  ASSERT_TRUE(result->Find("openmetrics") != nullptr);
+  const std::string om = result->Find("openmetrics")->string_value();
+  EXPECT_NE(om.find("sjsel_server_requests_received_total"),
+            std::string::npos);
+  EXPECT_NE(om.find("sjsel_server_request_us"), std::string::npos);
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.rfind("# EOF\n"), om.size() - 6);
+  const JsonValue* snapshot = result->Find("snapshot");
+  ASSERT_TRUE(snapshot != nullptr);
+  const JsonValue* counters = snapshot->Find("counters");
+  ASSERT_TRUE(counters != nullptr);
+  ASSERT_TRUE(counters->Find("server.requests.received") != nullptr);
+  EXPECT_GE(counters->Find("server.requests.received")->number_value(), 1.0);
+  // Every request records its latency, so the ping before this scrape is
+  // already in the histogram.
+  const JsonValue* hist =
+      snapshot->Find("histograms")->Find("server.request_us");
+  ASSERT_TRUE(hist != nullptr);
+  EXPECT_GE(hist->Find("count")->number_value(), 1.0);
+}
+
+TEST_F(ServerTest, HealthOpReportsServerState) {
+  Server server(ServerOptions{});
+  Handle(&server, R"({"op":"estimate","a":")" + a_path_ + R"(","b":")" +
+                      b_path_ + R"("})");
+  const JsonValue response = Handle(&server, R"({"op":"health"})");
+  ASSERT_TRUE(response.Find("ok")->bool_value());
+  const JsonValue* result = response.Find("result");
+  ASSERT_TRUE(result != nullptr);
+  EXPECT_EQ(result->Find("status")->string_value(), "ok");
+  EXPECT_TRUE(result->Find("ready")->bool_value());
+  EXPECT_EQ(result->Find("version")->string_value(), kSjselVersion);
+  EXPECT_FALSE(result->Find("kernel_backend")->string_value().empty());
+  EXPECT_GE(result->Find("uptime_s")->number_value(), 0.0);
+  EXPECT_GE(result->Find("datasets_cached")->number_value(), 2.0);
+  EXPECT_GE(result->Find("estimates_cached")->number_value(), 1.0);
+  EXPECT_EQ(result->Find("streams_open")->number_value(), 0.0);
+  EXPECT_EQ(result->Find("streams_poisoned")->number_value(), 0.0);
+}
+
+TEST_F(ServerTest, SlowlogOpReturnsRequestsSlowestFirst) {
+  ServerOptions options;
+  options.slowlog_capacity = 8;
+  Server server(options);
+  Handle(&server, R"({"op":"ping","request_id":"probe-ping"})");
+  Handle(&server, R"({"op":"estimate","a":")" + a_path_ + R"(","b":")" +
+                      b_path_ + R"(","request_id":"probe-estimate"})");
+  const JsonValue response = Handle(&server, R"({"op":"slowlog"})");
+  ASSERT_TRUE(response.Find("ok")->bool_value());
+  const JsonValue* result = response.Find("result");
+  ASSERT_TRUE(result != nullptr);
+  EXPECT_EQ(result->Find("capacity")->number_value(), 8.0);
+  EXPECT_GE(result->Find("recorded")->number_value(), 2.0);
+  const JsonValue* entries = result->Find("entries");
+  ASSERT_TRUE(entries != nullptr && entries->is_array());
+  ASSERT_GE(entries->size(), 2u);
+  // Slowest-first order and latency monotonicity.
+  for (size_t i = 1; i < entries->size(); ++i) {
+    EXPECT_GE(entries->at(i - 1).Find("latency_us")->number_value(),
+              entries->at(i).Find("latency_us")->number_value());
+  }
+  // Both probes are present with their ids; the estimate carries its rung
+  // in the note and an estimate is never faster than a ping.
+  bool saw_ping = false, saw_estimate = false;
+  for (const JsonValue& e : entries->items()) {
+    const std::string id = e.Find("request_id")->string_value();
+    if (id == "probe-ping") saw_ping = true;
+    if (id == "probe-estimate") {
+      saw_estimate = true;
+      EXPECT_TRUE(e.Find("ok")->bool_value());
+      EXPECT_EQ(e.Find("note")->string_value().rfind("rung=", 0), 0u);
+    }
+  }
+  EXPECT_TRUE(saw_ping);
+  EXPECT_TRUE(saw_estimate);
+
+  // `top` bounds the reply.
+  const JsonValue limited =
+      Handle(&server, R"({"op":"slowlog","top":1})");
+  ASSERT_TRUE(limited.Find("ok")->bool_value());
+  EXPECT_EQ(limited.Find("result")->Find("entries")->size(), 1u);
+}
+
+TEST_F(ServerTest, FailedRequestsLandInSlowlogWithErrorNote) {
+  Server server(ServerOptions{});
+  Handle(&server, R"({"op":"frobnicate","request_id":"bad-op-1"})");
+  const JsonValue response = Handle(&server, R"({"op":"slowlog"})");
+  bool found = false;
+  for (const JsonValue& e :
+       response.Find("result")->Find("entries")->items()) {
+    if (e.Find("request_id")->string_value() != "bad-op-1") continue;
+    found = true;
+    EXPECT_FALSE(e.Find("ok")->bool_value());
+    EXPECT_EQ(e.Find("note")->string_value(),
+              std::string("error:") + kErrUnknownOp);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ServerTest, DrainingServerStillAnswersTelemetryOps) {
+  Server server(ServerOptions{});
+  Handle(&server, R"({"op":"shutdown"})");
+  // Work is rejected...
+  const JsonValue rejected = Handle(
+      &server, R"({"op":"estimate","a":")" + a_path_ + R"(","b":")" +
+                   b_path_ + R"("})");
+  EXPECT_EQ(ErrorCode(rejected), kErrShuttingDown);
+  // ...but scraping keeps working: a stopping server is precisely when
+  // operators want its vitals.
+  const JsonValue health = Handle(&server, R"({"op":"health"})");
+  ASSERT_TRUE(health.Find("ok")->bool_value());
+  EXPECT_EQ(health.Find("result")->Find("status")->string_value(),
+            "draining");
+  EXPECT_FALSE(health.Find("result")->Find("ready")->bool_value());
+  EXPECT_TRUE(
+      Handle(&server, R"({"op":"metrics"})").Find("ok")->bool_value());
+  EXPECT_TRUE(
+      Handle(&server, R"({"op":"slowlog"})").Find("ok")->bool_value());
+}
+
+TEST_F(ServerTest, StatsReportsUptimeVersionAndBackend) {
+  Server server(ServerOptions{});
+  const JsonValue response = Handle(&server, R"({"op":"stats"})");
+  ASSERT_TRUE(response.Find("ok")->bool_value());
+  const JsonValue* result = response.Find("result");
+  EXPECT_EQ(result->Find("version")->string_value(), kSjselVersion);
+  EXPECT_GE(result->Find("uptime_s")->number_value(), 0.0);
+  EXPECT_FALSE(result->Find("compiler")->string_value().empty());
+  EXPECT_FALSE(result->Find("kernel_backend")->string_value().empty());
+}
+
+TEST_F(ServerTest, AuditRateOnePublishesAccuracyMetrics) {
+  ServerOptions options;
+  options.audit_rate = 1.0;
+  options.audit_exact_cap = 10000;  // both fixtures fit → exact reference
+  Server server(options);
+  const JsonValue est = Handle(
+      &server, R"({"op":"estimate","a":")" + a_path_ + R"(","b":")" +
+                   b_path_ + R"("})");
+  ASSERT_TRUE(est.Find("ok")->bool_value());
+  const JsonValue metrics = Handle(&server, R"({"op":"metrics"})");
+  const JsonValue* snapshot = metrics.Find("result")->Find("snapshot");
+  ASSERT_TRUE(snapshot != nullptr);
+  const JsonValue* audits = snapshot->Find("counters")->Find("accuracy.audits");
+  ASSERT_TRUE(audits != nullptr);
+  EXPECT_GE(audits->number_value(), 1.0);
+  const JsonValue* rel =
+      snapshot->Find("histograms")->Find("accuracy.rel_error");
+  ASSERT_TRUE(rel != nullptr);
+  EXPECT_GE(rel->Find("count")->number_value(), 1.0);
+  // The GH estimate vs an exact count on uniform data is well inside the
+  // 50% default alarm, so no drift alarm may fire.
+  const JsonValue* alarms =
+      snapshot->Find("counters")->Find("accuracy.drift_alarm");
+  if (alarms != nullptr) {
+    EXPECT_EQ(alarms->number_value(), 0.0);
+  }
 }
 
 // --- socket tests ---
