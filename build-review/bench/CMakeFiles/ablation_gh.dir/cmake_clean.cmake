@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gh.dir/ablation_gh.cc.o"
+  "CMakeFiles/ablation_gh.dir/ablation_gh.cc.o.d"
+  "ablation_gh"
+  "ablation_gh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ph.dir/ablation_ph.cc.o"
+  "CMakeFiles/ablation_ph.dir/ablation_ph.cc.o.d"
+  "ablation_ph"
+  "ablation_ph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rtree.dir/ablation_rtree.cc.o"
+  "CMakeFiles/ablation_rtree.dir/ablation_rtree.cc.o.d"
+  "ablation_rtree"
+  "ablation_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

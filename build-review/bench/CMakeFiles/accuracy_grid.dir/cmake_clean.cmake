@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_grid.dir/accuracy_grid.cc.o"
+  "CMakeFiles/accuracy_grid.dir/accuracy_grid.cc.o.d"
+  "accuracy_grid"
+  "accuracy_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

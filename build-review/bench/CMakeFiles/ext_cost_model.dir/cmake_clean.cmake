@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cost_model.dir/ext_cost_model.cc.o"
+  "CMakeFiles/ext_cost_model.dir/ext_cost_model.cc.o.d"
+  "ext_cost_model"
+  "ext_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gh3.dir/ext_gh3.cc.o"
+  "CMakeFiles/ext_gh3.dir/ext_gh3.cc.o.d"
+  "ext_gh3"
+  "ext_gh3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gh3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_minskew.dir/ext_minskew.cc.o"
+  "CMakeFiles/ext_minskew.dir/ext_minskew.cc.o.d"
+  "ext_minskew"
+  "ext_minskew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_minskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_minskew.
+# This may be replaced when dependencies are built.

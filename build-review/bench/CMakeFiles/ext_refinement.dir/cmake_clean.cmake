@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_refinement.dir/ext_refinement.cc.o"
+  "CMakeFiles/ext_refinement.dir/ext_refinement.cc.o.d"
+  "ext_refinement"
+  "ext_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_histograms.dir/fig7_histograms.cc.o"
+  "CMakeFiles/fig7_histograms.dir/fig7_histograms.cc.o.d"
+  "fig7_histograms"
+  "fig7_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels.dir/kernels.cc.o"
+  "CMakeFiles/kernels.dir/kernels.cc.o.d"
+  "kernels"
+  "kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

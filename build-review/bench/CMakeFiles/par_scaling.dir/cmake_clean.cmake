@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_scaling.dir/par_scaling.cc.o"
+  "CMakeFiles/par_scaling.dir/par_scaling.cc.o.d"
+  "par_scaling"
+  "par_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_breakdown.dir/pipeline_breakdown.cc.o"
+  "CMakeFiles/pipeline_breakdown.dir/pipeline_breakdown.cc.o.d"
+  "pipeline_breakdown"
+  "pipeline_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

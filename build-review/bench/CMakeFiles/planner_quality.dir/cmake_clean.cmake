@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_quality.dir/planner_quality.cc.o"
+  "CMakeFiles/planner_quality.dir/planner_quality.cc.o.d"
+  "planner_quality"
+  "planner_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness.dir/robustness.cc.o"
+  "CMakeFiles/robustness.dir/robustness.cc.o.d"
+  "robustness"
+  "robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

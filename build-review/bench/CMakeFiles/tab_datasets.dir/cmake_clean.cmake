@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_datasets.dir/tab_datasets.cc.o"
+  "CMakeFiles/tab_datasets.dir/tab_datasets.cc.o.d"
+  "tab_datasets"
+  "tab_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

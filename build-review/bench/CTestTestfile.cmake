@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/root/repo/build-review/bench/kernels" "--smoke")
+set_tests_properties(bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(pipeline_smoke "/root/repo/build-review/bench/pipeline_breakdown" "--smoke")
+set_tests_properties(pipeline_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(planner_quality_smoke "/root/repo/build-review/bench/planner_quality" "--smoke")
+set_tests_properties(planner_quality_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(churn_smoke "/root/repo/build-review/bench/churn" "--smoke")
+set_tests_properties(churn_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_drift "/root/repo/bench/../scripts/bench_drift.sh" "/root/repo/build-review/bench/drift" "/root/repo/build-review/bench/accuracy_grid" "/root/repo/build-review/bench/kernels --smoke" "/root/repo/build-review/bench/par_scaling --smoke" "/root/repo/build-review/bench/churn --smoke")
+set_tests_properties(bench_drift PROPERTIES  RUN_SERIAL "TRUE" SKIP_RETURN_CODE "77" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;52;add_test;/root/repo/bench/CMakeLists.txt;0;")

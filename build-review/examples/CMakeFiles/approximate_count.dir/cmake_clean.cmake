@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_count.dir/approximate_count.cpp.o"
+  "CMakeFiles/approximate_count.dir/approximate_count.cpp.o.d"
+  "approximate_count"
+  "approximate_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

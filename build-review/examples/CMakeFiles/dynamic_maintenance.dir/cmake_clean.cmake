@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_maintenance.dir/dynamic_maintenance.cpp.o"
+  "CMakeFiles/dynamic_maintenance.dir/dynamic_maintenance.cpp.o.d"
+  "dynamic_maintenance"
+  "dynamic_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_tuning.dir/histogram_tuning.cpp.o"
+  "CMakeFiles/histogram_tuning.dir/histogram_tuning.cpp.o.d"
+  "histogram_tuning"
+  "histogram_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_workload.dir/tiger_workload.cpp.o"
+  "CMakeFiles/tiger_workload.dir/tiger_workload.cpp.o.d"
+  "tiger_workload"
+  "tiger_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

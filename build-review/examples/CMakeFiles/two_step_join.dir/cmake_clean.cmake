@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_step_join.dir/two_step_join.cpp.o"
+  "CMakeFiles/two_step_join.dir/two_step_join.cpp.o.d"
+  "two_step_join"
+  "two_step_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_step_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

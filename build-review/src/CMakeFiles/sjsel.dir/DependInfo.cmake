@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/sjsel.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/distance_estimate.cc" "src/CMakeFiles/sjsel.dir/core/distance_estimate.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/distance_estimate.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/sjsel.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/gh_histogram.cc" "src/CMakeFiles/sjsel.dir/core/gh_histogram.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/gh_histogram.cc.o.d"
+  "/root/repo/src/core/grid.cc" "src/CMakeFiles/sjsel.dir/core/grid.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/grid.cc.o.d"
+  "/root/repo/src/core/guarded_estimator.cc" "src/CMakeFiles/sjsel.dir/core/guarded_estimator.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/guarded_estimator.cc.o.d"
+  "/root/repo/src/core/kernels.cc" "src/CMakeFiles/sjsel.dir/core/kernels.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/kernels.cc.o.d"
+  "/root/repo/src/core/minskew.cc" "src/CMakeFiles/sjsel.dir/core/minskew.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/minskew.cc.o.d"
+  "/root/repo/src/core/parametric.cc" "src/CMakeFiles/sjsel.dir/core/parametric.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/parametric.cc.o.d"
+  "/root/repo/src/core/ph_histogram.cc" "src/CMakeFiles/sjsel.dir/core/ph_histogram.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/ph_histogram.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/CMakeFiles/sjsel.dir/core/sampling.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/core/sampling.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/CMakeFiles/sjsel.dir/datagen/generators.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/datagen/generators.cc.o.d"
+  "/root/repo/src/datagen/geo_generators.cc" "src/CMakeFiles/sjsel.dir/datagen/geo_generators.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/datagen/geo_generators.cc.o.d"
+  "/root/repo/src/datagen/workloads.cc" "src/CMakeFiles/sjsel.dir/datagen/workloads.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/datagen/workloads.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/CMakeFiles/sjsel.dir/engine/catalog.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/engine/catalog.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/sjsel.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/CMakeFiles/sjsel.dir/engine/planner.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/engine/planner.cc.o.d"
+  "/root/repo/src/geom/dataset.cc" "src/CMakeFiles/sjsel.dir/geom/dataset.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/geom/dataset.cc.o.d"
+  "/root/repo/src/geom/geometry.cc" "src/CMakeFiles/sjsel.dir/geom/geometry.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/geom/geometry.cc.o.d"
+  "/root/repo/src/geom/rect.cc" "src/CMakeFiles/sjsel.dir/geom/rect.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/geom/rect.cc.o.d"
+  "/root/repo/src/geom/soa_dataset.cc" "src/CMakeFiles/sjsel.dir/geom/soa_dataset.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/geom/soa_dataset.cc.o.d"
+  "/root/repo/src/geom/validate.cc" "src/CMakeFiles/sjsel.dir/geom/validate.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/geom/validate.cc.o.d"
+  "/root/repo/src/gh3/gh3_histogram.cc" "src/CMakeFiles/sjsel.dir/gh3/gh3_histogram.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/gh3/gh3_histogram.cc.o.d"
+  "/root/repo/src/hilbert/hilbert.cc" "src/CMakeFiles/sjsel.dir/hilbert/hilbert.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/hilbert/hilbert.cc.o.d"
+  "/root/repo/src/hilbert/morton.cc" "src/CMakeFiles/sjsel.dir/hilbert/morton.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/hilbert/morton.cc.o.d"
+  "/root/repo/src/join/distance_join.cc" "src/CMakeFiles/sjsel.dir/join/distance_join.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/join/distance_join.cc.o.d"
+  "/root/repo/src/join/index_nested_loop.cc" "src/CMakeFiles/sjsel.dir/join/index_nested_loop.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/join/index_nested_loop.cc.o.d"
+  "/root/repo/src/join/nested_loop.cc" "src/CMakeFiles/sjsel.dir/join/nested_loop.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/join/nested_loop.cc.o.d"
+  "/root/repo/src/join/pbsm.cc" "src/CMakeFiles/sjsel.dir/join/pbsm.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/join/pbsm.cc.o.d"
+  "/root/repo/src/join/plane_sweep.cc" "src/CMakeFiles/sjsel.dir/join/plane_sweep.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/join/plane_sweep.cc.o.d"
+  "/root/repo/src/join/refinement.cc" "src/CMakeFiles/sjsel.dir/join/refinement.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/join/refinement.cc.o.d"
+  "/root/repo/src/join/rtree_join.cc" "src/CMakeFiles/sjsel.dir/join/rtree_join.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/join/rtree_join.cc.o.d"
+  "/root/repo/src/obs/explain.cc" "src/CMakeFiles/sjsel.dir/obs/explain.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/obs/explain.cc.o.d"
+  "/root/repo/src/obs/log.cc" "src/CMakeFiles/sjsel.dir/obs/log.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/obs/log.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/sjsel.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/slowlog.cc" "src/CMakeFiles/sjsel.dir/obs/slowlog.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/obs/slowlog.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/sjsel.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/obs/trace.cc.o.d"
+  "/root/repo/src/planner/join_planner.cc" "src/CMakeFiles/sjsel.dir/planner/join_planner.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/planner/join_planner.cc.o.d"
+  "/root/repo/src/quadtree/quadtree.cc" "src/CMakeFiles/sjsel.dir/quadtree/quadtree.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/quadtree/quadtree.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/sjsel.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/server/catalog.cc" "src/CMakeFiles/sjsel.dir/server/catalog.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/server/catalog.cc.o.d"
+  "/root/repo/src/server/client.cc" "src/CMakeFiles/sjsel.dir/server/client.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/server/client.cc.o.d"
+  "/root/repo/src/server/protocol.cc" "src/CMakeFiles/sjsel.dir/server/protocol.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/server/protocol.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/CMakeFiles/sjsel.dir/server/server.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/server/server.cc.o.d"
+  "/root/repo/src/stats/dataset_stats.cc" "src/CMakeFiles/sjsel.dir/stats/dataset_stats.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/stats/dataset_stats.cc.o.d"
+  "/root/repo/src/stats/spatial_skew.cc" "src/CMakeFiles/sjsel.dir/stats/spatial_skew.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/stats/spatial_skew.cc.o.d"
+  "/root/repo/src/stream/ingest.cc" "src/CMakeFiles/sjsel.dir/stream/ingest.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/stream/ingest.cc.o.d"
+  "/root/repo/src/stream/wal.cc" "src/CMakeFiles/sjsel.dir/stream/wal.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/stream/wal.cc.o.d"
+  "/root/repo/src/util/fault_injection.cc" "src/CMakeFiles/sjsel.dir/util/fault_injection.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/util/fault_injection.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/CMakeFiles/sjsel.dir/util/json.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/util/json.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/sjsel.dir/util/random.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/util/random.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "src/CMakeFiles/sjsel.dir/util/serialize.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/util/serialize.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sjsel.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/sjsel.dir/util/table.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/sjsel.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/sjsel.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

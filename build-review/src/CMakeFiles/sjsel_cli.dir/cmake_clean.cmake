@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjsel_cli.dir/cli/cli.cc.o"
+  "CMakeFiles/sjsel_cli.dir/cli/cli.cc.o.d"
+  "libsjsel_cli.a"
+  "libsjsel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjsel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsjsel_cli.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjsel_tool.dir/cli/main.cc.o"
+  "CMakeFiles/sjsel_tool.dir/cli/main.cc.o.d"
+  "sjsel"
+  "sjsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjsel_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

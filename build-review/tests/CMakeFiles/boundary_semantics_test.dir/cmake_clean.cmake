@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_semantics_test.dir/boundary_semantics_test.cc.o"
+  "CMakeFiles/boundary_semantics_test.dir/boundary_semantics_test.cc.o.d"
+  "boundary_semantics_test"
+  "boundary_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degradation_reason_test.dir/degradation_reason_test.cc.o"
+  "CMakeFiles/degradation_reason_test.dir/degradation_reason_test.cc.o.d"
+  "degradation_reason_test"
+  "degradation_reason_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degradation_reason_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

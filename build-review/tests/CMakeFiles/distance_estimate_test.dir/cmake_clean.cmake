@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_estimate_test.dir/distance_estimate_test.cc.o"
+  "CMakeFiles/distance_estimate_test.dir/distance_estimate_test.cc.o.d"
+  "distance_estimate_test"
+  "distance_estimate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_join_test.dir/distance_join_test.cc.o"
+  "CMakeFiles/distance_join_test.dir/distance_join_test.cc.o.d"
+  "distance_join_test"
+  "distance_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

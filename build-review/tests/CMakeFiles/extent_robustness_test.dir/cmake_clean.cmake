@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extent_robustness_test.dir/extent_robustness_test.cc.o"
+  "CMakeFiles/extent_robustness_test.dir/extent_robustness_test.cc.o.d"
+  "extent_robustness_test"
+  "extent_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extent_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

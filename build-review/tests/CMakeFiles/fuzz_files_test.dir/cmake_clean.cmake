@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_files_test.dir/fuzz_files_test.cc.o"
+  "CMakeFiles/fuzz_files_test.dir/fuzz_files_test.cc.o.d"
+  "fuzz_files_test"
+  "fuzz_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gh3_test.dir/gh3_test.cc.o"
+  "CMakeFiles/gh3_test.dir/gh3_test.cc.o.d"
+  "gh3_test"
+  "gh3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gh3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gh_incremental_test.dir/gh_incremental_test.cc.o"
+  "CMakeFiles/gh_incremental_test.dir/gh_incremental_test.cc.o.d"
+  "gh_incremental_test"
+  "gh_incremental_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gh_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gh_sparse_test.dir/gh_sparse_test.cc.o"
+  "CMakeFiles/gh_sparse_test.dir/gh_sparse_test.cc.o.d"
+  "gh_sparse_test"
+  "gh_sparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gh_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gh_test.dir/gh_test.cc.o"
+  "CMakeFiles/gh_test.dir/gh_test.cc.o.d"
+  "gh_test"
+  "gh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilbert_test.dir/hilbert_test.cc.o"
+  "CMakeFiles/hilbert_test.dir/hilbert_test.cc.o.d"
+  "hilbert_test"
+  "hilbert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilbert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_equivalence_test.dir/kernel_equivalence_test.cc.o"
+  "CMakeFiles/kernel_equivalence_test.dir/kernel_equivalence_test.cc.o.d"
+  "kernel_equivalence_test"
+  "kernel_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minskew_test.dir/minskew_test.cc.o"
+  "CMakeFiles/minskew_test.dir/minskew_test.cc.o.d"
+  "minskew_test"
+  "minskew_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minskew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

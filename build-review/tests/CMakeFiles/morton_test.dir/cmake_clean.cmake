@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morton_test.dir/morton_test.cc.o"
+  "CMakeFiles/morton_test.dir/morton_test.cc.o.d"
+  "morton_test"
+  "morton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_concurrency_test.dir/obs_concurrency_test.cc.o"
+  "CMakeFiles/obs_concurrency_test.dir/obs_concurrency_test.cc.o.d"
+  "obs_concurrency_test"
+  "obs_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_determinism_test.dir/par_determinism_test.cc.o"
+  "CMakeFiles/par_determinism_test.dir/par_determinism_test.cc.o.d"
+  "par_determinism_test"
+  "par_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_test.dir/ph_test.cc.o"
+  "CMakeFiles/ph_test.dir/ph_test.cc.o.d"
+  "ph_test"
+  "ph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

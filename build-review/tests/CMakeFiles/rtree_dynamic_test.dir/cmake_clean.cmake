@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_dynamic_test.dir/rtree_dynamic_test.cc.o"
+  "CMakeFiles/rtree_dynamic_test.dir/rtree_dynamic_test.cc.o.d"
+  "rtree_dynamic_test"
+  "rtree_dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

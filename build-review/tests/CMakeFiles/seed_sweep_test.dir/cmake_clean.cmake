@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_sweep_test.dir/seed_sweep_test.cc.o"
+  "CMakeFiles/seed_sweep_test.dir/seed_sweep_test.cc.o.d"
+  "seed_sweep_test"
+  "seed_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_test.dir/skew_test.cc.o"
+  "CMakeFiles/skew_test.dir/skew_test.cc.o.d"
+  "skew_test"
+  "skew_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
